@@ -1,0 +1,504 @@
+package grammarviz
+
+// This file regenerates the paper's evaluation as Go benchmarks: one
+// benchmark per Table 1 row, one per figure, component benchmarks for the
+// pipeline stages, and ablations of the design choices DESIGN.md calls
+// out. Distance-call counts — the paper's efficiency metric — are emitted
+// via b.ReportMetric as "hotsax_calls/op", "rra_calls/op" etc., so
+// `go test -bench .` prints the Table 1 quantities next to ns/op.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"fmt"
+
+	"grammarviz/internal/autoparam"
+	"grammarviz/internal/core"
+	"grammarviz/internal/datasets"
+	"grammarviz/internal/density"
+	"grammarviz/internal/discord"
+	"grammarviz/internal/experiments"
+	"grammarviz/internal/grammar"
+	"grammarviz/internal/hilbert"
+	"grammarviz/internal/sax"
+	"grammarviz/internal/sequitur"
+	"grammarviz/internal/viztree"
+	"grammarviz/internal/wcad"
+)
+
+// dsCache generates each synthetic dataset once per test binary.
+var dsCache sync.Map
+
+func dataset(b *testing.B, name string) *datasets.Dataset {
+	b.Helper()
+	if v, ok := dsCache.Load(name); ok {
+		return v.(*datasets.Dataset)
+	}
+	ds, err := datasets.Generate(name)
+	if err != nil {
+		b.Fatalf("generate %s: %v", name, err)
+	}
+	dsCache.Store(name, ds)
+	return ds
+}
+
+// benchTable1Row measures one Table 1 row: the distance-call counts of
+// both search algorithms (brute force is analytic, as in the paper).
+func benchTable1Row(b *testing.B, name string) {
+	ds := dataset(b, name)
+	var row experiments.Table1Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		row, err = experiments.RunRowOn(ds, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(row.BruteCalls), "brute_calls/op")
+	b.ReportMetric(float64(row.HotsaxCalls), "hotsax_calls/op")
+	b.ReportMetric(float64(row.RRACalls), "rra_calls/op")
+	b.ReportMetric(row.ReductionPct, "reduction_%")
+	b.ReportMetric(row.OverlapPct, "overlap_%")
+}
+
+func BenchmarkTable1_DailyCommute(b *testing.B)      { benchTable1Row(b, "daily-commute") }
+func BenchmarkTable1_DutchPowerDemand(b *testing.B)  { benchTable1Row(b, "dutch-power-demand") }
+func BenchmarkTable1_ECG0606(b *testing.B)           { benchTable1Row(b, "ecg0606") }
+func BenchmarkTable1_ECG308(b *testing.B)            { benchTable1Row(b, "ecg308") }
+func BenchmarkTable1_ECG15(b *testing.B)             { benchTable1Row(b, "ecg15") }
+func BenchmarkTable1_ECG108(b *testing.B)            { benchTable1Row(b, "ecg108") }
+func BenchmarkTable1_ECG300(b *testing.B)            { benchTable1Row(b, "ecg300") }
+func BenchmarkTable1_ECG318(b *testing.B)            { benchTable1Row(b, "ecg318") }
+func BenchmarkTable1_RespirationNPRS43(b *testing.B) { benchTable1Row(b, "respiration-nprs43") }
+func BenchmarkTable1_RespirationNPRS44(b *testing.B) { benchTable1Row(b, "respiration-nprs44") }
+func BenchmarkTable1_VideoGun(b *testing.B)          { benchTable1Row(b, "video-gun") }
+func BenchmarkTable1_TEK14(b *testing.B)             { benchTable1Row(b, "tek14") }
+func BenchmarkTable1_TEK16(b *testing.B)             { benchTable1Row(b, "tek16") }
+func BenchmarkTable1_TEK17(b *testing.B)             { benchTable1Row(b, "tek17") }
+
+// ---- Figures ----
+
+// BenchmarkFigure1_RuleDensityVideo builds the rule density curve of the
+// video dataset — the linear-time detector highlighted in Figure 1.
+func BenchmarkFigure1_RuleDensityVideo(b *testing.B) {
+	ds := dataset(b, "video-gun")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := core.Analyze(ds.Series, core.Config{Params: ds.Params, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(density.GlobalMinimaMargin(p.Density, ds.Params.Window-1)) == 0 {
+			b.Fatal("no minima")
+		}
+	}
+}
+
+// benchDensityFigure runs the full three-panel figure pipeline (analysis,
+// density minima, RRA discords, nearest-non-self distances).
+func benchDensityFigure(b *testing.B, name string) {
+	ds := dataset(b, name)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunDensityFigureOn(ds, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Discords) == 0 {
+			b.Fatal("no discords")
+		}
+	}
+}
+
+func BenchmarkFigure2_ECG0606(b *testing.B)     { benchDensityFigure(b, "ecg0606") }
+func BenchmarkFigure3_PowerDemand(b *testing.B) { benchDensityFigure(b, "dutch-power-demand") }
+
+// BenchmarkFigure5_RankingECG300 compares HOTSAX and RRA top-3 rankings on
+// the long ECG record.
+func BenchmarkFigure5_RankingECG300(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.RunRanking("ecg300", 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cmp.SameSet {
+			b.Log("ranking sets diverged (paper observed order differences only)")
+		}
+	}
+}
+
+// BenchmarkFigure6_HilbertTransform measures the trajectory linearization
+// of Figure 6 on an order-8 curve.
+func BenchmarkFigure6_HilbertTransform(b *testing.B) {
+	c, err := hilbert.New(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := make([]hilbert.Point, 16384)
+	for i := range pts {
+		pts[i] = hilbert.Point{X: float64(i % 251), Y: float64((i * 7) % 241)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hilbert.Transform(c, pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7_Trajectory runs the full commute case study.
+func BenchmarkFigure7_Trajectory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunTrajectory(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !fig.DetourHitByDensity {
+			b.Fatal("detour not found by density minima")
+		}
+	}
+}
+
+// BenchmarkFigure10_ParameterSweep evaluates a reduced grid of
+// discretization parameters, reporting both detectors' success counts.
+func BenchmarkFigure10_ParameterSweep(b *testing.B) {
+	grid := experiments.SweepGrid{
+		Windows:   []int{40, 120, 300},
+		PAAs:      []int{3, 9, 16},
+		Alphabets: []int{3, 7},
+	}
+	var res *experiments.SweepResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunSweep("ecg0606", grid, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.DensityHits), "density_hits")
+	b.ReportMetric(float64(res.RRAHits), "rra_hits")
+}
+
+// ---- Pipeline component benchmarks ----
+
+func BenchmarkComponent_SAXDiscretize(b *testing.B) {
+	ds := dataset(b, "ecg15")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sax.Discretize(ds.Series, ds.Params, sax.ReductionExact); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComponent_SequiturInduce(b *testing.B) {
+	ds := dataset(b, "ecg15")
+	d, err := sax.Discretize(ds.Series, ds.Params, sax.ReductionExact)
+	if err != nil {
+		b.Fatal(err)
+	}
+	words := d.Strings()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := sequitur.Induce(words)
+		if g.NumRules() == 0 {
+			b.Fatal("no rules")
+		}
+	}
+}
+
+func BenchmarkComponent_DensityCurve(b *testing.B) {
+	ds := dataset(b, "ecg15")
+	p, err := core.Analyze(ds.Series, core.Config{Params: ds.Params, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curve := density.Curve(p.Rules)
+		if len(curve) != len(ds.Series) {
+			b.Fatal("bad curve")
+		}
+	}
+}
+
+func BenchmarkComponent_RRA(b *testing.B) {
+	ds := dataset(b, "ecg15")
+	p, err := core.Analyze(ds.Series, core.Config{Params: ds.Params, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := discord.RRA(ds.Series, p.Rules, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComponent_HOTSAX(b *testing.B) {
+	ds := dataset(b, "ecg0606")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := discord.HOTSAX(ds.Series, ds.Params, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComponent_BruteForce(b *testing.B) {
+	ds := dataset(b, "ecg0606")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := discord.BruteForce(ds.Series, ds.Params.Window, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComponent_StreamingAppend(b *testing.B) {
+	ds := dataset(b, "ecg15")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewStream(Options{Window: 300, PAA: 4, Alphabet: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range ds.Series {
+			s.Append(v)
+		}
+	}
+	b.ReportMetric(float64(len(ds.Series)), "points/op")
+}
+
+// ---- Ablations (DESIGN.md §5) ----
+
+// BenchmarkAblation_Reduction compares the pipeline with the paper's EXACT
+// numerosity reduction against no reduction: grammar size, RRA distance
+// calls and wall time all degrade without it.
+func BenchmarkAblation_Reduction(b *testing.B) {
+	ds := dataset(b, "ecg0606")
+	for _, tt := range []struct {
+		name string
+		red  sax.Reduction
+	}{
+		{"Exact", sax.ReductionExact},
+		{"None", sax.ReductionNone},
+		{"MINDIST", sax.ReductionMINDIST},
+	} {
+		b.Run(tt.name, func(b *testing.B) {
+			var calls int64
+			var words, size int
+			for i := 0; i < b.N; i++ {
+				p, err := core.Analyze(ds.Series, core.Config{Params: ds.Params, Reduction: tt.red, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := p.Discords(1)
+				if err != nil && !errors.Is(err, discord.ErrNoCandidates) {
+					// MINDIST reduction can collapse the word stream so far
+					// that no candidate has a non-self match; that is a
+					// result of the ablation, not a benchmark failure.
+					b.Fatal(err)
+				}
+				calls = res.DistCalls
+				words = len(p.Disc.Words)
+				size = p.GrammarSize()
+			}
+			b.ReportMetric(float64(calls), "rra_calls/op")
+			b.ReportMetric(float64(words), "words")
+			b.ReportMetric(float64(size), "grammar_size")
+		})
+	}
+}
+
+// BenchmarkAblation_RRAOrdering disables RRA's two search-order heuristics
+// (rarity-ordered outer loop; same-rule-first inner loop) to quantify how
+// much of the Table 1 pruning each contributes.
+func BenchmarkAblation_RRAOrdering(b *testing.B) {
+	ds := dataset(b, "ecg15")
+	p, err := core.Analyze(ds.Series, core.Config{Params: ds.Params, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tt := range []struct {
+		name   string
+		tuning discord.Tuning
+	}{
+		{"Full", discord.Tuning{}},
+		{"NoRarityOrder", discord.Tuning{NoRarityOrder: true}},
+		{"NoSameRuleFirst", discord.Tuning{NoSameGroupFirst: true}},
+		{"Neither", discord.Tuning{NoRarityOrder: true, NoSameGroupFirst: true}},
+	} {
+		b.Run(tt.name, func(b *testing.B) {
+			var calls int64
+			for i := 0; i < b.N; i++ {
+				res, err := discord.RRATuned(ds.Series, p.Rules, 1, 1, tt.tuning)
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls = res.DistCalls
+			}
+			b.ReportMetric(float64(calls), "rra_calls/op")
+		})
+	}
+}
+
+// BenchmarkAblation_HOTSAXOrdering does the same for HOTSAX's magic
+// orderings, reproducing the original paper's claim that the orderings are
+// what makes HOTSAX beat brute force.
+func BenchmarkAblation_HOTSAXOrdering(b *testing.B) {
+	ds := dataset(b, "ecg0606")
+	for _, tt := range []struct {
+		name   string
+		tuning discord.Tuning
+	}{
+		{"Full", discord.Tuning{}},
+		{"NoWordOrder", discord.Tuning{NoRarityOrder: true}},
+		{"NoSameWordFirst", discord.Tuning{NoSameGroupFirst: true}},
+	} {
+		b.Run(tt.name, func(b *testing.B) {
+			var calls int64
+			for i := 0; i < b.N; i++ {
+				res, err := discord.HOTSAXTuned(ds.Series, ds.Params, 1, 1, tt.tuning)
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls = res.DistCalls
+			}
+			b.ReportMetric(float64(calls), "hotsax_calls/op")
+		})
+	}
+}
+
+// BenchmarkAblation_WindowSeed shows that the sliding-window length is
+// only a seed: RRA finds the anomaly across a range of windows (the
+// Section 5.2 observation), with call counts reported per window.
+func BenchmarkAblation_WindowSeed(b *testing.B) {
+	ds := dataset(b, "ecg0606")
+	for _, w := range []int{60, 120, 240} {
+		b.Run(sax.Params{Window: w, PAA: 4, Alphabet: 4}.String(), func(b *testing.B) {
+			params := sax.Params{Window: w, PAA: 4, Alphabet: 4}
+			var calls int64
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				p, err := core.Analyze(ds.Series, core.Config{Params: params, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := p.Discords(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls = res.DistCalls
+				if ds.TruthHit(res.Discords[0].Interval, w) {
+					hits++
+				}
+			}
+			b.ReportMetric(float64(calls), "rra_calls/op")
+			b.ReportMetric(float64(hits)/float64(b.N), "truth_hit_rate")
+		})
+	}
+}
+
+// ---- Related-work baselines (paper §6) ----
+
+func BenchmarkBaseline_VizTree(b *testing.B) {
+	ds := dataset(b, "ecg0606")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := viztree.Build(ds.Series, ds.Params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Anomalies(1)) == 0 {
+			b.Fatal("no anomalies")
+		}
+	}
+}
+
+func BenchmarkBaseline_WCAD(b *testing.B) {
+	ds := dataset(b, "ecg0606")
+	params := sax.Params{Window: ds.Params.Window, PAA: 8, Alphabet: ds.Params.Alphabet}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wcad.Detect(ds.Series, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Extension benchmarks ----
+
+func BenchmarkExtension_MultiscaleDensity(b *testing.B) {
+	ds := dataset(b, "ecg0606")
+	windows := []int{60, 120, 240}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MultiscaleDensity(ds.Series, windows, 4, 4, sax.ReductionExact); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtension_SurpriseScore(b *testing.B) {
+	ds := dataset(b, "ecg15")
+	p, err := core.Analyze(ds.Series, core.Config{Params: ds.Params, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := density.Surprise(p.Density)
+		if len(s) != len(ds.Series) {
+			b.Fatal("bad score length")
+		}
+	}
+}
+
+func BenchmarkExtension_NearestNonSelfParallel(b *testing.B) {
+	ds := dataset(b, "ecg0606")
+	p, err := core.Analyze(ds.Series, core.Config{Params: ds.Params, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if len(discord.NearestNonSelfParallel(ds.Series, p.Rules, workers)) == 0 {
+					b.Fatal("no NN results")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExtension_RulePruning(b *testing.B) {
+	ds := dataset(b, "ecg15")
+	p, err := core.Analyze(ds.Series, core.Config{Params: ds.Params, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var kept int
+	for i := 0; i < b.N; i++ {
+		kept = grammar.Prune(p.Rules, 1).NumRules()
+	}
+	b.ReportMetric(float64(kept), "rules_kept")
+	b.ReportMetric(float64(p.Rules.NumRules()), "rules_total")
+}
+
+func BenchmarkExtension_AutoParams(b *testing.B) {
+	ds := dataset(b, "ecg0606")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := autoparam.Suggest(ds.Series); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Command gva (GrammarViz Anomaly) discovers anomalies in a univariate
+// time series read from a CSV file (one value per line; '#' comments and
+// blank lines are skipped).
+//
+// Usage:
+//
+//	gva -data series.csv -window 120 -paa 4 -alphabet 4 [flags]
+//
+// Modes (-mode):
+//
+//	rra        exact variable-length discord discovery (default)
+//	density    approximate anomalies from the rule density curve
+//	surprise   density scored statistically (Poisson left-tail p-values)
+//	multiscale density averaged over windows/2, window, window*2
+//	motifs     the inverse query: top recurring variable-length patterns
+//	hotsax     fixed-length HOTSAX baseline
+//	brute      fixed-length brute-force baseline
+//
+// Examples:
+//
+//	gva -data ecg.csv -window 120 -paa 4 -alphabet 4 -k 3
+//	gva -data power.csv -window 750 -paa 6 -alphabet 3 -mode density
+//	gva -data ecg.csv -window 120 -paa 4 -alphabet 4 -plot -svg out.svg
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"grammarviz"
+	"grammarviz/internal/timeseries"
+	"grammarviz/internal/visual"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "CSV file with one value per line (required)")
+		window    = flag.Int("window", 120, "sliding window length (0 = auto-select from the data)")
+		paa       = flag.Int("paa", 4, "SAX word length (PAA segments)")
+		alphabet  = flag.Int("alphabet", 4, "SAX alphabet size")
+		mode      = flag.String("mode", "rra", "rra | density | surprise | multiscale | motifs | hotsax | brute")
+		k         = flag.Int("k", 3, "number of discords to report (rra/hotsax/brute)")
+		threshold = flag.Int("threshold", -1, "density threshold (density mode; -1 = global minima)")
+		minLen    = flag.Int("minlen", 0, "minimum anomaly length (density mode)")
+		seed      = flag.Int64("seed", 1, "random seed for search heuristics")
+		plot      = flag.Bool("plot", false, "print ASCII panels of the series and density curve")
+		svgPath   = flag.String("svg", "", "write an SVG figure to this path")
+		stats     = flag.Bool("stats", false, "print discretization/grammar diagnostics")
+		detrend   = flag.Int("detrend", 0, "subtract a moving average of this many points before analysis")
+		jsonOut   = flag.Bool("json", false, "print results as JSON (rra/density/hotsax/brute modes)")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*dataPath, *window, *paa, *alphabet, *mode, *k, *threshold, *minLen, *seed, *plot, *svgPath, *stats, *detrend, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "gva:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath string, window, paa, alphabet int, mode string, k, threshold, minLen int, seed int64, plot bool, svgPath string, stats bool, detrend int, jsonOut bool) error {
+	ts, err := timeseries.ReadCSVFile(dataPath)
+	if err != nil {
+		return err
+	}
+	if timeseries.HasNaN(ts) {
+		if ts, err = grammarviz.Interpolate(ts); err != nil {
+			return err
+		}
+		fmt.Println("note: NaN/Inf values interpolated")
+	}
+	if detrend > 0 {
+		if ts, err = grammarviz.Detrend(ts, detrend); err != nil {
+			return err
+		}
+		fmt.Printf("detrended with a %d-point moving average\n", detrend)
+	}
+	fmt.Printf("loaded %d points from %s\n", len(ts), dataPath)
+
+	opts := grammarviz.Options{Window: window, PAA: paa, Alphabet: alphabet, Seed: seed}
+	if window <= 0 {
+		suggested, err := grammarviz.SuggestOptions(ts)
+		if err != nil {
+			return fmt.Errorf("window auto-selection: %w", err)
+		}
+		suggested.Seed = seed
+		opts = suggested
+		window, paa, alphabet = opts.Window, opts.PAA, opts.Alphabet
+		fmt.Printf("auto-selected parameters: window=%d paa=%d alphabet=%d\n", window, paa, alphabet)
+	}
+
+	switch mode {
+	case "hotsax":
+		discords, calls, err := grammarviz.HOTSAXDiscords(ts, window, paa, alphabet, k, seed)
+		if err != nil {
+			return err
+		}
+		return emitDiscords("HOTSAX", discords, calls, jsonOut)
+	case "brute":
+		discords, calls, err := grammarviz.BruteForceDiscords(ts, window, k)
+		if err != nil {
+			return err
+		}
+		return emitDiscords("brute force", discords, calls, jsonOut)
+	}
+
+	det, err := grammarviz.New(ts, opts)
+	if err != nil {
+		return err
+	}
+	if stats {
+		d := det.Diagnose()
+		fmt.Printf("words %d/%d (reduction %.1f%%), rules %d, grammar size %d, approx dist %.3f, zero density %.1f%%\n",
+			d.Words, d.RawWindows, 100*d.ReductionRatio, d.NumRules, d.GrammarSize,
+			d.ApproxDistance, 100*d.ZeroDensity)
+	}
+
+	var marks []grammarviz.Interval
+	switch mode {
+	case "rra":
+		discords, calls, err := det.DiscordsWithStats(k)
+		if err != nil {
+			return err
+		}
+		if err := emitDiscords("RRA", discords, calls, jsonOut); err != nil {
+			return err
+		}
+		for _, d := range discords {
+			marks = append(marks, d.Interval())
+		}
+	case "density":
+		var anomalies []grammarviz.Anomaly
+		if threshold < 0 {
+			anomalies = det.GlobalMinima()
+			fmt.Println("density global-minima anomalies:")
+		} else {
+			anomalies = det.DensityAnomalies(threshold, minLen)
+			fmt.Printf("density anomalies below threshold %d:\n", threshold)
+		}
+		for i, a := range anomalies {
+			fmt.Printf("  %2d. [%d,%d] len=%d min-density=%d mean=%.1f\n",
+				i+1, a.Start, a.End, a.Len(), a.MinDensity, a.MeanDensity)
+			marks = append(marks, a.Interval())
+		}
+	case "surprise":
+		anomalies := det.SurpriseAnomalies(2, minLen)
+		fmt.Println("statistically surprising low-coverage intervals (p < 10^-2):")
+		for i, a := range anomalies {
+			fmt.Printf("  %2d. [%d,%d] surprise=%.1f (p ~ 10^-%.1f)\n",
+				i+1, a.Start, a.End, a.Surprise, a.Surprise)
+			marks = append(marks, a.Interval())
+		}
+	case "multiscale":
+		curve, err := grammarviz.MultiscaleDensity(ts,
+			[]int{window / 2, window, window * 2}, paa, alphabet)
+		if err != nil {
+			return err
+		}
+		fmt.Println("multiscale density anomalies:")
+		for i, a := range grammarviz.MultiscaleAnomalies(curve, window*2, 0.3) {
+			fmt.Printf("  %2d. [%d,%d] len=%d\n", i+1, a.Start, a.End, a.Len())
+			marks = append(marks, a)
+		}
+	case "motifs":
+		fmt.Printf("top %d recurring patterns (motifs):\n", k)
+		for i, m := range det.Motifs(k) {
+			fmt.Printf("  %2d. rule R%d: %d occurrences, mean length %.0f, first at [%d,%d]\n",
+				i+1, m.RuleID, m.Frequency, m.MeanLen,
+				m.Occurrences[0].Start, m.Occurrences[0].End)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	if plot {
+		fmt.Println()
+		fmt.Print(visual.Panel("series", ts, 100, 10))
+		fmt.Println(markRow(len(ts), 100, marks))
+		curve := det.RuleDensity()
+		fmt.Print(visual.Panel("rule density", intsToFloats(curve), 100, 6))
+		fmt.Println("shading:", visual.DensityShadeRow(curve, 100))
+	}
+	if svgPath != "" {
+		if err := writeSVG(svgPath, ts, det.RuleDensity(), marks); err != nil {
+			return err
+		}
+		fmt.Println("wrote", svgPath)
+	}
+	return nil
+}
+
+// discordReport is the JSON shape emitted with -json.
+type discordReport struct {
+	Algorithm     string               `json:"algorithm"`
+	DistanceCalls int64                `json:"distance_calls"`
+	Discords      []grammarviz.Discord `json:"discords"`
+}
+
+func emitDiscords(algo string, discords []grammarviz.Discord, calls int64, jsonOut bool) error {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(discordReport{Algorithm: algo, DistanceCalls: calls, Discords: discords})
+	}
+	fmt.Printf("%s discords (%d distance calls):\n", algo, calls)
+	for i, d := range discords {
+		fmt.Printf("  %2d. [%d,%d] len=%d dist=%.4f nn@%d\n",
+			i+1, d.Start, d.End, d.Len(), d.Distance, d.NNStart)
+	}
+	return nil
+}
+
+func markRow(n, width int, marks []grammarviz.Interval) string {
+	ivs := make([]timeseries.Interval, len(marks))
+	for i, m := range marks {
+		ivs[i] = timeseries.Interval{Start: m.Start, End: m.End}
+	}
+	return visual.MarkRow(n, width, ivs)
+}
+
+func writeSVG(path string, ts []float64, curve []int, marks []grammarviz.Interval) error {
+	ivs := make([]timeseries.Interval, len(marks))
+	for i, m := range marks {
+		ivs[i] = timeseries.Interval{Start: m.Start, End: m.End}
+	}
+	fig := visual.NewFigure(960, 160)
+	fig.AddSeries("series with detected anomalies", ts, "", ivs, "")
+	fig.AddDensity("rule density curve", curve, ivs)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fig.Render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func intsToFloats(in []int) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = float64(v)
+	}
+	return out
+}

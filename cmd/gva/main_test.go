@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"grammarviz/internal/timeseries"
+)
+
+func writeTestSeries(t *testing.T) string {
+	t.Helper()
+	ts := make([]float64, 900)
+	for i := range ts {
+		ts[i] = math.Sin(2 * math.Pi * float64(i) / 45)
+	}
+	for i := 450; i < 495; i++ {
+		ts[i] = 0.2
+	}
+	path := filepath.Join(t.TempDir(), "series.csv")
+	if err := timeseries.WriteCSVFile(path, ts); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunModes(t *testing.T) {
+	path := writeTestSeries(t)
+	for _, mode := range []string{"rra", "density", "hotsax", "brute"} {
+		t.Run(mode, func(t *testing.T) {
+			if err := run(path, 45, 4, 4, mode, 2, -1, 0, 1, false, "", false, 0, false); err != nil {
+				t.Errorf("run(%s): %v", mode, err)
+			}
+		})
+	}
+}
+
+func TestRunDensityThreshold(t *testing.T) {
+	path := writeTestSeries(t)
+	if err := run(path, 45, 4, 4, "density", 1, 3, 5, 1, false, "", true, 0, false); err != nil {
+		t.Errorf("run: %v", err)
+	}
+}
+
+func TestRunPlotAndSVG(t *testing.T) {
+	path := writeTestSeries(t)
+	svg := filepath.Join(t.TempDir(), "out.svg")
+	if err := run(path, 45, 4, 4, "rra", 1, -1, 0, 1, true, svg, true, 0, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatalf("read svg: %v", err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("SVG output malformed")
+	}
+}
+
+func TestRunAutoParams(t *testing.T) {
+	path := writeTestSeries(t)
+	if err := run(path, 0, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false); err != nil {
+		t.Errorf("auto-params run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.csv"), 45, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false); err == nil {
+		t.Error("missing file should error")
+	}
+	path := writeTestSeries(t)
+	if err := run(path, 45, 4, 4, "bogus", 1, -1, 0, 1, false, "", false, 0, false); err == nil {
+		t.Error("unknown mode should error")
+	}
+	if err := run(path, 5000, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false); err == nil {
+		t.Error("oversize window should error")
+	}
+}
+
+func TestRunInterpolatesNaN(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nan.csv")
+	ts := make([]float64, 400)
+	for i := range ts {
+		ts[i] = math.Sin(2 * math.Pi * float64(i) / 40)
+	}
+	ts[100] = math.NaN()
+	if err := timeseries.WriteCSVFile(path, ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 40, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false); err != nil {
+		t.Errorf("NaN series should be interpolated, got %v", err)
+	}
+}
+
+func TestRunDetrend(t *testing.T) {
+	path := writeTestSeries(t)
+	if err := run(path, 45, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 101, false); err != nil {
+		t.Errorf("detrend run: %v", err)
+	}
+}
+
+func TestRunExtensionModes(t *testing.T) {
+	path := writeTestSeries(t)
+	for _, mode := range []string{"surprise", "multiscale", "motifs"} {
+		t.Run(mode, func(t *testing.T) {
+			if err := run(path, 45, 4, 4, mode, 3, -1, 0, 1, false, "", false, 0, false); err != nil {
+				t.Errorf("run(%s): %v", mode, err)
+			}
+		})
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeTestSeries(t)
+	// Capture stdout to validate the JSON shape.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(path, 45, 4, 4, "rra", 2, -1, 0, 1, false, "", false, 0, true)
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip the human preamble lines; the JSON object starts at '{'.
+	idx := strings.IndexByte(string(data), '{')
+	if idx < 0 {
+		t.Fatalf("no JSON in output: %q", data)
+	}
+	var rep struct {
+		Algorithm     string `json:"algorithm"`
+		DistanceCalls int64  `json:"distance_calls"`
+		Discords      []struct {
+			Start, End int
+			Distance   float64
+		} `json:"discords"`
+	}
+	if err := json.Unmarshal(data[idx:], &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data[idx:])
+	}
+	if rep.Algorithm != "RRA" || rep.DistanceCalls <= 0 || len(rep.Discords) == 0 {
+		t.Errorf("JSON report = %+v", rep)
+	}
+}

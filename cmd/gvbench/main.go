@@ -1,0 +1,66 @@
+// Command gvbench regenerates the paper's Table 1: the number of
+// distance-function calls made by brute force, HOTSAX and RRA on every
+// evaluation dataset, the percentage of HOTSAX's calls that RRA avoids,
+// the discord lengths, and the overlap between the algorithms' discords.
+//
+// Usage:
+//
+//	gvbench              # all rows
+//	gvbench -paper       # annotate each row with the paper's reported values
+//	gvbench -dataset tek14
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"grammarviz/internal/experiments"
+)
+
+func main() {
+	var (
+		name      = flag.String("dataset", "", "run a single dataset (default: all)")
+		seed      = flag.Int64("seed", 1, "random seed for search heuristics")
+		paper     = flag.Bool("paper", false, "print the paper's reported values under each row")
+		baselines = flag.String("baselines", "", "compare all five detectors on the named dataset and exit")
+	)
+	flag.Parse()
+
+	if *baselines != "" {
+		rs, err := experiments.RunBaselines(*baselines, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gvbench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.FormatBaselines(*baselines, rs))
+		return
+	}
+
+	var rows []experiments.Table1Row
+	if *name != "" {
+		row, err := experiments.RunRow(*name, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gvbench:", err)
+			os.Exit(1)
+		}
+		rows = []experiments.Table1Row{row}
+	} else {
+		var err error
+		rows, err = experiments.RunTable1(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gvbench:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Print(experiments.FormatTable1(rows, *paper))
+	fmt.Println(`
+Columns: distance-function calls per algorithm (top-1 search); Reduction =
+calls RRA avoids vs HOTSAX; HS/RRA len = discord lengths; Overlap = best
+overlap of the HOTSAX discord with RRA's top-3; Truth marks which
+algorithms' best discord hits the planted ground truth (H = HOTSAX,
+R = RRA). Brute-force counts are computed analytically, as in the paper's
+largest rows. Datasets are synthetic counterparts of the paper's
+recordings (see DESIGN.md), so absolute numbers differ; the shape —
+RRA << HOTSAX << brute force with high overlap — is the reproduced claim.`)
+}

@@ -1,0 +1,461 @@
+// Command gvfigures regenerates the paper's figures on the synthetic
+// dataset counterparts, writing one SVG per figure and printing a console
+// summary of the reproduced observation.
+//
+// Usage:
+//
+//	gvfigures -fig 2 -dir figures/   # one figure
+//	gvfigures -all  -dir figures/    # figures 1-12
+//
+// Figure map (paper -> output):
+//
+//	 1  video series + rule density curve
+//	 2  ECG 0606: series / density / NN distances
+//	 3  Dutch power demand: series / density / NN distances
+//	 4  power demand discord weeks vs a typical week
+//	 5  HOTSAX vs RRA discord ranking on the long ECG record
+//	 6  Hilbert curve illustration + the worked trajectory example
+//	 7  GPS commute: series / density / NN distances
+//	 8  2nd RRA trajectory discord (unique path), planar view
+//	 9  3rd RRA trajectory discord (skipped parking loop), planar view
+//	10  discretization parameter sweep: success regions of both detectors
+//	11  GrammarViz RRA view (ASCII): ranked variable-length discords
+//	12  GrammarViz density view (ASCII): density shading
+//	13  (extension) multiscale density vs a badly chosen single window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"grammarviz/internal/core"
+	"grammarviz/internal/datasets"
+	"grammarviz/internal/experiments"
+	"grammarviz/internal/hilbert"
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+	"grammarviz/internal/visual"
+)
+
+func main() {
+	var (
+		fig  = flag.Int("fig", 0, "figure number (1-12)")
+		all  = flag.Bool("all", false, "regenerate every figure")
+		dir  = flag.String("dir", ".", "output directory")
+		seed = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	figs := []int{*fig}
+	if *all {
+		figs = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	}
+	for _, n := range figs {
+		if err := render(n, *dir, *seed); err != nil {
+			fatal(fmt.Errorf("figure %d: %w", n, err))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gvfigures:", err)
+	os.Exit(1)
+}
+
+func render(fig int, dir string, seed int64) error {
+	switch fig {
+	case 1:
+		return densityFigure("video-gun", fig, dir, seed, false)
+	case 2:
+		return densityFigure("ecg0606", fig, dir, seed, true)
+	case 3:
+		return densityFigure("dutch-power-demand", fig, dir, seed, true)
+	case 4:
+		return figure4(dir, seed)
+	case 5:
+		return figure5(dir, seed)
+	case 6:
+		return figure6(dir)
+	case 7:
+		return figure7(dir, seed, false)
+	case 8, 9:
+		return figure89(fig, dir, seed)
+	case 10:
+		return figure10(dir, seed)
+	case 11:
+		return figure11(dir, seed)
+	case 12:
+		return figure12(dir, seed)
+	case 13:
+		return figure13(dir, seed)
+	}
+	return fmt.Errorf("unknown figure %d (know 1-13)", fig)
+}
+
+// densityFigure renders the three-panel layout of Figures 1-3.
+func densityFigure(dataset string, fig int, dir string, seed int64, withNN bool) error {
+	df, err := experiments.RunDensityFigure(dataset, 3, seed)
+	if err != nil {
+		return err
+	}
+	f := visual.NewFigure(960, 150)
+	var discordMarks []timeseries.Interval
+	for _, d := range df.Discords {
+		discordMarks = append(discordMarks, d.Interval)
+	}
+	f.AddSeries(fmt.Sprintf("%s (n=%d), planted anomalies shaded", dataset, len(df.Dataset.Series)),
+		df.Dataset.Series, "", df.Dataset.Truth, visual.ColorSecondary)
+	f.AddDensity(fmt.Sprintf("rule density %s — global minima shaded", df.Dataset.Params),
+		df.Pipeline.Density, df.Minima)
+	if withNN {
+		xs := make([]int, len(df.NN))
+		hs := make([]float64, len(df.NN))
+		for i, d := range df.NN {
+			xs[i] = d.Interval.Start
+			hs[i] = d.Dist
+		}
+		f.AddBars("non-self distance to nearest neighbour (rule subsequences)", len(df.Dataset.Series), xs, hs)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("fig%02d_%s.svg", fig, dataset))
+	if err := writeFigure(f, path); err != nil {
+		return err
+	}
+	fmt.Printf("fig %d (%s): density minima %v; best RRA discord %v (len %d); truth %v -> %s\n",
+		fig, dataset, df.Minima, df.Discords[0].Interval, df.Discords[0].Interval.Len(),
+		df.Dataset.Truth, path)
+	return nil
+}
+
+// figure4 zooms into the power-demand discord weeks.
+func figure4(dir string, seed int64) error {
+	df, err := experiments.RunDensityFigure("dutch-power-demand", 3, seed)
+	if err != nil {
+		return err
+	}
+	series := df.Dataset.Series
+	week := 7 * 96
+	f := visual.NewFigure(960, 120)
+	f.AddSeries("typical week", clip(series, 4*week, week), "", nil, "")
+	names := []string{"best discord", "second discord", "third discord"}
+	for i, d := range df.Discords {
+		start := d.Interval.Start / week * week // align to week boundary
+		f.AddSeries(fmt.Sprintf("%s: week of point %d (discord [%d,%d])",
+			names[i], start, d.Interval.Start, d.Interval.End),
+			clip(series, start, week), visual.ColorAnomaly, nil, "")
+	}
+	path := filepath.Join(dir, "fig04_power_weeks.svg")
+	if err := writeFigure(f, path); err != nil {
+		return err
+	}
+	fmt.Printf("fig 4: %d discord weeks rendered -> %s\n", len(df.Discords), path)
+	return nil
+}
+
+// figure5 compares discord rankings.
+func figure5(dir string, seed int64) error {
+	cmp, err := experiments.RunRanking("ecg300", 3, seed)
+	if err != nil {
+		return err
+	}
+	ds, err := datasets.Generate("ecg300")
+	if err != nil {
+		return err
+	}
+	f := visual.NewFigure(960, 110)
+	for _, p := range cmp.Pairs {
+		f.AddSeries(fmt.Sprintf("HOTSAX rank %d: [%d,%d] dist %.2f", p.Rank,
+			p.Hotsax.Interval.Start, p.Hotsax.Interval.End, p.Hotsax.Dist),
+			clipAround(ds.Series, p.Hotsax.Interval, 300), "", []timeseries.Interval{relative(p.Hotsax.Interval, 300)}, "")
+		f.AddSeries(fmt.Sprintf("RRA rank %d: [%d,%d] len %d norm-dist %.4f", p.Rank,
+			p.RRA.Interval.Start, p.RRA.Interval.End, p.RRA.Interval.Len(), p.RRA.Dist),
+			clipAround(ds.Series, p.RRA.Interval, 300), visual.ColorSecondary, []timeseries.Interval{relative(p.RRA.Interval, 300)}, "")
+	}
+	path := filepath.Join(dir, "fig05_ranking_ecg300.svg")
+	if err := writeFigure(f, path); err != nil {
+		return err
+	}
+	fmt.Printf("fig 5: same set = %v, same order = %v -> %s\n", cmp.SameSet, cmp.SameOrder, path)
+	for _, p := range cmp.Pairs {
+		fmt.Printf("  rank %d: HOTSAX [%d,%d] vs RRA [%d,%d] (len %d)\n", p.Rank,
+			p.Hotsax.Interval.Start, p.Hotsax.Interval.End,
+			p.RRA.Interval.Start, p.RRA.Interval.End, p.RRA.Interval.Len())
+	}
+	return nil
+}
+
+// figure6 prints the Hilbert illustration and worked example.
+func figure6(dir string) error {
+	c2, err := hilbert.New(2)
+	if err != nil {
+		return err
+	}
+	fmt.Println("fig 6: second-order Hilbert curve visit order (grid rows top to bottom):")
+	for y := int64(3); y >= 0; y-- {
+		for x := int64(0); x < 4; x++ {
+			d, err := c2.D(x, y)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%3d", d)
+		}
+		fmt.Println()
+	}
+	cells := [][2]int64{
+		{0, 0}, {0, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 2}, {1, 2},
+		{2, 2}, {3, 2}, {2, 1}, {2, 1}, {1, 1}, {1, 0}, {1, 0},
+	}
+	seq, err := hilbert.TransformCells(c2, cells)
+	if err != nil {
+		return err
+	}
+	fmt.Print("worked trajectory conversion (paper: {0,3,2,2,2,7,7,8,11,13,13,2,1,1}): {")
+	for i, v := range seq {
+		if i > 0 {
+			fmt.Print(",")
+		}
+		fmt.Print(int(v))
+	}
+	fmt.Println("}")
+
+	// SVG: the order-2 curve path.
+	f := visual.NewFigure(400, 380)
+	var pts []visual.ScatterPoint
+	for d := int64(0); d < c2.Cells(); d++ {
+		x, y, err := c2.XY(d)
+		if err != nil {
+			return err
+		}
+		pts = append(pts, visual.ScatterPoint{X: float64(x), Y: float64(y), Color: visual.ColorSeries})
+	}
+	f.AddScatter("order-2 Hilbert curve cells (visit order 0..15)", pts)
+	path := filepath.Join(dir, "fig06_hilbert.svg")
+	if err := writeFigure(f, path); err != nil {
+		return err
+	}
+	fmt.Println("fig 6 ->", path)
+	return nil
+}
+
+// figure7 is the trajectory density figure.
+func figure7(dir string, seed int64, quiet bool) error {
+	tf, err := experiments.RunTrajectory(seed)
+	if err != nil {
+		return err
+	}
+	df := tf.Figure
+	f := visual.NewFigure(960, 150)
+	f.AddSeries("Hilbert-transformed GPS commute (truth shaded: detour, fix loss, skipped loop)",
+		df.Dataset.Series, "", df.Dataset.Truth, visual.ColorSecondary)
+	f.AddDensity(fmt.Sprintf("rule density %s — global minima shaded", df.Dataset.Params),
+		df.Pipeline.Density, df.Minima)
+	xs := make([]int, len(df.NN))
+	hs := make([]float64, len(df.NN))
+	for i, d := range df.NN {
+		xs[i] = d.Interval.Start
+		hs[i] = d.Dist
+	}
+	f.AddBars("non-self distance to nearest neighbour", len(df.Dataset.Series), xs, hs)
+	path := filepath.Join(dir, "fig07_trajectory.svg")
+	if err := writeFigure(f, path); err != nil {
+		return err
+	}
+	fmt.Printf("fig 7: detour found by density = %v, fix loss is best RRA discord = %v -> %s\n",
+		tf.DetourHitByDensity, tf.FixLossHitByRRA, path)
+	return nil
+}
+
+// figure89 renders the planar trajectory with the 2nd or 3rd RRA discord
+// highlighted.
+func figure89(fig int, dir string, seed int64) error {
+	tf, err := experiments.RunTrajectory(seed)
+	if err != nil {
+		return err
+	}
+	rank := fig - 7 // fig 8 -> 2nd discord, fig 9 -> 3rd
+	if rank >= len(tf.Figure.Discords) {
+		return fmt.Errorf("only %d discords found", len(tf.Figure.Discords))
+	}
+	d := tf.Figure.Discords[rank]
+	f := visual.NewFigure(700, 620)
+	var pts []visual.ScatterPoint
+	for i, p := range tf.Data.Points {
+		color := "#cccccc"
+		if i >= d.Interval.Start && i <= d.Interval.End {
+			color = visual.ColorAnomaly
+		}
+		pts = append(pts, visual.ScatterPoint{X: p.X, Y: p.Y, Color: color})
+	}
+	f.AddScatter(fmt.Sprintf("commute track, RRA discord %d highlighted [%d,%d]",
+		rank+1, d.Interval.Start, d.Interval.End), pts)
+	path := filepath.Join(dir, fmt.Sprintf("fig%02d_trajectory_discord%d.svg", fig, rank+1))
+	if err := writeFigure(f, path); err != nil {
+		return err
+	}
+	fmt.Printf("fig %d: discord %d at [%d,%d] (len %d, rule %d, freq %d) -> %s\n",
+		fig, rank+1, d.Interval.Start, d.Interval.End, d.Interval.Len(), d.RuleID, d.Freq, path)
+	return nil
+}
+
+// figure10 runs the parameter sweep.
+func figure10(dir string, seed int64) error {
+	res, err := experiments.RunSweep("ecg0606", experiments.DefaultSweepGrid, seed)
+	if err != nil {
+		return err
+	}
+	f := visual.NewFigure(700, 300)
+	var densityPts, rraPts []visual.ScatterPoint
+	for _, pt := range res.Points {
+		dp := visual.ScatterPoint{X: pt.ApproxDist, Y: float64(pt.GrammarSize), Color: "#dddddd"}
+		rp := dp
+		if pt.DensityHit {
+			dp.Color = visual.ColorDensity
+		}
+		if pt.RRAHit {
+			rp.Color = visual.ColorAnomaly
+		}
+		densityPts = append(densityPts, dp)
+		rraPts = append(rraPts, rp)
+	}
+	f.AddScatter(fmt.Sprintf("rule-density success region (%d/%d combos)", res.DensityHits, res.Valid), densityPts)
+	f.AddScatter(fmt.Sprintf("RRA success region (%d/%d combos)", res.RRAHits, res.Valid), rraPts)
+	path := filepath.Join(dir, "fig10_parameter_sweep.svg")
+	if err := writeFigure(f, path); err != nil {
+		return err
+	}
+	ratio := float64(res.RRAHits) / float64(maxI(res.DensityHits, 1))
+	fmt.Printf("fig 10: density hits %d, RRA hits %d (ratio %.2fx; paper reports ~2x) of %d combos -> %s\n",
+		res.DensityHits, res.RRAHits, ratio, res.Valid, path)
+	return nil
+}
+
+// figure11 is the GrammarViz RRA table view, as ASCII.
+func figure11(dir string, seed int64) error {
+	df, err := experiments.RunDensityFigure("video-gun", 5, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("fig 11 (GrammarViz 2.0 RRA view, ASCII):")
+	fmt.Println(visual.Sparkline(df.Dataset.Series, 100))
+	var marks []timeseries.Interval
+	for _, d := range df.Discords {
+		marks = append(marks, d.Interval)
+	}
+	fmt.Println(visual.MarkRow(len(df.Dataset.Series), 100, marks))
+	fmt.Println("Rank  Position  Length  NN distance  Rule  Freq")
+	for i, d := range df.Discords {
+		fmt.Printf("%4d  %8d  %6d  %11.4f  %4d  %4d\n",
+			i, d.Interval.Start, d.Interval.Len(), d.Dist, d.RuleID, d.Freq)
+	}
+	// SVG companion.
+	f := visual.NewFigure(960, 150)
+	f.AddSeries("video dataset with RRA discords (variable lengths)", df.Dataset.Series, "", marks, "")
+	path := filepath.Join(dir, "fig11_grammarviz_rra.svg")
+	if err := writeFigure(f, path); err != nil {
+		return err
+	}
+	fmt.Println("fig 11 ->", path)
+	return nil
+}
+
+// figure12 is the GrammarViz density-shading view, as ASCII.
+func figure12(dir string, seed int64) error {
+	df, err := experiments.RunDensityFigure("video-gun", 1, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("fig 12 (GrammarViz 2.0 density view, ASCII; blank = white = anomaly):")
+	fmt.Println(visual.Sparkline(df.Dataset.Series, 100))
+	fmt.Println(visual.DensityShadeRow(df.Pipeline.Density, 100))
+	f := visual.NewFigure(960, 150)
+	f.AddSeries("video dataset", df.Dataset.Series, "", df.Minima, "")
+	f.AddDensity("rule density (white intervals = anomalies)", df.Pipeline.Density, df.Minima)
+	path := filepath.Join(dir, "fig12_grammarviz_density.svg")
+	if err := writeFigure(f, path); err != nil {
+		return err
+	}
+	fmt.Println("fig 12 ->", path)
+	return nil
+}
+
+// figure13 is an extension figure: the multiscale density curve keeps the
+// planted ECG anomaly at its minimum even when built from deliberately
+// mischosen windows, where a single badly-sized window's curve does not.
+func figure13(dir string, seed int64) error {
+	ds, err := datasets.Generate("ecg0606")
+	if err != nil {
+		return err
+	}
+	pipe, err := core.Analyze(ds.Series, core.Config{Params: sax.Params{Window: 400, PAA: 4, Alphabet: 4}, Seed: seed})
+	if err != nil {
+		return err
+	}
+	multi, err := core.MultiscaleDensity(ds.Series, []int{60, 120, 240, 400}, 4, 4, sax.ReductionExact)
+	if err != nil {
+		return err
+	}
+	multiMinima := core.MultiscaleMinima(multi, 400, 0.55)
+
+	f := visual.NewFigure(960, 140)
+	f.AddSeries("ecg0606 (true anomaly shaded)", ds.Series, "", ds.Truth, visual.ColorSecondary)
+	f.AddDensity("single window 400 (mischosen): rule density", pipe.Density, nil)
+	f.AddSeries("multiscale density over windows {60,120,240,400} (minima shaded)",
+		multi, visual.ColorDensity, multiMinima, visual.ColorAnomaly)
+	path := filepath.Join(dir, "fig13_multiscale.svg")
+	if err := writeFigure(f, path); err != nil {
+		return err
+	}
+	fmt.Printf("fig 13 (extension): multiscale minima %v vs truth %v -> %s\n",
+		multiMinima, ds.Truth, path)
+	return nil
+}
+
+func writeFigure(f *visual.Figure, path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Render(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+func clip(ts []float64, start, n int) []float64 {
+	if start < 0 {
+		start = 0
+	}
+	end := start + n
+	if end > len(ts) {
+		end = len(ts)
+	}
+	if start >= end {
+		return nil
+	}
+	return ts[start:end]
+}
+
+// clipAround extracts the interval plus pad points of context either side.
+func clipAround(ts []float64, iv timeseries.Interval, pad int) []float64 {
+	return clip(ts, iv.Start-pad, iv.Len()+2*pad)
+}
+
+// relative shifts iv into the coordinates of clipAround's output.
+func relative(iv timeseries.Interval, pad int) timeseries.Interval {
+	start := pad
+	if iv.Start-pad < 0 {
+		start = iv.Start
+	}
+	return timeseries.Interval{Start: start, End: start + iv.Len() - 1}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRenderFastFigures(t *testing.T) {
+	dir := t.TempDir()
+	// The fast figures: 2 (small ECG), 6 (pure Hilbert), 12 (density view).
+	for _, fig := range []int{2, 6, 12} {
+		if err := render(fig, dir, 1); err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("only %d SVGs written", len(entries))
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "<svg") {
+			t.Errorf("%s is not an SVG", e.Name())
+		}
+		if !strings.HasSuffix(e.Name(), ".svg") {
+			t.Errorf("unexpected file %s", e.Name())
+		}
+	}
+}
+
+func TestRenderUnknownFigure(t *testing.T) {
+	if err := render(99, t.TempDir(), 1); err == nil {
+		t.Error("unknown figure should error")
+	}
+	if err := render(0, t.TempDir(), 1); err == nil {
+		t.Error("figure 0 should error")
+	}
+}
+
+func TestClipHelpers(t *testing.T) {
+	ts := []float64{0, 1, 2, 3, 4, 5}
+	if got := clip(ts, 2, 2); len(got) != 2 || got[0] != 2 {
+		t.Errorf("clip = %v", got)
+	}
+	if got := clip(ts, -5, 3); len(got) != 3 || got[0] != 0 {
+		t.Errorf("clip negative start = %v", got)
+	}
+	if got := clip(ts, 4, 10); len(got) != 2 {
+		t.Errorf("clip past end = %v", got)
+	}
+	if got := clip(ts, 10, 2); got != nil {
+		t.Errorf("clip out of range = %v", got)
+	}
+}

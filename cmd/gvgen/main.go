@@ -1,0 +1,84 @@
+// Command gvgen generates the synthetic evaluation datasets (the stand-ins
+// for the paper's Table 1 recordings) as CSV files.
+//
+// Usage:
+//
+//	gvgen -list                          # list dataset names
+//	gvgen -dataset ecg0606 -out ecg.csv  # write a series
+//	gvgen -dataset ecg0606 -truth        # print ground-truth intervals
+//	gvgen -all -dir data/                # write every dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"grammarviz/internal/datasets"
+	"grammarviz/internal/timeseries"
+)
+
+func main() {
+	var (
+		name  = flag.String("dataset", "", "dataset name (see -list)")
+		out   = flag.String("out", "", "output CSV path (default <dataset>.csv)")
+		list  = flag.Bool("list", false, "list known dataset names")
+		truth = flag.Bool("truth", false, "print ground-truth anomaly intervals")
+		all   = flag.Bool("all", false, "generate every dataset")
+		dir   = flag.String("dir", ".", "output directory for -all")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range datasets.Names() {
+			ds, err := datasets.Generate(n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gvgen:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-20s %7d points, params %s, %d truth intervals\n",
+				n, len(ds.Series), ds.Params, len(ds.Truth))
+		}
+		return
+	}
+	if *all {
+		for _, n := range datasets.Names() {
+			if err := write(n, filepath.Join(*dir, n+".csv"), false); err != nil {
+				fmt.Fprintln(os.Stderr, "gvgen:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if *name == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := *out
+	if path == "" {
+		path = *name + ".csv"
+	}
+	if err := write(*name, path, *truth); err != nil {
+		fmt.Fprintln(os.Stderr, "gvgen:", err)
+		os.Exit(1)
+	}
+}
+
+func write(name, path string, printTruth bool) error {
+	ds, err := datasets.Generate(name)
+	if err != nil {
+		return err
+	}
+	if printTruth {
+		for i, iv := range ds.Truth {
+			fmt.Printf("truth %d: [%d,%d] len=%d\n", i+1, iv.Start, iv.End, iv.Len())
+		}
+		return nil
+	}
+	if err := timeseries.WriteCSVFile(path, ds.Series); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d points, recommended params %s\n", path, len(ds.Series), ds.Params)
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"grammarviz/internal/timeseries"
+)
+
+func TestWriteDataset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := write("tek16", path, false); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	ts, err := timeseries.ReadCSVFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if len(ts) != 5000 {
+		t.Errorf("got %d points", len(ts))
+	}
+}
+
+func TestWriteTruthOnly(t *testing.T) {
+	// -truth prints and must not create the file.
+	path := filepath.Join(t.TempDir(), "none.csv")
+	if err := write("tek16", path, true); err != nil {
+		t.Fatalf("write -truth: %v", err)
+	}
+	if _, err := timeseries.ReadCSVFile(path); err == nil {
+		t.Error("truth mode should not write the CSV")
+	}
+}
+
+func TestWriteUnknown(t *testing.T) {
+	if err := write("nope", filepath.Join(t.TempDir(), "x.csv"), false); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}

@@ -1,0 +1,35 @@
+// Package grammarviz discovers variable-length anomalies in time series
+// using grammar-based compression, implementing Senin et al., "Time series
+// anomaly discovery with grammar-based compression" (EDBT 2015).
+//
+// The pipeline discretizes the series with sliding-window SAX, induces a
+// context-free grammar over the resulting word sequence with Sequitur, and
+// maps every grammar rule back to the subsequences it derives. Because
+// Sequitur compresses exactly the recurrent structure, subsequences that
+// stay out of grammar rules are algorithmically incompressible —
+// Kolmogorov-random relative to the rest of the series — and correspond to
+// anomalies.
+//
+// Two detectors are provided:
+//
+//   - the rule density curve (approximate, linear time and space): the
+//     number of rules covering each point; intervals at the curve's
+//     minima are anomaly candidates;
+//   - RRA, Rare Rule Anomaly (exact): a discord search over the
+//     variable-length rule intervals, ordered by rule rarity, using the
+//     length-normalized Euclidean distance.
+//
+// # Quick start
+//
+//	det, err := grammarviz.New(series, grammarviz.Options{
+//		Window: 120, PAA: 4, Alphabet: 4,
+//	})
+//	if err != nil { ... }
+//	discords, err := det.Discords(3) // top-3 variable-length anomalies
+//
+// The fixed-length baselines the paper compares against (brute force and
+// HOTSAX) are exposed as BruteForceDiscords and HOTSAXDiscords; spatial
+// trajectories can be linearized with TrajectoryToSeries; and Stream
+// provides the left-to-right streaming variant sketched in the paper's
+// future work.
+package grammarviz

@@ -1,0 +1,112 @@
+package grammarviz_test
+
+import (
+	"fmt"
+	"math"
+
+	"grammarviz"
+)
+
+// signal builds a deterministic periodic series with one distorted cycle
+// at [600, 660).
+func signal() []float64 {
+	ts := make([]float64, 1200)
+	for i := range ts {
+		ts[i] = math.Sin(2 * math.Pi * float64(i) / 60)
+	}
+	for i := 600; i < 660; i++ {
+		ts[i] = math.Sin(4 * math.Pi * float64(i) / 60)
+	}
+	return ts
+}
+
+func ExampleNew() {
+	det, err := grammarviz.New(signal(), grammarviz.Options{
+		Window: 60, PAA: 6, Alphabet: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rules induced:", det.NumRules() > 0)
+	// Output:
+	// rules induced: true
+}
+
+func ExampleDetector_Discords() {
+	det, err := grammarviz.New(signal(), grammarviz.Options{
+		Window: 60, PAA: 6, Alphabet: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	discords, err := det.Discords(1)
+	if err != nil {
+		panic(err)
+	}
+	d := discords[0]
+	fmt.Println("overlaps planted anomaly:", d.Start < 660 && d.End >= 600)
+	// Output:
+	// overlaps planted anomaly: true
+}
+
+func ExampleDetector_GlobalMinima() {
+	det, err := grammarviz.New(signal(), grammarviz.Options{
+		Window: 60, PAA: 6, Alphabet: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	hit := false
+	for _, a := range det.GlobalMinima() {
+		if a.Start < 720 && a.End >= 540 {
+			hit = true
+		}
+	}
+	fmt.Println("density minimum at the anomaly:", hit)
+	// Output:
+	// density minimum at the anomaly: true
+}
+
+func ExampleNewStream() {
+	s, err := grammarviz.NewStream(grammarviz.Options{
+		Window: 60, PAA: 6, Alphabet: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	novel := 0
+	for i, v := range signal() {
+		if ev, ok := s.Append(v); ok && ev.Novelty == 1 && i > 300 {
+			novel++ // a shape never seen before, after warm-up
+		}
+	}
+	fmt.Println("novel shapes after warm-up:", novel > 0)
+	// Output:
+	// novel shapes after warm-up: true
+}
+
+func ExampleTrajectoryToSeries() {
+	// A square path on a 4x4 Hilbert grid (order 2).
+	xs := []float64{0, 0, 10, 10}
+	ys := []float64{0, 10, 10, 0}
+	series, err := grammarviz.TrajectoryToSeries(xs, ys, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(series)
+	// Output:
+	// [0 5 10 15]
+}
+
+func ExampleDetector_Motifs() {
+	det, err := grammarviz.New(signal(), grammarviz.Options{
+		Window: 60, PAA: 6, Alphabet: 4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	motifs := det.Motifs(1)
+	fmt.Println("top motif recurs:", motifs[0].Frequency >= 2)
+	// Output:
+	// top motif recurs: true
+}

@@ -1,0 +1,3 @@
+module grammarviz
+
+go 1.22

@@ -1,0 +1,330 @@
+package grammarviz
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"grammarviz/internal/core"
+	"grammarviz/internal/density"
+	"grammarviz/internal/grammar"
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+)
+
+// Reduction selects the numerosity-reduction strategy applied during
+// discretization. The default, ReduceExact, is the paper's strategy:
+// consecutive identical SAX words are recorded once.
+type Reduction int
+
+const (
+	// ReduceExact drops a window whose word equals the previous recorded
+	// word (the paper's default).
+	ReduceExact Reduction = iota
+	// ReduceNone records every window.
+	ReduceNone
+	// ReduceMINDIST drops a window whose word is within MINDIST 0 of the
+	// previous recorded word.
+	ReduceMINDIST
+)
+
+// Options configures a Detector. Window, PAA and Alphabet are the three
+// SAX discretization parameters the paper sweeps; see Section 5.2 for
+// guidance (pick Window near the phenomenon's cycle length — a heartbeat,
+// a week — and remember it only seeds the search: reported anomalies may
+// be shorter or longer).
+type Options struct {
+	Window   int // sliding window length (required)
+	PAA      int // SAX word length (required)
+	Alphabet int // SAX alphabet size (required, 2..26)
+
+	Reduction Reduction // numerosity reduction strategy; default ReduceExact
+	Seed      int64     // seed for the search heuristics' tie-breaking
+}
+
+// ErrShortSeries is returned when the series cannot accommodate the
+// requested window.
+var ErrShortSeries = errors.New("grammarviz: series shorter than window")
+
+// Detector is an analyzed time series: the induced grammar, the rule
+// density curve, and the machinery to answer anomaly queries. Create one
+// with New. A Detector is immutable and safe for concurrent readers.
+type Detector struct {
+	pipeline *core.Pipeline
+}
+
+// New analyzes ts and returns a ready Detector. The series is retained by
+// reference and must not be modified afterwards. NaN or infinite values
+// are rejected; use Interpolate to clean the series first.
+func New(ts []float64, opts Options) (*Detector, error) {
+	if opts.Window > len(ts) {
+		return nil, fmt.Errorf("%w: window=%d n=%d", ErrShortSeries, opts.Window, len(ts))
+	}
+	var red sax.Reduction
+	switch opts.Reduction {
+	case ReduceExact:
+		red = sax.ReductionExact
+	case ReduceNone:
+		red = sax.ReductionNone
+	case ReduceMINDIST:
+		red = sax.ReductionMINDIST
+	default:
+		return nil, fmt.Errorf("grammarviz: unknown reduction %d", opts.Reduction)
+	}
+	p, err := core.Analyze(ts, core.Config{
+		Params:    sax.Params{Window: opts.Window, PAA: opts.PAA, Alphabet: opts.Alphabet},
+		Reduction: red,
+		Seed:      opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("grammarviz: %w", err)
+	}
+	return &Detector{pipeline: p}, nil
+}
+
+// Interpolate returns a copy of ts with NaN and infinite values replaced
+// by linear interpolation between finite neighbours.
+func Interpolate(ts []float64) ([]float64, error) {
+	out := make([]float64, len(ts))
+	copy(out, ts)
+	return timeseries.Interpolate(out)
+}
+
+// Detrend returns a copy of ts with its centered moving average (window
+// points) subtracted. Use it before New when slow baseline wander rivals
+// the signal amplitude — per-window z-normalization handles level shifts,
+// but wander *within* a window distorts the SAX words.
+func Detrend(ts []float64, window int) ([]float64, error) {
+	out, err := timeseries.Detrend(ts, window)
+	if err != nil {
+		return nil, fmt.Errorf("grammarviz: %w", err)
+	}
+	return out, nil
+}
+
+// Series returns the analyzed series (shared, do not modify).
+func (d *Detector) Series() []float64 { return d.pipeline.TS }
+
+// RuleDensity returns the rule density curve: for every point of the
+// series, the number of grammar-rule subsequences covering it. The curve
+// is built in linear time and space (Section 4.1). The returned slice is
+// shared; do not modify it.
+func (d *Detector) RuleDensity() []int { return d.pipeline.Density }
+
+// DensityAnomalies returns the intervals whose rule density stays below
+// threshold, ranked most anomalous (lowest mean density) first. Intervals
+// shorter than minLen points are dropped; pass 0 to keep all. This is the
+// approximate, distance-free detector.
+func (d *Detector) DensityAnomalies(threshold, minLen int) []Anomaly {
+	raw := d.pipeline.DensityAnomalies(threshold, minLen)
+	out := make([]Anomaly, len(raw))
+	for i, a := range raw {
+		out[i] = Anomaly{
+			Start:       a.Interval.Start,
+			End:         a.Interval.End,
+			MeanDensity: a.MeanRule,
+			MinDensity:  a.MinRule,
+		}
+	}
+	return out
+}
+
+// GlobalMinima returns the intervals where the rule density curve reaches
+// its global minimum, excluding one window length at each edge of the
+// series (edge points are covered by fewer windows for reasons unrelated
+// to anomalousness).
+func (d *Detector) GlobalMinima() []Anomaly {
+	minima := d.pipeline.GlobalMinima()
+	out := make([]Anomaly, len(minima))
+	for i, iv := range minima {
+		v := float64(d.pipeline.Density[iv.Start])
+		out[i] = Anomaly{Start: iv.Start, End: iv.End, MeanDensity: v, MinDensity: int(v)}
+	}
+	return out
+}
+
+// SurpriseAnomalies scores the rule density curve statistically: each
+// point gets the -log10 probability (under a Poisson model of the curve's
+// own mean coverage) of being as poorly covered as observed, and the
+// maximal intervals at or above minSurprise are returned ranked by peak
+// surprise. minSurprise 3 means p < 10^-3; intervals shorter than minLen
+// are dropped (0 keeps all); one window at each series edge is excluded.
+// This is the "statistically sound criterion" refinement Section 4.1 of
+// the paper suggests over a fixed threshold.
+func (d *Detector) SurpriseAnomalies(minSurprise float64, minLen int) []SurpriseAnomaly {
+	scores := density.Surprise(d.pipeline.Density)
+	margin := d.pipeline.Config.Params.Window - 1
+	raw := density.SurpriseAnomalies(scores, minSurprise, minLen, margin)
+	out := make([]SurpriseAnomaly, len(raw))
+	for i, a := range raw {
+		out[i] = SurpriseAnomaly{
+			Start:    a.Interval.Start,
+			End:      a.Interval.End,
+			Surprise: a.Peak,
+		}
+	}
+	return out
+}
+
+// Discords runs the RRA search (Section 4.2) and returns the top-k
+// variable-length discords, best first. Each discord's Distance is the
+// length-normalized Euclidean distance (Eq. 1) to its nearest non-self
+// match. Later discords exclude the regions of earlier ones.
+func (d *Detector) Discords(k int) ([]Discord, error) {
+	res, err := d.pipeline.Discords(k)
+	if err != nil {
+		return nil, fmt.Errorf("grammarviz: %w", err)
+	}
+	return convertDiscords(res.Discords), nil
+}
+
+// DiscordsWithStats is Discords plus the number of distance-function calls
+// the search made — the paper's Table 1 efficiency metric.
+func (d *Detector) DiscordsWithStats(k int) ([]Discord, int64, error) {
+	res, err := d.pipeline.Discords(k)
+	if err != nil {
+		return nil, 0, fmt.Errorf("grammarviz: %w", err)
+	}
+	return convertDiscords(res.Discords), res.DistCalls, nil
+}
+
+// NumRules returns the number of grammar rules induced (excluding the
+// root).
+func (d *Detector) NumRules() int { return d.pipeline.Rules.NumRules() }
+
+// GrammarSize returns the total number of symbols on all rule right-hand
+// sides — a measure of how compressible the discretized series is.
+func (d *Detector) GrammarSize() int { return d.pipeline.GrammarSize() }
+
+// Grammar returns the induced grammar in the paper's printable form, one
+// rule per line ("R1 -> aac abc ...").
+func (d *Detector) Grammar() string { return d.pipeline.Grammar.String() }
+
+// Rules returns a summary of every induced rule mapped onto the series.
+func (d *Detector) Rules() []Rule {
+	return convertRules(d.pipeline.Rules.Records)
+}
+
+// Motif is a recurring variable-length pattern: a grammar rule with high
+// usage frequency, the inverse of an anomaly (Section 3.5 — "anomaly
+// detection can be viewed as the inverse problem to motif discovery").
+type Motif struct {
+	RuleID      int
+	Frequency   int        // number of occurrences
+	MeanLen     float64    // mean occurrence length in points
+	Occurrences []Interval // where the motif appears
+}
+
+// Motifs returns the top-k most frequent grammar rules as variable-length
+// motifs, most frequent first (ties: longer mean length first). This is
+// the GrammarViz motif-discovery mode the paper builds on [Li, Lin, Oates
+// 2012]; it costs nothing extra — the grammar already encodes every
+// recurring pattern.
+func (d *Detector) Motifs(k int) []Motif {
+	recs := d.pipeline.Rules.Records
+	idx := make([]int, len(recs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ra, rb := recs[idx[a]], recs[idx[b]]
+		if ra.Frequency != rb.Frequency {
+			return ra.Frequency > rb.Frequency
+		}
+		return ra.MeanLen > rb.MeanLen
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	out := make([]Motif, 0, k)
+	for _, i := range idx[:k] {
+		rec := recs[i]
+		m := Motif{RuleID: rec.ID, Frequency: rec.Frequency, MeanLen: rec.MeanLen}
+		m.Occurrences = make([]Interval, len(rec.Occurrences))
+		for j, iv := range rec.Occurrences {
+			m.Occurrences[j] = Interval{Start: iv.Start, End: iv.End}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// PrunedRules returns the rules that survive GrammarViz 2.0's greedy
+// coverage pruning: rules are kept largest-new-coverage first until no
+// rule adds at least minGain uncovered points (minGain <= 0 selects 1).
+// Pruning is for inspection and display — the detectors always use the
+// full rule set.
+func (d *Detector) PrunedRules(minGain int) []Rule {
+	return convertRules(grammar.Prune(d.pipeline.Rules, minGain).Records)
+}
+
+func convertRules(recs []grammar.RuleRecord) []Rule {
+	out := make([]Rule, len(recs))
+	for i, rec := range recs {
+		r := Rule{
+			ID:        rec.ID,
+			Body:      rec.Str,
+			Expanded:  rec.Expanded,
+			Frequency: rec.Frequency,
+			MinLen:    rec.MinLen,
+			MaxLen:    rec.MaxLen,
+			MeanLen:   rec.MeanLen,
+		}
+		r.Occurrences = make([]Interval, len(rec.Occurrences))
+		for j, iv := range rec.Occurrences {
+			r.Occurrences[j] = Interval{Start: iv.Start, End: iv.End}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Words returns the recorded SAX words with their series offsets, after
+// numerosity reduction.
+func (d *Detector) Words() []Word {
+	ws := d.pipeline.Disc.Words
+	out := make([]Word, len(ws))
+	for i, w := range ws {
+		out[i] = Word{Str: w.Str, Offset: w.Offset}
+	}
+	return out
+}
+
+// zeroDensityShare reports the fraction of points never covered by a rule;
+// used by diagnostics.
+func (d *Detector) zeroDensityShare() float64 {
+	zero := 0
+	for _, v := range d.pipeline.Density {
+		if v == 0 {
+			zero++
+		}
+	}
+	return float64(zero) / float64(len(d.pipeline.Density))
+}
+
+// Diagnostics summarizes how well the discretization captured structure —
+// the quantities the paper's Section 5.2 suggests inspecting when choosing
+// parameters.
+type Diagnostics struct {
+	Words          int     // recorded words after numerosity reduction
+	RawWindows     int     // windows before reduction
+	ReductionRatio float64 // fraction of windows removed by reduction
+	NumRules       int
+	GrammarSize    int
+	ApproxDistance float64 // mean SAX reconstruction error per window
+	ZeroDensity    float64 // fraction of points covered by no rule
+}
+
+// Diagnose computes discretization-quality diagnostics.
+func (d *Detector) Diagnose() Diagnostics {
+	approx, _ := core.ApproximationDistance(d.pipeline.TS, d.pipeline.Config.Params)
+	return Diagnostics{
+		Words:          len(d.pipeline.Disc.Words),
+		RawWindows:     d.pipeline.Disc.Raw,
+		ReductionRatio: d.pipeline.Disc.ReductionRatio(),
+		NumRules:       d.NumRules(),
+		GrammarSize:    d.GrammarSize(),
+		ApproxDistance: approx,
+		ZeroDensity:    d.zeroDensityShare(),
+	}
+}

@@ -1,0 +1,506 @@
+package grammarviz
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// testSeries builds a noisy sine with a planted frequency-burst anomaly.
+func testSeries(n int, period float64, at, length int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = math.Sin(2*math.Pi*float64(i)/period) + rng.NormFloat64()*0.02
+	}
+	for i := at; i < at+length && i < n; i++ {
+		ts[i] = math.Sin(4*math.Pi*float64(i)/period) + rng.NormFloat64()*0.02
+	}
+	return ts
+}
+
+func newTestDetector(t *testing.T) (*Detector, Interval) {
+	t.Helper()
+	ts := testSeries(1800, 60, 900, 60, 1)
+	det, err := New(ts, Options{Window: 60, PAA: 6, Alphabet: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return det, Interval{Start: 840, End: 1020}
+}
+
+func TestNewValidation(t *testing.T) {
+	ts := testSeries(500, 50, 250, 50, 2)
+	tests := []struct {
+		name string
+		opts Options
+	}{
+		{"window too large", Options{Window: 1000, PAA: 4, Alphabet: 4}},
+		{"zero window", Options{Window: 0, PAA: 4, Alphabet: 4}},
+		{"paa exceeds window", Options{Window: 10, PAA: 20, Alphabet: 4}},
+		{"alphabet too small", Options{Window: 50, PAA: 5, Alphabet: 1}},
+		{"bad reduction", Options{Window: 50, PAA: 5, Alphabet: 4, Reduction: Reduction(9)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(ts, tt.opts); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestNewRejectsNaN(t *testing.T) {
+	ts := testSeries(500, 50, 250, 50, 3)
+	ts[7] = math.NaN()
+	if _, err := New(ts, Options{Window: 50, PAA: 5, Alphabet: 4}); err == nil {
+		t.Error("NaN should be rejected")
+	}
+	clean, err := Interpolate(ts)
+	if err != nil {
+		t.Fatalf("Interpolate: %v", err)
+	}
+	if _, err := New(clean, Options{Window: 50, PAA: 5, Alphabet: 4}); err != nil {
+		t.Errorf("after Interpolate: %v", err)
+	}
+	if math.IsNaN(ts[7]) == false {
+		t.Error("Interpolate must not modify its input")
+	}
+}
+
+func TestDetectorDiscords(t *testing.T) {
+	det, truth := newTestDetector(t)
+	discords, err := det.Discords(2)
+	if err != nil {
+		t.Fatalf("Discords: %v", err)
+	}
+	if len(discords) == 0 {
+		t.Fatal("no discords")
+	}
+	if !discords[0].Interval().Overlaps(truth) {
+		t.Errorf("best discord %v misses planted %v", discords[0].Interval(), truth)
+	}
+	if discords[0].Distance <= 0 {
+		t.Errorf("Distance = %v", discords[0].Distance)
+	}
+	if got := discords[0].Len(); got != discords[0].End-discords[0].Start+1 {
+		t.Errorf("Len = %d", got)
+	}
+	if s := discords[0].String(); !strings.Contains(s, "discord") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestDetectorDiscordsWithStats(t *testing.T) {
+	det, _ := newTestDetector(t)
+	_, calls, err := det.DiscordsWithStats(1)
+	if err != nil {
+		t.Fatalf("DiscordsWithStats: %v", err)
+	}
+	if calls <= 0 {
+		t.Errorf("calls = %d", calls)
+	}
+	bfCalls := BruteForceCallCount(len(det.Series()), 60)
+	if calls >= bfCalls {
+		t.Errorf("RRA calls %d >= brute force %d", calls, bfCalls)
+	}
+}
+
+func TestDetectorDensity(t *testing.T) {
+	det, truth := newTestDetector(t)
+	curve := det.RuleDensity()
+	if len(curve) != len(det.Series()) {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	minima := det.GlobalMinima()
+	if len(minima) == 0 {
+		t.Fatal("no minima")
+	}
+	hit := false
+	for _, a := range minima {
+		if a.Interval().Overlaps(truth) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("minima %v miss planted %v", minima, truth)
+	}
+	anoms := det.DensityAnomalies(1<<30, 0)
+	if len(anoms) == 0 {
+		t.Error("huge threshold should return intervals")
+	}
+	if got := det.DensityAnomalies(0, 0); len(got) != 0 {
+		t.Errorf("zero threshold returned %v", got)
+	}
+}
+
+func TestDetectorGrammarAccessors(t *testing.T) {
+	det, _ := newTestDetector(t)
+	if det.NumRules() == 0 {
+		t.Error("NumRules = 0 on periodic data")
+	}
+	if det.GrammarSize() <= 0 {
+		t.Error("GrammarSize <= 0")
+	}
+	if !strings.Contains(det.Grammar(), "R0 ->") {
+		t.Error("Grammar() missing root")
+	}
+	rules := det.Rules()
+	if len(rules) != det.NumRules() {
+		t.Errorf("Rules() len %d != NumRules %d", len(rules), det.NumRules())
+	}
+	for _, r := range rules {
+		if r.Frequency != len(r.Occurrences) {
+			t.Errorf("R%d frequency %d != %d occurrences", r.ID, r.Frequency, len(r.Occurrences))
+		}
+		if r.Frequency < 2 {
+			t.Errorf("R%d used %d times", r.ID, r.Frequency)
+		}
+	}
+	words := det.Words()
+	if len(words) == 0 {
+		t.Error("no words")
+	}
+	for i := 1; i < len(words); i++ {
+		if words[i].Offset <= words[i-1].Offset {
+			t.Fatal("word offsets not increasing")
+		}
+	}
+}
+
+func TestDetectorDiagnose(t *testing.T) {
+	det, _ := newTestDetector(t)
+	diag := det.Diagnose()
+	if diag.Words <= 0 || diag.RawWindows < diag.Words {
+		t.Errorf("diagnostics words: %+v", diag)
+	}
+	if diag.ReductionRatio <= 0 || diag.ReductionRatio >= 1 {
+		t.Errorf("ReductionRatio = %v", diag.ReductionRatio)
+	}
+	if diag.ApproxDistance <= 0 {
+		t.Errorf("ApproxDistance = %v", diag.ApproxDistance)
+	}
+	if diag.ZeroDensity < 0 || diag.ZeroDensity > 1 {
+		t.Errorf("ZeroDensity = %v", diag.ZeroDensity)
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	ts := testSeries(900, 45, 450, 45, 4)
+	truth := Interval{Start: 400, End: 545}
+
+	bf, bfCalls, err := BruteForceDiscords(ts, 45, 1)
+	if err != nil {
+		t.Fatalf("BruteForceDiscords: %v", err)
+	}
+	if !bf[0].Interval().Overlaps(truth) {
+		t.Errorf("brute force %v misses %v", bf[0].Interval(), truth)
+	}
+	hs, hsCalls, err := HOTSAXDiscords(ts, 45, 3, 3, 1, 1)
+	if err != nil {
+		t.Fatalf("HOTSAXDiscords: %v", err)
+	}
+	if math.Abs(hs[0].Distance-bf[0].Distance) > 1e-9 {
+		t.Errorf("HOTSAX dist %v != brute force %v", hs[0].Distance, bf[0].Distance)
+	}
+	if hsCalls >= bfCalls {
+		t.Errorf("HOTSAX calls %d >= brute force %d", hsCalls, bfCalls)
+	}
+	if bfCalls != BruteForceCallCount(900, 45) {
+		t.Errorf("analytic count mismatch: %d vs %d", bfCalls, BruteForceCallCount(900, 45))
+	}
+}
+
+func TestBaselineErrors(t *testing.T) {
+	if _, _, err := BruteForceDiscords([]float64{1, 2}, 10, 1); err == nil {
+		t.Error("oversize window should error")
+	}
+	if _, _, err := HOTSAXDiscords([]float64{1, 2}, 10, 4, 4, 1, 1); err == nil {
+		t.Error("oversize window should error")
+	}
+}
+
+func TestTrajectoryToSeries(t *testing.T) {
+	xs := []float64{0, 0, 10, 10}
+	ys := []float64{0, 10, 10, 0}
+	got, err := TrajectoryToSeries(xs, ys, 2)
+	if err != nil {
+		t.Fatalf("TrajectoryToSeries: %v", err)
+	}
+	want := []float64{0, 5, 10, 15}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("series = %v, want %v", got, want)
+		}
+	}
+	if _, err := TrajectoryToSeries(xs, ys[:2], 2); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := TrajectoryToSeries(xs, ys, 0); err == nil {
+		t.Error("bad order should error")
+	}
+}
+
+func TestStreamAPI(t *testing.T) {
+	ts := testSeries(1200, 60, 600, 60, 5)
+	s, err := NewStream(Options{Window: 60, PAA: 6, Alphabet: 4})
+	if err != nil {
+		t.Fatalf("NewStream: %v", err)
+	}
+	events := 0
+	for _, v := range ts {
+		if _, ok := s.Append(v); ok {
+			events++
+		}
+	}
+	if events == 0 {
+		t.Fatal("no stream events")
+	}
+	if s.Len() != len(ts) {
+		t.Errorf("Len = %d", s.Len())
+	}
+	anoms, err := s.Anomalies()
+	if err != nil {
+		t.Fatalf("Anomalies: %v", err)
+	}
+	if len(anoms) == 0 {
+		t.Error("no anomalies from stream snapshot")
+	}
+	curve, err := s.RuleDensity()
+	if err != nil {
+		t.Fatalf("RuleDensity: %v", err)
+	}
+	if len(curve) != len(ts) {
+		t.Errorf("curve length %d", len(curve))
+	}
+	// Stream and batch agree.
+	det, err := New(ts, Options{Window: 60, PAA: 6, Alphabet: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	batch := det.RuleDensity()
+	for i := range curve {
+		if curve[i] != batch[i] {
+			t.Fatalf("stream density differs from batch at %d", i)
+		}
+	}
+}
+
+func TestStreamAPIErrors(t *testing.T) {
+	if _, err := NewStream(Options{Window: 10, PAA: 40, Alphabet: 4}); err == nil {
+		t.Error("bad params should error")
+	}
+	if _, err := NewStream(Options{Window: 10, PAA: 4, Alphabet: 4, Reduction: Reduction(7)}); err == nil {
+		t.Error("bad reduction should error")
+	}
+	s, _ := NewStream(Options{Window: 100, PAA: 4, Alphabet: 4})
+	if _, err := s.Anomalies(); err == nil {
+		t.Error("snapshot of empty stream should error")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	a := Interval{Start: 0, End: 9}
+	if a.Len() != 10 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	if !a.Overlaps(Interval{Start: 9, End: 20}) || a.Overlaps(Interval{Start: 10, End: 20}) {
+		t.Error("Overlaps wrong")
+	}
+	if a.String() != "[0,9]" {
+		t.Errorf("String = %q", a.String())
+	}
+	an := Anomaly{Start: 3, End: 7}
+	if an.Len() != 5 || an.Interval() != (Interval{Start: 3, End: 7}) {
+		t.Error("Anomaly helpers wrong")
+	}
+}
+
+func TestMultiscaleDensityAPI(t *testing.T) {
+	ts := testSeries(1800, 60, 900, 60, 13)
+	curve, err := MultiscaleDensity(ts, []int{30, 60, 120}, 5, 4)
+	if err != nil {
+		t.Fatalf("MultiscaleDensity: %v", err)
+	}
+	anoms := MultiscaleAnomalies(curve, 120, 0.2)
+	if len(anoms) == 0 {
+		t.Fatal("no multiscale anomalies")
+	}
+	planted := Interval{Start: 840, End: 1020}
+	hit := false
+	for _, a := range anoms {
+		if a.Overlaps(planted) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("multiscale anomalies %v miss %v", anoms, planted)
+	}
+	if _, err := MultiscaleDensity(ts, nil, 5, 4); err == nil {
+		t.Error("no windows should error")
+	}
+}
+
+func TestPrunedRules(t *testing.T) {
+	det, _ := newTestDetector(t)
+	full := det.Rules()
+	pruned := det.PrunedRules(1)
+	if len(pruned) == 0 {
+		t.Fatal("pruning removed all rules")
+	}
+	if len(pruned) > len(full) {
+		t.Errorf("pruned %d > full %d", len(pruned), len(full))
+	}
+	// Every pruned rule must exist in the full set with identical fields.
+	byID := map[int]Rule{}
+	for _, r := range full {
+		byID[r.ID] = r
+	}
+	for _, r := range pruned {
+		orig, ok := byID[r.ID]
+		if !ok {
+			t.Fatalf("pruned rule R%d not in full set", r.ID)
+		}
+		if orig.Body != r.Body || orig.Frequency != r.Frequency {
+			t.Errorf("pruned rule R%d differs from original", r.ID)
+		}
+	}
+}
+
+func TestSurpriseAnomaliesAPI(t *testing.T) {
+	det, truth := newTestDetector(t)
+	anoms := det.SurpriseAnomalies(2, 0)
+	if len(anoms) == 0 {
+		t.Fatal("no surprise anomalies")
+	}
+	if !anoms[0].Interval().Overlaps(truth) {
+		t.Errorf("top surprise anomaly %v misses %v", anoms[0].Interval(), truth)
+	}
+	for i := 1; i < len(anoms); i++ {
+		if anoms[i].Surprise > anoms[i-1].Surprise {
+			t.Error("surprise anomalies not ranked")
+		}
+	}
+	// A very high bar returns nothing.
+	if got := det.SurpriseAnomalies(1e9, 0); len(got) != 0 {
+		t.Errorf("impossible bar returned %v", got)
+	}
+}
+
+func TestVizTreeAndWCADBaselines(t *testing.T) {
+	ts := testSeries(1800, 60, 600, 60, 17)
+	truth := Interval{Start: 540, End: 720}
+
+	vz, err := VizTreeAnomalies(ts, 60, 5, 4, 3)
+	if err != nil {
+		t.Fatalf("VizTreeAnomalies: %v", err)
+	}
+	if len(vz) == 0 {
+		t.Fatal("no viztree anomalies")
+	}
+	if !(Interval{Start: vz[0].Start, End: vz[0].End}).Overlaps(truth) {
+		t.Errorf("viztree top anomaly [%d,%d] misses %v", vz[0].Start, vz[0].End, truth)
+	}
+	if vz[0].Count < 1 || vz[0].Word == "" {
+		t.Errorf("viztree anomaly fields: %+v", vz[0])
+	}
+
+	wc, err := WCADScores(ts, 60, 12, 5)
+	if err != nil {
+		t.Fatalf("WCADScores: %v", err)
+	}
+	if len(wc) != 30 {
+		t.Fatalf("wcad chunks = %d", len(wc))
+	}
+	if !(Interval{Start: wc[0].Start, End: wc[0].End}).Overlaps(truth) {
+		t.Errorf("wcad top chunk [%d,%d] misses %v", wc[0].Start, wc[0].End, truth)
+	}
+
+	if _, err := VizTreeAnomalies([]float64{1}, 60, 5, 4, 3); err == nil {
+		t.Error("short series should error")
+	}
+	if _, err := WCADScores([]float64{1}, 60, 12, 5); err == nil {
+		t.Error("short series should error")
+	}
+}
+
+func TestDetrendAPI(t *testing.T) {
+	// A series whose baseline wander dwarfs the signal: detection works
+	// after Detrend.
+	n := 2400
+	ts := make([]float64, n)
+	for i := range ts {
+		x := float64(i)
+		ts[i] = math.Sin(2*math.Pi*x/60) + 6*math.Sin(2*math.Pi*x/1100)
+	}
+	for i := 1200; i < 1260; i++ {
+		ts[i] = 6*math.Sin(2*math.Pi*float64(i)/1100) + 0.2
+	}
+	flat, err := Detrend(ts, 121)
+	if err != nil {
+		t.Fatalf("Detrend: %v", err)
+	}
+	if ts[0] == flat[0] && ts[600] == flat[600] {
+		t.Error("Detrend returned the input unchanged")
+	}
+	det, err := New(flat, Options{Window: 60, PAA: 6, Alphabet: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	discords, err := det.Discords(2)
+	if err != nil {
+		t.Fatalf("Discords: %v", err)
+	}
+	// The noiseless series-head interval can rank first (a boundary
+	// artifact the experiments harness documents); the planted anomaly
+	// must be in the top two.
+	planted := Interval{Start: 1140, End: 1320}
+	hit := false
+	for _, d := range discords {
+		if d.Interval().Overlaps(planted) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("discords %v miss planted %v after detrending", discords, planted)
+	}
+	if _, err := Detrend(ts, 0); err == nil {
+		t.Error("zero window should error")
+	}
+}
+
+func TestMotifs(t *testing.T) {
+	det, truth := newTestDetector(t)
+	motifs := det.Motifs(3)
+	if len(motifs) == 0 {
+		t.Fatal("no motifs on periodic data")
+	}
+	for i := 1; i < len(motifs); i++ {
+		if motifs[i].Frequency > motifs[i-1].Frequency {
+			t.Error("motifs not ranked by frequency")
+		}
+	}
+	top := motifs[0]
+	if top.Frequency < 3 {
+		t.Errorf("top motif frequency = %d on a periodic signal", top.Frequency)
+	}
+	if len(top.Occurrences) != top.Frequency {
+		t.Errorf("occurrences %d != frequency %d", len(top.Occurrences), top.Frequency)
+	}
+	// The top motif is the repeated normal pattern — most of its
+	// occurrences must be outside the anomaly.
+	outside := 0
+	for _, iv := range top.Occurrences {
+		if !iv.Overlaps(truth) {
+			outside++
+		}
+	}
+	if outside*2 < len(top.Occurrences) {
+		t.Errorf("top motif mostly overlaps the anomaly: %d/%d outside", outside, len(top.Occurrences))
+	}
+	// k larger than the rule count clamps.
+	if got := det.Motifs(10_000); len(got) != det.NumRules() {
+		t.Errorf("Motifs(big) = %d, want %d", len(got), det.NumRules())
+	}
+}

@@ -1,0 +1,166 @@
+// Package autoparam suggests SAX discretization parameters from the data,
+// addressing the paper's primary future-work direction ("analyze the
+// effect of the discretization parameters on the algorithm's ability to
+// discover contextually meaningful patterns", Section 7).
+//
+// The window suggestion finds the series' dominant cycle length via the
+// autocorrelation function — the paper's own heuristic ("the length of a
+// heartbeat ... a weekly duration", Section 5.2) made automatic. The PAA
+// and alphabet suggestion picks the smallest values whose SAX
+// reconstruction error is within a tolerance of the best achievable on a
+// small grid, favouring coarse (more compressible) discretizations.
+package autoparam
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"grammarviz/internal/core"
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+)
+
+// ErrNoPeriod is returned when no autocorrelation peak stands out — the
+// series has no usable dominant cycle.
+var ErrNoPeriod = errors.New("autoparam: no dominant period found")
+
+// ACF computes the autocorrelation of ts at lags 1..maxLag of the
+// mean-centered series, normalized by the lag-0 variance. The result has
+// length maxLag (index i = lag i+1).
+func ACF(ts []float64, maxLag int) ([]float64, error) {
+	n := len(ts)
+	if n < 4 {
+		return nil, fmt.Errorf("%w: series too short (%d)", timeseries.ErrEmpty, n)
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 1 {
+		return nil, fmt.Errorf("autoparam: maxLag must be >= 1")
+	}
+	mean := timeseries.Mean(ts)
+	var c0 float64
+	centered := make([]float64, n)
+	for i, v := range ts {
+		centered[i] = v - mean
+		c0 += centered[i] * centered[i]
+	}
+	if c0 == 0 {
+		return nil, fmt.Errorf("%w: constant series", ErrNoPeriod)
+	}
+	out := make([]float64, maxLag)
+	for lag := 1; lag <= maxLag; lag++ {
+		var sum float64
+		for i := 0; i+lag < n; i++ {
+			sum += centered[i] * centered[i+lag]
+		}
+		out[lag-1] = sum / c0
+	}
+	return out, nil
+}
+
+// DominantPeriod returns the lag of the strongest local autocorrelation
+// peak in [minLag, maxLag]. A peak must be a local maximum with
+// correlation at least minCorr (pass 0 for the default 0.1).
+func DominantPeriod(ts []float64, minLag, maxLag int, minCorr float64) (int, error) {
+	if minCorr <= 0 {
+		minCorr = 0.1
+	}
+	if minLag < 2 {
+		minLag = 2
+	}
+	acf, err := ACF(ts, maxLag)
+	if err != nil {
+		return 0, err
+	}
+	bestLag, bestVal := 0, minCorr
+	for lag := minLag; lag <= len(acf); lag++ {
+		v := acf[lag-1]
+		// Local maximum check against neighbours (when present).
+		if lag-2 >= 1 && acf[lag-2] > v {
+			continue
+		}
+		if lag < len(acf) && acf[lag] > v {
+			continue
+		}
+		if v > bestVal {
+			bestVal = v
+			bestLag = lag
+		}
+	}
+	if bestLag == 0 {
+		return 0, ErrNoPeriod
+	}
+	return bestLag, nil
+}
+
+// Suggestion is a recommended discretization with its diagnostics.
+type Suggestion struct {
+	Params sax.Params
+	// Period is the detected dominant cycle length (= Params.Window).
+	Period float64
+	// ApproxDist is the SAX reconstruction error of the suggestion.
+	ApproxDist float64
+}
+
+// Suggest recommends (window, PAA, alphabet) for ts: the window is the
+// dominant autocorrelation period, and PAA/alphabet are the coarsest pair
+// on a small grid whose reconstruction error is within 15% of the grid's
+// best. Suggest is a starting point, not an oracle — the paper's
+// detectors are designed to tolerate imperfect parameters (Figure 10).
+func Suggest(ts []float64) (Suggestion, error) {
+	maxLag := len(ts) / 2
+	if maxLag > 2000 {
+		maxLag = 2000
+	}
+	period, err := DominantPeriod(ts, 4, maxLag, 0)
+	if err != nil {
+		return Suggestion{}, err
+	}
+	s := Suggestion{Period: float64(period)}
+	window := period
+	if window > len(ts)/2 {
+		window = len(ts) / 2
+	}
+
+	type cand struct {
+		paa, alphabet int
+		dist          float64
+	}
+	var cands []cand
+	best := math.Inf(1)
+	for _, paa := range []int{3, 4, 5, 6, 8, 10} {
+		if paa > window {
+			continue
+		}
+		for _, a := range []int{3, 4, 5, 6} {
+			p := sax.Params{Window: window, PAA: paa, Alphabet: a}
+			d, err := core.ApproximationDistance(ts, p)
+			if err != nil {
+				continue
+			}
+			cands = append(cands, cand{paa, a, d})
+			if d < best {
+				best = d
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return Suggestion{}, fmt.Errorf("autoparam: no feasible PAA/alphabet for window %d", window)
+	}
+	// Coarsest within tolerance: candidates are generated coarse-first,
+	// so the first acceptable one wins.
+	for _, c := range cands {
+		if c.dist <= best*1.15 {
+			s.Params = sax.Params{Window: window, PAA: c.paa, Alphabet: c.alphabet}
+			s.ApproxDist = c.dist
+			return s, nil
+		}
+	}
+	// Unreachable: the best candidate always satisfies the tolerance.
+	c := cands[0]
+	s.Params = sax.Params{Window: window, PAA: c.paa, Alphabet: c.alphabet}
+	s.ApproxDist = c.dist
+	return s, nil
+}

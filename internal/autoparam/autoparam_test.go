@@ -1,0 +1,150 @@
+package autoparam
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"grammarviz/internal/datasets"
+)
+
+func sine(n int, period float64, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = math.Sin(2*math.Pi*float64(i)/period) + rng.NormFloat64()*noise
+	}
+	return ts
+}
+
+func TestACFBasics(t *testing.T) {
+	ts := sine(400, 40, 0, 1)
+	acf, err := ACF(ts, 100)
+	if err != nil {
+		t.Fatalf("ACF: %v", err)
+	}
+	if len(acf) != 100 {
+		t.Fatalf("len = %d", len(acf))
+	}
+	// Correlation at the period is high, at the half-period strongly negative.
+	if acf[39] < 0.8 {
+		t.Errorf("acf[lag 40] = %v, want > 0.8", acf[39])
+	}
+	if acf[19] > -0.5 {
+		t.Errorf("acf[lag 20] = %v, want < -0.5", acf[19])
+	}
+}
+
+func TestACFErrors(t *testing.T) {
+	if _, err := ACF([]float64{1, 2}, 5); err == nil {
+		t.Error("short series should error")
+	}
+	if _, err := ACF(make([]float64, 100), 10); !errors.Is(err, ErrNoPeriod) {
+		t.Errorf("constant series err = %v", err)
+	}
+	if _, err := ACF(sine(50, 10, 0, 1), 0); err == nil {
+		t.Error("maxLag 0 should error")
+	}
+	// maxLag clamped to n-1.
+	acf, err := ACF(sine(20, 5, 0, 1), 100)
+	if err != nil || len(acf) != 19 {
+		t.Errorf("clamped ACF len = %d err = %v", len(acf), err)
+	}
+}
+
+func TestDominantPeriod(t *testing.T) {
+	tests := []struct {
+		name   string
+		period float64
+		noise  float64
+		tol    int
+	}{
+		{"clean 40", 40, 0, 1},
+		{"noisy 40", 40, 0.2, 2},
+		{"clean 77", 77, 0, 2},
+		{"noisy 120", 120, 0.3, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ts := sine(int(tt.period*12), tt.period, tt.noise, 7)
+			got, err := DominantPeriod(ts, 4, len(ts)/2, 0)
+			if err != nil {
+				t.Fatalf("DominantPeriod: %v", err)
+			}
+			if got < int(tt.period)-tt.tol || got > int(tt.period)+tt.tol {
+				t.Errorf("period = %d, want %v±%d", got, tt.period, tt.tol)
+			}
+		})
+	}
+}
+
+func TestDominantPeriodNoPeriod(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ts := make([]float64, 500)
+	for i := range ts {
+		ts[i] = rng.NormFloat64()
+	}
+	if _, err := DominantPeriod(ts, 4, 250, 0.3); !errors.Is(err, ErrNoPeriod) {
+		t.Errorf("white noise err = %v, want ErrNoPeriod", err)
+	}
+}
+
+func TestSuggestOnSine(t *testing.T) {
+	ts := sine(1200, 60, 0.05, 5)
+	s, err := Suggest(ts)
+	if err != nil {
+		t.Fatalf("Suggest: %v", err)
+	}
+	if s.Params.Window < 55 || s.Params.Window > 65 {
+		t.Errorf("window = %d, want ~60", s.Params.Window)
+	}
+	if err := s.Params.Validate(len(ts)); err != nil {
+		t.Errorf("suggested params invalid: %v", err)
+	}
+	if s.ApproxDist <= 0 {
+		t.Errorf("ApproxDist = %v", s.ApproxDist)
+	}
+}
+
+func TestSuggestOnECG(t *testing.T) {
+	ds, err := datasets.Generate("ecg0606")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Suggest(ds.Series)
+	if err != nil {
+		t.Fatalf("Suggest: %v", err)
+	}
+	// The beat length is 120; the suggestion should land close, like the
+	// paper's hand-picked window.
+	if s.Params.Window < 100 || s.Params.Window > 140 {
+		t.Errorf("window = %d, want ~120", s.Params.Window)
+	}
+}
+
+func TestSuggestOnPowerDemand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long series")
+	}
+	ds, err := datasets.Generate("dutch-power-demand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Suggest(ds.Series)
+	if err != nil {
+		t.Fatalf("Suggest: %v", err)
+	}
+	// Dominant period is the day (96) or the week (672); either is a
+	// defensible seed. The ACF cap is 2000 so the week is reachable.
+	w := s.Params.Window
+	if !(w >= 90 && w <= 102 || w >= 650 && w <= 700) {
+		t.Errorf("window = %d, want ~96 (day) or ~672 (week)", w)
+	}
+}
+
+func TestSuggestErrors(t *testing.T) {
+	if _, err := Suggest(make([]float64, 100)); err == nil {
+		t.Error("constant series should error")
+	}
+}

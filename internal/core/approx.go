@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+
+	"grammarviz/internal/paa"
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+)
+
+// ApproximationDistance measures how much information the discretization
+// destroys: the mean Euclidean distance between each z-normalized window
+// and its SAX reconstruction (each PAA segment replaced by the mid-point
+// value of its letter's breakpoint region). It is the x-axis of the
+// paper's Figure 10 parameter-selection study — small values mean the
+// symbolic space preserves the signal's regularities.
+func ApproximationDistance(ts []float64, p sax.Params) (float64, error) {
+	if err := p.Validate(len(ts)); err != nil {
+		return 0, err
+	}
+	cuts, err := sax.Breakpoints(p.Alphabet)
+	if err != nil {
+		return 0, err
+	}
+	mids := letterMidpoints(cuts)
+
+	zn := make([]float64, p.Window)
+	segs := make([]float64, p.PAA)
+	segLen := float64(p.Window) / float64(p.PAA)
+
+	var total float64
+	count := 0
+	for start := 0; start+p.Window <= len(ts); start++ {
+		timeseries.ZNormalizeInto(zn, ts[start:start+p.Window], timeseries.DefaultNormThreshold)
+		if err := paa.TransformInto(segs, zn); err != nil {
+			return 0, err
+		}
+		var sum float64
+		for i, v := range zn {
+			seg := int(float64(i) / segLen)
+			if seg >= p.PAA {
+				seg = p.PAA - 1
+			}
+			rec := mids[sax.Letter(cuts, segs[seg])]
+			d := v - rec
+			sum += d * d
+		}
+		total += math.Sqrt(sum)
+		count++
+	}
+	return total / float64(count), nil
+}
+
+// letterMidpoints returns a representative value for each letter region:
+// the midpoint between its breakpoints, with the open-ended outer regions
+// represented by their inner breakpoint offset by half the neighbouring
+// region's width (a pragmatic finite stand-in for the region median).
+func letterMidpoints(cuts []float64) []float64 {
+	a := len(cuts) + 1
+	mids := make([]float64, a)
+	if a == 2 {
+		mids[0], mids[1] = -0.7, 0.7 // ±median of a standard normal half
+		return mids
+	}
+	for i := 1; i < a-1; i++ {
+		mids[i] = (cuts[i-1] + cuts[i]) / 2
+	}
+	firstWidth := cuts[1] - cuts[0]
+	mids[0] = cuts[0] - firstWidth/2
+	lastWidth := cuts[len(cuts)-1] - cuts[len(cuts)-2]
+	mids[a-1] = cuts[len(cuts)-1] + lastWidth/2
+	return mids
+}

@@ -1,0 +1,93 @@
+// Package core wires the paper's pipeline together: sliding-window SAX
+// discretization → Sequitur grammar induction → rule-to-interval mapping →
+// the two detectors (rule density curve, Section 4.1; RRA discord search,
+// Section 4.2). It is the engine behind the library's public API.
+package core
+
+import (
+	"fmt"
+
+	"grammarviz/internal/density"
+	"grammarviz/internal/discord"
+	"grammarviz/internal/grammar"
+	"grammarviz/internal/sax"
+	"grammarviz/internal/sequitur"
+	"grammarviz/internal/timeseries"
+)
+
+// Config selects the discretization parameters and the determinism seed
+// for the heuristic orderings.
+type Config struct {
+	Params    sax.Params
+	Reduction sax.Reduction // default ReductionExact (the paper's strategy)
+	Seed      int64         // seeds the random tie-breaking in HOTSAX/RRA
+}
+
+// Pipeline holds every intermediate product of one analysis run, so the
+// detectors, the visualization, and the experiment harness can share work.
+type Pipeline struct {
+	TS      []float64
+	Config  Config
+	Disc    *sax.Discretization
+	Grammar *sequitur.Grammar
+	Rules   *grammar.RuleSet
+	Density []int // the rule density curve
+}
+
+// Analyze runs discretization, grammar induction, rule mapping and density
+// construction on ts. The returned Pipeline retains ts (not a copy).
+func Analyze(ts []float64, cfg Config) (*Pipeline, error) {
+	if timeseries.HasNaN(ts) {
+		return nil, fmt.Errorf("core: series contains NaN/Inf; call timeseries.Interpolate first")
+	}
+	d, err := sax.Discretize(ts, cfg.Params, cfg.Reduction)
+	if err != nil {
+		return nil, fmt.Errorf("core: discretize: %w", err)
+	}
+	g := sequitur.Induce(d.Strings())
+	rs, err := grammar.Build(d, g)
+	if err != nil {
+		return nil, fmt.Errorf("core: map rules: %w", err)
+	}
+	return &Pipeline{
+		TS:      ts,
+		Config:  cfg,
+		Disc:    d,
+		Grammar: g,
+		Rules:   rs,
+		Density: density.Curve(rs),
+	}, nil
+}
+
+// GlobalMinima returns the intervals where the rule density curve reaches
+// its global minimum — the paper's primary approximate anomaly report.
+// One window length at each end of the series is excluded: edge points are
+// covered by fewer sliding windows, which depresses their density for
+// reasons unrelated to anomalousness.
+func (p *Pipeline) GlobalMinima() []timeseries.Interval {
+	return density.GlobalMinimaMargin(p.Density, p.Config.Params.Window-1)
+}
+
+// DensityAnomalies returns the ranked density-based anomaly candidates
+// with density below threshold, dropping intervals shorter than minLen
+// (0 keeps all).
+func (p *Pipeline) DensityAnomalies(threshold, minLen int) []density.Anomaly {
+	return density.Detect(p.Density, threshold, minLen)
+}
+
+// Discords runs the RRA search for the top-k variable-length discords.
+func (p *Pipeline) Discords(k int) (discord.Result, error) {
+	return discord.RRA(p.TS, p.Rules, k, p.Config.Seed)
+}
+
+// NearestNonSelf returns the true nearest-non-self-match distance of every
+// rule-corresponding subsequence (the bottom panels of Figures 2 and 3).
+// The scans are independent per candidate, so they run on all CPUs; the
+// result is identical to a serial computation.
+func (p *Pipeline) NearestNonSelf() []discord.Discord {
+	return discord.NearestNonSelfParallel(p.TS, p.Rules, 0)
+}
+
+// GrammarSize returns the total number of right-hand-side symbols across
+// all rules — the grammar-size axis of Figure 10.
+func (p *Pipeline) GrammarSize() int { return p.Rules.Size() }

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+)
+
+func plantedSeries(n int, period float64, at, length int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = math.Sin(2*math.Pi*float64(i)/period) + rng.NormFloat64()*0.02
+	}
+	for i := at; i < at+length && i < n; i++ {
+		ts[i] = math.Sin(4*math.Pi*float64(i)/period) + rng.NormFloat64()*0.02
+	}
+	return ts
+}
+
+func TestAnalyzePipeline(t *testing.T) {
+	ts := plantedSeries(1500, 60, 900, 60, 1)
+	p, err := Analyze(ts, Config{Params: sax.Params{Window: 60, PAA: 6, Alphabet: 4}})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(p.Density) != len(ts) {
+		t.Errorf("density length %d != series %d", len(p.Density), len(ts))
+	}
+	if p.Rules.NumRules() == 0 {
+		t.Error("no rules induced on periodic data")
+	}
+	if p.GrammarSize() <= 0 {
+		t.Error("GrammarSize not positive")
+	}
+	if err := p.Grammar.Verify(p.Disc.Strings()); err != nil {
+		t.Errorf("grammar invariant violated: %v", err)
+	}
+}
+
+func TestAnalyzeRejectsNaN(t *testing.T) {
+	ts := plantedSeries(500, 50, 200, 50, 2)
+	ts[100] = math.NaN()
+	if _, err := Analyze(ts, Config{Params: sax.Params{Window: 50, PAA: 5, Alphabet: 4}}); err == nil {
+		t.Error("NaN input should be rejected")
+	}
+}
+
+func TestAnalyzeBadParams(t *testing.T) {
+	ts := plantedSeries(100, 20, 50, 20, 3)
+	if _, err := Analyze(ts, Config{Params: sax.Params{Window: 500, PAA: 5, Alphabet: 4}}); err == nil {
+		t.Error("oversize window should error")
+	}
+}
+
+func TestPipelineDetectorsAgreeOnPlant(t *testing.T) {
+	at, length := 900, 60
+	ts := plantedSeries(1800, 60, at, length, 4)
+	p, err := Analyze(ts, Config{Params: sax.Params{Window: 60, PAA: 6, Alphabet: 4}, Seed: 4})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	planted := timeseries.Interval{Start: at - 60, End: at + length + 60}
+
+	hitDensity := false
+	for _, iv := range p.GlobalMinima() {
+		if iv.Overlaps(planted) {
+			hitDensity = true
+		}
+	}
+	if !hitDensity {
+		t.Errorf("density minima %v miss planted %v", p.GlobalMinima(), planted)
+	}
+
+	res, err := p.Discords(1)
+	if err != nil {
+		t.Fatalf("Discords: %v", err)
+	}
+	if !res.Discords[0].Interval.Overlaps(planted) {
+		t.Errorf("RRA discord %v misses planted %v", res.Discords[0].Interval, planted)
+	}
+}
+
+func TestDensityAnomaliesThreshold(t *testing.T) {
+	ts := plantedSeries(1500, 60, 900, 60, 5)
+	p, err := Analyze(ts, Config{Params: sax.Params{Window: 60, PAA: 6, Alphabet: 4}})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	all := p.DensityAnomalies(1<<30, 0) // everything is below a huge threshold
+	if len(all) == 0 {
+		t.Fatal("expected at least one interval")
+	}
+	none := p.DensityAnomalies(0, 0) // nothing is below zero
+	if len(none) != 0 {
+		t.Errorf("threshold 0 returned %d anomalies", len(none))
+	}
+}
+
+func TestNearestNonSelfSmoke(t *testing.T) {
+	ts := plantedSeries(900, 60, 450, 60, 6)
+	p, err := Analyze(ts, Config{Params: sax.Params{Window: 60, PAA: 6, Alphabet: 4}})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	nns := p.NearestNonSelf()
+	if len(nns) == 0 {
+		t.Error("no nearest-non-self records")
+	}
+}
+
+func TestApproximationDistance(t *testing.T) {
+	ts := plantedSeries(800, 40, 400, 40, 7)
+	// Finer discretization must approximate better (smaller distance).
+	coarse, err := ApproximationDistance(ts, sax.Params{Window: 40, PAA: 2, Alphabet: 2})
+	if err != nil {
+		t.Fatalf("coarse: %v", err)
+	}
+	fine, err := ApproximationDistance(ts, sax.Params{Window: 40, PAA: 10, Alphabet: 10})
+	if err != nil {
+		t.Fatalf("fine: %v", err)
+	}
+	if fine >= coarse {
+		t.Errorf("fine approx distance %v >= coarse %v", fine, coarse)
+	}
+	if fine < 0 || coarse < 0 {
+		t.Error("distances must be non-negative")
+	}
+	if _, err := ApproximationDistance(ts, sax.Params{Window: 4000, PAA: 4, Alphabet: 4}); err == nil {
+		t.Error("bad params should error")
+	}
+}
+
+func TestLetterMidpointsMonotone(t *testing.T) {
+	for a := 2; a <= 12; a++ {
+		cuts, err := sax.Breakpoints(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mids := letterMidpoints(cuts)
+		if len(mids) != a {
+			t.Fatalf("a=%d: %d midpoints", a, len(mids))
+		}
+		for i := 1; i < len(mids); i++ {
+			if mids[i] <= mids[i-1] {
+				t.Errorf("a=%d: midpoints not increasing: %v", a, mids)
+			}
+		}
+		// Each midpoint must map back to its own letter.
+		for i, m := range mids {
+			if got := sax.Letter(cuts, m); int(got) != i {
+				t.Errorf("a=%d: midpoint %d maps to letter %d", a, i, got)
+			}
+		}
+	}
+}
+
+func TestAnalyzeReductionPassThrough(t *testing.T) {
+	ts := plantedSeries(900, 60, 450, 60, 21)
+	params := sax.Params{Window: 60, PAA: 6, Alphabet: 4}
+	exact, err := Analyze(ts, Config{Params: params}) // zero value = EXACT
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := Analyze(ts, Config{Params: params, Reduction: sax.ReductionNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Disc.Words) >= len(none.Disc.Words) {
+		t.Errorf("EXACT (%d words) should record fewer than NONE (%d)",
+			len(exact.Disc.Words), len(none.Disc.Words))
+	}
+	if none.Disc.Raw != len(none.Disc.Words) {
+		t.Errorf("NONE must keep every window: raw %d vs words %d",
+			none.Disc.Raw, len(none.Disc.Words))
+	}
+}
+
+func TestPipelineRetainsSeriesByReference(t *testing.T) {
+	ts := plantedSeries(600, 60, 300, 60, 22)
+	p, err := Analyze(ts, Config{Params: sax.Params{Window: 60, PAA: 6, Alphabet: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p.TS[0] != &ts[0] {
+		t.Error("pipeline should retain the series by reference (documented)")
+	}
+}

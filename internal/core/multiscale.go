@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+)
+
+// MultiscaleDensity builds a parameter-robust variant of the rule density
+// curve: the pipeline is run once per window length, each curve is
+// normalized to [0, 1] by its own maximum, and the normalized curves are
+// averaged. A point that stays incompressible across scales scores near
+// zero everywhere, so the combined curve suppresses the single-window
+// failure modes the paper's Figure 10 exposes. This is an extension in
+// the spirit of the paper's future-work section, not a paper algorithm.
+//
+// The returned curve has one value per series point, in [0, 1].
+func MultiscaleDensity(ts []float64, windows []int, paa, alphabet int, red sax.Reduction) ([]float64, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("core: no windows given")
+	}
+	combined := make([]float64, len(ts))
+	used := 0
+	for _, w := range windows {
+		p := sax.Params{Window: w, PAA: paa, Alphabet: alphabet}
+		if p.Validate(len(ts)) != nil {
+			continue
+		}
+		pipe, err := Analyze(ts, Config{Params: p, Reduction: red})
+		if err != nil {
+			continue
+		}
+		max := 0
+		for _, v := range pipe.Density {
+			if v > max {
+				max = v
+			}
+		}
+		if max == 0 {
+			continue
+		}
+		inv := 1 / float64(max)
+		for i, v := range pipe.Density {
+			combined[i] += float64(v) * inv
+		}
+		used++
+	}
+	if used == 0 {
+		return nil, fmt.Errorf("core: no window produced a usable density curve")
+	}
+	inv := 1 / float64(used)
+	for i := range combined {
+		combined[i] *= inv
+	}
+	return combined, nil
+}
+
+// MultiscaleMinima reports the maximal intervals whose combined density
+// stays below the given fraction of the curve's mean (e.g. 0.2), ignoring
+// margin points at each edge. It is the thresholded detector for
+// MultiscaleDensity curves.
+func MultiscaleMinima(curve []float64, margin int, fraction float64) []timeseries.Interval {
+	if margin < 0 {
+		margin = 0
+	}
+	if 2*margin >= len(curve) {
+		return nil
+	}
+	inner := curve[margin : len(curve)-margin]
+	var sum float64
+	for _, v := range inner {
+		sum += v
+	}
+	threshold := sum / float64(len(inner)) * fraction
+
+	var out []timeseries.Interval
+	start := -1
+	for i, v := range inner {
+		switch {
+		case v <= threshold && start < 0:
+			start = i
+		case v > threshold && start >= 0:
+			out = append(out, timeseries.Interval{Start: start + margin, End: i - 1 + margin})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, timeseries.Interval{Start: start + margin, End: len(inner) - 1 + margin})
+	}
+	return out
+}

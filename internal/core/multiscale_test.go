@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+)
+
+func TestMultiscaleDensityFindsAnomaly(t *testing.T) {
+	at, length := 900, 60
+	ts := plantedSeries(1800, 60, at, length, 9)
+	curve, err := MultiscaleDensity(ts, []int{30, 60, 120}, 5, 4, sax.ReductionExact)
+	if err != nil {
+		t.Fatalf("MultiscaleDensity: %v", err)
+	}
+	if len(curve) != len(ts) {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for _, v := range curve {
+		if v < 0 || v > 1 {
+			t.Fatalf("curve value %v outside [0,1]", v)
+		}
+	}
+	minima := MultiscaleMinima(curve, 120, 0.2)
+	if len(minima) == 0 {
+		t.Fatal("no multiscale minima")
+	}
+	planted := timeseries.Interval{Start: at - 60, End: at + length + 60}
+	hit := false
+	for _, m := range minima {
+		if m.Overlaps(planted) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("minima %v miss planted %v", minima, planted)
+	}
+}
+
+func TestMultiscaleDensitySkipsBadWindows(t *testing.T) {
+	ts := plantedSeries(600, 60, 300, 60, 10)
+	// One invalid window (too big) must be skipped, not fail the call.
+	curve, err := MultiscaleDensity(ts, []int{60, 100000}, 5, 4, sax.ReductionExact)
+	if err != nil {
+		t.Fatalf("MultiscaleDensity: %v", err)
+	}
+	if len(curve) != len(ts) {
+		t.Fatal("bad curve length")
+	}
+}
+
+func TestMultiscaleDensityErrors(t *testing.T) {
+	ts := plantedSeries(600, 60, 300, 60, 11)
+	if _, err := MultiscaleDensity(ts, nil, 5, 4, sax.ReductionExact); err == nil {
+		t.Error("no windows should error")
+	}
+	if _, err := MultiscaleDensity(ts, []int{100000}, 5, 4, sax.ReductionExact); err == nil {
+		t.Error("all-invalid windows should error")
+	}
+}
+
+func TestMultiscaleMinimaEdgeCases(t *testing.T) {
+	if got := MultiscaleMinima([]float64{0, 0}, 5, 0.2); got != nil {
+		t.Errorf("oversize margin = %v", got)
+	}
+	// Run reaching the inner end is closed properly.
+	curve := []float64{1, 1, 0, 0}
+	got := MultiscaleMinima(curve, 0, 0.2)
+	if len(got) != 1 || got[0] != (timeseries.Interval{Start: 2, End: 3}) {
+		t.Errorf("minima = %v", got)
+	}
+}

@@ -1,0 +1,55 @@
+// Package datasets provides deterministic synthetic generators shaped
+// after every dataset in the paper's evaluation (Section 5, Table 1):
+// electrocardiograms, the Dutch power demand record, the gun-draw video
+// track, respiration, Space-Shuttle Marotta-valve telemetry, and the GPS
+// commute trajectory. Each generator plants anomalies at known positions
+// so experiments have exact ground truth — the substitution for the
+// proprietary/clinical recordings the paper used (see DESIGN.md §3).
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+)
+
+// Dataset is a generated series with ground truth and the discretization
+// parameters the paper used for its real counterpart.
+type Dataset struct {
+	Name   string
+	Series []float64
+	// Truth holds the planted anomaly intervals, most prominent first.
+	Truth  []timeseries.Interval
+	Params sax.Params // the paper's (window, PAA, alphabet) for this dataset
+}
+
+// TruthHit reports whether iv overlaps any ground-truth interval, allowing
+// slack points of tolerance on each side of the truth intervals.
+func (d *Dataset) TruthHit(iv timeseries.Interval, slack int) bool {
+	for _, tr := range d.Truth {
+		widened := timeseries.Interval{Start: tr.Start - slack, End: tr.End + slack}
+		if iv.Overlaps(widened) {
+			return true
+		}
+	}
+	return false
+}
+
+// gaussian returns the value of a Gaussian bump centered at mu with the
+// given width and amplitude.
+func gaussian(x, mu, width, amp float64) float64 {
+	d := (x - mu) / width
+	return amp * math.Exp(-d*d/2)
+}
+
+// addNoise adds i.i.d. Gaussian noise of the given std in place.
+func addNoise(ts []float64, std float64, rng *rand.Rand) {
+	if std <= 0 {
+		return
+	}
+	for i := range ts {
+		ts[i] += rng.NormFloat64() * std
+	}
+}

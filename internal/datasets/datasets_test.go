@@ -1,0 +1,193 @@
+package datasets
+
+import (
+	"testing"
+
+	"grammarviz/internal/timeseries"
+)
+
+func TestGenerateAllKnown(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			d, err := Generate(name)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if d.Name != name {
+				t.Errorf("Name = %q", d.Name)
+			}
+			if len(d.Series) < 1000 {
+				t.Errorf("series too short: %d", len(d.Series))
+			}
+			if timeseries.HasNaN(d.Series) {
+				t.Error("series contains NaN/Inf")
+			}
+			if err := d.Params.Validate(len(d.Series)); err != nil {
+				t.Errorf("params invalid for series: %v", err)
+			}
+			if len(d.Truth) == 0 {
+				t.Error("no ground truth planted")
+			}
+			for _, iv := range d.Truth {
+				if !iv.Valid(len(d.Series)) {
+					t.Errorf("truth interval %v out of bounds (n=%d)", iv, len(d.Series))
+				}
+			}
+			// Signal must not be constant.
+			s, err := timeseries.Describe(d.Series)
+			if err != nil || s.Std == 0 {
+				t.Errorf("degenerate series: %+v err=%v", s, err)
+			}
+		})
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nope"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("ecg0606")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("ecg0606")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Series) != len(b.Series) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Series {
+		if a.Series[i] != b.Series[i] {
+			t.Fatalf("series differ at %d", i)
+		}
+	}
+	if len(a.Truth) != len(b.Truth) || a.Truth[0] != b.Truth[0] {
+		t.Error("truth differs between runs")
+	}
+}
+
+func TestECGAnomalyChangesShape(t *testing.T) {
+	clean := ECG(ECGOptions{N: 3000, BeatLen: 150, Jitter: 0, Noise: 0, Anomalies: 0, Seed: 1})
+	if len(clean.Truth) != 0 {
+		t.Errorf("clean ECG has truth %v", clean.Truth)
+	}
+	dirty := ECG(ECGOptions{N: 3000, BeatLen: 150, Jitter: 0, Noise: 0, Anomalies: 1, Seed: 1})
+	if len(dirty.Truth) != 1 {
+		t.Fatalf("dirty ECG truth = %v", dirty.Truth)
+	}
+	iv := dirty.Truth[0]
+	differs := false
+	for i := iv.Start; i <= iv.End; i++ {
+		if clean.Series[i] != dirty.Series[i] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("planted anomaly did not change the signal")
+	}
+	// Outside the anomaly (plus one beat of slack) the signals agree.
+	for i := 0; i < iv.Start-150; i++ {
+		if clean.Series[i] != dirty.Series[i] {
+			t.Fatalf("signal differs before anomaly at %d", i)
+		}
+	}
+}
+
+func TestPowerDemandHolidays(t *testing.T) {
+	d := PowerDemand(PowerOptions{
+		Weeks: 4, PerDay: 96, Noise: 0,
+		Holidays: []Holiday{{Week: 1, Day: 2}},
+		Seed:     1,
+	})
+	if len(d.Truth) != 1 {
+		t.Fatalf("truth = %v", d.Truth)
+	}
+	iv := d.Truth[0]
+	wantStart := (7 + 2) * 96
+	if iv.Start != wantStart || iv.Len() != 96 {
+		t.Errorf("holiday interval %v, want start %d len 96", iv, wantStart)
+	}
+	// Holiday day stays at base load; the matching weekday next week peaks.
+	holidayMax, normalMax := 0.0, 0.0
+	for i := 0; i < 96; i++ {
+		if v := d.Series[iv.Start+i]; v > holidayMax {
+			holidayMax = v
+		}
+		if v := d.Series[iv.Start+7*96+i]; v > normalMax {
+			normalMax = v
+		}
+	}
+	if holidayMax > 0.5*normalMax {
+		t.Errorf("holiday peak %v not suppressed vs normal %v", holidayMax, normalMax)
+	}
+}
+
+func TestTruthHit(t *testing.T) {
+	d := &Dataset{Truth: []timeseries.Interval{{Start: 100, End: 199}}}
+	if !d.TruthHit(timeseries.Interval{Start: 150, End: 160}, 0) {
+		t.Error("direct hit missed")
+	}
+	if !d.TruthHit(timeseries.Interval{Start: 210, End: 220}, 15) {
+		t.Error("slack hit missed")
+	}
+	if d.TruthHit(timeseries.Interval{Start: 300, End: 310}, 10) {
+		t.Error("false hit")
+	}
+}
+
+func TestTrajectoryStructure(t *testing.T) {
+	td, err := Trajectory(TrajectoryOptions{
+		Days: 5, PointsPerLeg: 200, GPSNoise: 0.5, HilbertOrder: 8, Seed: 9,
+	})
+	if err != nil {
+		t.Fatalf("Trajectory: %v", err)
+	}
+	if len(td.Series) != len(td.Points) {
+		t.Errorf("series %d points %d", len(td.Series), len(td.Points))
+	}
+	if len(td.Truth) != 3 {
+		t.Fatalf("truth = %v, want detour/fixloss/skiploop", td.Truth)
+	}
+	for i, iv := range td.Truth {
+		if !iv.Valid(len(td.Series)) {
+			t.Errorf("truth %d = %v out of bounds", i, iv)
+		}
+	}
+	// Truth events must not overlap each other.
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if td.Truth[i].Overlaps(td.Truth[j]) {
+				t.Errorf("truth %d and %d overlap: %v %v", i, j, td.Truth[i], td.Truth[j])
+			}
+		}
+	}
+	// Hilbert values stay within the curve's range.
+	for _, v := range td.Series {
+		if v < 0 || v >= 65536 {
+			t.Fatalf("Hilbert value %v out of range", v)
+		}
+	}
+	if _, err := Trajectory(TrajectoryOptions{Days: 2, PointsPerLeg: 10, HilbertOrder: 0}); err == nil {
+		t.Error("bad Hilbert order should error")
+	}
+}
+
+func TestVideoAndTelemetryAndRespirationTruthShapes(t *testing.T) {
+	v := Video(VideoOptions{N: 6000, CycleLen: 300, Noise: 0.5, Anomalies: 2, Seed: 3})
+	if len(v.Truth) != 2 {
+		t.Errorf("video truth = %v", v.Truth)
+	}
+	tk := Telemetry(TelemetryOptions{N: 5000, CycleLen: 500, Noise: 0.01, Anomalies: 1, Seed: 3})
+	if len(tk.Truth) != 1 {
+		t.Errorf("telemetry truth = %v", tk.Truth)
+	}
+	r := Respiration(RespirationOptions{N: 8000, BreathLen: 64, Noise: 0.01, Anomalies: 2, Seed: 3})
+	if len(r.Truth) != 2 {
+		t.Errorf("respiration truth = %v", r.Truth)
+	}
+}

@@ -1,0 +1,179 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"grammarviz/internal/timeseries"
+)
+
+// ECGOptions controls the synthetic electrocardiogram generator.
+type ECGOptions struct {
+	N         int     // series length in samples
+	BeatLen   int     // nominal samples per heartbeat
+	Jitter    float64 // fractional RR-interval jitter (e.g. 0.03)
+	Noise     float64 // additive noise std
+	Wander    float64 // baseline-wander amplitude (breathing drift)
+	Anomalies int     // number of planted anomalous beats
+	// Subtle selects the qtdb-0606-style anomaly: a beat with a depressed
+	// ST segment and flattened T wave but normal rhythm and QRS — the
+	// "very subtle" anomaly of the paper's Figure 2. The default is a
+	// full premature ventricular contraction with compensatory pause.
+	Subtle bool
+	// Artifacts plants brief electrode-noise glitches (8-14 samples of
+	// high-frequency ripple). Ambulatory recordings are full of them;
+	// they are symbolically rare (they attract rule-density minima) but
+	// metrically similar to each other, so a distance-based detector is
+	// not distracted. They are NOT added to Truth.
+	Artifacts int
+	Seed      int64
+}
+
+// ECG synthesizes an electrocardiogram: a sequence of P-QRS-T beats with
+// slight RR jitter and measurement noise, with a configurable number of
+// premature-ventricular-contraction–style anomalous beats (wide, high-
+// amplitude QRS, absent P wave, inverted T) planted at evenly spread
+// positions away from the series edges. The planted beats mirror the
+// annotated anomaly of the paper's ECG figures (e.g. Figure 2's qtdb 0606
+// ST-wave anomaly).
+func ECG(opt ECGOptions) *Dataset {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	ts := make([]float64, opt.N)
+	nBeats := opt.N/opt.BeatLen + 2
+
+	// Choose which beats are anomalous: evenly spread through the middle.
+	anomalous := make(map[int]bool, opt.Anomalies)
+	if opt.Anomalies > 0 {
+		step := nBeats / (opt.Anomalies + 1)
+		if step < 2 {
+			step = 2
+		}
+		for k := 1; k <= opt.Anomalies; k++ {
+			b := k * step
+			if b >= 1 && b < nBeats-1 {
+				anomalous[b] = true
+			}
+		}
+	}
+
+	var truth []timeseries.Interval
+	pos := 0
+	for beat := 0; pos < opt.N; beat++ {
+		beatLen := int(float64(opt.BeatLen) * (1 + opt.Jitter*(rng.Float64()*2-1)))
+		if beatLen < 8 {
+			beatLen = 8
+		}
+		if anomalous[beat] && opt.Subtle {
+			// ST-wave anomaly: normal rhythm, altered repolarization.
+			writeSubtleBeat(ts, pos, beatLen)
+			end := pos + beatLen - 1
+			if end >= opt.N {
+				end = opt.N - 1
+			}
+			truth = append(truth, timeseries.Interval{Start: pos, End: end})
+			pos += beatLen
+			continue
+		}
+		if anomalous[beat] {
+			// A premature ventricular contraction arrives early (70% of
+			// the nominal RR interval) and is followed by a compensatory
+			// pause, so the rhythm as well as the morphology is broken.
+			pvcLen := beatLen * 7 / 10
+			pauseLen := beatLen - pvcLen + beatLen*4/10
+			writePVCBeat(ts, pos, pvcLen)
+			end := pos + pvcLen + pauseLen - 1
+			if end >= opt.N {
+				end = opt.N - 1
+			}
+			truth = append(truth, timeseries.Interval{Start: pos, End: end})
+			pos += pvcLen + pauseLen
+			continue
+		}
+		writeNormalBeat(ts, pos, beatLen)
+		pos += beatLen
+	}
+	if opt.Artifacts > 0 {
+		// Spread glitches through the series, away from planted anomalies.
+		step := opt.N / (opt.Artifacts + 1)
+		for k := 1; k <= opt.Artifacts; k++ {
+			at := k*step + rng.Intn(opt.BeatLen/2)
+			glitchLen := 8 + rng.Intn(7)
+			if tooCloseToTruth(at, glitchLen, truth, opt.BeatLen) {
+				continue
+			}
+			for i := 0; i < glitchLen && at+i < opt.N; i++ {
+				// High-frequency ripple burst, similar across glitches.
+				ts[at+i] += 0.35 * math.Sin(2.2*float64(i))
+			}
+		}
+	}
+	if opt.Wander > 0 {
+		// Respiration-coupled baseline wander: two incommensurate slow
+		// sinusoids, as seen in ambulatory recordings.
+		p1 := 4.1 * float64(opt.BeatLen)
+		p2 := 9.7 * float64(opt.BeatLen)
+		ph1, ph2 := rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi
+		for i := range ts {
+			x := float64(i)
+			ts[i] += opt.Wander * (0.7*math.Sin(2*math.Pi*x/p1+ph1) + 0.3*math.Sin(2*math.Pi*x/p2+ph2))
+		}
+	}
+	addNoise(ts, opt.Noise, rng)
+	return &Dataset{Name: "ecg", Series: ts, Truth: truth}
+}
+
+// writeNormalBeat renders one P-QRS-T complex into ts[pos:pos+beatLen].
+func writeNormalBeat(ts []float64, pos, beatLen int) {
+	L := float64(beatLen)
+	for i := 0; i < beatLen && pos+i < len(ts); i++ {
+		x := float64(i) / L
+		v := gaussian(x, 0.18, 0.03, 0.12) + // P wave
+			gaussian(x, 0.38, 0.012, -0.18) + // Q dip
+			gaussian(x, 0.42, 0.016, 1.0) + // R spike
+			gaussian(x, 0.46, 0.014, -0.22) + // S dip
+			gaussian(x, 0.68, 0.05, 0.28) // T wave
+		ts[pos+i] += v
+	}
+}
+
+// writeSubtleBeat renders the qtdb-0606-style anomalous beat: P and QRS
+// as normal, but the ST segment is depressed and the T wave flattened and
+// delayed — visible only as a changed shape between the S dip and the end
+// of the beat.
+func writeSubtleBeat(ts []float64, pos, beatLen int) {
+	L := float64(beatLen)
+	for i := 0; i < beatLen && pos+i < len(ts); i++ {
+		x := float64(i) / L
+		v := gaussian(x, 0.18, 0.03, 0.12) + // P wave (normal)
+			gaussian(x, 0.38, 0.012, -0.18) + // Q dip (normal)
+			gaussian(x, 0.42, 0.016, 1.0) + // R spike (normal)
+			gaussian(x, 0.46, 0.014, -0.22) + // S dip (normal)
+			gaussian(x, 0.56, 0.06, -0.10) + // ST depression
+			gaussian(x, 0.76, 0.05, 0.12) // flattened, delayed T
+		ts[pos+i] += v
+	}
+}
+
+// writePVCBeat renders an anomalous premature-ventricular-contraction
+// beat: no P wave, a wide early inverted-then-tall QRS, and an inverted T.
+func writePVCBeat(ts []float64, pos, beatLen int) {
+	L := float64(beatLen)
+	for i := 0; i < beatLen && pos+i < len(ts); i++ {
+		x := float64(i) / L
+		v := gaussian(x, 0.30, 0.05, -0.55) + // deep wide dip
+			gaussian(x, 0.42, 0.06, 1.25) + // broad tall R'
+			gaussian(x, 0.60, 0.06, -0.45) // inverted T
+		ts[pos+i] += v
+	}
+}
+
+// tooCloseToTruth reports whether a glitch at [at, at+n) would fall within
+// one beat of a planted anomaly, which would contaminate the ground truth.
+func tooCloseToTruth(at, n int, truth []timeseries.Interval, beatLen int) bool {
+	for _, tr := range truth {
+		if at+n-1 >= tr.Start-beatLen && at <= tr.End+beatLen {
+			return true
+		}
+	}
+	return false
+}

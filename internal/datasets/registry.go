@@ -1,0 +1,148 @@
+package datasets
+
+import (
+	"fmt"
+	"sort"
+
+	"grammarviz/internal/sax"
+)
+
+// Generate builds the named Table 1 dataset with its paper discretization
+// parameters. Names match the paper rows (see Names). Large clinical
+// records (ECG 300/318, 536k/586k points in the paper) are generated at a
+// laptop-scale 40k points; the documented substitution preserves the
+// structure, not the absolute size.
+func Generate(name string) (*Dataset, error) {
+	switch name {
+	case "daily-commute":
+		td, err := Trajectory(TrajectoryOptions{
+			Days: 8, PointsPerLeg: 130, GPSNoise: 0.05, HilbertOrder: 8, Seed: 101,
+		})
+		if err != nil {
+			return nil, err
+		}
+		td.Dataset.Name = name
+		td.Dataset.Params = sax.Params{Window: 350, PAA: 15, Alphabet: 4}
+		return &td.Dataset, nil
+
+	case "dutch-power-demand":
+		d := PowerDemand(PowerOptions{
+			Weeks: 52, PerDay: 96, Noise: 0.015,
+			// Spring state holidays, as in Figure 4: Good Friday (week 12,
+			// Friday), Queen's Birthday (week 17, Wednesday), Ascension
+			// Day (week 18, Thursday).
+			Holidays: []Holiday{{Week: 12, Day: 4}, {Week: 17, Day: 2}, {Week: 18, Day: 3}},
+			Seed:     102,
+		})
+		d.Name = name
+		d.Params = sax.Params{Window: 750, PAA: 6, Alphabet: 3}
+		return d, nil
+
+	case "ecg0606":
+		// qtdb 0606's annotated anomaly is a subtle ST-wave change
+		// (Figure 2), not a full PVC.
+		d := ECG(ECGOptions{N: 2300, BeatLen: 120, Jitter: 0.01, Noise: 0.012, Anomalies: 1, Subtle: true, Seed: 103})
+		d.Name = name
+		d.Params = sax.Params{Window: 120, PAA: 4, Alphabet: 4}
+		return d, nil
+
+	case "ecg308":
+		d := ECG(ECGOptions{N: 5400, BeatLen: 300, Jitter: 0.01, Noise: 0.012, Anomalies: 1, Seed: 104})
+		d.Name = name
+		d.Params = sax.Params{Window: 300, PAA: 4, Alphabet: 4}
+		return d, nil
+
+	case "ecg15":
+		d := ECG(ECGOptions{N: 15000, BeatLen: 300, Jitter: 0.01, Noise: 0.012, Anomalies: 1, Seed: 105})
+		d.Name = name
+		d.Params = sax.Params{Window: 300, PAA: 4, Alphabet: 4}
+		return d, nil
+
+	case "ecg108":
+		d := ECG(ECGOptions{N: 21600, BeatLen: 300, Jitter: 0.01, Noise: 0.012, Anomalies: 1, Seed: 106})
+		d.Name = name
+		d.Params = sax.Params{Window: 300, PAA: 4, Alphabet: 4}
+		return d, nil
+
+	case "ecg300":
+		d := ECG(ECGOptions{N: 40000, BeatLen: 300, Jitter: 0.01, Noise: 0.012, Anomalies: 3, Seed: 107})
+		d.Name = name
+		d.Params = sax.Params{Window: 300, PAA: 4, Alphabet: 4}
+		return d, nil
+
+	case "ecg318":
+		d := ECG(ECGOptions{N: 40000, BeatLen: 300, Jitter: 0.01, Noise: 0.012, Anomalies: 2, Seed: 108})
+		d.Name = name
+		d.Params = sax.Params{Window: 300, PAA: 4, Alphabet: 4}
+		return d, nil
+
+	case "respiration-nprs43":
+		d := Respiration(RespirationOptions{N: 4000, BreathLen: 64, Noise: 0.02, Anomalies: 1, Seed: 109})
+		d.Name = name
+		d.Params = sax.Params{Window: 128, PAA: 5, Alphabet: 4}
+		return d, nil
+
+	case "respiration-nprs44":
+		d := Respiration(RespirationOptions{N: 24000, BreathLen: 64, Noise: 0.02, Anomalies: 2, Seed: 110})
+		d.Name = name
+		d.Params = sax.Params{Window: 128, PAA: 5, Alphabet: 4}
+		return d, nil
+
+	case "video-gun":
+		d := Video(VideoOptions{N: 11250, CycleLen: 300, Noise: 1.2, Anomalies: 2, Seed: 111})
+		d.Name = name
+		d.Params = sax.Params{Window: 150, PAA: 5, Alphabet: 3}
+		return d, nil
+
+	case "tek14":
+		d := Telemetry(TelemetryOptions{N: 5000, CycleLen: 500, Noise: 0.004, Anomalies: 1, Seed: 112})
+		d.Name = name
+		d.Params = sax.Params{Window: 128, PAA: 4, Alphabet: 4}
+		return d, nil
+
+	case "tek16":
+		d := Telemetry(TelemetryOptions{N: 5000, CycleLen: 500, Noise: 0.005, Anomalies: 1, Seed: 113})
+		d.Name = name
+		d.Params = sax.Params{Window: 128, PAA: 4, Alphabet: 4}
+		return d, nil
+
+	case "tek17":
+		d := Telemetry(TelemetryOptions{N: 5000, CycleLen: 500, Noise: 0.006, Anomalies: 1, Seed: 114})
+		d.Name = name
+		d.Params = sax.Params{Window: 128, PAA: 4, Alphabet: 4}
+		return d, nil
+	}
+	return nil, fmt.Errorf("datasets: unknown dataset %q (known: %v)", name, Names())
+}
+
+// names lists every dataset Generate knows, in Table 1 order.
+var names = []string{
+	"daily-commute",
+	"dutch-power-demand",
+	"ecg0606",
+	"ecg308",
+	"ecg15",
+	"ecg108",
+	"ecg300",
+	"ecg318",
+	"respiration-nprs43",
+	"respiration-nprs44",
+	"video-gun",
+	"tek14",
+	"tek16",
+	"tek17",
+}
+
+// Names returns the known dataset names in Table 1 order.
+func Names() []string {
+	out := make([]string, len(names))
+	copy(out, names)
+	return out
+}
+
+// SortedNames returns the known dataset names alphabetically.
+func SortedNames() []string {
+	out := Names()
+	sort.Strings(out)
+	return out
+}

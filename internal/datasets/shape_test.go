@@ -1,0 +1,140 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"grammarviz/internal/timeseries"
+)
+
+// countPeaks counts local maxima above the threshold with at least minGap
+// points between them — a crude beat/cycle counter.
+func countPeaks(ts []float64, threshold float64, minGap int) int {
+	count, last := 0, -minGap
+	for i := 1; i+1 < len(ts); i++ {
+		if ts[i] > threshold && ts[i] >= ts[i-1] && ts[i] >= ts[i+1] && i-last >= minGap {
+			count++
+			last = i
+		}
+	}
+	return count
+}
+
+func TestECGShape(t *testing.T) {
+	ds := ECG(ECGOptions{N: 6000, BeatLen: 120, Jitter: 0.01, Noise: 0, Anomalies: 0, Seed: 1})
+	// ~50 beats: one R spike each.
+	beats := countPeaks(ds.Series, 0.6, 60)
+	if beats < 45 || beats > 55 {
+		t.Errorf("R-spike count = %d, want ~50", beats)
+	}
+	// R amplitude ~1, baseline near 0.
+	s, _ := timeseries.Describe(ds.Series)
+	if s.Max < 0.9 || s.Max > 1.2 {
+		t.Errorf("max = %v, want ~1.0", s.Max)
+	}
+	if math.Abs(s.Mean) > 0.25 {
+		t.Errorf("mean = %v, want near 0", s.Mean)
+	}
+}
+
+func TestECGSubtleVsPVC(t *testing.T) {
+	base := ECG(ECGOptions{N: 3000, BeatLen: 120, Jitter: 0, Noise: 0, Anomalies: 0, Seed: 2})
+	subtle := ECG(ECGOptions{N: 3000, BeatLen: 120, Jitter: 0, Noise: 0, Anomalies: 1, Subtle: true, Seed: 2})
+	pvc := ECG(ECGOptions{N: 3000, BeatLen: 120, Jitter: 0, Noise: 0, Anomalies: 1, Subtle: false, Seed: 2})
+
+	dev := func(a, b []float64, iv timeseries.Interval) float64 {
+		var sum float64
+		for i := iv.Start; i <= iv.End && i < len(a); i++ {
+			d := a[i] - b[i]
+			sum += d * d
+		}
+		return math.Sqrt(sum)
+	}
+	subtleDev := dev(base.Series, subtle.Series, subtle.Truth[0])
+	pvcDev := dev(base.Series, pvc.Series, pvc.Truth[0])
+	if subtleDev <= 0 {
+		t.Fatal("subtle anomaly identical to baseline")
+	}
+	// "Subtle" must be meaningfully smaller than a full PVC disruption.
+	if subtleDev*2 > pvcDev {
+		t.Errorf("subtle deviation %v not << PVC deviation %v", subtleDev, pvcDev)
+	}
+}
+
+func TestECGWanderAndArtifacts(t *testing.T) {
+	clean := ECG(ECGOptions{N: 3000, BeatLen: 120, Jitter: 0, Noise: 0, Anomalies: 0, Seed: 3})
+	wander := ECG(ECGOptions{N: 3000, BeatLen: 120, Jitter: 0, Noise: 0, Wander: 0.5, Anomalies: 0, Seed: 3})
+	sc, _ := timeseries.Describe(clean.Series)
+	sw, _ := timeseries.Describe(wander.Series)
+	if sw.Max-sw.Min <= sc.Max-sc.Min {
+		t.Error("wander did not widen the value range")
+	}
+	withArt := ECG(ECGOptions{N: 3000, BeatLen: 120, Jitter: 0, Noise: 0, Anomalies: 1, Artifacts: 4, Seed: 3})
+	noArt := ECG(ECGOptions{N: 3000, BeatLen: 120, Jitter: 0, Noise: 0, Anomalies: 1, Artifacts: 0, Seed: 3})
+	diff := 0
+	for i := range withArt.Series {
+		if withArt.Series[i] != noArt.Series[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("artifacts did not modify the signal")
+	}
+	// Artifacts must stay clear of the planted anomaly (truth is clean).
+	tr := withArt.Truth[0]
+	for i := tr.Start; i <= tr.End; i++ {
+		if withArt.Series[i] != noArt.Series[i] {
+			t.Fatalf("artifact contaminated the truth interval at %d", i)
+		}
+	}
+}
+
+func TestVideoShape(t *testing.T) {
+	ds := Video(VideoOptions{N: 6000, CycleLen: 300, Noise: 0, Anomalies: 0, Seed: 4})
+	// 20 cycles: hand raised once per cycle (values near 200).
+	raises := countPeaks(ds.Series, 150, 150)
+	if raises < 18 || raises > 22 {
+		t.Errorf("draw cycles = %d, want ~20", raises)
+	}
+	// Rest position is zero.
+	if ds.Series[299] > 20 {
+		t.Errorf("rest position = %v", ds.Series[299])
+	}
+}
+
+func TestTelemetryShape(t *testing.T) {
+	ds := Telemetry(TelemetryOptions{N: 5000, CycleLen: 500, Noise: 0, Anomalies: 0, Seed: 5})
+	// Inrush spikes reach ~1.6 once per cycle.
+	spikes := countPeaks(ds.Series, 1.3, 250)
+	if spikes < 9 || spikes > 11 {
+		t.Errorf("inrush spikes = %d, want ~10", spikes)
+	}
+	// Off period is flat zero.
+	if v := ds.Series[450]; v != 0 {
+		t.Errorf("off period = %v", v)
+	}
+}
+
+func TestRespirationRegimeChange(t *testing.T) {
+	ds := Respiration(RespirationOptions{N: 8000, BreathLen: 64, Noise: 0, Anomalies: 1, Seed: 6})
+	tr := ds.Truth[0]
+	// Inside the anomaly the oscillation is shallow: smaller amplitude.
+	inside, _ := timeseries.Describe(ds.Series[tr.Start : tr.End+1])
+	outside, _ := timeseries.Describe(ds.Series[:tr.Start-100])
+	if inside.Std >= outside.Std*0.7 {
+		t.Errorf("anomaly std %v not shallower than normal %v", inside.Std, outside.Std)
+	}
+}
+
+func TestPowerDemandWeekendStructure(t *testing.T) {
+	ds := PowerDemand(PowerOptions{Weeks: 2, PerDay: 96, Noise: 0, Seed: 7})
+	// Weekday peak well above weekend level.
+	mondayMax, _ := timeseries.Describe(ds.Series[0:96])
+	saturdayMax, _ := timeseries.Describe(ds.Series[5*96 : 6*96])
+	if mondayMax.Max < 2*saturdayMax.Max {
+		t.Errorf("weekday max %v not >> weekend max %v", mondayMax.Max, saturdayMax.Max)
+	}
+	if len(ds.Truth) != 0 {
+		t.Errorf("no holidays requested but truth = %v", ds.Truth)
+	}
+}

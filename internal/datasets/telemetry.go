@@ -1,0 +1,84 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"grammarviz/internal/timeseries"
+)
+
+// TelemetryOptions controls the synthetic Marotta-valve telemetry
+// generator.
+type TelemetryOptions struct {
+	N         int     // series length
+	CycleLen  int     // samples per energize/de-energize cycle
+	Noise     float64 // sensor noise std
+	Anomalies int     // number of distorted actuation cycles
+	Seed      int64
+}
+
+// Telemetry synthesizes Space-Shuttle Marotta valve current telemetry (the
+// TEK records of Table 1): repeated energize cycles — a sharp inrush
+// spike, a decaying plateau, and a de-energize drop — with planted
+// distorted cycles in which the plateau sags and ripples, mirroring the
+// poppet-obstruction anomalies annotated in the original TEK traces.
+func Telemetry(opt TelemetryOptions) *Dataset {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	ts := make([]float64, opt.N)
+	nCycles := opt.N/opt.CycleLen + 1
+
+	anomalous := map[int]bool{}
+	if opt.Anomalies > 0 {
+		step := nCycles / (opt.Anomalies + 1)
+		if step < 2 {
+			step = 2
+		}
+		for k := 1; k <= opt.Anomalies; k++ {
+			if b := k * step; b < nCycles-1 {
+				anomalous[b] = true
+			}
+		}
+	}
+
+	var truth []timeseries.Interval
+	for c := 0; c < nCycles; c++ {
+		start := c * opt.CycleLen
+		for i := 0; i < opt.CycleLen && start+i < opt.N; i++ {
+			x := float64(i) / float64(opt.CycleLen)
+			var v float64
+			switch {
+			case x < 0.05: // inrush spike
+				v = 1.6 * smoothstep(x/0.05)
+			case x < 0.12: // settle to plateau
+				v = 1.6 - 0.6*smoothstep((x-0.05)/0.07)
+			case x < 0.62: // energized plateau with slight decay
+				v = 1.0 - 0.12*(x-0.12)/0.5
+				if anomalous[c] {
+					// Distorted cycle: sagging, rippling plateau.
+					v -= 0.35 * smoothstep((x-0.12)/0.1)
+					v += 0.08 * math.Sin(50*x)
+				}
+			case x < 0.68: // de-energize drop
+				v = 0.88 * (1 - smoothstep((x-0.62)/0.06))
+				if anomalous[c] {
+					v *= 0.6
+				}
+			default: // off
+				v = 0
+			}
+			ts[start+i] = v
+		}
+		if anomalous[c] {
+			aStart := start + opt.CycleLen*12/100
+			aEnd := start + opt.CycleLen*68/100
+			if aEnd >= opt.N {
+				aEnd = opt.N - 1
+			}
+			if aStart < opt.N {
+				truth = append(truth, timeseries.Interval{Start: aStart, End: aEnd})
+			}
+		}
+	}
+	addNoise(ts, opt.Noise, rng)
+	return &Dataset{Name: "telemetry", Series: ts, Truth: truth}
+}

@@ -1,0 +1,203 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"grammarviz/internal/hilbert"
+	"grammarviz/internal/timeseries"
+)
+
+// TrajectoryOptions controls the synthetic GPS commute generator.
+type TrajectoryOptions struct {
+	Days         int     // commute days (two trips per day)
+	PointsPerLeg int     // GPS samples per route segment (waypoint pair)
+	GPSNoise     float64 // positional noise std, in grid units
+	HilbertOrder int     // order of the space-filling curve (the paper uses 8)
+	Seed         int64
+}
+
+// TrajectoryData extends Dataset with the raw planar track, which the
+// figure harness plots.
+type TrajectoryData struct {
+	Dataset
+	Points []hilbert.Point
+}
+
+// The commute geography: home and work connected by two habitual
+// staircase routes through the street grid (real streets wind, and the
+// winding is what gives each route a recognizable Hilbert-value profile),
+// plus a one-off detour through otherwise unvisited mid-grid streets.
+var (
+	trajHome = hilbert.Point{X: 20, Y: 20}
+	trajWork = hilbert.Point{X: 230, Y: 205}
+
+	// Route A: east-leaning staircase.
+	trajRouteA = []hilbert.Point{
+		trajHome, {X: 60, Y: 22}, {X: 65, Y: 60}, {X: 120, Y: 58}, {X: 125, Y: 95},
+		{X: 180, Y: 100}, {X: 185, Y: 150}, {X: 228, Y: 155}, trajWork,
+	}
+	// Route B: north-leaning staircase.
+	trajRouteB = []hilbert.Point{
+		trajHome, {X: 22, Y: 70}, {X: 60, Y: 72}, {X: 62, Y: 130}, {X: 110, Y: 135},
+		{X: 112, Y: 180}, {X: 170, Y: 185}, {X: 175, Y: 203}, trajWork,
+	}
+	// The detour: a diversion that zigzags across the grid's vertical
+	// midline in the lower half of the map. Each crossing of x = 128 at
+	// low y jumps the Hilbert visit order between distant quadrants, so
+	// the detour's window profile is a square wave no habitual route
+	// produces — the "small streets" signature of the paper's detour.
+	trajDetour = []hilbert.Point{
+		trajHome, {X: 110, Y: 60}, {X: 145, Y: 70}, {X: 112, Y: 85}, {X: 150, Y: 95},
+		{X: 115, Y: 110}, {X: 170, Y: 120}, {X: 205, Y: 160}, trajWork,
+	}
+)
+
+// Trajectory simulates the paper's commute case study (Section 5.1): days
+// of home↔work trips over two alternating habitual routes, each ending
+// with a loop through the work parking lot. Three anomalies are planted,
+// mirroring Figures 7–9:
+//
+//   - a unique detour through otherwise unvisited streets (found by the
+//     rule density curve in the paper);
+//   - a "partial GPS fix" segment where the recorded positions scatter
+//     around the true route (the paper's best RRA discord);
+//   - one trip that skips the parking-lot loop (the paper's third
+//     discord: familiar cells visited in an unseen order).
+//
+// The track is converted to a scalar series via the Hilbert curve, exactly
+// as Figure 6 prescribes. Truth intervals are indices into that series,
+// ordered: detour, fix loss, skipped loop.
+func Trajectory(opt TrajectoryOptions) (*TrajectoryData, error) {
+	c, err := hilbert.New(opt.HilbertOrder)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: %w", err)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	var pts []hilbert.Point
+	var detour, fixLoss, skipLoop timeseries.Interval
+
+	detourDay := opt.Days / 3
+	fixLossDay := 2 * opt.Days / 3
+	skipLoopDay := opt.Days - 1
+	if skipLoopDay == detourDay || skipLoopDay == fixLossDay {
+		skipLoopDay-- // keep the three events on distinct days
+	}
+
+	for day := 0; day < opt.Days; day++ {
+		route := trajRouteA
+		if day%2 == 1 {
+			route = trajRouteB
+		}
+
+		// Morning trip: home -> work.
+		if day == detourDay {
+			start := len(pts)
+			pts = append(pts, legs(rng, opt, trajDetour...)...)
+			// The whole diversion is spatially unique; exclude half a leg
+			// at each end where the track blends into home/work arrivals.
+			detour = timeseries.Interval{
+				Start: start + opt.PointsPerLeg/2,
+				End:   len(pts) - opt.PointsPerLeg/2 - 1,
+			}
+		} else {
+			pts = append(pts, legs(rng, opt, route...)...)
+		}
+
+		// Parking-lot loop at work (skipped on the skip-loop day).
+		if day == skipLoopDay {
+			start := len(pts)
+			// Drive straight past the lot entrance instead.
+			pts = append(pts, leg(rng, opt.PointsPerLeg/2, opt.GPSNoise,
+				trajWork, hilbert.Point{X: 245, Y: 215})...)
+			pts = append(pts, leg(rng, opt.PointsPerLeg/2, opt.GPSNoise,
+				hilbert.Point{X: 245, Y: 215}, trajWork)...)
+			skipLoop = timeseries.Interval{Start: start, End: len(pts) - 1}
+		} else {
+			pts = append(pts, parkingLoop(rng, opt)...)
+		}
+
+		// Evening trip: work -> home, reversing the habitual route.
+		if day == fixLossDay {
+			start := len(pts)
+			seg := legs(rng, opt, reversed(trajRouteA)...)
+			// Partial GPS fix: scatter one stretch of recorded positions.
+			lo, hi := len(seg)/4, len(seg)/2
+			for i := lo; i < hi; i++ {
+				seg[i].X += rng.NormFloat64() * 15
+				seg[i].Y += rng.NormFloat64() * 15
+			}
+			pts = append(pts, seg...)
+			fixLoss = timeseries.Interval{Start: start + lo, End: start + hi - 1}
+		} else {
+			pts = append(pts, legs(rng, opt, reversed(route)...)...)
+		}
+	}
+
+	series, err := hilbert.Transform(c, pts)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: %w", err)
+	}
+	return &TrajectoryData{
+		Dataset: Dataset{
+			Name:   "trajectory",
+			Series: series,
+			Truth:  []timeseries.Interval{detour, fixLoss, skipLoop},
+		},
+		Points: pts,
+	}, nil
+}
+
+// leg samples n points along the straight segment from a to b with GPS
+// noise.
+func leg(rng *rand.Rand, n int, noise float64, a, b hilbert.Point) []hilbert.Point {
+	out := make([]hilbert.Point, n)
+	for i := range out {
+		t := float64(i) / float64(n)
+		out[i] = hilbert.Point{
+			X: a.X + (b.X-a.X)*t + rng.NormFloat64()*noise,
+			Y: a.Y + (b.Y-a.Y)*t + rng.NormFloat64()*noise,
+		}
+	}
+	return out
+}
+
+// legs chains straight legs through the given waypoints.
+func legs(rng *rand.Rand, opt TrajectoryOptions, waypoints ...hilbert.Point) []hilbert.Point {
+	var out []hilbert.Point
+	for i := 0; i+1 < len(waypoints); i++ {
+		out = append(out, leg(rng, opt.PointsPerLeg, opt.GPSNoise, waypoints[i], waypoints[i+1])...)
+	}
+	return out
+}
+
+// reversed returns the waypoints in opposite order (the homeward route).
+func reversed(route []hilbert.Point) []hilbert.Point {
+	out := make([]hilbert.Point, len(route))
+	for i, p := range route {
+		out[len(route)-1-i] = p
+	}
+	return out
+}
+
+// parkingLoop renders the habitual small loop through the lot next to
+// work.
+func parkingLoop(rng *rand.Rand, opt TrajectoryOptions) []hilbert.Point {
+	n := opt.PointsPerLeg / 8
+	if n < 2 {
+		n = 2
+	}
+	corners := []hilbert.Point{
+		trajWork,
+		{X: trajWork.X + 10, Y: trajWork.Y + 6},
+		{X: trajWork.X + 10, Y: trajWork.Y + 14},
+		{X: trajWork.X - 2, Y: trajWork.Y + 14},
+		trajWork,
+	}
+	var out []hilbert.Point
+	for i := 0; i+1 < len(corners); i++ {
+		out = append(out, leg(rng, n, opt.GPSNoise/2, corners[i], corners[i+1])...)
+	}
+	return out
+}

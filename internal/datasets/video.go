@@ -1,0 +1,93 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"grammarviz/internal/timeseries"
+)
+
+// VideoOptions controls the synthetic gun-draw video-track generator.
+type VideoOptions struct {
+	N         int     // series length
+	CycleLen  int     // samples per draw-aim-return cycle
+	Noise     float64 // tracking noise std
+	Anomalies int     // number of aberrant cycles
+	Seed      int64
+}
+
+// Video synthesizes the hand-position track of the gun-draw surveillance
+// dataset (Figures 1, 11, 12): the actor repeatedly draws, aims (a hold at
+// high position), and re-holsters, producing a near-periodic trapezoidal
+// wave. Planted anomalies are botched cycles — a hesitation on the way
+// down and an overshoot, mimicking the "actor missed the holster" events
+// annotated in the original recording.
+func Video(opt VideoOptions) *Dataset {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	ts := make([]float64, opt.N)
+	nCycles := opt.N/opt.CycleLen + 1
+
+	anomalous := map[int]bool{}
+	if opt.Anomalies > 0 {
+		step := nCycles / (opt.Anomalies + 1)
+		if step < 2 {
+			step = 2
+		}
+		for k := 1; k <= opt.Anomalies; k++ {
+			if b := k * step; b < nCycles-1 {
+				anomalous[b] = true
+			}
+		}
+	}
+
+	var truth []timeseries.Interval
+	for c := 0; c < nCycles; c++ {
+		start := c * opt.CycleLen
+		for i := 0; i < opt.CycleLen && start+i < opt.N; i++ {
+			x := float64(i) / float64(opt.CycleLen)
+			var v float64
+			switch {
+			case x < 0.2: // draw: rise
+				v = smoothstep(x / 0.2)
+			case x < 0.6: // aim: hold high with slight tremor
+				v = 1 + 0.02*math.Sin(40*x)
+			case x < 0.8: // re-holster: fall
+				v = 1 - smoothstep((x-0.6)/0.2)
+			default: // rest
+				v = 0
+			}
+			if anomalous[c] {
+				// Aberrant cycle: hesitation mid-return and overshoot.
+				if x >= 0.6 && x < 0.8 {
+					v = 1 - smoothstep((x-0.6)/0.2)*0.5
+				} else if x >= 0.8 {
+					v = 0.5 - smoothstep((x-0.8)/0.2)*0.65
+				}
+			}
+			ts[start+i] = v * 200 // pixel-scale amplitude like the original
+		}
+		if anomalous[c] {
+			end := start + opt.CycleLen - 1
+			if end >= opt.N {
+				end = opt.N - 1
+			}
+			aStart := start + opt.CycleLen*6/10
+			if aStart < opt.N {
+				truth = append(truth, timeseries.Interval{Start: aStart, End: end})
+			}
+		}
+	}
+	addNoise(ts, opt.Noise, rng)
+	return &Dataset{Name: "video", Series: ts, Truth: truth}
+}
+
+// smoothstep is the cubic ease curve 3x^2-2x^3 clamped to [0,1].
+func smoothstep(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	return x * x * (3 - 2*x)
+}

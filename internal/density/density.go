@@ -1,0 +1,128 @@
+// Package density implements the paper's rule density curve (Section 4.1):
+// for every point of the time series, the number of grammar-rule
+// occurrences that span ("cover") it. Intervals where the curve reaches
+// its minima are algorithmically incompressible and are reported as
+// anomaly candidates. Construction is linear in the series length plus the
+// number of rule occurrences.
+package density
+
+import (
+	"grammarviz/internal/grammar"
+	"grammarviz/internal/timeseries"
+)
+
+// Curve computes the rule density curve for a rule set: curve[i] is the
+// number of non-root rule occurrences covering point i.
+func Curve(rs *grammar.RuleSet) []int {
+	ivs := make([]timeseries.Interval, 0, 64)
+	for _, rec := range rs.Records {
+		ivs = append(ivs, rec.Occurrences...)
+	}
+	return FromIntervals(rs.SeriesLen, ivs)
+}
+
+// FromIntervals computes the coverage curve of an arbitrary interval set
+// over a series of length n using a difference array: O(n + len(ivs)).
+// Intervals (or their parts) outside [0, n) are ignored.
+func FromIntervals(n int, ivs []timeseries.Interval) []int {
+	diff := make([]int, n+1)
+	for _, iv := range ivs {
+		lo, hi := iv.Start, iv.End
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		if hi < lo {
+			continue
+		}
+		diff[lo]++
+		diff[hi+1]--
+	}
+	curve := make([]int, n)
+	run := 0
+	for i := 0; i < n; i++ {
+		run += diff[i]
+		curve[i] = run
+	}
+	return curve
+}
+
+// Min returns the minimum value of the curve; it returns 0 for an empty
+// curve.
+func Min(curve []int) int {
+	if len(curve) == 0 {
+		return 0
+	}
+	m := curve[0]
+	for _, v := range curve[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Runs returns the maximal contiguous intervals where pred holds.
+func Runs(curve []int, pred func(v int) bool) []timeseries.Interval {
+	var out []timeseries.Interval
+	start := -1
+	for i, v := range curve {
+		switch {
+		case pred(v) && start < 0:
+			start = i
+		case !pred(v) && start >= 0:
+			out = append(out, timeseries.Interval{Start: start, End: i - 1})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, timeseries.Interval{Start: start, End: len(curve) - 1})
+	}
+	return out
+}
+
+// GlobalMinima returns the contiguous intervals where the curve equals its
+// global minimum — the paper's primary density-based anomaly report.
+func GlobalMinima(curve []int) []timeseries.Interval {
+	if len(curve) == 0 {
+		return nil
+	}
+	m := Min(curve)
+	return Runs(curve, func(v int) bool { return v == m })
+}
+
+// Below returns the contiguous intervals where the curve is strictly less
+// than threshold — the fixed-threshold variant from Section 4.1.
+func Below(curve []int, threshold int) []timeseries.Interval {
+	return Runs(curve, func(v int) bool { return v < threshold })
+}
+
+// ZeroCoverage returns the intervals never covered by any rule. These are
+// the frequency-0 candidates RRA prepends to its outer loop.
+func ZeroCoverage(curve []int) []timeseries.Interval {
+	return Runs(curve, func(v int) bool { return v == 0 })
+}
+
+// GlobalMinimaMargin is GlobalMinima restricted to
+// curve[margin : len-margin]. The first and last window of a series are
+// covered by fewer sliding windows than interior points, so their density
+// is structurally depressed; trimming one window length removes that edge
+// artifact from anomaly reports. Reported intervals use full-curve
+// coordinates. A margin that leaves no interior points returns nil.
+func GlobalMinimaMargin(curve []int, margin int) []timeseries.Interval {
+	if margin < 0 {
+		margin = 0
+	}
+	if 2*margin >= len(curve) {
+		return nil
+	}
+	inner := curve[margin : len(curve)-margin]
+	out := GlobalMinima(inner)
+	for i := range out {
+		out[i].Start += margin
+		out[i].End += margin
+	}
+	return out
+}

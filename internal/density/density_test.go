@@ -1,0 +1,214 @@
+package density
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"grammarviz/internal/grammar"
+	"grammarviz/internal/sax"
+	"grammarviz/internal/sequitur"
+	"grammarviz/internal/timeseries"
+)
+
+func iv(a, b int) timeseries.Interval { return timeseries.Interval{Start: a, End: b} }
+
+func TestFromIntervalsBasic(t *testing.T) {
+	curve := FromIntervals(10, []timeseries.Interval{iv(0, 4), iv(3, 6), iv(3, 3)})
+	want := []int{1, 1, 1, 3, 2, 1, 1, 0, 0, 0}
+	for i := range want {
+		if curve[i] != want[i] {
+			t.Fatalf("curve = %v, want %v", curve, want)
+		}
+	}
+}
+
+func TestFromIntervalsClipping(t *testing.T) {
+	curve := FromIntervals(5, []timeseries.Interval{iv(-3, 2), iv(3, 99), iv(7, 9), iv(-5, -1)})
+	want := []int{1, 1, 1, 1, 1}
+	for i := range want {
+		if curve[i] != want[i] {
+			t.Fatalf("curve = %v, want %v", curve, want)
+		}
+	}
+}
+
+// Property: difference-array construction matches naive per-point counting.
+func TestFromIntervalsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		k := int(kRaw % 30)
+		ivs := make([]timeseries.Interval, k)
+		for i := range ivs {
+			a := rng.Intn(n)
+			b := a + rng.Intn(n-a)
+			ivs[i] = iv(a, b)
+		}
+		fast := FromIntervals(n, ivs)
+		for p := 0; p < n; p++ {
+			count := 0
+			for _, v := range ivs {
+				if v.Start <= p && p <= v.End {
+					count++
+				}
+			}
+			if fast[p] != count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinAndRuns(t *testing.T) {
+	curve := []int{3, 3, 1, 1, 2, 0, 0, 5}
+	if Min(curve) != 0 {
+		t.Errorf("Min = %d", Min(curve))
+	}
+	if Min(nil) != 0 {
+		t.Error("Min(nil) should be 0")
+	}
+	minima := GlobalMinima(curve)
+	if len(minima) != 1 || minima[0] != iv(5, 6) {
+		t.Errorf("GlobalMinima = %v", minima)
+	}
+	below := Below(curve, 2)
+	if len(below) != 2 || below[0] != iv(2, 3) || below[1] != iv(5, 6) {
+		t.Errorf("Below = %v", below)
+	}
+	zero := ZeroCoverage(curve)
+	if len(zero) != 1 || zero[0] != iv(5, 6) {
+		t.Errorf("ZeroCoverage = %v", zero)
+	}
+}
+
+func TestRunsEdges(t *testing.T) {
+	// Run extends to the end of the curve.
+	runs := Runs([]int{1, 0, 0}, func(v int) bool { return v == 0 })
+	if len(runs) != 1 || runs[0] != iv(1, 2) {
+		t.Errorf("Runs = %v", runs)
+	}
+	// Whole curve matches.
+	runs = Runs([]int{0, 0}, func(v int) bool { return v == 0 })
+	if len(runs) != 1 || runs[0] != iv(0, 1) {
+		t.Errorf("Runs = %v", runs)
+	}
+	if got := GlobalMinima(nil); got != nil {
+		t.Errorf("GlobalMinima(nil) = %v", got)
+	}
+}
+
+func TestDetectRanking(t *testing.T) {
+	//           0  1  2  3  4  5  6  7  8  9
+	curve := []int{5, 0, 0, 5, 1, 1, 5, 2, 5, 0}
+	got := Detect(curve, 3, 0)
+	if len(got) != 4 {
+		t.Fatalf("Detect = %+v", got)
+	}
+	// Two zero-mean intervals first, longer first.
+	if got[0].Interval != iv(1, 2) || got[1].Interval != iv(9, 9) {
+		t.Errorf("zero-density intervals misordered: %+v", got)
+	}
+	if got[2].Interval != iv(4, 5) || got[3].Interval != iv(7, 7) {
+		t.Errorf("ranking wrong: %+v", got)
+	}
+	if got[0].MeanRule != 0 || got[2].MeanRule != 1 || got[3].MeanRule != 2 {
+		t.Errorf("mean densities wrong: %+v", got)
+	}
+	// minLen filters short intervals.
+	long := Detect(curve, 3, 2)
+	if len(long) != 2 {
+		t.Errorf("Detect minLen=2 = %+v", long)
+	}
+}
+
+// Integration: a periodic series with one planted aberration — the global
+// minimum of the density curve must overlap the aberration (the paper's
+// Figure 2 behaviour).
+func TestDensityFindsPlantedAnomaly(t *testing.T) {
+	n := 1200
+	period := 60.0
+	anomaly := iv(600, 660)
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = math.Sin(2 * math.Pi * float64(i) / period)
+	}
+	for i := anomaly.Start; i <= anomaly.End; i++ {
+		// Flatten one cycle: structurally unusual, same value range.
+		ts[i] = ts[anomaly.Start]
+	}
+	d, err := sax.Discretize(ts, sax.Params{Window: 60, PAA: 6, Alphabet: 4}, sax.ReductionExact)
+	if err != nil {
+		t.Fatalf("Discretize: %v", err)
+	}
+	rs, err := grammar.Build(d, sequitur.Induce(d.Strings()))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	curve := Curve(rs)
+	if len(curve) != n {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	minima := GlobalMinima(curve)
+	found := false
+	for _, m := range minima {
+		if m.Overlaps(iv(anomaly.Start-60, anomaly.End+60)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("global minima %v do not overlap planted anomaly %v", minima, anomaly)
+	}
+}
+
+// Property: the curve sum equals the total covered length of all
+// (clipped) intervals.
+func TestCurveMassConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(200) + 1
+		k := rng.Intn(20)
+		ivs := make([]timeseries.Interval, k)
+		total := 0
+		for i := range ivs {
+			a := rng.Intn(n)
+			b := a + rng.Intn(n-a)
+			ivs[i] = iv(a, b)
+			total += b - a + 1
+		}
+		curve := FromIntervals(n, ivs)
+		sum := 0
+		for _, v := range curve {
+			sum += v
+		}
+		if sum != total {
+			t.Fatalf("mass %d != total %d", sum, total)
+		}
+	}
+}
+
+func TestGlobalMinimaMargin(t *testing.T) {
+	curve := []int{0, 5, 5, 1, 5, 5, 0}
+	// Without margin the edges win.
+	if got := GlobalMinima(curve); len(got) != 2 {
+		t.Fatalf("GlobalMinima = %v", got)
+	}
+	// With margin 1 the interior minimum at index 3 wins, in full-curve
+	// coordinates.
+	got := GlobalMinimaMargin(curve, 1)
+	if len(got) != 1 || got[0] != iv(3, 3) {
+		t.Errorf("GlobalMinimaMargin = %v, want [[3,3]]", got)
+	}
+	// Degenerate margins.
+	if got := GlobalMinimaMargin(curve, 4); got != nil {
+		t.Errorf("oversize margin = %v, want nil", got)
+	}
+	if got := GlobalMinimaMargin(curve, -1); len(got) != 2 {
+		t.Errorf("negative margin should behave like 0: %v", got)
+	}
+}

@@ -1,0 +1,49 @@
+package density
+
+import (
+	"sort"
+
+	"grammarviz/internal/timeseries"
+)
+
+// Anomaly is one ranked density-based anomaly candidate.
+type Anomaly struct {
+	Interval timeseries.Interval
+	MeanRule float64 // mean rule density over the interval (lower = more anomalous)
+	MinRule  int     // minimum density inside the interval
+}
+
+// Detect reports the candidate anomalies of a density curve: the maximal
+// intervals with density below threshold, ranked by ascending mean density
+// (ties broken by longer interval first, then by position). A minLen of
+// 0 keeps all intervals; otherwise shorter intervals are dropped — the
+// optional "minimal anomaly length" ranking criterion from Section 4.1.
+func Detect(curve []int, threshold, minLen int) []Anomaly {
+	ivs := Below(curve, threshold)
+	out := make([]Anomaly, 0, len(ivs))
+	for _, iv := range ivs {
+		if minLen > 0 && iv.Len() < minLen {
+			continue
+		}
+		a := Anomaly{Interval: iv, MinRule: curve[iv.Start]}
+		sum := 0
+		for i := iv.Start; i <= iv.End; i++ {
+			sum += curve[i]
+			if curve[i] < a.MinRule {
+				a.MinRule = curve[i]
+			}
+		}
+		a.MeanRule = float64(sum) / float64(iv.Len())
+		out = append(out, a)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].MeanRule != out[j].MeanRule {
+			return out[i].MeanRule < out[j].MeanRule
+		}
+		if li, lj := out[i].Interval.Len(), out[j].Interval.Len(); li != lj {
+			return li > lj
+		}
+		return out[i].Interval.Start < out[j].Interval.Start
+	})
+	return out
+}

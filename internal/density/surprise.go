@@ -1,0 +1,122 @@
+package density
+
+import (
+	"math"
+	"sort"
+
+	"grammarviz/internal/timeseries"
+)
+
+// Surprise converts the rule density curve into a statistical
+// anomalousness score: for each point, the -log10 probability that a
+// Poisson variable with the curve's mean rate is as low as the observed
+// density (a one-sided left-tail test). Section 4.1 suggests "a
+// statistically sound criterion based on probabilities" as the ranking
+// refinement over raw thresholds; this is that criterion. Scores are 0
+// for points at or above the mean; a score of 3 means the observed
+// coverage is a p < 10^-3 event under the series' own average
+// compressibility.
+func Surprise(curve []int) []float64 {
+	out := make([]float64, len(curve))
+	if len(curve) == 0 {
+		return out
+	}
+	var sum float64
+	for _, v := range curve {
+		sum += float64(v)
+	}
+	lambda := sum / float64(len(curve))
+	if lambda <= 0 {
+		return out
+	}
+	// The curve takes few distinct values; cache the tail per value.
+	cache := make(map[int]float64)
+	for i, v := range curve {
+		if float64(v) >= lambda {
+			continue
+		}
+		s, ok := cache[v]
+		if !ok {
+			s = -poissonLogCDF10(v, lambda)
+			cache[v] = s
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// poissonLogCDF10 returns log10 P(X <= k) for X ~ Poisson(lambda),
+// computed in log space for numerical stability.
+func poissonLogCDF10(k int, lambda float64) float64 {
+	logLambda := math.Log(lambda)
+	// logTerm(j) = -lambda + j*ln(lambda) - lnGamma(j+1)
+	logSum := math.Inf(-1)
+	for j := 0; j <= k; j++ {
+		lg, _ := math.Lgamma(float64(j + 1))
+		term := -lambda + float64(j)*logLambda - lg
+		logSum = logAdd(logSum, term)
+	}
+	return logSum / math.Ln10
+}
+
+// logAdd returns log(exp(a) + exp(b)) stably.
+func logAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// SurpriseAnomaly is one interval of statistically significant
+// incompressibility.
+type SurpriseAnomaly struct {
+	Interval timeseries.Interval
+	Peak     float64 // highest surprise inside the interval
+}
+
+// SurpriseAnomalies returns the maximal intervals whose surprise stays at
+// or above minSurprise (e.g. 3 for p < 10^-3), dropping intervals shorter
+// than minLen, ranked by peak surprise descending. Margin points at each
+// edge of the curve are ignored (edge undercoverage is structural, not
+// statistical).
+func SurpriseAnomalies(surprise []float64, minSurprise float64, minLen, margin int) []SurpriseAnomaly {
+	if margin < 0 {
+		margin = 0
+	}
+	if 2*margin >= len(surprise) {
+		return nil
+	}
+	var out []SurpriseAnomaly
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		iv := timeseries.Interval{Start: start, End: end}
+		if minLen <= 0 || iv.Len() >= minLen {
+			a := SurpriseAnomaly{Interval: iv}
+			for i := iv.Start; i <= iv.End; i++ {
+				if surprise[i] > a.Peak {
+					a.Peak = surprise[i]
+				}
+			}
+			out = append(out, a)
+		}
+		start = -1
+	}
+	for i := margin; i < len(surprise)-margin; i++ {
+		if surprise[i] >= minSurprise {
+			if start < 0 {
+				start = i
+			}
+		} else {
+			flush(i - 1)
+		}
+	}
+	flush(len(surprise) - margin - 1)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Peak > out[j].Peak })
+	return out
+}

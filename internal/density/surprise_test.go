@@ -1,0 +1,142 @@
+package density
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSurpriseBasics(t *testing.T) {
+	// Uniform coverage: nothing is surprising.
+	flat := []int{5, 5, 5, 5, 5}
+	for i, s := range Surprise(flat) {
+		if s != 0 {
+			t.Errorf("flat curve surprise[%d] = %v", i, s)
+		}
+	}
+	// One zero-coverage point among high coverage is very surprising.
+	curve := make([]int, 100)
+	for i := range curve {
+		curve[i] = 50
+	}
+	curve[40] = 0
+	s := Surprise(curve)
+	if s[40] < 10 {
+		t.Errorf("zero point surprise = %v, want large", s[40])
+	}
+	if s[0] != 0 {
+		t.Errorf("normal point surprise = %v, want 0", s[0])
+	}
+	// Monotone: lower density => higher surprise.
+	curve[41] = 25
+	s = Surprise(curve)
+	if s[40] <= s[41] {
+		t.Errorf("surprise not monotone: s(0)=%v <= s(25)=%v", s[40], s[41])
+	}
+}
+
+func TestSurpriseDegenerate(t *testing.T) {
+	if got := Surprise(nil); len(got) != 0 {
+		t.Error("nil curve")
+	}
+	zeros := Surprise([]int{0, 0, 0})
+	for _, v := range zeros {
+		if v != 0 {
+			t.Error("all-zero curve has rate 0; nothing can be scored")
+		}
+	}
+}
+
+func TestPoissonLogCDF(t *testing.T) {
+	// P(X <= 0) for lambda=10 is e^-10 => log10 ~ -4.34.
+	got := poissonLogCDF10(0, 10)
+	want := -10 / math.Ln10
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("logCDF(0;10) = %v, want %v", got, want)
+	}
+	// CDF at large k approaches 1 => log10 approaches 0.
+	if got := poissonLogCDF10(100, 10); math.Abs(got) > 1e-6 {
+		t.Errorf("logCDF(100;10) = %v, want ~0", got)
+	}
+	// Cross-check a mid value against a direct summation for lambda=4.
+	var direct float64
+	fact := 1.0
+	for j := 0; j <= 3; j++ {
+		if j > 0 {
+			fact *= float64(j)
+		}
+		direct += math.Exp(-4) * math.Pow(4, float64(j)) / fact
+	}
+	if got := poissonLogCDF10(3, 4); math.Abs(got-math.Log10(direct)) > 1e-9 {
+		t.Errorf("logCDF(3;4) = %v, want %v", got, math.Log10(direct))
+	}
+}
+
+func TestSurpriseAnomalies(t *testing.T) {
+	surprise := make([]float64, 50)
+	for i := 20; i < 25; i++ {
+		surprise[i] = 5
+	}
+	surprise[30] = 8
+	got := SurpriseAnomalies(surprise, 3, 0, 0)
+	if len(got) != 2 {
+		t.Fatalf("anomalies = %+v", got)
+	}
+	// Ranked by peak: the single spike first.
+	if got[0].Interval != iv(30, 30) || got[0].Peak != 8 {
+		t.Errorf("first anomaly = %+v", got[0])
+	}
+	if got[1].Interval != iv(20, 24) || got[1].Peak != 5 {
+		t.Errorf("second anomaly = %+v", got[1])
+	}
+	// minLen filter.
+	if got := SurpriseAnomalies(surprise, 3, 2, 0); len(got) != 1 {
+		t.Errorf("minLen filter = %+v", got)
+	}
+	// Margin excludes edge content.
+	surprise2 := make([]float64, 50)
+	surprise2[0] = 9
+	surprise2[49] = 9
+	if got := SurpriseAnomalies(surprise2, 3, 0, 5); len(got) != 0 {
+		t.Errorf("margin should exclude edges: %+v", got)
+	}
+	if got := SurpriseAnomalies(surprise2, 3, 0, 30); got != nil {
+		t.Errorf("oversize margin = %+v", got)
+	}
+	// Run reaching the inner boundary is flushed.
+	surprise3 := make([]float64, 20)
+	for i := 15; i < 20; i++ {
+		surprise3[i] = 4
+	}
+	if got := SurpriseAnomalies(surprise3, 3, 0, 0); len(got) != 1 || got[0].Interval != iv(15, 19) {
+		t.Errorf("tail run = %+v", got)
+	}
+}
+
+// Property: on a random Poisson-like curve with one planted hole, the hole
+// has the top surprise.
+func TestSurpriseFindsHole(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	curve := make([]int, 500)
+	for i := range curve {
+		// Roughly Poisson(30) by summing Bernoulli draws.
+		c := 0
+		for j := 0; j < 60; j++ {
+			if rng.Float64() < 0.5 {
+				c++
+			}
+		}
+		curve[i] = c
+	}
+	for i := 250; i < 260; i++ {
+		curve[i] = 2
+	}
+	s := Surprise(curve)
+	anoms := SurpriseAnomalies(s, 3, 0, 0)
+	if len(anoms) == 0 {
+		t.Fatal("no anomalies")
+	}
+	if !anoms[0].Interval.Overlaps(iv(250, 259)) {
+		t.Errorf("top anomaly %+v misses the hole", anoms[0])
+	}
+}

@@ -1,0 +1,49 @@
+package discord
+
+import (
+	"errors"
+
+	"grammarviz/internal/timeseries"
+)
+
+// Errors shared by the search entry points.
+var (
+	// ErrNoCandidates is returned when the input admits no candidate with
+	// a valid non-self match (e.g. the series is shorter than two
+	// windows).
+	ErrNoCandidates = errors.New("discord: no candidate has a non-self match")
+)
+
+// Discord is one ranked anomaly reported by a search.
+type Discord struct {
+	// Interval is the subsequence the discord covers.
+	Interval timeseries.Interval
+	// Dist is the distance to the nearest non-self match: raw Euclidean
+	// for brute force and HOTSAX, length-normalized Euclidean (paper
+	// Eq. 1) for RRA.
+	Dist float64
+	// NNStart is the start of the nearest non-self match found.
+	NNStart int
+	// RuleID is the grammar rule that produced the candidate (RRA only;
+	// -1 for non-rule candidates and for the other algorithms).
+	RuleID int
+	// Freq is the candidate's rule usage frequency (RRA only).
+	Freq int
+}
+
+// Result is the output of one search run.
+type Result struct {
+	Discords  []Discord // ranked best-first
+	DistCalls int64     // total distance-kernel invocations
+}
+
+// overlapsAny reports whether iv overlaps any previously found discord —
+// used to exclude prior discords' regions from later candidate passes.
+func overlapsAny(iv timeseries.Interval, found []Discord) bool {
+	for _, d := range found {
+		if iv.Overlaps(d.Interval) {
+			return true
+		}
+	}
+	return false
+}

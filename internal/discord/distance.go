@@ -1,0 +1,86 @@
+// Package discord implements the distance-based anomaly detectors the
+// paper evaluates: the brute-force discord search, the HOTSAX heuristic
+// (Keogh, Lin, Fu 2005), and the paper's contribution RRA (Rare Rule
+// Anomaly), which searches over variable-length grammar-rule intervals.
+//
+// All three share one early-abandoning z-normalized Euclidean distance
+// kernel whose invocation count is the efficiency metric of the paper's
+// Table 1 ("number of calls to the distance function").
+package discord
+
+import (
+	"math"
+
+	"grammarviz/internal/timeseries"
+)
+
+// engine provides O(1) mean/std for any subsequence via prefix sums, plus
+// the early-abandoning distance kernel and its call counter.
+type engine struct {
+	ts     []float64
+	sum    []float64 // sum[i] = ts[0] + ... + ts[i-1]
+	sumSq  []float64
+	calls  int64
+	thresh float64 // flat-subsequence std guard
+}
+
+func newEngine(ts []float64) *engine {
+	e := &engine{
+		ts:     ts,
+		sum:    make([]float64, len(ts)+1),
+		sumSq:  make([]float64, len(ts)+1),
+		thresh: timeseries.DefaultNormThreshold,
+	}
+	for i, v := range ts {
+		e.sum[i+1] = e.sum[i] + v
+		e.sumSq[i+1] = e.sumSq[i] + v*v
+	}
+	return e
+}
+
+// meanInvStd returns the mean and the inverse standard deviation of
+// ts[start:start+length]. For near-flat subsequences the inverse std is 0,
+// which makes z-normalized values plain mean offsets (all zero) — matching
+// timeseries.ZNormalize's flat guard.
+func (e *engine) meanInvStd(start, length int) (mean, invStd float64) {
+	n := float64(length)
+	mean = (e.sum[start+length] - e.sum[start]) / n
+	variance := (e.sumSq[start+length]-e.sumSq[start])/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	std := math.Sqrt(variance)
+	if std <= e.thresh {
+		return mean, 0
+	}
+	return mean, 1 / std
+}
+
+// dist computes the Euclidean distance between the z-normalized
+// subsequences ts[p:p+length] and ts[q:q+length], abandoning early when
+// the running distance exceeds cutoff (pass +Inf to disable). Every call
+// increments the kernel counter regardless of abandonment — the Table 1
+// accounting convention. An abandoned computation returns +Inf.
+func (e *engine) dist(p, q, length int, cutoff float64) float64 {
+	e.calls++
+	mp, ip := e.meanInvStd(p, length)
+	mq, iq := e.meanInvStd(q, length)
+	limit := math.Inf(1)
+	if !math.IsInf(cutoff, 1) {
+		limit = cutoff * cutoff
+	}
+	var sum float64
+	a := e.ts[p : p+length]
+	b := e.ts[q : q+length]
+	for i := 0; i < length; i++ {
+		d := (a[i]-mp)*ip - (b[i]-mq)*iq
+		sum += d * d
+		if sum > limit {
+			return math.Inf(1)
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// Calls returns the number of distance-kernel invocations so far.
+func (e *engine) Calls() int64 { return e.calls }

@@ -1,0 +1,146 @@
+package discord
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+)
+
+// Property: the prefix-sum mean/invStd matches a direct computation for
+// random subsequences.
+func TestMeanInvStdMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	ts := make([]float64, 500)
+	for i := range ts {
+		ts[i] = rng.NormFloat64()*3 + 1
+	}
+	e := newEngine(ts)
+	f := func(startRaw, lenRaw uint16) bool {
+		length := int(lenRaw%100) + 2
+		start := int(startRaw) % (len(ts) - length)
+		mean, invStd := e.meanInvStd(start, length)
+		s, _ := timeseries.Describe(ts[start : start+length])
+		if math.Abs(mean-s.Mean) > 1e-9 {
+			return false
+		}
+		if s.Std <= timeseries.DefaultNormThreshold {
+			return invStd == 0
+		}
+		return math.Abs(invStd-1/s.Std) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Flat subsequences must not blow up: distance between two flat windows is
+// zero regardless of their noise-free levels.
+func TestDistFlatGuard(t *testing.T) {
+	ts := make([]float64, 100)
+	for i := 50; i < 100; i++ {
+		ts[i] = 42 // a different flat level
+	}
+	e := newEngine(ts)
+	if d := e.dist(0, 50, 40, math.Inf(1)); d != 0 {
+		t.Errorf("flat-vs-flat distance = %v, want 0", d)
+	}
+}
+
+// Distance is symmetric and satisfies identity.
+func TestDistMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	ts := make([]float64, 400)
+	for i := range ts {
+		ts[i] = math.Sin(float64(i)/7) + rng.NormFloat64()*0.1
+	}
+	e := newEngine(ts)
+	for trial := 0; trial < 100; trial++ {
+		length := rng.Intn(60) + 2
+		p := rng.Intn(len(ts) - length)
+		q := rng.Intn(len(ts) - length)
+		dpq := e.dist(p, q, length, math.Inf(1))
+		dqp := e.dist(q, p, length, math.Inf(1))
+		if math.Abs(dpq-dqp) > 1e-9 {
+			t.Fatalf("asymmetric: d(%d,%d)=%v d(%d,%d)=%v", p, q, dpq, q, p, dqp)
+		}
+		if d := e.dist(p, p, length, math.Inf(1)); d != 0 {
+			t.Fatalf("d(%d,%d) = %v, want 0", p, p, d)
+		}
+	}
+}
+
+// Early abandoning must never change an accepted (non-abandoned) result:
+// if the distance is below the cutoff it equals the exact distance.
+func TestDistCutoffConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	ts := make([]float64, 300)
+	for i := range ts {
+		ts[i] = rng.NormFloat64()
+	}
+	e := newEngine(ts)
+	for trial := 0; trial < 200; trial++ {
+		length := rng.Intn(40) + 2
+		p := rng.Intn(len(ts) - length)
+		q := rng.Intn(len(ts) - length)
+		exact := e.dist(p, q, length, math.Inf(1))
+		cutoff := exact * (0.5 + rng.Float64()) // sometimes above, sometimes below
+		got := e.dist(p, q, length, cutoff)
+		if got <= cutoff+1e-12 && math.Abs(got-exact) > 1e-9 {
+			t.Fatalf("accepted result %v differs from exact %v (cutoff %v)", got, exact, cutoff)
+		}
+		if math.IsInf(got, 1) && exact <= cutoff-1e-9 {
+			t.Fatalf("abandoned although exact %v <= cutoff %v", exact, cutoff)
+		}
+	}
+}
+
+func TestBruteForceTopKOrderingAndExclusion(t *testing.T) {
+	ts := anomalousSine(800, 40, 200, 40, 61)
+	for i := 600; i < 640; i++ {
+		ts[i] = 0.3
+	}
+	res, err := BruteForce(ts, 40, 3)
+	if err != nil {
+		t.Fatalf("BruteForce: %v", err)
+	}
+	if len(res.Discords) < 2 {
+		t.Fatalf("found %d discords", len(res.Discords))
+	}
+	for i := 1; i < len(res.Discords); i++ {
+		if res.Discords[i].Dist > res.Discords[i-1].Dist+1e-12 {
+			t.Error("brute-force discords not ranked")
+		}
+		for j := 0; j < i; j++ {
+			if res.Discords[i].Interval.Overlaps(res.Discords[j].Interval) {
+				t.Error("overlapping brute-force discords")
+			}
+		}
+	}
+}
+
+func TestHOTSAXTopKNonOverlap(t *testing.T) {
+	ts := anomalousSine(1000, 50, 300, 50, 63)
+	for i := 700; i < 750; i++ {
+		ts[i] = -0.2
+	}
+	res, err := HOTSAX(ts, saxParams50(), 3, 63)
+	if err != nil {
+		t.Fatalf("HOTSAX: %v", err)
+	}
+	for i := 1; i < len(res.Discords); i++ {
+		if res.Discords[i].Dist > res.Discords[i-1].Dist+1e-12 {
+			t.Error("HOTSAX discords not ranked")
+		}
+		for j := 0; j < i; j++ {
+			if res.Discords[i].Interval.Overlaps(res.Discords[j].Interval) {
+				t.Error("overlapping HOTSAX discords")
+			}
+		}
+	}
+}
+
+func saxParams50() (p sax.Params) { return sax.Params{Window: 50, PAA: 5, Alphabet: 4} }

@@ -1,0 +1,131 @@
+package discord
+
+import (
+	"math"
+	"math/rand"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+)
+
+// HOTSAX finds the top-k fixed-length discords with the HOTSAX heuristic
+// (Keogh, Lin, Fu 2005): every window is SAX-encoded; the outer loop
+// visits candidates in ascending order of their word's frequency (rare
+// words first, shuffled within a frequency class), and the inner loop
+// visits same-word positions first, then the rest in random order. Both
+// orderings maximize the effect of the best-so-far break and of early
+// abandoning, without sacrificing exactness.
+//
+// The word length and alphabet of p drive only the heuristic ordering; the
+// reported discord is exact for the window length p.Window.
+func HOTSAX(ts []float64, p sax.Params, k int, seed int64) (Result, error) {
+	return hotsaxSearch(ts, p, k, seed, Tuning{})
+}
+
+func hotsaxSearch(ts []float64, p sax.Params, k int, seed int64, tuning Tuning) (Result, error) {
+	if err := p.Validate(len(ts)); err != nil {
+		return Result{}, err
+	}
+	window := p.Window
+	d, err := sax.Discretize(ts, p, sax.ReductionNone)
+	if err != nil {
+		return Result{}, err
+	}
+	words := d.Strings() // words[i] = word of the window starting at i
+
+	// Index: word -> positions, and per-position frequency.
+	index := make(map[string][]int)
+	for pos, w := range words {
+		index[w] = append(index[w], pos)
+	}
+	freq := make([]int, len(words))
+	for pos, w := range words {
+		freq[pos] = len(index[w])
+	}
+
+	// Outer order: ascending word frequency; positions within the same
+	// frequency class are shuffled.
+	rng := rand.New(rand.NewSource(seed))
+	outer := orderOuter(len(words), func(i int) int { return freq[i] }, rng, tuning)
+
+	// One shared random visiting order for every inner loop; generating a
+	// fresh permutation per candidate would cost O(m) each and dominate
+	// the runtime the ordering is meant to save.
+	inner := rng.Perm(len(words))
+
+	e := newEngine(ts)
+	var res Result
+	for found := 0; found < k; found++ {
+		best := Discord{Dist: -1, RuleID: -1, NNStart: -1}
+		for _, cand := range outer {
+			iv := timeseries.Interval{Start: cand, End: cand + window - 1}
+			if overlapsAny(iv, res.Discords) {
+				continue
+			}
+			sameWord := index[words[cand]]
+			if tuning.NoSameGroupFirst {
+				sameWord = nil
+			}
+			nn, nnStart := e.nearestNeighbor(cand, window, sameWord, inner, best.Dist)
+			if nnStart >= 0 && nn > best.Dist {
+				best = Discord{Interval: iv, Dist: nn, NNStart: nnStart, RuleID: -1}
+			}
+		}
+		if best.NNStart < 0 {
+			break
+		}
+		res.Discords = append(res.Discords, best)
+	}
+	res.DistCalls = e.Calls()
+	if len(res.Discords) == 0 {
+		return res, ErrNoCandidates
+	}
+	return res, nil
+}
+
+// nearestNeighbor runs the HOTSAX inner loop for candidate cand: same-word
+// positions first, then all positions in the shared random order inner. It
+// returns early with (-Inf, -2) when a distance below bestSoFar proves
+// cand cannot be the discord.
+func (e *engine) nearestNeighbor(cand, window int, sameWord, inner []int, bestSoFar float64) (float64, int) {
+	nn := math.Inf(1)
+	nnStart := -1
+	visit := func(q int) bool {
+		if abs(cand-q) < window {
+			return true // self match, skip
+		}
+		cutoff := nn
+		if bestSoFar > cutoff {
+			cutoff = bestSoFar
+		}
+		d := e.dist(cand, q, window, cutoff)
+		if d < bestSoFar {
+			return false // cand cannot beat the best-so-far discord
+		}
+		if d < nn {
+			nn = d
+			nnStart = q
+		}
+		return true
+	}
+	for _, q := range sameWord {
+		if !visit(q) {
+			return math.Inf(-1), -2
+		}
+	}
+	// Random-order pass over all positions, skipping the same-word
+	// positions already visited.
+	skip := make(map[int]bool, len(sameWord))
+	for _, q := range sameWord {
+		skip[q] = true
+	}
+	for _, q := range inner {
+		if skip[q] {
+			continue
+		}
+		if !visit(q) {
+			return math.Inf(-1), -2
+		}
+	}
+	return nn, nnStart
+}

@@ -1,0 +1,97 @@
+package discord
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"grammarviz/internal/grammar"
+)
+
+// NearestNonSelfParallel computes exactly what NearestNonSelf computes,
+// fanned out over up to workers goroutines (workers <= 0 selects
+// GOMAXPROCS). Every candidate's scan is independent, and each worker has
+// its own distance engine, so the output is byte-identical to the serial
+// version regardless of scheduling.
+func NearestNonSelfParallel(ts []float64, rs *grammar.RuleSet, workers int) []Discord {
+	cands := Candidates(rs)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		return NearestNonSelf(ts, rs)
+	}
+
+	byRule := make(map[int][]int)
+	for i, c := range cands {
+		byRule[c.RuleID] = append(byRule[c.RuleID], i)
+	}
+
+	results := make([]Discord, len(cands))
+	found := make([]bool, len(cands))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e := newEngine(ts)
+			for ci := w; ci < len(cands); ci += workers {
+				if d, ok := nearestOf(e, cands, byRule, ci, len(ts)); ok {
+					results[ci] = d
+					found[ci] = true
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	out := make([]Discord, 0, len(cands))
+	for i := range results {
+		if found[i] {
+			out = append(out, results[i])
+		}
+	}
+	return out
+}
+
+// nearestOf scans all candidates for the true nearest non-self match of
+// candidate ci, same-rule occurrences first for early-abandoning warmth.
+func nearestOf(e *engine, cands []Candidate, byRule map[int][]int, ci, m int) (Discord, bool) {
+	c := cands[ci]
+	length := c.IV.Len()
+	scale := float64(length)
+	nn := math.Inf(1)
+	nnStart := -1
+	visit := func(qi int) {
+		if qi == ci {
+			return
+		}
+		q := cands[qi].IV.Start
+		if abs(c.IV.Start-q) < length || q+length > m {
+			return
+		}
+		d := e.dist(c.IV.Start, q, length, nn*scale) / scale
+		if d < nn {
+			nn = d
+			nnStart = q
+		}
+	}
+	same := byRule[c.RuleID]
+	sameSet := make(map[int]bool, len(same))
+	for _, qi := range same {
+		sameSet[qi] = true
+		visit(qi)
+	}
+	for qi := range cands {
+		if !sameSet[qi] {
+			visit(qi)
+		}
+	}
+	if nnStart < 0 {
+		return Discord{}, false
+	}
+	return Discord{Interval: c.IV, Dist: nn, NNStart: nnStart, RuleID: c.RuleID, Freq: c.Freq}, true
+}

@@ -1,0 +1,214 @@
+package discord
+
+import (
+	"math"
+	"math/rand"
+
+	"grammarviz/internal/grammar"
+	"grammarviz/internal/timeseries"
+)
+
+// Candidate is one RRA search interval: a grammar-rule occurrence, or a
+// zero-coverage gap (Freq 0).
+type Candidate struct {
+	IV     timeseries.Interval
+	RuleID int // -1 for zero-coverage gaps
+	Freq   int // the rule's usage frequency
+}
+
+// minCandidateLen is the shortest interval RRA will evaluate: comparing
+// z-normalized subsequences needs at least a handful of points to be
+// meaningful.
+const minCandidateLen = 4
+
+// Candidates assembles RRA's search intervals from a rule set: every rule
+// occurrence, plus every maximal run of words that never made it into any
+// rule ("continuous subsequences of the discretized time series that do
+// not form any rule", Section 4.2) — frequency 0, considered first by the
+// outer loop. Both kinds of interval span at least one window, so the
+// length-normalized distance compares like with like.
+func Candidates(rs *grammar.RuleSet) []Candidate {
+	var cands []Candidate
+	for _, rec := range rs.Records {
+		for _, iv := range rec.Occurrences {
+			if iv.Len() >= minCandidateLen {
+				cands = append(cands, Candidate{IV: iv, RuleID: rec.ID, Freq: rec.Frequency})
+			}
+		}
+	}
+	for _, run := range rs.UncoveredWordRuns() {
+		iv := rs.WordInterval(run[0], run[1])
+		if iv.Len() >= minCandidateLen {
+			cands = append(cands, Candidate{IV: iv, RuleID: -1, Freq: 0})
+		}
+	}
+	return cands
+}
+
+// RRA is the paper's exact variable-length discord search (Algorithm 1):
+// a HOTSAX-style nested loop over the grammar-derived candidate intervals.
+// The outer loop visits candidates in ascending rule-frequency order
+// (zero-coverage gaps first, shuffled within a frequency class); the inner
+// loop visits occurrences of the candidate's own rule first, then the rest
+// in random order. Distance is the length-normalized Euclidean distance of
+// Eq. 1, so discords of different lengths are comparable. Top-k discords
+// are found by re-running the search with previously found discords'
+// regions excluded from the candidate list.
+func RRA(ts []float64, rs *grammar.RuleSet, k int, seed int64) (Result, error) {
+	return rraSearch(ts, Candidates(rs), k, seed)
+}
+
+func rraSearch(ts []float64, cands []Candidate, k int, seed int64) (Result, error) {
+	return rraSearchTuned(ts, cands, k, seed, Tuning{})
+}
+
+func rraSearchTuned(ts []float64, cands []Candidate, k int, seed int64, tuning Tuning) (Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	m := len(ts)
+
+	// Outer order: ascending frequency, shuffled within a class.
+	outer := orderOuter(len(cands), func(i int) int { return cands[i].Freq }, rng, tuning)
+
+	// Same-rule occurrence lists for the inner loop's first phase.
+	byRule := make(map[int][]int)
+	if !tuning.NoSameGroupFirst {
+		for i, c := range cands {
+			byRule[c.RuleID] = append(byRule[c.RuleID], i)
+		}
+	}
+	inner := rng.Perm(len(cands)) // shared random order for the second phase
+
+	e := newEngine(ts)
+	var res Result
+	for found := 0; found < k; found++ {
+		best := Discord{Dist: -1, RuleID: -1, NNStart: -1}
+		for _, ci := range outer {
+			c := cands[ci]
+			if overlapsAny(c.IV, res.Discords) {
+				continue
+			}
+			nn, nnStart := e.rraNearest(c, ci, cands, byRule[c.RuleID], inner, best.Dist, m)
+			if nnStart >= 0 && nn > best.Dist {
+				best = Discord{Interval: c.IV, Dist: nn, NNStart: nnStart, RuleID: c.RuleID, Freq: c.Freq}
+			}
+		}
+		if best.NNStart < 0 {
+			break
+		}
+		res.Discords = append(res.Discords, best)
+	}
+	res.DistCalls = e.Calls()
+	if len(res.Discords) == 0 {
+		return res, ErrNoCandidates
+	}
+	return res, nil
+}
+
+// rraNearest runs the RRA inner loop for candidate c (index ci): same-rule
+// occurrences first, then every candidate in the shared random order. It
+// returns (-Inf, -2) as soon as a distance below bestSoFar proves c cannot
+// be the discord. Distances are normalized by the candidate's length.
+func (e *engine) rraNearest(c Candidate, ci int, cands []Candidate, sameRule, inner []int, bestSoFar float64, m int) (float64, int) {
+	length := c.IV.Len()
+	nn := math.Inf(1)
+	nnStart := -1
+	scale := float64(length)
+
+	visit := func(qi int) bool {
+		if qi == ci {
+			return true
+		}
+		q := cands[qi].IV.Start
+		if abs(c.IV.Start-q) < length {
+			return true // self match (Algorithm 1 line 7)
+		}
+		if q+length > m {
+			return true // cannot extract len(p) points at q
+		}
+		cutoff := nn
+		if bestSoFar > cutoff {
+			cutoff = bestSoFar
+		}
+		d := e.dist(c.IV.Start, q, length, cutoff*scale) / scale
+		if d < bestSoFar {
+			return false
+		}
+		if d < nn {
+			nn = d
+			nnStart = q
+		}
+		return true
+	}
+
+	visited := make(map[int]bool, len(sameRule))
+	for _, qi := range sameRule {
+		visited[qi] = true
+		if !visit(qi) {
+			return math.Inf(-1), -2
+		}
+	}
+	for _, qi := range inner {
+		if visited[qi] {
+			continue
+		}
+		if !visit(qi) {
+			return math.Inf(-1), -2
+		}
+	}
+	return nn, nnStart
+}
+
+// NearestNonSelf computes, for every candidate interval, the true
+// length-normalized distance to its nearest non-self match (no best-so-far
+// break). It is the data behind the bottom panels of Figures 2 and 3 —
+// a vertical line at each rule-corresponding subsequence whose height is
+// the distance.
+func NearestNonSelf(ts []float64, rs *grammar.RuleSet) []Discord {
+	cands := Candidates(rs)
+	e := newEngine(ts)
+	m := len(ts)
+
+	// Visiting same-rule occurrences first usually finds a small distance
+	// immediately, which makes the early-abandoning cutoff effective for
+	// the rest of the scan.
+	byRule := make(map[int][]int)
+	for i, c := range cands {
+		byRule[c.RuleID] = append(byRule[c.RuleID], i)
+	}
+
+	out := make([]Discord, 0, len(cands))
+	seen := make([]int, len(cands)) // seen[qi] == ci+1 when visited for ci
+	for ci, c := range cands {
+		length := c.IV.Len()
+		scale := float64(length)
+		nn := math.Inf(1)
+		nnStart := -1
+		visit := func(qi int) {
+			if qi == ci {
+				return
+			}
+			q := cands[qi].IV.Start
+			if abs(c.IV.Start-q) < length || q+length > m {
+				return
+			}
+			d := e.dist(c.IV.Start, q, length, nn*scale) / scale
+			if d < nn {
+				nn = d
+				nnStart = q
+			}
+		}
+		for _, qi := range byRule[c.RuleID] {
+			seen[qi] = ci + 1
+			visit(qi)
+		}
+		for qi := range cands {
+			if seen[qi] != ci+1 {
+				visit(qi)
+			}
+		}
+		if nnStart >= 0 {
+			out = append(out, Discord{Interval: c.IV, Dist: nn, NNStart: nnStart, RuleID: c.RuleID, Freq: c.Freq})
+		}
+	}
+	return out
+}

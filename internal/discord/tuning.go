@@ -1,0 +1,41 @@
+package discord
+
+import (
+	"math/rand"
+	"sort"
+
+	"grammarviz/internal/grammar"
+	"grammarviz/internal/sax"
+)
+
+// Tuning disables individual search heuristics, for ablation studies of
+// how much each ordering contributes to the pruning (Section 4.2 explains
+// both intuitions). The zero value is the full algorithm.
+type Tuning struct {
+	// NoRarityOrder visits outer-loop candidates in random order instead
+	// of ascending rule-usage frequency.
+	NoRarityOrder bool
+	// NoSameGroupFirst skips the inner loop's same-rule (RRA) or
+	// same-word (HOTSAX) first phase.
+	NoSameGroupFirst bool
+}
+
+// RRATuned is RRA with ablation switches.
+func RRATuned(ts []float64, rs *grammar.RuleSet, k int, seed int64, tuning Tuning) (Result, error) {
+	return rraSearchTuned(ts, Candidates(rs), k, seed, tuning)
+}
+
+// HOTSAXTuned is HOTSAX with ablation switches.
+func HOTSAXTuned(ts []float64, p sax.Params, k int, seed int64, tuning Tuning) (Result, error) {
+	return hotsaxSearch(ts, p, k, seed, tuning)
+}
+
+// orderOuter produces the outer-loop visiting order: shuffled, then
+// stably sorted by ascending frequency unless rarity ordering is disabled.
+func orderOuter(n int, freqOf func(int) int, rng *rand.Rand, tuning Tuning) []int {
+	outer := rng.Perm(n)
+	if !tuning.NoRarityOrder {
+		sort.SliceStable(outer, func(i, j int) bool { return freqOf(outer[i]) < freqOf(outer[j]) })
+	}
+	return outer
+}

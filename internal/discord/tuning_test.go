@@ -1,0 +1,84 @@
+package discord
+
+import (
+	"math"
+	"testing"
+
+	"grammarviz/internal/sax"
+)
+
+// The orderings are pure pruning heuristics: disabling them may change the
+// number of distance calls but never the best discord's distance (the
+// searches stay exact).
+func TestRRATunedExactnessInvariant(t *testing.T) {
+	ts := anomalousSine(1500, 50, 700, 50, 31)
+	rs := ruleSetFor(t, ts, sax.Params{Window: 50, PAA: 5, Alphabet: 4})
+	base, err := RRA(ts, rs, 1, 31)
+	if err != nil {
+		t.Fatalf("RRA: %v", err)
+	}
+	for _, tuning := range []Tuning{
+		{NoRarityOrder: true},
+		{NoSameGroupFirst: true},
+		{NoRarityOrder: true, NoSameGroupFirst: true},
+	} {
+		got, err := RRATuned(ts, rs, 1, 31, tuning)
+		if err != nil {
+			t.Fatalf("RRATuned(%+v): %v", tuning, err)
+		}
+		if math.Abs(got.Discords[0].Dist-base.Discords[0].Dist) > 1e-9 {
+			t.Errorf("tuning %+v changed best distance: %v vs %v",
+				tuning, got.Discords[0].Dist, base.Discords[0].Dist)
+		}
+	}
+}
+
+func TestHOTSAXTunedExactnessInvariant(t *testing.T) {
+	ts := anomalousSine(1200, 40, 600, 40, 33)
+	p := sax.Params{Window: 40, PAA: 4, Alphabet: 4}
+	base, err := HOTSAX(ts, p, 1, 33)
+	if err != nil {
+		t.Fatalf("HOTSAX: %v", err)
+	}
+	for _, tuning := range []Tuning{
+		{NoRarityOrder: true},
+		{NoSameGroupFirst: true},
+		{NoRarityOrder: true, NoSameGroupFirst: true},
+	} {
+		got, err := HOTSAXTuned(ts, p, 1, 33, tuning)
+		if err != nil {
+			t.Fatalf("HOTSAXTuned(%+v): %v", tuning, err)
+		}
+		if math.Abs(got.Discords[0].Dist-base.Discords[0].Dist) > 1e-9 {
+			t.Errorf("tuning %+v changed best distance: %v vs %v",
+				tuning, got.Discords[0].Dist, base.Discords[0].Dist)
+		}
+		if got.Discords[0].Interval != base.Discords[0].Interval {
+			// Fixed-length search has a unique best window unless there is
+			// an exact distance tie.
+			t.Logf("tuning %+v picked %v vs %v at equal distance",
+				tuning, got.Discords[0].Interval, base.Discords[0].Interval)
+		}
+	}
+}
+
+func TestTuningZeroValueIsFullAlgorithm(t *testing.T) {
+	ts := anomalousSine(900, 45, 450, 45, 35)
+	rs := ruleSetFor(t, ts, sax.Params{Window: 45, PAA: 5, Alphabet: 4})
+	a, err := RRA(ts, rs, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RRATuned(ts, rs, 2, 7, Tuning{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DistCalls != b.DistCalls || len(a.Discords) != len(b.Discords) {
+		t.Fatalf("zero tuning differs from RRA: %+v vs %+v", a, b)
+	}
+	for i := range a.Discords {
+		if a.Discords[i] != b.Discords[i] {
+			t.Errorf("discord %d differs", i)
+		}
+	}
+}

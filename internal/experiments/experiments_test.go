@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"grammarviz/internal/datasets"
+)
+
+func TestRunRowECG0606(t *testing.T) {
+	row, err := RunRow("ecg0606", 1)
+	if err != nil {
+		t.Fatalf("RunRow: %v", err)
+	}
+	// Table 1 shape: RRA < HOTSAX < brute force.
+	if row.RRACalls >= row.HotsaxCalls {
+		t.Errorf("RRA calls %d >= HOTSAX calls %d", row.RRACalls, row.HotsaxCalls)
+	}
+	if row.HotsaxCalls >= row.BruteCalls {
+		t.Errorf("HOTSAX calls %d >= brute force %d", row.HotsaxCalls, row.BruteCalls)
+	}
+	if row.ReductionPct <= 0 || row.ReductionPct >= 100 {
+		t.Errorf("ReductionPct = %v", row.ReductionPct)
+	}
+	if !row.TruthHitRRA {
+		t.Error("RRA missed the planted anomaly")
+	}
+	if !row.TruthHitHotsax {
+		t.Error("HOTSAX missed the planted anomaly")
+	}
+	if row.RRALen < 4 {
+		t.Errorf("RRALen = %d", row.RRALen)
+	}
+}
+
+func TestRunRowUnknown(t *testing.T) {
+	if _, err := RunRow("nope", 1); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	row, err := RunRow("tek16", 1)
+	if err != nil {
+		t.Fatalf("RunRow: %v", err)
+	}
+	out := FormatTable1([]Table1Row{row}, true)
+	if !strings.Contains(out, "tek16") || !strings.Contains(out, "paper:") {
+		t.Errorf("FormatTable1 output:\n%s", out)
+	}
+}
+
+func TestRunDensityFigure(t *testing.T) {
+	fig, err := RunDensityFigure("ecg0606", 1, 1)
+	if err != nil {
+		t.Fatalf("RunDensityFigure: %v", err)
+	}
+	if len(fig.Pipeline.Density) != len(fig.Dataset.Series) {
+		t.Error("density length mismatch")
+	}
+	if len(fig.Minima) == 0 || len(fig.NN) == 0 || len(fig.Discords) == 0 {
+		t.Errorf("empty panels: minima=%d nn=%d discords=%d",
+			len(fig.Minima), len(fig.NN), len(fig.Discords))
+	}
+}
+
+func TestRunRankingSmall(t *testing.T) {
+	cmp, err := RunRanking("tek14", 2, 1)
+	if err != nil {
+		t.Fatalf("RunRanking: %v", err)
+	}
+	if len(cmp.Pairs) == 0 {
+		t.Fatal("no ranked pairs")
+	}
+	for i, p := range cmp.Pairs {
+		if p.Rank != i+1 {
+			t.Errorf("pair %d has rank %d", i, p.Rank)
+		}
+	}
+}
+
+func TestRunSweepTiny(t *testing.T) {
+	grid := SweepGrid{Windows: []int{60, 120}, PAAs: []int{4}, Alphabets: []int{4}}
+	res, err := RunSweep("ecg0606", grid, 1)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if res.Valid != 2 {
+		t.Errorf("Valid = %d, want 2", res.Valid)
+	}
+	if res.RRAHits == 0 {
+		t.Error("RRA should hit on at least one near-paper combination")
+	}
+	if len(res.Points) != res.Valid {
+		t.Errorf("points %d != valid %d", len(res.Points), res.Valid)
+	}
+}
+
+func TestRunTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trajectory case study is slow")
+	}
+	fig, err := RunTrajectory(1)
+	if err != nil {
+		t.Fatalf("RunTrajectory: %v", err)
+	}
+	if !fig.DetourHitByDensity {
+		t.Error("density minima missed the planted detour (Figure 7 behaviour)")
+	}
+	if len(fig.Figure.Discords) == 0 {
+		t.Error("no RRA discords on trajectory")
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	// On the ECG dataset every one of the five detectors recovers the
+	// planted anomaly (measured; see EXPERIMENTS.md "Detector comparison").
+	rs, err := RunBaselines("ecg0606", 1)
+	if err != nil {
+		t.Fatalf("RunBaselines: %v", err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("got %d detectors", len(rs))
+	}
+	for _, r := range rs {
+		if !r.Hit {
+			t.Errorf("%s missed the planted anomaly (%s)", r.Detector, r.Detail)
+		}
+	}
+	out := FormatBaselines("ecg0606", rs)
+	if !strings.Contains(out, "rra") || !strings.Contains(out, "wcad") {
+		t.Errorf("FormatBaselines output:\n%s", out)
+	}
+}
+
+func TestRunBaselinesExactBeatApproximateOnTelemetry(t *testing.T) {
+	// On TEK telemetry the distance-based detectors stay reliable while
+	// the purely symbolic ones can be distracted by the long flat "off"
+	// periods — the behaviour the paper's Section 5 summary describes.
+	rs, err := RunBaselines("tek16", 1)
+	if err != nil {
+		t.Fatalf("RunBaselines: %v", err)
+	}
+	byName := map[string]BaselineResult{}
+	for _, r := range rs {
+		byName[r.Detector] = r
+	}
+	if !byName["rra"].Hit {
+		t.Error("RRA missed the planted anomaly")
+	}
+	if !byName["hotsax"].Hit {
+		t.Error("HOTSAX missed the planted anomaly")
+	}
+}
+
+func TestSweepSkipsInvalidCombos(t *testing.T) {
+	// PAA larger than a window must be skipped silently, not fail.
+	grid := SweepGrid{Windows: []int{10, 120}, PAAs: []int{20}, Alphabets: []int{4}}
+	res, err := RunSweep("ecg0606", grid, 1)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if res.Valid != 1 {
+		t.Errorf("Valid = %d, want 1 (only window 120 admits PAA 20)", res.Valid)
+	}
+}
+
+func TestRunRowOnUsesProvidedDataset(t *testing.T) {
+	ds, err := datasets.Generate("tek14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := RunRowOn(ds, 1)
+	if err != nil {
+		t.Fatalf("RunRowOn: %v", err)
+	}
+	if row.Name != "tek14" || row.Length != len(ds.Series) {
+		t.Errorf("row = %+v", row)
+	}
+}

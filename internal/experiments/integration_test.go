@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"testing"
+
+	"grammarviz/internal/datasets"
+	"grammarviz/internal/discord"
+	"grammarviz/internal/timeseries"
+)
+
+// The paper's accuracy claim as a test: on every evaluation dataset, both
+// HOTSAX's and RRA's best discord must overlap the planted ground truth,
+// and RRA must need fewer distance calls than HOTSAX, which must need
+// fewer than brute force.
+func TestTable1ShapeAllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every dataset; ~3s")
+	}
+	for _, name := range datasets.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			row, err := RunRow(name, 1)
+			if err != nil {
+				t.Fatalf("RunRow: %v", err)
+			}
+			if !row.TruthHitHotsax {
+				t.Error("HOTSAX best discord missed the planted anomaly")
+			}
+			if !row.TruthHitRRA {
+				t.Error("RRA best discord missed the planted anomaly")
+			}
+			if row.RRACalls >= row.HotsaxCalls {
+				t.Errorf("RRA %d calls >= HOTSAX %d", row.RRACalls, row.HotsaxCalls)
+			}
+			if row.HotsaxCalls >= row.BruteCalls {
+				t.Errorf("HOTSAX %d calls >= brute force %d", row.HotsaxCalls, row.BruteCalls)
+			}
+			// RRA discords stay near the window scale (paper: 127..366 for
+			// windows 120..750).
+			if row.RRALen < row.HotsaxLen/2 || row.RRALen > row.HotsaxLen*2 {
+				t.Errorf("RRA length %d far from window %d", row.RRALen, row.HotsaxLen)
+			}
+		})
+	}
+}
+
+// Figure 5's qualitative claim as a test: on the long multi-anomaly ECG,
+// HOTSAX and RRA report the same discord set.
+func TestFigure5SameSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long record")
+	}
+	cmp, err := RunRanking("ecg300", 3, 1)
+	if err != nil {
+		t.Fatalf("RunRanking: %v", err)
+	}
+	if !cmp.SameSet {
+		t.Error("HOTSAX and RRA discord sets diverged")
+	}
+	if len(cmp.Pairs) != 3 {
+		t.Errorf("got %d ranked pairs", len(cmp.Pairs))
+	}
+}
+
+func TestDropBoundary(t *testing.T) {
+	in := makeDiscords([][2]int{{0, 99}, {200, 299}, {400, 999}, {500, 599}})
+	out := dropBoundary(in, 1000, 2)
+	if len(out) != 2 {
+		t.Fatalf("got %d discords", len(out))
+	}
+	if out[0].Interval.Start != 200 || out[1].Interval.Start != 500 {
+		t.Errorf("dropBoundary = %+v", out)
+	}
+	// All-boundary input falls back to the unfiltered list.
+	all := makeDiscords([][2]int{{0, 10}, {990, 999}})
+	if got := dropBoundary(all, 1000, 1); len(got) != 2 {
+		t.Errorf("all-boundary fallback = %+v", got)
+	}
+}
+
+func makeDiscords(ivs [][2]int) []discord.Discord {
+	out := make([]discord.Discord, len(ivs))
+	for i, iv := range ivs {
+		out[i] = discord.Discord{Interval: timeseries.Interval{Start: iv[0], End: iv[1]}}
+	}
+	return out
+}

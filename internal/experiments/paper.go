@@ -1,0 +1,34 @@
+package experiments
+
+// PaperRow holds the values the paper reports in Table 1, used for
+// side-by-side comparison in EXPERIMENTS.md and cmd/gvbench. Distance-call
+// counts are float64 because the paper reports the largest ones in
+// scientific notation (e.g. 1.13 x 10^9).
+type PaperRow struct {
+	Length       int
+	Brute        float64
+	Hotsax       float64
+	RRA          float64
+	ReductionPct float64
+	WindowLen    int // HOTSAX discord length (= window)
+	RRALen       int // RRA discord length
+	OverlapPct   float64
+}
+
+// PaperTable1 maps our dataset names to the paper's reported Table 1 rows.
+var PaperTable1 = map[string]PaperRow{
+	"daily-commute":      {17175, 271_442_101, 879_067, 112_405, 87.2, 350, 366, 100.0},
+	"dutch-power-demand": {35040, 1.13e9, 6_196_356, 327_950, 95.7, 750, 773, 96.3},
+	"ecg0606":            {2300, 4_241_541, 72_390, 16_717, 76.9, 120, 127, 79.2},
+	"ecg308":             {5400, 23_044_801, 327_454, 14_655, 95.5, 300, 317, 97.7},
+	"ecg15":              {15000, 207_374_401, 1_434_665, 111_348, 92.2, 300, 306, 65.0},
+	"ecg108":             {21600, 441_021_001, 6_041_145, 150_184, 97.5, 300, 324, 89.7},
+	"ecg300":             {536_976, 288e9, 101_427_254, 17_712_845, 82.6, 300, 312, 83.0},
+	"ecg318":             {586_086, 343e9, 45_513_790, 10_000_632, 78.0, 300, 312, 80.7},
+	"respiration-nprs43": {4000, 14_021_281, 89_570, 45_352, 49.3, 128, 135, 96.0},
+	"respiration-nprs44": {24125, 569_753_031, 1_146_145, 257_529, 77.5, 128, 141, 61.7},
+	"video-gun":          {11251, 119_935_353, 758_456, 69_910, 90.8, 150, 163, 89.3},
+	"tek14":              {5000, 22_510_281, 691_194, 48_226, 93.0, 128, 161, 72.7},
+	"tek16":              {5000, 22_491_306, 61_682, 15_573, 74.8, 128, 138, 65.6},
+	"tek17":              {5000, 22_491_306, 164_225, 78_211, 52.4, 128, 148, 100.0},
+}

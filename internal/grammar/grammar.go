@@ -1,0 +1,206 @@
+// Package grammar post-processes an induced Sequitur grammar for time
+// series analysis: it maps every rule occurrence back to the interval of
+// the original series it derives (Section 3.4 of the paper), and exposes
+// the per-rule statistics (usage frequency, lengths) the detectors need.
+package grammar
+
+import (
+	"errors"
+	"fmt"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/sequitur"
+	"grammarviz/internal/timeseries"
+)
+
+// ErrMismatch is returned when the discretization and the grammar do not
+// describe the same word sequence.
+var ErrMismatch = errors.New("grammar: discretization and grammar disagree")
+
+// RuleRecord describes one non-root grammar rule mapped onto the series.
+type RuleRecord struct {
+	ID        int    // dense Sequitur rule id (>= 1)
+	Str       string // rule body in the paper's notation, e.g. "R2 cba"
+	Expanded  string // fully expanded body, space-separated SAX words
+	Frequency int    // rule usage frequency (occurrences in the derivation)
+	WordLen   int    // number of SAX words the rule derives
+
+	// Occurrences are the series intervals the rule's occurrences cover,
+	// in derivation order.
+	Occurrences []timeseries.Interval
+
+	// WordOccurrences are the same occurrences as inclusive index ranges
+	// into the discretization's word sequence.
+	WordOccurrences [][2]int
+
+	MinLen, MaxLen int     // shortest/longest occurrence, in points
+	MeanLen        float64 // mean occurrence length, in points
+}
+
+// RuleSet is the full mapping of a grammar onto its source series.
+type RuleSet struct {
+	Grammar   *sequitur.Grammar
+	Disc      *sax.Discretization
+	SeriesLen int
+	Window    int
+	Records   []RuleRecord // indexed by rule id - 1 (rule 0, the root, is excluded)
+}
+
+// Build induces nothing itself: it takes the discretization that produced
+// the word sequence and the grammar induced from it, and computes every
+// rule's series intervals. The grammar's root must expand to exactly the
+// discretization's words.
+func Build(d *sax.Discretization, g *sequitur.Grammar) (*RuleSet, error) {
+	words := d.Strings()
+	root := g.ExpandTokens(0)
+	if len(root) != len(words) {
+		return nil, fmt.Errorf("%w: %d words vs %d-token expansion", ErrMismatch, len(words), len(root))
+	}
+	for i := range root {
+		if root[i] != words[i] {
+			return nil, fmt.Errorf("%w: word %d is %q, expansion has %q", ErrMismatch, i, words[i], root[i])
+		}
+	}
+
+	rs := &RuleSet{
+		Grammar:   g,
+		Disc:      d,
+		SeriesLen: d.SeriesLen,
+		Window:    d.Params.Window,
+		Records:   make([]RuleRecord, len(g.Rules)-1),
+	}
+	for id := 1; id < len(g.Rules); id++ {
+		rec := &rs.Records[id-1]
+		rec.ID = id
+		rec.Str = g.RuleString(id)
+		rec.WordLen = len(g.Expand(id))
+		exp := g.ExpandTokens(id)
+		rec.Expanded = joinWords(exp)
+	}
+
+	// Walk the derivation tree once, recording every non-terminal
+	// occurrence as a word-index range, then convert to series intervals.
+	offsets := d.Offsets()
+	var walk func(ruleID, wordPos int) int
+	walk = func(ruleID, wordPos int) int {
+		for _, s := range g.Rules[ruleID].Body {
+			if !s.IsRule {
+				wordPos++
+				continue
+			}
+			span := len(g.Expand(s.ID))
+			iv := rs.wordRangeToInterval(offsets, wordPos, wordPos+span-1)
+			rec := &rs.Records[s.ID-1]
+			rec.Occurrences = append(rec.Occurrences, iv)
+			rec.WordOccurrences = append(rec.WordOccurrences, [2]int{wordPos, wordPos + span - 1})
+			walk(s.ID, wordPos)
+			wordPos += span
+		}
+		return wordPos
+	}
+	walk(0, 0)
+
+	for i := range rs.Records {
+		rec := &rs.Records[i]
+		rec.Frequency = len(rec.Occurrences)
+		if rec.Frequency == 0 {
+			continue
+		}
+		rec.MinLen = rec.Occurrences[0].Len()
+		var sum int
+		for _, iv := range rec.Occurrences {
+			l := iv.Len()
+			sum += l
+			if l < rec.MinLen {
+				rec.MinLen = l
+			}
+			if l > rec.MaxLen {
+				rec.MaxLen = l
+			}
+		}
+		rec.MeanLen = float64(sum) / float64(rec.Frequency)
+	}
+	return rs, nil
+}
+
+// wordRangeToInterval converts an inclusive word-index range of the
+// derivation into the series interval it covers: from the first word's
+// offset through the last word's window end, clamped to the series.
+func (rs *RuleSet) wordRangeToInterval(offsets []int, firstWord, lastWord int) timeseries.Interval {
+	start := offsets[firstWord]
+	end := offsets[lastWord] + rs.Window - 1
+	if end >= rs.SeriesLen {
+		end = rs.SeriesLen - 1
+	}
+	return timeseries.Interval{Start: start, End: end}
+}
+
+// WordInterval maps an inclusive word-index range of the discretization to
+// the series interval it covers.
+func (rs *RuleSet) WordInterval(firstWord, lastWord int) timeseries.Interval {
+	offsets := rs.Disc.Offsets()
+	return rs.wordRangeToInterval(offsets, firstWord, lastWord)
+}
+
+// UncoveredWordRuns returns the maximal runs of consecutive words that are
+// not part of any rule occurrence — "continuous subsequences of the
+// discretized time series that do not form any rule" (Section 4.2), the
+// frequency-0 candidates of the RRA search.
+func (rs *RuleSet) UncoveredWordRuns() [][2]int {
+	n := len(rs.Disc.Words)
+	covered := make([]bool, n)
+	for _, rec := range rs.Records {
+		for _, wr := range rec.WordOccurrences {
+			for i := wr[0]; i <= wr[1]; i++ {
+				covered[i] = true
+			}
+		}
+	}
+	var out [][2]int
+	start := -1
+	for i := 0; i < n; i++ {
+		switch {
+		case !covered[i] && start < 0:
+			start = i
+		case covered[i] && start >= 0:
+			out = append(out, [2]int{start, i - 1})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, [2]int{start, n - 1})
+	}
+	return out
+}
+
+// NumRules returns the number of non-root rules.
+func (rs *RuleSet) NumRules() int { return len(rs.Records) }
+
+// Size returns the grammar size: the total number of symbols on the
+// right-hand sides of all rules including the root. This is the "grammar
+// size" axis of the paper's Figure 10.
+func (rs *RuleSet) Size() int {
+	size := 0
+	for _, r := range rs.Grammar.Rules {
+		size += len(r.Body)
+	}
+	return size
+}
+
+func joinWords(ws []string) string {
+	n := 0
+	for _, w := range ws {
+		n += len(w) + 1
+	}
+	if n == 0 {
+		return ""
+	}
+	buf := make([]byte, 0, n-1)
+	for i, w := range ws {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, w...)
+	}
+	return string(buf)
+}

@@ -1,0 +1,147 @@
+package grammar
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/sequitur"
+)
+
+// periodic builds a sine with one flattened (anomalous) cycle.
+func periodic(n int, period float64, anomalyAt, anomalyLen int) []float64 {
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = math.Sin(2 * math.Pi * float64(i) / period)
+	}
+	for i := anomalyAt; i < anomalyAt+anomalyLen && i < n; i++ {
+		ts[i] = 0.05 * math.Sin(2*math.Pi*float64(i)/period)
+	}
+	return ts
+}
+
+func buildFixture(t *testing.T) (*RuleSet, *sax.Discretization) {
+	t.Helper()
+	ts := periodic(800, 40, 400, 60)
+	p := sax.Params{Window: 40, PAA: 4, Alphabet: 4}
+	d, err := sax.Discretize(ts, p, sax.ReductionExact)
+	if err != nil {
+		t.Fatalf("Discretize: %v", err)
+	}
+	g := sequitur.Induce(d.Strings())
+	rs, err := Build(d, g)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return rs, d
+}
+
+func TestBuildBasics(t *testing.T) {
+	rs, d := buildFixture(t)
+	if rs.NumRules() == 0 {
+		t.Fatal("periodic series should induce rules")
+	}
+	if rs.SeriesLen != 800 || rs.Window != 40 {
+		t.Errorf("SeriesLen/Window = %d/%d", rs.SeriesLen, rs.Window)
+	}
+	for _, rec := range rs.Records {
+		if rec.Frequency != len(rec.Occurrences) {
+			t.Errorf("R%d Frequency %d != %d occurrences", rec.ID, rec.Frequency, len(rec.Occurrences))
+		}
+		if rec.Frequency < 2 {
+			t.Errorf("R%d used %d times; Sequitur utility should guarantee >= 2", rec.ID, rec.Frequency)
+		}
+		for _, iv := range rec.Occurrences {
+			if !iv.Valid(rs.SeriesLen) {
+				t.Errorf("R%d occurrence %v out of bounds", rec.ID, iv)
+			}
+			if iv.Len() < rs.Window {
+				t.Errorf("R%d occurrence %v shorter than one window", rec.ID, iv)
+			}
+		}
+		if rec.MinLen > rec.MaxLen || rec.MeanLen < float64(rec.MinLen) || rec.MeanLen > float64(rec.MaxLen) {
+			t.Errorf("R%d length stats inconsistent: min=%d mean=%v max=%d",
+				rec.ID, rec.MinLen, rec.MeanLen, rec.MaxLen)
+		}
+		if rec.WordLen < 2 {
+			t.Errorf("R%d derives %d words, want >= 2", rec.ID, rec.WordLen)
+		}
+		if len(strings.Fields(rec.Expanded)) != rec.WordLen {
+			t.Errorf("R%d Expanded %q does not match WordLen %d", rec.ID, rec.Expanded, rec.WordLen)
+		}
+	}
+	_ = d
+}
+
+// Occurrence intervals must start exactly at recorded word offsets and the
+// i-th rule occurrence's words must equal the rule's expansion.
+func TestOccurrencesAlignWithWords(t *testing.T) {
+	rs, d := buildFixture(t)
+	offsetSet := make(map[int]bool)
+	for _, w := range d.Words {
+		offsetSet[w.Offset] = true
+	}
+	for _, rec := range rs.Records {
+		for _, iv := range rec.Occurrences {
+			if !offsetSet[iv.Start] {
+				t.Errorf("R%d occurrence starts at %d which is not a word offset", rec.ID, iv.Start)
+			}
+		}
+	}
+}
+
+// Cross-check with a naive occurrence finder: substring search of the
+// rule's expanded word sequence within the full word sequence must find at
+// least the recorded occurrences at the same word positions.
+func TestOccurrencesMatchNaiveScan(t *testing.T) {
+	rs, d := buildFixture(t)
+	words := d.Strings()
+	joined := " " + strings.Join(words, " ") + " "
+	for _, rec := range rs.Records {
+		needle := " " + rec.Expanded + " "
+		if !strings.Contains(joined, needle) {
+			t.Errorf("R%d expansion %q not found in word stream", rec.ID, rec.Expanded)
+		}
+		// Derivation-order occurrences must be non-decreasing in start.
+		for i := 1; i < len(rec.Occurrences); i++ {
+			if rec.Occurrences[i].Start < rec.Occurrences[i-1].Start {
+				t.Errorf("R%d occurrences out of order: %v", rec.ID, rec.Occurrences)
+			}
+		}
+	}
+}
+
+func TestBuildMismatch(t *testing.T) {
+	_, d := buildFixture(t)
+	other := sequitur.Induce([]string{"zz", "yy", "zz", "yy"})
+	if _, err := Build(d, other); err == nil {
+		t.Error("mismatched grammar should error")
+	}
+}
+
+func TestIntervalClamping(t *testing.T) {
+	rs, _ := buildFixture(t)
+	for _, rec := range rs.Records {
+		for _, iv := range rec.Occurrences {
+			if iv.End >= rs.SeriesLen {
+				t.Errorf("R%d occurrence %v not clamped", rec.ID, iv)
+			}
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	rs, _ := buildFixture(t)
+	if rs.Size() <= 0 {
+		t.Errorf("Size = %d", rs.Size())
+	}
+	// Size includes the root body plus all rule bodies.
+	manual := len(rs.Grammar.Rules[0].Body)
+	for _, rec := range rs.Records {
+		manual += len(rs.Grammar.Rules[rec.ID].Body)
+	}
+	if rs.Size() != manual {
+		t.Errorf("Size = %d, manual = %d", rs.Size(), manual)
+	}
+}

@@ -1,0 +1,85 @@
+package grammar
+
+import (
+	"testing"
+)
+
+// WordOccurrences and Occurrences describe the same events: equal counts,
+// and each word range maps to its interval via WordInterval.
+func TestWordOccurrencesConsistent(t *testing.T) {
+	rs, _ := buildFixture(t)
+	for _, rec := range rs.Records {
+		if len(rec.WordOccurrences) != len(rec.Occurrences) {
+			t.Fatalf("R%d: %d word ranges vs %d intervals",
+				rec.ID, len(rec.WordOccurrences), len(rec.Occurrences))
+		}
+		for i, wr := range rec.WordOccurrences {
+			if wr[0] > wr[1] {
+				t.Fatalf("R%d: inverted word range %v", rec.ID, wr)
+			}
+			if got := rs.WordInterval(wr[0], wr[1]); got != rec.Occurrences[i] {
+				t.Fatalf("R%d occurrence %d: WordInterval(%v) = %v, stored %v",
+					rec.ID, i, wr, got, rec.Occurrences[i])
+			}
+			// The word range must span exactly WordLen words.
+			if wr[1]-wr[0]+1 != rec.WordLen {
+				t.Fatalf("R%d occurrence %d: word range %v spans %d words, rule derives %d",
+					rec.ID, i, wr, wr[1]-wr[0]+1, rec.WordLen)
+			}
+		}
+	}
+}
+
+// UncoveredWordRuns partitions the word axis together with rule coverage:
+// a word is in some run if and only if no rule occurrence contains it.
+func TestUncoveredWordRunsPartition(t *testing.T) {
+	rs, d := buildFixture(t)
+	n := len(d.Words)
+	covered := make([]bool, n)
+	for _, rec := range rs.Records {
+		for _, wr := range rec.WordOccurrences {
+			for i := wr[0]; i <= wr[1]; i++ {
+				covered[i] = true
+			}
+		}
+	}
+	inRun := make([]bool, n)
+	runs := rs.UncoveredWordRuns()
+	for _, run := range runs {
+		for i := run[0]; i <= run[1]; i++ {
+			if inRun[i] {
+				t.Fatalf("word %d in two runs", i)
+			}
+			inRun[i] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		if covered[i] == inRun[i] {
+			t.Fatalf("word %d: covered=%v inRun=%v (must be complements)", i, covered[i], inRun[i])
+		}
+	}
+	// Runs are maximal: consecutive runs cannot touch.
+	for i := 1; i < len(runs); i++ {
+		if runs[i][0] <= runs[i-1][1]+1 {
+			t.Fatalf("runs %v and %v not maximal/disjoint", runs[i-1], runs[i])
+		}
+	}
+}
+
+// A derivation-tree identity: summing WordLen*Frequency over rules and
+// adding uncovered top-level terminals must be at least the word count
+// (nested rules cover words multiple times, so >=).
+func TestCoverageLowerBound(t *testing.T) {
+	rs, d := buildFixture(t)
+	totalCoverage := 0
+	for _, rec := range rs.Records {
+		totalCoverage += rec.WordLen * rec.Frequency
+	}
+	uncovered := 0
+	for _, run := range rs.UncoveredWordRuns() {
+		uncovered += run[1] - run[0] + 1
+	}
+	if totalCoverage+uncovered < len(d.Words) {
+		t.Errorf("coverage %d + uncovered %d < words %d", totalCoverage, uncovered, len(d.Words))
+	}
+}

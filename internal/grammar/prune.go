@@ -1,0 +1,75 @@
+package grammar
+
+import "sort"
+
+// Prune returns a reduced copy of the rule set keeping only rules that
+// contribute new coverage, using the greedy set-cover heuristic of
+// GrammarViz 2.0 (the "Prune rules" operation visible in the paper's
+// Figure 12 screenshot): repeatedly keep the rule whose occurrences cover
+// the most not-yet-covered points, until no rule adds at least minGain
+// new points (minGain <= 0 selects 1). The grammar and discretization are
+// shared with the original; only Records is filtered.
+//
+// Pruning exists for presentation and rule-inspection workflows — the
+// detectors intentionally use the full rule set.
+func Prune(rs *RuleSet, minGain int) *RuleSet {
+	if minGain <= 0 {
+		minGain = 1
+	}
+	covered := make([]bool, rs.SeriesLen)
+	remaining := make([]int, len(rs.Records))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	// Deterministic processing: stable order by rule id.
+	sort.Ints(remaining)
+
+	var kept []int
+	for {
+		bestIdx, bestGain := -1, minGain-1
+		for _, ri := range remaining {
+			if ri < 0 {
+				continue
+			}
+			gain := 0
+			for _, iv := range rs.Records[ri].Occurrences {
+				for p := iv.Start; p <= iv.End; p++ {
+					if !covered[p] {
+						gain++
+					}
+				}
+			}
+			if gain > bestGain {
+				bestGain = gain
+				bestIdx = ri
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		kept = append(kept, bestIdx)
+		for _, iv := range rs.Records[bestIdx].Occurrences {
+			for p := iv.Start; p <= iv.End; p++ {
+				covered[p] = true
+			}
+		}
+		for i, ri := range remaining {
+			if ri == bestIdx {
+				remaining[i] = -1
+			}
+		}
+	}
+
+	sort.Ints(kept)
+	out := &RuleSet{
+		Grammar:   rs.Grammar,
+		Disc:      rs.Disc,
+		SeriesLen: rs.SeriesLen,
+		Window:    rs.Window,
+		Records:   make([]RuleRecord, len(kept)),
+	}
+	for i, ri := range kept {
+		out.Records[i] = rs.Records[ri]
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package grammar
+
+import (
+	"testing"
+)
+
+// coverageOf marks every point covered by any rule occurrence (a local
+// stand-in for density.Curve, which lives upstream of this package).
+func coverageOf(rs *RuleSet) []bool {
+	covered := make([]bool, rs.SeriesLen)
+	for _, rec := range rs.Records {
+		for _, iv := range rec.Occurrences {
+			for p := iv.Start; p <= iv.End; p++ {
+				covered[p] = true
+			}
+		}
+	}
+	return covered
+}
+
+func TestPruneReducesRedundancy(t *testing.T) {
+	rs, _ := buildFixture(t)
+	pruned := Prune(rs, 1)
+	if pruned.NumRules() == 0 {
+		t.Fatal("pruning removed everything")
+	}
+	if pruned.NumRules() > rs.NumRules() {
+		t.Fatalf("pruning grew the rule set: %d > %d", pruned.NumRules(), rs.NumRules())
+	}
+	// The kept rules must preserve the full coverage footprint: every
+	// point covered before is covered after (greedy set cover terminates
+	// only when no rule adds new points).
+	before := coverageOf(rs)
+	after := coverageOf(pruned)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("coverage footprint changed at %d: before=%v after=%v", i, before[i], after[i])
+		}
+	}
+	// Records stay ordered by rule id and reference the shared grammar.
+	for i := 1; i < len(pruned.Records); i++ {
+		if pruned.Records[i].ID <= pruned.Records[i-1].ID {
+			t.Fatal("pruned records not ordered by rule id")
+		}
+	}
+	if pruned.Grammar != rs.Grammar || pruned.Disc != rs.Disc {
+		t.Error("pruned set must share grammar and discretization")
+	}
+}
+
+func TestPruneMinGain(t *testing.T) {
+	rs, _ := buildFixture(t)
+	loose := Prune(rs, 1)
+	strict := Prune(rs, rs.SeriesLen/4)
+	if strict.NumRules() > loose.NumRules() {
+		t.Errorf("higher minGain kept more rules: %d > %d", strict.NumRules(), loose.NumRules())
+	}
+	// minGain <= 0 behaves like 1.
+	def := Prune(rs, 0)
+	if def.NumRules() != loose.NumRules() {
+		t.Errorf("minGain 0 kept %d rules, 1 kept %d", def.NumRules(), loose.NumRules())
+	}
+}
+
+func TestPruneDeterministic(t *testing.T) {
+	rs, _ := buildFixture(t)
+	a := Prune(rs, 1)
+	b := Prune(rs, 1)
+	if a.NumRules() != b.NumRules() {
+		t.Fatal("non-deterministic pruning")
+	}
+	for i := range a.Records {
+		if a.Records[i].ID != b.Records[i].ID {
+			t.Fatal("non-deterministic rule selection")
+		}
+	}
+}
+
+func TestPruneEmpty(t *testing.T) {
+	rs := &RuleSet{SeriesLen: 100, Window: 10}
+	pruned := Prune(rs, 1)
+	if pruned.NumRules() != 0 {
+		t.Errorf("pruning empty set = %d rules", pruned.NumRules())
+	}
+}

@@ -1,0 +1,97 @@
+// Package hilbert implements the Hilbert space-filling curve used by the
+// paper's spatial-trajectory case study (Section 5.1): a 2-D position is
+// mapped to its visit order along a curve of a given order, which
+// linearizes a trajectory into a scalar time series while approximately
+// preserving spatial locality.
+package hilbert
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MaxOrder bounds curve orders so that d fits comfortably in an int64
+// (2*MaxOrder bits).
+const MaxOrder = 31
+
+// ErrBadOrder is returned for curve orders outside [1, MaxOrder].
+var ErrBadOrder = errors.New("hilbert: order out of range")
+
+// ErrBadCell is returned for cell coordinates or distances outside the
+// curve's grid.
+var ErrBadCell = errors.New("hilbert: cell out of range")
+
+// Curve is a Hilbert curve of a fixed order over a 2^order × 2^order grid.
+type Curve struct {
+	order int
+	side  int64 // 2^order
+}
+
+// New returns the Hilbert curve of the given order. The paper's case study
+// uses order 8 (a 256×256 grid).
+func New(order int) (*Curve, error) {
+	if order < 1 || order > MaxOrder {
+		return nil, fmt.Errorf("%w: %d not in [1,%d]", ErrBadOrder, order, MaxOrder)
+	}
+	return &Curve{order: order, side: 1 << order}, nil
+}
+
+// Order returns the curve's order.
+func (c *Curve) Order() int { return c.order }
+
+// Side returns the grid side length, 2^order.
+func (c *Curve) Side() int64 { return c.side }
+
+// Cells returns the total number of cells, 4^order.
+func (c *Curve) Cells() int64 { return c.side * c.side }
+
+// D returns the visit order (distance along the curve) of cell (x, y),
+// using the standard bit-twiddling conversion (Hilbert 1891; algorithm per
+// Warren, "Hacker's Delight").
+func (c *Curve) D(x, y int64) (int64, error) {
+	if x < 0 || y < 0 || x >= c.side || y >= c.side {
+		return 0, fmt.Errorf("%w: (%d,%d) outside %dx%d", ErrBadCell, x, y, c.side, c.side)
+	}
+	var d int64
+	for s := c.side / 2; s > 0; s /= 2 {
+		var rx, ry int64
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		x, y = rot(s, x, y, rx, ry)
+	}
+	return d, nil
+}
+
+// XY returns the cell visited at distance d along the curve.
+func (c *Curve) XY(d int64) (x, y int64, err error) {
+	if d < 0 || d >= c.Cells() {
+		return 0, 0, fmt.Errorf("%w: d=%d outside [0,%d)", ErrBadCell, d, c.Cells())
+	}
+	t := d
+	for s := int64(1); s < c.side; s *= 2 {
+		rx := (t / 2) & 1
+		ry := (t ^ rx) & 1
+		x, y = rot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y, nil
+}
+
+// rot rotates/flips a quadrant appropriately.
+func rot(s, x, y, rx, ry int64) (int64, int64) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}

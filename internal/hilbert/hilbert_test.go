@@ -1,0 +1,241 @@
+package hilbert
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewErrors(t *testing.T) {
+	for _, order := range []int{0, -1, 32, 100} {
+		if _, err := New(order); !errors.Is(err, ErrBadOrder) {
+			t.Errorf("New(%d) err = %v, want ErrBadOrder", order, err)
+		}
+	}
+	c, err := New(8)
+	if err != nil {
+		t.Fatalf("New(8): %v", err)
+	}
+	if c.Order() != 8 || c.Side() != 256 || c.Cells() != 65536 {
+		t.Errorf("order/side/cells = %d/%d/%d", c.Order(), c.Side(), c.Cells())
+	}
+}
+
+func TestFirstOrderLayout(t *testing.T) {
+	// The paper's Figure 6 left panel: 0 bottom-left, 1 top-left,
+	// 2 top-right, 3 bottom-right.
+	c, _ := New(1)
+	tests := []struct {
+		x, y int64
+		d    int64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{1, 1, 2},
+		{1, 0, 3},
+	}
+	for _, tt := range tests {
+		d, err := c.D(tt.x, tt.y)
+		if err != nil {
+			t.Fatalf("D(%d,%d): %v", tt.x, tt.y, err)
+		}
+		if d != tt.d {
+			t.Errorf("D(%d,%d) = %d, want %d", tt.x, tt.y, d, tt.d)
+		}
+		x, y, err := c.XY(tt.d)
+		if err != nil {
+			t.Fatalf("XY(%d): %v", tt.d, err)
+		}
+		if x != tt.x || y != tt.y {
+			t.Errorf("XY(%d) = (%d,%d), want (%d,%d)", tt.d, x, y, tt.x, tt.y)
+		}
+	}
+}
+
+func TestSecondOrderSequence(t *testing.T) {
+	// Second-order curve (Figure 6 right panel): full visit order.
+	c, _ := New(2)
+	want := [][2]int64{
+		{0, 0}, {1, 0}, {1, 1}, {0, 1},
+		{0, 2}, {0, 3}, {1, 3}, {1, 2},
+		{2, 2}, {2, 3}, {3, 3}, {3, 2},
+		{3, 1}, {2, 1}, {2, 0}, {3, 0},
+	}
+	for d, cell := range want {
+		x, y, err := c.XY(int64(d))
+		if err != nil {
+			t.Fatalf("XY(%d): %v", d, err)
+		}
+		if x != cell[0] || y != cell[1] {
+			t.Errorf("XY(%d) = (%d,%d), want (%d,%d)", d, x, y, cell[0], cell[1])
+		}
+	}
+}
+
+func TestPaperFigure6Example(t *testing.T) {
+	// The paper's worked conversion: a 14-point trajectory becomes
+	// {0,3,2,2,2,7,7,8,11,13,13,2,1,1}.
+	c, _ := New(2)
+	cells := [][2]int64{
+		{0, 0}, {0, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 2}, {1, 2},
+		{2, 2}, {3, 2}, {2, 1}, {2, 1}, {1, 1}, {1, 0}, {1, 0},
+	}
+	got, err := TransformCells(c, cells)
+	if err != nil {
+		t.Fatalf("TransformCells: %v", err)
+	}
+	want := []float64{0, 3, 2, 2, 2, 7, 7, 8, 11, 13, 13, 2, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	c, _ := New(3)
+	for _, bad := range [][2]int64{{-1, 0}, {0, -1}, {8, 0}, {0, 8}} {
+		if _, err := c.D(bad[0], bad[1]); !errors.Is(err, ErrBadCell) {
+			t.Errorf("D(%v) err = %v, want ErrBadCell", bad, err)
+		}
+	}
+	for _, bad := range []int64{-1, 64, 1000} {
+		if _, _, err := c.XY(bad); !errors.Is(err, ErrBadCell) {
+			t.Errorf("XY(%d) err = %v, want ErrBadCell", bad, err)
+		}
+	}
+}
+
+// Property: XY and D are inverse bijections for random orders.
+func TestBijection(t *testing.T) {
+	f := func(orderRaw uint8, dRaw uint32) bool {
+		order := int(orderRaw%8) + 1
+		c, err := New(order)
+		if err != nil {
+			return false
+		}
+		d := int64(dRaw) % c.Cells()
+		x, y, err := c.XY(d)
+		if err != nil {
+			return false
+		}
+		back, err := c.D(x, y)
+		return err == nil && back == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: consecutive visit orders are grid neighbours (the adjacency
+// property the paper highlights for locality preservation).
+func TestAdjacency(t *testing.T) {
+	for order := 1; order <= 6; order++ {
+		c, _ := New(order)
+		px, py, err := c.XY(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := int64(1); d < c.Cells(); d++ {
+			x, y, err := c.XY(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dx, dy := x-px, y-py
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			if dx+dy != 1 {
+				t.Fatalf("order %d: step %d→%d jumps from (%d,%d) to (%d,%d)",
+					order, d-1, d, px, py, x, y)
+			}
+			px, py = x, y
+		}
+	}
+}
+
+func TestTransform(t *testing.T) {
+	c, _ := New(2)
+	// A square loop in continuous coordinates.
+	pts := []Point{{0, 0}, {0, 10}, {10, 10}, {10, 0}, {0, 0}}
+	got, err := Transform(c, pts)
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("length %d", len(got))
+	}
+	// Corners map to grid corners: (0,0)→0, (0,3)→5, (3,3)→10, (3,0)→15.
+	want := []float64{0, 5, 10, 15, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Transform = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTransformDegenerate(t *testing.T) {
+	c, _ := New(4)
+	if _, err := Transform(c, nil); !errors.Is(err, ErrEmptyTrajectory) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := TransformCells(c, nil); !errors.Is(err, ErrEmptyTrajectory) {
+		t.Errorf("empty cells err = %v", err)
+	}
+	// All points identical: zero span must not divide by zero.
+	got, err := Transform(c, []Point{{5, 5}, {5, 5}})
+	if err != nil {
+		t.Fatalf("identical points: %v", err)
+	}
+	if got[0] != got[1] {
+		t.Errorf("identical points map differently: %v", got)
+	}
+	// Vertical line (zero x-span only).
+	if _, err := Transform(c, []Point{{1, 0}, {1, 9}}); err != nil {
+		t.Errorf("vertical line: %v", err)
+	}
+}
+
+// Property: locality — points in the same cell get the same value.
+func TestTransformCellStability(t *testing.T) {
+	c, _ := New(3)
+	rng := rand.New(rand.NewSource(31))
+	pts := make([]Point, 64)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	// Append exact duplicates; duplicates must map identically.
+	pts = append(pts, pts[0], pts[17])
+	got, err := Transform(c, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[64] != got[0] || got[65] != got[17] {
+		t.Error("duplicate points map to different cells")
+	}
+}
+
+// Exhaustive check of the order-3 curve: every cell visited exactly once
+// and the full path is a Hamiltonian walk of the 8x8 grid.
+func TestOrder3Exhaustive(t *testing.T) {
+	c, _ := New(3)
+	seen := make(map[[2]int64]bool, 64)
+	for d := int64(0); d < 64; d++ {
+		x, y, err := c.XY(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell := [2]int64{x, y}
+		if seen[cell] {
+			t.Fatalf("cell %v visited twice", cell)
+		}
+		seen[cell] = true
+	}
+	if len(seen) != 64 {
+		t.Fatalf("visited %d cells, want 64", len(seen))
+	}
+}

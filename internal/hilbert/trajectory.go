@@ -1,0 +1,83 @@
+package hilbert
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrEmptyTrajectory is returned when a trajectory has no points.
+var ErrEmptyTrajectory = errors.New("hilbert: empty trajectory")
+
+// Point is one recorded trajectory sample in arbitrary planar coordinates
+// (e.g. projected longitude/latitude), already ordered by time.
+type Point struct {
+	X, Y float64
+}
+
+// Transform maps a trajectory to the scalar time series of Hilbert visit
+// orders, exactly as the paper's Figure 6: the bounding box of the
+// trajectory is fitted to the curve's grid, each point is assigned its
+// enclosing cell, and the cell's visit order becomes the series value.
+func Transform(c *Curve, pts []Point) ([]float64, error) {
+	if len(pts) == 0 {
+		return nil, ErrEmptyTrajectory
+	}
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts[1:] {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	side := float64(c.Side())
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		cx := int64((p.X - minX) / spanX * side)
+		cy := int64((p.Y - minY) / spanY * side)
+		if cx >= c.Side() {
+			cx = c.Side() - 1 // the max coordinate lands on the grid edge
+		}
+		if cy >= c.Side() {
+			cy = c.Side() - 1
+		}
+		d, err := c.D(cx, cy)
+		if err != nil {
+			return nil, fmt.Errorf("hilbert: point %d: %w", i, err)
+		}
+		out[i] = float64(d)
+	}
+	return out, nil
+}
+
+// TransformCells maps integer cell coordinates directly (no bounding-box
+// fitting) — the form used by the paper's worked example in Figure 6.
+func TransformCells(c *Curve, cells [][2]int64) ([]float64, error) {
+	if len(cells) == 0 {
+		return nil, ErrEmptyTrajectory
+	}
+	out := make([]float64, len(cells))
+	for i, cell := range cells {
+		d, err := c.D(cell[0], cell[1])
+		if err != nil {
+			return nil, fmt.Errorf("hilbert: cell %d: %w", i, err)
+		}
+		out[i] = float64(d)
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+// Package paa implements Piecewise Aggregate Approximation (Keogh et al.,
+// 2001): a time series of length n is reduced to w segment means. PAA is
+// the dimensionality-reduction step of SAX discretization.
+//
+// When w does not divide n the implementation uses the standard fractional
+// scheme from the SAX reference implementation: each original point
+// contributes to the segments it overlaps, weighted by the overlap length,
+// so every segment aggregates exactly n/w (possibly fractional) points.
+package paa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadSegments is returned when the requested segment count is
+// non-positive or exceeds the input length.
+var ErrBadSegments = errors.New("paa: segment count must be in [1, len(ts)]")
+
+// Transform reduces ts to w segment means. It returns ErrBadSegments when
+// w is out of range. When w == len(ts) the input is copied unchanged.
+func Transform(ts []float64, w int) ([]float64, error) {
+	if w <= 0 || w > len(ts) {
+		return nil, fmt.Errorf("%w: w=%d n=%d", ErrBadSegments, w, len(ts))
+	}
+	out := make([]float64, w)
+	if err := TransformInto(out, ts); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TransformInto reduces src into dst, with w = len(dst) segments. It is
+// the allocation-free variant of Transform for hot loops.
+func TransformInto(dst, src []float64) error {
+	n, w := len(src), len(dst)
+	if w <= 0 || w > n {
+		return fmt.Errorf("%w: w=%d n=%d", ErrBadSegments, w, n)
+	}
+	if w == n {
+		copy(dst, src)
+		return nil
+	}
+	if n%w == 0 {
+		// Fast path: equal integral segments.
+		size := n / w
+		inv := 1 / float64(size)
+		for i := 0; i < w; i++ {
+			var sum float64
+			for _, v := range src[i*size : (i+1)*size] {
+				sum += v
+			}
+			dst[i] = sum * inv
+		}
+		return nil
+	}
+	// Fractional segments: point j spans [j, j+1) in "point space"; segment
+	// i spans [i*n/w, (i+1)*n/w). Accumulate overlap-weighted sums.
+	segLen := float64(n) / float64(w)
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j := 0; j < n; j++ {
+		lo, hi := float64(j), float64(j+1)
+		first := int(lo / segLen)
+		last := int(hi / segLen)
+		if last >= w { // right edge of the final point
+			last = w - 1
+		}
+		if first == last {
+			dst[first] += src[j]
+			continue
+		}
+		split := float64(last) * segLen
+		dst[first] += src[j] * (split - lo)
+		dst[last] += src[j] * (hi - split)
+	}
+	inv := 1 / segLen
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return nil
+}

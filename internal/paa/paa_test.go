@@ -1,0 +1,154 @@
+package paa
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestTransformDivisible(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		w    int
+		want []float64
+	}{
+		{"halves", []float64{1, 3, 5, 7}, 2, []float64{2, 6}},
+		{"identity", []float64{1, 2, 3}, 3, []float64{1, 2, 3}},
+		{"single segment", []float64{2, 4, 6}, 1, []float64{4}},
+		{"thirds", []float64{0, 0, 3, 3, 6, 6}, 3, []float64{0, 3, 6}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Transform(tt.in, tt.w)
+			if err != nil {
+				t.Fatalf("Transform: %v", err)
+			}
+			for i := range tt.want {
+				if !almostEqual(got[i], tt.want[i], 1e-12) {
+					t.Fatalf("Transform(%v,%d) = %v, want %v", tt.in, tt.w, got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestTransformFractional(t *testing.T) {
+	// n=5, w=2: segments cover points [0,2.5) and [2.5,5).
+	// seg0 = (1+2+0.5*3)/2.5 = 1.8 ; seg1 = (0.5*3+4+5)/2.5 = 4.2
+	got, err := Transform([]float64{1, 2, 3, 4, 5}, 2)
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	if !almostEqual(got[0], 1.8, 1e-12) || !almostEqual(got[1], 4.2, 1e-12) {
+		t.Errorf("fractional PAA = %v, want [1.8 4.2]", got)
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	for _, w := range []int{0, -1, 4} {
+		if _, err := Transform([]float64{1, 2, 3}, w); !errors.Is(err, ErrBadSegments) {
+			t.Errorf("Transform(w=%d) err = %v, want ErrBadSegments", w, err)
+		}
+	}
+}
+
+// Property: PAA preserves the global mean (each point contributes its full
+// weight exactly once).
+func TestTransformPreservesMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(nRaw, wRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		w := int(wRaw)%n + 1
+		in := make([]float64, n)
+		var sum float64
+		for i := range in {
+			in[i] = rng.NormFloat64() * 4
+			sum += in[i]
+		}
+		out, err := Transform(in, w)
+		if err != nil {
+			return false
+		}
+		var outSum float64
+		for _, v := range out {
+			outSum += v
+		}
+		return almostEqual(sum/float64(n), outSum/float64(w), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PAA of a constant series is constant.
+func TestTransformConstant(t *testing.T) {
+	f := func(nRaw, wRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		w := int(wRaw)%n + 1
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = 7.5
+		}
+		out, err := Transform(in, w)
+		if err != nil {
+			return false
+		}
+		for _, v := range out {
+			if !almostEqual(v, 7.5, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PAA output values are bounded by the input min/max.
+func TestTransformBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(nRaw, wRaw uint8) bool {
+		n := int(nRaw%150) + 1
+		w := int(wRaw)%n + 1
+		in := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range in {
+			in[i] = rng.Float64()*20 - 10
+			lo = math.Min(lo, in[i])
+			hi = math.Max(hi, in[i])
+		}
+		out, _ := Transform(in, w)
+		for _, v := range out {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformIntoReuse(t *testing.T) {
+	dst := make([]float64, 2)
+	if err := TransformInto(dst, []float64{1, 3, 5, 7}); err != nil {
+		t.Fatalf("TransformInto: %v", err)
+	}
+	if dst[0] != 2 || dst[1] != 6 {
+		t.Errorf("TransformInto = %v", dst)
+	}
+	// Reuse with fractional path: previous contents must be cleared.
+	if err := TransformInto(dst, []float64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatalf("TransformInto: %v", err)
+	}
+	if !almostEqual(dst[0], 1.8, 1e-12) || !almostEqual(dst[1], 4.2, 1e-12) {
+		t.Errorf("TransformInto reuse = %v, want [1.8 4.2]", dst)
+	}
+}

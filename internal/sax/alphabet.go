@@ -1,0 +1,65 @@
+// Package sax implements Symbolic Aggregate approXimation (Lin, Keogh,
+// Patel, Lonardi 2002/2003): a z-normalized time series is PAA-reduced and
+// each segment mean is mapped to a letter via breakpoints that divide the
+// standard normal distribution into equiprobable regions.
+//
+// The package also provides sliding-window discretization with the
+// numerosity-reduction strategies used by GrammarViz, and the MINDIST
+// lower-bounding distance between SAX words.
+package sax
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Alphabet size limits. Two letters is the smallest meaningful alphabet;
+// the cap matches the reference implementation's practical range.
+const (
+	MinAlphabet = 2
+	MaxAlphabet = 26
+)
+
+// ErrBadAlphabet is returned for alphabet sizes outside
+// [MinAlphabet, MaxAlphabet].
+var ErrBadAlphabet = errors.New("sax: alphabet size out of range")
+
+// Breakpoints returns the a-1 cut points that divide the standard normal
+// distribution into a equiprobable regions: the k-th cut is the k/a
+// quantile of N(0,1). Segment means are mapped to letters by these cuts.
+func Breakpoints(a int) ([]float64, error) {
+	if a < MinAlphabet || a > MaxAlphabet {
+		return nil, fmt.Errorf("%w: %d not in [%d,%d]", ErrBadAlphabet, a, MinAlphabet, MaxAlphabet)
+	}
+	cuts := make([]float64, a-1)
+	for k := 1; k < a; k++ {
+		p := float64(k) / float64(a)
+		// Quantile of N(0,1): sqrt(2) * erfinv(2p-1).
+		cuts[k-1] = math.Sqrt2 * math.Erfinv(2*p-1)
+	}
+	return cuts, nil
+}
+
+// Letter maps a single value to its alphabet index in [0, a-1] given the
+// cut points from Breakpoints. Values on a cut map to the higher region,
+// matching the reference implementation (cuts[i] <= v → letter > i).
+func Letter(cuts []float64, v float64) byte {
+	// Binary search: find the first cut strictly greater than v.
+	lo, hi := 0, len(cuts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cuts[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return byte(lo)
+}
+
+// IndexToChar converts an alphabet index to its letter rune ('a' + idx).
+func IndexToChar(idx byte) byte { return 'a' + idx }
+
+// CharToIndex converts a letter back to its alphabet index.
+func CharToIndex(c byte) byte { return c - 'a' }

@@ -1,0 +1,124 @@
+package sax
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestBreakpointsKnownValues(t *testing.T) {
+	// Classic SAX lookup-table values (Lin et al. 2003).
+	tests := []struct {
+		a    int
+		want []float64
+	}{
+		{2, []float64{0}},
+		{3, []float64{-0.43, 0.43}},
+		{4, []float64{-0.67, 0, 0.67}},
+		{5, []float64{-0.84, -0.25, 0.25, 0.84}},
+		{6, []float64{-0.97, -0.43, 0, 0.43, 0.97}},
+		{10, []float64{-1.28, -0.84, -0.52, -0.25, 0, 0.25, 0.52, 0.84, 1.28}},
+	}
+	for _, tt := range tests {
+		got, err := Breakpoints(tt.a)
+		if err != nil {
+			t.Fatalf("Breakpoints(%d): %v", tt.a, err)
+		}
+		if len(got) != len(tt.want) {
+			t.Fatalf("Breakpoints(%d) len = %d, want %d", tt.a, len(got), len(tt.want))
+		}
+		for i := range tt.want {
+			if !almostEqual(got[i], tt.want[i], 0.005) {
+				t.Errorf("Breakpoints(%d)[%d] = %.4f, want %.2f", tt.a, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestBreakpointsErrors(t *testing.T) {
+	for _, a := range []int{-1, 0, 1, 27, 100} {
+		if _, err := Breakpoints(a); !errors.Is(err, ErrBadAlphabet) {
+			t.Errorf("Breakpoints(%d) err = %v, want ErrBadAlphabet", a, err)
+		}
+	}
+}
+
+// Property: breakpoints are strictly increasing and symmetric about zero.
+func TestBreakpointsMonotoneSymmetric(t *testing.T) {
+	for a := MinAlphabet; a <= MaxAlphabet; a++ {
+		cuts, err := Breakpoints(a)
+		if err != nil {
+			t.Fatalf("Breakpoints(%d): %v", a, err)
+		}
+		for i := 1; i < len(cuts); i++ {
+			if cuts[i] <= cuts[i-1] {
+				t.Errorf("a=%d: cuts not increasing at %d: %v", a, i, cuts)
+			}
+		}
+		for i := range cuts {
+			if !almostEqual(cuts[i], -cuts[len(cuts)-1-i], 1e-9) {
+				t.Errorf("a=%d: cuts not symmetric: %v", a, cuts)
+			}
+		}
+	}
+}
+
+func TestLetter(t *testing.T) {
+	cuts, _ := Breakpoints(4) // [-0.6745, 0, 0.6745]
+	tests := []struct {
+		v    float64
+		want byte
+	}{
+		{-2, 0},
+		{-0.7, 0},
+		{-0.5, 1},
+		{-0.0001, 1},
+		{0, 2}, // value equal to a cut maps to the upper region
+		{0.5, 2},
+		{0.7, 3},
+		{5, 3},
+	}
+	for _, tt := range tests {
+		if got := Letter(cuts, tt.v); got != tt.want {
+			t.Errorf("Letter(%v) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+// Property: Letter agrees with a linear scan for random values/alphabets.
+func TestLetterMatchesLinearScan(t *testing.T) {
+	f := func(aRaw uint8, v float64) bool {
+		a := int(aRaw)%(MaxAlphabet-MinAlphabet+1) + MinAlphabet
+		if math.IsNaN(v) {
+			return true
+		}
+		cuts, err := Breakpoints(a)
+		if err != nil {
+			return false
+		}
+		want := byte(0)
+		for _, c := range cuts {
+			if c <= v {
+				want++
+			}
+		}
+		return Letter(cuts, v) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCharRoundTrip(t *testing.T) {
+	for i := byte(0); i < 26; i++ {
+		if CharToIndex(IndexToChar(i)) != i {
+			t.Fatalf("char round trip failed at %d", i)
+		}
+	}
+	if IndexToChar(0) != 'a' || IndexToChar(2) != 'c' {
+		t.Error("IndexToChar wrong base")
+	}
+}

@@ -1,0 +1,62 @@
+package sax
+
+import (
+	"fmt"
+	"math"
+)
+
+// DistTable holds the pairwise letter distance matrix used by MINDIST: the
+// distance between letters r and c is 0 when |r-c| <= 1, otherwise the gap
+// between the breakpoints separating them (Lin et al. 2003).
+type DistTable struct {
+	a     int
+	table [][]float64
+}
+
+// NewDistTable builds the letter distance table for alphabet size a.
+func NewDistTable(a int) (*DistTable, error) {
+	cuts, err := Breakpoints(a)
+	if err != nil {
+		return nil, err
+	}
+	t := make([][]float64, a)
+	for r := 0; r < a; r++ {
+		t[r] = make([]float64, a)
+		for c := 0; c < a; c++ {
+			if abs := r - c; abs > 1 || abs < -1 {
+				hi, lo := r, c
+				if c > r {
+					hi, lo = c, r
+				}
+				t[r][c] = cuts[hi-1] - cuts[lo]
+			}
+		}
+	}
+	return &DistTable{a: a, table: t}, nil
+}
+
+// LetterDist returns the distance between two alphabet indices.
+func (dt *DistTable) LetterDist(r, c byte) float64 { return dt.table[r][c] }
+
+// MINDIST returns the lower-bounding distance between two SAX words of the
+// same length, scaled for original subsequence length n:
+//
+//	MINDIST = sqrt(n/w) * sqrt(sum_i dist(a_i, b_i)^2)
+//
+// MINDIST lower-bounds the Euclidean distance between the z-normalized
+// source subsequences — the property that makes SAX admissible for pruning.
+func (dt *DistTable) MINDIST(a, b string, n int) (float64, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0, fmt.Errorf("sax: MINDIST needs equal non-empty words, got %q %q", a, b)
+	}
+	var sum float64
+	for i := 0; i < len(a); i++ {
+		ia, ib := CharToIndex(a[i]), CharToIndex(b[i])
+		if int(ia) >= dt.a || int(ib) >= dt.a {
+			return 0, fmt.Errorf("sax: word letter outside alphabet %d: %q %q", dt.a, a, b)
+		}
+		d := dt.table[ia][ib]
+		sum += d * d
+	}
+	return math.Sqrt(float64(n)/float64(len(a))) * math.Sqrt(sum), nil
+}

@@ -1,0 +1,118 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"grammarviz/internal/timeseries"
+)
+
+func TestDistTableBasics(t *testing.T) {
+	dt, err := NewDistTable(4)
+	if err != nil {
+		t.Fatalf("NewDistTable: %v", err)
+	}
+	// Adjacent letters have distance zero.
+	for r := byte(0); r < 4; r++ {
+		for c := byte(0); c < 4; c++ {
+			d := dt.LetterDist(r, c)
+			gap := int(r) - int(c)
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap <= 1 && d != 0 {
+				t.Errorf("LetterDist(%d,%d) = %v, want 0", r, c, d)
+			}
+			if gap > 1 && d <= 0 {
+				t.Errorf("LetterDist(%d,%d) = %v, want > 0", r, c, d)
+			}
+			if d != dt.LetterDist(c, r) {
+				t.Errorf("LetterDist not symmetric at (%d,%d)", r, c)
+			}
+		}
+	}
+	// a=4 cuts are [-0.6745, 0, 0.6745]; dist(a,c) = 0 - (-0.6745).
+	if got := dt.LetterDist(0, 2); !almostEqual(got, 0.6745, 0.001) {
+		t.Errorf("LetterDist(0,2) = %v, want ~0.6745", got)
+	}
+	if got := dt.LetterDist(0, 3); !almostEqual(got, 1.349, 0.001) {
+		t.Errorf("LetterDist(0,3) = %v, want ~1.349", got)
+	}
+}
+
+func TestMINDISTIdentical(t *testing.T) {
+	dt, _ := NewDistTable(5)
+	d, err := dt.MINDIST("abcde", "abcde", 100)
+	if err != nil {
+		t.Fatalf("MINDIST: %v", err)
+	}
+	if d != 0 {
+		t.Errorf("MINDIST identical = %v, want 0", d)
+	}
+	// Neighbouring letters everywhere also give zero.
+	d, _ = dt.MINDIST("abcde", "bbcdd", 100)
+	if d != 0 {
+		t.Errorf("MINDIST neighbours = %v, want 0", d)
+	}
+}
+
+func TestMINDISTErrors(t *testing.T) {
+	dt, _ := NewDistTable(4)
+	if _, err := dt.MINDIST("abc", "ab", 10); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := dt.MINDIST("", "", 10); err == nil {
+		t.Error("empty words should error")
+	}
+	if _, err := dt.MINDIST("axz", "abc", 10); err == nil {
+		t.Error("letters outside alphabet should error")
+	}
+}
+
+// The defining property of SAX: MINDIST lower-bounds the Euclidean
+// distance between the z-normalized source subsequences.
+func TestMINDISTLowerBoundsEuclidean(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n, w, a = 64, 8, 6
+	p := Params{Window: n, PAA: w, Alphabet: a}
+	enc, err := NewEncoder(p)
+	if err != nil {
+		t.Fatalf("NewEncoder: %v", err)
+	}
+	dt, err := NewDistTable(a)
+	if err != nil {
+		t.Fatalf("NewDistTable: %v", err)
+	}
+	for trial := 0; trial < 500; trial++ {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		wx, err := enc.Encode(x)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		wy, err := enc.Encode(y)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		md, err := dt.MINDIST(wx, wy, n)
+		if err != nil {
+			t.Fatalf("MINDIST: %v", err)
+		}
+		zx := timeseries.ZNormalize(x, timeseries.DefaultNormThreshold)
+		zy := timeseries.ZNormalize(y, timeseries.DefaultNormThreshold)
+		var sum float64
+		for i := range zx {
+			d := zx[i] - zy[i]
+			sum += d * d
+		}
+		euc := math.Sqrt(sum)
+		if md > euc+1e-9 {
+			t.Fatalf("trial %d: MINDIST %v > Euclidean %v (words %q %q)", trial, md, euc, wx, wy)
+		}
+	}
+}

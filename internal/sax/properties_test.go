@@ -1,0 +1,166 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Encoder determinism: the same subsequence always yields the same word,
+// including after the encoder's buffers have been reused for other sizes.
+func TestEncoderDeterministicAcrossReuse(t *testing.T) {
+	enc, err := NewEncoder(Params{Window: 64, PAA: 6, Alphabet: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	sub := make([]float64, 64)
+	for i := range sub {
+		sub[i] = rng.NormFloat64()
+	}
+	first, err := enc.Encode(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave encodes of other lengths to churn the scratch buffers.
+	other := make([]float64, 200)
+	for i := range other {
+		other[i] = rng.NormFloat64()
+	}
+	if _, err := enc.Encode(other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Encode(other[:10]); err != nil {
+		t.Fatal(err)
+	}
+	again, err := enc.Encode(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Errorf("encoder not deterministic: %q vs %q", first, again)
+	}
+}
+
+// MINDIST is symmetric and satisfies the identity property.
+func TestMINDISTSymmetry(t *testing.T) {
+	dt, err := NewDistTable(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(73))
+	word := func() string {
+		b := make([]byte, 5)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(6))
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 300; trial++ {
+		a, b := word(), word()
+		dab, err := dt.MINDIST(a, b, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dba, err := dt.MINDIST(b, a, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dab-dba) > 1e-12 {
+			t.Fatalf("MINDIST asymmetric for %q %q", a, b)
+		}
+		daa, _ := dt.MINDIST(a, a, 50)
+		if daa != 0 {
+			t.Fatalf("MINDIST(%q,%q) = %v", a, a, daa)
+		}
+		if dab < 0 {
+			t.Fatalf("negative MINDIST %v", dab)
+		}
+	}
+}
+
+// MINDIST scales with sqrt(n/w): doubling the original length must scale
+// the distance by sqrt(2).
+func TestMINDISTLengthScaling(t *testing.T) {
+	dt, _ := NewDistTable(4)
+	d1, err := dt.MINDIST("ad", "da", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := dt.MINDIST("ad", "da", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d2/d1-math.Sqrt2) > 1e-12 {
+		t.Errorf("scaling d2/d1 = %v, want sqrt(2)", d2/d1)
+	}
+}
+
+// Discretization offsets always identify the window that produced the
+// word: re-encoding the window at each recorded offset reproduces the
+// recorded word.
+func TestDiscretizeOffsetsReproduceWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	ts := make([]float64, 600)
+	for i := range ts {
+		ts[i] = math.Sin(float64(i)/9) + rng.NormFloat64()*0.05
+	}
+	p := Params{Window: 48, PAA: 6, Alphabet: 4}
+	for _, red := range []Reduction{ReductionNone, ReductionExact, ReductionMINDIST} {
+		d, err := Discretize(ts, p, red)
+		if err != nil {
+			t.Fatalf("%v: %v", red, err)
+		}
+		enc, _ := NewEncoder(p)
+		for _, w := range d.Words {
+			got, err := enc.Encode(ts[w.Offset : w.Offset+p.Window])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != w.Str {
+				t.Fatalf("%v: word at %d is %q, re-encoding gives %q", red, w.Offset, w.Str, got)
+			}
+		}
+	}
+}
+
+// Property: for any series, ReductionNone records exactly n-window+1
+// words and reduction strategies record a subsequence of them.
+func TestReductionSubsetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := local.Intn(300) + 60
+		ts := make([]float64, n)
+		for i := range ts {
+			ts[i] = math.Sin(float64(i)/5) + local.NormFloat64()*0.2
+		}
+		p := Params{Window: 30, PAA: 4, Alphabet: 4}
+		all, err := Discretize(ts, p, ReductionNone)
+		if err != nil {
+			return false
+		}
+		if len(all.Words) != n-30+1 {
+			return false
+		}
+		byOffset := make(map[int]string, len(all.Words))
+		for _, w := range all.Words {
+			byOffset[w.Offset] = w.Str
+		}
+		exact, err := Discretize(ts, p, ReductionExact)
+		if err != nil {
+			return false
+		}
+		for _, w := range exact.Words {
+			if byOffset[w.Offset] != w.Str {
+				return false // reduced words must be a subset
+			}
+		}
+		return len(exact.Words) <= len(all.Words)
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package sax
+
+import (
+	"fmt"
+
+	"grammarviz/internal/paa"
+	"grammarviz/internal/timeseries"
+)
+
+// Params bundles the three SAX discretization parameters the paper sweeps:
+// sliding-window length, PAA segment count (word length), and alphabet
+// size. NormThreshold controls the flat-subsequence guard of
+// z-normalization; zero selects timeseries.DefaultNormThreshold.
+type Params struct {
+	Window   int // sliding window length (n in the paper)
+	PAA      int // word length / number of PAA segments (w)
+	Alphabet int // alphabet size (a)
+
+	// NormThreshold is the z-normalization std threshold; 0 means
+	// timeseries.DefaultNormThreshold.
+	NormThreshold float64
+}
+
+// Validate checks the parameters against a series of length n.
+func (p Params) Validate(n int) error {
+	if p.Window <= 0 || p.Window > n {
+		return fmt.Errorf("%w: window=%d n=%d", timeseries.ErrBadWindow, p.Window, n)
+	}
+	if p.PAA <= 0 || p.PAA > p.Window {
+		return fmt.Errorf("%w: paa=%d window=%d", paa.ErrBadSegments, p.PAA, p.Window)
+	}
+	if p.Alphabet < MinAlphabet || p.Alphabet > MaxAlphabet {
+		return fmt.Errorf("%w: %d", ErrBadAlphabet, p.Alphabet)
+	}
+	return nil
+}
+
+func (p Params) normThreshold() float64 {
+	if p.NormThreshold > 0 {
+		return p.NormThreshold
+	}
+	return timeseries.DefaultNormThreshold
+}
+
+// String renders the parameters in the paper's (window, PAA, alphabet)
+// notation, e.g. "(120,4,4)".
+func (p Params) String() string {
+	return fmt.Sprintf("(%d,%d,%d)", p.Window, p.PAA, p.Alphabet)
+}
+
+// Encoder discretizes subsequences into SAX words. It precomputes the
+// breakpoint table and reuses internal buffers, so a single Encoder is
+// cheap to call in a sliding-window loop. An Encoder is not safe for
+// concurrent use; create one per goroutine.
+type Encoder struct {
+	params Params
+	cuts   []float64
+	znorm  []float64 // scratch: z-normalized window
+	segs   []float64 // scratch: PAA output
+}
+
+// NewEncoder returns an Encoder for the given parameters. Window-related
+// validation happens per call (windows of any length >= PAA are accepted,
+// which RRA needs for variable-length subsequences).
+func NewEncoder(p Params) (*Encoder, error) {
+	if p.PAA <= 0 {
+		return nil, fmt.Errorf("%w: paa=%d", paa.ErrBadSegments, p.PAA)
+	}
+	cuts, err := Breakpoints(p.Alphabet)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{
+		params: p,
+		cuts:   cuts,
+		segs:   make([]float64, p.PAA),
+	}, nil
+}
+
+// Params returns the encoder's discretization parameters.
+func (e *Encoder) Params() Params { return e.params }
+
+// Encode discretizes one subsequence (of any length >= PAA) into a SAX
+// word of e.Params().PAA letters.
+func (e *Encoder) Encode(sub []float64) (string, error) {
+	if len(sub) < e.params.PAA {
+		return "", fmt.Errorf("%w: subsequence length %d < paa %d",
+			paa.ErrBadSegments, len(sub), e.params.PAA)
+	}
+	if cap(e.znorm) < len(sub) {
+		e.znorm = make([]float64, len(sub))
+	}
+	zn := e.znorm[:len(sub)]
+	timeseries.ZNormalizeInto(zn, sub, e.params.normThreshold())
+	if err := paa.TransformInto(e.segs, zn); err != nil {
+		return "", err
+	}
+	word := make([]byte, len(e.segs))
+	for i, m := range e.segs {
+		word[i] = IndexToChar(Letter(e.cuts, m))
+	}
+	return string(word), nil
+}
+
+// Encode is a convenience one-shot wrapper around NewEncoder + Encode.
+func Encode(sub []float64, p Params) (string, error) {
+	e, err := NewEncoder(p)
+	if err != nil {
+		return "", err
+	}
+	return e.Encode(sub)
+}

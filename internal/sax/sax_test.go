@@ -1,0 +1,152 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Params
+		n    int
+		ok   bool
+	}{
+		{"valid", Params{Window: 100, PAA: 4, Alphabet: 4}, 1000, true},
+		{"window too big", Params{Window: 100, PAA: 4, Alphabet: 4}, 50, false},
+		{"window zero", Params{Window: 0, PAA: 4, Alphabet: 4}, 50, false},
+		{"paa exceeds window", Params{Window: 3, PAA: 4, Alphabet: 4}, 50, false},
+		{"paa zero", Params{Window: 10, PAA: 0, Alphabet: 4}, 50, false},
+		{"alphabet too small", Params{Window: 10, PAA: 4, Alphabet: 1}, 50, false},
+		{"alphabet too big", Params{Window: 10, PAA: 4, Alphabet: 30}, 50, false},
+		{"window equals n", Params{Window: 50, PAA: 4, Alphabet: 4}, 50, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate(tt.n)
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	p := Params{Window: 120, PAA: 4, Alphabet: 4}
+	if got := p.String(); got != "(120,4,4)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEncodeShapes(t *testing.T) {
+	p := Params{Window: 8, PAA: 4, Alphabet: 4}
+	tests := []struct {
+		name string
+		in   []float64
+		want string
+	}{
+		// Rising ramp: low letters then high letters.
+		{"ramp up", []float64{0, 1, 2, 3, 4, 5, 6, 7}, "abcd"},
+		{"ramp down", []float64{7, 6, 5, 4, 3, 2, 1, 0}, "dcba"},
+		// Constant maps to the flat middle. With the near-flat guard the
+		// z-normed values are all 0, letter index 2 for a=4 ('c').
+		{"flat", []float64{3, 3, 3, 3, 3, 3, 3, 3}, "cccc"},
+		// V shape.
+		{"vee", []float64{4, 3, 1, 0, 0, 1, 3, 4}, "daad"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Encode(tt.in, p)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("Encode(%v) = %q, want %q", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEncodeInvariantToScaleAndShift(t *testing.T) {
+	p := Params{Window: 16, PAA: 4, Alphabet: 5}
+	rng := rand.New(rand.NewSource(3))
+	base := make([]float64, 16)
+	for i := range base {
+		base[i] = math.Sin(float64(i)/3) + rng.NormFloat64()*0.1
+	}
+	want, err := Encode(base, p)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	scaled := make([]float64, len(base))
+	for i, v := range base {
+		scaled[i] = v*250 - 17
+	}
+	got, err := Encode(scaled, p)
+	if err != nil {
+		t.Fatalf("Encode scaled: %v", err)
+	}
+	if got != want {
+		t.Errorf("SAX not scale/shift invariant: %q vs %q", got, want)
+	}
+}
+
+func TestEncodeVariableLength(t *testing.T) {
+	// RRA encodes rule-corresponding subsequences of arbitrary length with
+	// the same encoder.
+	p := Params{Window: 100, PAA: 4, Alphabet: 4}
+	enc, err := NewEncoder(p)
+	if err != nil {
+		t.Fatalf("NewEncoder: %v", err)
+	}
+	for _, n := range []int{4, 7, 50, 333} {
+		sub := make([]float64, n)
+		for i := range sub {
+			sub[i] = float64(i)
+		}
+		w, err := enc.Encode(sub)
+		if err != nil {
+			t.Fatalf("Encode len %d: %v", n, err)
+		}
+		if len(w) != 4 {
+			t.Errorf("word length = %d, want 4", len(w))
+		}
+		if w != "abcd" {
+			t.Errorf("rising ramp of len %d = %q, want abcd", n, w)
+		}
+	}
+	if _, err := enc.Encode([]float64{1, 2, 3}); err == nil {
+		t.Error("subsequence shorter than PAA must error")
+	}
+}
+
+func TestNewEncoderErrors(t *testing.T) {
+	if _, err := NewEncoder(Params{PAA: 0, Alphabet: 4}); err == nil {
+		t.Error("PAA 0 should error")
+	}
+	if _, err := NewEncoder(Params{PAA: 4, Alphabet: 1}); err == nil {
+		t.Error("alphabet 1 should error")
+	}
+}
+
+func TestEncodeWordAlphabetBounds(t *testing.T) {
+	// All letters must be within the alphabet for many random inputs.
+	rng := rand.New(rand.NewSource(5))
+	p := Params{Window: 32, PAA: 8, Alphabet: 3}
+	enc, _ := NewEncoder(p)
+	for trial := 0; trial < 200; trial++ {
+		sub := make([]float64, 32)
+		for i := range sub {
+			sub[i] = rng.NormFloat64() * 100
+		}
+		w, err := enc.Encode(sub)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if strings.IndexFunc(w, func(r rune) bool { return r < 'a' || r > 'c' }) >= 0 {
+			t.Fatalf("word %q outside alphabet of size 3", w)
+		}
+	}
+}

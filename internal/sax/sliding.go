@@ -1,0 +1,135 @@
+package sax
+
+import (
+	"fmt"
+)
+
+// Reduction selects the numerosity-reduction strategy applied during
+// sliding-window discretization (Section 3.2 of the paper; the three modes
+// mirror GrammarViz 2.0).
+type Reduction int
+
+const (
+	// ReductionExact records a word only when it differs from the
+	// previous recorded word. It is the paper's default strategy and the
+	// zero value, so an unset Reduction selects it.
+	ReductionExact Reduction = iota
+	// ReductionNone records every window's word.
+	ReductionNone
+	// ReductionMINDIST records a word only when its MINDIST to the
+	// previous recorded word is non-zero, i.e. some letter pair is more
+	// than one region apart. This is a looser filter than Exact.
+	ReductionMINDIST
+)
+
+// String returns the GrammarViz-style name of the strategy.
+func (r Reduction) String() string {
+	switch r {
+	case ReductionNone:
+		return "NONE"
+	case ReductionExact:
+		return "EXACT"
+	case ReductionMINDIST:
+		return "MINDIST"
+	default:
+		return fmt.Sprintf("Reduction(%d)", int(r))
+	}
+}
+
+// Word is one recorded SAX word together with the index of the window it
+// was produced from (the word's offset into the original time series).
+type Word struct {
+	Str    string // the SAX letters
+	Offset int    // start index of the source window in the time series
+}
+
+// Discretization is the result of sliding-window SAX discretization after
+// numerosity reduction: an ordered sequence of words with their offsets.
+type Discretization struct {
+	Words     []Word // recorded words in time order
+	SeriesLen int    // length of the source series
+	Params    Params // parameters used
+	Raw       int    // number of windows before numerosity reduction
+}
+
+// Discretize slides a window of p.Window over ts, SAX-encodes every
+// window, and applies the numerosity-reduction strategy. The word order
+// (and each word's offset) is preserved — the ordering is what makes
+// grammar induction meaningful (Section 3.1).
+func Discretize(ts []float64, p Params, red Reduction) (*Discretization, error) {
+	if err := p.Validate(len(ts)); err != nil {
+		return nil, err
+	}
+	enc, err := NewEncoder(p)
+	if err != nil {
+		return nil, err
+	}
+	d := &Discretization{SeriesLen: len(ts), Params: p}
+	prev := ""
+	for start := 0; start+p.Window <= len(ts); start++ {
+		word, err := enc.Encode(ts[start : start+p.Window])
+		if err != nil {
+			return nil, err
+		}
+		d.Raw++
+		switch red {
+		case ReductionExact:
+			if word == prev {
+				continue
+			}
+		case ReductionMINDIST:
+			if prev != "" && wordsMINDISTZero(word, prev) {
+				continue
+			}
+		}
+		d.Words = append(d.Words, Word{Str: word, Offset: start})
+		prev = word
+	}
+	if len(d.Words) == 0 {
+		return nil, fmt.Errorf("sax: discretization produced no words")
+	}
+	return d, nil
+}
+
+// wordsMINDISTZero reports whether MINDIST between two equal-length words
+// is zero, i.e. every letter pair is at most one region apart.
+func wordsMINDISTZero(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		d := int(a[i]) - int(b[i])
+		if d < -1 || d > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Strings returns just the word strings, in order. Useful as grammar
+// induction input.
+func (d *Discretization) Strings() []string {
+	out := make([]string, len(d.Words))
+	for i, w := range d.Words {
+		out[i] = w.Str
+	}
+	return out
+}
+
+// Offsets returns each recorded word's offset into the source series.
+func (d *Discretization) Offsets() []int {
+	out := make([]int, len(d.Words))
+	for i, w := range d.Words {
+		out[i] = w.Offset
+	}
+	return out
+}
+
+// ReductionRatio returns the fraction of raw windows removed by numerosity
+// reduction, in [0, 1).
+func (d *Discretization) ReductionRatio() float64 {
+	if d.Raw == 0 {
+		return 0
+	}
+	return 1 - float64(len(d.Words))/float64(d.Raw)
+}

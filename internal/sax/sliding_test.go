@@ -1,0 +1,174 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sineSeries(n int, period float64) []float64 {
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = math.Sin(2 * math.Pi * float64(i) / period)
+	}
+	return ts
+}
+
+func TestDiscretizeOrderingAndOffsets(t *testing.T) {
+	ts := sineSeries(200, 40)
+	p := Params{Window: 40, PAA: 4, Alphabet: 4}
+	d, err := Discretize(ts, p, ReductionNone)
+	if err != nil {
+		t.Fatalf("Discretize: %v", err)
+	}
+	if d.Raw != 161 {
+		t.Errorf("Raw = %d, want 161", d.Raw)
+	}
+	if len(d.Words) != 161 {
+		t.Errorf("no-reduction words = %d, want 161", len(d.Words))
+	}
+	for i, w := range d.Words {
+		if w.Offset != i {
+			t.Fatalf("offset[%d] = %d, want %d", i, w.Offset, i)
+		}
+		if len(w.Str) != 4 {
+			t.Fatalf("word %q has wrong length", w.Str)
+		}
+	}
+}
+
+func TestDiscretizeExactReduction(t *testing.T) {
+	ts := sineSeries(400, 40)
+	p := Params{Window: 40, PAA: 4, Alphabet: 4}
+	none, err := Discretize(ts, p, ReductionNone)
+	if err != nil {
+		t.Fatalf("Discretize none: %v", err)
+	}
+	exact, err := Discretize(ts, p, ReductionExact)
+	if err != nil {
+		t.Fatalf("Discretize exact: %v", err)
+	}
+	if len(exact.Words) >= len(none.Words) {
+		t.Errorf("exact reduction should shrink words: %d vs %d", len(exact.Words), len(none.Words))
+	}
+	// No two consecutive recorded words are identical.
+	for i := 1; i < len(exact.Words); i++ {
+		if exact.Words[i].Str == exact.Words[i-1].Str {
+			t.Fatalf("consecutive duplicate word %q at %d", exact.Words[i].Str, i)
+		}
+	}
+	// Offsets strictly increase.
+	for i := 1; i < len(exact.Words); i++ {
+		if exact.Words[i].Offset <= exact.Words[i-1].Offset {
+			t.Fatalf("offsets not increasing at %d", i)
+		}
+	}
+	if exact.ReductionRatio() <= 0 || exact.ReductionRatio() >= 1 {
+		t.Errorf("ReductionRatio = %v", exact.ReductionRatio())
+	}
+	if none.ReductionRatio() != 0 {
+		t.Errorf("none ReductionRatio = %v, want 0", none.ReductionRatio())
+	}
+}
+
+func TestDiscretizeMINDISTReduction(t *testing.T) {
+	ts := sineSeries(400, 40)
+	p := Params{Window: 40, PAA: 4, Alphabet: 6}
+	exact, err := Discretize(ts, p, ReductionExact)
+	if err != nil {
+		t.Fatalf("exact: %v", err)
+	}
+	md, err := Discretize(ts, p, ReductionMINDIST)
+	if err != nil {
+		t.Fatalf("mindist: %v", err)
+	}
+	// MINDIST keeps a word only on a >1-region jump, so it records no more
+	// words than EXACT.
+	if len(md.Words) > len(exact.Words) {
+		t.Errorf("MINDIST kept %d words, EXACT %d; want <=", len(md.Words), len(exact.Words))
+	}
+	for i := 1; i < len(md.Words); i++ {
+		if wordsMINDISTZero(md.Words[i].Str, md.Words[i-1].Str) {
+			t.Fatalf("consecutive MINDIST-zero words at %d: %q %q",
+				i, md.Words[i-1].Str, md.Words[i].Str)
+		}
+	}
+}
+
+func TestDiscretizeFirstWordAlwaysRecorded(t *testing.T) {
+	ts := make([]float64, 100) // constant series: all words identical
+	p := Params{Window: 10, PAA: 2, Alphabet: 3}
+	d, err := Discretize(ts, p, ReductionExact)
+	if err != nil {
+		t.Fatalf("Discretize: %v", err)
+	}
+	if len(d.Words) != 1 || d.Words[0].Offset != 0 {
+		t.Errorf("constant series should reduce to a single word, got %v", d.Words)
+	}
+}
+
+func TestDiscretizeErrors(t *testing.T) {
+	ts := sineSeries(50, 10)
+	if _, err := Discretize(ts, Params{Window: 100, PAA: 4, Alphabet: 4}, ReductionExact); err == nil {
+		t.Error("oversize window should error")
+	}
+	if _, err := Discretize(ts, Params{Window: 10, PAA: 20, Alphabet: 4}, ReductionExact); err == nil {
+		t.Error("PAA > window should error")
+	}
+}
+
+func TestStringsAndOffsets(t *testing.T) {
+	ts := sineSeries(100, 25)
+	d, err := Discretize(ts, Params{Window: 25, PAA: 5, Alphabet: 4}, ReductionExact)
+	if err != nil {
+		t.Fatalf("Discretize: %v", err)
+	}
+	ss, offs := d.Strings(), d.Offsets()
+	if len(ss) != len(d.Words) || len(offs) != len(d.Words) {
+		t.Fatal("Strings/Offsets length mismatch")
+	}
+	for i := range ss {
+		if ss[i] != d.Words[i].Str || offs[i] != d.Words[i].Offset {
+			t.Fatalf("Strings/Offsets mismatch at %d", i)
+		}
+	}
+}
+
+func TestReductionString(t *testing.T) {
+	tests := []struct {
+		r    Reduction
+		want string
+	}{
+		{ReductionNone, "NONE"},
+		{ReductionExact, "EXACT"},
+		{ReductionMINDIST, "MINDIST"},
+		{Reduction(9), "Reduction(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.r), got, tt.want)
+		}
+	}
+}
+
+func TestDiscretizeNoisyReducesLess(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	smooth := sineSeries(500, 50)
+	noisy := make([]float64, len(smooth))
+	for i, v := range smooth {
+		noisy[i] = v + rng.NormFloat64()*0.8
+	}
+	p := Params{Window: 50, PAA: 5, Alphabet: 5}
+	ds, err := Discretize(smooth, p, ReductionExact)
+	if err != nil {
+		t.Fatalf("smooth: %v", err)
+	}
+	dn, err := Discretize(noisy, p, ReductionExact)
+	if err != nil {
+		t.Fatalf("noisy: %v", err)
+	}
+	if len(dn.Words) <= len(ds.Words) {
+		t.Errorf("noise should defeat numerosity reduction: noisy %d <= smooth %d",
+			len(dn.Words), len(ds.Words))
+	}
+}

@@ -1,0 +1,185 @@
+package sequitur
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sym is one symbol of a rule body in a Grammar snapshot: either a
+// terminal token or a reference to another rule.
+type Sym struct {
+	IsRule bool // true for a non-terminal (rule reference)
+	ID     int  // token id (IsRule == false) or rule id (IsRule == true)
+}
+
+// Rule is one rule of a Grammar snapshot. Rule 0 is the root (R0); the
+// paper excludes R0 when counting how many rules cover a position.
+type Rule struct {
+	ID    int   // dense id; 0 is the root
+	Count int   // number of times the rule is used in other rules (root: 0)
+	Body  []Sym // the rule's right-hand side
+}
+
+// Grammar is an immutable snapshot of an induced grammar.
+type Grammar struct {
+	Tokens []string // token id -> token string
+	Rules  []Rule   // indexed by dense rule id; Rules[0] is the root
+
+	expanded [][]int // lazy cache: rule id -> expanded token ids
+}
+
+// Grammar snapshots the Inducer's current grammar. Rule ids are compacted
+// to a dense range with the root at 0; relative order of rule creation is
+// preserved, matching the R1, R2, ... numbering in the paper.
+func (in *Inducer) Grammar() *Grammar {
+	ids := make([]int, 0, len(in.rules))
+	for id := range in.rules {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	dense := make(map[int]int, len(ids))
+	for i, id := range ids {
+		dense[id] = i
+	}
+	g := &Grammar{
+		Tokens: append([]string(nil), in.tokens...),
+		Rules:  make([]Rule, len(ids)),
+	}
+	for i, id := range ids {
+		src := in.rules[id]
+		r := Rule{ID: i, Count: src.count}
+		for s := src.first(); !s.isGuard(); s = s.next {
+			if s.rule != nil {
+				r.Body = append(r.Body, Sym{IsRule: true, ID: dense[s.rule.id]})
+			} else {
+				r.Body = append(r.Body, Sym{ID: int(s.term)})
+			}
+		}
+		g.Rules[i] = r
+	}
+	return g
+}
+
+// NumRules returns the number of rules excluding the root — the "grammar
+// size" used when the paper discusses grammar properties (Figure 10).
+func (g *Grammar) NumRules() int { return len(g.Rules) - 1 }
+
+// Expand returns the token ids a rule derives, computed bottom-up and
+// cached. The root expands to the full input sequence (post numerosity
+// reduction).
+func (g *Grammar) Expand(ruleID int) []int {
+	if g.expanded == nil {
+		g.expanded = make([][]int, len(g.Rules))
+	}
+	if g.expanded[ruleID] != nil {
+		return g.expanded[ruleID]
+	}
+	var out []int
+	for _, s := range g.Rules[ruleID].Body {
+		if s.IsRule {
+			out = append(out, g.Expand(s.ID)...)
+		} else {
+			out = append(out, s.ID)
+		}
+	}
+	if out == nil {
+		out = []int{}
+	}
+	g.expanded[ruleID] = out
+	return out
+}
+
+// ExpandTokens returns the token strings a rule derives.
+func (g *Grammar) ExpandTokens(ruleID int) []string {
+	ids := g.Expand(ruleID)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.Tokens[id]
+	}
+	return out
+}
+
+// RuleString renders a rule body the way the paper prints grammars, e.g.
+// "R1 xxx R1" for the root or "aac abc" for a leaf rule.
+func (g *Grammar) RuleString(ruleID int) string {
+	var b strings.Builder
+	for i, s := range g.Rules[ruleID].Body {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if s.IsRule {
+			fmt.Fprintf(&b, "R%d", s.ID)
+		} else {
+			b.WriteString(g.Tokens[s.ID])
+		}
+	}
+	return b.String()
+}
+
+// String renders the whole grammar, one rule per line.
+func (g *Grammar) String() string {
+	var b strings.Builder
+	for _, r := range g.Rules {
+		fmt.Fprintf(&b, "R%d -> %s\n", r.ID, g.RuleString(r.ID))
+	}
+	return b.String()
+}
+
+// Verify checks the Sequitur invariants on the snapshot and that the root
+// expands to input. It returns a descriptive error on the first violation
+// found, or nil. It exists for tests and for debugging pipelines; it is
+// O(grammar size).
+func (g *Grammar) Verify(input []string) error {
+	// Root expansion equals the input.
+	got := g.ExpandTokens(0)
+	if len(got) != len(input) {
+		return fmt.Errorf("sequitur: root expands to %d tokens, input has %d", len(got), len(input))
+	}
+	for i := range got {
+		if got[i] != input[i] {
+			return fmt.Errorf("sequitur: expansion differs from input at %d: %q vs %q", i, got[i], input[i])
+		}
+	}
+	// Rule utility: every non-root rule used at least twice.
+	usage := make([]int, len(g.Rules))
+	for _, r := range g.Rules {
+		for _, s := range r.Body {
+			if s.IsRule {
+				usage[s.ID]++
+			}
+		}
+	}
+	for id := 1; id < len(g.Rules); id++ {
+		if usage[id] < 2 {
+			return fmt.Errorf("sequitur: rule R%d used %d times, utility violated", id, usage[id])
+		}
+		if usage[id] != g.Rules[id].Count {
+			return fmt.Errorf("sequitur: rule R%d count %d != actual usage %d", id, g.Rules[id].Count, usage[id])
+		}
+		if len(g.Rules[id].Body) < 2 {
+			return fmt.Errorf("sequitur: rule R%d has body of length %d", id, len(g.Rules[id].Body))
+		}
+	}
+	// Digram uniqueness across all rule bodies. Two occurrences are only
+	// legal when they overlap (a run like "aaa" inside one rule), which
+	// requires them to be adjacent positions of the same rule with equal
+	// symbols.
+	type site struct{ rule, pos int }
+	seen := make(map[[2]Sym]site)
+	for _, r := range g.Rules {
+		for i := 0; i+1 < len(r.Body); i++ {
+			dg := [2]Sym{r.Body[i], r.Body[i+1]}
+			if prev, dup := seen[dg]; dup {
+				overlapping := prev.rule == r.ID && i == prev.pos+1 && dg[0] == dg[1]
+				if !overlapping {
+					return fmt.Errorf("sequitur: digram %v repeats at R%d@%d and R%d@%d",
+						dg, prev.rule, prev.pos, r.ID, i)
+				}
+				continue // keep the first site so a third occurrence is caught
+			}
+			seen[dg] = site{rule: r.ID, pos: i}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package sequitur
+
+// Inducer incrementally builds a Sequitur grammar. Feed tokens with
+// Append; take a snapshot of the induced grammar with Grammar at any
+// point (the paper's streaming extension relies on this incrementality).
+// An Inducer is not safe for concurrent use.
+type Inducer struct {
+	digrams map[uint64]*symbol
+	root    *rule
+	rules   map[int]*rule // live rules by id, including the root (id 0)
+	nextID  int
+
+	vocab   map[string]int32 // token string -> id
+	tokens  []string         // id -> token string
+	nTokens int              // number of Append calls
+}
+
+// NewInducer returns an empty Inducer.
+func NewInducer() *Inducer {
+	in := &Inducer{
+		digrams: make(map[uint64]*symbol),
+		rules:   make(map[int]*rule),
+		vocab:   make(map[string]int32),
+		nextID:  1,
+	}
+	in.root = newRuleNode(0)
+	in.rules[0] = in.root
+	return in
+}
+
+// Induce builds the grammar for a whole token sequence in one call.
+func Induce(tokens []string) *Grammar {
+	in := NewInducer()
+	for _, t := range tokens {
+		in.Append(t)
+	}
+	return in.Grammar()
+}
+
+// Len returns the number of tokens appended so far.
+func (in *Inducer) Len() int { return in.nTokens }
+
+// Append feeds the next token of the input sequence to the grammar.
+func (in *Inducer) Append(token string) {
+	id, ok := in.vocab[token]
+	if !ok {
+		id = int32(len(in.tokens))
+		in.vocab[token] = id
+		in.tokens = append(in.tokens, token)
+	}
+	in.nTokens++
+	s := &symbol{term: id}
+	in.insertAfter(in.root.last(), s)
+	if prev := s.prev; !prev.isGuard() {
+		in.check(prev)
+	}
+}
+
+// digramKey packs the identities of s and s.next into a map key.
+func digramKey(s *symbol) uint64 {
+	return uint64(s.code())<<32 | uint64(s.next.code())
+}
+
+// deleteDigram removes the digram starting at s from the index, if the
+// index currently points at this occurrence.
+func (in *Inducer) deleteDigram(s *symbol) {
+	if s.isGuard() || s.next.isGuard() {
+		return
+	}
+	key := digramKey(s)
+	if in.digrams[key] == s {
+		delete(in.digrams, key)
+	}
+}
+
+// join links left and right, maintaining the digram index. The triple
+// re-indexing mirrors the reference implementation's handling of runs of
+// identical symbols (e.g. "aaa"), where naive index maintenance would drop
+// a digram occurrence.
+func (in *Inducer) join(left, right *symbol) {
+	if left.next != nil {
+		in.deleteDigram(left)
+
+		if right.prev != nil && right.next != nil &&
+			sameValue(right, right.prev) && sameValue(right, right.next) {
+			in.digrams[digramKey(right)] = right
+		}
+		if left.prev != nil && left.next != nil &&
+			sameValue(left, left.next) && sameValue(left, left.prev) {
+			in.digrams[digramKey(left.prev)] = left.prev
+		}
+	}
+	left.next = right
+	right.prev = left
+}
+
+// insertAfter splices y into the list immediately after s.
+func (in *Inducer) insertAfter(s, y *symbol) {
+	in.join(y, s.next)
+	in.join(s, y)
+}
+
+// deleteSymbol unlinks s from its list, maintaining the digram index and
+// the reference count of the rule s references (if any).
+func (in *Inducer) deleteSymbol(s *symbol) {
+	in.join(s.prev, s.next)
+	if !s.isGuard() {
+		in.deleteDigram(s)
+		if s.rule != nil {
+			s.rule.count--
+		}
+	}
+}
+
+// check enforces digram uniqueness for the digram starting at s. It
+// returns true when the digram already occurred elsewhere (and was
+// therefore reduced).
+func (in *Inducer) check(s *symbol) bool {
+	if s.isGuard() || s.next.isGuard() {
+		return false
+	}
+	key := digramKey(s)
+	found, ok := in.digrams[key]
+	if !ok {
+		in.digrams[key] = s
+		return false
+	}
+	if found.next != s && found != s {
+		in.match(s, found)
+	}
+	return true
+}
+
+// match reduces the two non-overlapping occurrences s and m of the same
+// digram, either by reusing an existing whole-digram rule or by creating a
+// new rule, then enforces rule utility.
+func (in *Inducer) match(s, m *symbol) {
+	var r *rule
+	if m.prev.isGuard() && m.next.next.isGuard() {
+		// m is the complete body of an existing rule: reuse it.
+		r = m.prev.guardOf
+		in.substitute(s, r)
+	} else {
+		r = in.newRule()
+		in.insertAfter(r.last(), in.copyOf(s))
+		in.insertAfter(r.last(), in.copyOf(s.next))
+		in.substitute(m, r)
+		in.substitute(s, r)
+		in.digrams[digramKey(r.first())] = r.first()
+	}
+	// Rule utility: a rule referenced exactly once is inlined.
+	if f := r.first(); f.rule != nil && f.rule.count == 1 {
+		in.expand(f)
+	}
+}
+
+// copyOf clones s for insertion into a rule body, bumping the reference
+// count when s is a non-terminal.
+func (in *Inducer) copyOf(s *symbol) *symbol {
+	c := &symbol{term: s.term, rule: s.rule}
+	if c.rule != nil {
+		c.rule.count++
+	}
+	return c
+}
+
+func (in *Inducer) newRule() *rule {
+	r := newRuleNode(in.nextID)
+	in.nextID++
+	in.rules[r.id] = r
+	return r
+}
+
+// newNonTerminal returns a fresh occurrence of r, bumping its count.
+func (in *Inducer) newNonTerminal(r *rule) *symbol {
+	r.count++
+	return &symbol{rule: r}
+}
+
+// substitute replaces the digram starting at s with a non-terminal
+// referencing r, then re-checks the digrams the splice created.
+func (in *Inducer) substitute(s *symbol, r *rule) {
+	q := s.prev
+	in.deleteSymbol(s)
+	in.deleteSymbol(q.next)
+	in.insertAfter(q, in.newNonTerminal(r))
+	if !in.check(q) {
+		in.check(q.next)
+	}
+}
+
+// expand inlines the body of an underused rule at its last remaining
+// occurrence s and retires the rule.
+func (in *Inducer) expand(s *symbol) {
+	r := s.rule
+	left, right := s.prev, s.next
+	f, l := r.first(), r.last()
+
+	in.deleteDigram(s)
+	in.join(left, f)
+	in.join(l, right)
+	in.digrams[digramKey(l)] = l
+
+	delete(in.rules, r.id)
+}

@@ -1,0 +1,240 @@
+package sequitur
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func tokensOf(s string) []string { return strings.Split(s, " ") }
+
+func TestPaperExample(t *testing.T) {
+	// Section 3 of the paper: S = abc abc cba xxx abc abc cba. The paper
+	// shows "a possible grammar" with two nested rules; canonical
+	// Sequitur's rule-utility constraint inlines the inner rule, yielding
+	// the equivalent R0 -> R1 xxx R1 ; R1 -> abc abc cba. Either way the
+	// essential structure holds: the repeated block becomes one rule and
+	// the unique token xxx stays at the top level.
+	in := tokensOf("abc abc cba xxx abc abc cba")
+	g := Induce(in)
+	if err := g.Verify(in); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if g.NumRules() != 1 {
+		t.Fatalf("NumRules = %d, want 1; grammar:\n%s", g.NumRules(), g)
+	}
+	root := g.Rules[0].Body
+	if len(root) != 3 {
+		t.Fatalf("root body = %v, want 3 symbols; grammar:\n%s", root, g)
+	}
+	if !root[0].IsRule || !root[2].IsRule || root[0].ID != root[2].ID {
+		t.Fatalf("root should be R? xxx R?, got %q", g.RuleString(0))
+	}
+	if g.Tokens[root[1].ID] != "xxx" {
+		t.Fatalf("middle of root = %q, want xxx", g.Tokens[root[1].ID])
+	}
+	got := strings.Join(g.ExpandTokens(root[0].ID), " ")
+	if got != "abc abc cba" {
+		t.Fatalf("R%d expands to %q, want 'abc abc cba'", root[0].ID, got)
+	}
+}
+
+func TestClassicAbcdbc(t *testing.T) {
+	// Canonical Sequitur example: "abcdbc" over single-char tokens gives
+	// S -> a A d A ; A -> b c.
+	in := tokensOf("a b c d b c")
+	g := Induce(in)
+	if err := g.Verify(in); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if g.NumRules() != 1 {
+		t.Fatalf("NumRules = %d, want 1; grammar:\n%s", g.NumRules(), g)
+	}
+	if got := strings.Join(g.ExpandTokens(1), " "); got != "b c" {
+		t.Fatalf("R1 = %q, want 'b c'", got)
+	}
+}
+
+func TestRuleUtilityInlining(t *testing.T) {
+	// "aaaa...": long runs exercise rule reuse and the triple handling.
+	for n := 2; n <= 20; n++ {
+		in := make([]string, n)
+		for i := range in {
+			in[i] = "a"
+		}
+		g := Induce(in)
+		if err := g.Verify(in); err != nil {
+			t.Fatalf("n=%d: %v\n%s", n, err, g)
+		}
+	}
+}
+
+func TestNoRepetition(t *testing.T) {
+	// All-distinct input compresses to nothing: only the root, no rules.
+	in := tokensOf("t0 t1 t2 t3 t4 t5 t6 t7")
+	g := Induce(in)
+	if err := g.Verify(in); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if g.NumRules() != 0 {
+		t.Errorf("NumRules = %d, want 0", g.NumRules())
+	}
+	if len(g.Rules[0].Body) != len(in) {
+		t.Errorf("root length = %d, want %d", len(g.Rules[0].Body), len(in))
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	g := Induce(nil)
+	if len(g.Rules) != 1 || len(g.Rules[0].Body) != 0 {
+		t.Errorf("empty grammar malformed: %+v", g.Rules)
+	}
+	g = Induce([]string{"only"})
+	if err := g.Verify([]string{"only"}); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if g.NumRules() != 0 {
+		t.Errorf("single token NumRules = %d", g.NumRules())
+	}
+}
+
+func TestIncrementalSnapshotting(t *testing.T) {
+	// Grammar() must be callable mid-stream without corrupting induction.
+	in := NewInducer()
+	seq := tokensOf("a b a b a b a b c a b")
+	for i, tok := range seq {
+		in.Append(tok)
+		g := in.Grammar()
+		if err := g.Verify(seq[:i+1]); err != nil {
+			t.Fatalf("after %d tokens: %v\n%s", i+1, err, g)
+		}
+	}
+	if in.Len() != len(seq) {
+		t.Errorf("Len = %d, want %d", in.Len(), len(seq))
+	}
+}
+
+func TestCompressionOnRepetitiveInput(t *testing.T) {
+	// A highly repetitive input must yield a grammar much smaller than
+	// the input (the compression property the anomaly detector relies on).
+	var in []string
+	for i := 0; i < 64; i++ {
+		in = append(in, "x", "y", "z", "w")
+	}
+	g := Induce(in)
+	if err := g.Verify(in); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	size := 0
+	for _, r := range g.Rules {
+		size += len(r.Body)
+	}
+	if size >= len(in)/4 {
+		t.Errorf("grammar size %d not << input %d", size, len(in))
+	}
+}
+
+func TestRareTokenStaysOutOfRules(t *testing.T) {
+	// The paper's core intuition: a token that appears once ("xxx") must
+	// not be absorbed into any non-root rule.
+	in := tokensOf("abc abc cba xxx abc abc cba")
+	g := Induce(in)
+	for id := 1; id < len(g.Rules); id++ {
+		for _, tok := range g.ExpandTokens(id) {
+			if tok == "xxx" {
+				t.Fatalf("xxx absorbed into R%d:\n%s", id, g)
+			}
+		}
+	}
+}
+
+// Property: for random sequences over small alphabets, the grammar always
+// round-trips and maintains both invariants.
+func TestInduceRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(nRaw uint16, aRaw uint8) bool {
+		n := int(nRaw%500) + 1
+		a := int(aRaw%6) + 1 // tiny alphabets force heavy rule churn
+		in := make([]string, n)
+		for i := range in {
+			in[i] = fmt.Sprintf("t%d", rng.Intn(a))
+		}
+		g := Induce(in)
+		return g.Verify(in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: repeated blocks with distinct separators — structured inputs
+// resembling discretized time series.
+func TestInduceStructuredProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		motifLen := rng.Intn(5) + 2
+		motif := make([]string, motifLen)
+		for i := range motif {
+			motif[i] = fmt.Sprintf("m%d", i)
+		}
+		var in []string
+		for rep := 0; rep < rng.Intn(10)+2; rep++ {
+			in = append(in, motif...)
+			in = append(in, fmt.Sprintf("sep%d", rep))
+		}
+		g := Induce(in)
+		if err := g.Verify(in); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, g)
+		}
+		if g.NumRules() == 0 && motifLen >= 2 {
+			t.Fatalf("trial %d: repeated motif induced no rules:\n%s", trial, g)
+		}
+	}
+}
+
+func TestRuleStringAndString(t *testing.T) {
+	in := tokensOf("a b a b")
+	g := Induce(in)
+	if g.NumRules() != 1 {
+		t.Fatalf("grammar:\n%s", g)
+	}
+	if got := g.RuleString(1); got != "a b" {
+		t.Errorf("RuleString(1) = %q", got)
+	}
+	s := g.String()
+	if !strings.Contains(s, "R0 ->") || !strings.Contains(s, "R1 -> a b") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	in := tokensOf("a b a b c")
+	g := Induce(in)
+	if err := g.Verify(in); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if err := g.Verify(tokensOf("a b a b d")); err == nil {
+		t.Error("Verify should reject wrong input")
+	}
+	if err := g.Verify(tokensOf("a b")); err == nil {
+		t.Error("Verify should reject wrong length")
+	}
+	// Corrupt a count.
+	bad := Induce(in)
+	bad.Rules[1].Count = 7
+	if err := bad.Verify(in); err == nil {
+		t.Error("Verify should catch count mismatch")
+	}
+}
+
+func TestExpandCaching(t *testing.T) {
+	in := tokensOf("a b a b a b a b")
+	g := Induce(in)
+	first := g.Expand(0)
+	second := g.Expand(0)
+	if &first[0] != &second[0] {
+		t.Error("Expand should cache and return the same slice")
+	}
+}

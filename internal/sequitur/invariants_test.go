@@ -1,0 +1,140 @@
+package sequitur
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Incremental validity: after every single Append on a structured input,
+// the snapshot must satisfy all invariants. This is the property the
+// streaming detector depends on.
+func TestIncrementalPrefixValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		// Build a structured input: repeated motifs + noise tokens.
+		var seq []string
+		motif := []string{"ma", "mb", "mc"}
+		for len(seq) < 120 {
+			if rng.Float64() < 0.7 {
+				seq = append(seq, motif...)
+			} else {
+				seq = append(seq, fmt.Sprintf("n%d", rng.Intn(8)))
+			}
+		}
+		in := NewInducer()
+		for i, tok := range seq {
+			in.Append(tok)
+			if i%17 == 0 || i == len(seq)-1 { // spot-check densely but not every step
+				if err := in.Grammar().Verify(seq[:i+1]); err != nil {
+					t.Fatalf("trial %d after %d tokens: %v", trial, i+1, err)
+				}
+			}
+		}
+	}
+}
+
+// The grammar never expands the input: total grammar symbols <= input
+// length + number of rules (each rule body has >= 2 symbols and each use
+// replaces >= 2; the bound below is the loose safe version).
+func TestGrammarNeverLargerThanInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(400) + 2
+		a := rng.Intn(8) + 1
+		in := make([]string, n)
+		for i := range in {
+			in[i] = fmt.Sprintf("t%d", rng.Intn(a))
+		}
+		g := Induce(in)
+		size := 0
+		for _, r := range g.Rules {
+			size += len(r.Body)
+		}
+		if size > n {
+			t.Fatalf("trial %d: grammar size %d > input %d\n%s", trial, size, n, g)
+		}
+	}
+}
+
+// Token interning: the vocabulary must contain each distinct token exactly
+// once, and ids must round-trip through the grammar.
+func TestVocabulary(t *testing.T) {
+	in := strings.Split("x y x z y x w", " ")
+	g := Induce(in)
+	seen := map[string]bool{}
+	for _, tok := range g.Tokens {
+		if seen[tok] {
+			t.Fatalf("token %q interned twice", tok)
+		}
+		seen[tok] = true
+	}
+	for _, want := range []string{"x", "y", "z", "w"} {
+		if !seen[want] {
+			t.Errorf("token %q missing from vocabulary", want)
+		}
+	}
+	if len(g.Tokens) != 4 {
+		t.Errorf("vocabulary size = %d, want 4", len(g.Tokens))
+	}
+}
+
+// Two-token alternation is the smallest input that exercises rule reuse
+// heavily; check a ladder of lengths.
+func TestAlternationLadder(t *testing.T) {
+	for n := 2; n <= 64; n++ {
+		in := make([]string, n)
+		for i := range in {
+			in[i] = []string{"a", "b"}[i%2]
+		}
+		g := Induce(in)
+		if err := g.Verify(in); err != nil {
+			t.Fatalf("n=%d: %v\n%s", n, err, g)
+		}
+	}
+}
+
+// Deep nesting: powers-of-two repeats force a rule hierarchy; expansion
+// must still round-trip and the hierarchy must actually form.
+func TestDeepHierarchy(t *testing.T) {
+	var in []string
+	for i := 0; i < 256; i++ {
+		in = append(in, "u", "v")
+	}
+	g := Induce(in)
+	if err := g.Verify(in); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if g.NumRules() < 4 {
+		t.Errorf("expected a rule hierarchy, got %d rules:\n%s", g.NumRules(), g)
+	}
+	// Root should be dramatically shorter than the input.
+	if len(g.Rules[0].Body) > len(in)/8 {
+		t.Errorf("root body %d not << input %d", len(g.Rules[0].Body), len(in))
+	}
+}
+
+// Expansion lengths are consistent: len(Expand(rule)) equals the sum over
+// its body of (1 for terminals, len(Expand(sub)) for rules).
+func TestExpansionLengthConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	in := make([]string, 300)
+	for i := range in {
+		in[i] = fmt.Sprintf("t%d", rng.Intn(5))
+	}
+	g := Induce(in)
+	for id := 0; id < len(g.Rules); id++ {
+		want := 0
+		for _, s := range g.Rules[id].Body {
+			if s.IsRule {
+				want += len(g.Expand(s.ID))
+			} else {
+				want++
+			}
+		}
+		if got := len(g.Expand(id)); got != want {
+			t.Errorf("R%d expansion length %d, want %d", id, got, want)
+		}
+	}
+}

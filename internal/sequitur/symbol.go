@@ -1,0 +1,69 @@
+// Package sequitur implements the Sequitur algorithm (Nevill-Manning &
+// Witten, 1997): linear-time, incremental inference of a context-free
+// grammar from a sequence of tokens. The induced grammar maintains two
+// invariants at all times:
+//
+//   - digram uniqueness: no pair of adjacent symbols appears more than
+//     once in the grammar;
+//   - rule utility: every rule is used more than once.
+//
+// Tokens are arbitrary strings (SAX words in this library); they are
+// interned to integer ids internally so digram hashing is cheap.
+package sequitur
+
+// symbol is a node in a rule's doubly-linked symbol list. Exactly one of
+// the following holds:
+//   - guardOf != nil: the symbol is a rule's guard (list sentinel);
+//   - rule != nil:    the symbol is a non-terminal referencing rule;
+//   - otherwise:      the symbol is the terminal with token id term.
+type symbol struct {
+	next, prev *symbol
+	term       int32 // terminal token id
+	rule       *rule // non-nil for non-terminal occurrences
+	guardOf    *rule // non-nil for rule guards
+}
+
+func (s *symbol) isGuard() bool       { return s.guardOf != nil }
+func (s *symbol) isNonTerminal() bool { return s.rule != nil }
+
+// code returns the 32-bit identity used in digram keys: terminals map to
+// their token id, non-terminals to their rule id with the high bit set.
+func (s *symbol) code() uint32 {
+	if s.rule != nil {
+		return 1<<31 | uint32(s.rule.id)
+	}
+	return uint32(s.term)
+}
+
+// sameValue reports whether two symbols are interchangeable for digram
+// purposes (same terminal, or references to the same rule).
+func sameValue(a, b *symbol) bool {
+	if a.rule != nil || b.rule != nil {
+		return a.rule == b.rule
+	}
+	if a.guardOf != nil || b.guardOf != nil {
+		return false
+	}
+	return a.term == b.term
+}
+
+// rule is a grammar rule: a guarded circular list of symbols plus a
+// reference count (the number of non-terminal occurrences of the rule).
+type rule struct {
+	id    int
+	guard *symbol
+	count int
+}
+
+func newRuleNode(id int) *rule {
+	r := &rule{id: id}
+	g := &symbol{guardOf: r}
+	g.next = g
+	g.prev = g
+	r.guard = g
+	return r
+}
+
+func (r *rule) first() *symbol { return r.guard.next }
+func (r *rule) last() *symbol  { return r.guard.prev }
+func (r *rule) empty() bool    { return r.guard.next == r.guard }

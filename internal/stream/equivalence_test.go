@@ -1,0 +1,114 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"grammarviz/internal/sax"
+)
+
+// The stream must match batch discretization for every reduction strategy,
+// not only EXACT.
+func TestStreamMatchesBatchAllReductions(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	ts := make([]float64, 700)
+	for i := range ts {
+		ts[i] = math.Sin(float64(i)/8) + rng.NormFloat64()*0.15
+	}
+	p := sax.Params{Window: 40, PAA: 4, Alphabet: 5}
+	for _, red := range []sax.Reduction{sax.ReductionNone, sax.ReductionExact, sax.ReductionMINDIST} {
+		t.Run(red.String(), func(t *testing.T) {
+			d, err := NewDetector(p, red)
+			if err != nil {
+				t.Fatalf("NewDetector: %v", err)
+			}
+			for _, v := range ts {
+				d.Append(v)
+			}
+			batch, err := sax.Discretize(ts, p, red)
+			if err != nil {
+				t.Fatalf("Discretize: %v", err)
+			}
+			if d.WordCount() != len(batch.Words) {
+				t.Fatalf("stream %d words, batch %d", d.WordCount(), len(batch.Words))
+			}
+			for i, w := range batch.Words {
+				if d.words[i] != w {
+					t.Fatalf("word %d: stream %+v batch %+v", i, d.words[i], w)
+				}
+			}
+		})
+	}
+}
+
+// Events report exactly the recorded words, in order, with correct
+// offsets.
+func TestEventsMatchWords(t *testing.T) {
+	ts := sine(500, 40)
+	for i := 250; i < 290; i++ {
+		ts[i] *= 0.1
+	}
+	p := sax.Params{Window: 40, PAA: 4, Alphabet: 4}
+	d, err := NewDetector(p, sax.ReductionExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	for _, v := range ts {
+		if ev, ok := d.Append(v); ok {
+			events = append(events, ev)
+		}
+	}
+	if len(events) != d.WordCount() {
+		t.Fatalf("%d events vs %d words", len(events), d.WordCount())
+	}
+	for i, ev := range events {
+		if ev.Word != d.words[i].Str || ev.Offset != d.words[i].Offset {
+			t.Fatalf("event %d = %+v, word %+v", i, ev, d.words[i])
+		}
+		if ev.Novelty <= 0 || ev.Novelty > 1 {
+			t.Fatalf("novelty %v out of (0,1]", ev.Novelty)
+		}
+	}
+}
+
+// Repeated Snapshot calls must not corrupt the stream (the grammar is
+// reused, not re-induced).
+func TestRepeatedSnapshots(t *testing.T) {
+	ts := sine(800, 50)
+	p := sax.Params{Window: 50, PAA: 5, Alphabet: 4}
+	d, err := NewDetector(p, sax.ReductionExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastLen int
+	for i, v := range ts {
+		d.Append(v)
+		if i > 100 && i%150 == 0 {
+			snap, err := d.Snapshot()
+			if err != nil {
+				t.Fatalf("Snapshot at %d: %v", i, err)
+			}
+			if len(snap.Density) != i+1 {
+				t.Fatalf("snapshot density length %d at point %d", len(snap.Density), i)
+			}
+			if len(snap.Density) <= lastLen {
+				t.Fatal("snapshots not growing")
+			}
+			lastLen = len(snap.Density)
+		}
+	}
+	// Final snapshot still verifies against the full input.
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([]string, len(d.words))
+	for i, w := range d.words {
+		words[i] = w.Str
+	}
+	if err := snap.Rules.Grammar.Verify(words); err != nil {
+		t.Fatalf("grammar invariants broken after repeated snapshots: %v", err)
+	}
+}

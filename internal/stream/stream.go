@@ -1,0 +1,157 @@
+// Package stream implements the left-to-right streaming variant of the
+// grammar-based anomaly detector that the paper's conclusion sketches as
+// future work: both SAX discretization and Sequitur induction are
+// incremental, so the grammar is maintained online while points arrive,
+// novelty is scored per discretized word in O(1), and a full rule-density
+// analysis of everything seen so far can be snapshotted at any time in
+// linear time without re-inducing the grammar.
+package stream
+
+import (
+	"fmt"
+
+	"grammarviz/internal/density"
+	"grammarviz/internal/grammar"
+	"grammarviz/internal/sax"
+	"grammarviz/internal/sequitur"
+	"grammarviz/internal/timeseries"
+)
+
+// Event is emitted when a new SAX word survives numerosity reduction.
+type Event struct {
+	Offset int    // series index of the window that produced the word
+	Word   string // the SAX word
+	// Novelty is 1/(number of times this word has now been seen): 1.0 for
+	// a never-before-seen shape, approaching 0 for routine shapes. A
+	// run of high-novelty events signals an anomaly in progress.
+	Novelty float64
+}
+
+// Detector consumes a time series point by point. It is not safe for
+// concurrent use.
+type Detector struct {
+	params  sax.Params
+	red     sax.Reduction
+	encoder *sax.Encoder
+	inducer *sequitur.Inducer
+
+	series   []float64 // everything seen so far
+	buf      []float64 // scratch: current window
+	lastWord string
+	words    []sax.Word
+	seen     map[string]int // word -> occurrence count
+}
+
+// NewDetector returns a streaming detector with the given discretization
+// parameters.
+func NewDetector(p sax.Params, red sax.Reduction) (*Detector, error) {
+	if p.Window <= 0 {
+		return nil, fmt.Errorf("%w: window=%d", timeseries.ErrBadWindow, p.Window)
+	}
+	enc, err := sax.NewEncoder(p)
+	if err != nil {
+		return nil, err
+	}
+	if p.PAA > p.Window {
+		return nil, fmt.Errorf("stream: paa %d exceeds window %d", p.PAA, p.Window)
+	}
+	return &Detector{
+		params:  p,
+		red:     red,
+		encoder: enc,
+		inducer: sequitur.NewInducer(),
+		buf:     make([]float64, p.Window),
+		seen:    make(map[string]int),
+	}, nil
+}
+
+// Len returns the number of points consumed so far.
+func (d *Detector) Len() int { return len(d.series) }
+
+// WordCount returns the number of words recorded so far (after reduction).
+func (d *Detector) WordCount() int { return len(d.words) }
+
+// Append consumes the next point. When the point completes a window whose
+// word survives numerosity reduction, the word is fed to the incremental
+// grammar and an Event is returned with ok == true.
+func (d *Detector) Append(v float64) (Event, bool) {
+	d.series = append(d.series, v)
+	if len(d.series) < d.params.Window {
+		return Event{}, false
+	}
+	start := len(d.series) - d.params.Window
+	copy(d.buf, d.series[start:])
+	word, err := d.encoder.Encode(d.buf)
+	if err != nil {
+		// Unreachable: window/PAA were validated in NewDetector.
+		return Event{}, false
+	}
+	switch d.red {
+	case sax.ReductionExact:
+		if word == d.lastWord {
+			return Event{}, false
+		}
+	case sax.ReductionMINDIST:
+		if d.lastWord != "" && mindistZero(word, d.lastWord) {
+			return Event{}, false
+		}
+	}
+	d.lastWord = word
+	d.words = append(d.words, sax.Word{Str: word, Offset: start})
+	d.inducer.Append(word)
+	d.seen[word]++
+	return Event{
+		Offset:  start,
+		Word:    word,
+		Novelty: 1 / float64(d.seen[word]),
+	}, true
+}
+
+// mindistZero mirrors sax's MINDIST-based reduction: true when every
+// letter pair is at most one region apart.
+func mindistZero(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		diff := int(a[i]) - int(b[i])
+		if diff < -1 || diff > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot is a full analysis of everything consumed so far.
+type Snapshot struct {
+	Rules   *grammar.RuleSet
+	Density []int
+	Minima  []timeseries.Interval
+}
+
+// Snapshot builds the rule set and density curve for the stream's current
+// state. The grammar is not re-induced — the incremental inducer's
+// current grammar is reused — so the cost is linear in the data seen.
+// It returns an error before the first word is recorded.
+func (d *Detector) Snapshot() (*Snapshot, error) {
+	if len(d.words) == 0 {
+		return nil, fmt.Errorf("stream: no words recorded yet (need >= %d points)", d.params.Window)
+	}
+	disc := &sax.Discretization{
+		Words:     d.words,
+		SeriesLen: len(d.series),
+		Params:    d.params,
+		Raw:       len(d.series) - d.params.Window + 1,
+	}
+	g := d.inducer.Grammar()
+	rs, err := grammar.Build(disc, g)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	curve := density.Curve(rs)
+	return &Snapshot{
+		Rules:   rs,
+		Density: curve,
+		Minima:  density.GlobalMinimaMargin(curve, d.params.Window-1),
+	}, nil
+}

@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"grammarviz/internal/core"
+	"grammarviz/internal/sax"
+)
+
+func sine(n int, period float64) []float64 {
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = math.Sin(2 * math.Pi * float64(i) / period)
+	}
+	return ts
+}
+
+func TestNewDetectorErrors(t *testing.T) {
+	if _, err := NewDetector(sax.Params{Window: 0, PAA: 4, Alphabet: 4}, sax.ReductionExact); err == nil {
+		t.Error("zero window should error")
+	}
+	if _, err := NewDetector(sax.Params{Window: 10, PAA: 20, Alphabet: 4}, sax.ReductionExact); err == nil {
+		t.Error("paa > window should error")
+	}
+	if _, err := NewDetector(sax.Params{Window: 10, PAA: 4, Alphabet: 1}, sax.ReductionExact); err == nil {
+		t.Error("bad alphabet should error")
+	}
+}
+
+func TestStreamMatchesBatch(t *testing.T) {
+	// Feeding a series point by point must produce exactly the batch
+	// discretization and an equivalent grammar/density analysis.
+	ts := sine(600, 50)
+	for i := 300; i < 340; i++ {
+		ts[i] = 0.1 // planted flat anomaly
+	}
+	p := sax.Params{Window: 50, PAA: 5, Alphabet: 4}
+
+	d, err := NewDetector(p, sax.ReductionExact)
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+	for _, v := range ts {
+		d.Append(v)
+	}
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	batchDisc, err := sax.Discretize(ts, p, sax.ReductionExact)
+	if err != nil {
+		t.Fatalf("Discretize: %v", err)
+	}
+	if d.WordCount() != len(batchDisc.Words) {
+		t.Fatalf("stream recorded %d words, batch %d", d.WordCount(), len(batchDisc.Words))
+	}
+	for i, w := range batchDisc.Words {
+		if d.words[i] != w {
+			t.Fatalf("word %d: stream %+v batch %+v", i, d.words[i], w)
+		}
+	}
+
+	batch, err := core.Analyze(ts, core.Config{Params: p})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(snap.Density) != len(batch.Density) {
+		t.Fatalf("density lengths differ")
+	}
+	for i := range snap.Density {
+		if snap.Density[i] != batch.Density[i] {
+			t.Fatalf("density differs at %d: %d vs %d", i, snap.Density[i], batch.Density[i])
+		}
+	}
+}
+
+func TestStreamNovelty(t *testing.T) {
+	p := sax.Params{Window: 20, PAA: 4, Alphabet: 4}
+	d, err := NewDetector(p, sax.ReductionExact)
+	if err != nil {
+		t.Fatalf("NewDetector: %v", err)
+	}
+	ts := sine(400, 20)
+	var events []Event
+	for _, v := range ts {
+		if ev, ok := d.Append(v); ok {
+			events = append(events, ev)
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	if events[0].Novelty != 1 {
+		t.Errorf("first event novelty = %v, want 1", events[0].Novelty)
+	}
+	// On a periodic signal, later occurrences of the same word have
+	// decreasing novelty.
+	last := map[string]float64{}
+	for _, ev := range events {
+		if prev, ok := last[ev.Word]; ok && ev.Novelty >= prev {
+			t.Fatalf("novelty for %q did not decrease: %v then %v", ev.Word, prev, ev.Novelty)
+		}
+		last[ev.Word] = ev.Novelty
+	}
+}
+
+func TestStreamEarlyDetection(t *testing.T) {
+	// A burst anomaly must raise novelty while it is happening.
+	ts := sine(1000, 50)
+	for i := 700; i < 760; i++ {
+		ts[i] = math.Sin(2 * math.Pi * float64(i) / 12.5) // frequency burst
+	}
+	p := sax.Params{Window: 50, PAA: 5, Alphabet: 4}
+	d, _ := NewDetector(p, sax.ReductionExact)
+	novelAt := -1
+	for i, v := range ts {
+		ev, ok := d.Append(v)
+		if !ok {
+			continue
+		}
+		if i >= 700 && ev.Novelty == 1 && novelAt == -1 {
+			novelAt = i
+		}
+	}
+	if novelAt == -1 || novelAt > 790 {
+		t.Errorf("anomaly not flagged during the burst (novelAt=%d)", novelAt)
+	}
+}
+
+func TestSnapshotBeforeFirstWord(t *testing.T) {
+	d, _ := NewDetector(sax.Params{Window: 100, PAA: 4, Alphabet: 4}, sax.ReductionExact)
+	if _, err := d.Snapshot(); err == nil {
+		t.Error("Snapshot before first window should error")
+	}
+	d.Append(1)
+	if _, err := d.Snapshot(); err == nil {
+		t.Error("Snapshot with 1 point should error")
+	}
+}
+
+func TestStreamLenAndMINDISTReduction(t *testing.T) {
+	p := sax.Params{Window: 30, PAA: 3, Alphabet: 6}
+	d, _ := NewDetector(p, sax.ReductionMINDIST)
+	ts := sine(300, 30)
+	for _, v := range ts {
+		d.Append(v)
+	}
+	if d.Len() != 300 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	exact, _ := NewDetector(p, sax.ReductionExact)
+	for _, v := range ts {
+		exact.Append(v)
+	}
+	if d.WordCount() > exact.WordCount() {
+		t.Errorf("MINDIST recorded %d words, EXACT %d; want <=", d.WordCount(), exact.WordCount())
+	}
+}

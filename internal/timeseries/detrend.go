@@ -1,0 +1,56 @@
+package timeseries
+
+import "fmt"
+
+// MovingMean returns the centered moving average of ts with the given
+// window (clamped at the series edges), computed with a running sum in
+// O(n). Window must be positive; even windows are rounded up to odd so
+// the filter stays centered.
+func MovingMean(ts []float64, window int) ([]float64, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("%w: window=%d", ErrBadWindow, window)
+	}
+	if window%2 == 0 {
+		window++
+	}
+	n := len(ts)
+	out := make([]float64, n)
+	if n == 0 {
+		return out, nil
+	}
+	half := window / 2
+	// Prefix sums for O(1) range means with edge clamping.
+	prefix := make([]float64, n+1)
+	for i, v := range ts {
+		prefix[i+1] = prefix[i] + v
+	}
+	for i := 0; i < n; i++ {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= n {
+			hi = n - 1
+		}
+		out[i] = (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
+	}
+	return out, nil
+}
+
+// Detrend subtracts the centered moving average with the given window
+// from ts, returning a new slice. It removes slow baseline wander (e.g.
+// respiration drift in an ECG) while preserving structure shorter than
+// the window — a useful preprocessing step before SAX discretization when
+// the drift amplitude rivals the signal.
+func Detrend(ts []float64, window int) ([]float64, error) {
+	trend, err := MovingMean(ts, window)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(ts))
+	for i := range ts {
+		out[i] = ts[i] - trend[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMovingMeanMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ts := make([]float64, 200)
+	for i := range ts {
+		ts[i] = rng.NormFloat64()
+	}
+	for _, window := range []int{1, 3, 7, 21, 199, 500} {
+		got, err := MovingMean(ts, window)
+		if err != nil {
+			t.Fatalf("MovingMean(%d): %v", window, err)
+		}
+		w := window
+		if w%2 == 0 {
+			w++
+		}
+		half := w / 2
+		for i := range ts {
+			lo, hi := i-half, i+half
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= len(ts) {
+				hi = len(ts) - 1
+			}
+			var sum float64
+			for j := lo; j <= hi; j++ {
+				sum += ts[j]
+			}
+			want := sum / float64(hi-lo+1)
+			if math.Abs(got[i]-want) > 1e-9 {
+				t.Fatalf("window %d at %d: %v vs %v", window, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestMovingMeanErrors(t *testing.T) {
+	if _, err := MovingMean([]float64{1}, 0); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("err = %v", err)
+	}
+	out, err := MovingMean(nil, 5)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty series: %v %v", out, err)
+	}
+}
+
+func TestDetrendRemovesWander(t *testing.T) {
+	// Fast oscillation + slow wander: detrending with a window between
+	// the two periods must keep the oscillation and kill the wander.
+	n := 2000
+	ts := make([]float64, n)
+	for i := range ts {
+		x := float64(i)
+		ts[i] = math.Sin(2*math.Pi*x/20) + 5*math.Sin(2*math.Pi*x/1000)
+	}
+	out, err := Detrend(ts, 101)
+	if err != nil {
+		t.Fatalf("Detrend: %v", err)
+	}
+	// Compare against the pure oscillation away from the edges.
+	var worst float64
+	for i := 200; i < n-200; i++ {
+		want := math.Sin(2 * math.Pi * float64(i) / 20)
+		if d := math.Abs(out[i] - want); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.25 {
+		t.Errorf("detrended signal deviates %v from the oscillation", worst)
+	}
+	// The wander's amplitude (5) must be gone.
+	s, _ := Describe(out[200 : n-200])
+	if s.Max > 1.5 || s.Min < -1.5 {
+		t.Errorf("wander survived: range [%v, %v]", s.Min, s.Max)
+	}
+}
+
+func TestDetrendConstant(t *testing.T) {
+	ts := []float64{3, 3, 3, 3, 3}
+	out, err := Detrend(ts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("detrended constant = %v", out)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package timeseries
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV reads a single-column (or whitespace/comma separated, first
+// column used) numeric series from r. Blank lines and lines starting with
+// '#' are skipped. A value that fails to parse yields an error naming the
+// line number.
+func ReadCSV(r io.Reader) ([]float64, error) {
+	var out []float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		field := line
+		if i := strings.IndexAny(line, ", \t"); i >= 0 {
+			field = line[:i]
+		}
+		v, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: line %d: parse %q: %w", lineNo, field, err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("timeseries: read: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, ErrEmpty
+	}
+	return out, nil
+}
+
+// ReadCSVFile reads a numeric series from the file at path using ReadCSV.
+func ReadCSVFile(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+// WriteCSV writes ts to w, one value per line with full float precision.
+func WriteCSV(w io.Writer, ts []float64) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range ts {
+		if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+			return fmt.Errorf("timeseries: write: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("timeseries: write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("timeseries: write: %w", err)
+	}
+	return nil
+}
+
+// WriteCSVFile writes ts to the file at path, creating or truncating it.
+func WriteCSVFile(path string, ts []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("timeseries: %w", err)
+	}
+	if err := WriteCSV(f, ts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

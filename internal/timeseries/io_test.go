@@ -1,0 +1,83 @@
+package timeseries
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCSV(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []float64
+	}{
+		{"plain", "1\n2\n3\n", []float64{1, 2, 3}},
+		{"comments and blanks", "# header\n1.5\n\n2.5\n", []float64{1.5, 2.5}},
+		{"first column of csv", "1,9,9\n2,8,8\n", []float64{1, 2}},
+		{"whitespace separated", "3 4\n5\t6\n", []float64{3, 5}},
+		{"scientific", "1e3\n-2.5e-2\n", []float64{1000, -0.025}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ReadCSV(strings.NewReader(tt.in))
+			if err != nil {
+				t.Fatalf("ReadCSV: %v", err)
+			}
+			if len(got) != len(tt.want) {
+				t.Fatalf("got %v, want %v", got, tt.want)
+			}
+			for i := range got {
+				if got[i] != tt.want[i] {
+					t.Fatalf("got %v, want %v", got, tt.want)
+				}
+			}
+		})
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1\nbogus\n")); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := ReadCSV(strings.NewReader("# only comments\n")); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty file err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	in := []float64{1.25, -3, 0.0001, 1e9}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("round trip = %v, want %v", got, in)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ts.csv")
+	in := []float64{5, 6, 7}
+	if err := WriteCSVFile(path, in); err != nil {
+		t.Fatalf("WriteCSVFile: %v", err)
+	}
+	got, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatalf("ReadCSVFile: %v", err)
+	}
+	if len(got) != 3 || got[0] != 5 || got[2] != 7 {
+		t.Errorf("file round trip = %v", got)
+	}
+	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

@@ -1,0 +1,160 @@
+// Package timeseries provides the fundamental time series data type and
+// the numeric primitives the rest of the library is built on: summary
+// statistics, z-normalization, sliding-window extraction, and CSV I/O.
+//
+// A time series is represented as a plain []float64; the helpers in this
+// package never retain references to caller slices unless documented.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Common errors returned by this package.
+var (
+	// ErrEmpty is returned when an operation requires a non-empty series.
+	ErrEmpty = errors.New("timeseries: empty series")
+	// ErrBadWindow is returned when a window length is non-positive or
+	// exceeds the series length.
+	ErrBadWindow = errors.New("timeseries: invalid window length")
+	// ErrBadRange is returned when a subsequence range falls outside the
+	// series bounds.
+	ErrBadRange = errors.New("timeseries: range out of bounds")
+)
+
+// Stats holds the summary statistics of a series computed in one pass.
+type Stats struct {
+	N    int     // number of points
+	Mean float64 // arithmetic mean
+	Std  float64 // population standard deviation
+	Min  float64 // minimum value
+	Max  float64 // maximum value
+}
+
+// Describe computes summary statistics of ts in a single pass.
+// It returns ErrEmpty for an empty series.
+func Describe(ts []float64) (Stats, error) {
+	if len(ts) == 0 {
+		return Stats{}, ErrEmpty
+	}
+	s := Stats{N: len(ts), Min: ts[0], Max: ts[0]}
+	var sum, sumSq float64
+	for _, v := range ts {
+		sum += v
+		sumSq += v * v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	n := float64(s.N)
+	s.Mean = sum / n
+	variance := sumSq/n - s.Mean*s.Mean
+	if variance < 0 { // guard against catastrophic cancellation
+		variance = 0
+	}
+	s.Std = math.Sqrt(variance)
+	return s, nil
+}
+
+// Mean returns the arithmetic mean of ts, or NaN for an empty series.
+func Mean(ts []float64) float64 {
+	if len(ts) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range ts {
+		sum += v
+	}
+	return sum / float64(len(ts))
+}
+
+// Std returns the population standard deviation of ts, or NaN for an
+// empty series.
+func Std(ts []float64) float64 {
+	s, err := Describe(ts)
+	if err != nil {
+		return math.NaN()
+	}
+	return s.Std
+}
+
+// Subsequence returns a copy of ts[start : start+length].
+// It returns ErrBadRange when the range does not fit within ts.
+func Subsequence(ts []float64, start, length int) ([]float64, error) {
+	if start < 0 || length <= 0 || start+length > len(ts) {
+		return nil, fmt.Errorf("%w: start=%d length=%d n=%d", ErrBadRange, start, length, len(ts))
+	}
+	out := make([]float64, length)
+	copy(out, ts[start:start+length])
+	return out, nil
+}
+
+// View returns ts[start : start+length] without copying. The caller must
+// not mutate the result. It returns ErrBadRange when the range does not
+// fit within ts.
+func View(ts []float64, start, length int) ([]float64, error) {
+	if start < 0 || length <= 0 || start+length > len(ts) {
+		return nil, fmt.Errorf("%w: start=%d length=%d n=%d", ErrBadRange, start, length, len(ts))
+	}
+	return ts[start : start+length : start+length], nil
+}
+
+// Clone returns an independent copy of ts.
+func Clone(ts []float64) []float64 {
+	out := make([]float64, len(ts))
+	copy(out, ts)
+	return out
+}
+
+// HasNaN reports whether ts contains any NaN or infinite value.
+func HasNaN(ts []float64) bool {
+	for _, v := range ts {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// Interpolate replaces NaN values with linear interpolation between the
+// nearest finite neighbours; leading and trailing NaNs are filled with the
+// first/last finite value. It returns ErrEmpty if no finite value exists.
+// The input is modified in place and also returned for convenience.
+func Interpolate(ts []float64) ([]float64, error) {
+	first := -1
+	for i, v := range ts {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			first = i
+			break
+		}
+	}
+	if first == -1 {
+		return nil, fmt.Errorf("%w: no finite values", ErrEmpty)
+	}
+	for i := 0; i < first; i++ {
+		ts[i] = ts[first]
+	}
+	last := first
+	for i := first + 1; i < len(ts); i++ {
+		v := ts[i]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if gap := i - last; gap > 1 {
+			step := (ts[i] - ts[last]) / float64(gap)
+			for j := 1; j < gap; j++ {
+				ts[last+j] = ts[last] + step*float64(j)
+			}
+		}
+		last = i
+	}
+	for i := last + 1; i < len(ts); i++ {
+		ts[i] = ts[last]
+	}
+	return ts, nil
+}

@@ -1,0 +1,143 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDescribe(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want Stats
+	}{
+		{"single", []float64{5}, Stats{N: 1, Mean: 5, Std: 0, Min: 5, Max: 5}},
+		{"pair", []float64{1, 3}, Stats{N: 2, Mean: 2, Std: 1, Min: 1, Max: 3}},
+		{"constant", []float64{2, 2, 2, 2}, Stats{N: 4, Mean: 2, Std: 0, Min: 2, Max: 2}},
+		{"negatives", []float64{-1, 0, 1}, Stats{N: 3, Mean: 0, Std: math.Sqrt(2.0 / 3.0), Min: -1, Max: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Describe(tt.in)
+			if err != nil {
+				t.Fatalf("Describe: %v", err)
+			}
+			if got.N != tt.want.N || !almostEqual(got.Mean, tt.want.Mean, 1e-12) ||
+				!almostEqual(got.Std, tt.want.Std, 1e-12) ||
+				got.Min != tt.want.Min || got.Max != tt.want.Max {
+				t.Errorf("Describe(%v) = %+v, want %+v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	if _, err := Describe(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Describe(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	ts := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(ts); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Std(ts); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Std = %v, want 2", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Std(nil)) {
+		t.Error("Mean/Std of empty should be NaN")
+	}
+}
+
+func TestSubsequence(t *testing.T) {
+	ts := []float64{0, 1, 2, 3, 4}
+	sub, err := Subsequence(ts, 1, 3)
+	if err != nil {
+		t.Fatalf("Subsequence: %v", err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if sub[i] != want[i] {
+			t.Fatalf("Subsequence = %v, want %v", sub, want)
+		}
+	}
+	sub[0] = 99
+	if ts[1] == 99 {
+		t.Error("Subsequence must copy, not alias")
+	}
+	for _, bad := range []struct{ start, length int }{{-1, 2}, {0, 0}, {3, 3}, {5, 1}} {
+		if _, err := Subsequence(ts, bad.start, bad.length); !errors.Is(err, ErrBadRange) {
+			t.Errorf("Subsequence(%d,%d) err = %v, want ErrBadRange", bad.start, bad.length, err)
+		}
+	}
+}
+
+func TestView(t *testing.T) {
+	ts := []float64{0, 1, 2, 3, 4}
+	v, err := View(ts, 2, 2)
+	if err != nil {
+		t.Fatalf("View: %v", err)
+	}
+	if len(v) != 2 || v[0] != 2 || v[1] != 3 {
+		t.Errorf("View = %v", v)
+	}
+	if _, err := View(ts, 4, 2); !errors.Is(err, ErrBadRange) {
+		t.Errorf("View out of range err = %v", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	ts := []float64{1, 2}
+	c := Clone(ts)
+	c[0] = 9
+	if ts[0] != 1 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	if HasNaN([]float64{1, 2, 3}) {
+		t.Error("finite series flagged")
+	}
+	if !HasNaN([]float64{1, math.NaN()}) {
+		t.Error("NaN not detected")
+	}
+	if !HasNaN([]float64{math.Inf(1)}) {
+		t.Error("Inf not detected")
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	nan := math.NaN()
+	tests := []struct {
+		name string
+		in   []float64
+		want []float64
+	}{
+		{"interior gap", []float64{0, nan, nan, 3}, []float64{0, 1, 2, 3}},
+		{"leading", []float64{nan, nan, 4, 5}, []float64{4, 4, 4, 5}},
+		{"trailing", []float64{1, 2, nan}, []float64{1, 2, 2}},
+		{"clean", []float64{1, 2, 3}, []float64{1, 2, 3}},
+		{"inf treated as missing", []float64{0, math.Inf(1), 2}, []float64{0, 1, 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Interpolate(append([]float64(nil), tt.in...))
+			if err != nil {
+				t.Fatalf("Interpolate: %v", err)
+			}
+			for i := range tt.want {
+				if !almostEqual(got[i], tt.want[i], 1e-12) {
+					t.Fatalf("Interpolate(%v) = %v, want %v", tt.in, got, tt.want)
+				}
+			}
+		})
+	}
+	if _, err := Interpolate([]float64{nan, nan}); err == nil {
+		t.Error("all-NaN series should error")
+	}
+}

@@ -1,0 +1,82 @@
+package timeseries
+
+import "fmt"
+
+// WindowCount returns the number of sliding windows of length window over
+// a series of length n, or 0 when the window does not fit.
+func WindowCount(n, window int) int {
+	if window <= 0 || window > n {
+		return 0
+	}
+	return n - window + 1
+}
+
+// Windows calls fn for every sliding window of ts in left-to-right order.
+// The slice passed to fn aliases ts and must not be retained or modified.
+// It returns ErrBadWindow when the window does not fit.
+func Windows(ts []float64, window int, fn func(start int, sub []float64)) error {
+	if window <= 0 || window > len(ts) {
+		return fmt.Errorf("%w: window=%d n=%d", ErrBadWindow, window, len(ts))
+	}
+	for start := 0; start+window <= len(ts); start++ {
+		fn(start, ts[start:start+window])
+	}
+	return nil
+}
+
+// Interval is a half-open-free, inclusive [Start, End] index range into a
+// time series, used throughout the library to describe the subsequence a
+// grammar rule, discord, or anomaly corresponds to.
+type Interval struct {
+	Start int // index of the first covered point
+	End   int // index of the last covered point (inclusive)
+}
+
+// Len returns the number of points the interval covers.
+func (iv Interval) Len() int { return iv.End - iv.Start + 1 }
+
+// Valid reports whether the interval is well-formed and fits a series of
+// length n.
+func (iv Interval) Valid(n int) bool {
+	return iv.Start >= 0 && iv.End >= iv.Start && iv.End < n
+}
+
+// Overlaps reports whether iv and other share at least one point.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start <= other.End && other.Start <= iv.End
+}
+
+// OverlapLen returns the number of points shared by iv and other.
+func (iv Interval) OverlapLen(other Interval) int {
+	lo := iv.Start
+	if other.Start > lo {
+		lo = other.Start
+	}
+	hi := iv.End
+	if other.End < hi {
+		hi = other.End
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo + 1
+}
+
+// OverlapFrac returns the fraction of the shorter interval covered by the
+// overlap of iv and other, in [0, 1]. It is the recall measure used by the
+// paper's Table 1 ("discords length and overlap").
+func (iv Interval) OverlapFrac(other Interval) float64 {
+	ol := iv.OverlapLen(other)
+	if ol == 0 {
+		return 0
+	}
+	shorter := iv.Len()
+	if other.Len() < shorter {
+		shorter = other.Len()
+	}
+	return float64(ol) / float64(shorter)
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%d,%d]", iv.Start, iv.End)
+}

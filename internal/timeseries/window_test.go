@@ -1,0 +1,98 @@
+package timeseries
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestWindowCount(t *testing.T) {
+	tests := []struct {
+		n, window, want int
+	}{
+		{10, 3, 8},
+		{10, 10, 1},
+		{10, 11, 0},
+		{10, 0, 0},
+		{0, 1, 0},
+		{5, -1, 0},
+	}
+	for _, tt := range tests {
+		if got := WindowCount(tt.n, tt.window); got != tt.want {
+			t.Errorf("WindowCount(%d,%d) = %d, want %d", tt.n, tt.window, got, tt.want)
+		}
+	}
+}
+
+func TestWindows(t *testing.T) {
+	ts := []float64{0, 1, 2, 3, 4}
+	var starts []int
+	err := Windows(ts, 2, func(start int, sub []float64) {
+		starts = append(starts, start)
+		if len(sub) != 2 || sub[0] != float64(start) {
+			t.Errorf("window at %d = %v", start, sub)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Windows: %v", err)
+	}
+	if len(starts) != 4 {
+		t.Errorf("got %d windows, want 4", len(starts))
+	}
+	if err := Windows(ts, 6, func(int, []float64) {}); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("oversize window err = %v, want ErrBadWindow", err)
+	}
+	if err := Windows(ts, 0, func(int, []float64) {}); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("zero window err = %v, want ErrBadWindow", err)
+	}
+}
+
+func TestInterval(t *testing.T) {
+	iv := Interval{Start: 10, End: 19}
+	if iv.Len() != 10 {
+		t.Errorf("Len = %d, want 10", iv.Len())
+	}
+	if !iv.Valid(20) || iv.Valid(19) {
+		t.Error("Valid bounds check wrong")
+	}
+	if (Interval{Start: -1, End: 3}).Valid(10) {
+		t.Error("negative start should be invalid")
+	}
+	if (Interval{Start: 5, End: 4}).Valid(10) {
+		t.Error("inverted interval should be invalid")
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	tests := []struct {
+		a, b     Interval
+		overlaps bool
+		olen     int
+		frac     float64
+	}{
+		{Interval{0, 9}, Interval{5, 14}, true, 5, 0.5},
+		{Interval{0, 9}, Interval{10, 19}, false, 0, 0},
+		{Interval{0, 9}, Interval{9, 9}, true, 1, 1},
+		{Interval{3, 7}, Interval{0, 10}, true, 5, 1},
+		{Interval{0, 99}, Interval{50, 149}, true, 50, 0.5},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Overlaps(tt.b); got != tt.overlaps {
+			t.Errorf("%v.Overlaps(%v) = %v", tt.a, tt.b, got)
+		}
+		if got := tt.b.Overlaps(tt.a); got != tt.overlaps {
+			t.Errorf("Overlaps not symmetric for %v,%v", tt.a, tt.b)
+		}
+		if got := tt.a.OverlapLen(tt.b); got != tt.olen {
+			t.Errorf("%v.OverlapLen(%v) = %d, want %d", tt.a, tt.b, got, tt.olen)
+		}
+		if got := tt.a.OverlapFrac(tt.b); !almostEqual(got, tt.frac, 1e-12) {
+			t.Errorf("%v.OverlapFrac(%v) = %v, want %v", tt.a, tt.b, got, tt.frac)
+		}
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if got := (Interval{2, 5}).String(); got != "[2,5]" {
+		t.Errorf("String = %q", got)
+	}
+}

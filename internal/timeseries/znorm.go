@@ -1,0 +1,43 @@
+package timeseries
+
+// DefaultNormThreshold is the standard-deviation threshold below which a
+// subsequence is considered flat and is centered rather than scaled during
+// z-normalization. This mirrors the behaviour of the SAX reference
+// implementation, which avoids amplifying noise in near-constant segments.
+const DefaultNormThreshold = 0.01
+
+// ZNormalize returns a z-normalized copy of ts: the result has mean zero
+// and, when the standard deviation of ts exceeds threshold, unit standard
+// deviation. Near-constant subsequences (std <= threshold) are only
+// mean-centered, which leaves them flat instead of blowing up noise.
+//
+// A threshold <= 0 selects DefaultNormThreshold behaviour with threshold 0,
+// i.e. scaling is skipped only for exactly constant input.
+func ZNormalize(ts []float64, threshold float64) []float64 {
+	out := make([]float64, len(ts))
+	ZNormalizeInto(out, ts, threshold)
+	return out
+}
+
+// ZNormalizeInto z-normalizes src into dst, which must have the same
+// length; it panics otherwise. It is the allocation-free variant of
+// ZNormalize for hot loops.
+func ZNormalizeInto(dst, src []float64, threshold float64) {
+	if len(dst) != len(src) {
+		panic("timeseries: ZNormalizeInto length mismatch")
+	}
+	if len(src) == 0 {
+		return
+	}
+	s, _ := Describe(src)
+	if s.Std <= threshold {
+		for i, v := range src {
+			dst[i] = v - s.Mean
+		}
+		return
+	}
+	inv := 1 / s.Std
+	for i, v := range src {
+		dst[i] = (v - s.Mean) * inv
+	}
+}

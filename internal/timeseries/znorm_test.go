@@ -1,0 +1,97 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZNormalizeBasic(t *testing.T) {
+	in := []float64{2, 4, 6, 8}
+	out := ZNormalize(in, DefaultNormThreshold)
+	if in[0] != 2 {
+		t.Fatal("input must not be modified")
+	}
+	s, _ := Describe(out)
+	if !almostEqual(s.Mean, 0, 1e-12) || !almostEqual(s.Std, 1, 1e-12) {
+		t.Errorf("z-normed stats = %+v, want mean 0 std 1", s)
+	}
+}
+
+func TestZNormalizeFlat(t *testing.T) {
+	out := ZNormalize([]float64{5, 5, 5, 5}, DefaultNormThreshold)
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("flat series should center to zeros, got %v", out)
+		}
+	}
+	// Near-constant: std below threshold is centered, not scaled.
+	in := []float64{5, 5.001, 5, 4.999}
+	out = ZNormalize(in, DefaultNormThreshold)
+	s, _ := Describe(out)
+	if !almostEqual(s.Mean, 0, 1e-12) {
+		t.Errorf("near-flat mean = %v, want 0", s.Mean)
+	}
+	if s.Std > DefaultNormThreshold {
+		t.Errorf("near-flat std = %v, should stay tiny (no scaling)", s.Std)
+	}
+}
+
+func TestZNormalizeEmpty(t *testing.T) {
+	if out := ZNormalize(nil, 0.01); len(out) != 0 {
+		t.Errorf("ZNormalize(nil) = %v", out)
+	}
+}
+
+func TestZNormalizeIntoMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	ZNormalizeInto(make([]float64, 2), make([]float64, 3), 0.01)
+}
+
+// Property: for any non-degenerate input, the z-normalized output has mean
+// ~0 and std ~1.
+func TestZNormalizeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(n uint8) bool {
+		size := int(n%64) + 2
+		in := make([]float64, size)
+		for i := range in {
+			in[i] = rng.NormFloat64()*10 + 3
+		}
+		out := ZNormalize(in, DefaultNormThreshold)
+		s, _ := Describe(out)
+		if !almostEqual(s.Mean, 0, 1e-9) {
+			return false
+		}
+		// Degenerate draws can still be near-flat; only check std when scaled.
+		orig, _ := Describe(in)
+		if orig.Std > DefaultNormThreshold && !almostEqual(s.Std, 1, 1e-9) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: z-normalization is idempotent up to floating point error.
+func TestZNormalizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := make([]float64, 128)
+	for i := range in {
+		in[i] = rng.NormFloat64() * 5
+	}
+	once := ZNormalize(in, DefaultNormThreshold)
+	twice := ZNormalize(once, DefaultNormThreshold)
+	for i := range once {
+		if math.Abs(once[i]-twice[i]) > 1e-9 {
+			t.Fatalf("not idempotent at %d: %v vs %v", i, once[i], twice[i])
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package visual renders time series, rule density curves and discord
+// annotations as ASCII panels (for terminals) and SVG documents (for
+// files) — the stand-in for the GrammarViz 2.0 GUI of the paper's
+// Figures 11 and 12. Only the standard library is used.
+package visual
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"grammarviz/internal/timeseries"
+)
+
+// sparkChars are the eighth-block characters used by Sparkline.
+var sparkChars = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders ts as a single line of width block characters. Values
+// are min-max scaled; a constant series renders as a flat middle row.
+func Sparkline(ts []float64, width int) string {
+	if len(ts) == 0 || width <= 0 {
+		return ""
+	}
+	cols := resample(ts, width)
+	lo, hi := minMax(cols)
+	var b strings.Builder
+	for _, v := range cols {
+		idx := 3 // flat middle for constant input
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkChars)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkChars) {
+				idx = len(sparkChars) - 1
+			}
+		}
+		b.WriteRune(sparkChars[idx])
+	}
+	return b.String()
+}
+
+// Panel renders ts as a height-row ASCII chart of the given width, with a
+// title line and a y-axis range annotation.
+func Panel(title string, ts []float64, width, height int) string {
+	if len(ts) == 0 || width <= 0 || height <= 0 {
+		return title + "\n(empty)\n"
+	}
+	cols := resample(ts, width)
+	lo, hi := minMax(cols)
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for c, v := range cols {
+		row := height - 1
+		if hi > lo {
+			row = int((hi - v) / (hi - lo) * float64(height-1))
+		}
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		grid[row][c] = '·'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [%.3g .. %.3g]\n", title, lo, hi)
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MarkRow renders a width-column annotation row in which the given
+// intervals (in series coordinates, series length n) are marked with '^'.
+func MarkRow(n, width int, ivs []timeseries.Interval) string {
+	if n <= 0 || width <= 0 {
+		return ""
+	}
+	row := []rune(strings.Repeat(" ", width))
+	for _, iv := range ivs {
+		a := iv.Start * width / n
+		b := iv.End * width / n
+		for c := a; c <= b && c < width; c++ {
+			if c >= 0 {
+				row[c] = '^'
+			}
+		}
+	}
+	return string(row)
+}
+
+// DensityShadeRow renders the density curve as a width-column shading row
+// (the Figure 12 view): darker shades mean higher rule density, spaces
+// mean zero coverage — the white regions that pinpoint anomalies.
+func DensityShadeRow(curve []int, width int) string {
+	if len(curve) == 0 || width <= 0 {
+		return ""
+	}
+	shades := []rune(" ░▒▓█")
+	vals := make([]float64, len(curve))
+	for i, v := range curve {
+		vals[i] = float64(v)
+	}
+	cols := resample(vals, width)
+	_, hi := minMax(cols)
+	var b strings.Builder
+	for _, v := range cols {
+		idx := 0
+		if hi > 0 {
+			idx = int(v / hi * float64(len(shades)-1))
+			if v > 0 && idx == 0 {
+				idx = 1 // visible distinction between zero and non-zero
+			}
+		}
+		b.WriteRune(shades[idx])
+	}
+	return b.String()
+}
+
+// resample reduces ts to width column means (or repeats values when
+// upsampling).
+func resample(ts []float64, width int) []float64 {
+	out := make([]float64, width)
+	n := len(ts)
+	for c := 0; c < width; c++ {
+		lo := c * n / width
+		hi := (c + 1) * n / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > n {
+			hi = n
+		}
+		var sum float64
+		for i := lo; i < hi; i++ {
+			sum += ts[i]
+		}
+		out[c] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+func minMax(ts []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range ts {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

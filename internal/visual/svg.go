@@ -1,0 +1,231 @@
+package visual
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"grammarviz/internal/timeseries"
+)
+
+// SVG palette used by the figure harness.
+const (
+	ColorSeries    = "#1f77b4"
+	ColorDensity   = "#2ca02c"
+	ColorAnomaly   = "#d62728"
+	ColorSecondary = "#ff7f0e"
+	ColorMuted     = "#9467bd"
+)
+
+// Figure is a vertically stacked multi-panel SVG chart, the layout of the
+// paper's density figures (series on top, density curve below, NN
+// distances at the bottom).
+type Figure struct {
+	Width       int
+	PanelHeight int
+	panels      []panelSpec
+}
+
+type panelSpec struct {
+	title     string
+	series    []float64
+	color     string
+	marks     []timeseries.Interval // shaded interval overlays
+	markColor string
+	bars      []bar // vertical lines (NN distance panels)
+	scatter   []ScatterPoint
+}
+
+type bar struct {
+	x      int
+	height float64
+}
+
+// ScatterPoint is one point of a scatter panel (Figure 10's parameter
+// space views).
+type ScatterPoint struct {
+	X, Y  float64
+	Color string
+}
+
+// NewFigure creates an empty figure. Width and panelHeight are in pixels;
+// non-positive values select the defaults 960 and 160.
+func NewFigure(width, panelHeight int) *Figure {
+	if width <= 0 {
+		width = 960
+	}
+	if panelHeight <= 0 {
+		panelHeight = 160
+	}
+	return &Figure{Width: width, PanelHeight: panelHeight}
+}
+
+// AddSeries appends a line-chart panel with optional shaded interval
+// overlays (in series coordinates).
+func (f *Figure) AddSeries(title string, ts []float64, color string, marks []timeseries.Interval, markColor string) {
+	if color == "" {
+		color = ColorSeries
+	}
+	if markColor == "" {
+		markColor = ColorAnomaly
+	}
+	f.panels = append(f.panels, panelSpec{
+		title: title, series: ts, color: color, marks: marks, markColor: markColor,
+	})
+}
+
+// AddDensity appends a density-curve panel (an int series) with marks.
+func (f *Figure) AddDensity(title string, curve []int, marks []timeseries.Interval) {
+	vals := make([]float64, len(curve))
+	for i, v := range curve {
+		vals[i] = float64(v)
+	}
+	f.AddSeries(title, vals, ColorDensity, marks, ColorAnomaly)
+}
+
+// AddBars appends a vertical-line panel: one line at each x with the given
+// height — the paper's nearest-non-self-match distance panels. n is the
+// series length that defines the x scale.
+func (f *Figure) AddBars(title string, n int, xs []int, heights []float64) {
+	p := panelSpec{title: title, color: ColorMuted, series: make([]float64, n)}
+	for i := range xs {
+		p.bars = append(p.bars, bar{x: xs[i], height: heights[i]})
+	}
+	f.panels = append(f.panels, p)
+}
+
+// AddScatter appends a scatter panel (x/y in data coordinates, scaled to
+// the panel). Use distinct point colors to encode classes, e.g. parameter
+// combinations where an algorithm succeeded vs failed.
+func (f *Figure) AddScatter(title string, pts []ScatterPoint) {
+	f.panels = append(f.panels, panelSpec{title: title, scatter: pts})
+}
+
+// Render writes the SVG document.
+func (f *Figure) Render(w io.Writer) error {
+	const pad = 28
+	totalH := len(f.panels)*(f.PanelHeight+pad) + pad
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n",
+		f.Width, totalH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	y := pad
+	for _, p := range f.panels {
+		f.renderPanel(&b, p, y)
+		y += f.PanelHeight + pad
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *Figure) renderPanel(b *strings.Builder, p panelSpec, top int) {
+	fmt.Fprintf(b, `<text x="4" y="%d" fill="#333">%s</text>`+"\n", top-8, escape(p.title))
+
+	if len(p.scatter) > 0 {
+		f.renderScatter(b, p, top)
+		return
+	}
+	n := len(p.series)
+	if n == 0 {
+		return
+	}
+
+	xAt := func(i int) float64 { return float64(i) / float64(maxInt(n-1, 1)) * float64(f.Width-2) }
+
+	if len(p.bars) > 0 {
+		maxH := 0.0
+		for _, bb := range p.bars {
+			if bb.height > maxH {
+				maxH = bb.height
+			}
+		}
+		if maxH == 0 {
+			maxH = 1
+		}
+		for _, bb := range p.bars {
+			h := bb.height / maxH * float64(f.PanelHeight-4)
+			x := xAt(bb.x)
+			fmt.Fprintf(b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+				x, top+f.PanelHeight, x, float64(top+f.PanelHeight)-h, p.color)
+		}
+		return
+	}
+
+	lo, hi := minMax(p.series)
+	if hi == lo {
+		hi = lo + 1
+	}
+	yAt := func(v float64) float64 {
+		return float64(top) + (hi-v)/(hi-lo)*float64(f.PanelHeight-4) + 2
+	}
+
+	// Shaded interval overlays behind the curve.
+	for _, iv := range p.marks {
+		x0, x1 := xAt(clampInt(iv.Start, 0, n-1)), xAt(clampInt(iv.End, 0, n-1))
+		fmt.Fprintf(b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" fill-opacity="0.22"/>`+"\n",
+			x0, top, math.Max(x1-x0, 2), f.PanelHeight, p.markColor)
+	}
+
+	// Downsample long series to ~4 points per pixel for compact output.
+	step := 1
+	if n > f.Width*4 {
+		step = n / (f.Width * 4)
+	}
+	var path strings.Builder
+	for i := 0; i < n; i += step {
+		cmd := "L"
+		if i == 0 {
+			cmd = "M"
+		}
+		fmt.Fprintf(&path, "%s%.1f %.1f", cmd, xAt(i), yAt(p.series[i]))
+	}
+	fmt.Fprintf(b, `<path d="%s" fill="none" stroke="%s" stroke-width="1"/>`+"\n", path.String(), p.color)
+}
+
+func (f *Figure) renderScatter(b *strings.Builder, p panelSpec, top int) {
+	loX, hiX := math.Inf(1), math.Inf(-1)
+	loY, hiY := math.Inf(1), math.Inf(-1)
+	for _, pt := range p.scatter {
+		loX, hiX = math.Min(loX, pt.X), math.Max(hiX, pt.X)
+		loY, hiY = math.Min(loY, pt.Y), math.Max(hiY, pt.Y)
+	}
+	if hiX == loX {
+		hiX = loX + 1
+	}
+	if hiY == loY {
+		hiY = loY + 1
+	}
+	for _, pt := range p.scatter {
+		x := (pt.X-loX)/(hiX-loX)*float64(f.Width-8) + 4
+		y := float64(top) + (hiY-pt.Y)/(hiY-loY)*float64(f.PanelHeight-8) + 4
+		color := pt.Color
+		if color == "" {
+			color = ColorSeries
+		}
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s" fill-opacity="0.8"/>`+"\n", x, y, color)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

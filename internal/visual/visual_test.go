@@ -1,0 +1,205 @@
+package visual
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"grammarviz/internal/timeseries"
+)
+
+func wave(n int) []float64 {
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = math.Sin(float64(i) / 5)
+	}
+	return ts
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline(wave(200), 40)
+	if utf8.RuneCountInString(s) != 40 {
+		t.Errorf("width = %d, want 40", utf8.RuneCountInString(s))
+	}
+	for _, r := range s {
+		if !strings.ContainsRune(string(sparkChars), r) {
+			t.Errorf("unexpected rune %q", r)
+		}
+	}
+	if Sparkline(nil, 10) != "" || Sparkline(wave(5), 0) != "" {
+		t.Error("degenerate inputs should render empty")
+	}
+	flat := Sparkline([]float64{2, 2, 2, 2}, 4)
+	if utf8.RuneCountInString(flat) != 4 {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+}
+
+func TestPanel(t *testing.T) {
+	out := Panel("test", wave(100), 50, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 { // title + 8 rows
+		t.Fatalf("panel has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "test") {
+		t.Errorf("title missing: %q", lines[0])
+	}
+	dots := strings.Count(out, "·")
+	if dots < 40 {
+		t.Errorf("only %d plotted points", dots)
+	}
+	if !strings.Contains(Panel("e", nil, 10, 5), "empty") {
+		t.Error("empty series should render placeholder")
+	}
+}
+
+func TestMarkRow(t *testing.T) {
+	row := MarkRow(100, 10, []timeseries.Interval{{Start: 50, End: 59}})
+	if utf8.RuneCountInString(row) != 10 {
+		t.Fatalf("row = %q", row)
+	}
+	if row[5] != '^' {
+		t.Errorf("mark missing: %q", row)
+	}
+	if strings.Count(row, "^") != 1 {
+		t.Errorf("row = %q", row)
+	}
+	if MarkRow(0, 10, nil) != "" {
+		t.Error("degenerate should be empty")
+	}
+}
+
+func TestDensityShadeRow(t *testing.T) {
+	curve := []int{0, 0, 5, 5, 10, 10, 0, 0}
+	row := DensityShadeRow(curve, 8)
+	if utf8.RuneCountInString(row) != 8 {
+		t.Fatalf("row = %q", row)
+	}
+	runes := []rune(row)
+	if runes[0] != ' ' || runes[len(runes)-1] != ' ' {
+		t.Errorf("zero coverage should be blank: %q", row)
+	}
+	if runes[4] != '█' {
+		t.Errorf("max density should be full block: %q", row)
+	}
+	if runes[2] == ' ' {
+		t.Errorf("mid density should be visible: %q", row)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := NewFigure(400, 80)
+	f.AddSeries("series", wave(300), "", []timeseries.Interval{{Start: 100, End: 150}}, "")
+	f.AddDensity("density", []int{0, 1, 2, 3, 2, 1, 0}, nil)
+	f.AddBars("nn", 300, []int{10, 200}, []float64{1.5, 3.0})
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	svg := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "<path", "<rect", "<line", "series", "density", "nn"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<line") != 2 {
+		t.Errorf("want 2 bars, got %d", strings.Count(svg, "<line"))
+	}
+}
+
+func TestFigureDefaults(t *testing.T) {
+	f := NewFigure(0, 0)
+	if f.Width != 960 || f.PanelHeight != 160 {
+		t.Errorf("defaults = %d,%d", f.Width, f.PanelHeight)
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape("a<b>&c"); got != "a&lt;b&gt;&amp;c" {
+		t.Errorf("escape = %q", got)
+	}
+}
+
+func TestResampleProperties(t *testing.T) {
+	ts := wave(97)
+	for _, width := range []int{1, 7, 50, 97, 200} {
+		cols := resample(ts, width)
+		if len(cols) != width {
+			t.Fatalf("width %d: got %d columns", width, len(cols))
+		}
+		lo, hi := minMax(ts)
+		for _, v := range cols {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				t.Fatalf("width %d: column %v outside input range [%v,%v]", width, v, lo, hi)
+			}
+		}
+	}
+	// Upsampling repeats values rather than inventing them.
+	up := resample([]float64{1, 2}, 4)
+	if up[0] != 1 || up[3] != 2 {
+		t.Errorf("upsample = %v", up)
+	}
+}
+
+func TestFigureLongSeriesDownsampling(t *testing.T) {
+	// A series far longer than 4 px/point must still render with a
+	// bounded path (the SVG stays small).
+	long := wave(100_000)
+	f := NewFigure(200, 60)
+	f.AddSeries("long", long, "", nil, "")
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if buf.Len() > 64*1024 {
+		t.Errorf("SVG for a 100k series is %d bytes; downsampling broken", buf.Len())
+	}
+}
+
+func TestFigureScatterPanel(t *testing.T) {
+	f := NewFigure(300, 100)
+	f.AddScatter("pts", []ScatterPoint{{X: 0, Y: 0}, {X: 1, Y: 2, Color: ColorAnomaly}})
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if strings.Count(svg, "<circle") != 2 {
+		t.Errorf("want 2 circles:\n%s", svg)
+	}
+	if !strings.Contains(svg, ColorAnomaly) {
+		t.Error("point color missing")
+	}
+	// Degenerate single point must not divide by zero.
+	g := NewFigure(300, 100)
+	g.AddScatter("one", []ScatterPoint{{X: 5, Y: 5}})
+	buf.Reset()
+	if err := g.Render(&buf); err != nil {
+		t.Fatalf("single point: %v", err)
+	}
+}
+
+func TestSparklineMonotone(t *testing.T) {
+	// A strictly increasing series yields non-decreasing block heights.
+	ts := make([]float64, 64)
+	for i := range ts {
+		ts[i] = float64(i)
+	}
+	s := []rune(Sparkline(ts, 16))
+	for i := 1; i < len(s); i++ {
+		if indexOfSpark(s[i]) < indexOfSpark(s[i-1]) {
+			t.Fatalf("sparkline not monotone: %q", string(s))
+		}
+	}
+}
+
+func indexOfSpark(r rune) int {
+	for i, c := range sparkChars {
+		if c == r {
+			return i
+		}
+	}
+	return -1
+}

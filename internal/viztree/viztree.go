@@ -1,0 +1,132 @@
+// Package viztree implements the frequency-trie anomaly detector behind
+// VizTree (Lin, Keogh, Lonardi, Lankford, Nystrom 2004), one of the
+// approximate baselines discussed in the paper's related work (Section 6):
+// every sliding window's SAX word is inserted into a trie with occurrence
+// counters, and the rarest words mark anomalies. Unlike the grammar-based
+// approach, the trie throws away the words' ordering, so it can only find
+// anomalies at the window scale — the limitation that motivates the
+// paper's grammar-based contribution.
+package viztree
+
+import (
+	"fmt"
+	"sort"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+)
+
+// node is one trie node; children are indexed by alphabet letter.
+type node struct {
+	count    int
+	children map[byte]*node
+}
+
+func (n *node) child(c byte, create bool) *node {
+	if n.children == nil {
+		if !create {
+			return nil
+		}
+		n.children = make(map[byte]*node)
+	}
+	ch := n.children[c]
+	if ch == nil && create {
+		ch = &node{}
+		n.children[c] = ch
+	}
+	return ch
+}
+
+// Tree is a built VizTree: a frequency trie over every window's SAX word.
+type Tree struct {
+	root    *node
+	words   []string // word per window position
+	params  sax.Params
+	nSeries int
+}
+
+// Build discretizes every window of ts (no numerosity reduction — VizTree
+// counts every occurrence) and builds the frequency trie.
+func Build(ts []float64, p sax.Params) (*Tree, error) {
+	d, err := sax.Discretize(ts, p, sax.ReductionNone)
+	if err != nil {
+		return nil, fmt.Errorf("viztree: %w", err)
+	}
+	t := &Tree{root: &node{}, params: p, nSeries: len(ts)}
+	t.words = make([]string, len(d.Words))
+	for i, w := range d.Words {
+		t.words[i] = w.Str
+		t.insert(w.Str)
+	}
+	return t, nil
+}
+
+func (t *Tree) insert(word string) {
+	n := t.root
+	n.count++
+	for i := 0; i < len(word); i++ {
+		n = n.child(sax.CharToIndex(word[i]), true)
+		n.count++
+	}
+}
+
+// Count returns the number of windows whose word starts with prefix
+// (the subword-frequency query VizTree's visualization is built on).
+// An empty prefix counts all windows.
+func (t *Tree) Count(prefix string) int {
+	n := t.root
+	for i := 0; i < len(prefix); i++ {
+		n = n.child(sax.CharToIndex(prefix[i]), false)
+		if n == nil {
+			return 0
+		}
+	}
+	return n.count
+}
+
+// Windows returns the number of windows inserted.
+func (t *Tree) Windows() int { return len(t.words) }
+
+// Anomaly is one window-scale anomaly candidate: a window whose SAX word
+// is among the rarest in the trie.
+type Anomaly struct {
+	Interval timeseries.Interval
+	Word     string
+	Count    int // occurrences of the word across all windows
+}
+
+// Anomalies returns up to k non-overlapping windows ranked by ascending
+// word frequency (rarest first; ties by position). This is VizTree's
+// anomaly rule: "anomalies are the least frequent patterns".
+func (t *Tree) Anomalies(k int) []Anomaly {
+	order := make([]int, len(t.words))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := t.Count(t.words[order[a]]), t.Count(t.words[order[b]])
+		if ca != cb {
+			return ca < cb
+		}
+		return order[a] < order[b]
+	})
+	var out []Anomaly
+	for _, pos := range order {
+		if len(out) == k {
+			break
+		}
+		iv := timeseries.Interval{Start: pos, End: pos + t.params.Window - 1}
+		overlap := false
+		for _, a := range out {
+			if a.Interval.Overlaps(iv) {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		out = append(out, Anomaly{Interval: iv, Word: t.words[pos], Count: t.Count(t.words[pos])})
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package viztree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+)
+
+func plantedSeries(n int, period float64, at, length int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = math.Sin(2*math.Pi*float64(i)/period) + rng.NormFloat64()*0.02
+	}
+	for i := at; i < at+length && i < n; i++ {
+		ts[i] = math.Sin(4*math.Pi*float64(i)/period) + rng.NormFloat64()*0.02
+	}
+	return ts
+}
+
+func TestBuildAndCount(t *testing.T) {
+	ts := plantedSeries(600, 60, 300, 60, 1)
+	tr, err := Build(ts, sax.Params{Window: 60, PAA: 4, Alphabet: 3})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if tr.Windows() != 541 {
+		t.Errorf("Windows = %d, want 541", tr.Windows())
+	}
+	// Root prefix counts everything.
+	if got := tr.Count(""); got != 541 {
+		t.Errorf("Count(\"\") = %d", got)
+	}
+	// Prefix counts are consistent: sum of child counts == parent count
+	// for the first letter level.
+	sum := 0
+	for _, c := range []string{"a", "b", "c"} {
+		sum += tr.Count(c)
+	}
+	if sum != 541 {
+		t.Errorf("first-level counts sum to %d", sum)
+	}
+	// Counts match a direct scan.
+	direct := 0
+	for _, w := range tr.words {
+		if w == tr.words[0] {
+			direct++
+		}
+	}
+	if got := tr.Count(tr.words[0]); got != direct {
+		t.Errorf("Count(%q) = %d, scan = %d", tr.words[0], got, direct)
+	}
+	// Missing prefix.
+	if got := tr.Count("zzzz"); got != 0 {
+		t.Errorf("Count(zzzz) = %d", got)
+	}
+}
+
+func TestAnomaliesFindPlant(t *testing.T) {
+	at, length := 600, 60
+	ts := plantedSeries(1200, 60, at, length, 2)
+	tr, err := Build(ts, sax.Params{Window: 60, PAA: 5, Alphabet: 4})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	anoms := tr.Anomalies(3)
+	if len(anoms) == 0 {
+		t.Fatal("no anomalies")
+	}
+	planted := timeseries.Interval{Start: at - 60, End: at + length + 60}
+	if !anoms[0].Interval.Overlaps(planted) {
+		t.Errorf("top anomaly %v misses planted %v", anoms[0].Interval, planted)
+	}
+	// Ranked ascending by count; non-overlapping.
+	for i := 1; i < len(anoms); i++ {
+		if anoms[i].Count < anoms[i-1].Count {
+			t.Error("anomalies not ranked by ascending count")
+		}
+		for j := 0; j < i; j++ {
+			if anoms[i].Interval.Overlaps(anoms[j].Interval) {
+				t.Error("overlapping anomalies returned")
+			}
+		}
+	}
+}
+
+func TestAnomaliesKLimit(t *testing.T) {
+	ts := plantedSeries(400, 40, 200, 40, 3)
+	tr, err := Build(ts, sax.Params{Window: 40, PAA: 4, Alphabet: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Anomalies(2); len(got) > 2 {
+		t.Errorf("k limit violated: %d", len(got))
+	}
+	if got := tr.Anomalies(0); len(got) != 0 {
+		t.Errorf("k=0 returned %d", len(got))
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build([]float64{1, 2}, sax.Params{Window: 10, PAA: 4, Alphabet: 4}); err == nil {
+		t.Error("short series should error")
+	}
+}

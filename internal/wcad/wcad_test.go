@@ -1,0 +1,81 @@
+package wcad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+)
+
+func plantedSeries(n int, period float64, at, length int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = math.Sin(2*math.Pi*float64(i)/period) + rng.NormFloat64()*0.02
+	}
+	for i := at; i < at+length && i < n; i++ {
+		ts[i] = math.Sin(4*math.Pi*float64(i)/period) + rng.NormFloat64()*0.02
+	}
+	return ts
+}
+
+func TestDetectFindsPlant(t *testing.T) {
+	// Anomaly aligned with a chunk boundary (WCAD's known requirement).
+	at, length := 600, 60
+	ts := plantedSeries(1800, 60, at, length, 1)
+	scores, err := Detect(ts, sax.Params{Window: 60, PAA: 12, Alphabet: 5})
+	if err != nil {
+		t.Fatalf("Detect: %v", err)
+	}
+	if len(scores) != 30 {
+		t.Fatalf("got %d chunks", len(scores))
+	}
+	planted := timeseries.Interval{Start: at, End: at + length - 1}
+	if !scores[0].Interval.Overlaps(planted) {
+		t.Errorf("top WCAD chunk %v (CDM %.3f) misses planted %v; next: %v",
+			scores[0].Interval, scores[0].CDM, planted, scores[1].Interval)
+	}
+	// Scores are ranked descending and within a sane CDM range.
+	for i := 1; i < len(scores); i++ {
+		if scores[i].CDM > scores[i-1].CDM {
+			t.Fatal("scores not ranked")
+		}
+	}
+	for _, s := range scores {
+		if s.CDM <= 0 || s.CDM > 2 {
+			t.Errorf("CDM %v out of range for %v", s.CDM, s.Interval)
+		}
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	ts := plantedSeries(200, 40, 100, 40, 2)
+	if _, err := Detect(ts, sax.Params{Window: 100, PAA: 4, Alphabet: 4}); err == nil {
+		t.Error("2 chunks should error")
+	}
+	if _, err := Detect(ts, sax.Params{Window: 1000, PAA: 4, Alphabet: 4}); err == nil {
+		t.Error("oversize window should error")
+	}
+}
+
+func TestCompressedSize(t *testing.T) {
+	// A repetitive string compresses to fewer symbols than a random one
+	// of the same length.
+	rep := ""
+	for i := 0; i < 32; i++ {
+		rep += "abcd"
+	}
+	rng := rand.New(rand.NewSource(3))
+	rnd := make([]byte, len(rep))
+	for i := range rnd {
+		rnd[i] = byte('a' + rng.Intn(20))
+	}
+	if cr, cn := compressedSize(rep), compressedSize(string(rnd)); cr >= cn {
+		t.Errorf("repetitive size %d >= random size %d", cr, cn)
+	}
+	if compressedSize("a") != 1 {
+		t.Errorf("size of single letter = %d", compressedSize("a"))
+	}
+}

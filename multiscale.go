@@ -1,0 +1,35 @@
+package grammarviz
+
+import (
+	"fmt"
+
+	"grammarviz/internal/core"
+	"grammarviz/internal/sax"
+)
+
+// MultiscaleDensity runs the rule-density pipeline at several window
+// lengths and averages the per-window curves (each normalized to [0, 1]).
+// A stretch that stays incompressible at every scale scores near zero in
+// the combined curve, which makes the detector much less sensitive to the
+// window choice than a single-window density curve — an extension in the
+// spirit of the paper's future-work section on parameter effects.
+func MultiscaleDensity(ts []float64, windows []int, paa, alphabet int) ([]float64, error) {
+	curve, err := core.MultiscaleDensity(ts, windows, paa, alphabet, sax.ReductionExact)
+	if err != nil {
+		return nil, fmt.Errorf("grammarviz: %w", err)
+	}
+	return curve, nil
+}
+
+// MultiscaleAnomalies thresholds a MultiscaleDensity curve: it returns the
+// maximal intervals whose combined density stays below fraction times the
+// curve's mean (0.3 is a reasonable default), ignoring margin points at
+// each series edge (pass the largest window used).
+func MultiscaleAnomalies(curve []float64, margin int, fraction float64) []Interval {
+	raw := core.MultiscaleMinima(curve, margin, fraction)
+	out := make([]Interval, len(raw))
+	for i, iv := range raw {
+		out[i] = Interval{Start: iv.Start, End: iv.End}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package grammarviz
+
+import (
+	"fmt"
+
+	"grammarviz/internal/discord"
+)
+
+// Interval is an inclusive index range [Start, End] into the analyzed
+// series.
+type Interval struct {
+	Start, End int
+}
+
+// Len returns the number of points the interval covers.
+func (iv Interval) Len() int { return iv.End - iv.Start + 1 }
+
+// Overlaps reports whether iv and other share at least one point.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start <= other.End && other.Start <= iv.End
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d]", iv.Start, iv.End) }
+
+// Anomaly is a density-based anomaly candidate: an interval whose rule
+// density is anomalously low.
+type Anomaly struct {
+	Start, End  int
+	MeanDensity float64 // mean rule density over the interval
+	MinDensity  int     // minimum rule density inside the interval
+}
+
+// Interval returns the anomaly's index range.
+func (a Anomaly) Interval() Interval { return Interval{Start: a.Start, End: a.End} }
+
+// Len returns the anomaly's length in points.
+func (a Anomaly) Len() int { return a.End - a.Start + 1 }
+
+// SurpriseAnomaly is an interval of statistically significant
+// incompressibility: Surprise is the peak -log10 p-value of the interval's
+// rule density under a Poisson model of the series' mean coverage.
+type SurpriseAnomaly struct {
+	Start, End int
+	Surprise   float64
+}
+
+// Interval returns the anomaly's index range.
+func (a SurpriseAnomaly) Interval() Interval { return Interval{Start: a.Start, End: a.End} }
+
+// Discord is a distance-based anomaly: the subsequence with the largest
+// distance to its nearest non-self match.
+type Discord struct {
+	Start, End int
+	// Distance to the nearest non-self match. RRA reports the
+	// length-normalized Euclidean distance (Eq. 1); the fixed-length
+	// baselines report the raw z-normalized Euclidean distance.
+	Distance float64
+	// NNStart is where the nearest non-self match begins.
+	NNStart int
+	// RuleID identifies the grammar rule that proposed this interval
+	// (RRA only; -1 for gap candidates and baseline algorithms).
+	RuleID int
+	// Frequency is the proposing rule's usage frequency (RRA only).
+	Frequency int
+}
+
+// Interval returns the discord's index range.
+func (d Discord) Interval() Interval { return Interval{Start: d.Start, End: d.End} }
+
+// Len returns the discord's length in points.
+func (d Discord) Len() int { return d.End - d.Start + 1 }
+
+func (d Discord) String() string {
+	return fmt.Sprintf("discord [%d,%d] len=%d dist=%.4f", d.Start, d.End, d.Len(), d.Distance)
+}
+
+// Rule summarizes one induced grammar rule mapped onto the series.
+type Rule struct {
+	ID          int        // rule id (R<ID> in Grammar() output)
+	Body        string     // right-hand side, e.g. "R2 cba"
+	Expanded    string     // fully expanded SAX words
+	Frequency   int        // occurrences in the derivation
+	Occurrences []Interval // the series intervals the occurrences cover
+	MinLen      int
+	MaxLen      int
+	MeanLen     float64
+}
+
+// Word is one recorded SAX word and the series offset of its window.
+type Word struct {
+	Str    string
+	Offset int
+}
+
+func convertDiscords(in []discord.Discord) []Discord {
+	out := make([]Discord, len(in))
+	for i, d := range in {
+		out[i] = Discord{
+			Start:     d.Interval.Start,
+			End:       d.Interval.End,
+			Distance:  d.Dist,
+			NNStart:   d.NNStart,
+			RuleID:    d.RuleID,
+			Frequency: d.Freq,
+		}
+	}
+	return out
+}

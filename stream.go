@@ -1,0 +1,86 @@
+package grammarviz
+
+import (
+	"fmt"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/stream"
+)
+
+// StreamEvent is emitted by Stream.Append when a new discretized word is
+// recorded. Novelty is 1 for a never-before-seen shape and approaches 0
+// for routine shapes; a run of high-novelty events signals an anomaly in
+// progress — the real-time detection mode the paper's conclusion proposes.
+type StreamEvent struct {
+	Offset  int
+	Word    string
+	Novelty float64
+}
+
+// Stream is the online variant of the Detector: points are consumed one
+// at a time, the grammar is maintained incrementally (Sequitur is an
+// incremental algorithm, and SAX processes windows left to right), and a
+// full density analysis of the data so far can be taken at any moment.
+// A Stream is not safe for concurrent use.
+type Stream struct {
+	inner *stream.Detector
+}
+
+// NewStream returns a streaming detector. Reduction semantics match New.
+func NewStream(opts Options) (*Stream, error) {
+	var red sax.Reduction
+	switch opts.Reduction {
+	case ReduceExact:
+		red = sax.ReductionExact
+	case ReduceNone:
+		red = sax.ReductionNone
+	case ReduceMINDIST:
+		red = sax.ReductionMINDIST
+	default:
+		return nil, fmt.Errorf("grammarviz: unknown reduction %d", opts.Reduction)
+	}
+	inner, err := stream.NewDetector(sax.Params{
+		Window: opts.Window, PAA: opts.PAA, Alphabet: opts.Alphabet,
+	}, red)
+	if err != nil {
+		return nil, fmt.Errorf("grammarviz: %w", err)
+	}
+	return &Stream{inner: inner}, nil
+}
+
+// Append consumes one point; ok is true when a new word was recorded.
+func (s *Stream) Append(v float64) (ev StreamEvent, ok bool) {
+	e, ok := s.inner.Append(v)
+	if !ok {
+		return StreamEvent{}, false
+	}
+	return StreamEvent{Offset: e.Offset, Word: e.Word, Novelty: e.Novelty}, true
+}
+
+// Len returns the number of points consumed.
+func (s *Stream) Len() int { return s.inner.Len() }
+
+// Anomalies snapshots the stream and returns the current global-minima
+// anomaly intervals of the rule density curve.
+func (s *Stream) Anomalies() ([]Anomaly, error) {
+	snap, err := s.inner.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("grammarviz: %w", err)
+	}
+	out := make([]Anomaly, len(snap.Minima))
+	for i, iv := range snap.Minima {
+		v := snap.Density[iv.Start]
+		out[i] = Anomaly{Start: iv.Start, End: iv.End, MeanDensity: float64(v), MinDensity: v}
+	}
+	return out, nil
+}
+
+// RuleDensity snapshots the stream and returns the current rule density
+// curve over everything consumed so far.
+func (s *Stream) RuleDensity() ([]int, error) {
+	snap, err := s.inner.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("grammarviz: %w", err)
+	}
+	return snap.Density, nil
+}

@@ -1,0 +1,29 @@
+package grammarviz
+
+import (
+	"fmt"
+
+	"grammarviz/internal/autoparam"
+)
+
+// SuggestOptions recommends discretization options for ts: the window is
+// the series' dominant autocorrelation period (the paper's Section 5.2
+// heuristic — "the length of a heartbeat, a weekly duration" — made
+// automatic), and PAA/alphabet are the coarsest values whose SAX
+// reconstruction error is near-optimal on a small grid. The suggestion is
+// a starting point; both detectors tolerate imperfect parameters (see the
+// paper's Figure 10 and Detector.Diagnose).
+//
+// It returns an error when the series has no usable dominant cycle (e.g.
+// white noise or a constant signal).
+func SuggestOptions(ts []float64) (Options, error) {
+	s, err := autoparam.Suggest(ts)
+	if err != nil {
+		return Options{}, fmt.Errorf("grammarviz: %w", err)
+	}
+	return Options{
+		Window:   s.Params.Window,
+		PAA:      s.Params.PAA,
+		Alphabet: s.Params.Alphabet,
+	}, nil
+}

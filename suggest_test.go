@@ -1,0 +1,35 @@
+package grammarviz
+
+import (
+	"testing"
+)
+
+func TestSuggestOptions(t *testing.T) {
+	ts := testSeries(1500, 60, 800, 60, 11)
+	opts, err := SuggestOptions(ts)
+	if err != nil {
+		t.Fatalf("SuggestOptions: %v", err)
+	}
+	if opts.Window < 55 || opts.Window > 65 {
+		t.Errorf("suggested window = %d, want ~60", opts.Window)
+	}
+	// The suggestion must be directly usable.
+	det, err := New(ts, opts)
+	if err != nil {
+		t.Fatalf("New with suggestion: %v", err)
+	}
+	discords, err := det.Discords(1)
+	if err != nil {
+		t.Fatalf("Discords: %v", err)
+	}
+	planted := Interval{Start: 740, End: 920}
+	if !discords[0].Interval().Overlaps(planted) {
+		t.Errorf("auto-parameterized discord %v misses %v", discords[0].Interval(), planted)
+	}
+}
+
+func TestSuggestOptionsNoCycle(t *testing.T) {
+	if _, err := SuggestOptions(make([]float64, 500)); err == nil {
+		t.Error("constant series should error")
+	}
+}

@@ -1,0 +1,36 @@
+package grammarviz
+
+import (
+	"fmt"
+
+	"grammarviz/internal/hilbert"
+)
+
+// TrajectoryToSeries linearizes a planar trajectory (e.g. projected GPS
+// positions ordered by time) into a scalar time series by mapping each
+// point to its visit order on a Hilbert space-filling curve of the given
+// order fitted to the trajectory's bounding box — the transform of the
+// paper's spatial case study (Section 5.1, Figure 6). The paper uses
+// order 8 (a 256x256 grid); higher orders preserve more spatial detail.
+//
+// The resulting series can be analyzed with New like any other series:
+// detours appear as incompressible value patterns, and revisits of known
+// places in a novel order appear as rare grammar rules.
+func TrajectoryToSeries(xs, ys []float64, order int) ([]float64, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("grammarviz: coordinate slices differ in length: %d vs %d", len(xs), len(ys))
+	}
+	c, err := hilbert.New(order)
+	if err != nil {
+		return nil, fmt.Errorf("grammarviz: %w", err)
+	}
+	pts := make([]hilbert.Point, len(xs))
+	for i := range xs {
+		pts[i] = hilbert.Point{X: xs[i], Y: ys[i]}
+	}
+	out, err := hilbert.Transform(c, pts)
+	if err != nil {
+		return nil, fmt.Errorf("grammarviz: %w", err)
+	}
+	return out, nil
+}
