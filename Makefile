@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check build vet test race bench-smoke bench
+
+## check: everything CI runs — vet, build, race-enabled tests, bench smoke
+check: vet build race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## race: the full test suite under the race detector; the parallel
+## discretizer / RRA equivalence tests exercise the concurrent paths
+race:
+	$(GO) test -race ./...
+
+## bench-smoke: one iteration of every pipeline-component benchmark, as a
+## does-it-still-run check (not a measurement)
+bench-smoke:
+	$(GO) test . -run '^$$' -bench Component -benchtime 1x
+
+## bench: the measured component benchmarks with allocation stats, the
+## configuration used for BENCH_*.json
+bench:
+	$(GO) test . -run '^$$' -bench 'Component|Extension' -benchtime 5x -benchmem

@@ -186,13 +186,38 @@ func BenchmarkFigure10_ParameterSweep(b *testing.B) {
 
 // ---- Pipeline component benchmarks ----
 
+// BenchmarkComponent_SAXDiscretize compares the retained naive discretizer
+// (Reference: O(window) per window) against the incremental prefix-sum
+// encoder (O(paa) per window) and its parallel variant, on both the short
+// and the long ECG record. All three produce byte-identical output — see
+// internal/sax/equivalence_test.go.
 func BenchmarkComponent_SAXDiscretize(b *testing.B) {
-	ds := dataset(b, "ecg15")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sax.Discretize(ds.Series, ds.Params, sax.ReductionExact); err != nil {
-			b.Fatal(err)
-		}
+	for _, name := range []string{"ecg0606", "ecg15"} {
+		ds := dataset(b, name)
+		b.Run(name+"/Reference", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sax.DiscretizeReference(ds.Series, ds.Params, sax.ReductionExact); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/Incremental", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sax.Discretize(ds.Series, ds.Params, sax.ReductionExact); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/Parallel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sax.DiscretizeWorkers(ds.Series, ds.Params, sax.ReductionExact, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -227,17 +252,26 @@ func BenchmarkComponent_DensityCurve(b *testing.B) {
 	}
 }
 
+// BenchmarkComponent_RRA runs the discord search serially and fanned over
+// 2 and 4 workers sharing one Stats. The discords are byte-identical at
+// every worker count (internal/discord/equivalence_test.go); scaling is
+// only visible on multi-core hosts.
 func BenchmarkComponent_RRA(b *testing.B) {
 	ds := dataset(b, "ecg15")
 	p, err := core.Analyze(ds.Series, core.Config{Params: ds.Params, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := discord.RRA(ds.Series, p.Rules, 1, 1); err != nil {
-			b.Fatal(err)
-		}
+	st := p.Stats()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := discord.RRAParallelStats(st, p.Rules, 1, 1, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -438,11 +472,14 @@ func BenchmarkBaseline_WCAD(b *testing.B) {
 func BenchmarkExtension_MultiscaleDensity(b *testing.B) {
 	ds := dataset(b, "ecg0606")
 	windows := []int{60, 120, 240}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.MultiscaleDensity(ds.Series, windows, 4, 4, sax.ReductionExact); err != nil {
-			b.Fatal(err)
-		}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MultiscaleDensityWorkers(ds.Series, windows, 4, 4, sax.ReductionExact, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -467,10 +504,14 @@ func BenchmarkExtension_NearestNonSelfParallel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	st := p.Stats()
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			// Allocations must not scale with workers x series length: the
+			// workers share one Stats and allocate only per-worker counters.
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if len(discord.NearestNonSelfParallel(ds.Series, p.Rules, workers)) == 0 {
+				if len(discord.NearestNonSelfParallelStats(st, p.Rules, workers)) == 0 {
 					b.Fatal("no NN results")
 				}
 			}

@@ -40,6 +40,12 @@ type Options struct {
 
 	Reduction Reduction // numerosity reduction strategy; default ReduceExact
 	Seed      int64     // seed for the search heuristics' tie-breaking
+
+	// Workers bounds the goroutines the parallel stages (discretization,
+	// discord search) may use: 0 selects all cores, 1 forces serial
+	// execution. Every result is byte-identical for every worker count —
+	// the knob trades only wall-clock time.
+	Workers int
 }
 
 // ErrShortSeries is returned when the series cannot accommodate the
@@ -75,6 +81,7 @@ func New(ts []float64, opts Options) (*Detector, error) {
 		Params:    sax.Params{Window: opts.Window, PAA: opts.PAA, Alphabet: opts.Alphabet},
 		Reduction: red,
 		Seed:      opts.Seed,
+		Workers:   opts.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("grammarviz: %w", err)

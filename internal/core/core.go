@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"grammarviz/internal/density"
 	"grammarviz/internal/discord"
@@ -21,6 +22,11 @@ type Config struct {
 	Params    sax.Params
 	Reduction sax.Reduction // default ReductionExact (the paper's strategy)
 	Seed      int64         // seeds the random tie-breaking in HOTSAX/RRA
+
+	// Workers bounds the goroutines used by the parallel stages
+	// (discretization, RRA, nearest-non-self): 0 selects all cores, 1
+	// forces serial execution. Results are byte-identical for every value.
+	Workers int
 }
 
 // Pipeline holds every intermediate product of one analysis run, so the
@@ -32,6 +38,17 @@ type Pipeline struct {
 	Grammar *sequitur.Grammar
 	Rules   *grammar.RuleSet
 	Density []int // the rule density curve
+
+	statsOnce sync.Once
+	stats     *discord.Stats
+}
+
+// Stats returns the shared per-series distance statistics (prefix sums),
+// built lazily on first use and then reused by every discord search on this
+// pipeline. Safe for concurrent callers.
+func (p *Pipeline) Stats() *discord.Stats {
+	p.statsOnce.Do(func() { p.stats = discord.NewStats(p.TS) })
+	return p.stats
 }
 
 // Analyze runs discretization, grammar induction, rule mapping and density
@@ -40,7 +57,7 @@ func Analyze(ts []float64, cfg Config) (*Pipeline, error) {
 	if timeseries.HasNaN(ts) {
 		return nil, fmt.Errorf("core: series contains NaN/Inf; call timeseries.Interpolate first")
 	}
-	d, err := sax.Discretize(ts, cfg.Params, cfg.Reduction)
+	d, err := sax.DiscretizeWorkers(ts, cfg.Params, cfg.Reduction, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: discretize: %w", err)
 	}
@@ -75,9 +92,11 @@ func (p *Pipeline) DensityAnomalies(threshold, minLen int) []density.Anomaly {
 	return density.Detect(p.Density, threshold, minLen)
 }
 
-// Discords runs the RRA search for the top-k variable-length discords.
+// Discords runs the RRA search for the top-k variable-length discords,
+// fanned out over Config.Workers goroutines (0 = all cores). The discords
+// are identical for every worker count.
 func (p *Pipeline) Discords(k int) (discord.Result, error) {
-	return discord.RRA(p.TS, p.Rules, k, p.Config.Seed)
+	return discord.RRAParallelStats(p.Stats(), p.Rules, k, p.Config.Seed, p.Config.Workers)
 }
 
 // NearestNonSelf returns the true nearest-non-self-match distance of every
@@ -85,7 +104,7 @@ func (p *Pipeline) Discords(k int) (discord.Result, error) {
 // The scans are independent per candidate, so they run on all CPUs; the
 // result is identical to a serial computation.
 func (p *Pipeline) NearestNonSelf() []discord.Discord {
-	return discord.NearestNonSelfParallel(p.TS, p.Rules, 0)
+	return discord.NearestNonSelfParallelStats(p.Stats(), p.Rules, p.Config.Workers)
 }
 
 // GrammarSize returns the total number of right-hand-side symbols across

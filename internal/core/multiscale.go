@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"grammarviz/internal/sax"
 	"grammarviz/internal/timeseries"
@@ -17,22 +19,69 @@ import (
 //
 // The returned curve has one value per series point, in [0, 1].
 func MultiscaleDensity(ts []float64, windows []int, paa, alphabet int, red sax.Reduction) ([]float64, error) {
+	return MultiscaleDensityWorkers(ts, windows, paa, alphabet, red, 0)
+}
+
+// MultiscaleDensityWorkers is MultiscaleDensity with the per-window
+// pipelines fanned out over up to workers goroutines (workers <= 0 selects
+// GOMAXPROCS). The per-window curves are combined in window order, so the
+// result is identical for every worker count.
+func MultiscaleDensityWorkers(ts []float64, windows []int, paa, alphabet int, red sax.Reduction, workers int) ([]float64, error) {
 	if len(windows) == 0 {
 		return nil, fmt.Errorf("core: no windows given")
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(windows) {
+		workers = len(windows)
+	}
+	// Each pipeline run is itself parallel when it is the only one; when
+	// several windows run concurrently, each run stays serial inside so the
+	// fan-out does not oversubscribe the cores.
+	inner := 1
+	if workers == 1 {
+		inner = 0
+	}
+
+	curves := make([][]int, len(windows)) // nil = window unusable
+	run := func(wi int) {
+		p := sax.Params{Window: windows[wi], PAA: paa, Alphabet: alphabet}
+		if p.Validate(len(ts)) != nil {
+			return
+		}
+		pipe, err := Analyze(ts, Config{Params: p, Reduction: red, Workers: inner})
+		if err != nil {
+			return
+		}
+		curves[wi] = pipe.Density
+	}
+	if workers <= 1 {
+		for wi := range windows {
+			run(wi)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for wi := w; wi < len(windows); wi += workers {
+					run(wi)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
 	combined := make([]float64, len(ts))
 	used := 0
-	for _, w := range windows {
-		p := sax.Params{Window: w, PAA: paa, Alphabet: alphabet}
-		if p.Validate(len(ts)) != nil {
-			continue
-		}
-		pipe, err := Analyze(ts, Config{Params: p, Reduction: red})
-		if err != nil {
+	for _, density := range curves {
+		if density == nil {
 			continue
 		}
 		max := 0
-		for _, v := range pipe.Density {
+		for _, v := range density {
 			if v > max {
 				max = v
 			}
@@ -41,7 +90,7 @@ func MultiscaleDensity(ts []float64, windows []int, paa, alphabet int, red sax.R
 			continue
 		}
 		inv := 1 / float64(max)
-		for i, v := range pipe.Density {
+		for i, v := range density {
 			combined[i] += float64(v) * inv
 		}
 		used++

@@ -13,10 +13,17 @@ import (
 // for Table 1. Early abandoning inside the kernel does not reduce the call
 // count, matching the paper's accounting.
 func BruteForce(ts []float64, window, k int) (Result, error) {
+	return BruteForceStats(NewStats(ts), window, k)
+}
+
+// BruteForceStats is BruteForce on prebuilt series statistics shared with
+// the caller.
+func BruteForceStats(st *Stats, window, k int) (Result, error) {
+	ts := st.ts
 	if window <= 0 || window > len(ts) {
 		return Result{}, fmt.Errorf("%w: window=%d n=%d", timeseries.ErrBadWindow, window, len(ts))
 	}
-	e := newEngine(ts)
+	e := st.view()
 	var res Result
 	for found := 0; found < k; found++ {
 		best := Discord{Dist: -1, RuleID: -1, NNStart: -1}

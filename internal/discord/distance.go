@@ -14,46 +14,70 @@ import (
 	"grammarviz/internal/timeseries"
 )
 
-// engine provides O(1) mean/std for any subsequence via prefix sums, plus
-// the early-abandoning distance kernel and its call counter.
-type engine struct {
+// Stats is the immutable per-series precomputation behind the distance
+// kernel: prefix sums that give O(1) mean/std for any subsequence. Build
+// it once per series with NewStats and share it freely — it is safe for
+// concurrent readers, so parallel searches and repeated queries stop
+// paying the O(n) rebuild per worker or per call.
+type Stats struct {
 	ts     []float64
 	sum    []float64 // sum[i] = ts[0] + ... + ts[i-1]
 	sumSq  []float64
-	calls  int64
 	thresh float64 // flat-subsequence std guard
 }
 
-func newEngine(ts []float64) *engine {
-	e := &engine{
+// NewStats builds the prefix-sum statistics of ts. The series is retained
+// by reference and must not be modified afterwards.
+func NewStats(ts []float64) *Stats {
+	s := &Stats{
 		ts:     ts,
 		sum:    make([]float64, len(ts)+1),
 		sumSq:  make([]float64, len(ts)+1),
 		thresh: timeseries.DefaultNormThreshold,
 	}
 	for i, v := range ts {
-		e.sum[i+1] = e.sum[i] + v
-		e.sumSq[i+1] = e.sumSq[i] + v*v
+		s.sum[i+1] = s.sum[i] + v
+		s.sumSq[i+1] = s.sumSq[i] + v*v
 	}
-	return e
+	return s
 }
+
+// Series returns the underlying series (shared, do not modify).
+func (s *Stats) Series() []float64 { return s.ts }
 
 // meanInvStd returns the mean and the inverse standard deviation of
 // ts[start:start+length]. For near-flat subsequences the inverse std is 0,
 // which makes z-normalized values plain mean offsets (all zero) — matching
 // timeseries.ZNormalize's flat guard.
-func (e *engine) meanInvStd(start, length int) (mean, invStd float64) {
+func (s *Stats) meanInvStd(start, length int) (mean, invStd float64) {
 	n := float64(length)
-	mean = (e.sum[start+length] - e.sum[start]) / n
-	variance := (e.sumSq[start+length]-e.sumSq[start])/n - mean*mean
+	mean = (s.sum[start+length] - s.sum[start]) / n
+	variance := (s.sumSq[start+length]-s.sumSq[start])/n - mean*mean
 	if variance < 0 {
 		variance = 0
 	}
 	std := math.Sqrt(variance)
-	if std <= e.thresh {
+	if std <= s.thresh {
 		return mean, 0
 	}
 	return mean, 1 / std
+}
+
+// engine is one worker's view of a Stats: the shared prefix sums plus a
+// private distance-call counter. Views are cheap — creating one allocates
+// nothing beyond the struct — so every goroutine of a parallel search gets
+// its own and the counters are summed when the workers join.
+type engine struct {
+	st    *Stats
+	calls int64
+}
+
+func newEngine(ts []float64) *engine { return &engine{st: NewStats(ts)} }
+
+func (s *Stats) view() *engine { return &engine{st: s} }
+
+func (e *engine) meanInvStd(start, length int) (mean, invStd float64) {
+	return e.st.meanInvStd(start, length)
 }
 
 // dist computes the Euclidean distance between the z-normalized
@@ -63,15 +87,15 @@ func (e *engine) meanInvStd(start, length int) (mean, invStd float64) {
 // accounting convention. An abandoned computation returns +Inf.
 func (e *engine) dist(p, q, length int, cutoff float64) float64 {
 	e.calls++
-	mp, ip := e.meanInvStd(p, length)
-	mq, iq := e.meanInvStd(q, length)
+	mp, ip := e.st.meanInvStd(p, length)
+	mq, iq := e.st.meanInvStd(q, length)
 	limit := math.Inf(1)
 	if !math.IsInf(cutoff, 1) {
 		limit = cutoff * cutoff
 	}
 	var sum float64
-	a := e.ts[p : p+length]
-	b := e.ts[q : q+length]
+	a := e.st.ts[p : p+length]
+	b := e.st.ts[q : q+length]
 	for i := 0; i < length; i++ {
 		d := (a[i]-mp)*ip - (b[i]-mq)*iq
 		sum += d * d

@@ -1,0 +1,142 @@
+package discord
+
+import (
+	"fmt"
+	"testing"
+
+	"grammarviz/internal/sax"
+)
+
+// The parallel RRA must return the same discords as the serial search for
+// every seed and worker count — the determinism argument in rra_parallel.go
+// made executable. DistCalls is scheduling-dependent (a stale shared cutoff
+// prunes less), so it is only checked to stay within a loose band of the
+// serial count.
+
+func assertSameDiscords(t *testing.T, tag string, want, got Result) {
+	t.Helper()
+	if len(got.Discords) != len(want.Discords) {
+		t.Fatalf("%s: %d discords, want %d", tag, len(got.Discords), len(want.Discords))
+	}
+	for i := range want.Discords {
+		if got.Discords[i] != want.Discords[i] {
+			t.Fatalf("%s: discord[%d] = %+v, want %+v", tag, i, got.Discords[i], want.Discords[i])
+		}
+	}
+}
+
+func TestRRAParallelMatchesSerial(t *testing.T) {
+	p := sax.Params{Window: 60, PAA: 4, Alphabet: 4}
+	ts := anomalousSine(2500, 120, 1300, 70, 7)
+	rs := ruleSetFor(t, ts, p)
+	st := NewStats(ts)
+
+	for seed := int64(0); seed < 5; seed++ {
+		want, err := RRAStats(st, rs, 3, seed)
+		if err != nil {
+			t.Fatalf("seed %d: serial: %v", seed, err)
+		}
+		for _, workers := range []int{2, 3, 4} {
+			tag := fmt.Sprintf("seed=%d workers=%d", seed, workers)
+			got, err := RRAParallelStats(st, rs, 3, seed, workers)
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			assertSameDiscords(t, tag, want, got)
+			// Comparable work: shared-cutoff staleness can cost (or, with
+			// lucky scheduling, save) pruning, but not change the order of
+			// magnitude.
+			if got.DistCalls < want.DistCalls/5 || got.DistCalls > want.DistCalls*5 {
+				t.Errorf("%s: DistCalls = %d, serial = %d (outside 5x band)",
+					tag, got.DistCalls, want.DistCalls)
+			}
+		}
+	}
+}
+
+// Workers <= 0 selects all cores; workers == 1 must take the exact serial
+// path, DistCalls included.
+func TestRRAParallelWorkerClamping(t *testing.T) {
+	p := sax.Params{Window: 60, PAA: 4, Alphabet: 4}
+	ts := anomalousSine(1500, 120, 700, 70, 3)
+	rs := ruleSetFor(t, ts, p)
+
+	want, err := RRA(ts, rs, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := RRAParallel(ts, rs, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDiscords(t, "workers=1", want, one)
+	if one.DistCalls != want.DistCalls {
+		t.Errorf("workers=1 DistCalls = %d, want serial's %d", one.DistCalls, want.DistCalls)
+	}
+	auto, err := RRAParallel(ts, rs, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDiscords(t, "workers=0", want, auto)
+}
+
+// The parallel nearest-non-self scan shares one Stats across workers and
+// must stay byte-identical to the serial scan.
+func TestNearestNonSelfParallelStatsMatchesSerial(t *testing.T) {
+	p := sax.Params{Window: 60, PAA: 4, Alphabet: 4}
+	ts := anomalousSine(2000, 120, 900, 70, 5)
+	rs := ruleSetFor(t, ts, p)
+	st := NewStats(ts)
+
+	want := NearestNonSelf(ts, rs)
+	for _, workers := range []int{1, 2, 3, 4} {
+		got := NearestNonSelfParallelStats(st, rs, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Stats-sharing variants must behave exactly like their self-building
+// counterparts.
+func TestStatsSharingVariantsMatch(t *testing.T) {
+	p := sax.Params{Window: 60, PAA: 4, Alphabet: 4}
+	ts := anomalousSine(900, 120, 400, 70, 11)
+	rs := ruleSetFor(t, ts, p)
+	st := NewStats(ts)
+
+	hs1, err1 := HOTSAX(ts, p, 1, 42)
+	hs2, err2 := HOTSAXStats(st, p, 1, 42)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("HOTSAX: %v / %v", err1, err2)
+	}
+	assertSameDiscords(t, "hotsax", hs1, hs2)
+	if hs1.DistCalls != hs2.DistCalls {
+		t.Errorf("HOTSAXStats DistCalls = %d, want %d", hs2.DistCalls, hs1.DistCalls)
+	}
+
+	bf1, err1 := BruteForce(ts, p.Window, 1)
+	bf2, err2 := BruteForceStats(st, p.Window, 1)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("BruteForce: %v / %v", err1, err2)
+	}
+	assertSameDiscords(t, "bruteforce", bf1, bf2)
+	if bf1.DistCalls != bf2.DistCalls {
+		t.Errorf("BruteForceStats DistCalls = %d, want %d", bf2.DistCalls, bf1.DistCalls)
+	}
+
+	rra1, err1 := RRA(ts, rs, 2, 0)
+	rra2, err2 := RRAStats(st, rs, 2, 0)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("RRA: %v / %v", err1, err2)
+	}
+	assertSameDiscords(t, "rra", rra1, rra2)
+	if rra1.DistCalls != rra2.DistCalls {
+		t.Errorf("RRAStats DistCalls = %d, want %d", rra2.DistCalls, rra1.DistCalls)
+	}
+}

@@ -19,10 +19,18 @@ import (
 // The word length and alphabet of p drive only the heuristic ordering; the
 // reported discord is exact for the window length p.Window.
 func HOTSAX(ts []float64, p sax.Params, k int, seed int64) (Result, error) {
-	return hotsaxSearch(ts, p, k, seed, Tuning{})
+	return hotsaxSearch(NewStats(ts), p, k, seed, Tuning{})
 }
 
-func hotsaxSearch(ts []float64, p sax.Params, k int, seed int64, tuning Tuning) (Result, error) {
+// HOTSAXStats is HOTSAX on prebuilt series statistics, so a pipeline that
+// also runs RRA or brute force on the same series builds the prefix sums
+// once.
+func HOTSAXStats(st *Stats, p sax.Params, k int, seed int64) (Result, error) {
+	return hotsaxSearch(st, p, k, seed, Tuning{})
+}
+
+func hotsaxSearch(st *Stats, p sax.Params, k int, seed int64, tuning Tuning) (Result, error) {
+	ts := st.ts
 	if err := p.Validate(len(ts)); err != nil {
 		return Result{}, err
 	}
@@ -53,7 +61,7 @@ func hotsaxSearch(ts []float64, p sax.Params, k int, seed int64, tuning Tuning) 
 	// the runtime the ordering is meant to save.
 	inner := rng.Perm(len(words))
 
-	e := newEngine(ts)
+	e := st.view()
 	var res Result
 	for found := 0; found < k; found++ {
 		best := Discord{Dist: -1, RuleID: -1, NNStart: -1}

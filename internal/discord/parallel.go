@@ -10,10 +10,17 @@ import (
 
 // NearestNonSelfParallel computes exactly what NearestNonSelf computes,
 // fanned out over up to workers goroutines (workers <= 0 selects
-// GOMAXPROCS). Every candidate's scan is independent, and each worker has
-// its own distance engine, so the output is byte-identical to the serial
-// version regardless of scheduling.
+// GOMAXPROCS). Every candidate's scan is independent, so the output is
+// byte-identical to the serial version regardless of scheduling.
 func NearestNonSelfParallel(ts []float64, rs *grammar.RuleSet, workers int) []Discord {
+	return NearestNonSelfParallelStats(NewStats(ts), rs, workers)
+}
+
+// NearestNonSelfParallelStats is NearestNonSelfParallel on prebuilt series
+// statistics. All workers read the same Stats — a worker's private state is
+// just a distance-call counter — so per-worker memory no longer grows with
+// the series length.
+func NearestNonSelfParallelStats(st *Stats, rs *grammar.RuleSet, workers int) []Discord {
 	cands := Candidates(rs)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -21,32 +28,42 @@ func NearestNonSelfParallel(ts []float64, rs *grammar.RuleSet, workers int) []Di
 	if workers > len(cands) {
 		workers = len(cands)
 	}
-	if workers <= 1 {
-		return NearestNonSelf(ts, rs)
-	}
 
 	byRule := make(map[int][]int)
 	for i, c := range cands {
 		byRule[c.RuleID] = append(byRule[c.RuleID], i)
 	}
 
+	m := len(st.ts)
 	results := make([]Discord, len(cands))
 	found := make([]bool, len(cands))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			e := newEngine(ts)
-			for ci := w; ci < len(cands); ci += workers {
-				if d, ok := nearestOf(e, cands, byRule, ci, len(ts)); ok {
-					results[ci] = d
-					found[ci] = true
-				}
+	if workers <= 1 {
+		e := st.view()
+		sc := newNNScratch(len(cands))
+		for ci := range cands {
+			if d, ok := nearestOf(e, cands, byRule, ci, m, sc); ok {
+				results[ci] = d
+				found[ci] = true
 			}
-		}(w)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				e := st.view()
+				sc := newNNScratch(len(cands))
+				for ci := w; ci < len(cands); ci += workers {
+					if d, ok := nearestOf(e, cands, byRule, ci, m, sc); ok {
+						results[ci] = d
+						found[ci] = true
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	out := make([]Discord, 0, len(cands))
 	for i := range results {
@@ -57,9 +74,19 @@ func NearestNonSelfParallel(ts []float64, rs *grammar.RuleSet, workers int) []Di
 	return out
 }
 
+// nnScratch is a worker-private visited marker reused across candidates:
+// seen[qi] == gen means qi was visited in the same-rule phase of the
+// current candidate's scan.
+type nnScratch struct {
+	seen []int
+	gen  int
+}
+
+func newNNScratch(n int) *nnScratch { return &nnScratch{seen: make([]int, n)} }
+
 // nearestOf scans all candidates for the true nearest non-self match of
 // candidate ci, same-rule occurrences first for early-abandoning warmth.
-func nearestOf(e *engine, cands []Candidate, byRule map[int][]int, ci, m int) (Discord, bool) {
+func nearestOf(e *engine, cands []Candidate, byRule map[int][]int, ci, m int, sc *nnScratch) (Discord, bool) {
 	c := cands[ci]
 	length := c.IV.Len()
 	scale := float64(length)
@@ -79,14 +106,13 @@ func nearestOf(e *engine, cands []Candidate, byRule map[int][]int, ci, m int) (D
 			nnStart = q
 		}
 	}
-	same := byRule[c.RuleID]
-	sameSet := make(map[int]bool, len(same))
-	for _, qi := range same {
-		sameSet[qi] = true
+	sc.gen++
+	for _, qi := range byRule[c.RuleID] {
+		sc.seen[qi] = sc.gen
 		visit(qi)
 	}
 	for qi := range cands {
-		if !sameSet[qi] {
+		if sc.seen[qi] != sc.gen {
 			visit(qi)
 		}
 	}

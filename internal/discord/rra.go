@@ -54,40 +54,62 @@ func Candidates(rs *grammar.RuleSet) []Candidate {
 // Eq. 1, so discords of different lengths are comparable. Top-k discords
 // are found by re-running the search with previously found discords'
 // regions excluded from the candidate list.
+//
+// RRA runs on one goroutine; RRAParallel fans the outer loop across cores
+// with byte-identical results.
 func RRA(ts []float64, rs *grammar.RuleSet, k int, seed int64) (Result, error) {
-	return rraSearch(ts, Candidates(rs), k, seed)
+	return rraSearch(NewStats(ts), Candidates(rs), k, seed)
 }
 
-func rraSearch(ts []float64, cands []Candidate, k int, seed int64) (Result, error) {
-	return rraSearchTuned(ts, cands, k, seed, Tuning{})
+// RRAStats is RRA on prebuilt series statistics, so repeated searches (or
+// searches sharing a series with HOTSAX / brute force) skip the O(n)
+// prefix-sum rebuild.
+func RRAStats(st *Stats, rs *grammar.RuleSet, k int, seed int64) (Result, error) {
+	return rraSearch(st, Candidates(rs), k, seed)
 }
 
-func rraSearchTuned(ts []float64, cands []Candidate, k int, seed int64, tuning Tuning) (Result, error) {
+func rraSearch(st *Stats, cands []Candidate, k int, seed int64) (Result, error) {
+	return rraSearchTuned(st, cands, k, seed, Tuning{})
+}
+
+// rraOrders bundles the seeded heuristic orderings shared by the serial
+// and parallel searches: outer visiting order, same-rule occurrence lists,
+// and the shared random inner order. Deriving them identically from the
+// seed is what keeps the two search modes byte-identical.
+type rraOrders struct {
+	outer  []int
+	byRule map[int][]int
+	inner  []int
+}
+
+func newRRAOrders(cands []Candidate, seed int64, tuning Tuning) rraOrders {
 	rng := rand.New(rand.NewSource(seed))
-	m := len(ts)
-
-	// Outer order: ascending frequency, shuffled within a class.
-	outer := orderOuter(len(cands), func(i int) int { return cands[i].Freq }, rng, tuning)
-
-	// Same-rule occurrence lists for the inner loop's first phase.
-	byRule := make(map[int][]int)
+	o := rraOrders{
+		outer: orderOuter(len(cands), func(i int) int { return cands[i].Freq }, rng, tuning),
+	}
+	o.byRule = make(map[int][]int)
 	if !tuning.NoSameGroupFirst {
 		for i, c := range cands {
-			byRule[c.RuleID] = append(byRule[c.RuleID], i)
+			o.byRule[c.RuleID] = append(o.byRule[c.RuleID], i)
 		}
 	}
-	inner := rng.Perm(len(cands)) // shared random order for the second phase
+	o.inner = rng.Perm(len(cands)) // shared random order for the second phase
+	return o
+}
 
-	e := newEngine(ts)
+func rraSearchTuned(st *Stats, cands []Candidate, k int, seed int64, tuning Tuning) (Result, error) {
+	ord := newRRAOrders(cands, seed, tuning)
+	m := len(st.ts)
+	e := st.view()
 	var res Result
 	for found := 0; found < k; found++ {
 		best := Discord{Dist: -1, RuleID: -1, NNStart: -1}
-		for _, ci := range outer {
+		for _, ci := range ord.outer {
 			c := cands[ci]
 			if overlapsAny(c.IV, res.Discords) {
 				continue
 			}
-			nn, nnStart := e.rraNearest(c, ci, cands, byRule[c.RuleID], inner, best.Dist, m)
+			nn, nnStart := e.rraNearest(c, ci, cands, ord.byRule[c.RuleID], ord.inner, cutoffRef{fixed: best.Dist}, m)
 			if nnStart >= 0 && nn > best.Dist {
 				best = Discord{Interval: c.IV, Dist: nn, NNStart: nnStart, RuleID: c.RuleID, Freq: c.Freq}
 			}
@@ -104,11 +126,29 @@ func rraSearchTuned(ts []float64, cands []Candidate, k int, seed int64, tuning T
 	return res, nil
 }
 
+// cutoffRef supplies the best-so-far pruning cutoff to the inner loop:
+// either a fixed value (serial search) or a monotonically rising shared
+// maximum (parallel search). A stale shared value only weakens pruning —
+// it never changes which candidate wins — so both sources yield identical
+// discords.
+type cutoffRef struct {
+	shared *atomicMax
+	fixed  float64
+}
+
+func (c cutoffRef) value() float64 {
+	if c.shared != nil {
+		return c.shared.load()
+	}
+	return c.fixed
+}
+
 // rraNearest runs the RRA inner loop for candidate c (index ci): same-rule
 // occurrences first, then every candidate in the shared random order. It
-// returns (-Inf, -2) as soon as a distance below bestSoFar proves c cannot
-// be the discord. Distances are normalized by the candidate's length.
-func (e *engine) rraNearest(c Candidate, ci int, cands []Candidate, sameRule, inner []int, bestSoFar float64, m int) (float64, int) {
+// returns (-Inf, -2) as soon as a distance below the best-so-far cutoff
+// proves c cannot be the discord. Distances are normalized by the
+// candidate's length.
+func (e *engine) rraNearest(c Candidate, ci int, cands []Candidate, sameRule, inner []int, bs cutoffRef, m int) (float64, int) {
 	length := c.IV.Len()
 	nn := math.Inf(1)
 	nnStart := -1
@@ -125,6 +165,7 @@ func (e *engine) rraNearest(c Candidate, ci int, cands []Candidate, sameRule, in
 		if q+length > m {
 			return true // cannot extract len(p) points at q
 		}
+		bestSoFar := bs.value()
 		cutoff := nn
 		if bestSoFar > cutoff {
 			cutoff = bestSoFar
@@ -164,51 +205,5 @@ func (e *engine) rraNearest(c Candidate, ci int, cands []Candidate, sameRule, in
 // a vertical line at each rule-corresponding subsequence whose height is
 // the distance.
 func NearestNonSelf(ts []float64, rs *grammar.RuleSet) []Discord {
-	cands := Candidates(rs)
-	e := newEngine(ts)
-	m := len(ts)
-
-	// Visiting same-rule occurrences first usually finds a small distance
-	// immediately, which makes the early-abandoning cutoff effective for
-	// the rest of the scan.
-	byRule := make(map[int][]int)
-	for i, c := range cands {
-		byRule[c.RuleID] = append(byRule[c.RuleID], i)
-	}
-
-	out := make([]Discord, 0, len(cands))
-	seen := make([]int, len(cands)) // seen[qi] == ci+1 when visited for ci
-	for ci, c := range cands {
-		length := c.IV.Len()
-		scale := float64(length)
-		nn := math.Inf(1)
-		nnStart := -1
-		visit := func(qi int) {
-			if qi == ci {
-				return
-			}
-			q := cands[qi].IV.Start
-			if abs(c.IV.Start-q) < length || q+length > m {
-				return
-			}
-			d := e.dist(c.IV.Start, q, length, nn*scale) / scale
-			if d < nn {
-				nn = d
-				nnStart = q
-			}
-		}
-		for _, qi := range byRule[c.RuleID] {
-			seen[qi] = ci + 1
-			visit(qi)
-		}
-		for qi := range cands {
-			if seen[qi] != ci+1 {
-				visit(qi)
-			}
-		}
-		if nnStart >= 0 {
-			out = append(out, Discord{Interval: c.IV, Dist: nn, NNStart: nnStart, RuleID: c.RuleID, Freq: c.Freq})
-		}
-	}
-	return out
+	return NearestNonSelfParallelStats(NewStats(ts), rs, 1)
 }

@@ -1,0 +1,129 @@
+package discord
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"grammarviz/internal/grammar"
+)
+
+// atomicMax is a monotonically rising float64 shared by the workers of a
+// parallel search round: the best discord distance found so far. Readers
+// may observe a stale (smaller) value — that only weakens pruning, never
+// correctness.
+type atomicMax struct{ bits atomic.Uint64 }
+
+func newAtomicMax(v float64) *atomicMax {
+	m := &atomicMax{}
+	m.bits.Store(math.Float64bits(v))
+	return m
+}
+
+func (m *atomicMax) load() float64 { return math.Float64frombits(m.bits.Load()) }
+
+// raise lifts the maximum to v if v is larger. CAS on the bit pattern with
+// a float comparison keeps the value monotone under contention.
+func (m *atomicMax) raise(v float64) {
+	for {
+		old := m.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if m.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// RRAParallel is RRA with each top-k round's outer loop fanned out over up
+// to workers goroutines (workers <= 0 selects GOMAXPROCS). The discords
+// returned are byte-identical to the serial RRA for the same seed; only
+// DistCalls varies with scheduling, because the shared best-so-far cutoff
+// rises in a different order.
+//
+// Why the result is exact: workers share one monotonically rising cutoff —
+// the largest nearest-neighbor distance completed so far this round, which
+// is never above the round's final maximum. A candidate is abandoned only
+// on a distance *strictly below* the cutoff, and every distance of a
+// max-achieving candidate is >= the maximum, so the candidates that could
+// win are always computed in full, with the serial algorithm's exact inner
+// visiting order. The round winner is then chosen by replaying the serial
+// outer order ("first candidate strictly above the best so far"), which
+// reproduces the serial tie-breaking.
+func RRAParallel(ts []float64, rs *grammar.RuleSet, k int, seed int64, workers int) (Result, error) {
+	return RRAParallelStats(NewStats(ts), rs, k, seed, workers)
+}
+
+// RRAParallelStats is RRAParallel on prebuilt series statistics shared with
+// the caller (and with any other search on the same series).
+func RRAParallelStats(st *Stats, rs *grammar.RuleSet, k int, seed int64, workers int) (Result, error) {
+	cands := Candidates(rs)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		// The serial path: deterministic DistCalls as well as results.
+		return rraSearch(st, cands, k, seed)
+	}
+
+	ord := newRRAOrders(cands, seed, Tuning{})
+	m := len(st.ts)
+	type candResult struct {
+		nn      float64
+		nnStart int
+	}
+	results := make([]candResult, len(ord.outer))
+	var totalCalls int64
+	var res Result
+	for found := 0; found < k; found++ {
+		cutoff := newAtomicMax(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				e := st.view()
+				for pos := w; pos < len(ord.outer); pos += workers {
+					ci := ord.outer[pos]
+					c := cands[ci]
+					if overlapsAny(c.IV, res.Discords) {
+						results[pos] = candResult{nnStart: -1}
+						continue
+					}
+					nn, nnStart := e.rraNearest(c, ci, cands, ord.byRule[c.RuleID], ord.inner, cutoffRef{shared: cutoff}, m)
+					results[pos] = candResult{nn: nn, nnStart: nnStart}
+					if nnStart >= 0 {
+						cutoff.raise(nn)
+					}
+				}
+				atomic.AddInt64(&totalCalls, e.Calls())
+			}(w)
+		}
+		wg.Wait()
+
+		// Serial-order reduction: replay the outer order so ties resolve
+		// exactly as in the single-threaded loop.
+		best := Discord{Dist: -1, RuleID: -1, NNStart: -1}
+		for pos, ci := range ord.outer {
+			r := results[pos]
+			if r.nnStart >= 0 && r.nn > best.Dist {
+				c := cands[ci]
+				best = Discord{Interval: c.IV, Dist: r.nn, NNStart: r.nnStart, RuleID: c.RuleID, Freq: c.Freq}
+			}
+		}
+		if best.NNStart < 0 {
+			break
+		}
+		res.Discords = append(res.Discords, best)
+	}
+	res.DistCalls = totalCalls
+	if len(res.Discords) == 0 {
+		return res, ErrNoCandidates
+	}
+	return res, nil
+}

@@ -22,12 +22,12 @@ type Tuning struct {
 
 // RRATuned is RRA with ablation switches.
 func RRATuned(ts []float64, rs *grammar.RuleSet, k int, seed int64, tuning Tuning) (Result, error) {
-	return rraSearchTuned(ts, Candidates(rs), k, seed, tuning)
+	return rraSearchTuned(NewStats(ts), Candidates(rs), k, seed, tuning)
 }
 
 // HOTSAXTuned is HOTSAX with ablation switches.
 func HOTSAXTuned(ts []float64, p sax.Params, k int, seed int64, tuning Tuning) (Result, error) {
-	return hotsaxSearch(ts, p, k, seed, tuning)
+	return hotsaxSearch(NewStats(ts), p, k, seed, tuning)
 }
 
 // orderOuter produces the outer-loop visiting order: shuffled, then

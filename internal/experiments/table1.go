@@ -63,16 +63,21 @@ func RunRowOn(ds *datasets.Dataset, seed int64) (Table1Row, error) {
 	}
 	row.BruteCalls = discord.BruteForceCallCount(len(ds.Series), ds.Params.Window)
 
-	hs, err := discord.HOTSAX(ds.Series, ds.Params, 1, seed)
+	// Workers is pinned to 1: the table's distance-call columns must be
+	// deterministic, and the parallel RRA's call count varies with
+	// goroutine scheduling (its discords do not).
+	p, err := core.Analyze(ds.Series, core.Config{Params: ds.Params, Seed: seed, Workers: 1})
+	if err != nil {
+		return row, fmt.Errorf("experiments: analyze %s: %w", ds.Name, err)
+	}
+
+	// HOTSAX shares the pipeline's series statistics, so the prefix sums
+	// are built once for both searches.
+	hs, err := discord.HOTSAXStats(p.Stats(), ds.Params, 1, seed)
 	if err != nil {
 		return row, fmt.Errorf("experiments: hotsax on %s: %w", ds.Name, err)
 	}
 	row.HotsaxCalls = hs.DistCalls
-
-	p, err := core.Analyze(ds.Series, core.Config{Params: ds.Params, Seed: seed})
-	if err != nil {
-		return row, fmt.Errorf("experiments: analyze %s: %w", ds.Name, err)
-	}
 	// The paper's distance-call columns compare top-1 searches; the
 	// length/overlap columns consider ranked discords, so run top-1 for
 	// the count and top-3 for the overlap measure.

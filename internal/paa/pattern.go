@@ -1,0 +1,88 @@
+package paa
+
+import "fmt"
+
+// PatternSegment describes how one PAA segment of a fixed-length window
+// draws from the window's points: a contiguous run of whole-weight points
+// plus up to two fractionally weighted boundary points. Indices are
+// window-relative, so the same segment applies to every window position.
+type PatternSegment struct {
+	Lo, Hi  int        // [Lo, Hi): points contributing with weight 1
+	FracIdx [2]int     // fractional boundary points; -1 when absent
+	FracW   [2]float64 // their overlap weights, in (0, 1)
+}
+
+// SegmentPattern precomputes the point-to-segment weighting of
+// TransformInto for a fixed (window, segments) pair. Because the weights
+// depend only on the point's position *within* the window, one pattern
+// serves every window of a sliding scan: combined with series prefix sums
+// it yields each window's PAA in O(segments) instead of O(window).
+type SegmentPattern struct {
+	Window   int
+	Segments int
+	Inv      float64 // 1 / (window/segments): converts segment sums to means
+	Segs     []PatternSegment
+}
+
+// NewSegmentPattern builds the pattern for windows of length window reduced
+// to segments means. The weights are derived point by point with exactly
+// the arithmetic of TransformInto, so a pattern-based PAA agrees with the
+// direct transform up to summation order.
+func NewSegmentPattern(window, segments int) (*SegmentPattern, error) {
+	if segments <= 0 || segments > window {
+		return nil, fmt.Errorf("%w: w=%d n=%d", ErrBadSegments, segments, window)
+	}
+	pat := &SegmentPattern{
+		Window:   window,
+		Segments: segments,
+		Inv:      float64(segments) / float64(window),
+		Segs:     make([]PatternSegment, segments),
+	}
+	for k := range pat.Segs {
+		pat.Segs[k] = PatternSegment{Lo: -1, FracIdx: [2]int{-1, -1}}
+	}
+	addWhole := func(k, j int) {
+		s := &pat.Segs[k]
+		if s.Lo < 0 {
+			s.Lo = j
+		}
+		s.Hi = j + 1
+	}
+	addFrac := func(k, j int, w float64) {
+		if w == 0 {
+			return // zero-overlap artefact of an exact boundary
+		}
+		s := &pat.Segs[k]
+		if s.FracIdx[0] < 0 {
+			s.FracIdx[0] = j
+			s.FracW[0] = w
+		} else {
+			s.FracIdx[1] = j
+			s.FracW[1] = w
+		}
+	}
+	segLen := float64(window) / float64(segments)
+	for j := 0; j < window; j++ {
+		lo, hi := float64(j), float64(j+1)
+		first := int(lo / segLen)
+		last := int(hi / segLen)
+		if last >= segments {
+			last = segments - 1
+		}
+		if first == last {
+			addWhole(first, j)
+			continue
+		}
+		split := float64(last) * segLen
+		addFrac(first, j, split-lo)
+		addFrac(last, j, hi-split)
+	}
+	// A segment can consist only of fractional points (segLen < 2); give it
+	// an empty whole-point range so prefix-sum lookups contribute zero.
+	for k := range pat.Segs {
+		if pat.Segs[k].Lo < 0 {
+			pat.Segs[k].Lo, pat.Segs[k].Hi = 0, 0
+		}
+	}
+	return pat, nil
+}

@@ -1,0 +1,171 @@
+package sax
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The incremental (prefix-sum) and parallel (chunk-stitched) discretizer
+// must be byte-identical to the retained naive reference across data
+// shapes x parameters x reductions x worker counts. These property tests
+// are the contract that lets the rest of the pipeline switch to the fast
+// path without re-validating anything downstream.
+
+type eqSeries struct {
+	name string
+	ts   []float64
+}
+
+func equivalenceSeries(n int) []eqSeries {
+	rng := rand.New(rand.NewSource(77))
+	sine := make([]float64, n)
+	walk := make([]float64, n)
+	flat := make([]float64, n)
+	spiky := make([]float64, n)
+	offset := make([]float64, n)
+	nearThresh := make([]float64, n)
+	noise := make([]float64, n)
+	level := 0.0
+	for i := 0; i < n; i++ {
+		sine[i] = math.Sin(2*math.Pi*float64(i)/60) + rng.NormFloat64()*0.05
+		level += rng.NormFloat64() * 0.3
+		walk[i] = level
+		flat[i] = 0.125 // constant: every window takes the flat-guard path
+		spiky[i] = 0.5
+		if i%97 == 0 {
+			spiky[i] = 5
+		}
+		// Large offset: mean >> std stresses the prefix-sum cancellation
+		// guard, which should fall back rather than mis-letter.
+		offset[i] = 1e6 + math.Sin(float64(i)/9)*0.5
+		// Window std hovers around the 0.01 flat threshold: the ambiguous
+		// flat decision must match the naive encoder on every window.
+		nearThresh[i] = rng.NormFloat64() * 0.01
+		noise[i] = rng.NormFloat64() * 3
+	}
+	return []eqSeries{
+		{"sine", sine},
+		{"walk", walk},
+		{"flat", flat},
+		{"spiky", spiky},
+		{"offset1e6", offset},
+		{"nearthresh", nearThresh},
+		{"noise", noise},
+	}
+}
+
+var equivalenceParams = []Params{
+	{Window: 40, PAA: 4, Alphabet: 4},
+	{Window: 50, PAA: 7, Alphabet: 5}, // non-divisible: fractional PAA segments
+	{Window: 13, PAA: 13, Alphabet: 3},
+	{Window: 100, PAA: 9, Alphabet: 26},
+	{Window: 7, PAA: 3, Alphabet: 2},
+}
+
+func assertSameDiscretization(t *testing.T, want, got *Discretization) {
+	t.Helper()
+	if got.Raw != want.Raw {
+		t.Fatalf("Raw = %d, want %d", got.Raw, want.Raw)
+	}
+	if len(got.Words) != len(want.Words) {
+		t.Fatalf("words = %d, want %d", len(got.Words), len(want.Words))
+	}
+	for i := range want.Words {
+		if got.Words[i] != want.Words[i] {
+			t.Fatalf("word[%d] = %+v, want %+v", i, got.Words[i], want.Words[i])
+		}
+	}
+}
+
+func TestDiscretizeMatchesReference(t *testing.T) {
+	const n = 3000
+	for _, s := range equivalenceSeries(n) {
+		for _, p := range equivalenceParams {
+			for _, red := range []Reduction{ReductionExact, ReductionNone, ReductionMINDIST} {
+				t.Run(fmt.Sprintf("%s/%s/%s", s.name, p, red), func(t *testing.T) {
+					want, err := DiscretizeReference(s.ts, p, red)
+					if err != nil {
+						t.Fatalf("reference: %v", err)
+					}
+					for _, workers := range []int{1, 2, 3, 4, 7} {
+						got, err := DiscretizeWorkers(s.ts, p, red, workers)
+						if err != nil {
+							t.Fatalf("workers=%d: %v", workers, err)
+						}
+						assertSameDiscretization(t, want, got)
+					}
+				})
+			}
+		}
+	}
+}
+
+// The fast path must actually be fast: on well-conditioned data the
+// guarded fallback should fire on a negligible fraction of windows.
+func TestIncrementalFallbackIsRare(t *testing.T) {
+	const n = 3000
+	for _, s := range equivalenceSeries(n) {
+		if s.name == "offset1e6" || s.name == "nearthresh" {
+			continue // ill-conditioned by construction; only correctness matters there
+		}
+		d, err := Discretize(s.ts, Params{Window: 40, PAA: 4, Alphabet: 4}, ReductionExact)
+		if err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+		if d.Fallbacks > d.Raw/10 {
+			t.Errorf("%s: %d/%d windows fell back to the naive encoder", s.name, d.Fallbacks, d.Raw)
+		}
+	}
+}
+
+// Workers <= 0 selects all cores and must still be byte-identical.
+func TestDiscretizeWorkersAuto(t *testing.T) {
+	series := equivalenceSeries(3000)[0]
+	p := Params{Window: 40, PAA: 4, Alphabet: 4}
+	want, err := DiscretizeReference(series.ts, p, ReductionExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DiscretizeWorkers(series.ts, p, ReductionExact, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDiscretization(t, want, got)
+}
+
+// A seeded fuzz over random parameter combinations on rough data, as a
+// backstop for the hand-picked grids above.
+func TestDiscretizeMatchesReferenceFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 600 + rng.Intn(2500)
+		ts := make([]float64, n)
+		level := 0.0
+		for i := range ts {
+			level += rng.NormFloat64() * 0.2
+			ts[i] = level + math.Sin(float64(i)/7)*rng.Float64()
+		}
+		window := 8 + rng.Intn(200)
+		if window > n {
+			window = n
+		}
+		p := Params{
+			Window:   window,
+			PAA:      1 + rng.Intn(window),
+			Alphabet: 2 + rng.Intn(25),
+		}
+		red := []Reduction{ReductionExact, ReductionNone, ReductionMINDIST}[rng.Intn(3)]
+		workers := 1 + rng.Intn(8)
+		want, err := DiscretizeReference(ts, p, red)
+		if err != nil {
+			t.Fatalf("trial %d %s: reference: %v", trial, p, err)
+		}
+		got, err := DiscretizeWorkers(ts, p, red, workers)
+		if err != nil {
+			t.Fatalf("trial %d %s workers=%d: %v", trial, p, workers, err)
+		}
+		assertSameDiscretization(t, want, got)
+	}
+}

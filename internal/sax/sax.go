@@ -83,8 +83,23 @@ func (e *Encoder) Params() Params { return e.params }
 // Encode discretizes one subsequence (of any length >= PAA) into a SAX
 // word of e.Params().PAA letters.
 func (e *Encoder) Encode(sub []float64) (string, error) {
+	word := make([]byte, e.params.PAA)
+	if err := e.EncodeInto(word, sub); err != nil {
+		return "", err
+	}
+	return string(word), nil
+}
+
+// EncodeInto discretizes one subsequence into dst, which must hold exactly
+// e.Params().PAA bytes. It is the allocation-free variant of Encode for
+// sliding-window loops that reuse a word buffer.
+func (e *Encoder) EncodeInto(dst []byte, sub []float64) error {
+	if len(dst) != e.params.PAA {
+		return fmt.Errorf("%w: dst length %d != paa %d",
+			paa.ErrBadSegments, len(dst), e.params.PAA)
+	}
 	if len(sub) < e.params.PAA {
-		return "", fmt.Errorf("%w: subsequence length %d < paa %d",
+		return fmt.Errorf("%w: subsequence length %d < paa %d",
 			paa.ErrBadSegments, len(sub), e.params.PAA)
 	}
 	if cap(e.znorm) < len(sub) {
@@ -93,13 +108,12 @@ func (e *Encoder) Encode(sub []float64) (string, error) {
 	zn := e.znorm[:len(sub)]
 	timeseries.ZNormalizeInto(zn, sub, e.params.normThreshold())
 	if err := paa.TransformInto(e.segs, zn); err != nil {
-		return "", err
+		return err
 	}
-	word := make([]byte, len(e.segs))
 	for i, m := range e.segs {
-		word[i] = IndexToChar(Letter(e.cuts, m))
+		dst[i] = IndexToChar(Letter(e.cuts, m))
 	}
-	return string(word), nil
+	return nil
 }
 
 // Encode is a convenience one-shot wrapper around NewEncoder + Encode.

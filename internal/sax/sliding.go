@@ -2,6 +2,8 @@ package sax
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 )
 
 // Reduction selects the numerosity-reduction strategy applied during
@@ -50,13 +52,187 @@ type Discretization struct {
 	SeriesLen int    // length of the source series
 	Params    Params // parameters used
 	Raw       int    // number of windows before numerosity reduction
+
+	// Fallbacks counts the windows the incremental encoder handed to the
+	// naive encoder because a letter or flat-window decision was within
+	// its floating-point error bound of a boundary. Diagnostic only.
+	Fallbacks int
 }
+
+// minWindowsPerChunk bounds the parallel fan-out: chunks smaller than this
+// spend more time stitching than encoding.
+const minWindowsPerChunk = 256
 
 // Discretize slides a window of p.Window over ts, SAX-encodes every
 // window, and applies the numerosity-reduction strategy. The word order
 // (and each word's offset) is preserved — the ordering is what makes
 // grammar induction meaningful (Section 3.1).
+//
+// Encoding is incremental: series-level prefix sums give each window's
+// mean/std and PAA in O(paa) rather than O(window), with a guarded
+// fallback to the naive encoder that keeps the output byte-identical to
+// DiscretizeReference. Discretize runs on one goroutine; use
+// DiscretizeWorkers to fan the window range out across cores.
 func Discretize(ts []float64, p Params, red Reduction) (*Discretization, error) {
+	return DiscretizeWorkers(ts, p, red, 1)
+}
+
+// DiscretizeWorkers is Discretize fanned out over up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS). The window range is split into
+// contiguous chunks, each chunk is encoded and run-collapsed
+// independently, and the chunks are stitched with numerosity reduction
+// re-applied at the seams — the result is byte-identical to the serial
+// output for every strategy and worker count.
+func DiscretizeWorkers(ts []float64, p Params, red Reduction, workers int) (*Discretization, error) {
+	if err := p.Validate(len(ts)); err != nil {
+		return nil, err
+	}
+	nWin := len(ts) - p.Window + 1
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (nWin + minWindowsPerChunk - 1) / minWindowsPerChunk; workers > max {
+		workers = max
+	}
+	st, err := newSlidingStats(ts, p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: encode each chunk of window starts independently. For the
+	// reducing strategies chunks collapse runs of identical words as they
+	// go (allocating one string per run, not per window); ReductionNone
+	// must keep every word.
+	collapse := red != ReductionNone
+	chunks := make([]chunkResult, workers)
+	if workers <= 1 {
+		we, err := st.newWindowEncoder()
+		if err != nil {
+			return nil, err
+		}
+		chunks[0], err = discretizeChunk(we, 0, nWin, collapse)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			lo := w * nWin / workers
+			hi := (w + 1) * nWin / workers
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				we, err := st.newWindowEncoder()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				chunks[w], errs[w] = discretizeChunk(we, lo, hi, collapse)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	d := &Discretization{SeriesLen: len(ts), Params: p, Raw: nWin}
+	for _, c := range chunks {
+		d.Fallbacks += c.fallbacks
+	}
+	d.Words = stitch(chunks, red)
+	if len(d.Words) == 0 {
+		return nil, fmt.Errorf("sax: discretization produced no words")
+	}
+	return d, nil
+}
+
+type chunkResult struct {
+	words     []Word // all words (NONE) or run representatives (EXACT/MINDIST)
+	fallbacks int
+}
+
+// discretizeChunk encodes the windows starting in [lo, hi). With collapse
+// set, only the first word of each run of identical words is kept — the
+// exact numerosity reduction, and the run representatives the MINDIST
+// filter needs (a MINDIST decision is constant across a run, so one
+// decision per run at the run's first offset reproduces the serial scan).
+func discretizeChunk(we *windowEncoder, lo, hi int, collapse bool) (chunkResult, error) {
+	words := make([]Word, 0, hi-lo) // sized from the chunk's raw window count
+	prev := ""
+	for s := lo; s < hi; s++ {
+		buf, err := we.encode(s)
+		if err != nil {
+			return chunkResult{}, err
+		}
+		if collapse && prev != "" && string(buf) == prev {
+			continue // comparison does not allocate; no string is built
+		}
+		word := string(buf)
+		words = append(words, Word{Str: word, Offset: s})
+		prev = word
+	}
+	return chunkResult{words: words, fallbacks: we.fallbacks}, nil
+}
+
+// stitch concatenates per-chunk results into the final word sequence,
+// re-applying the reduction at chunk seams so the output is identical to a
+// serial scan.
+func stitch(chunks []chunkResult, red Reduction) []Word {
+	total := 0
+	for _, c := range chunks {
+		total += len(c.words)
+	}
+	out := make([]Word, 0, total)
+	if red == ReductionNone {
+		for _, c := range chunks {
+			out = append(out, c.words...)
+		}
+		return out
+	}
+	// Merge run representatives across seams: a chunk's leading run may
+	// continue the previous chunk's trailing run.
+	reps := out
+	last := ""
+	for _, c := range chunks {
+		ws := c.words
+		if last != "" && len(ws) > 0 && ws[0].Str == last {
+			ws = ws[1:]
+		}
+		reps = append(reps, ws...)
+		if len(ws) > 0 {
+			last = ws[len(ws)-1].Str
+		} else if len(c.words) > 0 {
+			last = c.words[len(c.words)-1].Str
+		}
+	}
+	if red == ReductionExact {
+		return reps // run collapsing *is* the exact reduction
+	}
+	// MINDIST: keep a representative only when it is more than one region
+	// away from the previously recorded word. Filtering in place is safe —
+	// the write index never passes the read index.
+	words := reps[:0]
+	prev := ""
+	for _, w := range reps {
+		if prev != "" && wordsMINDISTZero(w.Str, prev) {
+			continue
+		}
+		words = append(words, w)
+		prev = w.Str
+	}
+	return words
+}
+
+// DiscretizeReference is the naive discretizer the incremental and
+// parallel paths are tested against: every window is z-normalized, PAA-
+// reduced and lettered from scratch, exactly as the paper describes it. It
+// is retained as the correctness oracle for equivalence tests and as the
+// "before" side of benchmarks.
+func DiscretizeReference(ts []float64, p Params, red Reduction) (*Discretization, error) {
 	if err := p.Validate(len(ts)); err != nil {
 		return nil, err
 	}

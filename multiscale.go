@@ -14,7 +14,15 @@ import (
 // window choice than a single-window density curve — an extension in the
 // spirit of the paper's future-work section on parameter effects.
 func MultiscaleDensity(ts []float64, windows []int, paa, alphabet int) ([]float64, error) {
-	curve, err := core.MultiscaleDensity(ts, windows, paa, alphabet, sax.ReductionExact)
+	return MultiscaleDensityWorkers(ts, windows, paa, alphabet, 0)
+}
+
+// MultiscaleDensityWorkers is MultiscaleDensity with the per-window
+// pipelines fanned out over up to workers goroutines (0 selects all cores,
+// 1 forces serial execution). The combined curve is identical for every
+// worker count.
+func MultiscaleDensityWorkers(ts []float64, windows []int, paa, alphabet, workers int) ([]float64, error) {
+	curve, err := core.MultiscaleDensityWorkers(ts, windows, paa, alphabet, sax.ReductionExact, workers)
 	if err != nil {
 		return nil, fmt.Errorf("grammarviz: %w", err)
 	}
