@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench
+.PHONY: check build vet test race bench-smoke bench fuzz-smoke staticcheck
 
-## check: everything CI runs — vet, build, race-enabled tests, bench smoke
-check: vet build race bench-smoke
+## check: everything CI runs — vet, build, race-enabled tests, bench smoke,
+## fuzz smoke, static analysis
+check: vet build race bench-smoke fuzz-smoke staticcheck
 
 build:
 	$(GO) build ./...
@@ -28,3 +29,20 @@ bench-smoke:
 ## configuration used for BENCH_*.json
 bench:
 	$(GO) test . -run '^$$' -bench 'Component|Extension' -benchtime 5x -benchmem
+
+## fuzz-smoke: a few seconds of each native fuzz target, enough to replay
+## the checked-in corpora and catch shallow regressions (long fuzzing runs
+## stay manual: go test -fuzz=FuzzX -fuzztime=10m ./internal/...)
+fuzz-smoke:
+	$(GO) test ./internal/sax -run '^$$' -fuzz '^FuzzDiscretize$$' -fuzztime 3s
+	$(GO) test ./internal/sequitur -run '^$$' -fuzz '^FuzzInduce$$' -fuzztime 3s
+
+## staticcheck: static analysis beyond go vet when staticcheck is
+## installed; falls back to a no-op with a note so check works on a bare
+## toolchain (no dependency is downloaded)
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi

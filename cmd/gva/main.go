@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -50,19 +51,26 @@ func main() {
 		stats     = flag.Bool("stats", false, "print discretization/grammar diagnostics")
 		detrend   = flag.Int("detrend", 0, "subtract a moving average of this many points before analysis")
 		jsonOut   = flag.Bool("json", false, "print results as JSON (rra/density/hotsax/brute modes)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the whole analysis (e.g. 30s; 0 = none); rra mode degrades to partial/density results at the deadline")
 	)
 	flag.Parse()
 	if *dataPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dataPath, *window, *paa, *alphabet, *mode, *k, *threshold, *minLen, *seed, *plot, *svgPath, *stats, *detrend, *jsonOut); err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *dataPath, *window, *paa, *alphabet, *mode, *k, *threshold, *minLen, *seed, *plot, *svgPath, *stats, *detrend, *jsonOut, *timeout > 0); err != nil {
 		fmt.Fprintln(os.Stderr, "gva:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath string, window, paa, alphabet int, mode string, k, threshold, minLen int, seed int64, plot bool, svgPath string, stats bool, detrend int, jsonOut bool) error {
+func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode string, k, threshold, minLen int, seed int64, plot bool, svgPath string, stats bool, detrend int, jsonOut, bounded bool) error {
 	ts, err := timeseries.ReadCSVFile(dataPath)
 	if err != nil {
 		return err
@@ -108,7 +116,7 @@ func run(dataPath string, window, paa, alphabet int, mode string, k, threshold, 
 		return emitDiscords("brute force", discords, calls, jsonOut)
 	}
 
-	det, err := grammarviz.New(ts, opts)
+	det, err := grammarviz.NewCtx(ctx, ts, opts)
 	if err != nil {
 		return err
 	}
@@ -122,11 +130,29 @@ func run(dataPath string, window, paa, alphabet int, mode string, k, threshold, 
 	var marks []grammarviz.Interval
 	switch mode {
 	case "rra":
-		discords, calls, err := det.DiscordsWithStats(k)
-		if err != nil {
-			return err
+		var discords []grammarviz.Discord
+		var calls int64
+		algo := "RRA"
+		if bounded {
+			res, err := det.DiscordsBestEffort(ctx, k)
+			if err != nil {
+				return err
+			}
+			discords, calls = res.Discords, res.DistCalls
+			switch {
+			case res.Fallback:
+				algo = "RRA (deadline hit — density-minima fallback, no distances)"
+			case res.Partial:
+				algo = fmt.Sprintf("RRA (deadline hit — partial, %d of %d discords)", len(discords), k)
+			}
+		} else {
+			var err error
+			discords, calls, err = det.DiscordsWithStats(k)
+			if err != nil {
+				return err
+			}
 		}
-		if err := emitDiscords("RRA", discords, calls, jsonOut); err != nil {
+		if err := emitDiscords(algo, discords, calls, jsonOut); err != nil {
 			return err
 		}
 		for _, d := range discords {
@@ -155,8 +181,8 @@ func run(dataPath string, window, paa, alphabet int, mode string, k, threshold, 
 			marks = append(marks, a.Interval())
 		}
 	case "multiscale":
-		curve, err := grammarviz.MultiscaleDensity(ts,
-			[]int{window / 2, window, window * 2}, paa, alphabet)
+		curve, err := grammarviz.MultiscaleDensityCtx(ctx, ts,
+			[]int{window / 2, window, window * 2}, paa, alphabet, 0)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -32,7 +33,7 @@ func TestRunModes(t *testing.T) {
 	path := writeTestSeries(t)
 	for _, mode := range []string{"rra", "density", "hotsax", "brute"} {
 		t.Run(mode, func(t *testing.T) {
-			if err := run(path, 45, 4, 4, mode, 2, -1, 0, 1, false, "", false, 0, false); err != nil {
+			if err := run(context.Background(), path, 45, 4, 4, mode, 2, -1, 0, 1, false, "", false, 0, false, false); err != nil {
 				t.Errorf("run(%s): %v", mode, err)
 			}
 		})
@@ -41,7 +42,7 @@ func TestRunModes(t *testing.T) {
 
 func TestRunDensityThreshold(t *testing.T) {
 	path := writeTestSeries(t)
-	if err := run(path, 45, 4, 4, "density", 1, 3, 5, 1, false, "", true, 0, false); err != nil {
+	if err := run(context.Background(), path, 45, 4, 4, "density", 1, 3, 5, 1, false, "", true, 0, false, false); err != nil {
 		t.Errorf("run: %v", err)
 	}
 }
@@ -49,7 +50,7 @@ func TestRunDensityThreshold(t *testing.T) {
 func TestRunPlotAndSVG(t *testing.T) {
 	path := writeTestSeries(t)
 	svg := filepath.Join(t.TempDir(), "out.svg")
-	if err := run(path, 45, 4, 4, "rra", 1, -1, 0, 1, true, svg, true, 0, false); err != nil {
+	if err := run(context.Background(), path, 45, 4, 4, "rra", 1, -1, 0, 1, true, svg, true, 0, false, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(svg)
@@ -63,20 +64,20 @@ func TestRunPlotAndSVG(t *testing.T) {
 
 func TestRunAutoParams(t *testing.T) {
 	path := writeTestSeries(t)
-	if err := run(path, 0, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false); err != nil {
+	if err := run(context.Background(), path, 0, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false, false); err != nil {
 		t.Errorf("auto-params run: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing.csv"), 45, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false); err == nil {
+	if err := run(context.Background(), filepath.Join(t.TempDir(), "missing.csv"), 45, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false, false); err == nil {
 		t.Error("missing file should error")
 	}
 	path := writeTestSeries(t)
-	if err := run(path, 45, 4, 4, "bogus", 1, -1, 0, 1, false, "", false, 0, false); err == nil {
+	if err := run(context.Background(), path, 45, 4, 4, "bogus", 1, -1, 0, 1, false, "", false, 0, false, false); err == nil {
 		t.Error("unknown mode should error")
 	}
-	if err := run(path, 5000, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false); err == nil {
+	if err := run(context.Background(), path, 5000, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false, false); err == nil {
 		t.Error("oversize window should error")
 	}
 }
@@ -91,14 +92,14 @@ func TestRunInterpolatesNaN(t *testing.T) {
 	if err := timeseries.WriteCSVFile(path, ts); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, 40, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false); err != nil {
+	if err := run(context.Background(), path, 40, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false, false); err != nil {
 		t.Errorf("NaN series should be interpolated, got %v", err)
 	}
 }
 
 func TestRunDetrend(t *testing.T) {
 	path := writeTestSeries(t)
-	if err := run(path, 45, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 101, false); err != nil {
+	if err := run(context.Background(), path, 45, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 101, false, false); err != nil {
 		t.Errorf("detrend run: %v", err)
 	}
 }
@@ -107,7 +108,7 @@ func TestRunExtensionModes(t *testing.T) {
 	path := writeTestSeries(t)
 	for _, mode := range []string{"surprise", "multiscale", "motifs"} {
 		t.Run(mode, func(t *testing.T) {
-			if err := run(path, 45, 4, 4, mode, 3, -1, 0, 1, false, "", false, 0, false); err != nil {
+			if err := run(context.Background(), path, 45, 4, 4, mode, 3, -1, 0, 1, false, "", false, 0, false, false); err != nil {
 				t.Errorf("run(%s): %v", mode, err)
 			}
 		})
@@ -123,7 +124,7 @@ func TestRunJSONOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run(path, 45, 4, 4, "rra", 2, -1, 0, 1, false, "", false, 0, true)
+	runErr := run(context.Background(), path, 45, 4, 4, "rra", 2, -1, 0, 1, false, "", false, 0, true, false)
 	w.Close()
 	os.Stdout = old
 	if runErr != nil {

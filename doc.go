@@ -32,4 +32,22 @@
 // trajectories can be linearized with TrajectoryToSeries; and Stream
 // provides the left-to-right streaming variant sketched in the paper's
 // future work.
+//
+// # Cancellation and robustness
+//
+// Every analysis entry point has a context-aware variant (NewCtx,
+// Detector.DiscordsCtx, MultiscaleDensityCtx) that polls the context at
+// bounded intervals and returns a ctx.Err()-wrapped error on cancellation;
+// with a never-cancelled context the results are byte-identical to the
+// plain variants at every worker count. Deadline-bound callers can use
+// Detector.DiscordsBestEffort, which degrades to partial results and then
+// to the density-curve approximation instead of failing. Worker panics in
+// the parallel stages are recovered into errors rather than crashing the
+// process. Non-finite input (NaN, ±Inf) is rejected everywhere with an
+// ErrInvalidValue-wrapped error naming the first bad index; clean a series
+// with Interpolate first.
+//
+// A Stream retains every consumed point — memory grows O(points); see
+// Stream.MemStats to observe retention and Stream.Reset to reclaim it at
+// epoch boundaries.
 package grammarviz

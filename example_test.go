@@ -76,7 +76,7 @@ func ExampleNewStream() {
 	}
 	novel := 0
 	for i, v := range signal() {
-		if ev, ok := s.Append(v); ok && ev.Novelty == 1 && i > 300 {
+		if ev, ok, _ := s.Append(v); ok && ev.Novelty == 1 && i > 300 {
 			novel++ // a shape never seen before, after warm-up
 		}
 	}

@@ -35,7 +35,10 @@ func main() {
 		if i >= burstAt && i < burstAt+60 {
 			v = math.Sin(8*math.Pi*float64(i)/period) + rng.NormFloat64()*0.03
 		}
-		ev, ok := s.Append(v)
+		ev, ok, err := s.Append(v)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if !ok {
 			continue
 		}

@@ -1,6 +1,7 @@
 package grammarviz
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -52,6 +53,12 @@ type Options struct {
 // requested window.
 var ErrShortSeries = errors.New("grammarviz: series shorter than window")
 
+// ErrInvalidValue is the sentinel wrapped by every rejection of a
+// non-finite input value (NaN or ±Inf). The wrapping error names the first
+// offending index; match with errors.Is. Use Interpolate to clean a series
+// before analysis.
+var ErrInvalidValue = timeseries.ErrInvalidValue
+
 // Detector is an analyzed time series: the induced grammar, the rule
 // density curve, and the machinery to answer anomaly queries. Create one
 // with New. A Detector is immutable and safe for concurrent readers.
@@ -61,8 +68,17 @@ type Detector struct {
 
 // New analyzes ts and returns a ready Detector. The series is retained by
 // reference and must not be modified afterwards. NaN or infinite values
-// are rejected; use Interpolate to clean the series first.
+// are rejected with an ErrInvalidValue-wrapped error naming the first bad
+// index; use Interpolate to clean the series first.
 func New(ts []float64, opts Options) (*Detector, error) {
+	return NewCtx(context.Background(), ts, opts)
+}
+
+// NewCtx is New with cooperative cancellation: discretization and grammar
+// induction poll ctx at bounded intervals and return a ctx.Err()-wrapped
+// error when the context is cancelled or its deadline passes. With a
+// never-cancelled context the Detector is identical to New's.
+func NewCtx(ctx context.Context, ts []float64, opts Options) (*Detector, error) {
 	if opts.Window > len(ts) {
 		return nil, fmt.Errorf("%w: window=%d n=%d", ErrShortSeries, opts.Window, len(ts))
 	}
@@ -77,7 +93,7 @@ func New(ts []float64, opts Options) (*Detector, error) {
 	default:
 		return nil, fmt.Errorf("grammarviz: unknown reduction %d", opts.Reduction)
 	}
-	p, err := core.Analyze(ts, core.Config{
+	p, err := core.AnalyzeCtx(ctx, ts, core.Config{
 		Params:    sax.Params{Window: opts.Window, PAA: opts.PAA, Alphabet: opts.Alphabet},
 		Reduction: red,
 		Seed:      opts.Seed,
@@ -193,6 +209,52 @@ func (d *Detector) DiscordsWithStats(k int) ([]Discord, int64, error) {
 		return nil, 0, fmt.Errorf("grammarviz: %w", err)
 	}
 	return convertDiscords(res.Discords), res.DistCalls, nil
+}
+
+// DiscordsCtx is Discords with cooperative cancellation: the search polls
+// ctx at bounded intervals. When ctx is cancelled or its deadline passes,
+// the discords of the fully completed top-k rounds are returned with
+// Partial set, together with a ctx.Err()-wrapped error. With a
+// never-cancelled context the result equals Discords' for every worker
+// count.
+func (d *Detector) DiscordsCtx(ctx context.Context, k int) (DiscordResult, error) {
+	res, err := d.pipeline.DiscordsCtx(ctx, k)
+	out := DiscordResult{
+		Discords:  convertDiscords(res.Discords),
+		DistCalls: res.DistCalls,
+		Partial:   res.Partial,
+		Fallback:  res.Fallback,
+	}
+	if err != nil {
+		return out, fmt.Errorf("grammarviz: %w", err)
+	}
+	return out, nil
+}
+
+// DiscordsBestEffort answers a top-k discord query within the budget of
+// ctx, degrading instead of failing when the deadline hits:
+//
+//  1. Search completed in time: the exact result.
+//  2. Some top-k rounds completed: those discords, Partial set.
+//  3. Not even one round completed: the rule density curve's global minima
+//     (the approximate detector, already built by New) as discords with
+//     Partial and Fallback set. Fallback discords carry no distance
+//     evidence — Distance and NNStart are -1.
+//
+// Only the context's own error triggers degradation; any other failure is
+// returned unchanged.
+func (d *Detector) DiscordsBestEffort(ctx context.Context, k int) (DiscordResult, error) {
+	res, err := d.pipeline.DiscordsBestEffort(ctx, k)
+	out := DiscordResult{
+		Discords:  convertDiscords(res.Discords),
+		DistCalls: res.DistCalls,
+		Partial:   res.Partial,
+		Fallback:  res.Fallback,
+	}
+	if err != nil {
+		return out, fmt.Errorf("grammarviz: %w", err)
+	}
+	return out, nil
 }
 
 // NumRules returns the number of grammar rules induced (excluding the

@@ -250,7 +250,7 @@ func TestStreamAPI(t *testing.T) {
 	}
 	events := 0
 	for _, v := range ts {
-		if _, ok := s.Append(v); ok {
+		if _, ok, _ := s.Append(v); ok {
 			events++
 		}
 	}

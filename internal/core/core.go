@@ -5,6 +5,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -15,6 +17,11 @@ import (
 	"grammarviz/internal/sequitur"
 	"grammarviz/internal/timeseries"
 )
+
+// induceStride bounds the cancellation latency of grammar induction: the
+// context is polled once per this many appended tokens. Induction is
+// amortized O(1) per token, so the latency between polls is bounded.
+const induceStride = 1024
 
 // Config selects the discretization parameters and the determinism seed
 // for the heuristic orderings.
@@ -54,14 +61,26 @@ func (p *Pipeline) Stats() *discord.Stats {
 // Analyze runs discretization, grammar induction, rule mapping and density
 // construction on ts. The returned Pipeline retains ts (not a copy).
 func Analyze(ts []float64, cfg Config) (*Pipeline, error) {
-	if timeseries.HasNaN(ts) {
-		return nil, fmt.Errorf("core: series contains NaN/Inf; call timeseries.Interpolate first")
+	return AnalyzeCtx(context.Background(), ts, cfg)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation: discretization and
+// grammar induction poll ctx at bounded intervals and return a
+// ctx.Err()-wrapped error when the context is cancelled or its deadline
+// passes. With a never-cancelled context the pipeline is identical to
+// Analyze's.
+func AnalyzeCtx(ctx context.Context, ts []float64, cfg Config) (*Pipeline, error) {
+	if err := timeseries.ValidateFinite(ts); err != nil {
+		return nil, fmt.Errorf("core: %w; call timeseries.Interpolate first", err)
 	}
-	d, err := sax.DiscretizeWorkers(ts, cfg.Params, cfg.Reduction, cfg.Workers)
+	d, err := sax.DiscretizeCtx(ctx, ts, cfg.Params, cfg.Reduction, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: discretize: %w", err)
 	}
-	g := sequitur.Induce(d.Strings())
+	g, err := induceCtx(ctx, d.Strings())
+	if err != nil {
+		return nil, fmt.Errorf("core: induce: %w", err)
+	}
 	rs, err := grammar.Build(d, g)
 	if err != nil {
 		return nil, fmt.Errorf("core: map rules: %w", err)
@@ -74,6 +93,25 @@ func Analyze(ts []float64, cfg Config) (*Pipeline, error) {
 		Rules:   rs,
 		Density: density.Curve(rs),
 	}, nil
+}
+
+// induceCtx runs Sequitur induction over words, polling ctx every
+// induceStride tokens. Polling is armed only for cancellable contexts, so
+// the Background path costs one branch per stride.
+func induceCtx(ctx context.Context, words []string) (*sequitur.Grammar, error) {
+	if ctx.Done() == nil {
+		return sequitur.Induce(words), nil
+	}
+	in := sequitur.NewInducer()
+	for i, w := range words {
+		if i&(induceStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		in.Append(w)
+	}
+	return in.Grammar(), nil
 }
 
 // GlobalMinima returns the intervals where the rule density curve reaches
@@ -96,7 +134,57 @@ func (p *Pipeline) DensityAnomalies(threshold, minLen int) []density.Anomaly {
 // fanned out over Config.Workers goroutines (0 = all cores). The discords
 // are identical for every worker count.
 func (p *Pipeline) Discords(k int) (discord.Result, error) {
-	return discord.RRAParallelStats(p.Stats(), p.Rules, k, p.Config.Seed, p.Config.Workers)
+	return p.DiscordsCtx(context.Background(), k)
+}
+
+// DiscordsCtx is Discords with cooperative cancellation: the search polls
+// ctx at bounded intervals. On cancellation it returns the discords of the
+// fully completed top-k rounds with Partial set, plus a ctx.Err()-wrapped
+// error; callers that prefer a usable degraded answer over an error should
+// use DiscordsBestEffort.
+func (p *Pipeline) DiscordsCtx(ctx context.Context, k int) (discord.Result, error) {
+	return discord.RRAParallelStatsCtx(ctx, p.Stats(), p.Rules, k, p.Config.Seed, p.Config.Workers)
+}
+
+// DiscordsBestEffort is the degradation ladder for deadline-bound callers.
+// It runs the exact RRA search under ctx and, instead of failing on a
+// cancelled or expired context, steps down:
+//
+//  1. Search completed: the exact result, as from Discords.
+//  2. At least one top-k round completed before the deadline: those
+//     discords, with Partial set.
+//  3. Not even one round completed: the global minima of the already-built
+//     rule density curve (the paper's approximate detector, Section 4.1)
+//     converted to discords with Partial and Fallback set. Fallback
+//     discords carry no distance evidence: Dist and NNStart are -1.
+//
+// Errors other than the context's own (e.g. a contained worker panic, or
+// ErrNoCandidates on a degenerate grammar) are returned unchanged — the
+// ladder degrades on deadlines, not on defects.
+func (p *Pipeline) DiscordsBestEffort(ctx context.Context, k int) (discord.Result, error) {
+	res, err := p.DiscordsCtx(ctx, k)
+	if err == nil || ctx.Err() == nil || !errors.Is(err, ctx.Err()) {
+		return res, err
+	}
+	if len(res.Discords) > 0 {
+		res.Partial = true
+		return res, nil
+	}
+	res.Discords = nil
+	res.Partial = true
+	res.Fallback = true
+	for i, iv := range p.GlobalMinima() {
+		if i >= k {
+			break
+		}
+		res.Discords = append(res.Discords, discord.Discord{
+			Interval: iv,
+			Dist:     -1,
+			NNStart:  -1,
+			RuleID:   -1,
+		})
+	}
+	return res, nil
 }
 
 // NearestNonSelf returns the true nearest-non-self-match distance of every
@@ -105,6 +193,12 @@ func (p *Pipeline) Discords(k int) (discord.Result, error) {
 // result is identical to a serial computation.
 func (p *Pipeline) NearestNonSelf() []discord.Discord {
 	return discord.NearestNonSelfParallelStats(p.Stats(), p.Rules, p.Config.Workers)
+}
+
+// NearestNonSelfCtx is NearestNonSelf with cooperative cancellation and
+// panic containment (see discord.NearestNonSelfParallelStatsCtx).
+func (p *Pipeline) NearestNonSelfCtx(ctx context.Context) ([]discord.Discord, error) {
+	return discord.NearestNonSelfParallelStatsCtx(ctx, p.Stats(), p.Rules, p.Config.Workers)
 }
 
 // GrammarSize returns the total number of right-hand-side symbols across

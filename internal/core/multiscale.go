@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"grammarviz/internal/sax"
 	"grammarviz/internal/timeseries"
+	"grammarviz/internal/worker"
 )
 
 // MultiscaleDensity builds a parameter-robust variant of the rule density
@@ -27,6 +29,17 @@ func MultiscaleDensity(ts []float64, windows []int, paa, alphabet int, red sax.R
 // GOMAXPROCS). The per-window curves are combined in window order, so the
 // result is identical for every worker count.
 func MultiscaleDensityWorkers(ts []float64, windows []int, paa, alphabet int, red sax.Reduction, workers int) ([]float64, error) {
+	return MultiscaleDensityCtx(context.Background(), ts, windows, paa, alphabet, red, workers)
+}
+
+// MultiscaleDensityCtx is MultiscaleDensityWorkers with cooperative
+// cancellation and panic containment. A cancelled or expired context aborts
+// the remaining per-window pipelines and returns a ctx.Err()-wrapped error;
+// a panic on any worker goroutine is recovered into a *worker.PanicError
+// and cancels the siblings. Per-window validation or analysis failures are
+// NOT errors: such windows are skipped exactly as before, because the
+// detector's purpose is to survive unusable scales.
+func MultiscaleDensityCtx(ctx context.Context, ts []float64, windows []int, paa, alphabet int, red sax.Reduction, workers int) ([]float64, error) {
 	if len(windows) == 0 {
 		return nil, fmt.Errorf("core: no windows given")
 	}
@@ -45,33 +58,45 @@ func MultiscaleDensityWorkers(ts []float64, windows []int, paa, alphabet int, re
 	}
 
 	curves := make([][]int, len(windows)) // nil = window unusable
-	run := func(wi int) {
+	run := func(ctx context.Context, wi int) error {
 		p := sax.Params{Window: windows[wi], PAA: paa, Alphabet: alphabet}
 		if p.Validate(len(ts)) != nil {
-			return
+			return nil
 		}
-		pipe, err := Analyze(ts, Config{Params: p, Reduction: red, Workers: inner})
+		pipe, err := AnalyzeCtx(ctx, ts, Config{Params: p, Reduction: red, Workers: inner})
 		if err != nil {
-			return
+			// A context error must stop the sweep; any other failure just
+			// means this window contributes nothing.
+			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+				return err
+			}
+			return nil
 		}
 		curves[wi] = pipe.Density
+		return nil
 	}
 	if workers <= 1 {
 		for wi := range windows {
-			run(wi)
+			if err := run(ctx, wi); err != nil {
+				return nil, fmt.Errorf("core: multiscale cancelled: %w", err)
+			}
 		}
 	} else {
-		var wg sync.WaitGroup
+		g, gctx := worker.WithContext(ctx)
 		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
+			w := w
+			g.Go(func() error {
 				for wi := w; wi < len(windows); wi += workers {
-					run(wi)
+					if err := run(gctx, wi); err != nil {
+						return err
+					}
 				}
-			}(w)
+				return nil
+			})
 		}
-		wg.Wait()
+		if err := g.Wait(); err != nil {
+			return nil, fmt.Errorf("core: multiscale aborted: %w", err)
+		}
 	}
 
 	combined := make([]float64, len(ts))

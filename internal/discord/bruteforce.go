@@ -1,6 +1,7 @@
 package discord
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,15 +20,27 @@ func BruteForce(ts []float64, window, k int) (Result, error) {
 // BruteForceStats is BruteForce on prebuilt series statistics shared with
 // the caller.
 func BruteForceStats(st *Stats, window, k int) (Result, error) {
+	return BruteForceStatsCtx(context.Background(), st, window, k)
+}
+
+// BruteForceStatsCtx is BruteForceStats with cooperative cancellation: the
+// nested loops poll ctx at bounded intervals and, when cancelled, the
+// discords of the fully completed top-k rounds are returned with Partial
+// set plus a ctx.Err()-wrapped error. Brute force is the search most in
+// need of a deadline — it is O(m^2) by design.
+func BruteForceStatsCtx(ctx context.Context, st *Stats, window, k int) (Result, error) {
 	ts := st.ts
 	if window <= 0 || window > len(ts) {
 		return Result{}, fmt.Errorf("%w: window=%d n=%d", timeseries.ErrBadWindow, window, len(ts))
 	}
-	e := st.view()
+	e := st.viewCtx(ctx)
 	var res Result
 	for found := 0; found < k; found++ {
 		best := Discord{Dist: -1, RuleID: -1, NNStart: -1}
 		for p := 0; p+window <= len(ts); p++ {
+			if e.cancelled() {
+				break
+			}
 			iv := timeseries.Interval{Start: p, End: p + window - 1}
 			if overlapsAny(iv, res.Discords) {
 				continue
@@ -38,6 +51,10 @@ func BruteForceStats(st *Stats, window, k int) (Result, error) {
 				if abs(p-q) < window {
 					continue // self match
 				}
+				if e.cancelled() {
+					nnStart = -1
+					break
+				}
 				d := e.dist(p, q, window, nn)
 				if d < nn {
 					nn = d
@@ -47,6 +64,11 @@ func BruteForceStats(st *Stats, window, k int) (Result, error) {
 			if nnStart >= 0 && nn > best.Dist {
 				best = Discord{Interval: iv, Dist: nn, NNStart: nnStart, RuleID: -1}
 			}
+		}
+		if err := e.cancelCause(); err != nil {
+			res.DistCalls = e.Calls()
+			res.Partial = true
+			return res, fmt.Errorf("discord: brute force cancelled after %d of %d discords: %w", len(res.Discords), k, err)
 		}
 		if best.NNStart < 0 {
 			break // no further candidate has a non-self match

@@ -35,6 +35,18 @@ type Discord struct {
 type Result struct {
 	Discords  []Discord // ranked best-first
 	DistCalls int64     // total distance-kernel invocations
+
+	// Partial is true when a cancelled or expired context cut the search
+	// short: Discords holds the best-so-far answer from the fully
+	// completed top-k rounds (each one an exact discord of the remaining
+	// candidate set), not the full top-k.
+	Partial bool
+	// Fallback is true when Discords came from the rule-density curve's
+	// minima rather than a distance search — the last rung of the
+	// degradation ladder, used when a deadline expired before even one
+	// search round completed. Fallback discords carry Dist -1 and NNStart
+	// -1: no distance was ever computed.
+	Fallback bool
 }
 
 // overlapsAny reports whether iv overlaps any previously found discord —

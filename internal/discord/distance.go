@@ -9,6 +9,7 @@
 package discord
 
 import (
+	"context"
 	"math"
 
 	"grammarviz/internal/timeseries"
@@ -64,17 +65,76 @@ func (s *Stats) meanInvStd(start, length int) (mean, invStd float64) {
 }
 
 // engine is one worker's view of a Stats: the shared prefix sums plus a
-// private distance-call counter. Views are cheap — creating one allocates
-// nothing beyond the struct — so every goroutine of a parallel search gets
-// its own and the counters are summed when the workers join.
+// private distance-call counter and the search's cancellation state.
+// Views are cheap — creating one allocates nothing beyond the struct — so
+// every goroutine of a parallel search gets its own and the counters are
+// summed when the workers join.
 type engine struct {
 	st    *Stats
 	calls int64
+
+	ctx   context.Context // nil when the context can never be cancelled
+	err   error           // sticky ctx error once observed
+	polls int             // countdown to the next ctx poll
 }
+
+// cancelPollInterval is how many cancelled() checks pass between two
+// actual context polls. Every hot search loop calls cancelled() at least
+// once per candidate or per distance call, so cancel-to-return latency is
+// bounded by cancelPollInterval loop iterations plus one distance
+// computation.
+const cancelPollInterval = 256
 
 func newEngine(ts []float64) *engine { return &engine{st: NewStats(ts)} }
 
 func (s *Stats) view() *engine { return &engine{st: s} }
+
+// viewCtx is view with cooperative cancellation: the engine polls ctx
+// every cancelPollInterval cancelled() calls. A context that can never be
+// cancelled (Done() == nil, e.g. context.Background) disables polling
+// entirely, so the non-cancellable path pays one nil check per candidate.
+func (s *Stats) viewCtx(ctx context.Context) *engine {
+	e := &engine{st: s}
+	if ctx != nil && ctx.Done() != nil {
+		e.ctx = ctx
+		e.polls = cancelPollInterval
+		// An already-cancelled context is observed before any work: short
+		// searches would otherwise never accumulate enough cancelled()
+		// calls to reach the first scheduled poll.
+		e.err = ctx.Err()
+	}
+	return e
+}
+
+// cancelled reports whether the engine's context has been cancelled,
+// polling it at bounded intervals. Once cancelled it stays cancelled; the
+// observed error is kept in e.err. It never alters search results — a
+// search that observes cancellation abandons work, it does not change what
+// completed work computed.
+func (e *engine) cancelled() bool {
+	if e.ctx == nil {
+		return false
+	}
+	if e.err != nil {
+		return true
+	}
+	e.polls--
+	if e.polls > 0 {
+		return false
+	}
+	e.polls = cancelPollInterval
+	if err := e.ctx.Err(); err != nil {
+		e.err = err
+		return true
+	}
+	return false
+}
+
+// cancelCause returns the cancellation error the engine observed during
+// the search, or nil. A search that ran to completion without observing
+// cancellation keeps its (complete, exact) result even if the context was
+// cancelled concurrently — completing is always acceptable.
+func (e *engine) cancelCause() error { return e.err }
 
 func (e *engine) meanInvStd(start, length int) (mean, invStd float64) {
 	return e.st.meanInvStd(start, length)

@@ -1,6 +1,8 @@
 package discord
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -19,23 +21,31 @@ import (
 // The word length and alphabet of p drive only the heuristic ordering; the
 // reported discord is exact for the window length p.Window.
 func HOTSAX(ts []float64, p sax.Params, k int, seed int64) (Result, error) {
-	return hotsaxSearch(NewStats(ts), p, k, seed, Tuning{})
+	return hotsaxSearch(context.Background(), NewStats(ts), p, k, seed, Tuning{})
 }
 
 // HOTSAXStats is HOTSAX on prebuilt series statistics, so a pipeline that
 // also runs RRA or brute force on the same series builds the prefix sums
 // once.
 func HOTSAXStats(st *Stats, p sax.Params, k int, seed int64) (Result, error) {
-	return hotsaxSearch(st, p, k, seed, Tuning{})
+	return hotsaxSearch(context.Background(), st, p, k, seed, Tuning{})
 }
 
-func hotsaxSearch(st *Stats, p sax.Params, k int, seed int64, tuning Tuning) (Result, error) {
+// HOTSAXStatsCtx is HOTSAXStats with cooperative cancellation: the search
+// polls ctx at bounded intervals and, when cancelled, returns the discords
+// of the fully completed top-k rounds with Partial set plus a
+// ctx.Err()-wrapped error.
+func HOTSAXStatsCtx(ctx context.Context, st *Stats, p sax.Params, k int, seed int64) (Result, error) {
+	return hotsaxSearch(ctx, st, p, k, seed, Tuning{})
+}
+
+func hotsaxSearch(ctx context.Context, st *Stats, p sax.Params, k int, seed int64, tuning Tuning) (Result, error) {
 	ts := st.ts
 	if err := p.Validate(len(ts)); err != nil {
 		return Result{}, err
 	}
 	window := p.Window
-	d, err := sax.Discretize(ts, p, sax.ReductionNone)
+	d, err := sax.DiscretizeCtx(ctx, ts, p, sax.ReductionNone, 1)
 	if err != nil {
 		return Result{}, err
 	}
@@ -61,11 +71,14 @@ func hotsaxSearch(st *Stats, p sax.Params, k int, seed int64, tuning Tuning) (Re
 	// the runtime the ordering is meant to save.
 	inner := rng.Perm(len(words))
 
-	e := st.view()
+	e := st.viewCtx(ctx)
 	var res Result
 	for found := 0; found < k; found++ {
 		best := Discord{Dist: -1, RuleID: -1, NNStart: -1}
 		for _, cand := range outer {
+			if e.cancelled() {
+				break
+			}
 			iv := timeseries.Interval{Start: cand, End: cand + window - 1}
 			if overlapsAny(iv, res.Discords) {
 				continue
@@ -78,6 +91,11 @@ func hotsaxSearch(st *Stats, p sax.Params, k int, seed int64, tuning Tuning) (Re
 			if nnStart >= 0 && nn > best.Dist {
 				best = Discord{Interval: iv, Dist: nn, NNStart: nnStart, RuleID: -1}
 			}
+		}
+		if err := e.cancelCause(); err != nil {
+			res.DistCalls = e.Calls()
+			res.Partial = true
+			return res, fmt.Errorf("discord: hotsax cancelled after %d of %d discords: %w", len(res.Discords), k, err)
 		}
 		if best.NNStart < 0 {
 			break
@@ -99,6 +117,9 @@ func (e *engine) nearestNeighbor(cand, window int, sameWord, inner []int, bestSo
 	nn := math.Inf(1)
 	nnStart := -1
 	visit := func(q int) bool {
+		if e.cancelled() {
+			return false // abandon; the caller checks e.cancelCause()
+		}
 		if abs(cand-q) < window {
 			return true // self match, skip
 		}

@@ -1,11 +1,13 @@
 package discord
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"grammarviz/internal/grammar"
+	"grammarviz/internal/worker"
 )
 
 // NearestNonSelfParallel computes exactly what NearestNonSelf computes,
@@ -19,8 +21,25 @@ func NearestNonSelfParallel(ts []float64, rs *grammar.RuleSet, workers int) []Di
 // NearestNonSelfParallelStats is NearestNonSelfParallel on prebuilt series
 // statistics. All workers read the same Stats — a worker's private state is
 // just a distance-call counter — so per-worker memory no longer grows with
-// the series length.
+// the series length. A worker panic is re-raised on the caller's goroutine
+// (use the Ctx variant to receive it as an error instead).
 func NearestNonSelfParallelStats(st *Stats, rs *grammar.RuleSet, workers int) []Discord {
+	out, err := NearestNonSelfParallelStatsCtx(context.Background(), st, rs, workers)
+	if err != nil {
+		// Only a contained worker panic can reach here with a background
+		// context; surface it on the caller's goroutine rather than
+		// swallowing it.
+		panic(err)
+	}
+	return out
+}
+
+// NearestNonSelfParallelStatsCtx is NearestNonSelfParallelStats with
+// cooperative cancellation and panic containment: each worker polls ctx at
+// bounded intervals, a cancelled context returns a ctx.Err()-wrapped error
+// promptly, and a worker panic is recovered into a *worker.PanicError
+// instead of crashing the process.
+func NearestNonSelfParallelStatsCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, workers int) ([]Discord, error) {
 	cands := Candidates(rs)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -37,32 +56,37 @@ func NearestNonSelfParallelStats(st *Stats, rs *grammar.RuleSet, workers int) []
 	m := len(st.ts)
 	results := make([]Discord, len(cands))
 	found := make([]bool, len(cands))
-	if workers <= 1 {
-		e := st.view()
+	scan := func(ctx context.Context, w, stride int) error {
+		e := st.viewCtx(ctx)
 		sc := newNNScratch(len(cands))
-		for ci := range cands {
-			if d, ok := nearestOf(e, cands, byRule, ci, m, sc); ok {
+		for ci := w; ci < len(cands); ci += stride {
+			if e.cancelled() {
+				return e.cancelCause()
+			}
+			d, ok := nearestOf(e, cands, byRule, ci, m, sc)
+			if err := e.cancelCause(); err != nil {
+				return err // scan cut short; its result is not recorded
+			}
+			if ok {
 				results[ci] = d
 				found[ci] = true
 			}
 		}
-	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				e := st.view()
-				sc := newNNScratch(len(cands))
-				for ci := w; ci < len(cands); ci += workers {
-					if d, ok := nearestOf(e, cands, byRule, ci, m, sc); ok {
-						results[ci] = d
-						found[ci] = true
-					}
-				}
-			}(w)
+		return nil
+	}
+	if workers <= 1 {
+		if err := scan(ctx, 0, 1); err != nil {
+			return nil, fmt.Errorf("discord: nearest-non-self cancelled: %w", err)
 		}
-		wg.Wait()
+	} else {
+		g, gctx := worker.WithContext(ctx)
+		for w := 0; w < workers; w++ {
+			w := w
+			g.Go(func() error { return scan(gctx, w, workers) })
+		}
+		if err := g.Wait(); err != nil {
+			return nil, fmt.Errorf("discord: nearest-non-self aborted: %w", err)
+		}
 	}
 
 	out := make([]Discord, 0, len(cands))
@@ -71,7 +95,7 @@ func NearestNonSelfParallelStats(st *Stats, rs *grammar.RuleSet, workers int) []
 			out = append(out, results[i])
 		}
 	}
-	return out
+	return out, nil
 }
 
 // nnScratch is a worker-private visited marker reused across candidates:
@@ -93,7 +117,7 @@ func nearestOf(e *engine, cands []Candidate, byRule map[int][]int, ci, m int, sc
 	nn := math.Inf(1)
 	nnStart := -1
 	visit := func(qi int) {
-		if qi == ci {
+		if e.cancelled() || qi == ci {
 			return
 		}
 		q := cands[qi].IV.Start

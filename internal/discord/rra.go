@@ -1,6 +1,8 @@
 package discord
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -58,18 +60,27 @@ func Candidates(rs *grammar.RuleSet) []Candidate {
 // RRA runs on one goroutine; RRAParallel fans the outer loop across cores
 // with byte-identical results.
 func RRA(ts []float64, rs *grammar.RuleSet, k int, seed int64) (Result, error) {
-	return rraSearch(NewStats(ts), Candidates(rs), k, seed)
+	return rraSearch(context.Background(), NewStats(ts), Candidates(rs), k, seed)
 }
 
 // RRAStats is RRA on prebuilt series statistics, so repeated searches (or
 // searches sharing a series with HOTSAX / brute force) skip the O(n)
 // prefix-sum rebuild.
 func RRAStats(st *Stats, rs *grammar.RuleSet, k int, seed int64) (Result, error) {
-	return rraSearch(st, Candidates(rs), k, seed)
+	return rraSearch(context.Background(), st, Candidates(rs), k, seed)
 }
 
-func rraSearch(st *Stats, cands []Candidate, k int, seed int64) (Result, error) {
-	return rraSearchTuned(st, cands, k, seed, Tuning{})
+// RRAStatsCtx is RRAStats with cooperative cancellation: the search polls
+// ctx at bounded intervals in both loops. When the context is cancelled
+// mid-search, the discords of the fully completed top-k rounds are
+// returned with Partial set, together with a ctx.Err()-wrapped error.
+// With a never-cancelled context the result is byte-identical to RRAStats.
+func RRAStatsCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, k int, seed int64) (Result, error) {
+	return rraSearch(ctx, st, Candidates(rs), k, seed)
+}
+
+func rraSearch(ctx context.Context, st *Stats, cands []Candidate, k int, seed int64) (Result, error) {
+	return rraSearchTuned(ctx, st, cands, k, seed, Tuning{})
 }
 
 // rraOrders bundles the seeded heuristic orderings shared by the serial
@@ -97,14 +108,17 @@ func newRRAOrders(cands []Candidate, seed int64, tuning Tuning) rraOrders {
 	return o
 }
 
-func rraSearchTuned(st *Stats, cands []Candidate, k int, seed int64, tuning Tuning) (Result, error) {
+func rraSearchTuned(ctx context.Context, st *Stats, cands []Candidate, k int, seed int64, tuning Tuning) (Result, error) {
 	ord := newRRAOrders(cands, seed, tuning)
 	m := len(st.ts)
-	e := st.view()
+	e := st.viewCtx(ctx)
 	var res Result
 	for found := 0; found < k; found++ {
 		best := Discord{Dist: -1, RuleID: -1, NNStart: -1}
 		for _, ci := range ord.outer {
+			if e.cancelled() {
+				break
+			}
 			c := cands[ci]
 			if overlapsAny(c.IV, res.Discords) {
 				continue
@@ -113,6 +127,14 @@ func rraSearchTuned(st *Stats, cands []Candidate, k int, seed int64, tuning Tuni
 			if nnStart >= 0 && nn > best.Dist {
 				best = Discord{Interval: c.IV, Dist: nn, NNStart: nnStart, RuleID: c.RuleID, Freq: c.Freq}
 			}
+		}
+		if err := e.cancelCause(); err != nil {
+			// The round was cut short: its best-so-far is not validated
+			// against the full outer order, so only the completed rounds'
+			// discords are reported.
+			res.DistCalls = e.Calls()
+			res.Partial = true
+			return res, fmt.Errorf("discord: rra cancelled after %d of %d discords: %w", len(res.Discords), k, err)
 		}
 		if best.NNStart < 0 {
 			break
@@ -155,6 +177,9 @@ func (e *engine) rraNearest(c Candidate, ci int, cands []Candidate, sameRule, in
 	scale := float64(length)
 
 	visit := func(qi int) bool {
+		if e.cancelled() {
+			return false // abandon; the caller checks e.cancelCause()
+		}
 		if qi == ci {
 			return true
 		}

@@ -1,13 +1,20 @@
 package discord
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"grammarviz/internal/grammar"
+	"grammarviz/internal/worker"
 )
+
+// testHookRRAStripe, when non-nil, runs at the start of every parallel RRA
+// stripe. It exists so tests can inject a panic into a worker goroutine
+// and assert the panic-containment contract; never set in production.
+var testHookRRAStripe func(w int)
 
 // atomicMax is a monotonically rising float64 shared by the workers of a
 // parallel search round: the best discord distance found so far. Readers
@@ -59,6 +66,19 @@ func RRAParallel(ts []float64, rs *grammar.RuleSet, k int, seed int64, workers i
 // RRAParallelStats is RRAParallel on prebuilt series statistics shared with
 // the caller (and with any other search on the same series).
 func RRAParallelStats(st *Stats, rs *grammar.RuleSet, k int, seed int64, workers int) (Result, error) {
+	return RRAParallelStatsCtx(context.Background(), st, rs, k, seed, workers)
+}
+
+// RRAParallelStatsCtx is RRAParallelStats with cooperative cancellation
+// and panic containment. Every worker polls the search context at bounded
+// intervals; a cancelled or expired context stops the round's workers
+// promptly and returns the discords of the fully completed rounds with
+// Partial set, together with a ctx.Err()-wrapped error. A panic on any
+// worker goroutine is recovered into a *worker.PanicError (the process
+// never crashes) and cancels the sibling workers through the shared
+// context. With a never-cancelled context the discords are byte-identical
+// to the serial search for every worker count.
+func RRAParallelStatsCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, k int, seed int64, workers int) (Result, error) {
 	cands := Candidates(rs)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -68,7 +88,7 @@ func RRAParallelStats(st *Stats, rs *grammar.RuleSet, k int, seed int64, workers
 	}
 	if workers <= 1 {
 		// The serial path: deterministic DistCalls as well as results.
-		return rraSearch(st, cands, k, seed)
+		return rraSearch(ctx, st, cands, k, seed)
 	}
 
 	ord := newRRAOrders(cands, seed, Tuning{})
@@ -82,13 +102,19 @@ func RRAParallelStats(st *Stats, rs *grammar.RuleSet, k int, seed int64, workers
 	var res Result
 	for found := 0; found < k; found++ {
 		cutoff := newAtomicMax(-1)
-		var wg sync.WaitGroup
+		g, gctx := worker.WithContext(ctx)
 		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				e := st.view()
+			w := w
+			g.Go(func() error {
+				if testHookRRAStripe != nil {
+					testHookRRAStripe(w)
+				}
+				e := st.viewCtx(gctx)
+				defer func() { atomic.AddInt64(&totalCalls, e.Calls()) }()
 				for pos := w; pos < len(ord.outer); pos += workers {
+					if e.cancelled() {
+						return e.cancelCause()
+					}
 					ci := ord.outer[pos]
 					c := cands[ci]
 					if overlapsAny(c.IV, res.Discords) {
@@ -96,15 +122,22 @@ func RRAParallelStats(st *Stats, rs *grammar.RuleSet, k int, seed int64, workers
 						continue
 					}
 					nn, nnStart := e.rraNearest(c, ci, cands, ord.byRule[c.RuleID], ord.inner, cutoffRef{shared: cutoff}, m)
+					if err := e.cancelCause(); err != nil {
+						return err // scan cut short; results[pos] left unset
+					}
 					results[pos] = candResult{nn: nn, nnStart: nnStart}
 					if nnStart >= 0 {
 						cutoff.raise(nn)
 					}
 				}
-				atomic.AddInt64(&totalCalls, e.Calls())
-			}(w)
+				return nil
+			})
 		}
-		wg.Wait()
+		if err := g.Wait(); err != nil {
+			res.DistCalls = totalCalls
+			res.Partial = true
+			return res, fmt.Errorf("discord: rra parallel aborted after %d of %d discords: %w", len(res.Discords), k, err)
+		}
 
 		// Serial-order reduction: replay the outer order so ties resolve
 		// exactly as in the single-threaded loop.

@@ -1,6 +1,7 @@
 package discord
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -22,12 +23,12 @@ type Tuning struct {
 
 // RRATuned is RRA with ablation switches.
 func RRATuned(ts []float64, rs *grammar.RuleSet, k int, seed int64, tuning Tuning) (Result, error) {
-	return rraSearchTuned(NewStats(ts), Candidates(rs), k, seed, tuning)
+	return rraSearchTuned(context.Background(), NewStats(ts), Candidates(rs), k, seed, tuning)
 }
 
 // HOTSAXTuned is HOTSAX with ablation switches.
 func HOTSAXTuned(ts []float64, p sax.Params, k int, seed int64, tuning Tuning) (Result, error) {
-	return hotsaxSearch(NewStats(ts), p, k, seed, tuning)
+	return hotsaxSearch(context.Background(), NewStats(ts), p, k, seed, tuning)
 }
 
 // orderOuter produces the outer-loop visiting order: shuffled, then

@@ -1,0 +1,71 @@
+package sax
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"grammarviz/internal/timeseries"
+)
+
+// fuzzSeries decodes a fuzz input into discretization parameters and a raw
+// float64 series. The floats are the raw bit patterns of the input bytes,
+// so the fuzzer explores NaN payloads, infinities, denormals and huge
+// magnitudes without any help.
+func fuzzSeries(data []byte) (Params, []float64) {
+	if len(data) < 3 {
+		return Params{}, nil
+	}
+	p := Params{
+		Window:   2 + int(data[0])%40,
+		PAA:      1 + int(data[1])%8,
+		Alphabet: 2 + int(data[2])%9,
+	}
+	data = data[3:]
+	ts := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		ts = append(ts, math.Float64frombits(binary.LittleEndian.Uint64(data)))
+		data = data[8:]
+	}
+	return p, ts
+}
+
+// FuzzDiscretize cross-checks the production discretization (incremental
+// sliding statistics, with its guarded fallback to the naive path) against
+// the naive reference on arbitrary inputs: both must agree byte-for-byte
+// on every recorded word and offset, for the serial and the parallel
+// worker paths alike, and non-finite inputs must be rejected identically
+// by both with ErrInvalidValue.
+func FuzzDiscretize(f *testing.F) {
+	f.Add([]byte{10, 3, 3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, ts := fuzzSeries(data)
+		if len(ts) == 0 || p.Validate(len(ts)) != nil {
+			return
+		}
+		for _, red := range []Reduction{ReductionExact, ReductionNone, ReductionMINDIST} {
+			want, refErr := DiscretizeReference(ts, p, red)
+			for _, workers := range []int{1, 3} {
+				got, err := DiscretizeWorkers(ts, p, red, workers)
+				if (err == nil) != (refErr == nil) {
+					t.Fatalf("red=%v workers=%d: err=%v refErr=%v", red, workers, err, refErr)
+				}
+				if err != nil {
+					if !errors.Is(err, timeseries.ErrInvalidValue) {
+						t.Fatalf("red=%v workers=%d: rejection not ErrInvalidValue: %v", red, workers, err)
+					}
+					continue
+				}
+				if len(got.Words) != len(want.Words) {
+					t.Fatalf("red=%v workers=%d: %d words, reference %d", red, workers, len(got.Words), len(want.Words))
+				}
+				for i := range got.Words {
+					if got.Words[i] != want.Words[i] {
+						t.Fatalf("red=%v workers=%d: word %d = %+v, reference %+v", red, workers, i, got.Words[i], want.Words[i])
+					}
+				}
+			}
+		}
+	})
+}

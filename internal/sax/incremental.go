@@ -49,6 +49,12 @@ type slidingStats struct {
 	meanErr    float64 // bound on |incremental mean - naive mean|
 	segMeanErr float64 // bound on a raw PAA segment mean's error
 	sumSqErr   float64 // bound on the window's mean-square error
+
+	// forceNaive disables the incremental path entirely: the prefix sums
+	// (or their squares) overflowed to Inf, so no error bound is
+	// trustworthy. Every window then takes the naive encoder, which keeps
+	// the output byte-identical to DiscretizeReference by construction.
+	forceNaive bool
 }
 
 // kahanPrefix builds a compensated prefix-sum array of f(v) over ts and
@@ -100,6 +106,10 @@ func newSlidingStats(ts []float64, p Params) (*slidingStats, error) {
 	st.meanErr = errScale * (magP/w + 1)
 	st.sumSqErr = errScale * (magQ/w + 1)
 	st.segMeanErr = errScale * (magP*pat.Inv + 1)
+	// Values above ~1.3e154 overflow the squared prefix sums even though
+	// the series itself is finite; past that point the incremental
+	// arithmetic (and its error tracking) is meaningless.
+	st.forceNaive = math.IsInf(magP, 0) || math.IsInf(magQ, 0)
 	return st, nil
 }
 
@@ -162,6 +172,9 @@ func (we *windowEncoder) encode(start int) ([]byte, error) {
 // in which case the caller must take the naive path.
 func (we *windowEncoder) tryIncremental(start int) bool {
 	st := we.st
+	if st.forceNaive {
+		return false
+	}
 	w := st.p.Window
 	n := float64(w)
 	sum := st.sum[start+w] - st.sum[start]

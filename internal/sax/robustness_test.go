@@ -1,0 +1,93 @@
+package sax
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"grammarviz/internal/worker"
+)
+
+// TestChunkPanicContained injects a panic into one parallel discretization
+// chunk: it must surface as an error carrying the panic value and stack,
+// the process must survive, and no worker goroutine may leak.
+func TestChunkPanicContained(t *testing.T) {
+	ts := sineSeries(4000, 45)
+	p := Params{Window: 60, PAA: 4, Alphabet: 4}
+
+	baseline := runtime.NumGoroutine()
+	// The hook runs concurrently on every chunk goroutine, so the trigger
+	// must be a pure function of the chunk bounds: every non-first chunk
+	// panics (the group keeps the first panic, recovers the rest).
+	testHookChunk = func(lo, hi int) {
+		if lo > 0 {
+			panic("chunk-boom-13")
+		}
+	}
+	defer func() { testHookChunk = nil }()
+
+	_, err := DiscretizeWorkers(ts, p, ReductionExact, 4)
+	if err == nil {
+		t.Fatal("injected panic did not surface as an error")
+	}
+	var pe *worker.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v does not unwrap to *worker.PanicError", err)
+	}
+	if pe.Value != "chunk-boom-13" {
+		t.Errorf("panic value = %v, want chunk-boom-13", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error carries no stack trace")
+	}
+	if !strings.Contains(err.Error(), "chunk-boom-13") {
+		t.Errorf("error message %q does not mention the panic value", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > baseline {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Fatalf("goroutines did not settle: %d running, want <= %d", g, baseline)
+	}
+}
+
+// TestDiscretizeCtxCancelled checks that a cancelled context aborts both
+// the serial and the parallel discretization paths with a wrapped
+// ctx.Err(), and that a background context yields results identical to the
+// legacy entry point.
+func TestDiscretizeCtxCancelled(t *testing.T) {
+	ts := sineSeries(4000, 45)
+	p := Params{Window: 60, PAA: 4, Alphabet: 4}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, err := DiscretizeCtx(ctx, ts, p, ReductionExact, workers); !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+
+	want, err := Discretize(ts, p, ReductionExact)
+	if err != nil {
+		t.Fatalf("Discretize: %v", err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := DiscretizeCtx(context.Background(), ts, p, ReductionExact, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got.Words) != len(want.Words) {
+			t.Fatalf("workers=%d: %d words, want %d", workers, len(got.Words), len(want.Words))
+		}
+		for i := range got.Words {
+			if got.Words[i] != want.Words[i] {
+				t.Fatalf("workers=%d: word %d = %+v, want %+v", workers, i, got.Words[i], want.Words[i])
+			}
+		}
+	}
+}

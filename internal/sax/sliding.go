@@ -1,9 +1,12 @@
 package sax
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
+
+	"grammarviz/internal/timeseries"
+	"grammarviz/internal/worker"
 )
 
 // Reduction selects the numerosity-reduction strategy applied during
@@ -63,6 +66,18 @@ type Discretization struct {
 // spend more time stitching than encoding.
 const minWindowsPerChunk = 256
 
+// cancelStride is how many windows a chunk encodes between two
+// cancellation polls: cancel-to-return latency is bounded by the cost of
+// encoding cancelStride windows. It is a power of two so the poll test
+// compiles to a mask.
+const cancelStride = 512
+
+// testHookChunk, when non-nil, runs at the start of every parallel chunk
+// encoding. It exists so tests can inject a panic into a worker goroutine
+// and assert the panic-containment contract; it is never set in
+// production.
+var testHookChunk func(lo, hi int)
+
 // Discretize slides a window of p.Window over ts, SAX-encodes every
 // window, and applies the numerosity-reduction strategy. The word order
 // (and each word's offset) is preserved — the ordering is what makes
@@ -84,8 +99,26 @@ func Discretize(ts []float64, p Params, red Reduction) (*Discretization, error) 
 // re-applied at the seams — the result is byte-identical to the serial
 // output for every strategy and worker count.
 func DiscretizeWorkers(ts []float64, p Params, red Reduction, workers int) (*Discretization, error) {
+	return DiscretizeCtx(context.Background(), ts, p, red, workers)
+}
+
+// DiscretizeCtx is DiscretizeWorkers with cooperative cancellation: every
+// chunk polls ctx at bounded intervals (cancelStride windows), so a
+// cancelled or expired context returns a ctx.Err()-wrapped error promptly
+// instead of encoding the remaining windows. A panic on a chunk goroutine
+// is recovered into the returned error (never a process crash), and the
+// sibling chunks are cancelled. With a never-cancelled context the output
+// is byte-identical to Discretize for every worker count.
+//
+// The series must be finite: a NaN or infinite value is rejected with an
+// error wrapping timeseries.ErrInvalidValue that names the first bad
+// index.
+func DiscretizeCtx(ctx context.Context, ts []float64, p Params, red Reduction, workers int) (*Discretization, error) {
 	if err := p.Validate(len(ts)); err != nil {
 		return nil, err
+	}
+	if err := timeseries.ValidateFinite(ts); err != nil {
+		return nil, fmt.Errorf("sax: %w", err)
 	}
 	nWin := len(ts) - p.Window + 1
 	if workers <= 0 {
@@ -110,32 +143,28 @@ func DiscretizeWorkers(ts []float64, p Params, red Reduction, workers int) (*Dis
 		if err != nil {
 			return nil, err
 		}
-		chunks[0], err = discretizeChunk(we, 0, nWin, collapse)
+		chunks[0], err = discretizeChunk(ctx, we, 0, nWin, collapse)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("sax: discretize: %w", err)
 		}
 	} else {
-		var wg sync.WaitGroup
-		errs := make([]error, workers)
+		g, gctx := worker.WithContext(ctx)
 		for w := 0; w < workers; w++ {
-			lo := w * nWin / workers
-			hi := (w + 1) * nWin / workers
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
+			w, lo, hi := w, w*nWin/workers, (w+1)*nWin/workers
+			g.Go(func() error {
+				if testHookChunk != nil {
+					testHookChunk(lo, hi)
+				}
 				we, err := st.newWindowEncoder()
 				if err != nil {
-					errs[w] = err
-					return
+					return err
 				}
-				chunks[w], errs[w] = discretizeChunk(we, lo, hi, collapse)
-			}(w, lo, hi)
+				chunks[w], err = discretizeChunk(gctx, we, lo, hi, collapse)
+				return err
+			})
 		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
+		if err := g.Wait(); err != nil {
+			return nil, fmt.Errorf("sax: discretize: %w", err)
 		}
 	}
 
@@ -160,10 +189,18 @@ type chunkResult struct {
 // exact numerosity reduction, and the run representatives the MINDIST
 // filter needs (a MINDIST decision is constant across a run, so one
 // decision per run at the run's first offset reproduces the serial scan).
-func discretizeChunk(we *windowEncoder, lo, hi int, collapse bool) (chunkResult, error) {
+// The context is polled every cancelStride windows; polling never alters
+// the encoded output.
+func discretizeChunk(ctx context.Context, we *windowEncoder, lo, hi int, collapse bool) (chunkResult, error) {
+	poll := ctx.Done() != nil
 	words := make([]Word, 0, hi-lo) // sized from the chunk's raw window count
 	prev := ""
 	for s := lo; s < hi; s++ {
+		if poll && (s-lo)&(cancelStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return chunkResult{}, err
+			}
+		}
 		buf, err := we.encode(s)
 		if err != nil {
 			return chunkResult{}, err
@@ -235,6 +272,9 @@ func stitch(chunks []chunkResult, red Reduction) []Word {
 func DiscretizeReference(ts []float64, p Params, red Reduction) (*Discretization, error) {
 	if err := p.Validate(len(ts)); err != nil {
 		return nil, err
+	}
+	if err := timeseries.ValidateFinite(ts); err != nil {
+		return nil, fmt.Errorf("sax: %w", err)
 	}
 	enc, err := NewEncoder(p)
 	if err != nil {

@@ -1,0 +1,45 @@
+package sequitur
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzInduce feeds an arbitrary token sequence to the incremental inducer
+// and checks that the Sequitur invariants hold at the end: the root
+// expands back to the input, every rule is used at least twice, and no
+// digram repeats. Tokens are drawn from a small alphabet (bytes mod 8) so
+// the fuzzer hits digram collisions, rule reuse and rule inlining rather
+// than wandering in unique-token space; a snapshot mid-sequence checks
+// that taking a Grammar does not disturb further induction.
+func FuzzInduce(f *testing.F) {
+	f.Add([]byte("abcabcabc"))
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0, 1, 0, 1, 2, 0, 1, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			data = data[:1<<12]
+		}
+		tokens := make([]string, len(data))
+		for i, b := range data {
+			tokens[i] = fmt.Sprintf("t%d", b%8)
+		}
+		in := NewInducer()
+		for i, tok := range tokens {
+			in.Append(tok)
+			if i == len(tokens)/2 {
+				// A mid-stream snapshot must also verify, and must not
+				// perturb the inducer's state.
+				if err := in.Grammar().Verify(tokens[:i+1]); err != nil {
+					t.Fatalf("mid-stream: %v", err)
+				}
+			}
+		}
+		if in.Len() != len(tokens) {
+			t.Fatalf("Len() = %d, appended %d", in.Len(), len(tokens))
+		}
+		if err := in.Grammar().Verify(tokens); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -40,6 +40,9 @@ func Induce(tokens []string) *Grammar {
 // Len returns the number of tokens appended so far.
 func (in *Inducer) Len() int { return in.nTokens }
 
+// NumRules returns the number of live rules, excluding the root.
+func (in *Inducer) NumRules() int { return len(in.rules) - 1 }
+
 // Append feeds the next token of the input sequence to the grammar.
 func (in *Inducer) Append(token string) {
 	id, ok := in.vocab[token]

@@ -56,7 +56,7 @@ func TestEventsMatchWords(t *testing.T) {
 	}
 	var events []Event
 	for _, v := range ts {
-		if ev, ok := d.Append(v); ok {
+		if ev, ok, _ := d.Append(v); ok {
 			events = append(events, ev)
 		}
 	}

@@ -9,6 +9,7 @@ package stream
 
 import (
 	"fmt"
+	"math"
 
 	"grammarviz/internal/density"
 	"grammarviz/internal/grammar"
@@ -73,27 +74,33 @@ func (d *Detector) WordCount() int { return len(d.words) }
 
 // Append consumes the next point. When the point completes a window whose
 // word survives numerosity reduction, the word is fed to the incremental
-// grammar and an Event is returned with ok == true.
-func (d *Detector) Append(v float64) (Event, bool) {
+// grammar and an Event is returned with ok == true. A NaN or infinite
+// point is rejected with a timeseries.ErrInvalidValue-wrapped error naming
+// the stream position, and the detector's state is unchanged — the caller
+// may substitute a cleaned value and continue.
+func (d *Detector) Append(v float64) (Event, bool, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return Event{}, false, fmt.Errorf("stream: value %v at index %d: %w", v, len(d.series), timeseries.ErrInvalidValue)
+	}
 	d.series = append(d.series, v)
 	if len(d.series) < d.params.Window {
-		return Event{}, false
+		return Event{}, false, nil
 	}
 	start := len(d.series) - d.params.Window
 	copy(d.buf, d.series[start:])
 	word, err := d.encoder.Encode(d.buf)
 	if err != nil {
 		// Unreachable: window/PAA were validated in NewDetector.
-		return Event{}, false
+		return Event{}, false, nil
 	}
 	switch d.red {
 	case sax.ReductionExact:
 		if word == d.lastWord {
-			return Event{}, false
+			return Event{}, false, nil
 		}
 	case sax.ReductionMINDIST:
 		if d.lastWord != "" && mindistZero(word, d.lastWord) {
-			return Event{}, false
+			return Event{}, false, nil
 		}
 	}
 	d.lastWord = word
@@ -104,7 +111,37 @@ func (d *Detector) Append(v float64) (Event, bool) {
 		Offset:  start,
 		Word:    word,
 		Novelty: 1 / float64(d.seen[word]),
-	}, true
+	}, true, nil
+}
+
+// Reset returns the detector to its initial empty state, releasing the
+// retained series, word list and grammar so their memory can be reclaimed.
+// The discretization parameters are kept.
+func (d *Detector) Reset() {
+	d.series = nil
+	d.lastWord = ""
+	d.words = nil
+	d.seen = make(map[string]int)
+	d.inducer = sequitur.NewInducer()
+}
+
+// MemStats summarizes what the detector currently retains in memory.
+type MemStats struct {
+	Points int // series points retained (the dominant O(points) term)
+	Words  int // SAX words recorded after numerosity reduction
+	Rules  int // live grammar rules, excluding the root
+}
+
+// MemStats reports the detector's current retention. Memory grows O(points)
+// with the stream: the full series is kept for window re-encoding and for
+// snapshots, and the word list and grammar grow sublinearly after
+// numerosity reduction. Call Reset to release everything.
+func (d *Detector) MemStats() MemStats {
+	return MemStats{
+		Points: len(d.series),
+		Words:  len(d.words),
+		Rules:  d.inducer.NumRules(),
+	}
 }
 
 // mindistZero mirrors sax's MINDIST-based reduction: true when every

@@ -85,7 +85,7 @@ func TestStreamNovelty(t *testing.T) {
 	ts := sine(400, 20)
 	var events []Event
 	for _, v := range ts {
-		if ev, ok := d.Append(v); ok {
+		if ev, ok, _ := d.Append(v); ok {
 			events = append(events, ev)
 		}
 	}
@@ -116,7 +116,7 @@ func TestStreamEarlyDetection(t *testing.T) {
 	d, _ := NewDetector(p, sax.ReductionExact)
 	novelAt := -1
 	for i, v := range ts {
-		ev, ok := d.Append(v)
+		ev, ok, _ := d.Append(v)
 		if !ok {
 			continue
 		}

@@ -22,6 +22,10 @@ var (
 	// ErrBadRange is returned when a subsequence range falls outside the
 	// series bounds.
 	ErrBadRange = errors.New("timeseries: range out of bounds")
+	// ErrInvalidValue is returned when a series contains a NaN or infinite
+	// value where only finite values are accepted. Errors wrapping it name
+	// the first offending index; use Interpolate to clean the series.
+	ErrInvalidValue = errors.New("timeseries: non-finite value")
 )
 
 // Stats holds the summary statistics of a series computed in one pass.
@@ -113,18 +117,37 @@ func Clone(ts []float64) []float64 {
 
 // HasNaN reports whether ts contains any NaN or infinite value.
 func HasNaN(ts []float64) bool {
-	for _, v := range ts {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return true
-		}
-	}
-	return false
+	return FirstInvalid(ts) >= 0
 }
 
-// Interpolate replaces NaN values with linear interpolation between the
-// nearest finite neighbours; leading and trailing NaNs are filled with the
-// first/last finite value. It returns ErrEmpty if no finite value exists.
-// The input is modified in place and also returned for convenience.
+// FirstInvalid returns the index of the first NaN or infinite value in ts,
+// or -1 when every value is finite.
+func FirstInvalid(ts []float64) int {
+	for i, v := range ts {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ValidateFinite returns nil when every value of ts is finite, and an
+// error wrapping ErrInvalidValue that names the first offending index and
+// value otherwise. It is the single validation point the analysis entry
+// points share.
+func ValidateFinite(ts []float64) error {
+	if i := FirstInvalid(ts); i >= 0 {
+		return fmt.Errorf("%w: value %v at index %d", ErrInvalidValue, ts[i], i)
+	}
+	return nil
+}
+
+// Interpolate replaces NaN and infinite values with linear interpolation
+// between the nearest finite neighbours. Leading non-finite values are
+// filled with the first finite value, trailing ones with the last finite
+// value, and a series with no finite value at all returns ErrEmpty (the
+// returned slice is nil in that case). The input is modified in place and
+// also returned for convenience.
 func Interpolate(ts []float64) ([]float64, error) {
 	first := -1
 	for i, v := range ts {

@@ -3,6 +3,7 @@ package timeseries
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -139,5 +140,61 @@ func TestInterpolate(t *testing.T) {
 	}
 	if _, err := Interpolate([]float64{nan, nan}); err == nil {
 		t.Error("all-NaN series should error")
+	}
+}
+
+func TestInterpolateEdges(t *testing.T) {
+	nan := math.NaN()
+	t.Run("all NaN", func(t *testing.T) {
+		out, err := Interpolate([]float64{nan, nan, nan})
+		if !errors.Is(err, ErrEmpty) {
+			t.Fatalf("err = %v, want ErrEmpty", err)
+		}
+		if out != nil {
+			t.Fatalf("out = %v, want nil on error", out)
+		}
+	})
+	t.Run("all Inf", func(t *testing.T) {
+		if _, err := Interpolate([]float64{math.Inf(1), math.Inf(-1)}); !errors.Is(err, ErrEmpty) {
+			t.Fatalf("err = %v, want ErrEmpty", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Interpolate(nil); !errors.Is(err, ErrEmpty) {
+			t.Fatalf("err = %v, want ErrEmpty", err)
+		}
+	})
+	t.Run("single finite island", func(t *testing.T) {
+		got, err := Interpolate([]float64{nan, nan, 7, nan, nan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != 7 {
+				t.Fatalf("got[%d] = %v, want 7 (fill from lone finite point)", i, v)
+			}
+		}
+	})
+}
+
+func TestValidateFinite(t *testing.T) {
+	if err := ValidateFinite([]float64{1, 2, 3}); err != nil {
+		t.Fatalf("finite series rejected: %v", err)
+	}
+	if err := ValidateFinite(nil); err != nil {
+		t.Fatalf("empty series rejected: %v", err)
+	}
+	err := ValidateFinite([]float64{1, 2, math.NaN(), math.Inf(1)})
+	if !errors.Is(err, ErrInvalidValue) {
+		t.Fatalf("err = %v, want ErrInvalidValue", err)
+	}
+	if !strings.Contains(err.Error(), "index 2") {
+		t.Fatalf("error %q does not name the first bad index 2", err)
+	}
+	if i := FirstInvalid([]float64{math.Inf(-1)}); i != 0 {
+		t.Fatalf("FirstInvalid = %d, want 0", i)
+	}
+	if i := FirstInvalid([]float64{0, 1}); i != -1 {
+		t.Fatalf("FirstInvalid = %d, want -1", i)
 	}
 }

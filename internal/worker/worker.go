@@ -1,0 +1,94 @@
+// Package worker provides the panic-safe goroutine groups behind every
+// parallel stage of the analysis pipeline (chunked SAX discretization,
+// striped RRA rounds, per-window multiscale runs, nearest-non-self scans).
+//
+// The contract it enforces is the library's robustness invariant: a panic
+// on a worker goroutine never crashes the process. It is recovered,
+// converted into a *PanicError carrying the panic value and stack, and
+// returned from Wait like any other error; the group's derived context is
+// cancelled on the first failure so sibling workers wind down promptly at
+// their next cancellation poll instead of running to completion.
+package worker
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// PanicError is a worker panic converted into an error. Value is the
+// recovered panic value; Stack is the panicking goroutine's stack at
+// recovery time. Callers can detect contained panics with errors.As.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("worker panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Group runs functions on goroutines with panic recovery and first-error
+// cancellation, in the spirit of x/sync errgroup (stdlib-only, so we carry
+// our own). Create one with WithContext; the zero value is not usable.
+type Group struct {
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// WithContext returns a Group and a context derived from ctx that is
+// cancelled when any worker returns a non-nil error, panics, or when Wait
+// returns. Workers should poll the derived context so a failing sibling
+// (or the caller's deadline) stops them promptly.
+func WithContext(ctx context.Context) (*Group, context.Context) {
+	cctx, cancel := context.WithCancel(ctx)
+	return &Group{cancel: cancel}, cctx
+}
+
+// Go runs fn on a new goroutine. A panic in fn is recovered and recorded
+// as a *PanicError instead of crashing the process; a non-nil return is
+// recorded as the group error. Either failure cancels the group context.
+func (g *Group) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				g.report(&PanicError{Value: r, Stack: debug.Stack()})
+			}
+		}()
+		if err := fn(); err != nil {
+			g.report(err)
+		}
+	}()
+}
+
+// report records err and cancels the group. The first error wins, except
+// that a PanicError (a genuine bug) displaces a plain error (usually the
+// expected context.Canceled ripple from the cancellation itself).
+func (g *Group) report(err error) {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	} else if _, isPanic := err.(*PanicError); isPanic {
+		if _, alreadyPanic := g.err.(*PanicError); !alreadyPanic {
+			g.err = err
+		}
+	}
+	g.mu.Unlock()
+	g.cancel()
+}
+
+// Wait blocks until every worker started with Go has returned, cancels the
+// group context, and returns the recorded error, if any.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}

@@ -1,0 +1,96 @@
+package worker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupAllSucceed(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	var n atomic.Int64
+	for i := 0; i < 8; i++ {
+		g.Go(func() error { n.Add(1); return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if n.Load() != 8 {
+		t.Fatalf("ran %d workers, want 8", n.Load())
+	}
+}
+
+func TestGroupPanicBecomesError(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	g.Go(func() error { panic("kaboom-42") })
+	err := g.Wait()
+	if err == nil {
+		t.Fatal("Wait returned nil after a worker panic")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PanicError: %v", err, err)
+	}
+	if pe.Value != "kaboom-42" {
+		t.Errorf("panic value = %v, want kaboom-42", pe.Value)
+	}
+	if !strings.Contains(err.Error(), "kaboom-42") {
+		t.Errorf("error text does not name the panic value: %q", err.Error())
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error carries no stack")
+	}
+}
+
+func TestGroupErrorCancelsSiblings(t *testing.T) {
+	g, ctx := WithContext(context.Background())
+	boom := fmt.Errorf("deliberate failure")
+	g.Go(func() error { return boom })
+	g.Go(func() error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("sibling was not cancelled")
+		}
+	})
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+}
+
+func TestGroupPanicDisplacesCancelError(t *testing.T) {
+	g, ctx := WithContext(context.Background())
+	release := make(chan struct{})
+	// This worker reports context.Canceled only after the sibling panic has
+	// cancelled the group.
+	g.Go(func() error {
+		<-ctx.Done()
+		close(release)
+		return ctx.Err()
+	})
+	g.Go(func() error { panic("the real bug") })
+	<-release
+	err := g.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic did not displace the cancel ripple: %v", err)
+	}
+}
+
+func TestGroupParentCancellation(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	g, ctx := WithContext(parent)
+	g.Go(func() error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	cancel()
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+}

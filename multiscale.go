@@ -1,6 +1,7 @@
 package grammarviz
 
 import (
+	"context"
 	"fmt"
 
 	"grammarviz/internal/core"
@@ -22,7 +23,17 @@ func MultiscaleDensity(ts []float64, windows []int, paa, alphabet int) ([]float6
 // 1 forces serial execution). The combined curve is identical for every
 // worker count.
 func MultiscaleDensityWorkers(ts []float64, windows []int, paa, alphabet, workers int) ([]float64, error) {
-	curve, err := core.MultiscaleDensityWorkers(ts, windows, paa, alphabet, sax.ReductionExact, workers)
+	return MultiscaleDensityCtx(context.Background(), ts, windows, paa, alphabet, workers)
+}
+
+// MultiscaleDensityCtx is MultiscaleDensityWorkers with cooperative
+// cancellation and panic containment: a cancelled or expired context aborts
+// the sweep with a ctx.Err()-wrapped error, and a panic in any per-window
+// pipeline is recovered into an error instead of crashing the process.
+// Unusable windows (too short, too long) are still skipped silently — only
+// the context and panics abort the sweep.
+func MultiscaleDensityCtx(ctx context.Context, ts []float64, windows []int, paa, alphabet, workers int) ([]float64, error) {
+	curve, err := core.MultiscaleDensityCtx(ctx, ts, windows, paa, alphabet, sax.ReductionExact, workers)
 	if err != nil {
 		return nil, fmt.Errorf("grammarviz: %w", err)
 	}

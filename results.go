@@ -74,6 +74,22 @@ func (d Discord) String() string {
 	return fmt.Sprintf("discord [%d,%d] len=%d dist=%.4f", d.Start, d.End, d.Len(), d.Distance)
 }
 
+// DiscordResult is the full outcome of a context-aware discord query.
+type DiscordResult struct {
+	// Discords holds the discovered discords, best first.
+	Discords []Discord
+	// DistCalls counts the distance-function invocations the search made.
+	DistCalls int64
+	// Partial is set when the search was cut short by the context and
+	// Discords holds only the fully completed top-k rounds (best-first
+	// order is still exact for those).
+	Partial bool
+	// Fallback is set when not even one search round completed and the
+	// discords were substituted from the rule density curve's global
+	// minima. Fallback discords have Distance and NNStart of -1.
+	Fallback bool
+}
+
 // Rule summarizes one induced grammar rule mapped onto the series.
 type Rule struct {
 	ID          int        // rule id (R<ID> in Grammar() output)

@@ -1,0 +1,231 @@
+package grammarviz
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testOpts() Options { return Options{Window: 45, PAA: 4, Alphabet: 4, Seed: 1} }
+
+// TestNewRejectsNonFinite checks the single-place input validation: New
+// rejects NaN and Inf with an ErrInvalidValue-wrapped error that names the
+// first offending index.
+func TestNewRejectsNonFinite(t *testing.T) {
+	ts := testSeries(900, 45, 500, 60, 1)
+	ts[123] = math.NaN()
+	ts[456] = math.Inf(1)
+	_, err := New(ts, testOpts())
+	if !errors.Is(err, ErrInvalidValue) {
+		t.Fatalf("err = %v, want ErrInvalidValue", err)
+	}
+	if !strings.Contains(err.Error(), "index 123") {
+		t.Errorf("error %q does not name the first bad index 123", err)
+	}
+}
+
+// TestStreamRejectsNonFinite checks the streaming side of the validation:
+// Append rejects a bad point with ErrInvalidValue, names the stream
+// position, and leaves the stream usable.
+func TestStreamRejectsNonFinite(t *testing.T) {
+	s, err := NewStream(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := s.Append(float64(i)); err != nil {
+			t.Fatalf("finite append %d: %v", i, err)
+		}
+	}
+	_, _, err = s.Append(math.NaN())
+	if !errors.Is(err, ErrInvalidValue) {
+		t.Fatalf("err = %v, want ErrInvalidValue", err)
+	}
+	if !strings.Contains(err.Error(), "index 10") {
+		t.Errorf("error %q does not name stream position 10", err)
+	}
+	if s.Len() != 10 {
+		t.Errorf("rejected point was retained: Len = %d, want 10", s.Len())
+	}
+	if _, _, err := s.Append(10); err != nil {
+		t.Fatalf("stream unusable after rejection: %v", err)
+	}
+}
+
+// TestStreamResetAndMemStats exercises the documented memory contract:
+// MemStats reports O(points) retention and Reset releases it while keeping
+// the stream usable.
+func TestStreamResetAndMemStats(t *testing.T) {
+	s, err := NewStream(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := testSeries(900, 45, 500, 60, 1)
+	words := 0
+	for _, v := range ts {
+		if _, ok, err := s.Append(v); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			words++
+		}
+	}
+	m := s.MemStats()
+	if m.Points != len(ts) {
+		t.Errorf("Points = %d, want %d", m.Points, len(ts))
+	}
+	if m.Words != words {
+		t.Errorf("Words = %d, want %d (events observed)", m.Words, words)
+	}
+	if m.Rules <= 0 {
+		t.Errorf("Rules = %d, want > 0 on a periodic series", m.Rules)
+	}
+
+	s.Reset()
+	m = s.MemStats()
+	if m.Points != 0 || m.Words != 0 || m.Rules != 0 {
+		t.Errorf("after Reset MemStats = %+v, want all zero", m)
+	}
+	if s.Len() != 0 {
+		t.Errorf("after Reset Len = %d, want 0", s.Len())
+	}
+	for _, v := range ts {
+		if _, _, err := s.Append(v); err != nil {
+			t.Fatalf("append after Reset: %v", err)
+		}
+	}
+	if got := s.MemStats().Points; got != len(ts) {
+		t.Errorf("second epoch Points = %d, want %d", got, len(ts))
+	}
+}
+
+// TestNewCtxCancelled checks that analysis itself (discretization +
+// induction) honors a cancelled context.
+func TestNewCtxCancelled(t *testing.T) {
+	ts := testSeries(900, 45, 500, 60, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewCtx(ctx, ts, testOpts()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDiscordsCtxEquivalence checks the PR's core guarantee at the public
+// surface: with a background context the ctx-aware query returns exactly
+// what the legacy query returns, at several worker counts.
+func TestDiscordsCtxEquivalence(t *testing.T) {
+	ts := testSeries(900, 45, 500, 60, 1)
+	var want []Discord
+	for i, workers := range []int{0, 1, 2, 5} {
+		opts := testOpts()
+		opts.Workers = workers
+		det, err := New(ts, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := det.Discords(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := det.DiscordsCtx(context.Background(), 2)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Partial || res.Fallback {
+			t.Fatalf("workers=%d: uncancelled result flagged %+v", workers, res)
+		}
+		if i == 0 {
+			want = legacy
+		}
+		for _, got := range [][]Discord{legacy, res.Discords} {
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d: %d discords, want %d", workers, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("workers=%d: discord %d = %+v, want %+v", workers, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestDiscordsBestEffortLadder drives the degradation ladder end to end:
+// an uncancelled query is exact; an immediately-cancelled query falls back
+// to density minima (Fallback, no distance evidence) instead of erroring.
+func TestDiscordsBestEffortLadder(t *testing.T) {
+	ts := testSeries(900, 45, 500, 60, 1)
+	det, err := New(ts, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exact, err := det.DiscordsBestEffort(context.Background(), 2)
+	if err != nil {
+		t.Fatalf("uncancelled best-effort: %v", err)
+	}
+	if exact.Partial || exact.Fallback {
+		t.Fatalf("uncancelled best-effort flagged %+v", exact)
+	}
+	if len(exact.Discords) == 0 {
+		t.Fatal("uncancelled best-effort found nothing")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := det.DiscordsBestEffort(ctx, 2)
+	if err != nil {
+		t.Fatalf("best-effort must not fail on cancellation: %v", err)
+	}
+	if !res.Partial || !res.Fallback {
+		t.Fatalf("pre-cancelled best-effort not marked Partial+Fallback: %+v", res)
+	}
+	if len(res.Discords) == 0 {
+		t.Fatal("fallback produced no density-minima discords")
+	}
+	for _, d := range res.Discords {
+		if d.Distance != -1 || d.NNStart != -1 {
+			t.Errorf("fallback discord carries distance evidence: %+v", d)
+		}
+	}
+
+	// The DeadlineExceeded flavor must degrade identically.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	res, err = det.DiscordsBestEffort(dctx, 2)
+	if err != nil {
+		t.Fatalf("best-effort must not fail on an expired deadline: %v", err)
+	}
+	if !res.Partial {
+		t.Fatalf("expired-deadline best-effort not marked Partial: %+v", res)
+	}
+}
+
+// TestMultiscaleDensityCtx checks cancellation and background-equivalence
+// of the multiscale sweep.
+func TestMultiscaleDensityCtx(t *testing.T) {
+	ts := testSeries(900, 45, 500, 60, 1)
+	windows := []int{30, 45, 90}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MultiscaleDensityCtx(ctx, ts, windows, 4, 4, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	want, err := MultiscaleDensity(ts, windows, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MultiscaleDensityCtx(context.Background(), ts, windows, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("curve[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

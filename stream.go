@@ -48,17 +48,47 @@ func NewStream(opts Options) (*Stream, error) {
 	return &Stream{inner: inner}, nil
 }
 
-// Append consumes one point; ok is true when a new word was recorded.
-func (s *Stream) Append(v float64) (ev StreamEvent, ok bool) {
-	e, ok := s.inner.Append(v)
-	if !ok {
-		return StreamEvent{}, false
+// Append consumes one point; ok is true when a new word was recorded. A
+// NaN or infinite point is rejected with an ErrInvalidValue-wrapped error
+// naming the stream position; the stream's state is unchanged, so the
+// caller may substitute a cleaned value and continue.
+func (s *Stream) Append(v float64) (ev StreamEvent, ok bool, err error) {
+	e, ok, err := s.inner.Append(v)
+	if err != nil {
+		return StreamEvent{}, false, fmt.Errorf("grammarviz: %w", err)
 	}
-	return StreamEvent{Offset: e.Offset, Word: e.Word, Novelty: e.Novelty}, true
+	if !ok {
+		return StreamEvent{}, false, nil
+	}
+	return StreamEvent{Offset: e.Offset, Word: e.Word, Novelty: e.Novelty}, true, nil
 }
 
 // Len returns the number of points consumed.
 func (s *Stream) Len() int { return s.inner.Len() }
+
+// Reset returns the stream to its initial empty state, releasing the
+// retained series, words and grammar for garbage collection. The
+// discretization options are kept, so the stream can be reused for a new
+// epoch — the standard way to bound memory on an unbounded stream.
+func (s *Stream) Reset() { s.inner.Reset() }
+
+// StreamMemStats summarizes what a Stream currently retains in memory.
+type StreamMemStats struct {
+	Points int // series points retained — memory grows O(Points)
+	Words  int // SAX words recorded after numerosity reduction
+	Rules  int // live grammar rules (excluding the root)
+}
+
+// MemStats reports the stream's current retention. A Stream keeps every
+// consumed point — the series is needed for window re-encoding and for
+// Anomalies/RuleDensity snapshots — so memory grows linearly with the
+// stream length; the word list and grammar grow sublinearly thanks to
+// numerosity reduction. Long-running consumers should watch Points and
+// call Reset at epoch boundaries.
+func (s *Stream) MemStats() StreamMemStats {
+	m := s.inner.MemStats()
+	return StreamMemStats{Points: m.Points, Words: m.Words, Rules: m.Rules}
+}
 
 // Anomalies snapshots the stream and returns the current global-minima
 // anomaly intervals of the rule density curve.
