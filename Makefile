@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench fuzz-smoke staticcheck
+.PHONY: check build vet test race bench-smoke bench fuzz-smoke staticcheck serve
 
 ## check: everything CI runs — vet, build, race-enabled tests, bench smoke,
 ## fuzz smoke, static analysis
@@ -36,6 +36,13 @@ bench:
 fuzz-smoke:
 	$(GO) test ./internal/sax -run '^$$' -fuzz '^FuzzDiscretize$$' -fuzztime 3s
 	$(GO) test ./internal/sequitur -run '^$$' -fuzz '^FuzzInduce$$' -fuzztime 3s
+
+## serve: run the gvad anomaly-detection daemon locally (POST /v1/analyze,
+## GET /healthz, GET /metrics); override the listen address with
+## make serve ADDR=:9090
+ADDR ?= :8080
+serve:
+	$(GO) run ./cmd/gvad -addr $(ADDR)
 
 ## staticcheck: static analysis beyond go vet when staticcheck is
 ## installed; falls back to a no-op with a note so check works on a bare

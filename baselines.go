@@ -1,6 +1,7 @@
 package grammarviz
 
 import (
+	"context"
 	"fmt"
 
 	"grammarviz/internal/discord"
@@ -27,6 +28,19 @@ func BruteForceDiscords(ts []float64, window, k int) ([]Discord, int64, error) {
 // the number of distance-function calls made.
 func HOTSAXDiscords(ts []float64, window, paa, alphabet, k int, seed int64) ([]Discord, int64, error) {
 	res, err := discord.HOTSAX(ts, sax.Params{Window: window, PAA: paa, Alphabet: alphabet}, k, seed)
+	if err != nil {
+		return nil, res.DistCalls, fmt.Errorf("grammarviz: %w", err)
+	}
+	return convertDiscords(res.Discords), res.DistCalls, nil
+}
+
+// HOTSAXDiscordsCtx is HOTSAXDiscords with cooperative cancellation: the
+// search polls ctx at bounded intervals and returns a ctx.Err()-wrapped
+// error when the deadline passes. With a never-cancelled context the
+// result is identical to HOTSAXDiscords'. It serves deadline-bound
+// callers such as the gvad daemon's hotsax mode.
+func HOTSAXDiscordsCtx(ctx context.Context, ts []float64, window, paa, alphabet, k int, seed int64) ([]Discord, int64, error) {
+	res, err := discord.HOTSAXStatsCtx(ctx, discord.NewStats(ts), sax.Params{Window: window, PAA: paa, Alphabet: alphabet}, k, seed)
 	if err != nil {
 		return nil, res.DistCalls, fmt.Errorf("grammarviz: %w", err)
 	}

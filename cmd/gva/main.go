@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"grammarviz"
 	"grammarviz/internal/timeseries"
@@ -58,6 +59,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := validateFlags(*window, *paa, *alphabet, *mode, *k, *threshold, *minLen, *detrend, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "gva:", err)
+		os.Exit(2)
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -68,6 +73,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gva:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects nonsensical flag combinations up front with a
+// message naming the flag, instead of letting them surface as a cryptic
+// error (or silently wrong output) deep inside the pipeline.
+func validateFlags(window, paa, alphabet int, mode string, k, threshold, minLen, detrend int, timeout time.Duration) error {
+	switch mode {
+	case "rra", "density", "surprise", "multiscale", "motifs", "hotsax", "brute":
+	default:
+		return fmt.Errorf("unknown -mode %q (want rra, density, surprise, multiscale, motifs, hotsax, or brute)", mode)
+	}
+	if window < 0 {
+		return fmt.Errorf("-window must be >= 0 (0 auto-selects from the data), got %d", window)
+	}
+	if window == 0 && (mode == "hotsax" || mode == "brute") {
+		return fmt.Errorf("-mode %s needs an explicit -window (auto-selection covers the grammar modes only)", mode)
+	}
+	if paa < 1 {
+		return fmt.Errorf("-paa must be >= 1, got %d", paa)
+	}
+	if window > 0 && paa > window {
+		return fmt.Errorf("-paa (%d) must not exceed -window (%d)", paa, window)
+	}
+	if alphabet < 2 || alphabet > 26 {
+		return fmt.Errorf("-alphabet must be in 2..26, got %d", alphabet)
+	}
+	if k < 1 {
+		return fmt.Errorf("-k must be >= 1, got %d", k)
+	}
+	if threshold < -1 {
+		return fmt.Errorf("-threshold must be >= -1 (-1 selects global minima), got %d", threshold)
+	}
+	if minLen < 0 {
+		return fmt.Errorf("-minlen must be >= 0, got %d", minLen)
+	}
+	if detrend < 0 {
+		return fmt.Errorf("-detrend must be >= 0 (0 disables detrending), got %d", detrend)
+	}
+	if timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0 (0 disables the budget), got %v", timeout)
+	}
+	return nil
 }
 
 func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode string, k, threshold, minLen int, seed int64, plot bool, svgPath string, stats bool, detrend int, jsonOut, bounded bool) error {
@@ -107,13 +154,13 @@ func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode s
 		if err != nil {
 			return err
 		}
-		return emitDiscords("HOTSAX", discords, calls, jsonOut)
+		return emitDiscords("HOTSAX", discords, calls, false, false, jsonOut)
 	case "brute":
 		discords, calls, err := grammarviz.BruteForceDiscords(ts, window, k)
 		if err != nil {
 			return err
 		}
-		return emitDiscords("brute force", discords, calls, jsonOut)
+		return emitDiscords("brute force", discords, calls, false, false, jsonOut)
 	}
 
 	det, err := grammarviz.NewCtx(ctx, ts, opts)
@@ -132,6 +179,7 @@ func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode s
 	case "rra":
 		var discords []grammarviz.Discord
 		var calls int64
+		var partial, fallback bool
 		algo := "RRA"
 		if bounded {
 			res, err := det.DiscordsBestEffort(ctx, k)
@@ -139,6 +187,7 @@ func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode s
 				return err
 			}
 			discords, calls = res.Discords, res.DistCalls
+			partial, fallback = res.Partial, res.Fallback
 			switch {
 			case res.Fallback:
 				algo = "RRA (deadline hit — density-minima fallback, no distances)"
@@ -152,7 +201,7 @@ func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode s
 				return err
 			}
 		}
-		if err := emitDiscords(algo, discords, calls, jsonOut); err != nil {
+		if err := emitDiscords(algo, discords, calls, partial, fallback, jsonOut); err != nil {
 			return err
 		}
 		for _, d := range discords {
@@ -219,18 +268,25 @@ func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode s
 	return nil
 }
 
-// discordReport is the JSON shape emitted with -json.
+// discordReport is the JSON shape emitted with -json. Partial and
+// Fallback mirror DiscordResult, so a consumer can tell an exact result
+// from one degraded by the -timeout ladder.
 type discordReport struct {
 	Algorithm     string               `json:"algorithm"`
 	DistanceCalls int64                `json:"distance_calls"`
+	Partial       bool                 `json:"partial"`
+	Fallback      bool                 `json:"fallback"`
 	Discords      []grammarviz.Discord `json:"discords"`
 }
 
-func emitDiscords(algo string, discords []grammarviz.Discord, calls int64, jsonOut bool) error {
+func emitDiscords(algo string, discords []grammarviz.Discord, calls int64, partial, fallback, jsonOut bool) error {
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(discordReport{Algorithm: algo, DistanceCalls: calls, Discords: discords})
+		return enc.Encode(discordReport{
+			Algorithm: algo, DistanceCalls: calls,
+			Partial: partial, Fallback: fallback, Discords: discords,
+		})
 	}
 	fmt.Printf("%s discords (%d distance calls):\n", algo, calls)
 	for i, d := range discords {

@@ -9,7 +9,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"grammarviz"
 	"grammarviz/internal/timeseries"
 )
 
@@ -152,5 +154,90 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 	if rep.Algorithm != "RRA" || rep.DistanceCalls <= 0 || len(rep.Discords) == 0 {
 		t.Errorf("JSON report = %+v", rep)
+	}
+}
+
+// TestValidateFlags checks the up-front flag validation: every
+// nonsensical combination fails fast with a message naming the flag,
+// and sensible combinations pass.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                          string
+		window, paa, alphabet         int
+		mode                          string
+		k, threshold, minLen, detrend int
+		timeout                       time.Duration
+		frag                          string // "" = must pass
+	}{
+		{"defaults ok", 120, 4, 4, "rra", 3, -1, 0, 0, 0, ""},
+		{"auto window ok", 0, 4, 4, "density", 3, -1, 0, 0, 0, ""},
+		{"negative k", 120, 4, 4, "rra", -2, -1, 0, 0, 0, "-k must be"},
+		{"zero k", 120, 4, 4, "rra", 0, -1, 0, 0, 0, "-k must be"},
+		{"window below paa", 3, 4, 4, "rra", 3, -1, 0, 0, 0, "-paa (4) must not exceed -window (3)"},
+		{"negative window", -5, 4, 4, "rra", 3, -1, 0, 0, 0, "-window must be"},
+		{"zero paa", 120, 0, 4, "rra", 3, -1, 0, 0, 0, "-paa must be"},
+		{"alphabet too small", 120, 4, 1, "rra", 3, -1, 0, 0, 0, "-alphabet must be"},
+		{"alphabet too large", 120, 4, 27, "rra", 3, -1, 0, 0, 0, "-alphabet must be"},
+		{"unknown mode", 120, 4, 4, "psychic", 3, -1, 0, 0, 0, "unknown -mode"},
+		{"hotsax needs window", 0, 4, 4, "hotsax", 3, -1, 0, 0, 0, "explicit -window"},
+		{"brute needs window", 0, 4, 4, "brute", 3, -1, 0, 0, 0, "explicit -window"},
+		{"bad threshold", 120, 4, 4, "density", 3, -2, 0, 0, 0, "-threshold must be"},
+		{"negative minlen", 120, 4, 4, "density", 3, -1, -1, 0, 0, "-minlen must be"},
+		{"negative detrend", 120, 4, 4, "rra", 3, -1, 0, -3, 0, "-detrend must be"},
+		{"negative timeout", 120, 4, 4, "rra", 3, -1, 0, 0, -time.Second, "-timeout must be"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.window, tc.paa, tc.alphabet, tc.mode, tc.k, tc.threshold, tc.minLen, tc.detrend, tc.timeout)
+			if tc.frag == "" {
+				if err != nil {
+					t.Fatalf("valid flags rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("bad flags accepted")
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Errorf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+// TestJSONReportCarriesDegradedStatus checks the -json satellite fix: the
+// report includes the partial/fallback status so a consumer can tell an
+// exact result from one degraded by the -timeout ladder.
+func TestJSONReportCarriesDegradedStatus(t *testing.T) {
+	discords := []grammarviz.Discord{{Start: 10, End: 50, Distance: -1, NNStart: -1, RuleID: -1}}
+	for _, tc := range []struct{ partial, fallback bool }{
+		{false, false}, {true, false}, {true, true},
+	} {
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		emitErr := emitDiscords("RRA", discords, 0, tc.partial, tc.fallback, true)
+		w.Close()
+		os.Stdout = old
+		if emitErr != nil {
+			t.Fatal(emitErr)
+		}
+		data, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep map[string]any
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatalf("invalid JSON: %v\n%s", err, data)
+		}
+		if got, ok := rep["partial"]; !ok || got != tc.partial {
+			t.Errorf("partial = %v (present %v), want %v", got, ok, tc.partial)
+		}
+		if got, ok := rep["fallback"]; !ok || got != tc.fallback {
+			t.Errorf("fallback = %v (present %v), want %v", got, ok, tc.fallback)
+		}
 	}
 }

@@ -1,0 +1,103 @@
+// Command gvad (GrammarViz Anomaly Daemon) serves grammar-based anomaly
+// detection over HTTP.
+//
+// Usage:
+//
+//	gvad [-addr :8080] [-cache 64] [-max-concurrent N] [-queue M]
+//
+// Endpoints:
+//
+//	POST /v1/analyze  JSON anomaly query: density | rra | hotsax | besteffort
+//	GET  /healthz     liveness probe
+//	GET  /metrics     Prometheus text-format metrics
+//
+// Example:
+//
+//	gvad -addr :8080 &
+//	curl -s localhost:8080/v1/analyze -d '{
+//	  "mode": "besteffort", "window": 120, "paa": 4, "alphabet": 4,
+//	  "k": 3, "timeout_ms": 2000, "series": [ ... ]
+//	}'
+//
+// Repeated queries against the same series and options are served from an
+// LRU detector cache (the induced grammar is reused); concurrency is
+// bounded by an admission semaphore sized off GOMAXPROCS with a bounded
+// wait queue that sheds overload with 429. On SIGINT/SIGTERM the daemon
+// stops accepting connections and drains in-flight requests before
+// exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"grammarviz/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		cacheSize     = flag.Int("cache", 64, "detector cache capacity (entries)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "concurrent analyses (0 = GOMAXPROCS)")
+		queue         = flag.Int("queue", 0, "wait-queue bound beyond the slots (0 = 2x max-concurrent, -1 = none)")
+		defTimeout    = flag.Duration("default-timeout", 30*time.Second, "budget for requests that name none (-1s = none)")
+		maxTimeout    = flag.Duration("max-timeout", 5*time.Minute, "cap on per-request budgets (-1s = uncapped)")
+		maxSeries     = flag.Int("max-series", 2_000_000, "longest accepted series in points (-1 = uncapped)")
+		drain         = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+	if err := run(*addr, *cacheSize, *maxConcurrent, *queue, *defTimeout, *maxTimeout, *maxSeries, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "gvad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cacheSize, maxConcurrent, queue int, defTimeout, maxTimeout time.Duration, maxSeries int, drain time.Duration) error {
+	logger := log.New(os.Stderr, "gvad: ", log.LstdFlags)
+	srv := server.New(server.Config{
+		CacheSize:      cacheSize,
+		MaxConcurrent:  maxConcurrent,
+		MaxQueue:       queue,
+		DefaultTimeout: defTimeout,
+		MaxTimeout:     maxTimeout,
+		MaxSeriesLen:   maxSeries,
+		Logf:           logger.Printf,
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	logger.Printf("listening on %s (GOMAXPROCS=%d)", ln.Addr(), runtime.GOMAXPROCS(0))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down, draining in-flight requests (up to %s)", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil {
+		return err
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}

@@ -2,8 +2,12 @@ package grammarviz
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"grammarviz/internal/core"
@@ -103,6 +107,38 @@ func NewCtx(ctx context.Context, ts []float64, opts Options) (*Detector, error) 
 		return nil, fmt.Errorf("grammarviz: %w", err)
 	}
 	return &Detector{pipeline: p}, nil
+}
+
+// Fingerprint returns a stable, collision-resistant key identifying the
+// analysis a (series, options) pair produces: a SHA-256 over the raw
+// IEEE-754 bits of every sample plus the options that influence the
+// induced grammar — Window, PAA, Alphabet, Reduction, and Seed. Workers
+// is deliberately excluded: it changes only wall-clock time, never
+// results. Equal fingerprints therefore yield byte-identical Detectors,
+// which makes the key safe for caching (gvad's detector cache is the
+// intended consumer).
+func Fingerprint(ts []float64, opts Options) string {
+	h := sha256.New()
+	var hdr [8 * 5]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(opts.Window))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(opts.PAA))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(opts.Alphabet))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(opts.Reduction))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(opts.Seed))
+	h.Write(hdr[:])
+	var buf [8 * 512]byte
+	for len(ts) > 0 {
+		n := len(ts)
+		if n > 512 {
+			n = 512
+		}
+		for i, v := range ts[:n] {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		h.Write(buf[:8*n])
+		ts = ts[n:]
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Interpolate returns a copy of ts with NaN and infinite values replaced

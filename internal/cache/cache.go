@@ -1,0 +1,106 @@
+// Package cache provides the fixed-capacity, concurrency-safe LRU cache
+// behind gvad's detector reuse: repeated queries against the same series
+// and SAX options fetch the already-induced grammar instead of re-running
+// discretization and Sequitur induction. The cache is generic; the daemon
+// stores *grammarviz.Detector values, which are immutable and safe to
+// share between concurrent requests.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRU is a fixed-capacity least-recently-used map from string keys to
+// values of type V. All methods are safe for concurrent use.
+type LRU[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New returns an LRU holding at most capacity entries. A capacity below 1
+// is clamped to 1 — a cache that can hold nothing would turn every Get
+// into a miss and hide bugs rather than surface them.
+func New[V any](capacity int) *LRU[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[V]{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the value for key, marking it most recently used.
+func (c *LRU[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Add stores key → val as most recently used, evicting the least recently
+// used entry when the cache is full. It reports whether an eviction
+// happened. Adding an existing key replaces its value.
+func (c *LRU[V]) Add(key string, val V) (evicted bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry[V]).val = val
+		return false
+	}
+	c.items[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
+	if c.ll.Len() <= c.cap {
+		return false
+	}
+	oldest := c.ll.Back()
+	c.ll.Remove(oldest)
+	delete(c.items, oldest.Value.(*entry[V]).key)
+	c.evictions++
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *LRU[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Purge drops every entry (statistics are kept).
+func (c *LRU[V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
+// Stats is a point-in-time snapshot of the cache's effectiveness.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+	Len, Cap                int
+}
+
+// Stats returns a snapshot of hit/miss/eviction counts and occupancy.
+func (c *LRU[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: c.ll.Len(), Cap: c.cap}
+}

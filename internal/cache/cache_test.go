@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestLRUEviction checks the core policy: the least recently *used* entry
+// goes first, and Get refreshes recency.
+func TestLRUEviction(t *testing.T) {
+	c := New[int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if _, ok := c.Get("a"); !ok { // refresh a; b is now oldest
+		t.Fatal("a missing")
+	}
+	if evicted := c.Add("c", 3); !evicted {
+		t.Error("third insert into a 2-cap cache did not evict")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("a = %d,%v after eviction of b", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Errorf("c = %d,%v", v, ok)
+	}
+}
+
+// TestLRUReplaceAndStats checks replacement semantics and the counters the
+// daemon exports.
+func TestLRUReplaceAndStats(t *testing.T) {
+	c := New[string](2)
+	c.Add("k", "v1")
+	if evicted := c.Add("k", "v2"); evicted {
+		t.Error("replacing a key reported an eviction")
+	}
+	if v, _ := c.Get("k"); v != "v2" {
+		t.Errorf("replace kept old value %q", v)
+	}
+	c.Get("absent")
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Evictions != 0 || s.Len != 1 || s.Cap != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("Len after Purge = %d", c.Len())
+	}
+	if s := c.Stats(); s.Hits != 1 {
+		t.Errorf("Purge reset statistics: %+v", s)
+	}
+}
+
+// TestLRUClampsCapacity documents the <1 capacity clamp.
+func TestLRUClampsCapacity(t *testing.T) {
+	c := New[int](0)
+	c.Add("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("zero-capacity cache unusable: %d,%v", v, ok)
+	}
+	c.Add("b", 2)
+	if _, ok := c.Get("a"); ok {
+		t.Error("clamped cache held two entries")
+	}
+}
+
+// TestLRUConcurrent hammers the cache from many goroutines; under -race
+// this is the concurrency-safety check.
+func TestLRUConcurrent(t *testing.T) {
+	c := New[int](8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%16)
+				c.Add(k, i)
+				c.Get(k)
+				c.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Len(); got > 8 {
+		t.Errorf("Len = %d exceeds capacity 8", got)
+	}
+}

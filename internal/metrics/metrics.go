@@ -1,0 +1,279 @@
+// Package metrics is the stdlib-only instrumentation core behind gvad's
+// /metrics endpoint: counters, gauges, and histograms registered in a
+// Registry that renders the Prometheus text exposition format (0.0.4).
+// It exists so the daemon can be scraped by any Prometheus-compatible
+// collector without importing third-party code — the same constraint the
+// rest of the repository obeys.
+//
+// All metric types are safe for concurrent use. Registration is not
+// expected to race with scraping setup: create the metrics once at
+// startup, then share them.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. Create one with
+// Registry.NewCounter (or via CounterVec.With); the zero value works but
+// is not rendered by any registry.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (in-flight requests, queue
+// depth). Create one with Registry.NewGauge.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into cumulative less-or-equal buckets,
+// Prometheus style, and tracks their sum. Create one with
+// Registry.NewHistogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // strictly increasing upper bounds
+	counts []uint64  // len(bounds)+1; the extra slot is the +Inf bucket
+	sum    float64
+	total  uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v is the first le-bucket the observation belongs to;
+	// beyond the last bound it lands in the implicit +Inf slot.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// DefBuckets is a latency-oriented default bucket layout in seconds.
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// CounterVec is a family of counters partitioned by label values (e.g.
+// requests by mode and outcome). Create one with Registry.NewCounterVec.
+type CounterVec struct {
+	labels   []string
+	mu       sync.Mutex
+	children map[string]*vecChild
+}
+
+type vecChild struct {
+	values []string
+	c      Counter
+}
+
+// With returns (creating on first use) the counter for the given label
+// values, which must match the label names in number and order.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for %d labels", len(values), len(v.labels)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch, ok := v.children[key]
+	if !ok {
+		ch = &vecChild{values: append([]string(nil), values...)}
+		v.children[key] = ch
+	}
+	return &ch.c
+}
+
+// family is one registered metric and how to render it.
+type family struct {
+	name string
+	help string
+	typ  string // "counter" | "gauge" | "histogram"
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	vec     *CounterVec
+}
+
+// Registry holds registered metrics and renders them in a stable order
+// (registration order; vec children sorted by label values).
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	names    map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+func (r *Registry) register(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[f.name] {
+		panic("metrics: duplicate metric name " + f.name)
+	}
+	r.names[f.name] = true
+	r.families = append(r.families, f)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// NewCounterVec registers and returns a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{labels: append([]string(nil), labels...), children: make(map[string]*vecChild)}
+	r.register(&family{name: name, help: help, typ: "counter", vec: v})
+	return v
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, typ: "gauge", gauge: g})
+	return g
+}
+
+// NewHistogram registers and returns a histogram with the given upper
+// bounds (strictly increasing; nil selects DefBuckets).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds not strictly increasing")
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.register(&family{name: name, help: help, typ: "histogram", hist: h})
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		switch {
+		case f.counter != nil:
+			fmt.Fprintf(bw, "%s %d\n", f.name, f.counter.Value())
+		case f.gauge != nil:
+			fmt.Fprintf(bw, "%s %d\n", f.name, f.gauge.Value())
+		case f.vec != nil:
+			writeVec(bw, f.name, f.vec)
+		case f.hist != nil:
+			writeHistogram(bw, f.name, f.hist)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeVec(w io.Writer, name string, v *CounterVec) {
+	v.mu.Lock()
+	children := make([]*vecChild, 0, len(v.children))
+	for _, ch := range v.children {
+		children = append(children, ch)
+	}
+	v.mu.Unlock()
+	sort.Slice(children, func(a, b int) bool {
+		return strings.Join(children[a].values, "\x00") < strings.Join(children[b].values, "\x00")
+	})
+	for _, ch := range children {
+		pairs := make([]string, len(v.labels))
+		for i, l := range v.labels {
+			// %q escapes backslash, quote and newline — the three characters
+			// the exposition format requires escaped in label values.
+			pairs[i] = fmt.Sprintf("%s=%q", l, ch.values[i])
+		}
+		fmt.Fprintf(w, "%s{%s} %d\n", name, strings.Join(pairs, ","), ch.c.Value())
+	}
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	bounds := h.bounds
+	h.mu.Unlock()
+	cum := uint64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+	}
+	cum += counts[len(bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, total)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in the text
+// exposition format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionFormat renders one metric of each type and checks the
+// exact text a Prometheus scraper would parse.
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jobs_total", "Jobs processed.")
+	g := r.NewGauge("inflight", "In-flight requests.")
+	v := r.NewCounterVec("requests_total", "Requests by mode.", "mode", "outcome")
+	h := r.NewHistogram("latency_seconds", "Latency.", []float64{0.1, 1})
+
+	c.Add(3)
+	g.Set(2)
+	v.With("rra", "ok").Inc()
+	v.With("rra", "ok").Inc()
+	v.With("density", "error").Inc()
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := strings.Join([]string{
+		"# HELP jobs_total Jobs processed.",
+		"# TYPE jobs_total counter",
+		"jobs_total 3",
+		"# HELP inflight In-flight requests.",
+		"# TYPE inflight gauge",
+		"inflight 2",
+		"# HELP requests_total Requests by mode.",
+		"# TYPE requests_total counter",
+		`requests_total{mode="density",outcome="error"} 1`,
+		`requests_total{mode="rra",outcome="ok"} 2`,
+		"# HELP latency_seconds Latency.",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_sum 5.55",
+		"latency_seconds_count 3",
+	}, "\n") + "\n"
+	if got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHistogramBoundaries checks the le (inclusive) bucket semantics: an
+// observation equal to a bound lands in that bound's bucket.
+func TestHistogramBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "", []float64{1, 2})
+	h.Observe(1) // le="1"
+	h.Observe(2) // le="2"
+	h.Observe(3) // +Inf
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{`h_bucket{le="1"} 1`, `h_bucket{le="2"} 2`, `h_bucket{le="+Inf"} 3`} {
+		if !strings.Contains(b.String(), line) {
+			t.Errorf("output missing %q:\n%s", line, b.String())
+		}
+	}
+}
+
+// TestConcurrentUse hammers every metric type from many goroutines; run
+// under -race this is the concurrency-safety check.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "")
+	g := r.NewGauge("g", "")
+	v := r.NewCounterVec("v", "", "l")
+	h := r.NewHistogram("h", "", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Inc()
+				v.With("x").Inc()
+				v.With("y").Inc()
+				h.Observe(float64(j) / 100)
+			}
+			var b strings.Builder
+			_ = r.WritePrometheus(&b)
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if v.With("x").Value() != 8000 {
+		t.Errorf("vec child x = %d, want 8000", v.With("x").Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+// TestHandler checks the scrape endpoint's content type and body.
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("up", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up 1") {
+		t.Errorf("body missing metric:\n%s", rec.Body.String())
+	}
+}
+
+// TestDuplicateNamePanics documents that re-registering a name is a
+// programmer error.
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("dup", "")
+}

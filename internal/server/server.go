@@ -1,0 +1,455 @@
+// Package server implements gvad's HTTP API: POST /v1/analyze answering
+// density/RRA/HOTSAX/best-effort anomaly queries with per-request
+// deadlines, GET /healthz, and GET /metrics in the Prometheus text
+// format.
+//
+// Three properties make it a service rather than a CLI wrapper:
+//
+//   - Detector caching: analyses are keyed by grammarviz.Fingerprint
+//     (series bits + grammar-relevant options), so repeated queries
+//     against the same series reuse the induced grammar instead of
+//     re-running discretization and Sequitur.
+//   - Admission control: a semaphore sized off GOMAXPROCS bounds
+//     concurrent analyses, with a bounded wait queue that sheds load with
+//     429 on overflow — one giant series cannot starve the fleet.
+//   - Containment: each analysis runs inside an internal/worker group, so
+//     a panic surfaces as a 500 response, never a crash; deadlines map
+//     onto the DiscordsBestEffort degradation ladder, so a slow query
+//     returns a partial or fallback answer instead of an error.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"grammarviz"
+	"grammarviz/internal/cache"
+	"grammarviz/internal/discord"
+	"grammarviz/internal/metrics"
+	"grammarviz/internal/timeseries"
+	"grammarviz/internal/worker"
+)
+
+// Config tunes the daemon. The zero value selects sane defaults; see each
+// field. Fields that must distinguish "unset" from "none" use -1 for
+// none.
+type Config struct {
+	// CacheSize is the detector cache capacity in entries (default 64).
+	CacheSize int
+	// MaxConcurrent bounds simultaneously running analyses
+	// (default GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an analysis slot beyond
+	// MaxConcurrent; overflow is shed with 429. Default 2*MaxConcurrent;
+	// -1 disables queueing entirely.
+	MaxQueue int
+	// DefaultTimeout applies to requests that name no timeout_ms
+	// (default 30s; -1 means no default).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps every request's budget (default 5m; -1 uncapped).
+	MaxTimeout time.Duration
+	// MaxSeriesLen rejects longer series with 400 (default 2,000,000
+	// points; -1 uncapped).
+	MaxSeriesLen int
+	// MaxBodyBytes caps the request body (default 64 MiB).
+	MaxBodyBytes int64
+	// Logf, when set, receives one line per shed or failed request.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 2 * c.MaxConcurrent
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	switch {
+	case c.DefaultTimeout == 0:
+		c.DefaultTimeout = 30 * time.Second
+	case c.DefaultTimeout < 0:
+		c.DefaultTimeout = 0
+	}
+	switch {
+	case c.MaxTimeout == 0:
+		c.MaxTimeout = 5 * time.Minute
+	case c.MaxTimeout < 0:
+		c.MaxTimeout = 0
+	}
+	switch {
+	case c.MaxSeriesLen == 0:
+		c.MaxSeriesLen = 2_000_000
+	case c.MaxSeriesLen < 0:
+		c.MaxSeriesLen = 0
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// errQueueFull is returned by acquire when both the slots and the wait
+// queue are at capacity — the load-shedding signal behind 429.
+var errQueueFull = errors.New("server: analysis slots and wait queue full")
+
+// Server is the gvad HTTP service. Create one with New; it is safe for
+// concurrent use.
+type Server struct {
+	cfg   Config
+	cache *cache.LRU[*grammarviz.Detector]
+	http  *http.Server
+	mux   *http.ServeMux
+
+	sem    chan struct{} // admission slots; len == running analyses
+	queued atomic.Int64  // requests waiting for a slot
+
+	reg            *metrics.Registry
+	requests       *metrics.CounterVec
+	latency        *metrics.Histogram
+	cacheHits      *metrics.Counter
+	cacheMisses    *metrics.Counter
+	cacheEvictions *metrics.Counter
+	distCalls      *metrics.Counter
+	inflight       *metrics.Gauge
+	queueDepth     *metrics.Gauge
+
+	// testHookAnalyze, when set, runs inside the containment group before
+	// the analysis — tests use it to inject panics.
+	testHookAnalyze func(*AnalyzeRequest)
+}
+
+// New builds a Server from cfg (zero value: defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := metrics.NewRegistry()
+	s := &Server{
+		cfg:   cfg,
+		cache: cache.New[*grammarviz.Detector](cfg.CacheSize),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		reg:   reg,
+
+		requests: reg.NewCounterVec("gvad_requests_total",
+			"Analyze requests by mode and outcome (ok|partial|fallback|invalid|rejected|timeout|panic|error).",
+			"mode", "outcome"),
+		latency: reg.NewHistogram("gvad_request_duration_seconds",
+			"Wall-clock latency of admitted analyze requests.", nil),
+		cacheHits: reg.NewCounter("gvad_cache_hits_total",
+			"Analyze requests served from the detector cache (grammar induction skipped)."),
+		cacheMisses: reg.NewCounter("gvad_cache_misses_total",
+			"Analyze requests that had to induce a new detector."),
+		cacheEvictions: reg.NewCounter("gvad_cache_evictions_total",
+			"Detectors evicted from the cache."),
+		distCalls: reg.NewCounter("gvad_distance_calls_total",
+			"Distance-function calls made by discord searches (the paper's efficiency metric)."),
+		inflight: reg.NewGauge("gvad_inflight_requests",
+			"Analyze requests currently holding an analysis slot."),
+		queueDepth: reg.NewGauge("gvad_queue_depth",
+			"Analyze requests waiting for an analysis slot."),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", reg.Handler())
+	s.mux = mux
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Handler returns the root handler (useful for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the metrics registry backing /metrics.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// CacheStats returns the detector cache's hit/miss/eviction snapshot.
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// Serve accepts connections on ln until Shutdown. It returns nil after a
+// clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.http.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops accepting new connections and drains in-flight requests,
+// waiting until they complete or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.http.Shutdown(ctx)
+}
+
+// acquire claims an analysis slot, queueing up to cfg.MaxQueue waiters.
+// It returns a release function, errQueueFull when both slots and queue
+// are saturated, or ctx's error if the deadline passes while queued.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	claimed := func() func() {
+		s.inflight.Inc()
+		return func() {
+			s.inflight.Dec()
+			<-s.sem
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return claimed(), nil
+	default:
+	}
+	// No free slot: join the bounded wait queue or shed.
+	for {
+		n := s.queued.Load()
+		if n >= int64(s.cfg.MaxQueue) {
+			return nil, errQueueFull
+		}
+		if s.queued.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	s.queueDepth.Inc()
+	defer func() {
+		s.queued.Add(-1)
+		s.queueDepth.Dec()
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		return claimed(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.requests.With("unknown", "invalid").Inc()
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if err := req.validate(s.cfg.MaxSeriesLen); err != nil {
+		s.requests.With(modeLabel(req.Mode), "invalid").Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx := r.Context()
+	if d := req.budget(s.cfg.DefaultTimeout, s.cfg.MaxTimeout); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	release, err := s.acquire(ctx)
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.requests.With(req.Mode, "rejected").Inc()
+			s.cfg.Logf("shed %s request: %v", req.Mode, err)
+			writeError(w, http.StatusTooManyRequests, errors.New("server saturated, retry later"))
+			return
+		}
+		s.requests.With(req.Mode, "timeout").Inc()
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("timed out waiting for an analysis slot: %w", err))
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	var resp *AnalyzeResponse
+	g, gctx := worker.WithContext(ctx)
+	g.Go(func() error {
+		if s.testHookAnalyze != nil {
+			s.testHookAnalyze(&req)
+		}
+		var err error
+		resp, err = s.analyze(gctx, &req)
+		return err
+	})
+	err = g.Wait()
+	elapsed := time.Since(start)
+	s.latency.Observe(elapsed.Seconds())
+
+	if err != nil {
+		status, outcome := classifyError(err)
+		s.requests.With(req.Mode, outcome).Inc()
+		s.cfg.Logf("%s request failed (%s): %v", req.Mode, outcome, err)
+		writeError(w, status, err)
+		return
+	}
+	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	s.distCalls.Add(uint64(max(resp.DistanceCalls, 0)))
+	s.requests.With(req.Mode, outcomeOf(resp)).Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// analyze runs one validated request under ctx. It is called inside a
+// worker group, so a panic anywhere below becomes a *PanicError in the
+// handler instead of a crash.
+func (s *Server) analyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, error) {
+	series := req.Series
+	if req.Interpolate && timeseries.HasNaN(series) {
+		var err error
+		if series, err = grammarviz.Interpolate(series); err != nil {
+			return nil, err
+		}
+	}
+
+	resp := &AnalyzeResponse{
+		Mode: req.Mode,
+		N:    len(series),
+	}
+
+	if req.Mode == ModeHOTSAX {
+		discords, calls, err := grammarviz.HOTSAXDiscordsCtx(ctx, series, req.Window, req.PAA, req.Alphabet, req.K, req.Seed)
+		if err != nil {
+			return nil, err
+		}
+		resp.Algorithm = "HOTSAX"
+		resp.Window, resp.PAA, resp.Alphabet = req.Window, req.PAA, req.Alphabet
+		resp.Discords = discords
+		resp.DistanceCalls = calls
+		return resp, nil
+	}
+
+	opts := grammarviz.Options{
+		Window: req.Window, PAA: req.PAA, Alphabet: req.Alphabet,
+		Seed: req.Seed, Workers: req.Workers,
+	}
+	if req.Window == 0 {
+		suggested, err := grammarviz.SuggestOptions(series)
+		if err != nil {
+			return nil, fmt.Errorf("parameter auto-selection: %w", err)
+		}
+		suggested.Seed, suggested.Workers = req.Seed, req.Workers
+		opts = suggested
+	}
+	resp.Window, resp.PAA, resp.Alphabet = opts.Window, opts.PAA, opts.Alphabet
+
+	det, hit, err := s.detector(ctx, series, opts)
+	if err != nil {
+		return nil, err
+	}
+	resp.CacheHit = hit
+
+	switch req.Mode {
+	case ModeRRA:
+		res, err := det.DiscordsCtx(ctx, req.K)
+		if err != nil {
+			return nil, err
+		}
+		resp.Algorithm = "RRA"
+		resp.Discords = res.Discords
+		resp.DistanceCalls = res.DistCalls
+	case ModeBestEffort:
+		res, err := det.DiscordsBestEffort(ctx, req.K)
+		if err != nil {
+			return nil, err
+		}
+		resp.Algorithm = "RRA (best-effort)"
+		resp.Discords = res.Discords
+		resp.DistanceCalls = res.DistCalls
+		resp.Partial = res.Partial
+		resp.Fallback = res.Fallback
+	case ModeDensity:
+		if req.Threshold == nil || *req.Threshold < 0 {
+			resp.Algorithm = "density global minima"
+			resp.Anomalies = det.GlobalMinima()
+		} else {
+			resp.Algorithm = "density threshold"
+			resp.Anomalies = det.DensityAnomalies(*req.Threshold, req.MinLen)
+		}
+	}
+	return resp, nil
+}
+
+// detector returns the cached Detector for (series, opts), inducing and
+// caching a new one on miss. The fingerprint covers the series bits and
+// every option that influences the grammar, so equal keys mean
+// byte-identical detectors.
+func (s *Server) detector(ctx context.Context, series []float64, opts grammarviz.Options) (*grammarviz.Detector, bool, error) {
+	key := grammarviz.Fingerprint(series, opts)
+	if det, ok := s.cache.Get(key); ok {
+		s.cacheHits.Inc()
+		return det, true, nil
+	}
+	s.cacheMisses.Inc()
+	det, err := grammarviz.NewCtx(ctx, series, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if s.cache.Add(key, det) {
+		s.cacheEvictions.Inc()
+	}
+	return det, false, nil
+}
+
+// classifyError maps an analysis error to an HTTP status and a metrics
+// outcome label.
+func classifyError(err error) (status int, outcome string) {
+	var pe *worker.PanicError
+	switch {
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError, "panic"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, grammarviz.ErrInvalidValue),
+		errors.Is(err, grammarviz.ErrShortSeries):
+		return http.StatusBadRequest, "invalid"
+	case errors.Is(err, discord.ErrNoCandidates):
+		return http.StatusUnprocessableEntity, "error"
+	default:
+		return http.StatusInternalServerError, "error"
+	}
+}
+
+func outcomeOf(resp *AnalyzeResponse) string {
+	switch {
+	case resp.Fallback:
+		return "fallback"
+	case resp.Partial:
+		return "partial"
+	default:
+		return "ok"
+	}
+}
+
+// modeLabel bounds the cardinality of the mode label: anything not in the
+// known set is reported as "unknown".
+func modeLabel(mode string) string {
+	switch mode {
+	case ModeRRA, ModeBestEffort, ModeDensity, ModeHOTSAX:
+		return mode
+	default:
+		return "unknown"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

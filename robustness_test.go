@@ -203,6 +203,91 @@ func TestDiscordsBestEffortLadder(t *testing.T) {
 	}
 }
 
+// TestDiscordsBestEffortFallbackContent pins down the *content* of the
+// fallback tier, not just its flags: the density-minima discords are
+// exactly the detector's GlobalMinima intervals in order, truncated at k,
+// with no distance evidence and no proposing rule. The ladder's other
+// tests check when the tier triggers; this one checks what it returns.
+func TestDiscordsBestEffortFallbackContent(t *testing.T) {
+	ts := testSeries(900, 45, 500, 60, 1)
+	det, err := New(ts, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	minima := det.GlobalMinima()
+	if len(minima) == 0 {
+		t.Fatal("series produced no global minima; the fixture is broken")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, k := range []int{1, 2, len(minima) + 5} {
+		res, err := det.DiscordsBestEffort(ctx, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !res.Partial || !res.Fallback {
+			t.Fatalf("k=%d: fallback tier not flagged: %+v", k, res)
+		}
+		want := min(k, len(minima))
+		if len(res.Discords) != want {
+			t.Fatalf("k=%d: %d fallback discords, want %d (minima truncated at k)",
+				k, len(res.Discords), want)
+		}
+		for i, d := range res.Discords {
+			if d.Start != minima[i].Start || d.End != minima[i].End {
+				t.Errorf("k=%d: fallback discord %d = [%d,%d], want minimum [%d,%d]",
+					k, i, d.Start, d.End, minima[i].Start, minima[i].End)
+			}
+			if d.Distance != -1 || d.NNStart != -1 {
+				t.Errorf("k=%d: fallback discord %d carries distance evidence: %+v", k, i, d)
+			}
+			if d.RuleID != -1 {
+				t.Errorf("k=%d: fallback discord %d claims proposing rule %d", k, i, d.RuleID)
+			}
+		}
+	}
+}
+
+// TestFingerprint checks the cache-key contract behind gvad's detector
+// cache: equal (series, options) pairs agree, anything that changes the
+// analysis disagrees, and Workers — which never changes results — is
+// excluded.
+func TestFingerprint(t *testing.T) {
+	ts := testSeries(300, 30, 150, 30, 1)
+	opts := testOpts()
+	base := Fingerprint(ts, opts)
+	if base != Fingerprint(append([]float64(nil), ts...), opts) {
+		t.Error("equal series+options fingerprint differently")
+	}
+
+	w := opts
+	w.Workers = 7
+	if Fingerprint(ts, w) != base {
+		t.Error("Workers changed the fingerprint despite never changing results")
+	}
+
+	perturbed := append([]float64(nil), ts...)
+	perturbed[150] += 1e-9
+	if Fingerprint(perturbed, opts) == base {
+		t.Error("a changed sample kept the fingerprint")
+	}
+	for name, o := range map[string]Options{
+		"window":    {Window: opts.Window + 1, PAA: opts.PAA, Alphabet: opts.Alphabet, Seed: opts.Seed},
+		"paa":       {Window: opts.Window, PAA: opts.PAA + 1, Alphabet: opts.Alphabet, Seed: opts.Seed},
+		"alphabet":  {Window: opts.Window, PAA: opts.PAA, Alphabet: opts.Alphabet + 1, Seed: opts.Seed},
+		"seed":      {Window: opts.Window, PAA: opts.PAA, Alphabet: opts.Alphabet, Seed: opts.Seed + 1},
+		"reduction": {Window: opts.Window, PAA: opts.PAA, Alphabet: opts.Alphabet, Seed: opts.Seed, Reduction: ReduceNone},
+	} {
+		if Fingerprint(ts, o) == base {
+			t.Errorf("changing %s kept the fingerprint", name)
+		}
+	}
+	if Fingerprint(ts[:299], opts) == base {
+		t.Error("a shorter series kept the fingerprint")
+	}
+}
+
 // TestMultiscaleDensityCtx checks cancellation and background-equivalence
 // of the multiscale sweep.
 func TestMultiscaleDensityCtx(t *testing.T) {
