@@ -26,9 +26,11 @@ bench-smoke:
 	$(GO) test . -run '^$$' -bench Component -benchtime 1x
 
 ## bench: the measured component benchmarks with allocation stats, the
-## configuration used for BENCH_*.json
+## configuration used for BENCH_*.json (BENCH_2.json's induce/build/density
+## rows were captured with BENCHTIME=50x)
+BENCHTIME ?= 5x
 bench:
-	$(GO) test . -run '^$$' -bench 'Component|Extension' -benchtime 5x -benchmem
+	$(GO) test . -run '^$$' -bench 'Component|Extension' -benchtime $(BENCHTIME) -benchmem
 
 ## fuzz-smoke: a few seconds of each native fuzz target, enough to replay
 ## the checked-in corpora and catch shallow regressions (long fuzzing runs

@@ -221,19 +221,87 @@ func BenchmarkComponent_SAXDiscretize(b *testing.B) {
 	}
 }
 
+// BenchmarkComponent_SequiturInduce measures first-touch grammar induction
+// — the dominant uncached cost of an analysis now that discretization is
+// incremental and repeat queries are cache hits. The Strings sub-benchmark
+// is the retained reference path (string tokens); Codes is the
+// integer-coded arena-backed hot path. Both induce byte-identical
+// grammars (internal/sequitur equivalence tests).
 func BenchmarkComponent_SequiturInduce(b *testing.B) {
-	ds := dataset(b, "ecg15")
-	d, err := sax.Discretize(ds.Series, ds.Params, sax.ReductionExact)
-	if err != nil {
-		b.Fatal(err)
-	}
-	words := d.Strings()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		g := sequitur.Induce(words)
-		if g.NumRules() == 0 {
-			b.Fatal("no rules")
+	for _, name := range []string{"ecg0606", "ecg15"} {
+		ds := dataset(b, name)
+		d, err := sax.Discretize(ds.Series, ds.Params, sax.ReductionExact)
+		if err != nil {
+			b.Fatal(err)
 		}
+		words := d.Strings()
+		b.Run(name+"/Strings", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := sequitur.Induce(words)
+				if g.NumRules() == 0 {
+					b.Fatal("no rules")
+				}
+			}
+		})
+		if !d.Coded {
+			b.Fatalf("%s: words do not fit a packed code", name)
+		}
+		codec := sax.NewWordCodec(ds.Params.PAA, ds.Params.Alphabet)
+		render := codec.Decode
+		codes := make([]uint64, len(d.Words))
+		for i := range d.Words {
+			codes[i] = d.Words[i].Code
+		}
+		b.Run(name+"/Codes", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := sequitur.InduceCodes(codes, render)
+				if g.NumRules() == 0 {
+					b.Fatal("no rules")
+				}
+			}
+		})
+		// The serving path: a pooled inducer reused across analyses
+		// (workspace.Get -> ResetCodes -> AppendCode* -> Grammar).
+		b.Run(name+"/CodesPooled", func(b *testing.B) {
+			in := sequitur.NewCodeInducer(render)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				in.ResetCodes(render)
+				for _, c := range codes {
+					in.AppendCode(c)
+				}
+				if g := in.Grammar(); g.NumRules() == 0 {
+					b.Fatal("no rules")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkComponent_GrammarBuild measures mapping an induced grammar's
+// rule occurrences back onto series intervals.
+func BenchmarkComponent_GrammarBuild(b *testing.B) {
+	for _, name := range []string{"ecg0606", "ecg15"} {
+		ds := dataset(b, name)
+		d, err := sax.Discretize(ds.Series, ds.Params, sax.ReductionExact)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := sequitur.Induce(d.Strings())
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rs, err := grammar.Build(d, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rs.NumRules() == 0 {
+					b.Fatal("no rules")
+				}
+			}
+		})
 	}
 }
 

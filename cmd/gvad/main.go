@@ -9,7 +9,10 @@
 //
 //	POST /v1/analyze  JSON anomaly query: density | rra | hotsax | besteffort
 //	GET  /healthz     liveness probe
-//	GET  /metrics     Prometheus text-format metrics
+//	GET  /metrics     Prometheus text-format metrics (request counters,
+//	                  latency histogram, cache stats, and gvad_mem_* heap /
+//	                  allocation gauges sampled at scrape)
+//	GET  /debug/pprof/ net/http/pprof profiles — only with -pprof
 //
 // Example:
 //
@@ -52,15 +55,16 @@ func main() {
 		maxTimeout    = flag.Duration("max-timeout", 5*time.Minute, "cap on per-request budgets (-1s = uncapped)")
 		maxSeries     = flag.Int("max-series", 2_000_000, "longest accepted series in points (-1 = uncapped)")
 		drain         = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
+		enablePprof   = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 	)
 	flag.Parse()
-	if err := run(*addr, *cacheSize, *maxConcurrent, *queue, *defTimeout, *maxTimeout, *maxSeries, *drain); err != nil {
+	if err := run(*addr, *cacheSize, *maxConcurrent, *queue, *defTimeout, *maxTimeout, *maxSeries, *drain, *enablePprof); err != nil {
 		fmt.Fprintln(os.Stderr, "gvad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cacheSize, maxConcurrent, queue int, defTimeout, maxTimeout time.Duration, maxSeries int, drain time.Duration) error {
+func run(addr string, cacheSize, maxConcurrent, queue int, defTimeout, maxTimeout time.Duration, maxSeries int, drain time.Duration, enablePprof bool) error {
 	logger := log.New(os.Stderr, "gvad: ", log.LstdFlags)
 	srv := server.New(server.Config{
 		CacheSize:      cacheSize,
@@ -69,8 +73,12 @@ func run(addr string, cacheSize, maxConcurrent, queue int, defTimeout, maxTimeou
 		DefaultTimeout: defTimeout,
 		MaxTimeout:     maxTimeout,
 		MaxSeriesLen:   maxSeries,
+		EnablePprof:    enablePprof,
 		Logf:           logger.Printf,
 	})
+	if enablePprof {
+		logger.Printf("pprof enabled at /debug/pprof/")
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

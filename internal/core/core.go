@@ -16,6 +16,7 @@ import (
 	"grammarviz/internal/sax"
 	"grammarviz/internal/sequitur"
 	"grammarviz/internal/timeseries"
+	"grammarviz/internal/workspace"
 )
 
 // induceStride bounds the cancellation latency of grammar induction: the
@@ -69,7 +70,23 @@ func Analyze(ts []float64, cfg Config) (*Pipeline, error) {
 // ctx.Err()-wrapped error when the context is cancelled or its deadline
 // passes. With a never-cancelled context the pipeline is identical to
 // Analyze's.
+//
+// Scratch state (the Sequitur inducer's symbol arena and maps, the density
+// curve's difference array) is checked out of the shared workspace pool
+// for the duration of the call, so steady-state analyses reuse, rather
+// than reallocate, the hot path's working memory.
 func AnalyzeCtx(ctx context.Context, ts []float64, cfg Config) (*Pipeline, error) {
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	return AnalyzeCtxWS(ctx, ts, cfg, ws)
+}
+
+// AnalyzeCtxWS is AnalyzeCtx running on an explicit, caller-owned
+// workspace instead of the shared pool. The returned Pipeline does not
+// alias workspace memory — every retained product (grammar snapshot, rule
+// set, density curve) is freshly allocated — so ws may be reused or pooled
+// immediately after the call returns, even on error.
+func AnalyzeCtxWS(ctx context.Context, ts []float64, cfg Config, ws *workspace.Workspace) (*Pipeline, error) {
 	if err := timeseries.ValidateFinite(ts); err != nil {
 		return nil, fmt.Errorf("core: %w; call timeseries.Interpolate first", err)
 	}
@@ -77,7 +94,7 @@ func AnalyzeCtx(ctx context.Context, ts []float64, cfg Config) (*Pipeline, error
 	if err != nil {
 		return nil, fmt.Errorf("core: discretize: %w", err)
 	}
-	g, err := induceCtx(ctx, d.Strings())
+	g, err := induceCtx(ctx, d, ws)
 	if err != nil {
 		return nil, fmt.Errorf("core: induce: %w", err)
 	}
@@ -91,25 +108,41 @@ func AnalyzeCtx(ctx context.Context, ts []float64, cfg Config) (*Pipeline, error
 		Disc:    d,
 		Grammar: g,
 		Rules:   rs,
-		Density: density.Curve(rs),
+		Density: density.CurveWith(rs, ws.DiffScratch(rs.SeriesLen+1)),
 	}, nil
 }
 
-// induceCtx runs Sequitur induction over words, polling ctx every
-// induceStride tokens. Polling is armed only for cancellable contexts, so
-// the Background path costs one branch per stride.
-func induceCtx(ctx context.Context, words []string) (*sequitur.Grammar, error) {
-	if ctx.Done() == nil {
-		return sequitur.Induce(words), nil
-	}
-	in := sequitur.NewInducer()
-	for i, w := range words {
-		if i&(induceStride-1) == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+// induceCtx runs Sequitur induction over the discretization's words on the
+// workspace's pooled inducer, polling ctx every induceStride tokens. When
+// the discretization carries packed word codes the integer hot path is
+// used — no per-token string is built, hashed, or compared; the codec
+// renders strings only when the grammar snapshot is taken. Token ids are
+// assigned in first-appearance order on both paths, so the snapshot is
+// byte-identical either way.
+func induceCtx(ctx context.Context, d *sax.Discretization, ws *workspace.Workspace) (*sequitur.Grammar, error) {
+	in := ws.Inducer
+	poll := ctx.Done() != nil
+	if d.Coded {
+		codec := sax.NewWordCodec(d.Params.PAA, d.Params.Alphabet)
+		in.ResetCodes(codec.Decode)
+		for i := range d.Words {
+			if poll && i&(induceStride-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 			}
+			in.AppendCode(d.Words[i].Code)
 		}
-		in.Append(w)
+	} else {
+		in.ResetStrings()
+		for i := range d.Words {
+			if poll && i&(induceStride-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			in.Append(d.Words[i].Str)
+		}
 	}
 	return in.Grammar(), nil
 }

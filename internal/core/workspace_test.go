@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/sequitur"
+	"grammarviz/internal/workspace"
+)
+
+// TestAnalyzeCtxWSMatchesAnalyze pins the pooling equivalence guarantee:
+// an analysis on a reused workspace is byte-identical to a fresh one —
+// same grammar, same rule intervals, same density curve — and the results
+// survive the workspace being reused for a different series.
+func TestAnalyzeCtxWSMatchesAnalyze(t *testing.T) {
+	cfgA := Config{Params: sax.Params{Window: 60, PAA: 6, Alphabet: 4}}
+	cfgB := Config{Params: sax.Params{Window: 40, PAA: 4, Alphabet: 5}}
+	tsA := plantedSeries(1500, 60, 900, 60, 1)
+	tsB := plantedSeries(800, 40, 300, 40, 7)
+
+	fresh := func(ts []float64, cfg Config) *Pipeline {
+		p, err := Analyze(ts, cfg)
+		if err != nil {
+			t.Fatalf("Analyze: %v", err)
+		}
+		return p
+	}
+	wantA, wantB := fresh(tsA, cfgA), fresh(tsB, cfgB)
+
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	ctx := context.Background()
+	gotA, err := AnalyzeCtxWS(ctx, tsA, cfgA, ws)
+	if err != nil {
+		t.Fatalf("AnalyzeCtxWS A: %v", err)
+	}
+	gotB, err := AnalyzeCtxWS(ctx, tsB, cfgB, ws) // reuse for a different shape
+	if err != nil {
+		t.Fatalf("AnalyzeCtxWS B: %v", err)
+	}
+	gotA2, err := AnalyzeCtxWS(ctx, tsA, cfgA, ws) // and back again
+	if err != nil {
+		t.Fatalf("AnalyzeCtxWS A2: %v", err)
+	}
+
+	check := func(name string, got, want *Pipeline) {
+		t.Helper()
+		if got.Grammar.String() != want.Grammar.String() {
+			t.Errorf("%s: grammar differs from fresh analysis", name)
+		}
+		if !reflect.DeepEqual(got.Density, want.Density) {
+			t.Errorf("%s: density curve differs from fresh analysis", name)
+		}
+		if !reflect.DeepEqual(got.Rules.Records, want.Rules.Records) {
+			t.Errorf("%s: rule records differ from fresh analysis", name)
+		}
+	}
+	check("A", gotA, wantA)
+	check("B", gotB, wantB)
+	check("A2", gotA2, wantA)
+	// gotA was produced before the workspace was reused twice: its results
+	// must not alias workspace memory.
+	check("A after reuse", gotA, wantA)
+}
+
+// TestAnalyzeCtxWSReuseAllocs pins the payoff of workspace pooling: a warm
+// workspace makes AnalyzeCtxWS allocate measurably less than a cold one.
+// The discretization output and the pipeline products are freshly
+// allocated either way, so the floor is well above zero; what the pool
+// saves is the inducer's arena, maps, and the density scratch.
+func TestAnalyzeCtxWSReuseAllocs(t *testing.T) {
+	cfg := Config{Params: sax.Params{Window: 60, PAA: 6, Alphabet: 4}, Workers: 1}
+	ts := plantedSeries(1500, 60, 900, 60, 1)
+	ctx := context.Background()
+
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	run := func(w *workspace.Workspace) {
+		if _, err := AnalyzeCtxWS(ctx, ts, cfg, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(ws) // warm
+	warm := testing.AllocsPerRun(10, func() { run(ws) })
+	cold := testing.AllocsPerRun(10, func() { run(&workspace.Workspace{Inducer: sequitur.NewInducer()}) })
+	if warm >= cold {
+		t.Fatalf("warm workspace allocates %v/run, cold %v/run — pooling saves nothing", warm, cold)
+	}
+	t.Logf("allocs/run: warm=%v cold=%v", warm, cold)
+}

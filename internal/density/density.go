@@ -12,13 +12,23 @@ import (
 )
 
 // Curve computes the rule density curve for a rule set: curve[i] is the
-// number of non-root rule occurrences covering point i.
+// number of non-root rule occurrences covering point i. The difference
+// array is sized exactly from the total occurrence count in one pass, so
+// the construction allocates the curve, the scratch, and nothing else.
 func Curve(rs *grammar.RuleSet) []int {
-	ivs := make([]timeseries.Interval, 0, 64)
+	return CurveWith(rs, make([]int, rs.SeriesLen+1))
+}
+
+// CurveWith is Curve with a caller-provided difference-array scratch
+// (the internal/workspace reuse path). diff must have length
+// rs.SeriesLen+1 and be zeroed; it is not retained, and only the returned
+// curve is freshly allocated. The result is identical to Curve's.
+func CurveWith(rs *grammar.RuleSet, diff []int) []int {
+	n := rs.SeriesLen
 	for _, rec := range rs.Records {
-		ivs = append(ivs, rec.Occurrences...)
+		markIntervals(diff, n, rec.Occurrences)
 	}
-	return FromIntervals(rs.SeriesLen, ivs)
+	return integrate(diff, n)
 }
 
 // FromIntervals computes the coverage curve of an arbitrary interval set
@@ -26,6 +36,13 @@ func Curve(rs *grammar.RuleSet) []int {
 // Intervals (or their parts) outside [0, n) are ignored.
 func FromIntervals(n int, ivs []timeseries.Interval) []int {
 	diff := make([]int, n+1)
+	markIntervals(diff, n, ivs)
+	return integrate(diff, n)
+}
+
+// markIntervals adds the interval set to the difference array, clamping to
+// [0, n) and skipping intervals that fall entirely outside.
+func markIntervals(diff []int, n int, ivs []timeseries.Interval) {
 	for _, iv := range ivs {
 		lo, hi := iv.Start, iv.End
 		if lo < 0 {
@@ -40,6 +57,10 @@ func FromIntervals(n int, ivs []timeseries.Interval) []int {
 		diff[lo]++
 		diff[hi+1]--
 	}
+}
+
+// integrate turns a difference array into the coverage curve.
+func integrate(diff []int, n int) []int {
 	curve := make([]int, n)
 	run := 0
 	for i := 0; i < n; i++ {

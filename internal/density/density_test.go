@@ -212,3 +212,37 @@ func TestGlobalMinimaMargin(t *testing.T) {
 		t.Errorf("negative margin should behave like 0: %v", got)
 	}
 }
+
+// TestCurveWithMatchesCurve pins the workspace reuse path: CurveWith on a
+// zeroed scratch produces exactly Curve's result, including when the
+// scratch is dirty-then-rezeroed between uses.
+func TestCurveWithMatchesCurve(t *testing.T) {
+	ts := make([]float64, 900)
+	for i := range ts {
+		ts[i] = math.Sin(2*math.Pi*float64(i)/45) + 0.1*math.Sin(float64(i))
+	}
+	d, err := sax.Discretize(ts, sax.Params{Window: 45, PAA: 5, Alphabet: 4}, sax.ReductionExact)
+	if err != nil {
+		t.Fatalf("Discretize: %v", err)
+	}
+	rs, err := grammar.Build(d, sequitur.Induce(d.Strings()))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	want := Curve(rs)
+	diff := make([]int, rs.SeriesLen+1)
+	for round := 0; round < 3; round++ {
+		got := CurveWith(rs, diff)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: length %d != %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: curve[%d] = %d, want %d", round, i, got[i], want[i])
+			}
+		}
+		for i := range diff { // re-zero, as workspace.DiffScratch does
+			diff[i] = 0
+		}
+	}
+}

@@ -51,14 +51,13 @@ type RuleSet struct {
 // rule's series intervals. The grammar's root must expand to exactly the
 // discretization's words.
 func Build(d *sax.Discretization, g *sequitur.Grammar) (*RuleSet, error) {
-	words := d.Strings()
-	root := g.ExpandTokens(0)
-	if len(root) != len(words) {
-		return nil, fmt.Errorf("%w: %d words vs %d-token expansion", ErrMismatch, len(words), len(root))
+	root := g.Expand(0)
+	if len(root) != len(d.Words) {
+		return nil, fmt.Errorf("%w: %d words vs %d-token expansion", ErrMismatch, len(d.Words), len(root))
 	}
-	for i := range root {
-		if root[i] != words[i] {
-			return nil, fmt.Errorf("%w: word %d is %q, expansion has %q", ErrMismatch, i, words[i], root[i])
+	for i, id := range root {
+		if g.Tokens[id] != d.Words[i].Str {
+			return nil, fmt.Errorf("%w: word %d is %q, expansion has %q", ErrMismatch, i, d.Words[i].Str, g.Tokens[id])
 		}
 	}
 
@@ -74,13 +73,11 @@ func Build(d *sax.Discretization, g *sequitur.Grammar) (*RuleSet, error) {
 		rec.ID = id
 		rec.Str = g.RuleString(id)
 		rec.WordLen = len(g.Expand(id))
-		exp := g.ExpandTokens(id)
-		rec.Expanded = joinWords(exp)
+		rec.Expanded = joinTokens(g.Tokens, g.Expand(id))
 	}
 
 	// Walk the derivation tree once, recording every non-terminal
 	// occurrence as a word-index range, then convert to series intervals.
-	offsets := d.Offsets()
 	var walk func(ruleID, wordPos int) int
 	walk = func(ruleID, wordPos int) int {
 		for _, s := range g.Rules[ruleID].Body {
@@ -89,7 +86,7 @@ func Build(d *sax.Discretization, g *sequitur.Grammar) (*RuleSet, error) {
 				continue
 			}
 			span := len(g.Expand(s.ID))
-			iv := rs.wordRangeToInterval(offsets, wordPos, wordPos+span-1)
+			iv := rs.wordRangeToInterval(wordPos, wordPos+span-1)
 			rec := &rs.Records[s.ID-1]
 			rec.Occurrences = append(rec.Occurrences, iv)
 			rec.WordOccurrences = append(rec.WordOccurrences, [2]int{wordPos, wordPos + span - 1})
@@ -126,9 +123,9 @@ func Build(d *sax.Discretization, g *sequitur.Grammar) (*RuleSet, error) {
 // wordRangeToInterval converts an inclusive word-index range of the
 // derivation into the series interval it covers: from the first word's
 // offset through the last word's window end, clamped to the series.
-func (rs *RuleSet) wordRangeToInterval(offsets []int, firstWord, lastWord int) timeseries.Interval {
-	start := offsets[firstWord]
-	end := offsets[lastWord] + rs.Window - 1
+func (rs *RuleSet) wordRangeToInterval(firstWord, lastWord int) timeseries.Interval {
+	start := rs.Disc.Words[firstWord].Offset
+	end := rs.Disc.Words[lastWord].Offset + rs.Window - 1
 	if end >= rs.SeriesLen {
 		end = rs.SeriesLen - 1
 	}
@@ -138,8 +135,7 @@ func (rs *RuleSet) wordRangeToInterval(offsets []int, firstWord, lastWord int) t
 // WordInterval maps an inclusive word-index range of the discretization to
 // the series interval it covers.
 func (rs *RuleSet) WordInterval(firstWord, lastWord int) timeseries.Interval {
-	offsets := rs.Disc.Offsets()
-	return rs.wordRangeToInterval(offsets, firstWord, lastWord)
+	return rs.wordRangeToInterval(firstWord, lastWord)
 }
 
 // UncoveredWordRuns returns the maximal runs of consecutive words that are
@@ -187,20 +183,22 @@ func (rs *RuleSet) Size() int {
 	return size
 }
 
-func joinWords(ws []string) string {
+// joinTokens renders token ids as a space-separated string without
+// materializing an intermediate []string.
+func joinTokens(tokens []string, ids []int) string {
 	n := 0
-	for _, w := range ws {
-		n += len(w) + 1
+	for _, id := range ids {
+		n += len(tokens[id]) + 1
 	}
 	if n == 0 {
 		return ""
 	}
 	buf := make([]byte, 0, n-1)
-	for i, w := range ws {
+	for i, id := range ids {
 		if i > 0 {
 			buf = append(buf, ' ')
 		}
-		buf = append(buf, w...)
+		buf = append(buf, tokens[id]...)
 	}
 	return string(buf)
 }

@@ -1,0 +1,121 @@
+package sax
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrCodeOverflow is returned when a SAX word cannot be packed into a
+// uint64 code because paa * ceil(log2(alphabet)) exceeds 64 bits.
+var ErrCodeOverflow = errors.New("sax: word does not fit a uint64 code")
+
+// WordCodec packs SAX words into uint64 codes so the grammar-induction hot
+// path can hash and compare integers instead of allocating and re-hashing
+// strings. Each letter takes ceil(log2(alphabet)) bits, first letter in
+// the most significant position, so codes of equal-length words compare
+// and hash like the words themselves (bijective with the string form).
+//
+// A word of w letters over alphabet a fits whenever w*ceil(log2(a)) <= 64
+// — e.g. 32 letters at a=4, 21 at a=8, 12 at the a=26 maximum — which
+// covers every parameter choice the paper sweeps. Callers must check
+// Fits() and keep to the string path otherwise.
+type WordCodec struct {
+	paa  int
+	bits uint
+	mask uint64
+	ok   bool
+}
+
+// NewWordCodec returns the codec for words of paa letters over the given
+// alphabet. The zero codec (and any codec whose parameters do not fit 64
+// bits) reports Fits() == false.
+func NewWordCodec(paa, alphabet int) WordCodec {
+	if paa <= 0 || alphabet < MinAlphabet || alphabet > MaxAlphabet {
+		return WordCodec{}
+	}
+	b := uint(bits.Len(uint(alphabet - 1)))
+	if uint(paa)*b > 64 {
+		return WordCodec{}
+	}
+	return WordCodec{paa: paa, bits: b, mask: 1<<b - 1, ok: true}
+}
+
+// Fits reports whether words of this codec's shape pack into a uint64.
+func (c WordCodec) Fits() bool { return c.ok }
+
+// PAA returns the word length the codec packs.
+func (c WordCodec) PAA() int { return c.paa }
+
+// Pack packs a word of exactly c.PAA() letter bytes ('a'...) into its
+// code. It does not allocate. Words produced by Encoder/windowEncoder are
+// always well-formed; Pack does not re-validate letters.
+func (c WordCodec) Pack(word []byte) uint64 {
+	var code uint64
+	for _, ch := range word {
+		code = code<<c.bits | uint64(ch-'a')&c.mask
+	}
+	return code
+}
+
+// PackString is Pack for a string-form word.
+func (c WordCodec) PackString(word string) uint64 {
+	var code uint64
+	for i := 0; i < len(word); i++ {
+		code = code<<c.bits | uint64(word[i]-'a')&c.mask
+	}
+	return code
+}
+
+// AppendDecode appends the word's letters to dst and returns the extended
+// slice — the allocation-controlled inverse of Pack.
+func (c WordCodec) AppendDecode(dst []byte, code uint64) []byte {
+	for k := c.paa - 1; k >= 0; k-- {
+		dst = append(dst, byte('a'+(code>>(uint(k)*c.bits))&c.mask))
+	}
+	return dst
+}
+
+// Decode renders a code back into its string form. Strings are built only
+// at the API/debug boundary; the pipeline passes codes.
+func (c WordCodec) Decode(code uint64) string {
+	buf := make([]byte, 0, c.paa)
+	return string(c.AppendDecode(buf, code))
+}
+
+// MINDISTZero reports whether MINDIST between two word codes is zero,
+// i.e. every letter pair is at most one region apart — the coded
+// equivalent of wordsMINDISTZero.
+func (c WordCodec) MINDISTZero(a, b uint64) bool {
+	for k := 0; k < c.paa; k++ {
+		sh := uint(k) * c.bits
+		d := int(a>>sh&c.mask) - int(b>>sh&c.mask)
+		if d < -1 || d > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeCode discretizes one subsequence directly into its packed word
+// code. It allocates nothing in steady state (pinned by a
+// testing.AllocsPerRun regression test), which makes it the preferred
+// encoder for hot loops. It fails with ErrCodeOverflow when the encoder's
+// parameters do not fit a uint64 code.
+func (e *Encoder) EncodeCode(sub []float64) (uint64, error) {
+	if !e.codec.Fits() {
+		return 0, fmt.Errorf("%w: paa=%d alphabet=%d",
+			ErrCodeOverflow, e.params.PAA, e.params.Alphabet)
+	}
+	if e.word == nil {
+		e.word = make([]byte, e.params.PAA)
+	}
+	if err := e.EncodeInto(e.word, sub); err != nil {
+		return 0, err
+	}
+	return e.codec.Pack(e.word), nil
+}
+
+// Codec returns the encoder's word codec (Fits() == false when the
+// parameters exceed 64 bits).
+func (e *Encoder) Codec() WordCodec { return e.codec }

@@ -1,0 +1,159 @@
+package sax
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randWord returns a random word of length paa over the first `alphabet`
+// letters.
+func randWord(rng *rand.Rand, paa, alphabet int) string {
+	var b strings.Builder
+	for i := 0; i < paa; i++ {
+		b.WriteByte(byte('a' + rng.Intn(alphabet)))
+	}
+	return b.String()
+}
+
+func TestWordCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ paa, alphabet int }{
+		{1, 2}, {3, 3}, {4, 4}, {8, 4}, {12, 26}, {16, 10}, {32, 4}, {21, 8},
+	} {
+		c := NewWordCodec(tc.paa, tc.alphabet)
+		if !c.Fits() {
+			t.Fatalf("paa=%d alphabet=%d should fit", tc.paa, tc.alphabet)
+		}
+		for i := 0; i < 200; i++ {
+			w := randWord(rng, tc.paa, tc.alphabet)
+			code := c.PackString(w)
+			if got := c.Decode(code); got != w {
+				t.Fatalf("paa=%d a=%d: %q -> %d -> %q", tc.paa, tc.alphabet, w, code, got)
+			}
+			if c.Pack([]byte(w)) != code {
+				t.Fatalf("Pack and PackString disagree on %q", w)
+			}
+		}
+	}
+}
+
+func TestWordCodecInjective(t *testing.T) {
+	// Exhaustive over a small parameter shape: every distinct word must get
+	// a distinct code.
+	c := NewWordCodec(3, 4)
+	seen := make(map[uint64]string)
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			for d := 0; d < 4; d++ {
+				w := string([]byte{byte('a' + a), byte('a' + b), byte('a' + d)})
+				code := c.PackString(w)
+				if prev, dup := seen[code]; dup {
+					t.Fatalf("code %d for both %q and %q", code, prev, w)
+				}
+				seen[code] = w
+			}
+		}
+	}
+}
+
+func TestWordCodecFitsBoundary(t *testing.T) {
+	// 32 letters at alphabet 4 use exactly 64 bits; 33 overflow.
+	if !NewWordCodec(32, 4).Fits() {
+		t.Error("paa=32 alphabet=4 should fit (2 bits/letter)")
+	}
+	if NewWordCodec(33, 4).Fits() {
+		t.Error("paa=33 alphabet=4 should not fit")
+	}
+	if NewWordCodec(13, 26).Fits() {
+		t.Error("paa=13 alphabet=26 should not fit (5 bits/letter)")
+	}
+	if NewWordCodec(0, 4).Fits() || NewWordCodec(4, 1).Fits() {
+		t.Error("degenerate parameters should not fit")
+	}
+}
+
+func TestWordCodecMINDISTZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := NewWordCodec(5, 6)
+	for i := 0; i < 500; i++ {
+		a := randWord(rng, 5, 6)
+		b := randWord(rng, 5, 6)
+		want := wordsMINDISTZero(a, b)
+		got := c.MINDISTZero(c.PackString(a), c.PackString(b))
+		if got != want {
+			t.Fatalf("MINDISTZero(%q, %q): code %v, string %v", a, b, got, want)
+		}
+	}
+}
+
+func TestEncodeCodeMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := Params{Window: 32, PAA: 4, Alphabet: 4}
+	enc, err := NewEncoder(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := make([]float64, p.Window)
+	for i := 0; i < 100; i++ {
+		for j := range sub {
+			sub[j] = rng.NormFloat64()
+		}
+		word, err := enc.Encode(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, err := enc.EncodeCode(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := enc.Codec().Decode(code); got != word {
+			t.Fatalf("window %d: Encode %q, EncodeCode decodes to %q", i, word, got)
+		}
+	}
+}
+
+func TestEncodeCodeOverflow(t *testing.T) {
+	// paa=40 at alphabet 4 needs 80 bits: EncodeCode must refuse.
+	enc, err := NewEncoder(Params{Window: 80, PAA: 40, Alphabet: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := make([]float64, 80)
+	for i := range sub {
+		sub[i] = float64(i % 7)
+	}
+	if _, err := enc.EncodeCode(sub); !errors.Is(err, ErrCodeOverflow) {
+		t.Fatalf("want ErrCodeOverflow, got %v", err)
+	}
+	// The string path still works for the same encoder.
+	if _, err := enc.Encode(sub); err != nil {
+		t.Fatalf("Encode should still work: %v", err)
+	}
+}
+
+// TestEncodeCodeAllocs pins the zero-allocation guarantee of the coded hot
+// path: after the first call warms the scratch buffer, EncodeCode must not
+// allocate.
+func TestEncodeCodeAllocs(t *testing.T) {
+	enc, err := NewEncoder(Params{Window: 64, PAA: 8, Alphabet: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := make([]float64, 64)
+	for i := range sub {
+		sub[i] = float64(i%13) - 6
+	}
+	if _, err := enc.EncodeCode(sub); err != nil { // warm the word scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := enc.EncodeCode(sub); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeCode allocates %v objects per call in steady state, want 0", allocs)
+	}
+}

@@ -57,6 +57,8 @@ type Encoder struct {
 	cuts   []float64
 	znorm  []float64 // scratch: z-normalized window
 	segs   []float64 // scratch: PAA output
+	word   []byte    // scratch: letter buffer for EncodeCode
+	codec  WordCodec
 }
 
 // NewEncoder returns an Encoder for the given parameters. Window-related
@@ -74,6 +76,7 @@ func NewEncoder(p Params) (*Encoder, error) {
 		params: p,
 		cuts:   cuts,
 		segs:   make([]float64, p.PAA),
+		codec:  NewWordCodec(p.PAA, p.Alphabet),
 	}, nil
 }
 

@@ -46,6 +46,12 @@ func (r Reduction) String() string {
 type Word struct {
 	Str    string // the SAX letters
 	Offset int    // start index of the source window in the time series
+
+	// Code is the packed integer form of Str (see WordCodec): the
+	// identity the grammar-induction hot path hashes instead of the
+	// string. It is 0 when the discretization's parameters do not fit a
+	// uint64 code (Discretization.Coded == false).
+	Code uint64
 }
 
 // Discretization is the result of sliding-window SAX discretization after
@@ -55,6 +61,11 @@ type Discretization struct {
 	SeriesLen int    // length of the source series
 	Params    Params // parameters used
 	Raw       int    // number of windows before numerosity reduction
+
+	// Coded reports that every Word carries its packed uint64 Code
+	// (true whenever PAA * ceil(log2(Alphabet)) <= 64; see WordCodec).
+	// When false, consumers must use the string path.
+	Coded bool
 
 	// Fallbacks counts the windows the incremental encoder handed to the
 	// naive encoder because a letter or flat-window decision was within
@@ -134,16 +145,19 @@ func DiscretizeCtx(ctx context.Context, ts []float64, p Params, red Reduction, w
 
 	// Phase 1: encode each chunk of window starts independently. For the
 	// reducing strategies chunks collapse runs of identical words as they
-	// go (allocating one string per run, not per window); ReductionNone
-	// must keep every word.
+	// go; ReductionNone must keep every word. When the parameters fit a
+	// uint64 word code, chunks record only codes and offsets — strings are
+	// rendered once, post-stitch, into a single shared backing array, so
+	// the per-window loop allocates nothing for words.
 	collapse := red != ReductionNone
+	codec := NewWordCodec(p.PAA, p.Alphabet)
 	chunks := make([]chunkResult, workers)
 	if workers <= 1 {
 		we, err := st.newWindowEncoder()
 		if err != nil {
 			return nil, err
 		}
-		chunks[0], err = discretizeChunk(ctx, we, 0, nWin, collapse)
+		chunks[0], err = discretizeChunk(ctx, we, codec, 0, nWin, collapse)
 		if err != nil {
 			return nil, fmt.Errorf("sax: discretize: %w", err)
 		}
@@ -159,7 +173,7 @@ func DiscretizeCtx(ctx context.Context, ts []float64, p Params, red Reduction, w
 				if err != nil {
 					return err
 				}
-				chunks[w], err = discretizeChunk(gctx, we, lo, hi, collapse)
+				chunks[w], err = discretizeChunk(gctx, we, codec, lo, hi, collapse)
 				return err
 			})
 		}
@@ -168,11 +182,14 @@ func DiscretizeCtx(ctx context.Context, ts []float64, p Params, red Reduction, w
 		}
 	}
 
-	d := &Discretization{SeriesLen: len(ts), Params: p, Raw: nWin}
+	d := &Discretization{SeriesLen: len(ts), Params: p, Raw: nWin, Coded: codec.Fits()}
 	for _, c := range chunks {
 		d.Fallbacks += c.fallbacks
 	}
-	d.Words = stitch(chunks, red)
+	d.Words = stitch(chunks, red, codec)
+	if d.Coded {
+		renderStrings(d.Words, codec)
+	}
 	if len(d.Words) == 0 {
 		return nil, fmt.Errorf("sax: discretization produced no words")
 	}
@@ -184,17 +201,29 @@ type chunkResult struct {
 	fallbacks int
 }
 
+// sameWord reports whether two recorded words are identical, comparing
+// packed codes on the coded path and strings otherwise.
+func sameWord(a, b Word, coded bool) bool {
+	if coded {
+		return a.Code == b.Code
+	}
+	return a.Str == b.Str
+}
+
 // discretizeChunk encodes the windows starting in [lo, hi). With collapse
 // set, only the first word of each run of identical words is kept — the
 // exact numerosity reduction, and the run representatives the MINDIST
 // filter needs (a MINDIST decision is constant across a run, so one
 // decision per run at the run's first offset reproduces the serial scan).
 // The context is polled every cancelStride windows; polling never alters
-// the encoded output.
-func discretizeChunk(ctx context.Context, we *windowEncoder, lo, hi int, collapse bool) (chunkResult, error) {
+// the encoded output. On the coded path (codec.Fits()) no word strings
+// are built at all — Str stays empty until renderStrings.
+func discretizeChunk(ctx context.Context, we *windowEncoder, codec WordCodec, lo, hi int, collapse bool) (chunkResult, error) {
 	poll := ctx.Done() != nil
+	coded := codec.Fits()
 	words := make([]Word, 0, hi-lo) // sized from the chunk's raw window count
-	prev := ""
+	var prev Word
+	have := false
 	for s := lo; s < hi; s++ {
 		if poll && (s-lo)&(cancelStride-1) == 0 {
 			if err := ctx.Err(); err != nil {
@@ -205,12 +234,19 @@ func discretizeChunk(ctx context.Context, we *windowEncoder, lo, hi int, collaps
 		if err != nil {
 			return chunkResult{}, err
 		}
-		if collapse && prev != "" && string(buf) == prev {
+		w := Word{Offset: s}
+		if coded {
+			w.Code = codec.Pack(buf)
+		} else if collapse && have && string(buf) == prev.Str {
 			continue // comparison does not allocate; no string is built
+		} else {
+			w.Str = string(buf)
 		}
-		word := string(buf)
-		words = append(words, Word{Str: word, Offset: s})
-		prev = word
+		if collapse && have && coded && w.Code == prev.Code {
+			continue
+		}
+		words = append(words, w)
+		prev, have = w, true
 	}
 	return chunkResult{words: words, fallbacks: we.fallbacks}, nil
 }
@@ -218,7 +254,8 @@ func discretizeChunk(ctx context.Context, we *windowEncoder, lo, hi int, collaps
 // stitch concatenates per-chunk results into the final word sequence,
 // re-applying the reduction at chunk seams so the output is identical to a
 // serial scan.
-func stitch(chunks []chunkResult, red Reduction) []Word {
+func stitch(chunks []chunkResult, red Reduction, codec WordCodec) []Word {
+	coded := codec.Fits()
 	total := 0
 	for _, c := range chunks {
 		total += len(c.words)
@@ -233,17 +270,18 @@ func stitch(chunks []chunkResult, red Reduction) []Word {
 	// Merge run representatives across seams: a chunk's leading run may
 	// continue the previous chunk's trailing run.
 	reps := out
-	last := ""
+	var last Word
+	haveLast := false
 	for _, c := range chunks {
 		ws := c.words
-		if last != "" && len(ws) > 0 && ws[0].Str == last {
+		if haveLast && len(ws) > 0 && sameWord(ws[0], last, coded) {
 			ws = ws[1:]
 		}
 		reps = append(reps, ws...)
 		if len(ws) > 0 {
-			last = ws[len(ws)-1].Str
+			last, haveLast = ws[len(ws)-1], true
 		} else if len(c.words) > 0 {
-			last = c.words[len(c.words)-1].Str
+			last, haveLast = c.words[len(c.words)-1], true
 		}
 	}
 	if red == ReductionExact {
@@ -253,15 +291,39 @@ func stitch(chunks []chunkResult, red Reduction) []Word {
 	// away from the previously recorded word. Filtering in place is safe —
 	// the write index never passes the read index.
 	words := reps[:0]
-	prev := ""
+	var prev Word
+	havePrev := false
 	for _, w := range reps {
-		if prev != "" && wordsMINDISTZero(w.Str, prev) {
-			continue
+		if havePrev {
+			var zero bool
+			if coded {
+				zero = codec.MINDISTZero(w.Code, prev.Code)
+			} else {
+				zero = wordsMINDISTZero(w.Str, prev.Str)
+			}
+			if zero {
+				continue
+			}
 		}
 		words = append(words, w)
-		prev = w.Str
+		prev, havePrev = w, true
 	}
 	return words
+}
+
+// renderStrings materializes the string form of every coded word for the
+// API/debug boundary. All strings slice one shared backing array, so the
+// whole word list costs two allocations regardless of length.
+func renderStrings(words []Word, codec WordCodec) {
+	paa := codec.PAA()
+	buf := make([]byte, 0, len(words)*paa)
+	for i := range words {
+		buf = codec.AppendDecode(buf, words[i].Code)
+	}
+	s := string(buf)
+	for i := range words {
+		words[i].Str = s[i*paa : (i+1)*paa]
+	}
 }
 
 // DiscretizeReference is the naive discretizer the incremental and
@@ -280,7 +342,8 @@ func DiscretizeReference(ts []float64, p Params, red Reduction) (*Discretization
 	if err != nil {
 		return nil, err
 	}
-	d := &Discretization{SeriesLen: len(ts), Params: p}
+	codec := NewWordCodec(p.PAA, p.Alphabet)
+	d := &Discretization{SeriesLen: len(ts), Params: p, Coded: codec.Fits()}
 	prev := ""
 	for start := 0; start+p.Window <= len(ts); start++ {
 		word, err := enc.Encode(ts[start : start+p.Window])
@@ -298,7 +361,11 @@ func DiscretizeReference(ts []float64, p Params, red Reduction) (*Discretization
 				continue
 			}
 		}
-		d.Words = append(d.Words, Word{Str: word, Offset: start})
+		w := Word{Str: word, Offset: start}
+		if d.Coded {
+			w.Code = codec.PackString(word)
+		}
+		d.Words = append(d.Words, w)
 		prev = word
 	}
 	if len(d.Words) == 0 {

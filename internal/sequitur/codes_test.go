@@ -1,0 +1,151 @@
+package sequitur
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// codeTokens maps a string token sequence onto arbitrary integer codes,
+// returning the codes and a renderer back to the original strings — the
+// same shape internal/core uses with SAX word codes.
+func codeTokens(tokens []string) ([]uint64, func(uint64) string) {
+	ids := make(map[string]uint64)
+	var names []string
+	codes := make([]uint64, len(tokens))
+	for i, t := range tokens {
+		id, ok := ids[t]
+		if !ok {
+			// Non-dense codes exercise the vocab map, not slice indexing.
+			id = uint64(len(names))*7919 + 13
+			ids[t] = id
+			names = append(names, t)
+		}
+		codes[i] = id
+	}
+	byCode := make(map[uint64]string, len(names))
+	for s, id := range ids {
+		byCode[id] = s
+	}
+	return codes, func(c uint64) string { return byCode[c] }
+}
+
+func randTokens(rng *rand.Rand, n, vocab int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("w%02d", rng.Intn(vocab))
+	}
+	return out
+}
+
+// TestInduceCodesMatchesInduce pins the equivalence guarantee: the integer
+// hot path induces a grammar byte-identical to the string path's, because
+// token ids are assigned in first-appearance order on both.
+func TestInduceCodesMatchesInduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(400)
+		vocab := 1 + rng.Intn(12)
+		tokens := randTokens(rng, n, vocab)
+		codes, render := codeTokens(tokens)
+
+		want := Induce(tokens).String()
+		got := InduceCodes(codes, render).String()
+		if got != want {
+			t.Fatalf("trial %d (n=%d vocab=%d): grammars differ\nstrings:\n%s\ncodes:\n%s",
+				trial, n, vocab, want, got)
+		}
+		if err := InduceCodes(codes, render).Verify(tokens); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestInducerResetReuse pins the pooling contract: a reused Inducer
+// produces the same grammar as a fresh one, in either token form, and
+// snapshots taken before a reset stay intact.
+func TestInducerResetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randTokens(rng, 300, 8)
+	b := randTokens(rng, 180, 5)
+	aCodes, aRender := codeTokens(a)
+	bCodes, bRender := codeTokens(b)
+
+	in := NewInducer()
+	for _, tok := range a {
+		in.Append(tok)
+	}
+	gotA := in.Grammar()
+	wantA := Induce(a).String()
+	if gotA.String() != wantA {
+		t.Fatal("first use differs from fresh inducer")
+	}
+
+	// Switch the same inducer to the coded form for a different sequence.
+	in.ResetCodes(bRender)
+	for _, c := range bCodes {
+		in.AppendCode(c)
+	}
+	if got := in.Grammar().String(); got != Induce(b).String() {
+		t.Fatal("coded reuse differs from fresh induction")
+	}
+	// The snapshot from before the reset must be unaffected.
+	if gotA.String() != wantA {
+		t.Fatal("pre-reset snapshot corrupted by reuse")
+	}
+
+	// Back to strings, then coded again on the first sequence.
+	in.ResetStrings()
+	for _, tok := range b {
+		in.Append(tok)
+	}
+	if got := in.Grammar().String(); got != Induce(b).String() {
+		t.Fatal("string reuse after coded use differs")
+	}
+	in.ResetCodes(aRender)
+	for _, c := range aCodes {
+		in.AppendCode(c)
+	}
+	if got := in.Grammar().String(); got != wantA {
+		t.Fatal("coded reuse after string use differs")
+	}
+}
+
+func TestInducerMixedFormsPanic(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	in := NewInducer()
+	mustPanic("AppendCode on string inducer", func() { in.AppendCode(1) })
+	ci := NewCodeInducer(func(c uint64) string { return fmt.Sprint(c) })
+	mustPanic("Append on code inducer", func() { ci.Append("x") })
+}
+
+// TestInducerReuseAllocs pins the arena guarantee: re-inducing the same
+// sequence on a warm Inducer allocates only the per-analysis constant
+// (rule-id map growth aside, no per-token or per-symbol allocations). The
+// bound is deliberately loose — it catches a return to per-token
+// allocation (hundreds per run), not incidental map resizes.
+func TestInducerReuseAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tokens := randTokens(rng, 500, 9)
+	codes, render := codeTokens(tokens)
+
+	in := NewCodeInducer(render)
+	run := func() {
+		in.ResetCodes(render)
+		for _, c := range codes {
+			in.AppendCode(c)
+		}
+	}
+	run() // warm: arena chunks, maps, vocab
+	allocs := testing.AllocsPerRun(20, run)
+	if allocs > 10 {
+		t.Fatalf("warm re-induction of %d tokens allocates %v objects, want <= 10", len(tokens), allocs)
+	}
+}

@@ -42,13 +42,21 @@ func (in *Inducer) Grammar() *Grammar {
 	for i, id := range ids {
 		dense[id] = i
 	}
+	tokens := make([]string, in.numTokens())
+	for i := range tokens {
+		tokens[i] = in.tokenString(i)
+	}
 	g := &Grammar{
-		Tokens: append([]string(nil), in.tokens...),
+		Tokens: tokens,
 		Rules:  make([]Rule, len(ids)),
 	}
 	for i, id := range ids {
 		src := in.rules[id]
-		r := Rule{ID: i, Count: src.count}
+		n := 0
+		for s := src.first(); !s.isGuard(); s = s.next {
+			n++
+		}
+		r := Rule{ID: i, Count: src.count, Body: make([]Sym, 0, n)}
 		for s := src.first(); !s.isGuard(); s = s.next {
 			if s.rule != nil {
 				r.Body = append(r.Body, Sym{IsRule: true, ID: dense[s.rule.id]})

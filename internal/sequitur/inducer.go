@@ -1,21 +1,43 @@
 package sequitur
 
 // Inducer incrementally builds a Sequitur grammar. Feed tokens with
-// Append; take a snapshot of the induced grammar with Grammar at any
-// point (the paper's streaming extension relies on this incrementality).
-// An Inducer is not safe for concurrent use.
+// Append (string tokens) or AppendCode (packed integer tokens); take a
+// snapshot of the induced grammar with Grammar at any point (the paper's
+// streaming extension relies on this incrementality). A single Inducer
+// must stick to one token form between resets. An Inducer is not safe for
+// concurrent use.
+//
+// Symbols are allocated from an internal arena (see symbolArena) and
+// recycled when the algorithm retires them, so steady-state induction is
+// allocation-free per token; Reset/ResetCodes rewind the arena and clear
+// the maps without releasing their memory, which is what makes Inducers
+// poolable across analyses (internal/workspace).
 type Inducer struct {
 	digrams map[uint64]*symbol
 	root    *rule
 	rules   map[int]*rule // live rules by id, including the root (id 0)
 	nextID  int
+	arena   symbolArena
 
-	vocab   map[string]int32 // token string -> id
-	tokens  []string         // id -> token string
-	nTokens int              // number of Append calls
+	// Rule structs are recycled like symbols: ruleArena holds every rule
+	// ever allocated by this Inducer, ruleUsed is the rewind point for
+	// Reset, and ruleFree collects rules retired mid-induction (rule
+	// utility inlining) for reuse before the arena grows.
+	ruleArena []*rule
+	ruleUsed  int
+	ruleFree  []*rule
+
+	vocab   map[string]int32 // string path: token string -> id
+	tokens  []string         // string path: id -> token string
+	nTokens int              // number of appended tokens
+
+	coded      bool
+	vocabCodes map[uint64]int32    // coded path: word code -> id
+	codes      []uint64            // coded path: id -> word code
+	render     func(uint64) string // coded path: code -> string, for snapshots
 }
 
-// NewInducer returns an empty Inducer.
+// NewInducer returns an empty Inducer for string tokens.
 func NewInducer() *Inducer {
 	in := &Inducer{
 		digrams: make(map[uint64]*symbol),
@@ -23,7 +45,25 @@ func NewInducer() *Inducer {
 		vocab:   make(map[string]int32),
 		nextID:  1,
 	}
-	in.root = newRuleNode(0)
+	in.root = in.newRuleNode(0)
+	in.rules[0] = in.root
+	return in
+}
+
+// NewCodeInducer returns an empty Inducer for integer-coded tokens.
+// render converts a code back to its string form; it is called once per
+// distinct token when a Grammar snapshot is taken (the string boundary),
+// never on the per-token hot path.
+func NewCodeInducer(render func(uint64) string) *Inducer {
+	in := &Inducer{
+		digrams:    make(map[uint64]*symbol),
+		rules:      make(map[int]*rule),
+		vocabCodes: make(map[uint64]int32),
+		nextID:     1,
+		coded:      true,
+		render:     render,
+	}
+	in.root = in.newRuleNode(0)
 	in.rules[0] = in.root
 	return in
 }
@@ -37,26 +77,130 @@ func Induce(tokens []string) *Grammar {
 	return in.Grammar()
 }
 
+// InduceCodes builds the grammar for a whole coded-token sequence in one
+// call. The induced grammar is identical to Induce over the rendered
+// strings (token ids are assigned in first-appearance order either way).
+func InduceCodes(codes []uint64, render func(uint64) string) *Grammar {
+	in := NewCodeInducer(render)
+	for _, c := range codes {
+		in.AppendCode(c)
+	}
+	return in.Grammar()
+}
+
+// Reset returns the Inducer to its empty state while keeping its arena
+// chunks and map storage for reuse: a pooled Inducer re-analyzes a new
+// sequence without re-paying its allocations. Grammar snapshots taken
+// before the reset stay valid (they copy everything out). The token form
+// (string vs coded) is preserved; use ResetCodes to (re)bind a coded
+// Inducer's renderer.
+func (in *Inducer) Reset() {
+	clear(in.digrams)
+	clear(in.rules)
+	if in.vocab != nil {
+		clear(in.vocab)
+	}
+	if in.vocabCodes != nil {
+		clear(in.vocabCodes)
+	}
+	in.tokens = in.tokens[:0]
+	in.codes = in.codes[:0]
+	in.nTokens = 0
+	in.nextID = 1
+	in.arena.reset()
+	in.ruleUsed = 0
+	in.ruleFree = in.ruleFree[:0]
+	in.root = in.newRuleNode(0)
+	in.rules[0] = in.root
+}
+
+// ResetCodes is Reset for the coded token form: it rebinds the renderer
+// (codes from different discretization parameters render differently) and
+// lazily creates the code vocabulary on an Inducer that started out on
+// the string path — the conversion a pooled workspace needs when requests
+// with different parameter shapes share one Inducer.
+func (in *Inducer) ResetCodes(render func(uint64) string) {
+	in.coded = true
+	in.render = render
+	if in.vocabCodes == nil {
+		in.vocabCodes = make(map[uint64]int32)
+	}
+	in.Reset()
+}
+
+// ResetStrings is Reset forcing the string token form.
+func (in *Inducer) ResetStrings() {
+	in.coded = false
+	in.render = nil
+	if in.vocab == nil {
+		in.vocab = make(map[string]int32)
+	}
+	in.Reset()
+}
+
 // Len returns the number of tokens appended so far.
 func (in *Inducer) Len() int { return in.nTokens }
 
 // NumRules returns the number of live rules, excluding the root.
 func (in *Inducer) NumRules() int { return len(in.rules) - 1 }
 
-// Append feeds the next token of the input sequence to the grammar.
+// Append feeds the next string token of the input sequence to the
+// grammar. It must not be mixed with AppendCode on the same Inducer.
 func (in *Inducer) Append(token string) {
+	if in.coded {
+		panic("sequitur: Append on a code-token Inducer")
+	}
 	id, ok := in.vocab[token]
 	if !ok {
 		id = int32(len(in.tokens))
 		in.vocab[token] = id
 		in.tokens = append(in.tokens, token)
 	}
+	in.appendID(id)
+}
+
+// AppendCode feeds the next integer-coded token of the input sequence to
+// the grammar — the allocation-free hot path: no string is built, hashed,
+// or compared. It must not be mixed with Append on the same Inducer.
+func (in *Inducer) AppendCode(code uint64) {
+	if !in.coded {
+		panic("sequitur: AppendCode on a string-token Inducer")
+	}
+	id, ok := in.vocabCodes[code]
+	if !ok {
+		id = int32(len(in.codes))
+		in.vocabCodes[code] = id
+		in.codes = append(in.codes, code)
+	}
+	in.appendID(id)
+}
+
+// appendID appends the token with the given vocabulary id to the root
+// rule and restores the digram-uniqueness invariant.
+func (in *Inducer) appendID(id int32) {
 	in.nTokens++
-	s := &symbol{term: id}
+	s := in.arena.alloc()
+	s.term = id
 	in.insertAfter(in.root.last(), s)
 	if prev := s.prev; !prev.isGuard() {
 		in.check(prev)
 	}
+}
+
+// numTokens returns the vocabulary size on either token path.
+func (in *Inducer) numTokens() int {
+	if in.coded {
+		return len(in.codes)
+	}
+	return len(in.tokens)
+}
+
+// tokenString renders vocabulary id id for a snapshot.
+func (in *Inducer) tokenString(id int) string {
+	if in.coded {
+		return in.render(in.codes[id])
+	}
+	return in.tokens[id]
 }
 
 // digramKey packs the identities of s and s.next into a map key.
@@ -104,7 +248,8 @@ func (in *Inducer) insertAfter(s, y *symbol) {
 }
 
 // deleteSymbol unlinks s from its list, maintaining the digram index and
-// the reference count of the rule s references (if any).
+// the reference count of the rule s references (if any). The caller owns
+// the unlinked symbol and is responsible for recycling it.
 func (in *Inducer) deleteSymbol(s *symbol) {
 	in.join(s.prev, s.next)
 	if !s.isGuard() {
@@ -160,15 +305,48 @@ func (in *Inducer) match(s, m *symbol) {
 // copyOf clones s for insertion into a rule body, bumping the reference
 // count when s is a non-terminal.
 func (in *Inducer) copyOf(s *symbol) *symbol {
-	c := &symbol{term: s.term, rule: s.rule}
+	c := in.arena.alloc()
+	c.term, c.rule = s.term, s.rule
 	if c.rule != nil {
 		c.rule.count++
 	}
 	return c
 }
 
+// allocRule returns a zeroed rule struct, preferring retired or
+// previously-allocated ones over the heap.
+func (in *Inducer) allocRule() *rule {
+	if n := len(in.ruleFree); n > 0 {
+		r := in.ruleFree[n-1]
+		in.ruleFree = in.ruleFree[:n-1]
+		*r = rule{}
+		return r
+	}
+	if in.ruleUsed < len(in.ruleArena) {
+		r := in.ruleArena[in.ruleUsed]
+		in.ruleUsed++
+		*r = rule{}
+		return r
+	}
+	r := &rule{}
+	in.ruleArena = append(in.ruleArena, r)
+	in.ruleUsed++
+	return r
+}
+
+func (in *Inducer) newRuleNode(id int) *rule {
+	r := in.allocRule()
+	r.id = id
+	g := in.arena.alloc()
+	g.guardOf = r
+	g.next = g
+	g.prev = g
+	r.guard = g
+	return r
+}
+
 func (in *Inducer) newRule() *rule {
-	r := newRuleNode(in.nextID)
+	r := in.newRuleNode(in.nextID)
 	in.nextID++
 	in.rules[r.id] = r
 	return r
@@ -177,15 +355,24 @@ func (in *Inducer) newRule() *rule {
 // newNonTerminal returns a fresh occurrence of r, bumping its count.
 func (in *Inducer) newNonTerminal(r *rule) *symbol {
 	r.count++
-	return &symbol{rule: r}
+	s := in.arena.alloc()
+	s.rule = r
+	return s
 }
 
 // substitute replaces the digram starting at s with a non-terminal
-// referencing r, then re-checks the digrams the splice created.
+// referencing r, then re-checks the digrams the splice created. The two
+// replaced symbols are recycled — by the time they are unlinked, no list
+// link or digram-index entry references them (deleteSymbol and the joins
+// it performs scrub the index), matching the delete points of the
+// reference C++ implementation.
 func (in *Inducer) substitute(s *symbol, r *rule) {
 	q := s.prev
+	t := s.next
 	in.deleteSymbol(s)
-	in.deleteSymbol(q.next)
+	in.deleteSymbol(t)
+	in.arena.release(s)
+	in.arena.release(t)
 	in.insertAfter(q, in.newNonTerminal(r))
 	if !in.check(q) {
 		in.check(q.next)
@@ -193,7 +380,8 @@ func (in *Inducer) substitute(s *symbol, r *rule) {
 }
 
 // expand inlines the body of an underused rule at its last remaining
-// occurrence s and retires the rule.
+// occurrence s and retires the rule, recycling the occurrence and the
+// rule's guard symbol.
 func (in *Inducer) expand(s *symbol) {
 	r := s.rule
 	left, right := s.prev, s.next
@@ -205,4 +393,7 @@ func (in *Inducer) expand(s *symbol) {
 	in.digrams[digramKey(l)] = l
 
 	delete(in.rules, r.id)
+	in.arena.release(r.guard)
+	in.arena.release(s)
+	in.ruleFree = append(in.ruleFree, r)
 }

@@ -55,15 +55,62 @@ type rule struct {
 	count int
 }
 
-func newRuleNode(id int) *rule {
-	r := &rule{id: id}
-	g := &symbol{guardOf: r}
-	g.next = g
-	g.prev = g
-	r.guard = g
-	return r
-}
-
 func (r *rule) first() *symbol { return r.guard.next }
 func (r *rule) last() *symbol  { return r.guard.prev }
 func (r *rule) empty() bool    { return r.guard.next == r.guard }
+
+// arenaChunk is the number of symbols per arena chunk. Chunks are never
+// grown in place, so &chunk[i] stays valid for the arena's lifetime.
+const arenaChunk = 1024
+
+// symbolArena allocates symbols from fixed-size chunks with a freelist of
+// recycled symbols, replacing one heap allocation per appended/copied
+// token with one allocation per arenaChunk symbols. Symbols the algorithm
+// retires (digram substitution, rule inlining) are recycled via release,
+// so steady-state induction allocates only when the live symbol count
+// grows past the high-water mark. reset rewinds the arena for reuse
+// without returning the chunks to the garbage collector — the basis of
+// workspace pooling.
+type symbolArena struct {
+	chunks [][]symbol
+	cur    int     // index of the chunk currently being filled
+	used   int     // slots handed out from chunks[cur]
+	free   *symbol // recycled symbols, linked through next
+}
+
+// alloc returns a zeroed symbol, preferring recycled ones.
+func (a *symbolArena) alloc() *symbol {
+	if s := a.free; s != nil {
+		a.free = s.next
+		*s = symbol{}
+		return s
+	}
+	if a.cur == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]symbol, arenaChunk))
+	}
+	c := a.chunks[a.cur]
+	s := &c[a.used]
+	a.used++
+	if a.used == arenaChunk {
+		a.cur++
+		a.used = 0
+	}
+	*s = symbol{}
+	return s
+}
+
+// release recycles an unlinked symbol. The caller must guarantee nothing
+// references s anymore (no list links, no digram-index entry).
+func (a *symbolArena) release(s *symbol) {
+	s.prev, s.rule, s.guardOf = nil, nil, nil
+	s.term = 0
+	s.next = a.free
+	a.free = s
+}
+
+// reset rewinds the arena: every chunk becomes reusable, no memory is
+// freed. Outstanding symbol pointers become invalid.
+func (a *symbolArena) reset() {
+	a.cur, a.used = 0, 0
+	a.free = nil
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPprofDisabledByDefault pins the security default: without
+// Config.EnablePprof the profiling endpoints do not exist.
+func TestPprofDisabledByDefault(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without EnablePprof: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestPprofEnabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{EnablePprof: true})
+
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var index bytes.Buffer
+	index.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(index.String(), "heap") {
+		t.Errorf("pprof index does not list the heap profile:\n%s", index.String())
+	}
+
+	// A concrete profile must be servable, not just the index.
+	resp, err = http.Get(ts.URL + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/heap: status %d", resp.StatusCode)
+	}
+}
+
+// TestMemMetricsSampledAtScrape checks that /metrics carries the gvad_mem_*
+// gauges and that they hold live (non-zero) runtime values.
+func TestMemMetricsSampledAtScrape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"gvad_mem_heap_alloc_bytes",
+		"gvad_mem_heap_sys_bytes",
+		"gvad_mem_total_alloc_bytes",
+		"gvad_mem_mallocs",
+		"gvad_mem_gc_cycles",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" gauge") {
+			t.Errorf("scrape missing %s:\n%s", name, out)
+		}
+	}
+	// A live process has allocated a non-zero heap; a zero value would mean
+	// the sample never ran.
+	if strings.Contains(out, "gvad_mem_heap_alloc_bytes 0\n") {
+		t.Error("gvad_mem_heap_alloc_bytes is 0 — MemStats not sampled at scrape")
+	}
+}

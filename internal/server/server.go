@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,11 @@ type Config struct {
 	MaxSeriesLen int
 	// MaxBodyBytes caps the request body (default 64 MiB).
 	MaxBodyBytes int64
+	// EnablePprof mounts net/http/pprof's handlers under GET
+	// /debug/pprof/ (CPU, heap, allocs, goroutine, ...). Off by default:
+	// profiles expose internals and cost CPU, so production deployments
+	// opt in explicitly (gvad -pprof).
+	EnablePprof bool
 	// Logf, when set, receives one line per shed or failed request.
 	Logf func(format string, args ...any)
 }
@@ -128,6 +134,11 @@ type Server struct {
 	distCalls      *metrics.Counter
 	inflight       *metrics.Gauge
 	queueDepth     *metrics.Gauge
+	heapAlloc      *metrics.Gauge
+	heapSys        *metrics.Gauge
+	totalAlloc     *metrics.Gauge
+	mallocs        *metrics.Gauge
+	gcCycles       *metrics.Gauge
 
 	// testHookAnalyze, when set, runs inside the containment group before
 	// the analysis — tests use it to inject panics.
@@ -161,11 +172,32 @@ func New(cfg Config) *Server {
 			"Analyze requests currently holding an analysis slot."),
 		queueDepth: reg.NewGauge("gvad_queue_depth",
 			"Analyze requests waiting for an analysis slot."),
+		heapAlloc: reg.NewGauge("gvad_mem_heap_alloc_bytes",
+			"Bytes of live heap objects (runtime.MemStats.HeapAlloc), sampled at scrape."),
+		heapSys: reg.NewGauge("gvad_mem_heap_sys_bytes",
+			"Heap memory obtained from the OS (runtime.MemStats.HeapSys), sampled at scrape."),
+		totalAlloc: reg.NewGauge("gvad_mem_total_alloc_bytes",
+			"Cumulative bytes allocated since process start (runtime.MemStats.TotalAlloc)."),
+		mallocs: reg.NewGauge("gvad_mem_mallocs",
+			"Cumulative heap objects allocated since process start (runtime.MemStats.Mallocs)."),
+		gcCycles: reg.NewGauge("gvad_mem_gc_cycles",
+			"Completed GC cycles since process start (runtime.MemStats.NumGC)."),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.Handle("GET /metrics", reg.Handler())
+	metricsHandler := reg.Handler()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.sampleMemStats()
+		metricsHandler.ServeHTTP(w, r)
+	})
+	if cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	return s
@@ -233,6 +265,19 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// sampleMemStats refreshes the gvad_mem_* gauges from the runtime. It runs
+// once per /metrics scrape: ReadMemStats briefly stops the world, so the
+// cost is paid at scrape frequency, never on the request path.
+func (s *Server) sampleMemStats() {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.heapAlloc.Set(int64(m.HeapAlloc))
+	s.heapSys.Set(int64(m.HeapSys))
+	s.totalAlloc.Set(int64(m.TotalAlloc))
+	s.mallocs.Set(int64(m.Mallocs))
+	s.gcCycles.Set(int64(m.NumGC))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -34,6 +34,7 @@ type Detector struct {
 	params  sax.Params
 	red     sax.Reduction
 	encoder *sax.Encoder
+	codec   sax.WordCodec
 	inducer *sequitur.Inducer
 
 	series   []float64 // everything seen so far
@@ -60,6 +61,7 @@ func NewDetector(p sax.Params, red sax.Reduction) (*Detector, error) {
 		params:  p,
 		red:     red,
 		encoder: enc,
+		codec:   enc.Codec(),
 		inducer: sequitur.NewInducer(),
 		buf:     make([]float64, p.Window),
 		seen:    make(map[string]int),
@@ -104,7 +106,11 @@ func (d *Detector) Append(v float64) (Event, bool, error) {
 		}
 	}
 	d.lastWord = word
-	d.words = append(d.words, sax.Word{Str: word, Offset: start})
+	w := sax.Word{Str: word, Offset: start}
+	if d.codec.Fits() {
+		w.Code = d.codec.PackString(word)
+	}
+	d.words = append(d.words, w)
 	d.inducer.Append(word)
 	d.seen[word]++
 	return Event{

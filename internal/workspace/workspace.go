@@ -1,0 +1,66 @@
+// Package workspace pools per-analysis scratch state so the serving path
+// reuses, rather than reallocates, the grammar-induction hot path's
+// working memory. One Workspace holds everything a single analysis
+// mutates off the critical output path: the Sequitur Inducer (symbol
+// arena, digram index, vocabulary) and the density curve's difference
+// array. Outputs that outlive the analysis (the Grammar snapshot, the
+// RuleSet, the density curve itself) are always freshly allocated —
+// nothing a Pipeline or Detector retains aliases workspace memory, which
+// is what makes checkout/return safe.
+//
+// Workspaces are checked out per analysis (internal/core does this for
+// every AnalyzeCtx call, and thereby for every gvad cache-miss request)
+// and returned when the analysis ends, successfully or not. The pool is
+// sync.Pool-backed: under steady load each worker effectively keeps a
+// warm workspace, and idle workspaces are reclaimed by the GC.
+package workspace
+
+import (
+	"sync"
+
+	"grammarviz/internal/sequitur"
+)
+
+// Workspace is one analysis's reusable scratch state. Zero value is not
+// ready; obtain instances through Get.
+type Workspace struct {
+	// Inducer is the pooled Sequitur inducer. Callers must Reset /
+	// ResetCodes / ResetStrings it before feeding tokens and must not
+	// retain references to it after Put.
+	Inducer *sequitur.Inducer
+
+	// Diff is the density curve's difference-array scratch, grown on
+	// demand and reused across analyses.
+	Diff []int
+}
+
+var pool = sync.Pool{
+	New: func() any {
+		return &Workspace{Inducer: sequitur.NewInducer()}
+	},
+}
+
+// Get checks a Workspace out of the pool.
+func Get() *Workspace {
+	return pool.Get().(*Workspace)
+}
+
+// Put returns a Workspace to the pool. The caller must not use ws (or
+// anything non-snapshot reachable from it) afterwards.
+func Put(ws *Workspace) {
+	pool.Put(ws)
+}
+
+// DiffScratch returns ws.Diff resized to n, zeroed. The slice stays owned
+// by the workspace; callers must copy anything they want to keep.
+func (ws *Workspace) DiffScratch(n int) []int {
+	if cap(ws.Diff) < n {
+		ws.Diff = make([]int, n)
+	}
+	d := ws.Diff[:n]
+	for i := range d {
+		d[i] = 0
+	}
+	ws.Diff = d
+	return d
+}

@@ -1,0 +1,49 @@
+package workspace
+
+import "testing"
+
+func TestGetPut(t *testing.T) {
+	ws := Get()
+	if ws == nil || ws.Inducer == nil {
+		t.Fatal("Get returned an unusable workspace")
+	}
+	Put(ws)
+	// The pool may or may not hand the same instance back; either way the
+	// result must be usable.
+	ws2 := Get()
+	defer Put(ws2)
+	if ws2 == nil || ws2.Inducer == nil {
+		t.Fatal("second Get returned an unusable workspace")
+	}
+}
+
+func TestDiffScratch(t *testing.T) {
+	ws := &Workspace{}
+	d := ws.DiffScratch(10)
+	if len(d) != 10 {
+		t.Fatalf("len = %d, want 10", len(d))
+	}
+	for i := range d {
+		d[i] = i + 1
+	}
+	// Shrinking reuses the same backing and re-zeroes.
+	d2 := ws.DiffScratch(4)
+	if len(d2) != 4 {
+		t.Fatalf("len = %d, want 4", len(d2))
+	}
+	for i, v := range d2 {
+		if v != 0 {
+			t.Fatalf("d2[%d] = %d, want 0 (stale scratch leaked through)", i, v)
+		}
+	}
+	// Growing past capacity allocates fresh, also zeroed.
+	d3 := ws.DiffScratch(64)
+	if len(d3) != 64 {
+		t.Fatalf("len = %d, want 64", len(d3))
+	}
+	for i, v := range d3 {
+		if v != 0 {
+			t.Fatalf("d3[%d] = %d, want 0", i, v)
+		}
+	}
+}
