@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench fuzz-smoke staticcheck serve
+.PHONY: check build vet test race bench-smoke bench fuzz-smoke lint staticcheck govulncheck serve
 
 ## check: everything CI runs — vet, build, race-enabled tests, bench smoke,
-## fuzz smoke, static analysis
-check: vet build race bench-smoke fuzz-smoke staticcheck
+## fuzz smoke, static analysis (go vet + gvadlint + staticcheck)
+check: vet build race bench-smoke fuzz-smoke lint staticcheck
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,13 @@ ADDR ?= :8080
 serve:
 	$(GO) run ./cmd/gvad -addr $(ADDR)
 
+## lint: the repo's own analyzers (cmd/gvadlint) — nobarego, ctxdiscipline,
+## noalloc, poolrelease — over every package; stdlib-only, so it runs on a
+## bare toolchain. See DESIGN.md §11 for what each pass enforces and when
+## a //gvad:ignore suppression is acceptable.
+lint:
+	$(GO) run ./cmd/gvadlint ./...
+
 ## staticcheck: static analysis beyond go vet when staticcheck is
 ## installed; falls back to a no-op with a note so check works on a bare
 ## toolchain (no dependency is downloaded)
@@ -54,4 +61,14 @@ staticcheck:
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+## govulncheck: known-vulnerability scan; advisory only (CI runs it as a
+## soft-fail step) and skipped entirely when the binary is absent so a
+## bare toolchain still passes
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "govulncheck reported findings (advisory)"; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi

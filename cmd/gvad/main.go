@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"grammarviz/internal/server"
+	"grammarviz/internal/worker"
 )
 
 func main() {
@@ -89,23 +90,33 @@ func run(addr string, cacheSize, maxConcurrent, queue int, defTimeout, maxTimeou
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
-
-	select {
-	case err := <-errc:
+	// Both the accept loop and the drain watcher run on a worker.Group —
+	// the same panic-containment and sibling-cancellation discipline the
+	// analysis pipeline uses (and that gvadlint's nobarego pass enforces).
+	// The group context ends when a signal arrives (parent cancelled) or
+	// when Serve fails (sibling error cancels the group); the watcher then
+	// drains in-flight requests, after which Serve returns and Wait
+	// delivers the first real error.
+	g, gctx := worker.WithContext(ctx)
+	g.Go(func() error { return srv.Serve(ln) })
+	g.Go(func() error {
+		<-gctx.Done()
+		if ctx.Err() == nil {
+			return nil // Serve failed on its own; nothing to drain
+		}
+		logger.Printf("shutting down, draining in-flight requests (up to %s)", drain)
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		return nil
+	})
+	if err := g.Wait(); err != nil {
 		return err
-	case <-ctx.Done():
 	}
-	logger.Printf("shutting down, draining in-flight requests (up to %s)", drain)
-	sctx, cancel := context.WithTimeout(context.Background(), drain)
-	defer cancel()
-	if err := srv.Shutdown(sctx); err != nil {
-		return fmt.Errorf("shutdown: %w", err)
+	if ctx.Err() != nil {
+		logger.Printf("drained cleanly")
 	}
-	if err := <-errc; err != nil {
-		return err
-	}
-	logger.Printf("drained cleanly")
 	return nil
 }

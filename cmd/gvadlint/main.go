@@ -1,0 +1,104 @@
+// Command gvadlint runs the repo's custom static-analysis suite
+// (internal/analysis/passes) over the given packages:
+//
+//	gvadlint [packages]    # defaults to ./...
+//
+// The passes mechanically enforce the invariants that keep the serving
+// stack correct and fast:
+//
+//	nobarego       goroutines spawn through worker.Group, never bare `go`
+//	ctxdiscipline  ctx-first params; no ambient Background/TODO in library
+//	               code; Ctx variants for exported series scans
+//	noalloc        //gvad:noalloc functions (and their static callees) stay
+//	               free of allocating constructs on non-error paths
+//	poolrelease    workspace.Get is matched by workspace.Put on all paths
+//
+// Diagnostics print as file:line:col: analyzer: message, and any finding
+// makes the process exit 1 — `make lint` and CI treat the suite as a gate.
+// A finding is silenced with a `//gvad:ignore <analyzer> <reason>` comment
+// on the flagged line or the line above; DESIGN.md §11 describes when that
+// is acceptable.
+//
+// Upstream toolchain analyzers (copylocks and friends) run via `go vet` in
+// `make lint`; gvadlint deliberately carries no dependency on
+// golang.org/x/tools (the framework in internal/analysis mirrors its API
+// so the passes can be re-homed if that dependency is ever taken).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/load"
+	"grammarviz/internal/analysis/passes/ctxdiscipline"
+	"grammarviz/internal/analysis/passes/noalloc"
+	"grammarviz/internal/analysis/passes/nobarego"
+	"grammarviz/internal/analysis/passes/poolrelease"
+)
+
+var analyzers = []*analysis.Analyzer{
+	nobarego.Analyzer,
+	ctxdiscipline.Analyzer,
+	noalloc.Analyzer,
+	poolrelease.Analyzer,
+}
+
+func main() {
+	verbose := flag.Bool("v", false, "print pass/package timing")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gvadlint [-v] [packages]\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	start := time.Now()
+	prog, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gvadlint:", err)
+		os.Exit(2)
+	}
+	loaded := time.Now()
+
+	diags, err := analysis.Run(prog, analyzers, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gvadlint:", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		local := 0
+		for _, p := range prog.Packages {
+			if !p.Standard {
+				local++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "gvadlint: %d packages (%d analyzed) loaded in %v, analyzed in %v\n",
+			len(prog.Packages), local, loaded.Sub(start).Round(time.Millisecond),
+			time.Since(loaded).Round(time.Millisecond))
+	}
+	for _, d := range diags {
+		fmt.Println(rel(d.String()))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// rel trims the working directory prefix from a diagnostic line so output
+// stays readable.
+func rel(s string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return s
+	}
+	return strings.ReplaceAll(s, wd+string(os.PathSeparator), "")
+}

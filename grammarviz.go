@@ -127,17 +127,16 @@ func Fingerprint(ts []float64, opts Options) string {
 	binary.LittleEndian.PutUint64(hdr[32:], uint64(opts.Seed))
 	h.Write(hdr[:])
 	var buf [8 * 512]byte
-	for len(ts) > 0 {
-		n := len(ts)
-		if n > 512 {
-			n = 512
+	fill := 0
+	for _, v := range ts {
+		binary.LittleEndian.PutUint64(buf[8*fill:], math.Float64bits(v))
+		fill++
+		if fill == 512 {
+			h.Write(buf[:])
+			fill = 0
 		}
-		for i, v := range ts[:n] {
-			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
-		}
-		h.Write(buf[:8*n])
-		ts = ts[n:]
 	}
+	h.Write(buf[:8*fill])
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -1,0 +1,221 @@
+// Package analysis is the repo's custom static-analysis framework: a
+// deliberately small, stdlib-only mirror of the golang.org/x/tools
+// go/analysis API. The four gvadlint passes (nobarego, ctxdiscipline,
+// noalloc, poolrelease — see internal/analysis/passes) are written against
+// the same Analyzer/Pass/Diagnostic shapes as upstream analyzers, so if the
+// x/tools dependency is ever taken they re-home onto the real multichecker
+// with mechanical changes only. Until then the driver in cmd/gvadlint runs
+// them over packages loaded by internal/analysis/load, and the upstream
+// passes the issue tracker names (copylock, nilness-adjacent checks) come
+// from `go vet`, which embeds them in the toolchain.
+//
+// Suppressions: a diagnostic can be silenced with a
+//
+//	//gvad:ignore <analyzer> <reason>
+//
+// comment on the flagged line or the line directly above it, in the spirit
+// of staticcheck's //lint:ignore. The analyzer name must match (or be
+// "all"), and the reason is mandatory by convention — DESIGN.md §11 says
+// when a suppression is acceptable.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"grammarviz/internal/analysis/load"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //gvad:ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run analyzes one package, reporting findings through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and types to an analyzer, plus the
+// session state shared across every package of one driver invocation.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Session is shared by all packages and analyzers of one Run call;
+	// analyzers use it to carry cross-package facts (the driver visits
+	// packages in dependency order, so a dependency's facts are always
+	// recorded before its importers are analyzed).
+	Session *Session
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Session is the cross-package key/value store for one driver run.
+type Session struct{ values map[string]any }
+
+// NewSession returns an empty session.
+func NewSession() *Session { return &Session{values: make(map[string]any)} }
+
+// Get returns the value stored under key, or nil.
+func (s *Session) Get(key string) any { return s.values[key] }
+
+// Set stores value under key.
+func (s *Session) Set(key string, value any) { s.values[key] = value }
+
+// ignoreDirective is one parsed //gvad:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers []string
+}
+
+func (d ignoreDirective) matches(diag Diagnostic) bool {
+	if diag.Position.Filename != d.file {
+		return false
+	}
+	// The directive silences its own line and the line below it (the
+	// comment-above-the-statement form).
+	if diag.Position.Line != d.line && diag.Position.Line != d.line+1 {
+		return false
+	}
+	for _, name := range d.analyzers {
+		if name == diag.Analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores parses the //gvad:ignore directives of a file set.
+func collectIgnores(fset *token.FileSet, files []*ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "gvad:ignore") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "gvad:ignore"))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, ignoreDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: strings.Split(fields[0], ","),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every non-standard-library package of prog,
+// in dependency order, and returns the surviving (non-suppressed)
+// diagnostics sorted by position. keep selects which packages are analyzed
+// (nil keeps all non-stdlib packages); dependencies that keep rejects are
+// still visited so cross-package facts stay complete.
+func Run(prog *load.Program, analyzers []*Analyzer, keep func(*load.Package) bool) ([]Diagnostic, error) {
+	session := NewSession()
+	var diags []Diagnostic
+	seen := make(map[string]bool)
+	for _, pkg := range prog.Packages {
+		if pkg.Standard || pkg.Types == nil || pkg.TypesInfo == nil {
+			continue
+		}
+		ignores := collectIgnores(prog.Fset, pkg.Syntax)
+		emit := func(d Diagnostic) {
+			for _, ig := range ignores {
+				if ig.matches(d) {
+					return
+				}
+			}
+			key := d.String()
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			if keep != nil && !keep(pkg) {
+				return
+			}
+			diags = append(diags, d)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Session:   session,
+				report:    emit,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// IsTestFile reports whether the file a node belongs to is a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,111 @@
+// Package analysistest runs an analyzer over a testdata package tree and
+// checks its diagnostics against // want comments — the stdlib-only
+// equivalent of golang.org/x/tools/go/analysis/analysistest.
+//
+// A testdata tree is a small self-contained module: a go.mod at the root
+// (so `go list` resolves its packages offline) and one directory per
+// package. Expectations are written on the offending line:
+//
+//	go doWork() // want `bare go statement`
+//
+// Each backquoted or double-quoted string after "want" is a regular
+// expression that must match exactly one diagnostic reported on that line;
+// diagnostics without a matching want, and wants without a matching
+// diagnostic, fail the test. Lines silenced by //gvad:ignore directives are
+// expected to produce no diagnostics at all — which is how the allowlisted
+// negatives are asserted.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/load"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run loads dir (a module root) with the given package patterns, applies
+// the analyzers, and matches diagnostics against the // want comments of
+// every loaded non-stdlib file.
+func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	prog, err := load.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(prog, analyzers, nil)
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+
+	var wants []*want
+	for _, pkg := range prog.Packages {
+		if pkg.Standard {
+			continue
+		}
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWants(prog.Fset, c.Pos(), c.Text)...)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != d.Position.Filename || w.line != d.Position.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the want expectations from one comment.
+func parseWants(fset *token.FileSet, pos token.Pos, text string) []*want {
+	body := strings.TrimPrefix(text, "//")
+	idx := strings.Index(body, "want ")
+	if idx < 0 {
+		return nil
+	}
+	p := fset.Position(pos)
+	var out []*want
+	for _, m := range wantRE.FindAllStringSubmatch(body[idx+len("want "):], -1) {
+		pat := m[1]
+		if pat == "" {
+			pat = m[2]
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			// A malformed pattern should fail loudly at match time.
+			re = regexp.MustCompile(regexp.QuoteMeta(pat))
+		}
+		out = append(out, &want{file: p.Filename, line: p.Line, re: re})
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+// Package load turns `go list` package graphs into fully type-checked
+// syntax trees for the analysis driver, using nothing but the standard
+// library. It is the stdlib-only stand-in for golang.org/x/tools/go/packages:
+// the go command resolves the import graph (including the stdlib's vendored
+// dependencies and per-platform file sets) and go/types checks every package
+// from source in dependency order.
+//
+// CGO is disabled for the listing so every package resolves to its pure-Go
+// file set — .go files are all go/types needs, and the repo itself is
+// CGO-free by construction.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one node of the loaded program: the go list metadata plus,
+// for non-standard-library packages, parsed files and type information.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool // part of the Go standard library
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string // source import path -> resolved path
+
+	// Populated by the type checker. Syntax and TypesInfo are only
+	// retained for non-Standard packages (the ones analyzers run on);
+	// Types is available for every package.
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPackage mirrors the subset of `go list -json` output we consume.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Program is a loaded, type-checked package graph.
+type Program struct {
+	Fset *token.FileSet
+	// Packages holds every listed package in dependency order
+	// (dependencies before dependents), as produced by `go list -deps`.
+	Packages []*Package
+
+	byPath map[string]*Package
+	typed  map[string]*types.Package
+	fall   types.Importer // fallback for packages go list did not surface
+}
+
+// Load lists patterns (plus their full dependency graph) in dir and
+// type-checks every non-standard package from source. Standard-library
+// dependencies are type-checked on demand — only their exported API is
+// needed — and cached for the lifetime of the Program.
+func Load(dir string, patterns ...string) (*Program, error) {
+	args := append([]string{"list", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+		typed:  make(map[string]*types.Package),
+	}
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var lp listPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("decode go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		p := &Package{
+			ImportPath: lp.ImportPath,
+			Name:       lp.Name,
+			Dir:        lp.Dir,
+			Standard:   lp.Standard,
+			GoFiles:    lp.GoFiles,
+			Imports:    lp.Imports,
+			ImportMap:  lp.ImportMap,
+			Fset:       prog.Fset,
+		}
+		prog.Packages = append(prog.Packages, p)
+		prog.byPath[p.ImportPath] = p
+	}
+
+	// go list -deps emits dependencies before dependents, so a single
+	// in-order sweep sees every import already checked.
+	for _, p := range prog.Packages {
+		if _, err := prog.check(p); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (prog *Program) Package(path string) *Package { return prog.byPath[path] }
+
+// pkgImporter resolves one package's imports against its ImportMap (the
+// stdlib vendors golang.org/x/... under vendor/) and the program cache.
+type pkgImporter struct {
+	prog *Program
+	pkg  *Package
+}
+
+func (im pkgImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := im.pkg.ImportMap[path]; ok {
+		path = mapped
+	}
+	dep := im.prog.byPath[path]
+	if dep == nil {
+		// Not in the listed graph (e.g. an implicit import added by the
+		// type checker); fall back to the source importer.
+		if im.prog.fall == nil {
+			im.prog.fall = importer.ForCompiler(im.prog.Fset, "source", nil)
+		}
+		return im.prog.fall.Import(path)
+	}
+	return im.prog.check(dep)
+}
+
+// check parses and type-checks p (once), returning its *types.Package.
+func (prog *Program) check(p *Package) (*types.Package, error) {
+	if tp, ok := prog.typed[p.ImportPath]; ok {
+		return tp, nil
+	}
+	if p.ImportPath == "unsafe" {
+		prog.typed[p.ImportPath] = types.Unsafe
+		p.Types = types.Unsafe
+		return types.Unsafe, nil
+	}
+
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(prog.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+
+	var info *types.Info
+	if !p.Standard {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+	}
+	cfg := types.Config{
+		Importer:    pkgImporter{prog: prog, pkg: p},
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+	}
+	tp, err := cfg.Check(p.ImportPath, prog.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	prog.typed[p.ImportPath] = tp
+	p.Types = tp
+	if !p.Standard {
+		p.Syntax = files
+		p.TypesInfo = info
+	}
+	return tp, nil
+}

@@ -1,0 +1,292 @@
+// Package ctxdiscipline enforces the repo's context-plumbing rules:
+//
+//  1. ctx-first: where a function takes a context.Context, it must be the
+//     first parameter (Go API convention; the repo's *Ctx APIs all comply).
+//  2. no ambient contexts in library code: context.Background() and
+//     context.TODO() inside library packages sever the caller's
+//     cancellation chain. The one sanctioned shape is the non-Ctx
+//     compatibility wrapper — Background() passed directly as the first
+//     argument of a call whose callee takes ctx first (e.g.
+//     `return NewCtx(context.Background(), ts, opts)`), which is exactly
+//     "this API deliberately has no deadline". _test.go files and package
+//     main are exempt.
+//  3. Ctx variants: an exported library function whose body runs
+//     series-length-bounded nested loops (the statically detectable
+//     signature of a long-running scan) must either take a context or have
+//     a Name+"Ctx" sibling so callers can bound it.
+package ctxdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"grammarviz/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxdiscipline",
+	Doc: "enforces ctx-first parameters, bans ambient context.Background/TODO in " +
+		"library packages outside compatibility wrappers, and requires Ctx variants " +
+		"for exported series-scanning functions",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Rule 1 applies everywhere, including package main; rules 2 and 3
+	// police library packages only.
+	library := pass.Pkg.Name() != "main"
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		checkCtxFirst(pass, f)
+		if library {
+			checkAmbientContext(pass, f)
+			checkCtxVariant(pass, f)
+		}
+	}
+	return nil
+}
+
+// paramTypes flattens a field list into one entry per declared name
+// (or per anonymous field).
+func paramTypes(pass *analysis.Pass, fl *ast.FieldList) []types.Type {
+	if fl == nil {
+		return nil
+	}
+	var out []types.Type
+	for _, field := range fl.List {
+		t := pass.TypesInfo.Types[field.Type].Type
+		if ell, ok := field.Type.(*ast.Ellipsis); ok {
+			// The context type inside a variadic parameter is still a
+			// discipline violation; record the element type.
+			t = pass.TypesInfo.Types[ell.Elt].Type
+		}
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// checkCtxFirst flags any function type (declaration or literal) whose
+// context.Context parameter is not in the first position.
+func checkCtxFirst(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var ft *ast.FuncType
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			ft = n.Type
+		case *ast.FuncLit:
+			ft = n.Type
+		default:
+			return true
+		}
+		params := paramTypes(pass, ft.Params)
+		for i, t := range params {
+			if t == nil || !analysis.IsContextType(t) {
+				continue
+			}
+			if i > 0 {
+				pass.Reportf(ft.Params.Pos(),
+					"context.Context is parameter %d; it must be the first parameter", i+1)
+			}
+			break // only the first ctx parameter matters
+		}
+		return true
+	})
+}
+
+// isAmbientCtxCall reports whether call is context.Background() or
+// context.TODO().
+func isAmbientCtxCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return "", false
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// checkAmbientContext flags Background()/TODO() except in the compatibility
+// wrapper position: the expression is the first argument of a call whose
+// callee takes a context.Context first.
+func checkAmbientContext(pass *analysis.Pass, f *ast.File) {
+	// stack tracks ancestors so the wrapper shape (direct first argument
+	// of a ctx-first call) can be recognized.
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := isAmbientCtxCall(pass, call)
+		if !ok {
+			return true
+		}
+		if wrapperPosition(pass, stack, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s() in a library package severs the caller's cancellation "+
+				"chain; take a ctx parameter (or delegate to the Ctx variant as a "+
+				"first argument, the compatibility-wrapper shape)", name)
+		return true
+	})
+}
+
+// wrapperPosition reports whether call (an ambient-context expression) sits
+// directly in the first-argument slot of a call to a ctx-first function.
+func wrapperPosition(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	parent, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok || len(parent.Args) == 0 || parent.Args[0] != call {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[parent.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return analysis.IsContextType(sig.Params().At(0).Type())
+}
+
+// checkCtxVariant flags exported functions that scan series data (nested
+// loops both bounded by a []float64) with neither a ctx parameter nor a
+// Name+"Ctx" sibling.
+func checkCtxVariant(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !fd.Name.IsExported() {
+			continue
+		}
+		if strings.HasSuffix(fd.Name.Name, "Ctx") {
+			continue
+		}
+		if hasCtxParam(pass, fd) {
+			continue
+		}
+		if !hasNestedSeriesLoop(pass, fd.Body) {
+			continue
+		}
+		if hasCtxSibling(pass, fd) {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(),
+			"exported %s scans series data in nested loops but has no ctx parameter "+
+				"and no %sCtx variant; long-running scans must be cancellable",
+			fd.Name.Name, fd.Name.Name)
+	}
+}
+
+func hasCtxParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, t := range paramTypes(pass, fd.Type.Params) {
+		if t != nil && analysis.IsContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// seriesBounded reports whether a loop's iteration count is tied to series
+// data: a range over a []float64, or a for condition that mentions a
+// []float64 value (e.g. `i <= len(ts)-w`).
+func seriesBounded(pass *analysis.Pass, n ast.Stmt) bool {
+	isSeries := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		sl, ok := tv.Type.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Float64
+	}
+	switch loop := n.(type) {
+	case *ast.RangeStmt:
+		return isSeries(loop.X)
+	case *ast.ForStmt:
+		if loop.Cond == nil {
+			return false
+		}
+		found := false
+		ast.Inspect(loop.Cond, func(e ast.Node) bool {
+			if ex, ok := e.(ast.Expr); ok && isSeries(ex) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+// hasNestedSeriesLoop reports whether body contains a series-bounded loop
+// nested inside another series-bounded loop — the static signature of an
+// O(n·m) scan over the input series.
+func hasNestedSeriesLoop(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		outer, ok := n.(ast.Stmt)
+		if !ok || !seriesBounded(pass, outer) {
+			return true
+		}
+		var inner ast.Node
+		switch l := n.(type) {
+		case *ast.RangeStmt:
+			inner = l.Body
+		case *ast.ForStmt:
+			inner = l.Body
+		}
+		ast.Inspect(inner, func(m ast.Node) bool {
+			if s, ok := m.(ast.Stmt); ok && m != inner && seriesBounded(pass, s) {
+				found = true
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}
+
+// hasCtxSibling reports whether the package declares Name+"Ctx" alongside
+// fd — as a package-level function, or as a method on the same receiver.
+func hasCtxSibling(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	want := fd.Name.Name + "Ctx"
+	if fd.Recv == nil {
+		return pass.Pkg.Scope().Lookup(want) != nil
+	}
+	recvType := pass.TypesInfo.Types[fd.Recv.List[0].Type].Type
+	if recvType == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(recvType, true, pass.Pkg, want)
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}

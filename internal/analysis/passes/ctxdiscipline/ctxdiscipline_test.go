@@ -1,0 +1,13 @@
+package ctxdiscipline_test
+
+import (
+	"testing"
+
+	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/analysistest"
+	"grammarviz/internal/analysis/passes/ctxdiscipline"
+)
+
+func TestCtxdiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{ctxdiscipline.Analyzer}, "./...")
+}

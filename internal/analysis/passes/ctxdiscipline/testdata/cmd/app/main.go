@@ -1,0 +1,13 @@
+// Command app shows package main is exempt from the ambient-context and
+// Ctx-variant rules but not from ctx-first.
+package main
+
+import "context"
+
+func helper(n int, ctx context.Context) { _ = ctx } // want `context.Context is parameter 2`
+
+func main() {
+	ctx := context.Background() // ambient contexts are fine at the entry point
+	_ = ctx
+	helper(1, context.TODO())
+}

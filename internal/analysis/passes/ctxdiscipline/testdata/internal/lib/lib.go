@@ -1,0 +1,123 @@
+// Package lib exercises every ctxdiscipline rule in a library package.
+package lib
+
+import "context"
+
+// CtxFirst is compliant: the context leads.
+func CtxFirst(ctx context.Context, n int) int { return n }
+
+// CtxSecond violates ctx-first.
+func CtxSecond(n int, ctx context.Context) int { return n } // want `context.Context is parameter 2`
+
+// CtxVariadic violates ctx-first through a variadic parameter.
+func CtxVariadic(n int, ctxs ...context.Context) int { return n } // want `context.Context is parameter 2`
+
+// Function literals are checked too.
+var lit = func(n int, ctx context.Context) {} // want `context.Context is parameter 2`
+
+// Ambient severs the caller's cancellation chain.
+func Ambient() error {
+	ctx := context.Background() // want `context.Background\(\) in a library package`
+	return ctx.Err()
+}
+
+// AmbientIgnored carries a reviewed suppression and stays silent.
+func AmbientIgnored() error {
+	//gvad:ignore ctxdiscipline fixture for the allowlisted-negative path
+	ctx := context.TODO()
+	return ctx.Err()
+}
+
+// ScanCtx is the cancellable scan; the Ctx suffix exempts it from rule 3.
+func ScanCtx(ctx context.Context, ts []float64) int {
+	hits := 0
+	for i := range ts {
+		for j := range ts {
+			if ts[i] == ts[j] {
+				hits++
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return hits
+}
+
+// Scan is the compatibility wrapper: an ambient context passed directly
+// as the first argument of a ctx-first callee is the one sanctioned
+// shape, so no diagnostic fires here.
+func Scan(ts []float64) int {
+	return ScanCtx(context.Background(), ts)
+}
+
+// Cover runs a nested series scan but its CoverCtx sibling satisfies
+// rule 3.
+func Cover(ts []float64) int {
+	n := 0
+	for i := range ts {
+		for j := range ts {
+			if i == j {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CoverCtx is the cancellable variant rule 3 looks for.
+func CoverCtx(ctx context.Context, ts []float64) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return Cover(ts)
+}
+
+// Sweep runs a series-bounded nested scan with no ctx parameter and no
+// SweepCtx sibling.
+func Sweep(ts []float64) int { // want `exported Sweep scans series data`
+	best := 0
+	for i := 0; i < len(ts); i++ {
+		for j := i; j < len(ts); j++ {
+			if ts[j] > ts[i] {
+				best = j
+			}
+		}
+	}
+	return best
+}
+
+// sweep is unexported, so rule 3 does not apply.
+func sweep(ts []float64) int {
+	n := 0
+	for range ts {
+		for range ts {
+			n++
+		}
+	}
+	return n
+}
+
+// Series exercises the method-sibling lookup.
+type Series struct{ data []float64 }
+
+// Max scans but has a MaxCtx method sibling on the same receiver.
+func (s *Series) Max() float64 {
+	best := 0.0
+	for i := range s.data {
+		for j := range s.data {
+			if s.data[j] > s.data[i] && s.data[j] > best {
+				best = s.data[j]
+			}
+		}
+	}
+	return best
+}
+
+// MaxCtx is the cancellable variant.
+func (s *Series) MaxCtx(ctx context.Context) float64 {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return s.Max()
+}

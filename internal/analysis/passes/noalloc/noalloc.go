@@ -1,0 +1,603 @@
+// Package noalloc statically polices the repo's zero-allocation hot paths.
+// A function whose doc comment carries a `//gvad:noalloc` directive — and,
+// transitively, every function it statically calls — must be free of the
+// allocating constructs that the AllocsPerRun regression tests pin at
+// runtime:
+//
+//   - fmt.* calls
+//   - string ↔ []byte / []rune conversions (except the compiler-optimized
+//     map-index form m[string(b)])
+//   - map and slice composite literals
+//   - closures that capture variables
+//   - interface boxing at call sites (a concrete non-pointer argument
+//     passed to an interface parameter)
+//   - append whose destination shows no capacity evidence: appends to
+//     struct fields and parameters are treated as amortized (pooled /
+//     caller-owned growth), appends to locals need an in-function make or
+//     cap() guard
+//
+// Two deliberate exclusions keep the rule aligned with what "zero
+// allocations in steady state" actually means here:
+//
+//   - make/new are not flagged. The sanctioned grow-on-demand idiom
+//     (`if cap(x) < n { x = make(...) }`), arena chunk growth, and
+//     contract-mandated output allocations (density.CurveWith returns a
+//     fresh curve) are all makes; the AllocsPerRun tests prove they
+//     amortize to zero.
+//   - cold blocks are exempt: constructs inside a block that terminates by
+//     returning a non-nil error or by panicking are error-path work, which
+//     the steady state never executes.
+//
+// Calls that cannot be followed — dynamic calls through function values or
+// interface methods, and calls into standard-library packages other than
+// the pure-math allowlist — are themselves diagnostics: if the analyzer
+// cannot see the callee, it cannot certify the path.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"grammarviz/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc: "verifies that //gvad:noalloc functions (and their static callees) avoid " +
+		"allocating constructs on non-error paths",
+	Run: run,
+}
+
+// Directive marks a function as a zero-allocation hot path.
+const Directive = "//gvad:noalloc"
+
+// stdlibAllow lists standard-library packages whose functions are accepted
+// in noalloc paths without analysis: pure computation, no allocation.
+var stdlibAllow = map[string]bool{
+	"math":      true,
+	"math/bits": true,
+}
+
+type violation struct {
+	pos token.Pos
+	msg string
+}
+
+type edge struct {
+	pos    token.Pos // call site
+	callee *types.Func
+}
+
+// funcFact is the per-function summary recorded for every analyzed
+// function: its own hot-path violations and its outgoing static calls.
+// Object identity of *types.Func is stable across the whole loaded program
+// (packages share one type-checker cache), so facts from dependency
+// packages are directly addressable when their importers are analyzed.
+type funcFact struct {
+	viols []violation
+	edges []edge
+}
+
+type state struct {
+	facts   map[*types.Func]*funcFact
+	emitted map[token.Pos]map[string]bool // dedupe across roots
+}
+
+const sessionKey = "noalloc.state"
+
+func getState(s *analysis.Session) *state {
+	if v, ok := s.Get(sessionKey).(*state); ok {
+		return v
+	}
+	v := &state{
+		facts:   make(map[*types.Func]*funcFact),
+		emitted: make(map[token.Pos]map[string]bool),
+	}
+	s.Set(sessionKey, v)
+	return v
+}
+
+func run(pass *analysis.Pass) error {
+	st := getState(pass.Session)
+
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			st.facts[obj] = computeFact(pass, fd)
+			if hasDirective(fd) {
+				roots = append(roots, obj)
+			}
+		}
+	}
+
+	for _, root := range roots {
+		checkRoot(pass, st, root)
+	}
+	return nil
+}
+
+func hasDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == Directive || strings.HasPrefix(text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRoot walks the static call graph from an annotated function,
+// reporting every violation recorded on the reachable facts.
+func checkRoot(pass *analysis.Pass, st *state, root *types.Func) {
+	visited := map[*types.Func]bool{}
+	queue := []*types.Func{root}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if visited[fn] {
+			continue
+		}
+		visited[fn] = true
+		fact := st.facts[fn]
+		if fact == nil {
+			// No body analyzed for this callee; callers report it at the
+			// call site (see below), so nothing to do here.
+			continue
+		}
+		for _, v := range fact.viols {
+			emit(pass, st, v.pos, v.msg, root, fn)
+		}
+		for _, e := range fact.edges {
+			callee := e.callee
+			if st.facts[callee] != nil {
+				queue = append(queue, callee)
+				continue
+			}
+			pkg := callee.Pkg()
+			if pkg == nil || stdlibAllow[pkg.Path()] {
+				continue
+			}
+			emit(pass, st, e.pos,
+				"calls "+callee.FullName()+", which is outside the noalloc-verified set "+
+					"(no analyzable body)", root, fn)
+		}
+	}
+}
+
+func emit(pass *analysis.Pass, st *state, pos token.Pos, msg string, root, fn *types.Func) {
+	full := msg
+	if fn != root {
+		full = msg + " [hot path of " + Directive + " " + root.Name() + "]"
+	}
+	if st.emitted[pos] == nil {
+		st.emitted[pos] = make(map[string]bool)
+	}
+	if st.emitted[pos][msg] {
+		return
+	}
+	st.emitted[pos][msg] = true
+	pass.Reportf(pos, "%s", full)
+}
+
+// computeFact scans one function body for allocating constructs and
+// outgoing static calls, applying the cold-block exemption.
+func computeFact(pass *analysis.Pass, fd *ast.FuncDecl) *funcFact {
+	fact := &funcFact{}
+	info := pass.TypesInfo
+	evidence := collectEvidence(pass, fd)
+
+	errResult := lastResultIsError(pass, fd)
+	var stack []ast.Node
+	cold := func() bool { return inColdBlock(stack, errResult, fd.Body) }
+	addViol := func(pos token.Pos, msg string) {
+		if !cold() {
+			fact.viols = append(fact.viols, violation{pos: pos, msg: msg})
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			tv := info.Types[n]
+			if tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					addViol(n.Pos(), "map composite literal allocates")
+				case *types.Slice:
+					addViol(n.Pos(), "slice composite literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			if capt := capturedVar(pass, n); capt != "" {
+				addViol(n.Pos(), "closure captures "+capt+" and allocates")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n, stack, fact, evidence, addViol, cold)
+		}
+		return true
+	})
+	return fact
+}
+
+// checkCall classifies one call expression: conversion, builtin, fmt call,
+// static edge, or dynamic call — plus the boxing check on its arguments.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node,
+	fact *funcFact, evidence map[*types.Var]bool,
+	addViol func(token.Pos, string), cold func() bool) {
+
+	info := pass.TypesInfo
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		checkConversion(pass, call, stack, tv.Type, addViol)
+		return
+	}
+
+	callee, kind := resolveCallee(pass, call)
+	switch kind {
+	case calleeBuiltin:
+		if name := builtinName(pass, call); name == "append" {
+			checkAppend(pass, call, evidence, addViol)
+		}
+		return
+	case calleeDynamic:
+		addViol(call.Pos(), "dynamic call cannot be verified allocation-free")
+	case calleeStatic:
+		if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+			addViol(call.Pos(), "call to fmt."+callee.Name()+" allocates")
+		} else if !cold() {
+			fact.edges = append(fact.edges, edge{pos: call.Pos(), callee: callee})
+		}
+	}
+	checkBoxing(pass, call, addViol)
+}
+
+type calleeKind int
+
+const (
+	calleeStatic calleeKind = iota
+	calleeBuiltin
+	calleeDynamic
+)
+
+func resolveCallee(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, calleeKind) {
+	info := pass.TypesInfo
+	fun := ast.Unparen(call.Fun)
+	if ix, ok := fun.(*ast.IndexExpr); ok { // generic instantiation
+		fun = ast.Unparen(ix.X)
+	}
+	if ix, ok := fun.(*ast.IndexListExpr); ok {
+		fun = ast.Unparen(ix.X)
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			return obj, calleeStatic
+		case *types.Builtin:
+			return nil, calleeBuiltin
+		default:
+			return nil, calleeDynamic
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, isFunc := sel.Obj().(*types.Func)
+			if !isFunc {
+				return nil, calleeDynamic // func-typed field
+			}
+			if recv := f.Type().(*types.Signature).Recv(); recv != nil &&
+				types.IsInterface(recv.Type()) {
+				return nil, calleeDynamic // interface method dispatch
+			}
+			return f, calleeStatic
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok { // pkg.Func
+			return f, calleeStatic
+		}
+		return nil, calleeDynamic
+	case *ast.FuncLit:
+		// Immediately invoked literal: its body is scanned in place and the
+		// capture check covers the closure allocation.
+		return nil, calleeBuiltin
+	}
+	return nil, calleeDynamic
+}
+
+func builtinName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// checkConversion flags string↔[]byte/[]rune conversions, except the
+// compiler-optimized map-index form m[string(b)].
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node,
+	to types.Type, addViol func(token.Pos, string)) {
+	if len(call.Args) != 1 {
+		return
+	}
+	fromTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || fromTV.Type == nil {
+		return
+	}
+	from := fromTV.Type
+	if !(isString(to) && isByteOrRuneSlice(from) || isByteOrRuneSlice(to) && isString(from)) {
+		return
+	}
+	// m[string(b)] does not allocate: the compiler recognizes the pattern.
+	if len(stack) >= 2 {
+		if ix, ok := stack[len(stack)-2].(*ast.IndexExpr); ok && ix.Index == call {
+			if tv, ok := pass.TypesInfo.Types[ix.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return
+				}
+			}
+		}
+	}
+	addViol(call.Pos(), "string conversion allocates")
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// checkAppend flags appends whose destination shows no capacity evidence.
+// Field destinations (pooled growth) and parameters (caller-owned buffers)
+// are amortized by contract; local destinations need an in-function make
+// or cap() guard.
+func checkAppend(pass *analysis.Pass, call *ast.CallExpr, evidence map[*types.Var]bool,
+	addViol func(token.Pos, string)) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := ast.Unparen(call.Args[0])
+	switch dst := dst.(type) {
+	case *ast.SelectorExpr:
+		return // field: amortized pooled growth
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[dst].(*types.Var)
+		if !ok {
+			addViol(call.Pos(), "append without capacity evidence allocates")
+			return
+		}
+		if evidence[v] {
+			return
+		}
+		addViol(call.Pos(), "append to "+dst.Name+" without capacity evidence "+
+			"(no make with capacity, cap() guard, or caller-owned parameter) allocates")
+	default:
+		addViol(call.Pos(), "append without capacity evidence allocates")
+	}
+}
+
+// collectEvidence records, per variable, whether the function exhibits
+// capacity evidence for it: it is a parameter (incl. receiver), it is
+// assigned from make, or its cap() is inspected.
+func collectEvidence(pass *analysis.Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	info := pass.TypesInfo
+	ev := make(map[*types.Var]bool)
+	mark := func(id *ast.Ident) {
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			ev[v] = true
+		} else if v, ok := info.Defs[id].(*types.Var); ok {
+			ev[v] = true
+		}
+	}
+	// Parameters and receiver.
+	for _, fl := range []*ast.FieldList{fd.Recv, fd.Type.Params} {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				mark(name)
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !isMakeCall(rhs) || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+					mark(id)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range n.Values {
+				if isMakeCall(rhs) && i < len(n.Names) {
+					mark(n.Names[i])
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "cap" &&
+				len(n.Args) == 1 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					if arg, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+						mark(arg)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return ev
+}
+
+func isMakeCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "make"
+}
+
+// checkBoxing flags concrete, non-pointer-shaped arguments passed to
+// interface parameters — the boxing allocation at a call site.
+func checkBoxing(pass *analysis.Pass, call *ast.CallExpr, addViol func(token.Pos, string)) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			continue // spread slice, no boxing
+		}
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			sl, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = sl.Elem()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.Types[arg]
+		if at.Type == nil || at.IsNil() {
+			continue
+		}
+		if !boxes(at.Type) {
+			continue
+		}
+		addViol(arg.Pos(), "argument boxes into interface parameter and allocates")
+	}
+}
+
+// boxes reports whether storing a value of type t in an interface
+// allocates: pointer-shaped types (pointers, maps, channels, funcs,
+// unsafe.Pointer) do not; everything else does.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Interface:
+		return false
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer
+	}
+	return true
+}
+
+// capturedVar returns the name of one variable the literal captures from
+// an enclosing scope, or "" when the literal is capture-free.
+func capturedVar(pass *analysis.Pass, lit *ast.FuncLit) string {
+	info := pass.TypesInfo
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captured (no closure cell).
+		if v.Parent() == pass.Pkg.Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+// lastResultIsError reports whether fd's final result type is error.
+func lastResultIsError(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	res := fd.Type.Results
+	if res == nil || len(res.List) == 0 {
+		return false
+	}
+	last := res.List[len(res.List)-1]
+	tv, ok := pass.TypesInfo.Types[last.Type]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Pkg() == nil &&
+		named.Obj().Name() == "error"
+}
+
+// inColdBlock reports whether the path of stack runs through a block that
+// terminates by returning a non-nil error (errResult true) or by panicking
+// — the error paths the steady state never takes. The function body itself
+// never counts: only branch blocks are cold, so the straight-line path of
+// the function is always checked.
+func inColdBlock(stack []ast.Node, errResult bool, body *ast.BlockStmt) bool {
+	for _, n := range stack {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok || block == body || len(block.List) == 0 {
+			continue
+		}
+		switch last := block.List[len(block.List)-1].(type) {
+		case *ast.ReturnStmt:
+			if !errResult || len(last.Results) == 0 {
+				continue
+			}
+			final := ast.Unparen(last.Results[len(last.Results)-1])
+			if id, ok := final.(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			return true
+		case *ast.ExprStmt:
+			if call, ok := last.X.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

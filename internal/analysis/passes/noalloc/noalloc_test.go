@@ -1,0 +1,13 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/analysistest"
+	"grammarviz/internal/analysis/passes/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{noalloc.Analyzer}, "./...")
+}

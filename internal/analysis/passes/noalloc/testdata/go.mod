@@ -1,0 +1,3 @@
+module na
+
+go 1.22

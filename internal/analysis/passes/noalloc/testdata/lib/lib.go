@@ -1,0 +1,149 @@
+// Package lib exercises every noalloc construct class plus the sanctioned
+// exemptions.
+package lib
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Convert has a string conversion on the hot path.
+//
+//gvad:noalloc
+func Convert(s string) int {
+	b := []byte(s) // want `string conversion allocates`
+	return len(b)
+}
+
+// Format calls fmt on the hot path; the int argument also boxes into
+// Sprintf's variadic interface parameter.
+//
+//gvad:noalloc
+func Format(n int) string {
+	return fmt.Sprintf("%d", n) // want `call to fmt.Sprintf allocates` `boxes into interface parameter`
+}
+
+// Grow appends with no capacity evidence.
+//
+//gvad:noalloc
+func Grow(n int) []int {
+	var xs []int
+	for i := 0; i < n; i++ {
+		xs = append(xs, i) // want `append to xs without capacity evidence`
+	}
+	return xs
+}
+
+// GrowPrealloc shows the sanctioned shape: the make with capacity is the
+// evidence and the loop appends freely.
+//
+//gvad:noalloc
+func GrowPrealloc(n int) []int {
+	xs := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		xs = append(xs, i)
+	}
+	return xs
+}
+
+// Literals allocate on construction.
+//
+//gvad:noalloc
+func Literals() int {
+	m := map[int]int{} // want `map composite literal allocates`
+	s := []int{1, 2}   // want `slice composite literal allocates`
+	return len(m) + len(s)
+}
+
+// Capture allocates a closure cell for n.
+//
+//gvad:noalloc
+func Capture(n int) func() int {
+	return func() int { return n } // want `closure captures n and allocates`
+}
+
+// helper is not annotated itself but sits on Root's hot path, so its
+// violation is reported with the root attribution.
+func helper(s string) int {
+	return len([]byte(s)) // want `string conversion allocates \[hot path of //gvad:noalloc Root\]`
+}
+
+// Root reaches helper's violation transitively.
+//
+//gvad:noalloc
+func Root(s string) int {
+	return helper(s)
+}
+
+// Inner and Outer are both annotated; the shared violation is reported
+// once, on Inner's own line.
+//
+//gvad:noalloc
+func Inner(s string) int {
+	return len([]rune(s)) // want `string conversion allocates`
+}
+
+// Outer is the noalloc-calls-noalloc edge case.
+//
+//gvad:noalloc
+func Outer(s string) int {
+	return Inner(s)
+}
+
+// Dyn calls through a function value, which cannot be certified.
+//
+//gvad:noalloc
+func Dyn(f func() int) int {
+	return f() // want `dynamic call cannot be verified allocation-free`
+}
+
+// Upper calls a standard-library function outside the math allowlist.
+//
+//gvad:noalloc
+func Upper(s string) string {
+	return strings.ToUpper(s) // want `outside the noalloc-verified set`
+}
+
+// Sqrt stays within the math allowlist.
+//
+//gvad:noalloc
+func Sqrt(x float64) float64 {
+	return math.Sqrt(x)
+}
+
+// ColdPath may allocate on its error path: the block returns a non-nil
+// error, which the steady state never executes.
+//
+//gvad:noalloc
+func ColdPath(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative: %d", n)
+	}
+	return n * 2, nil
+}
+
+// Ignored demonstrates the reviewed suppression.
+//
+//gvad:noalloc
+func Ignored(s string) int {
+	//gvad:ignore noalloc fixture for the allowlisted-negative path
+	return len([]byte(s))
+}
+
+// Boxes passes a concrete value to an interface parameter.
+//
+//gvad:noalloc
+func Boxes(n int) {
+	sink(n) // want `argument boxes into interface parameter and allocates`
+}
+
+func sink(v any) { _ = v }
+
+// Lookup uses the compiler-optimized map-index conversion, which does not
+// allocate.
+//
+//gvad:noalloc
+func Lookup(m map[string]int, b []byte) int {
+	return m[string(b)]
+}

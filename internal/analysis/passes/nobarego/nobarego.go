@@ -1,0 +1,52 @@
+// Package nobarego flags bare `go` statements. Every goroutine of the
+// analysis pipeline must be spawned through worker.Group (internal/worker),
+// which contains panics into *PanicError and cancels siblings on first
+// failure — a bare `go` silently opts out of both guarantees, and a single
+// panicking worker would crash the daemon. The check covers internal/...
+// and cmd/... packages; internal/worker itself (the one place allowed to
+// say `go`) and _test.go files are exempt.
+package nobarego
+
+import (
+	"go/ast"
+	"strings"
+
+	"grammarviz/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nobarego",
+	Doc: "flags bare go statements outside internal/worker; goroutines must " +
+		"be spawned through worker.Group so panics are contained and siblings cancel",
+	Run: run,
+}
+
+// inScope reports whether the package path is policed: internal/... and
+// cmd/... trees, except the worker package that implements the discipline.
+func inScope(path string) bool {
+	if path == "grammarviz/internal/worker" || strings.HasSuffix(path, "/internal/worker") {
+		return false
+	}
+	return strings.Contains(path, "/internal/") || strings.Contains(path, "/cmd/") ||
+		strings.HasPrefix(path, "internal/") || strings.HasPrefix(path, "cmd/")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"bare go statement: spawn goroutines through worker.Group "+
+						"(internal/worker) for panic containment and sibling cancellation")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package nobarego_test
+
+import (
+	"testing"
+
+	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/analysistest"
+	"grammarviz/internal/analysis/passes/nobarego"
+)
+
+func TestNobarego(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{nobarego.Analyzer}, "./...")
+}

@@ -1,0 +1,6 @@
+// Command tool shows that cmd/... trees are in scope.
+package main
+
+func main() {
+	go func() {}() // want `bare go statement`
+}

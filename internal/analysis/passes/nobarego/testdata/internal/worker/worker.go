@@ -1,0 +1,8 @@
+// Package worker implements the goroutine discipline and is the one
+// package allowed to say go.
+package worker
+
+// Go spawns directly; the package is exempt.
+func Go(f func()) {
+	go f()
+}

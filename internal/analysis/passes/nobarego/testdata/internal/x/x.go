@@ -1,0 +1,23 @@
+// Package x exercises the nobarego shapes inside a policed internal tree.
+package x
+
+// Spawn uses a bare go statement.
+func Spawn() {
+	go work() // want `bare go statement`
+}
+
+// SpawnClosure hides the go statement inside a closure; the pass walks
+// function literals too.
+func SpawnClosure() func() {
+	return func() {
+		go work() // want `bare go statement`
+	}
+}
+
+// SpawnAllowed carries a reviewed suppression and stays silent.
+func SpawnAllowed() {
+	//gvad:ignore nobarego fixture for the allowlisted-negative path
+	go work()
+}
+
+func work() {}

@@ -1,0 +1,8 @@
+// Package free sits outside the internal/... and cmd/... trees the pass
+// polices.
+package free
+
+// Spawn is out of scope for nobarego.
+func Spawn() {
+	go func() {}()
+}

@@ -1,0 +1,296 @@
+// Package poolrelease verifies the workspace-pool contract: a Workspace
+// checked out with workspace.Get must be returned with workspace.Put on
+// every path out of the checking-out function — otherwise steady-state
+// serving degrades from pooled reuse back to per-request allocation (a
+// leak the AllocsPerRun tests only catch on the paths they happen to
+// exercise).
+//
+// The accepted shapes are:
+//
+//   - defer workspace.Put(ws) (directly or inside a deferred closure) —
+//     covers every return and panic path at once, and is the idiom the
+//     repo standardizes on (core.AnalyzeCtx);
+//   - an explicit workspace.Put(ws) that lexically precedes the return and
+//     sits in a block enclosing it, for every return after the Get — the
+//     multi-return form.
+//
+// Escapes are flagged separately: returning the workspace or storing it
+// into a field/global moves the release obligation somewhere the analyzer
+// cannot see, which the pool contract forbids (workspaces must not outlive
+// the analysis that checked them out).
+//
+// Get/Put recognition is by package name ("workspace") and function name,
+// so the analyzer works on the repo and on its testdata packages alike;
+// the workspace package itself is exempt (it implements the pool).
+package poolrelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"grammarviz/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolrelease",
+	Doc: "checks that every workspace.Get has a matching workspace.Put on all " +
+		"paths (defer, or an explicit Put before each return)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "workspace" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// isPoolCall reports whether call is workspace.<name>(...).
+func isPoolCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Name() != name || f.Pkg() == nil {
+		return false
+	}
+	return f.Pkg().Name() == "workspace"
+}
+
+type putSite struct {
+	pos   token.Pos
+	block *ast.BlockStmt // innermost enclosing block
+}
+
+type returnSite struct {
+	pos    token.Pos
+	blocks map[*ast.BlockStmt]bool // all enclosing blocks
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	type checkout struct {
+		pos token.Pos
+		obj *types.Var // nil when the result is not bound to a variable
+	}
+	var (
+		gets     []checkout
+		puts     = map[*types.Var][]putSite{}
+		deferred = map[*types.Var]bool{}
+		returns  []returnSite
+		escapes  = map[*types.Var]token.Pos{}
+		stack    []ast.Node
+	)
+
+	innermostBlock := func() *ast.BlockStmt {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if b, ok := stack[i].(*ast.BlockStmt); ok {
+				return b
+			}
+		}
+		return fd.Body
+	}
+	enclosingBlocks := func() map[*ast.BlockStmt]bool {
+		m := map[*ast.BlockStmt]bool{}
+		for _, n := range stack {
+			if b, ok := n.(*ast.BlockStmt); ok {
+				m[b] = true
+			}
+		}
+		return m
+	}
+	varOf := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+		if v == nil {
+			v, _ = pass.TypesInfo.Defs[id].(*types.Var)
+		}
+		return v
+	}
+	recordPut := func(call *ast.CallExpr, isDefer bool) {
+		if len(call.Args) != 1 {
+			return
+		}
+		if v := varOf(call.Args[0]); v != nil {
+			if isDefer {
+				deferred[v] = true
+			} else {
+				puts[v] = append(puts[v], putSite{pos: call.Pos(), block: innermostBlock()})
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isPoolCall(pass, call, "Get") {
+					continue
+				}
+				var v *types.Var
+				if i < len(n.Lhs) {
+					v = varOf(n.Lhs[i])
+				}
+				gets = append(gets, checkout{pos: call.Pos(), obj: v})
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range n.Values {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isPoolCall(pass, call, "Get") {
+					continue
+				}
+				var v *types.Var
+				if i < len(n.Names) {
+					v = varOf(n.Names[i])
+				}
+				gets = append(gets, checkout{pos: call.Pos(), obj: v})
+			}
+		case *ast.DeferStmt:
+			if isPoolCall(pass, n.Call, "Put") {
+				recordPut(n.Call, true)
+			} else if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok && isPoolCall(pass, c, "Put") {
+						recordPut(c, true)
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			if isPoolCall(pass, n, "Put") {
+				// Non-deferred Put (deferred ones are handled above and do
+				// not re-enter here as statements of interest: recording
+				// them twice is harmless since deferred wins).
+				recordPut(n, false)
+			} else if isPoolCall(pass, n, "Get") {
+				// A Get whose result is not bound by an assignment cannot
+				// be released.
+				if len(stack) < 2 {
+					break
+				}
+				switch stack[len(stack)-2].(type) {
+				case *ast.AssignStmt, *ast.ValueSpec:
+					// handled by the assignment cases above
+				default:
+					pass.Reportf(n.Pos(),
+						"workspace.Get result is not bound to a variable and can never be released")
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, returnSite{pos: n.Pos(), blocks: enclosingBlocks()})
+			for _, res := range n.Results {
+				if v := varOf(res); v != nil && isWorkspacePtr(v.Type()) {
+					if _, dup := escapes[v]; !dup {
+						escapes[v] = res.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// A function whose body can fall off the end is a path out too.
+	if n := len(fd.Body.List); n == 0 || !terminates(fd.Body.List[n-1]) {
+		returns = append(returns, returnSite{
+			pos:    fd.Body.Rbrace,
+			blocks: map[*ast.BlockStmt]bool{fd.Body: true},
+		})
+	}
+
+	// Escapes only matter for pool-checked-out workspaces: a constructor
+	// returning a fresh (non-pooled) Workspace is fine.
+	for _, get := range gets {
+		if get.obj == nil {
+			continue
+		}
+		if pos, ok := escapes[get.obj]; ok {
+			pass.Reportf(pos, "pooled workspace escapes its checkout scope; the pool "+
+				"contract requires Put in the function that called Get")
+		}
+	}
+
+	for _, get := range gets {
+		if get.obj == nil {
+			pass.Reportf(get.pos, "workspace.Get result is discarded; the workspace "+
+				"can never be released")
+			continue
+		}
+		if deferred[get.obj] {
+			continue
+		}
+		for _, ret := range returns {
+			if ret.pos < get.pos {
+				continue
+			}
+			if !coveredBy(puts[get.obj], get.pos, ret) {
+				pass.Reportf(ret.pos,
+					"return without releasing the workspace checked out at %s; "+
+						"defer workspace.Put(%s) after Get, or Put on every path",
+					pass.Fset.Position(get.pos), get.obj.Name())
+			}
+		}
+	}
+}
+
+// coveredBy reports whether some Put after the Get lexically precedes the
+// return from a block that encloses it (a lexical-dominance approximation:
+// a Put inside a branch the return is not part of does not count).
+func coveredBy(puts []putSite, getPos token.Pos, ret returnSite) bool {
+	for _, p := range puts {
+		if p.pos > getPos && p.pos < ret.pos && ret.blocks[p.block] {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether a statement definitely transfers control out
+// of the function (the approximation only needs return and panic; anything
+// else keeps the virtual fall-off-the-end return).
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
+}
+
+// isWorkspacePtr reports whether t is *workspace.Workspace (by name, so
+// testdata packages participate).
+func isWorkspacePtr(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Workspace" && named.Obj().Pkg().Name() == "workspace"
+}

@@ -1,0 +1,13 @@
+package poolrelease_test
+
+import (
+	"testing"
+
+	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/analysistest"
+	"grammarviz/internal/analysis/passes/poolrelease"
+)
+
+func TestPoolrelease(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{poolrelease.Analyzer}, "./...")
+}

@@ -1,0 +1,3 @@
+module pr
+
+go 1.22

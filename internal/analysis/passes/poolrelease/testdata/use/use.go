@@ -1,0 +1,85 @@
+// Package use exercises the poolrelease contract shapes.
+package use
+
+import "pr/workspace"
+
+// Deferred is the standard shape: defer covers every path at once.
+func Deferred() int {
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	return len(ws.Buf)
+}
+
+// DeferredClosure releases inside a deferred closure.
+func DeferredClosure() int {
+	ws := workspace.Get()
+	defer func() { workspace.Put(ws) }()
+	return len(ws.Buf)
+}
+
+// VarDecl binds the checkout through a var declaration.
+func VarDecl() int {
+	var ws = workspace.Get()
+	defer workspace.Put(ws)
+	return len(ws.Buf)
+}
+
+// Leak never releases; the fall-off-the-end path is flagged.
+func Leak() {
+	ws := workspace.Get()
+	_ = ws
+} // want `return without releasing the workspace`
+
+// LeakReturn never releases; the explicit return is flagged.
+func LeakReturn() int {
+	ws := workspace.Get()
+	return len(ws.Buf) // want `return without releasing the workspace`
+}
+
+// MultiPath releases on one path only; the uncovered return is flagged.
+func MultiPath(b bool) int {
+	ws := workspace.Get()
+	if b {
+		workspace.Put(ws)
+		return 1
+	}
+	return 2 // want `return without releasing the workspace`
+}
+
+// MultiPathClean releases on every path — the explicit multi-return form.
+func MultiPathClean(b bool) int {
+	ws := workspace.Get()
+	if b {
+		workspace.Put(ws)
+		return 1
+	}
+	workspace.Put(ws)
+	return 2
+}
+
+// Escape hands the pooled workspace to the caller, moving the release
+// obligation out of the analyzer's sight; the uncovered return is flagged
+// too.
+func Escape() *workspace.Workspace {
+	ws := workspace.Get()
+	return ws // want `escapes its checkout scope` `return without releasing the workspace`
+}
+
+// New returns a fresh workspace, not a pool checkout; constructors are
+// not escapes.
+func New() *workspace.Workspace {
+	return &workspace.Workspace{}
+}
+
+// Discard drops the checkout on the floor.
+func Discard() {
+	workspace.Get() // want `not bound to a variable`
+}
+
+// Allowlisted leaks but carries a reviewed suppression on the line above
+// the virtual fall-off-the-end return.
+func Allowlisted() {
+	ws := workspace.Get()
+	_ = ws
+	//gvad:ignore poolrelease fixture for the allowlisted-negative path
+}

@@ -1,12 +1,17 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"grammarviz/internal/paa"
 	"grammarviz/internal/sax"
 	"grammarviz/internal/timeseries"
 )
+
+// approxStride bounds the cancellation latency of the approximation-
+// distance scan: ctx is polled once per this many window positions.
+const approxStride = 1024
 
 // ApproximationDistance measures how much information the discretization
 // destroys: the mean Euclidean distance between each z-normalized window
@@ -15,6 +20,13 @@ import (
 // paper's Figure 10 parameter-selection study — small values mean the
 // symbolic space preserves the signal's regularities.
 func ApproximationDistance(ts []float64, p sax.Params) (float64, error) {
+	return ApproximationDistanceCtx(context.Background(), ts, p)
+}
+
+// ApproximationDistanceCtx is ApproximationDistance with cooperative
+// cancellation: the O(len(ts)·window) window scan polls ctx at a bounded
+// stride and returns a ctx.Err()-wrapped error when cancelled.
+func ApproximationDistanceCtx(ctx context.Context, ts []float64, p sax.Params) (float64, error) {
 	if err := p.Validate(len(ts)); err != nil {
 		return 0, err
 	}
@@ -28,9 +40,15 @@ func ApproximationDistance(ts []float64, p sax.Params) (float64, error) {
 	segs := make([]float64, p.PAA)
 	segLen := float64(p.Window) / float64(p.PAA)
 
+	poll := ctx.Done() != nil
 	var total float64
 	count := 0
 	for start := 0; start+p.Window <= len(ts); start++ {
+		if poll && start&(approxStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		timeseries.ZNormalizeInto(zn, ts[start:start+p.Window], timeseries.DefaultNormThreshold)
 		if err := paa.TransformInto(segs, zn); err != nil {
 			return 0, err

@@ -59,6 +59,10 @@ type Encoder struct {
 	segs   []float64 // scratch: PAA output
 	word   []byte    // scratch: letter buffer for EncodeCode
 	codec  WordCodec
+
+	// overflowErr is EncodeCode's ErrCodeOverflow, built once here so the
+	// //gvad:noalloc hot path returns it without a per-call fmt.Errorf.
+	overflowErr error
 }
 
 // NewEncoder returns an Encoder for the given parameters. Window-related
@@ -76,7 +80,10 @@ func NewEncoder(p Params) (*Encoder, error) {
 		params: p,
 		cuts:   cuts,
 		segs:   make([]float64, p.PAA),
+		word:   make([]byte, p.PAA),
 		codec:  NewWordCodec(p.PAA, p.Alphabet),
+		overflowErr: fmt.Errorf("%w: paa=%d alphabet=%d",
+			ErrCodeOverflow, p.PAA, p.Alphabet),
 	}, nil
 }
 
