@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench fuzz-smoke lint staticcheck govulncheck serve
+.PHONY: check build vet test race bench-smoke bench fuzz-smoke lint staticcheck govulncheck serve loadtest
 
 ## check: everything CI runs — vet, build, race-enabled tests, bench smoke,
 ## fuzz smoke, static analysis (go vet + gvadlint + staticcheck)
@@ -45,6 +45,16 @@ fuzz-smoke:
 ADDR ?= :8080
 serve:
 	$(GO) run ./cmd/gvad -addr $(ADDR)
+
+## loadtest: a ~5s multi-tenant load smoke against an in-process gvad —
+## exercises the serving stack end to end (sharded cache, request
+## coalescing, per-tenant budgets, batch fan-out) under real HTTP
+## concurrency and fails on any transport error. A sanity gate, not a
+## measurement; BENCH_3.json numbers come from the longer runs described
+## in EXPERIMENTS.md.
+loadtest:
+	$(GO) run ./cmd/gvload -self -duration 5s -concurrency 16 \
+		-tenants 8 -series 2000 -batch 4
 
 ## lint: the repo's own analyzers (cmd/gvadlint) — nobarego, ctxdiscipline,
 ## noalloc, poolrelease — over every package; stdlib-only, so it runs on a

@@ -9,6 +9,7 @@ package grammarviz
 
 import (
 	"errors"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -361,6 +362,59 @@ func BenchmarkComponent_BruteForce(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkComponent_MINDIST compares the string-path MINDIST (decode +
+// per-letter table walk) against the packed-code lookup-table evaluator
+// (sax.CodeDist.MINDISTCode). Both return bit-identical distances
+// (internal/sax/codedist_test.go); the coded form is the discord search's
+// hot comparison.
+func BenchmarkComponent_MINDIST(b *testing.B) {
+	const paa, alphabet, n = 8, 6, 300
+	codec := sax.NewWordCodec(paa, alphabet)
+	dt, err := sax.NewDistTable(alphabet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cd, err := sax.NewCodeDist(dt, codec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const pairs = 1024
+	wordsA := make([]string, pairs)
+	wordsB := make([]string, pairs)
+	codesA := make([]uint64, pairs)
+	codesB := make([]uint64, pairs)
+	for i := range wordsA {
+		wa := make([]byte, paa)
+		wb := make([]byte, paa)
+		for j := 0; j < paa; j++ {
+			wa[j] = byte('a' + rng.Intn(alphabet))
+			wb[j] = byte('a' + rng.Intn(alphabet))
+		}
+		wordsA[i], wordsB[i] = string(wa), string(wb)
+		codesA[i], codesB[i] = codec.PackString(wordsA[i]), codec.PackString(wordsB[i])
+	}
+
+	var sink float64
+	b.Run("String", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d, err := dt.MINDIST(wordsA[i%pairs], wordsB[i%pairs], n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += d
+		}
+	})
+	b.Run("Code", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += cd.MINDISTCode(codesA[i%pairs], codesB[i%pairs], n)
+		}
+	})
+	_ = sink
 }
 
 func BenchmarkComponent_StreamingAppend(b *testing.B) {

@@ -3,31 +3,39 @@
 //
 // Usage:
 //
-//	gvad [-addr :8080] [-cache 64] [-max-concurrent N] [-queue M]
+//	gvad [-addr :8080] [-cache 64] [-cache-shards 8] [-max-concurrent N]
+//	     [-queue M] [-budget-capacity T] [-max-batch 64]
 //
 // Endpoints:
 //
-//	POST /v1/analyze  JSON anomaly query: density | rra | hotsax | besteffort
-//	GET  /healthz     liveness probe
-//	GET  /metrics     Prometheus text-format metrics (request counters,
-//	                  latency histogram, cache stats, and gvad_mem_* heap /
-//	                  allocation gauges sampled at scrape)
-//	GET  /debug/pprof/ net/http/pprof profiles — only with -pprof
+//	POST /v1/analyze        JSON anomaly query: density | rra | hotsax | besteffort
+//	POST /v1/analyze/batch  request set fanned across the worker pool with
+//	                        per-item outcomes (one failing item degrades
+//	                        itself, not the batch)
+//	GET  /healthz           liveness probe
+//	GET  /metrics           Prometheus text-format metrics (request counters,
+//	                        latency histogram, cache/coalesce/budget stats,
+//	                        and gvad_mem_* heap gauges sampled at scrape)
+//	GET  /debug/pprof/      net/http/pprof profiles — only with -pprof
 //
 // Example:
 //
 //	gvad -addr :8080 &
-//	curl -s localhost:8080/v1/analyze -d '{
+//	curl -s localhost:8080/v1/analyze -H 'X-Tenant: team-a' -d '{
 //	  "mode": "besteffort", "window": 120, "paa": 4, "alphabet": 4,
 //	  "k": 3, "timeout_ms": 2000, "series": [ ... ]
 //	}'
 //
-// Repeated queries against the same series and options are served from an
-// LRU detector cache (the induced grammar is reused); concurrency is
-// bounded by an admission semaphore sized off GOMAXPROCS with a bounded
-// wait queue that sheds overload with 429. On SIGINT/SIGTERM the daemon
-// stops accepting connections and drains in-flight requests before
-// exiting.
+// Repeated queries against the same series and options are served from a
+// sharded LRU detector cache (the induced grammar is reused), and
+// concurrent identical cache misses coalesce into a single induction.
+// Admission charges each request a cost (series length × mode weight)
+// against a tenant-keyed token budget woken in proportional fair-share
+// order; overload is shed with 429/503 carrying a Retry-After. -legacy
+// (= -cache-shards 1 -no-coalesce -no-budget) restores the original
+// single-lock FIFO serving path for A/B measurement. On SIGINT/SIGTERM
+// the daemon stops accepting connections and drains in-flight requests
+// before exiting.
 package main
 
 import (
@@ -48,36 +56,53 @@ import (
 
 func main() {
 	var (
-		addr          = flag.String("addr", ":8080", "listen address")
-		cacheSize     = flag.Int("cache", 64, "detector cache capacity (entries)")
-		maxConcurrent = flag.Int("max-concurrent", 0, "concurrent analyses (0 = GOMAXPROCS)")
-		queue         = flag.Int("queue", 0, "wait-queue bound beyond the slots (0 = 2x max-concurrent, -1 = none)")
-		defTimeout    = flag.Duration("default-timeout", 30*time.Second, "budget for requests that name none (-1s = none)")
-		maxTimeout    = flag.Duration("max-timeout", 5*time.Minute, "cap on per-request budgets (-1s = uncapped)")
-		maxSeries     = flag.Int("max-series", 2_000_000, "longest accepted series in points (-1 = uncapped)")
-		drain         = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
-		enablePprof   = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
+		addr           = flag.String("addr", ":8080", "listen address")
+		cacheSize      = flag.Int("cache", 64, "detector cache capacity (entries)")
+		cacheShards    = flag.Int("cache-shards", 0, "detector cache shards, rounded to a power of two (0 = 8, -1 = 1)")
+		maxConcurrent  = flag.Int("max-concurrent", 0, "concurrent analyses (0 = GOMAXPROCS)")
+		queue          = flag.Int("queue", 0, "admission wait-queue bound (0 = 2x max-concurrent, -1 = none)")
+		budgetCapacity = flag.Int64("budget-capacity", 0, "admission cost capacity in tokens (0 = max-concurrent x default slot cost)")
+		noCoalesce     = flag.Bool("no-coalesce", false, "disable coalescing of concurrent identical inductions")
+		noBudget       = flag.Bool("no-budget", false, "replace cost-budget admission with the legacy flat semaphore")
+		maxBatch       = flag.Int("max-batch", 64, "most requests accepted in one /v1/analyze/batch call")
+		legacy         = flag.Bool("legacy", false, "pre-coalescing baseline: -cache-shards 1 -no-coalesce -no-budget")
+		defTimeout     = flag.Duration("default-timeout", 30*time.Second, "budget for requests that name none (-1s = none)")
+		maxTimeout     = flag.Duration("max-timeout", 5*time.Minute, "cap on per-request budgets (-1s = uncapped)")
+		maxSeries      = flag.Int("max-series", 2_000_000, "longest accepted series in points (-1 = uncapped)")
+		drain          = flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight requests")
+		enablePprof    = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/")
 	)
 	flag.Parse()
-	if err := run(*addr, *cacheSize, *maxConcurrent, *queue, *defTimeout, *maxTimeout, *maxSeries, *drain, *enablePprof); err != nil {
+	if *legacy {
+		*cacheShards = -1
+		*noCoalesce = true
+		*noBudget = true
+	}
+	cfg := server.Config{
+		CacheSize:       *cacheSize,
+		CacheShards:     *cacheShards,
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueue:        *queue,
+		BudgetCapacity:  *budgetCapacity,
+		DisableCoalesce: *noCoalesce,
+		DisableBudget:   *noBudget,
+		MaxBatch:        *maxBatch,
+		DefaultTimeout:  *defTimeout,
+		MaxTimeout:      *maxTimeout,
+		MaxSeriesLen:    *maxSeries,
+		EnablePprof:     *enablePprof,
+	}
+	if err := run(*addr, cfg, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "gvad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cacheSize, maxConcurrent, queue int, defTimeout, maxTimeout time.Duration, maxSeries int, drain time.Duration, enablePprof bool) error {
+func run(addr string, cfg server.Config, drain time.Duration) error {
 	logger := log.New(os.Stderr, "gvad: ", log.LstdFlags)
-	srv := server.New(server.Config{
-		CacheSize:      cacheSize,
-		MaxConcurrent:  maxConcurrent,
-		MaxQueue:       queue,
-		DefaultTimeout: defTimeout,
-		MaxTimeout:     maxTimeout,
-		MaxSeriesLen:   maxSeries,
-		EnablePprof:    enablePprof,
-		Logf:           logger.Printf,
-	})
-	if enablePprof {
+	cfg.Logf = logger.Printf
+	srv := server.New(cfg)
+	if cfg.EnablePprof {
 		logger.Printf("pprof enabled at /debug/pprof/")
 	}
 

@@ -1,0 +1,247 @@
+// Package budget is gvad's tenant-aware admission layer: work is
+// admitted against a shared pool of abstract cost tokens instead of a
+// flat slot semaphore, and contention is resolved in proportional
+// fair-share order rather than FIFO.
+//
+// The flat GOMAXPROCS semaphore the daemon started with has two failure
+// modes under multi-tenant load. First, cost-blindness: a 2-million-point
+// HOTSAX search and a 500-point density lookup each burn one slot, so a
+// handful of heavy queries occupy the whole fleet while trivial ones
+// queue behind them. Second, FIFO starvation: one hot tenant that sends
+// requests faster than anyone else fills the queue in arrival order and
+// everyone else waits behind its backlog.
+//
+// The Controller fixes both. Every request declares a cost estimated
+// from its series length and mode (Cost), admission is bounded by a
+// token capacity rather than a slot count, and when requests must wait,
+// releases wake the waiter whose tenant currently holds the *least*
+// admitted cost — so a tenant's backlog only drains as fast as its fair
+// share, and a newly arrived light tenant cuts past a hot tenant's queue.
+// The policy is work-conserving: while nobody is waiting, any tenant may
+// use the entire capacity.
+package budget
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrSaturated is returned by Acquire when the wait queue is at its
+// bound — the load-shedding signal (HTTP 429 upstream).
+var ErrSaturated = errors.New("budget: capacity and wait queue exhausted")
+
+// MinCost floors every request's cost so even empty-series requests
+// consume tokens and admission arithmetic never sees zero.
+const MinCost = 256
+
+// DefaultSlotCost is the token value of "one concurrent slot" used to
+// size default capacities: MaxConcurrent * DefaultSlotCost admits about
+// as much simultaneous heavy work as the old semaphore did (a ~32k-point
+// series at a discord-search weight of 3), while letting many cheap
+// requests through in its place.
+const DefaultSlotCost = 96 * 1024
+
+// Cost estimates the admission cost of analyzing n points under the
+// given mode weight: points × weight, floored at MinCost. Weights encode
+// relative per-point expense (a density lookup on a cached detector is
+// far cheaper than a HOTSAX search); the server owns the weight table.
+func Cost(n int, weight int64) int64 {
+	if weight < 1 {
+		weight = 1
+	}
+	c := int64(n) * weight
+	if c < MinCost {
+		return MinCost
+	}
+	return c
+}
+
+// Config sizes a Controller.
+type Config struct {
+	// Capacity is the total cost that may be admitted at once (required
+	// > 0). A single request costing more than Capacity is clamped to it,
+	// so oversized work serializes instead of deadlocking.
+	Capacity int64
+	// MaxQueue bounds the number of waiting requests across all tenants;
+	// 0 disables queueing (no free tokens means immediate ErrSaturated).
+	MaxQueue int
+}
+
+// Controller admits cost-weighted, tenant-keyed work. Create one with
+// New; all methods are safe for concurrent use.
+type Controller struct {
+	capacity int64
+	maxQueue int
+
+	mu      sync.Mutex
+	inUse   int64
+	tenants map[string]int64 // admitted cost per tenant; entries deleted at zero
+	waiters []*waiter        // arrival order; wake order is least-tenant-usage
+}
+
+type waiter struct {
+	tenant  string
+	cost    int64
+	ready   chan struct{} // closed on grant
+	granted bool
+}
+
+// New returns a Controller with the given configuration. Capacity below
+// 1 is clamped to 1; MaxQueue below 0 to 0.
+func New(cfg Config) *Controller {
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	return &Controller{
+		capacity: cfg.Capacity,
+		maxQueue: cfg.MaxQueue,
+		tenants:  make(map[string]int64),
+	}
+}
+
+// Capacity returns the controller's token capacity.
+func (c *Controller) Capacity() int64 { return c.capacity }
+
+// Acquire blocks until cost tokens are granted to tenant, the wait queue
+// overflows (ErrSaturated), or ctx ends (ctx.Err()). On success it
+// returns the release function that must be called exactly once when the
+// work finishes. Cost is clamped to [MinCost, Capacity].
+func (c *Controller) Acquire(ctx context.Context, tenant string, cost int64) (release func(), err error) {
+	if cost < MinCost {
+		cost = MinCost
+	}
+	if cost > c.capacity {
+		cost = c.capacity
+	}
+
+	c.mu.Lock()
+	// Fast path: free tokens and an empty queue. A non-empty queue means
+	// others were here first — newcomers enqueue and the wake scan
+	// decides fairness (a light tenant still overtakes, but explicitly,
+	// never by racing past the lock).
+	if len(c.waiters) == 0 && c.inUse+cost <= c.capacity {
+		c.grantLocked(tenant, cost)
+		c.mu.Unlock()
+		return c.releaseFunc(tenant, cost), nil
+	}
+	if len(c.waiters) >= c.maxQueue {
+		c.mu.Unlock()
+		return nil, ErrSaturated
+	}
+	w := &waiter{tenant: tenant, cost: cost, ready: make(chan struct{})}
+	c.waiters = append(c.waiters, w)
+	// A newcomer may itself be the fairest waiter (e.g. a fresh tenant
+	// joining while capacity is free but a hot tenant's backlog queues).
+	c.wakeLocked()
+	c.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return c.releaseFunc(tenant, cost), nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation; honor it — the caller
+			// observes its context at the next step and releases.
+			c.mu.Unlock()
+			return c.releaseFunc(tenant, cost), nil
+		}
+		c.removeLocked(w)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// grantLocked commits an admission. Callers hold mu.
+func (c *Controller) grantLocked(tenant string, cost int64) {
+	c.inUse += cost
+	c.tenants[tenant] += cost
+}
+
+// releaseFunc builds the idempotence-unguarded release closure for one
+// admission.
+func (c *Controller) releaseFunc(tenant string, cost int64) func() {
+	return func() {
+		c.mu.Lock()
+		c.inUse -= cost
+		if v := c.tenants[tenant] - cost; v > 0 {
+			c.tenants[tenant] = v
+		} else {
+			delete(c.tenants, tenant)
+		}
+		c.wakeLocked()
+		c.mu.Unlock()
+	}
+}
+
+// wakeLocked grants as many waiters as the free tokens cover, each round
+// picking the waiter whose tenant holds the least admitted cost (arrival
+// order within a tenant, and for ties). The scan stops at the first
+// waiter that does not fit: skipping it in favor of cheaper requests
+// would starve large work forever.
+func (c *Controller) wakeLocked() {
+	for len(c.waiters) > 0 {
+		best := 0
+		for i, w := range c.waiters[1:] {
+			if c.tenants[w.tenant] < c.tenants[c.waiters[best].tenant] {
+				best = i + 1
+			}
+		}
+		w := c.waiters[best]
+		if c.inUse+w.cost > c.capacity {
+			return
+		}
+		c.grantLocked(w.tenant, w.cost)
+		w.granted = true
+		close(w.ready)
+		c.waiters = append(c.waiters[:best], c.waiters[best+1:]...)
+	}
+}
+
+// removeLocked drops a cancelled waiter from the queue.
+func (c *Controller) removeLocked(v *waiter) {
+	for i, w := range c.waiters {
+		if w == v {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the controller.
+type Stats struct {
+	Capacity      int64
+	InUse         int64
+	QueueDepth    int
+	ActiveTenants int // tenants currently holding admitted cost
+}
+
+// Stats returns the current admission snapshot.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Capacity:      c.capacity,
+		InUse:         c.inUse,
+		QueueDepth:    len(c.waiters),
+		ActiveTenants: len(c.tenants),
+	}
+}
+
+// TenantInUse returns the cost currently admitted for tenant.
+func (c *Controller) TenantInUse(tenant string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tenants[tenant]
+}
+
+// QueueDepth returns the number of waiting requests.
+func (c *Controller) QueueDepth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}

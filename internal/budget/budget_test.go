@@ -1,0 +1,230 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustAcquire(t *testing.T, c *Controller, tenant string, cost int64) func() {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	release, err := c.Acquire(ctx, tenant, cost)
+	if err != nil {
+		t.Fatalf("Acquire(%s, %d): %v", tenant, cost, err)
+	}
+	return release
+}
+
+func TestCostModel(t *testing.T) {
+	cases := []struct {
+		n      int
+		weight int64
+		want   int64
+	}{
+		{0, 1, MinCost},
+		{10, 1, MinCost},
+		{4000, 1, 4000},
+		{4000, 3, 12000},
+		{4000, 0, 4000}, // weight clamped up to 1
+		{1_000_000, 8, 8_000_000},
+	}
+	for _, tc := range cases {
+		if got := Cost(tc.n, tc.weight); got != tc.want {
+			t.Errorf("Cost(%d, %d) = %d, want %d", tc.n, tc.weight, got, tc.want)
+		}
+	}
+}
+
+// TestWorkConserving: while nobody waits, one tenant may take the whole
+// capacity — the fair-share cap is a contention policy, not a quota.
+func TestWorkConserving(t *testing.T) {
+	c := New(Config{Capacity: 4 * MinCost, MaxQueue: 8})
+	var releases []func()
+	for i := 0; i < 4; i++ {
+		releases = append(releases, mustAcquire(t, c, "solo", MinCost))
+	}
+	if st := c.Stats(); st.InUse != 4*MinCost || st.ActiveTenants != 1 {
+		t.Errorf("stats = %+v, want full capacity held by one tenant", st)
+	}
+	for _, r := range releases {
+		r()
+	}
+	if st := c.Stats(); st.InUse != 0 || st.ActiveTenants != 0 {
+		t.Errorf("stats after release = %+v, want empty", st)
+	}
+}
+
+// TestOversizedCostClamped: work costing more than the capacity is
+// clamped to it — it serializes against everything else instead of
+// deadlocking.
+func TestOversizedCostClamped(t *testing.T) {
+	c := New(Config{Capacity: 1000, MaxQueue: 4})
+	release := mustAcquire(t, c, "big", 1_000_000)
+	if st := c.Stats(); st.InUse != 1000 {
+		t.Errorf("in-use = %d, want clamped 1000", st.InUse)
+	}
+	// Nothing else fits while the clamped giant holds the pool.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.Acquire(ctx, "small", MinCost); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("second acquire = %v, want deadline", err)
+	}
+	release()
+}
+
+// TestSaturation: the bounded queue sheds with ErrSaturated; MaxQueue 0
+// sheds as soon as the pool is full.
+func TestSaturation(t *testing.T) {
+	t.Run("no-queue", func(t *testing.T) {
+		c := New(Config{Capacity: MinCost, MaxQueue: 0})
+		release := mustAcquire(t, c, "a", MinCost)
+		defer release()
+		if _, err := c.Acquire(context.Background(), "b", MinCost); !errors.Is(err, ErrSaturated) {
+			t.Errorf("err = %v, want ErrSaturated", err)
+		}
+	})
+	t.Run("bounded-queue", func(t *testing.T) {
+		c := New(Config{Capacity: MinCost, MaxQueue: 2})
+		release := mustAcquire(t, c, "a", MinCost)
+		defer release()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		errs := make(chan error, 2)
+		for i := 0; i < 2; i++ {
+			go func() {
+				_, err := c.Acquire(ctx, "b", MinCost)
+				errs <- err
+			}()
+		}
+		waitFor(t, "two queued", func() bool { return c.QueueDepth() == 2 })
+		if _, err := c.Acquire(ctx, "c", MinCost); !errors.Is(err, ErrSaturated) {
+			t.Errorf("overflow err = %v, want ErrSaturated", err)
+		}
+		cancel()
+		for i := 0; i < 2; i++ {
+			if err := <-errs; !errors.Is(err, context.Canceled) {
+				t.Errorf("queued acquire = %v, want canceled", err)
+			}
+		}
+	})
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFairShareOvertakesFIFO is the heart of the tentpole: a cold tenant
+// that arrives *after* a hot tenant's backlog is woken *before* it,
+// because wake order follows least admitted cost, not arrival time.
+func TestFairShareOvertakesFIFO(t *testing.T) {
+	c := New(Config{Capacity: 2 * MinCost, MaxQueue: 8})
+	// Hot holds the full pool with two grants.
+	hot1 := mustAcquire(t, c, "hot", MinCost)
+	hot2 := mustAcquire(t, c, "hot", MinCost)
+
+	order := make(chan string, 4)
+	enqueue := func(tenant string) {
+		go func() {
+			release, err := c.Acquire(context.Background(), tenant, MinCost)
+			if err != nil {
+				t.Errorf("Acquire(%s): %v", tenant, err)
+				return
+			}
+			order <- tenant
+			_ = release // held for the rest of the test
+		}()
+	}
+	enqueue("hot") // hot's backlog arrives first...
+	waitFor(t, "hot queued", func() bool { return c.QueueDepth() == 1 })
+	enqueue("cold") // ...the cold tenant arrives last
+	waitFor(t, "cold queued", func() bool { return c.QueueDepth() == 2 })
+
+	// One hot grant releases: hot still holds MinCost, cold holds zero —
+	// the cold tenant must be woken despite queueing behind hot.
+	hot1()
+	if got := <-order; got != "cold" {
+		t.Fatalf("first wake went to %q, want the cold tenant", got)
+	}
+	hot2()
+	if got := <-order; got != "hot" {
+		t.Fatalf("second wake went to %q, want hot's queued request", got)
+	}
+}
+
+// TestCancelledWaiterLeavesQueue: a cancelled waiter is removed and
+// later releases do not try to wake it.
+func TestCancelledWaiterLeavesQueue(t *testing.T) {
+	c := New(Config{Capacity: MinCost, MaxQueue: 4})
+	release := mustAcquire(t, c, "a", MinCost)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx, "b", MinCost)
+		done <- err
+	}()
+	waitFor(t, "waiter queued", func() bool { return c.QueueDepth() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v", err)
+	}
+	if c.QueueDepth() != 0 {
+		t.Errorf("queue depth = %d after cancellation, want 0", c.QueueDepth())
+	}
+	release()
+	if st := c.Stats(); st.InUse != 0 {
+		t.Errorf("in-use = %d after all releases, want 0", st.InUse)
+	}
+}
+
+// TestConcurrentStress hammers the controller from many tenants; the
+// -race run plus the capacity invariant are the assertions.
+func TestConcurrentStress(t *testing.T) {
+	const capacity = 16 * MinCost
+	c := New(Config{Capacity: capacity, MaxQueue: 64})
+	tenants := []string{"a", "b", "c", "d"}
+	var peak atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				tenant := tenants[rng.Intn(len(tenants))]
+				cost := MinCost * int64(1+rng.Intn(4))
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				release, err := c.Acquire(ctx, tenant, cost)
+				if err != nil {
+					cancel()
+					continue
+				}
+				if v := c.Stats().InUse; v > peak.Load() {
+					peak.Store(v)
+				}
+				release()
+				cancel()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.InUse != 0 || st.QueueDepth != 0 || st.ActiveTenants != 0 {
+		t.Errorf("controller not drained: %+v", st)
+	}
+	if peak.Load() > capacity {
+		t.Errorf("in-use peaked at %d, capacity %d", peak.Load(), capacity)
+	}
+}

@@ -55,6 +55,20 @@ func (c *LRU[V]) Get(key string) (V, bool) {
 	return zero, false
 }
 
+// Peek returns the value for key without updating recency or the
+// hit/miss statistics — the double-check probe inside a coalesced
+// induction uses it so cache statistics keep counting one lookup per
+// request, not internal re-checks.
+func (c *LRU[V]) Peek(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
 // Add stores key → val as most recently used, evicting the least recently
 // used entry when the cache is full. It reports whether an eviction
 // happened. Adding an existing key replaces its value.

@@ -1,0 +1,138 @@
+package cache
+
+import "math/bits"
+
+// Sharded is an LRU split across a power-of-two number of independently
+// locked shards, selected by the leading characters of the key. Under
+// concurrent load the single-mutex LRU serializes every Get/Add — with
+// dozens of request goroutines all touching the detector cache, that one
+// lock is a bottleneck (and the lock hold includes a list splice). The
+// sharded form keeps contention proportional to 1/shards while preserving
+// LRU semantics within each shard.
+//
+// Keys are expected to be detector fingerprints (hex SHA-256), whose
+// leading characters are uniformly distributed, so the shard index is
+// read straight off the key prefix — no extra hashing. Non-hex keys
+// still spread (the selector folds raw byte bits) but may skew; the
+// daemon only ever stores fingerprints.
+//
+// The capacity budget is per shard: NewSharded divides the total
+// capacity evenly (rounding up, minimum 1 per shard), so a hot shard
+// cannot grow past its slice of the budget and total occupancy is
+// bounded by shards*ceil(capacity/shards).
+type Sharded[V any] struct {
+	shards []*LRU[V]
+	mask   uint32
+}
+
+// NewSharded returns a sharded LRU holding roughly capacity entries
+// across the given number of shards. The shard count is rounded up to a
+// power of two and clamped to [1, 256]; capacity below 1 is clamped to 1.
+func NewSharded[V any](capacity, shards int) *Sharded[V] {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > 256 {
+		shards = 256
+	}
+	if shards&(shards-1) != 0 {
+		shards = 1 << bits.Len(uint(shards))
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	perShard := (capacity + shards - 1) / shards
+	s := &Sharded[V]{shards: make([]*LRU[V], shards), mask: uint32(shards - 1)}
+	for i := range s.shards {
+		s.shards[i] = New[V](perShard)
+	}
+	return s
+}
+
+// Shards returns the number of shards.
+func (s *Sharded[V]) Shards() int { return len(s.shards) }
+
+// shard selects the shard for key from its leading characters: up to 8
+// hex nibbles folded into 32 bits, low bits masked to the shard index.
+// For hex fingerprints this is exactly "the fingerprint prefix".
+func (s *Sharded[V]) shard(key string) *LRU[V] {
+	var h uint32
+	for i := 0; i < len(key) && i < 8; i++ {
+		h = h<<4 | uint32(hexNibble(key[i]))
+	}
+	return s.shards[h&s.mask]
+}
+
+// hexNibble maps a hex digit to its value; other bytes contribute their
+// low four bits so arbitrary keys still distribute.
+func hexNibble(c byte) byte {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0'
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10
+	default:
+		return c & 0x0f
+	}
+}
+
+// Get returns the value for key, marking it most recently used within its
+// shard.
+func (s *Sharded[V]) Get(key string) (V, bool) {
+	return s.shard(key).Get(key)
+}
+
+// Peek returns the value for key without updating recency or statistics.
+func (s *Sharded[V]) Peek(key string) (V, bool) {
+	return s.shard(key).Peek(key)
+}
+
+// Add stores key → val, evicting within the key's shard when that shard
+// is at its budget. It reports whether an eviction happened.
+func (s *Sharded[V]) Add(key string, val V) (evicted bool) {
+	return s.shard(key).Add(key, val)
+}
+
+// Len returns the number of cached entries across all shards.
+func (s *Sharded[V]) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Purge drops every entry in every shard (statistics are kept).
+func (s *Sharded[V]) Purge() {
+	for _, sh := range s.shards {
+		sh.Purge()
+	}
+}
+
+// Stats returns the aggregate hit/miss/eviction counts and occupancy
+// summed over all shards — the same shape the single LRU reports, so
+// /metrics and tests read one snapshot regardless of shard count.
+func (s *Sharded[V]) Stats() Stats {
+	var agg Stats
+	for _, sh := range s.shards {
+		st := sh.Stats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		agg.Len += st.Len
+		agg.Cap += st.Cap
+	}
+	return agg
+}
+
+// ShardStats returns each shard's own snapshot, in shard order — the
+// per-shard view behind the aggregate.
+func (s *Sharded[V]) ShardStats() []Stats {
+	out := make([]Stats, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.Stats()
+	}
+	return out
+}

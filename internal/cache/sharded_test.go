@@ -1,0 +1,169 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// fp returns a fingerprint-shaped key (hex SHA-256), the only key family
+// the daemon stores.
+func fp(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestShardedRounding(t *testing.T) {
+	cases := []struct {
+		shards, want int
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {8, 8}, {9, 16}, {257, 256}, {1024, 256},
+	}
+	for _, tc := range cases {
+		if got := NewSharded[int](64, tc.shards).Shards(); got != tc.want {
+			t.Errorf("NewSharded(64, %d).Shards() = %d, want %d", tc.shards, got, tc.want)
+		}
+	}
+}
+
+// TestSingleShardMatchesLRU replays one random workload through the
+// plain LRU and a one-shard Sharded: every Get result and the full
+// statistics snapshot must be identical — the sharded form is a strict
+// generalization, not a different cache.
+func TestSingleShardMatchesLRU(t *testing.T) {
+	single := New[int](16)
+	sharded := NewSharded[int](16, 1)
+	rng := rand.New(rand.NewSource(42))
+	for op := 0; op < 5000; op++ {
+		key := fp(rng.Intn(64))
+		if rng.Intn(2) == 0 {
+			v1, ok1 := single.Get(key)
+			v2, ok2 := sharded.Get(key)
+			if v1 != v2 || ok1 != ok2 {
+				t.Fatalf("op %d: Get(%s) diverged: single (%d,%v) sharded (%d,%v)", op, key[:8], v1, ok1, v2, ok2)
+			}
+		} else {
+			e1 := single.Add(key, op)
+			e2 := sharded.Add(key, op)
+			if e1 != e2 {
+				t.Fatalf("op %d: Add(%s) eviction diverged: single %v sharded %v", op, key[:8], e1, e2)
+			}
+		}
+	}
+	s1, s2 := single.Stats(), sharded.Stats()
+	if s1 != s2 {
+		t.Errorf("stats diverged: single %+v sharded %+v", s1, s2)
+	}
+}
+
+// TestAggregateSumsShardCounters: the aggregate snapshot is exactly the
+// sum of the per-shard counters — sharding loses no accounting — and the
+// eviction conservation law (distinct keys added - occupancy = evictions)
+// holds for the sharded totals just as it does for the single LRU on the
+// same workload.
+func TestAggregateSumsShardCounters(t *testing.T) {
+	const distinct, capacity = 200, 64
+	sharded := NewSharded[int](capacity, 8)
+	single := New[int](capacity)
+	for i := 0; i < distinct; i++ {
+		sharded.Add(fp(i), i)
+		single.Add(fp(i), i)
+		sharded.Get(fp(rand.Intn(i + 1)))
+		single.Get(fp(rand.Intn(i + 1)))
+	}
+
+	var sum Stats
+	for _, st := range sharded.ShardStats() {
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+		sum.Evictions += st.Evictions
+		sum.Len += st.Len
+		sum.Cap += st.Cap
+	}
+	if agg := sharded.Stats(); agg != sum {
+		t.Errorf("aggregate %+v != sum of shards %+v", agg, sum)
+	}
+
+	// Each Add was a distinct key, so whatever is not resident was
+	// evicted — on the sharded cache and on the single LRU alike.
+	agg := sharded.Stats()
+	if got, want := agg.Evictions, uint64(distinct-agg.Len); got != want {
+		t.Errorf("sharded evictions = %d, conservation wants %d (len %d)", got, want, agg.Len)
+	}
+	ss := single.Stats()
+	if got, want := ss.Evictions, uint64(distinct-ss.Len); got != want {
+		t.Errorf("single-LRU evictions = %d, conservation wants %d", got, want)
+	}
+	// One Get per Add on both caches: the hit+miss total is conserved
+	// across the sharding change even though individual outcomes may
+	// differ with eviction order.
+	if agg.Hits+agg.Misses != ss.Hits+ss.Misses {
+		t.Errorf("lookup totals diverged: sharded %d, single %d",
+			agg.Hits+agg.Misses, ss.Hits+ss.Misses)
+	}
+}
+
+// TestFingerprintKeysSpreadShards: hex fingerprints land on every shard
+// (uniform prefix ⇒ uniform shard index).
+func TestFingerprintKeysSpreadShards(t *testing.T) {
+	s := NewSharded[int](1024, 16)
+	for i := 0; i < 1024; i++ {
+		s.Add(fp(i), i)
+	}
+	for i, st := range s.ShardStats() {
+		if st.Len == 0 {
+			t.Errorf("shard %d received no keys from 1024 fingerprints", i)
+		}
+	}
+}
+
+// TestShardBudget: a shard is bounded by its slice of the capacity even
+// when every other shard is empty — the per-shard budget the doc
+// promises.
+func TestShardBudget(t *testing.T) {
+	s := NewSharded[int](64, 8) // 8 per shard
+	target := s.shard(fp(0))
+	inserted := 0
+	for i := 0; inserted < 100 && i < 100000; i++ {
+		if s.shard(fp(i)) == target {
+			s.Add(fp(i), i)
+			inserted++
+		}
+	}
+	if inserted < 100 {
+		t.Fatalf("could not find 100 keys for one shard")
+	}
+	if got := target.Len(); got != 8 {
+		t.Errorf("hot shard holds %d entries, budget is 8", got)
+	}
+}
+
+// TestShardedConcurrent hammers one cache from many goroutines; the
+// -race run is the assertion.
+func TestShardedConcurrent(t *testing.T) {
+	s := NewSharded[int](128, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 2000; i++ {
+				key := fp(rng.Intn(256))
+				if rng.Intn(2) == 0 {
+					s.Get(key)
+				} else {
+					s.Add(key, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Len > 128+7 { // shards*ceil(128/8) bound
+		t.Errorf("occupancy %d exceeds budget", st.Len)
+	}
+}

@@ -1,0 +1,156 @@
+// Package coalesce implements singleflight-style request coalescing for
+// gvad's serving layer: N concurrent calls that share a key (the
+// detector fingerprint) share one execution of the expensive function
+// (grammar induction) instead of running N identical copies.
+//
+// The design differs from the classic singleflight in one way that
+// matters for a service: waiters are context-aware. A caller whose
+// context ends while the flight is in progress detaches immediately with
+// its own ctx error — it does not kill the shared flight, because other
+// callers may still want the result. Only when *every* participant has
+// detached is the flight's context cancelled, so abandoned work winds
+// down instead of running to completion for nobody.
+//
+// The flight body runs on a worker.Group goroutine, so a panic inside it
+// is contained into a *worker.PanicError and delivered to every waiter
+// instead of crashing the daemon — the same containment discipline the
+// rest of the pipeline uses (and gvadlint's nobarego pass enforces).
+package coalesce
+
+import (
+	"context"
+	"sync"
+
+	"grammarviz/internal/worker"
+)
+
+// Group deduplicates concurrent calls by key. The zero value is ready to
+// use; a Group must not be copied after first use. All methods are safe
+// for concurrent use.
+type Group[V any] struct {
+	mu      sync.Mutex
+	flights map[string]*flight[V]
+}
+
+// flight is one in-progress shared execution.
+type flight[V any] struct {
+	done   chan struct{} // closed when val/err are published
+	g      *worker.Group // runs fn; Wait surfaces contained panics
+	cancel context.CancelFunc
+	refs   int // participants still waiting; 0 cancels the flight
+
+	// val and err are written by the flight goroutine before done is
+	// closed and read by waiters after; close(done) is the happens-before
+	// edge.
+	val V
+	err error
+}
+
+// Do returns the result of fn for key: if no flight for key is in
+// progress it starts one, otherwise it joins the existing flight and
+// waits for its result. joined reports whether this call shared another
+// caller's flight (false for the caller that started it).
+//
+// fn receives a context that is detached from any single caller's
+// cancellation but is cancelled once every participant has detached; fn
+// must honor it for abandoned flights to wind down. If ctx ends before
+// the flight completes, Do detaches and returns ctx's error without
+// affecting the remaining participants. A panic inside fn is contained
+// and returned to every participant as a *worker.PanicError.
+func (g *Group[V]) Do(ctx context.Context, key string, fn func(context.Context) (V, error)) (v V, joined bool, err error) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight[V])
+	}
+	if f, ok := g.flights[key]; ok {
+		f.refs++
+		g.mu.Unlock()
+		v, err = g.wait(ctx, key, f)
+		return v, true, err
+	}
+
+	f := &flight[V]{done: make(chan struct{}), refs: 1}
+	// The flight must outlive the starting caller's deadline (late joiners
+	// may have longer budgets), so its context derives from ctx's values
+	// only; cancellation comes from the all-detached refcount.
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f.cancel = cancel
+	f.g, _ = worker.WithContext(fctx)
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.g.Go(func() error {
+		defer func() {
+			// Runs during panic unwind too: the flight must leave the map
+			// and wake its waiters no matter how fn ends. The guard keeps a
+			// successor flight for the same key (started after an
+			// all-detached cancellation) from being deleted by its
+			// predecessor.
+			g.mu.Lock()
+			if g.flights[key] == f {
+				delete(g.flights, key)
+			}
+			g.mu.Unlock()
+			cancel()
+			close(f.done)
+		}()
+		f.val, f.err = fn(fctx)
+		return nil
+	})
+	v, err = g.wait(ctx, key, f)
+	return v, false, err
+}
+
+// wait blocks until the flight publishes or ctx ends, whichever first.
+func (g *Group[V]) wait(ctx context.Context, key string, f *flight[V]) (V, error) {
+	select {
+	case <-f.done:
+		// Wait also collects a panic contained by the group (it displaces
+		// the nil the closure returned). fn has already returned, so this
+		// does not block beyond the goroutine's epilogue.
+		if err := f.g.Wait(); err != nil {
+			var zero V
+			return zero, err
+		}
+		return f.val, f.err
+	case <-ctx.Done():
+		g.detach(key, f)
+		var zero V
+		return zero, ctx.Err()
+	}
+}
+
+// detach removes one participant; the last one out cancels the flight
+// and frees the key so the next caller starts fresh instead of joining a
+// dying flight.
+func (g *Group[V]) detach(key string, f *flight[V]) {
+	g.mu.Lock()
+	f.refs--
+	if f.refs == 0 {
+		f.cancel()
+		if g.flights[key] == f {
+			delete(g.flights, key)
+		}
+	}
+	g.mu.Unlock()
+}
+
+// Inflight returns the number of keys with a flight in progress.
+func (g *Group[V]) Inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}
+
+// Waiting returns the number of participants attached to key's flight,
+// zero when no flight is in progress — observability for tests and
+// operators that want to gate on "everyone has joined".
+func (g *Group[V]) Waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f, ok := g.flights[key]
+	if !ok {
+		return 0
+	}
+	return f.refs
+}

@@ -1,0 +1,278 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"grammarviz/internal/worker"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSingleExecution is the coalescing contract: N concurrent callers of
+// the same key observe exactly one execution, all with the same value,
+// and exactly N-1 of them report having joined another caller's flight.
+func TestSingleExecution(t *testing.T) {
+	const n = 32
+	var (
+		g     Group[int]
+		execs atomic.Int32
+		gate  = make(chan struct{})
+	)
+	fn := func(context.Context) (int, error) {
+		execs.Add(1)
+		<-gate
+		return 42, nil
+	}
+
+	results := make([]int, n)
+	joins := make([]bool, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], joins[i], errs[i] = g.Do(context.Background(), "k", fn)
+		}(i)
+	}
+	// Release the flight only after every caller is accounted for inside
+	// it, so no caller can arrive late and start a second flight.
+	waitFor(t, "all callers joined", func() bool { return g.Waiting("k") == n })
+	close(gate)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	joined := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Errorf("caller %d: unexpected error %v", i, errs[i])
+		}
+		if results[i] != 42 {
+			t.Errorf("caller %d got %d, want 42", i, results[i])
+		}
+		if joins[i] {
+			joined++
+		}
+	}
+	if joined != n-1 {
+		t.Errorf("%d callers joined, want %d", joined, n-1)
+	}
+	if g.Inflight() != 0 {
+		t.Errorf("%d flights left in the map", g.Inflight())
+	}
+}
+
+// TestDistinctKeysRunIndependently: different keys never share a flight.
+func TestDistinctKeysRunIndependently(t *testing.T) {
+	var g Group[string]
+	var execs atomic.Int32
+	fn := func(context.Context) (string, error) {
+		execs.Add(1)
+		return "v", nil
+	}
+	for _, key := range []string{"a", "b", "c"} {
+		if _, joined, err := g.Do(context.Background(), key, fn); err != nil || joined {
+			t.Fatalf("key %q: joined=%v err=%v", key, joined, err)
+		}
+	}
+	if execs.Load() != 3 {
+		t.Errorf("execs = %d, want 3", execs.Load())
+	}
+}
+
+// TestCompletedFlightReexecutes: once a flight publishes, the key is free
+// and the next caller computes anew (the detector cache above this layer
+// is what makes repeats cheap, not the flight map).
+func TestCompletedFlightReexecutes(t *testing.T) {
+	var g Group[int]
+	var execs atomic.Int32
+	fn := func(context.Context) (int, error) { return int(execs.Add(1)), nil }
+	for want := 1; want <= 3; want++ {
+		got, _, err := g.Do(context.Background(), "k", fn)
+		if err != nil || got != want {
+			t.Fatalf("call %d: got %d err %v", want, got, err)
+		}
+	}
+}
+
+// TestCancelledWaiterDetaches: a waiter whose context ends gets its ctx
+// error immediately while the flight runs on and delivers to the
+// remaining participant; no goroutine outlives the flight.
+func TestCancelledWaiterDetaches(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	var g Group[int]
+	gate := make(chan struct{})
+	fn := func(ctx context.Context) (int, error) {
+		select {
+		case <-gate:
+			return 7, nil
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+
+	leaderDone := make(chan error, 1)
+	var leaderVal int
+	go func() {
+		v, _, err := g.Do(context.Background(), "k", fn)
+		leaderVal = v
+		leaderDone <- err
+	}()
+	waitFor(t, "leader in flight", func() bool { return g.Waiting("k") == 1 })
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, joined, err := g.Do(wctx, "k", fn)
+		if !joined {
+			t.Error("second caller did not join the flight")
+		}
+		waiterDone <- err
+	}()
+	waitFor(t, "waiter joined", func() bool { return g.Waiting("k") == 2 })
+
+	wcancel()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not detach")
+	}
+	// The flight survived the waiter's departure.
+	if got := g.Waiting("k"); got != 1 {
+		t.Fatalf("refs after detach = %d, want 1", got)
+	}
+	close(gate)
+	if err := <-leaderDone; err != nil || leaderVal != 7 {
+		t.Fatalf("leader got (%d, %v), want (7, nil)", leaderVal, err)
+	}
+
+	waitFor(t, "goroutines to settle", func() bool { return runtime.NumGoroutine() <= baseline })
+}
+
+// TestAllDetachedCancelsFlight: when every participant gives up, the
+// flight's context is cancelled so fn winds down instead of computing for
+// nobody, and the key is free for a fresh start.
+func TestAllDetachedCancelsFlight(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	var g Group[int]
+	var execs atomic.Int32
+	flightCancelled := make(chan struct{}, 1)
+	fn := func(ctx context.Context) (int, error) {
+		if execs.Add(1) == 1 {
+			<-ctx.Done() // first flight: run until abandoned
+			flightCancelled <- struct{}{}
+			return 0, ctx.Err()
+		}
+		return 99, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, "k", fn)
+		done <- err
+	}()
+	waitFor(t, "flight started", func() bool { return g.Waiting("k") == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning caller returned %v, want context.Canceled", err)
+	}
+	select {
+	case <-flightCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight context was not cancelled after the last detach")
+	}
+
+	// The key is free: a new caller starts a fresh flight and succeeds.
+	got, joined, err := g.Do(context.Background(), "k", fn)
+	if err != nil || joined || got != 99 {
+		t.Fatalf("fresh flight after abandonment: got=%d joined=%v err=%v", got, joined, err)
+	}
+	waitFor(t, "goroutines to settle", func() bool { return runtime.NumGoroutine() <= baseline })
+}
+
+// TestPanicContained: a panic in fn reaches every participant as a
+// *worker.PanicError instead of crashing the process.
+func TestPanicContained(t *testing.T) {
+	var g Group[int]
+	gate := make(chan struct{})
+	fn := func(context.Context) (int, error) {
+		<-gate
+		panic("flight bug")
+	}
+
+	const n = 4
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = g.Do(context.Background(), "k", fn)
+		}(i)
+	}
+	waitFor(t, "all callers joined", func() bool { return g.Waiting("k") == n })
+	close(gate)
+	wg.Wait()
+
+	for i, err := range errs {
+		var pe *worker.PanicError
+		if !errors.As(err, &pe) {
+			t.Errorf("caller %d got %v, want *worker.PanicError", i, err)
+		}
+	}
+	if g.Inflight() != 0 {
+		t.Errorf("%d flights left after panic", g.Inflight())
+	}
+}
+
+// TestErrorShared: a plain error from fn is delivered to every
+// participant.
+func TestErrorShared(t *testing.T) {
+	var g Group[int]
+	sentinel := errors.New("induction failed")
+	gate := make(chan struct{})
+	fn := func(context.Context) (int, error) {
+		<-gate
+		return 0, sentinel
+	}
+	const n = 3
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = g.Do(context.Background(), "k", fn)
+		}(i)
+	}
+	waitFor(t, "all callers joined", func() bool { return g.Waiting("k") == n })
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, sentinel) {
+			t.Errorf("caller %d got %v, want the shared sentinel", i, err)
+		}
+	}
+}

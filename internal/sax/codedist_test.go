@@ -1,0 +1,88 @@
+package sax
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestMINDISTCodeMatchesString: the coded evaluator returns bit-identical
+// results to the string-path MINDIST — same table values, same squaring,
+// same accumulation order, same scaling — across alphabets, word lengths
+// and subsequence lengths.
+func TestMINDISTCodeMatchesString(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, alphabet := range []int{2, 3, 4, 6, 8, 16, 26} {
+		for _, paa := range []int{2, 4, 7, 12} {
+			codec := NewWordCodec(paa, alphabet)
+			if !codec.Fits() {
+				continue
+			}
+			dt, err := NewDistTable(alphabet)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cd, err := NewCodeDist(dt, codec)
+			if err != nil {
+				t.Fatalf("NewCodeDist(a=%d, paa=%d): %v", alphabet, paa, err)
+			}
+			for trial := 0; trial < 200; trial++ {
+				wa, wb := randWord(rng, paa, alphabet), randWord(rng, paa, alphabet)
+				n := paa + rng.Intn(500)
+				want, err := dt.MINDIST(wa, wb, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := cd.MINDISTCode(codec.PackString(wa), codec.PackString(wb), n)
+				if got != want {
+					t.Fatalf("a=%d paa=%d n=%d words %q %q: MINDISTCode = %v, MINDIST = %v",
+						alphabet, paa, n, wa, wb, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMINDISTCodeAllocs pins the zero-allocation contract declared by the
+// //gvad:noalloc directive.
+func TestMINDISTCodeAllocs(t *testing.T) {
+	codec := NewWordCodec(8, 6)
+	dt, err := NewDistTable(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := NewCodeDist(dt, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := codec.PackString("abcfedfa")
+	b := codec.PackString("ffaacbde")
+	var sink float64
+	allocs := testing.AllocsPerRun(100, func() {
+		sink += cd.MINDISTCode(a, b, 128)
+	})
+	if allocs != 0 {
+		t.Errorf("MINDISTCode allocates %v times per call, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestNewCodeDistErrors: construction rejects codecs that cannot carry
+// the table's alphabet.
+func TestNewCodeDistErrors(t *testing.T) {
+	dt26, err := NewDistTable(26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCodeDist(dt26, NewWordCodec(40, 26)); !errors.Is(err, ErrCodeOverflow) {
+		t.Errorf("non-fitting codec: err = %v, want ErrCodeOverflow", err)
+	}
+	dt5, err := NewDistTable(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 4-letter codec has 2-bit letters; alphabet 5 does not fit.
+	if _, err := NewCodeDist(dt5, NewWordCodec(8, 4)); err == nil {
+		t.Error("alphabet wider than the codec's letters was accepted")
+	}
+}

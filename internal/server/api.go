@@ -24,6 +24,11 @@ type AnalyzeRequest struct {
 	// degraded answer beats a deadline error.
 	Mode string `json:"mode"`
 
+	// Tenant names the cost-budget bucket this request is charged to.
+	// Empty falls back to the X-Tenant header, then to "default" — so
+	// anonymous traffic shares one bucket instead of dodging admission.
+	Tenant string `json:"tenant,omitempty"`
+
 	// Window, PAA and Alphabet are the SAX discretization parameters.
 	// Window 0 auto-selects all three from the data (grammar modes only).
 	Window   int `json:"window"`
@@ -87,6 +92,9 @@ type ErrorResponse struct {
 func (r *AnalyzeRequest) validate(maxSeries int) error {
 	if len(r.Series) == 0 {
 		return fmt.Errorf("series is required and must be non-empty")
+	}
+	if len(r.Tenant) > 128 {
+		return fmt.Errorf("tenant name exceeds 128 bytes")
 	}
 	if maxSeries > 0 && len(r.Series) > maxSeries {
 		return fmt.Errorf("series has %d points, server cap is %d", len(r.Series), maxSeries)

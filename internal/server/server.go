@@ -1,17 +1,29 @@
-// Package server implements gvad's HTTP API: POST /v1/analyze answering
-// density/RRA/HOTSAX/best-effort anomaly queries with per-request
-// deadlines, GET /healthz, and GET /metrics in the Prometheus text
-// format.
+// Package server implements gvad's HTTP API: POST /v1/analyze and
+// POST /v1/analyze/batch answering density/RRA/HOTSAX/best-effort anomaly
+// queries with per-request deadlines, GET /healthz, and GET /metrics in
+// the Prometheus text format.
 //
-// Three properties make it a service rather than a CLI wrapper:
+// Five properties make it a service rather than a CLI wrapper:
 //
 //   - Detector caching: analyses are keyed by grammarviz.Fingerprint
 //     (series bits + grammar-relevant options), so repeated queries
 //     against the same series reuse the induced grammar instead of
-//     re-running discretization and Sequitur.
-//   - Admission control: a semaphore sized off GOMAXPROCS bounds
-//     concurrent analyses, with a bounded wait queue that sheds load with
-//     429 on overflow — one giant series cannot starve the fleet.
+//     re-running discretization and Sequitur. The cache is sharded
+//     N ways by fingerprint prefix so concurrent requests do not
+//     serialize on one LRU lock.
+//   - Request coalescing: concurrent identical queries that miss the
+//     cache share a single induction (internal/coalesce); a cancelled
+//     waiter detaches without killing the shared flight.
+//   - Admission control: requests are admitted against a tenant-keyed
+//     cost budget (internal/budget) where cost is estimated from series
+//     length × mode, so heavy work is charged proportionally and one hot
+//     tenant cannot starve the rest; overload is shed with 429/503
+//     carrying a Retry-After derived from the queue depth. The
+//     pre-budget flat semaphore survives behind Config.DisableBudget for
+//     A/B measurement.
+//   - Batching: /v1/analyze/batch fans a request set across the worker
+//     pool with per-item admission and per-item outcomes, so one failing
+//     item degrades itself, not the batch.
 //   - Containment: each analysis runs inside an internal/worker group, so
 //     a panic surfaces as a 500 response, never a crash; deadlines map
 //     onto the DiscordsBestEffort degradation ladder, so a slow query
@@ -27,11 +39,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"grammarviz"
+	"grammarviz/internal/budget"
 	"grammarviz/internal/cache"
+	"grammarviz/internal/coalesce"
 	"grammarviz/internal/discord"
 	"grammarviz/internal/metrics"
 	"grammarviz/internal/timeseries"
@@ -42,15 +57,39 @@ import (
 // field. Fields that must distinguish "unset" from "none" use -1 for
 // none.
 type Config struct {
-	// CacheSize is the detector cache capacity in entries (default 64).
+	// CacheSize is the detector cache capacity in entries (default 64),
+	// divided evenly across CacheShards.
 	CacheSize int
-	// MaxConcurrent bounds simultaneously running analyses
-	// (default GOMAXPROCS).
+	// CacheShards is the number of independently locked detector-cache
+	// shards, rounded up to a power of two (default 8; -1 selects 1).
+	CacheShards int
+	// DisableCoalesce turns off singleflight coalescing of concurrent
+	// identical inductions — every cache miss induces its own detector,
+	// the pre-coalescing behaviour kept for measurement.
+	DisableCoalesce bool
+	// MaxConcurrent bounds simultaneously running analyses under the
+	// legacy flat semaphore (DisableBudget) and sizes the default
+	// BudgetCapacity (default GOMAXPROCS).
 	MaxConcurrent int
-	// MaxQueue bounds requests waiting for an analysis slot beyond
-	// MaxConcurrent; overflow is shed with 429. Default 2*MaxConcurrent;
-	// -1 disables queueing entirely.
+	// MaxQueue bounds requests waiting for admission beyond capacity;
+	// overflow is shed with 429. The budget path defaults to a deep queue
+	// (64, or 2*MaxConcurrent if larger): fair-share wake order prevents
+	// head-of-line starvation and per-request deadlines bound the wait, so
+	// queueing converts would-be sheds into slightly later answers instead
+	// of burning CPU on reject/retry cycles. The legacy FIFO path keeps
+	// its original shallow default of 2*MaxConcurrent, where a deep queue
+	// would mean unbounded head-of-line latency. -1 disables queueing.
 	MaxQueue int
+	// BudgetCapacity is the admission pool in cost tokens (series points
+	// × mode weight); default MaxConcurrent × budget.DefaultSlotCost.
+	BudgetCapacity int64
+	// DisableBudget replaces the tenant-keyed cost-budget admission with
+	// the original flat MaxConcurrent semaphore and FIFO queue — the
+	// pre-budget behaviour kept for measurement.
+	DisableBudget bool
+	// MaxBatch caps the items of one /v1/analyze/batch request
+	// (default 64).
+	MaxBatch int
 	// DefaultTimeout applies to requests that name no timeout_ms
 	// (default 30s; -1 means no default).
 	DefaultTimeout time.Duration
@@ -74,14 +113,29 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 64
 	}
+	switch {
+	case c.CacheShards == 0:
+		c.CacheShards = 8
+	case c.CacheShards < 0:
+		c.CacheShards = 1
+	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
 	switch {
 	case c.MaxQueue == 0:
 		c.MaxQueue = 2 * c.MaxConcurrent
+		if !c.DisableBudget && c.MaxQueue < 64 {
+			c.MaxQueue = 64
+		}
 	case c.MaxQueue < 0:
 		c.MaxQueue = 0
+	}
+	if c.BudgetCapacity <= 0 {
+		c.BudgetCapacity = int64(c.MaxConcurrent) * budget.DefaultSlotCost
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
 	}
 	switch {
 	case c.DefaultTimeout == 0:
@@ -110,20 +164,22 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// errQueueFull is returned by acquire when both the slots and the wait
-// queue are at capacity — the load-shedding signal behind 429.
-var errQueueFull = errors.New("server: analysis slots and wait queue full")
+// errQueueFull is returned by admission when both the capacity and the
+// wait queue are exhausted — the load-shedding signal behind 429.
+var errQueueFull = errors.New("server: analysis capacity and wait queue full")
 
 // Server is the gvad HTTP service. Create one with New; it is safe for
 // concurrent use.
 type Server struct {
-	cfg   Config
-	cache *cache.LRU[*grammarviz.Detector]
-	http  *http.Server
-	mux   *http.ServeMux
+	cfg     Config
+	cache   *cache.Sharded[*grammarviz.Detector]
+	flights coalesce.Group[*grammarviz.Detector]
+	adm     *budget.Controller // nil when cfg.DisableBudget
+	http    *http.Server
+	mux     *http.ServeMux
 
-	sem    chan struct{} // admission slots; len == running analyses
-	queued atomic.Int64  // requests waiting for a slot
+	sem    chan struct{} // legacy admission slots (DisableBudget only)
+	queued atomic.Int64  // legacy wait-queue depth (DisableBudget only)
 
 	reg            *metrics.Registry
 	requests       *metrics.CounterVec
@@ -131,9 +187,13 @@ type Server struct {
 	cacheHits      *metrics.Counter
 	cacheMisses    *metrics.Counter
 	cacheEvictions *metrics.Counter
+	coalesced      *metrics.Counter
 	distCalls      *metrics.Counter
 	inflight       *metrics.Gauge
 	queueDepth     *metrics.Gauge
+	budgetCapacity *metrics.Gauge
+	budgetInUse    *metrics.Gauge
+	budgetTenants  *metrics.Gauge
 	heapAlloc      *metrics.Gauge
 	heapSys        *metrics.Gauge
 	totalAlloc     *metrics.Gauge
@@ -143,6 +203,10 @@ type Server struct {
 	// testHookAnalyze, when set, runs inside the containment group before
 	// the analysis — tests use it to inject panics.
 	testHookAnalyze func(*AnalyzeRequest)
+	// testHookInduce, when set, runs at the start of every induction —
+	// tests use it to hold the flight open until every concurrent caller
+	// has joined.
+	testHookInduce func()
 }
 
 // New builds a Server from cfg (zero value: defaults).
@@ -151,8 +215,7 @@ func New(cfg Config) *Server {
 	reg := metrics.NewRegistry()
 	s := &Server{
 		cfg:   cfg,
-		cache: cache.New[*grammarviz.Detector](cfg.CacheSize),
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		cache: cache.NewSharded[*grammarviz.Detector](cfg.CacheSize, cfg.CacheShards),
 		reg:   reg,
 
 		requests: reg.NewCounterVec("gvad_requests_total",
@@ -165,13 +228,21 @@ func New(cfg Config) *Server {
 		cacheMisses: reg.NewCounter("gvad_cache_misses_total",
 			"Analyze requests that had to induce a new detector."),
 		cacheEvictions: reg.NewCounter("gvad_cache_evictions_total",
-			"Detectors evicted from the cache."),
+			"Detectors evicted from the cache (summed across shards)."),
+		coalesced: reg.NewCounter("gvad_coalesce_shared_total",
+			"Analyze requests that joined another request's in-flight induction instead of running their own."),
 		distCalls: reg.NewCounter("gvad_distance_calls_total",
 			"Distance-function calls made by discord searches (the paper's efficiency metric)."),
 		inflight: reg.NewGauge("gvad_inflight_requests",
-			"Analyze requests currently holding an analysis slot."),
+			"Analyze requests currently admitted and running."),
 		queueDepth: reg.NewGauge("gvad_queue_depth",
-			"Analyze requests waiting for an analysis slot."),
+			"Analyze requests waiting for admission, sampled at scrape."),
+		budgetCapacity: reg.NewGauge("gvad_budget_capacity_tokens",
+			"Total admission cost capacity in tokens (series points x mode weight)."),
+		budgetInUse: reg.NewGauge("gvad_budget_in_use_tokens",
+			"Admission cost tokens currently held by running analyses, sampled at scrape."),
+		budgetTenants: reg.NewGauge("gvad_budget_active_tenants",
+			"Tenants currently holding admitted cost, sampled at scrape."),
 		heapAlloc: reg.NewGauge("gvad_mem_heap_alloc_bytes",
 			"Bytes of live heap objects (runtime.MemStats.HeapAlloc), sampled at scrape."),
 		heapSys: reg.NewGauge("gvad_mem_heap_sys_bytes",
@@ -183,12 +254,20 @@ func New(cfg Config) *Server {
 		gcCycles: reg.NewGauge("gvad_mem_gc_cycles",
 			"Completed GC cycles since process start (runtime.MemStats.NumGC)."),
 	}
+	if cfg.DisableBudget {
+		s.sem = make(chan struct{}, cfg.MaxConcurrent)
+	} else {
+		s.adm = budget.New(budget.Config{Capacity: cfg.BudgetCapacity, MaxQueue: cfg.MaxQueue})
+		s.budgetCapacity.Set(cfg.BudgetCapacity)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	metricsHandler := reg.Handler()
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		s.sampleMemStats()
+		s.sampleAdmission()
 		metricsHandler.ServeHTTP(w, r)
 	})
 	if cfg.EnablePprof {
@@ -209,8 +288,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry returns the metrics registry backing /metrics.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
-// CacheStats returns the detector cache's hit/miss/eviction snapshot.
+// CacheStats returns the detector cache's aggregate hit/miss/eviction
+// snapshot (summed across shards).
 func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// ShardStats returns the per-shard detector-cache snapshots.
+func (s *Server) ShardStats() []cache.Stats { return s.cache.ShardStats() }
 
 // Serve accepts connections on ln until Shutdown. It returns nil after a
 // clean shutdown.
@@ -228,10 +311,47 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.http.Shutdown(ctx)
 }
 
-// acquire claims an analysis slot, queueing up to cfg.MaxQueue waiters.
-// It returns a release function, errQueueFull when both slots and queue
-// are saturated, or ctx's error if the deadline passes while queued.
-func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+// modeWeight is the admission cost multiplier per series point: the
+// distance-search modes dominate the pipeline, the distance-free density
+// lookup is nearly free once the detector exists, and HOTSAX's quadratic
+// inner loops earn the heaviest weight.
+func modeWeight(mode string) int64 {
+	switch mode {
+	case ModeDensity:
+		return 1
+	case ModeHOTSAX:
+		return 8
+	default: // rra, besteffort
+		return 3
+	}
+}
+
+// admit claims admission for a request of n points at mode on behalf of
+// tenant. It returns a release function, errQueueFull when capacity and
+// queue are saturated, or ctx's error if the deadline passes while
+// queued.
+func (s *Server) admit(ctx context.Context, tenant string, n int, mode string) (release func(), err error) {
+	if s.adm != nil {
+		rel, err := s.adm.Acquire(ctx, tenant, budget.Cost(n, modeWeight(mode)))
+		if err != nil {
+			if errors.Is(err, budget.ErrSaturated) {
+				return nil, errQueueFull
+			}
+			return nil, err
+		}
+		s.inflight.Inc()
+		return func() {
+			s.inflight.Dec()
+			rel()
+		}, nil
+	}
+	return s.acquireLegacy(ctx)
+}
+
+// acquireLegacy claims a flat-semaphore slot, queueing up to cfg.MaxQueue
+// waiters in FIFO order — the pre-budget admission path, kept verbatim
+// behind Config.DisableBudget as the measurement baseline.
+func (s *Server) acquireLegacy(ctx context.Context) (release func(), err error) {
 	claimed := func() func() {
 		s.inflight.Inc()
 		return func() {
@@ -254,16 +374,43 @@ func (s *Server) acquire(ctx context.Context) (release func(), err error) {
 			break
 		}
 	}
-	s.queueDepth.Inc()
-	defer func() {
-		s.queued.Add(-1)
-		s.queueDepth.Dec()
-	}()
+	defer s.queued.Add(-1)
 	select {
 	case s.sem <- struct{}{}:
 		return claimed(), nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	}
+}
+
+// pendingQueue returns the current admission wait-queue depth, whichever
+// admission layer is active.
+func (s *Server) pendingQueue() int {
+	if s.adm != nil {
+		return s.adm.QueueDepth()
+	}
+	return int(s.queued.Load())
+}
+
+// retryAfterSecs estimates when a shed client should retry: one second
+// of baseline backoff plus roughly one second per MaxConcurrent requests
+// already queued ahead of it, capped at 30.
+func (s *Server) retryAfterSecs() int {
+	secs := 1 + s.pendingQueue()/s.cfg.MaxConcurrent
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// sampleAdmission refreshes the admission gauges from the active layer.
+// It runs per /metrics scrape, like sampleMemStats.
+func (s *Server) sampleAdmission() {
+	s.queueDepth.Set(int64(s.pendingQueue()))
+	if s.adm != nil {
+		st := s.adm.Stats()
+		s.budgetInUse.Set(st.InUse)
+		s.budgetTenants.Set(int64(st.ActiveTenants))
 	}
 }
 
@@ -284,6 +431,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// resolveTenant picks the request's tenant: the body field wins, the
+// X-Tenant header is the fallback, and anonymous traffic shares the
+// "default" tenant (one budget bucket, so unidentified load cannot
+// impersonate many tenants).
+func resolveTenant(r *http.Request, bodyTenant string) string {
+	if bodyTenant != "" {
+		return bodyTenant
+	}
+	if h := r.Header.Get("X-Tenant"); h != "" {
+		return h
+	}
+	return "default"
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -297,25 +458,37 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	resp, status, err := s.serveOne(r.Context(), &req, resolveTenant(r, req.Tenant))
+	if err != nil {
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, status, resp)
+}
 
-	ctx := r.Context()
+// serveOne runs one validated request end to end — per-request deadline,
+// admission, containment, metrics — and returns the response or the
+// (status, error) pair to write. It is shared by the single and batch
+// endpoints.
+func (s *Server) serveOne(ctx context.Context, req *AnalyzeRequest, tenant string) (*AnalyzeResponse, int, error) {
 	if d := req.budget(s.cfg.DefaultTimeout, s.cfg.MaxTimeout); d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
 
-	release, err := s.acquire(ctx)
+	release, err := s.admit(ctx, tenant, len(req.Series), req.Mode)
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			s.requests.With(req.Mode, "rejected").Inc()
-			s.cfg.Logf("shed %s request: %v", req.Mode, err)
-			writeError(w, http.StatusTooManyRequests, errors.New("server saturated, retry later"))
-			return
+			s.cfg.Logf("shed %s request (tenant %s): %v", req.Mode, tenant, err)
+			return nil, http.StatusTooManyRequests, errors.New("server saturated, retry later")
 		}
 		s.requests.With(req.Mode, "timeout").Inc()
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("timed out waiting for an analysis slot: %w", err))
-		return
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("timed out waiting for admission: %w", err)
 	}
 	defer release()
 
@@ -324,10 +497,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	g, gctx := worker.WithContext(ctx)
 	g.Go(func() error {
 		if s.testHookAnalyze != nil {
-			s.testHookAnalyze(&req)
+			s.testHookAnalyze(req)
 		}
 		var err error
-		resp, err = s.analyze(gctx, &req)
+		resp, err = s.analyze(gctx, req)
 		return err
 	})
 	err = g.Wait()
@@ -338,13 +511,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		status, outcome := classifyError(err)
 		s.requests.With(req.Mode, outcome).Inc()
 		s.cfg.Logf("%s request failed (%s): %v", req.Mode, outcome, err)
-		writeError(w, status, err)
-		return
+		return nil, status, err
 	}
 	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1000
 	s.distCalls.Add(uint64(max(resp.DistanceCalls, 0)))
 	s.requests.With(req.Mode, outcomeOf(resp)).Inc()
-	writeJSON(w, http.StatusOK, resp)
+	return resp, http.StatusOK, nil
 }
 
 // analyze runs one validated request under ctx. It is called inside a
@@ -428,24 +600,54 @@ func (s *Server) analyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResp
 }
 
 // detector returns the cached Detector for (series, opts), inducing and
-// caching a new one on miss. The fingerprint covers the series bits and
-// every option that influences the grammar, so equal keys mean
+// caching a new one on miss. Concurrent misses for the same fingerprint
+// coalesce into a single induction unless disabled; reused reports that
+// the detector came from the cache or from another request's flight, so
+// this request skipped induction. The fingerprint covers the series bits
+// and every option that influences the grammar, so equal keys mean
 // byte-identical detectors.
-func (s *Server) detector(ctx context.Context, series []float64, opts grammarviz.Options) (*grammarviz.Detector, bool, error) {
+func (s *Server) detector(ctx context.Context, series []float64, opts grammarviz.Options) (det *grammarviz.Detector, reused bool, err error) {
 	key := grammarviz.Fingerprint(series, opts)
 	if det, ok := s.cache.Get(key); ok {
 		s.cacheHits.Inc()
 		return det, true, nil
 	}
-	s.cacheMisses.Inc()
-	det, err := grammarviz.NewCtx(ctx, series, opts)
+	if s.cfg.DisableCoalesce {
+		det, err := s.induce(ctx, key, series, opts)
+		return det, false, err
+	}
+	det, joined, err := s.flights.Do(ctx, key, func(fctx context.Context) (*grammarviz.Detector, error) {
+		// A flight that completed between our cache probe and joining may
+		// have populated the cache already — re-check (without touching the
+		// lookup statistics) before paying for induction.
+		if det, ok := s.cache.Peek(key); ok {
+			return det, nil
+		}
+		return s.induce(fctx, key, series, opts)
+	})
 	if err != nil {
 		return nil, false, err
+	}
+	if joined {
+		s.coalesced.Inc()
+	}
+	return det, joined, nil
+}
+
+// induce runs the full analysis for a cache miss and stores the result.
+func (s *Server) induce(ctx context.Context, key string, series []float64, opts grammarviz.Options) (*grammarviz.Detector, error) {
+	s.cacheMisses.Inc()
+	if s.testHookInduce != nil {
+		s.testHookInduce()
+	}
+	det, err := grammarviz.NewCtx(ctx, series, opts)
+	if err != nil {
+		return nil, err
 	}
 	if s.cache.Add(key, det) {
 		s.cacheEvictions.Inc()
 	}
-	return det, false, nil
+	return det, nil
 }
 
 // classifyError maps an analysis error to an HTTP status and a metrics

@@ -368,7 +368,7 @@ func TestShutdownDrainsUnderLoad(t *testing.T) {
 		done := s.requests.With(ModeBestEffort, "ok").Value() +
 			s.requests.With(ModeBestEffort, "partial").Value() +
 			s.requests.With(ModeBestEffort, "fallback").Value()
-		return int(s.inflight.Value()) + int(s.queueDepth.Value()) + int(done)
+		return int(s.inflight.Value()) + s.pendingQueue() + int(done)
 	}
 	for admitDeadline := time.Now().Add(10 * time.Second); inServer() < inFlight; {
 		if time.Now().After(admitDeadline) {
@@ -403,37 +403,88 @@ func TestShutdownDrainsUnderLoad(t *testing.T) {
 		runtime.NumGoroutine(), baseline)
 }
 
-// TestAdmissionControl exercises both shedding paths white-box: with the
-// single slot occupied, a queue-less server sheds with 429 immediately,
-// and a queued request that outlives its budget gets 503.
+// TestAdmissionControl exercises both shedding paths white-box, on both
+// admission layers: with capacity occupied, a queue-less server sheds
+// with 429 immediately, and a queued request that outlives its budget
+// gets 503 — each carrying a Retry-After hint.
 func TestAdmissionControl(t *testing.T) {
 	series := testSeries(300, 30, 150, 30, 1)
 	req := AnalyzeRequest{Series: series, Mode: ModeRRA, Window: 30, PAA: 4, Alphabet: 4, K: 1}
 
-	t.Run("queue-full-sheds-429", func(t *testing.T) {
-		s, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: -1})
-		s.sem <- struct{}{} // occupy the only slot
-		defer func() { <-s.sem }()
-		status, body := postAnalyze(t, ts.URL, req)
-		if status != http.StatusTooManyRequests {
-			t.Fatalf("status = %d (%s), want 429", status, body)
+	// postRaw exposes the response headers postAnalyze hides.
+	postRaw := func(t *testing.T, url string, r AnalyzeRequest) *http.Response {
+		t.Helper()
+		body, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if v := scrapeMetric(t, ts.URL, `gvad_requests_total{mode="rra",outcome="rejected"}`); v != 1 {
-			t.Errorf("rejected counter = %v, want 1", v)
+		resp, err := http.Post(url+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
 		}
-	})
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	assertRetryAfter := func(t *testing.T, resp *http.Response) {
+		t.Helper()
+		h := resp.Header.Get("Retry-After")
+		if h == "" {
+			t.Fatalf("%d response carries no Retry-After header", resp.StatusCode)
+		}
+		if secs, err := strconv.Atoi(h); err != nil || secs < 1 || secs > 30 {
+			t.Errorf("Retry-After = %q, want an integer in 1..30", h)
+		}
+	}
 
-	t.Run("queued-past-deadline-503", func(t *testing.T) {
-		s, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: 4})
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
-		r := req
-		r.TimeoutMS = 50
-		status, body := postAnalyze(t, ts.URL, r)
-		if status != http.StatusServiceUnavailable {
-			t.Fatalf("status = %d (%s), want 503", status, body)
+	// occupy fills the server's active admission layer completely and
+	// returns the release.
+	occupy := func(t *testing.T, s *Server) func() {
+		t.Helper()
+		if s.adm != nil {
+			release, err := s.adm.Acquire(context.Background(), "occupier", s.adm.Capacity())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return release
 		}
-	})
+		s.sem <- struct{}{}
+		return func() { <-s.sem }
+	}
+
+	for _, mode := range []struct {
+		name string
+		cfg  func(Config) Config
+	}{
+		{"budget", func(c Config) Config { return c }},
+		{"legacy", func(c Config) Config { c.DisableBudget = true; return c }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			t.Run("queue-full-sheds-429", func(t *testing.T) {
+				s, ts := newTestServer(t, mode.cfg(Config{MaxConcurrent: 1, MaxQueue: -1}))
+				defer occupy(t, s)()
+				resp := postRaw(t, ts.URL, req)
+				if resp.StatusCode != http.StatusTooManyRequests {
+					t.Fatalf("status = %d, want 429", resp.StatusCode)
+				}
+				assertRetryAfter(t, resp)
+				if v := scrapeMetric(t, ts.URL, `gvad_requests_total{mode="rra",outcome="rejected"}`); v != 1 {
+					t.Errorf("rejected counter = %v, want 1", v)
+				}
+			})
+
+			t.Run("queued-past-deadline-503", func(t *testing.T) {
+				s, ts := newTestServer(t, mode.cfg(Config{MaxConcurrent: 1, MaxQueue: 4}))
+				defer occupy(t, s)()
+				r := req
+				r.TimeoutMS = 50
+				resp := postRaw(t, ts.URL, r)
+				if resp.StatusCode != http.StatusServiceUnavailable {
+					t.Fatalf("status = %d, want 503", resp.StatusCode)
+				}
+				assertRetryAfter(t, resp)
+			})
+		})
+	}
 }
 
 // TestPanicContained injects a panic into the analysis path and checks
