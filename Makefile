@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench fuzz-smoke lint staticcheck govulncheck serve loadtest
+.PHONY: check build vet test race bench-smoke bench fuzz-smoke crashtest lint staticcheck govulncheck serve loadtest
 
 ## check: everything CI runs — vet, build, race-enabled tests, bench smoke,
-## fuzz smoke, static analysis (go vet + gvadlint + staticcheck)
-check: vet build race bench-smoke fuzz-smoke lint staticcheck
+## fuzz smoke, crash-recovery test, static analysis (go vet + gvadlint +
+## staticcheck)
+check: vet build race bench-smoke fuzz-smoke crashtest lint staticcheck
 
 build:
 	$(GO) build ./...
@@ -38,6 +39,16 @@ bench:
 fuzz-smoke:
 	$(GO) test ./internal/sax -run '^$$' -fuzz '^FuzzDiscretize$$' -fuzztime 3s
 	$(GO) test ./internal/sequitur -run '^$$' -fuzz '^FuzzInduce$$' -fuzztime 3s
+	$(GO) test ./internal/checkpoint -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime 3s
+
+## crashtest: the kill-recovery property test — a real gvad subprocess is
+## SIGKILLed at randomized points (including mid-WAL-write via the
+## GVAD_WAL_WRITE_DELAY_MS torn-write hook), restarted, and every durable
+## streaming session must resume byte-identically to a never-crashed
+## reference. Runs under the race detector; the child re-exec inherits the
+## instrumentation.
+crashtest:
+	$(GO) test ./cmd/gvad -run '^TestKillRecovery$$' -count=1 -race
 
 ## serve: run the gvad anomaly-detection daemon locally (POST /v1/analyze,
 ## GET /healthz, GET /metrics); override the listen address with

@@ -1,0 +1,99 @@
+package grammarviz
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestStreamCheckpointRoundTrip pins the public durability contract: a
+// stream restored from Checkpoint continues byte-identically — same
+// events, same analyses — to the stream that produced the frame.
+func TestStreamCheckpointRoundTrip(t *testing.T) {
+	ts := testSeries(1200, 60, 600, 60, 5)
+	for _, red := range []Reduction{ReduceExact, ReduceNone, ReduceMINDIST} {
+		opts := Options{Window: 60, PAA: 6, Alphabet: 4, Reduction: red}
+		s, err := NewStream(opts)
+		if err != nil {
+			t.Fatalf("NewStream: %v", err)
+		}
+		for _, v := range ts[:700] {
+			if _, _, err := s.Append(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		frame, err := s.Checkpoint()
+		if err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		r, err := RestoreStream(frame)
+		if err != nil {
+			t.Fatalf("RestoreStream: %v", err)
+		}
+		if r.Len() != s.Len() {
+			t.Fatalf("restored Len %d, want %d", r.Len(), s.Len())
+		}
+		for i, v := range ts[700:] {
+			se, sok, serr := s.Append(v)
+			re, rok, rerr := r.Append(v)
+			if serr != nil || rerr != nil {
+				t.Fatal(serr, rerr)
+			}
+			if sok != rok || se != re {
+				t.Fatalf("reduction %d point %d: original (%v,%v) restored (%v,%v)", red, i, se, sok, re, rok)
+			}
+		}
+		sd, err := s.RuleDensity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := r.RuleDensity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sd {
+			if sd[i] != rd[i] {
+				t.Fatalf("reduction %d: restored density differs at %d", red, i)
+			}
+		}
+		// A second checkpoint of the restored stream is byte-identical
+		// to a checkpoint of the original: the frame is canonical.
+		sf, err := s.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := r.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(sf) != string(rf) {
+			t.Fatalf("reduction %d: checkpoints of equivalent streams differ", red)
+		}
+	}
+}
+
+func TestRestoreStreamRejectsCorruption(t *testing.T) {
+	s, err := NewStream(Options{Window: 40, PAA: 4, Alphabet: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 200 {
+		if _, _, err := s.Append(float64(i % 17)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frame, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreStream(nil); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("nil frame: %v", err)
+	}
+	if _, err := RestoreStream(frame[:len(frame)-1]); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("truncated frame: %v", err)
+	}
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := RestoreStream(bad); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("flipped frame: %v", err)
+	}
+}

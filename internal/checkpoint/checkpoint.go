@@ -1,0 +1,358 @@
+// Package checkpoint serializes stream detector state into a versioned,
+// length-prefixed, CRC32C-checksummed binary frame, and deserializes it
+// with strict validation. It is the durable representation behind
+// streaming sessions: a snapshot written by one gvad process must restore
+// byte-identically in another, possibly years later under a newer build,
+// so the format is explicit about every field and refuses — with a typed
+// ErrCorrupt, never a panic — anything it does not fully understand.
+//
+// Frame layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "GVCP"
+//	4       2     format version (currently 1)
+//	6       4     payload length in bytes
+//	10      n     payload (see below)
+//	10+n    4     CRC32C (Castagnoli) of bytes [0, 10+n)
+//
+// Version-1 payload:
+//
+//	u16  field count (must be 7)
+//	[1]  params: window u32, paa u32, alphabet u32, normThreshold f64bits
+//	[2]  reduction u8
+//	[3]  total points u64
+//	[4]  tail: count u32, then count f64bits
+//	[5]  words: count u32, coded u8, then per word offset u64 followed by
+//	     code u64 (coded=1, letters derived from the code) or
+//	     len u16 + letters (coded=0)
+//	[6]  encoder scalars: sum, comp, sumSq, compSq, magP, magQ (f64bits),
+//	     nChanges u64, lastVal f64bits
+//	[7]  encoder rings: count u32, then count f64bits (prefix sums),
+//	     count f64bits (prefix sums of squares), count u64 (change counts)
+//
+// The encoding of a given state is canonical — field order, ring order
+// (oldest boundary first) and word representation are all determined by
+// the state alone — so Encode(Decode(b)) == b for every frame Decode
+// accepts, which is what the fuzz target and round-trip tests pin.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/stream"
+)
+
+// ErrCorrupt is wrapped by every Decode failure: truncation, bad magic,
+// unknown version, checksum mismatch, trailing bytes, or any state
+// invariant violation. Callers branch on it with errors.Is to decide
+// between quarantining a snapshot and surfacing an internal error.
+var ErrCorrupt = errors.New("checkpoint: corrupt")
+
+// Version is the current frame format version.
+const Version = 1
+
+const (
+	magic      = "GVCP"
+	headerLen  = 4 + 2 + 4 // magic + version + payload length
+	trailerLen = 4         // crc32c
+	fieldCount = 7
+)
+
+// castagnoli is the CRC32C table; crc32.MakeTable memoizes it internally
+// but holding the reference avoids the lookup per frame.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxSaneCount bounds decoded element counts before any allocation, so a
+// corrupt length field cannot make Decode attempt a multi-gigabyte make.
+// It is far above any real checkpoint (words and rings are bounded by the
+// stream length, and sessions cap series length well below this).
+const maxSaneCount = 1 << 28
+
+// Encode serializes st into a checkpoint frame. It validates the state
+// first and refuses to serialize one that would not restore.
+func Encode(st *stream.State) ([]byte, error) {
+	if err := st.Validate(); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	coded := sax.NewWordCodec(st.Params.PAA, st.Params.Alphabet).Fits()
+	if !coded && st.Params.PAA > math.MaxUint16 {
+		return nil, fmt.Errorf("checkpoint: encode: paa %d exceeds the format's word length", st.Params.PAA)
+	}
+
+	payload := 2 // field count
+	payload += 4 + 4 + 4 + 8
+	payload++      // reduction
+	payload += 8   // total
+	payload += 4 + 8*len(st.Tail)
+	payload += 4 + 1 // word count + coded flag
+	for i := range st.Words {
+		if coded {
+			payload += 8 + 8
+		} else {
+			payload += 8 + 2 + len(st.Words[i].Str)
+		}
+	}
+	payload += 6*8 + 8 + 8 // encoder scalars
+	payload += 4 + len(st.Enc.Ring)*(8+8+8)
+
+	buf := make([]byte, 0, headerLen+payload+trailerLen)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payload))
+
+	buf = binary.LittleEndian.AppendUint16(buf, fieldCount)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(st.Params.Window))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(st.Params.PAA))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(st.Params.Alphabet))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.Params.NormThreshold))
+	buf = append(buf, byte(st.Reduction))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(st.Total))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.Tail)))
+	for _, v := range st.Tail {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.Words)))
+	if coded {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	for i := range st.Words {
+		w := &st.Words[i]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(w.Offset))
+		if coded {
+			buf = binary.LittleEndian.AppendUint64(buf, w.Code)
+		} else {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(w.Str)))
+			buf = append(buf, w.Str...)
+		}
+	}
+	for _, v := range []float64{st.Enc.Sum, st.Enc.Comp, st.Enc.SumSq, st.Enc.CompSq, st.Enc.MagP, st.Enc.MagQ} {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, st.Enc.NChanges)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.Enc.LastVal))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st.Enc.Ring)))
+	for _, v := range st.Enc.Ring {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, v := range st.Enc.RingSq {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, v := range st.Enc.RingCh {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	if got := len(buf) - headerLen; got != payload {
+		// Unreachable unless the size pre-pass above drifts from the
+		// append sequence; fail loudly rather than emit a bad frame.
+		return nil, fmt.Errorf("checkpoint: encode: payload %d bytes, declared %d", got, payload)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return buf, nil
+}
+
+// reader is a bounds-checked cursor over a payload. Every read reports
+// failure through ok instead of panicking, so Decode survives arbitrary
+// input.
+type reader struct {
+	b  []byte
+	ok bool
+}
+
+func (r *reader) u8() byte {
+	if !r.ok || len(r.b) < 1 {
+		r.ok = false
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if !r.ok || len(r.b) < 2 {
+		r.ok = false
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.ok || len(r.b) < 4 {
+		r.ok = false
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if !r.ok || len(r.b) < 8 {
+		r.ok = false
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) bytes(n int) []byte {
+	if !r.ok || n < 0 || len(r.b) < n {
+		r.ok = false
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+// count reads a u32 element count and bounds it by the bytes actually
+// remaining (each element occupies at least minElem bytes), so a corrupt
+// count can never make the caller allocate more than the frame itself
+// could describe.
+func (r *reader) count(minElem int) int {
+	n := r.u32()
+	if !r.ok || int64(n)*int64(minElem) > int64(len(r.b)) {
+		r.ok = false
+		return 0
+	}
+	return int(n)
+}
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Decode parses and validates a checkpoint frame. Any deviation — bad
+// magic, unknown version, checksum mismatch, truncation, trailing bytes,
+// or a state that fails stream validation — returns an error wrapping
+// ErrCorrupt. Decode never panics on any input.
+func Decode(b []byte) (*stream.State, error) {
+	if len(b) < headerLen+trailerLen {
+		return nil, corrupt("frame truncated at %d bytes", len(b))
+	}
+	if string(b[:4]) != magic {
+		return nil, corrupt("bad magic %q", b[:4])
+	}
+	version := binary.LittleEndian.Uint16(b[4:6])
+	if version != Version {
+		return nil, corrupt("unknown version %d", version)
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(b[6:10]))
+	if payloadLen < 0 || len(b) != headerLen+payloadLen+trailerLen {
+		return nil, corrupt("frame is %d bytes, header declares %d-byte payload", len(b), payloadLen)
+	}
+	body := b[:headerLen+payloadLen]
+	wantCRC := binary.LittleEndian.Uint32(b[headerLen+payloadLen:])
+	if got := crc32.Checksum(body, castagnoli); got != wantCRC {
+		return nil, corrupt("checksum %08x, want %08x", got, wantCRC)
+	}
+
+	r := &reader{b: body[headerLen:], ok: true}
+	if n := r.u16(); r.ok && n != fieldCount {
+		return nil, corrupt("field count %d, want %d", n, fieldCount)
+	}
+	st := &stream.State{}
+	st.Params.Window = int(r.u32())
+	st.Params.PAA = int(r.u32())
+	st.Params.Alphabet = int(r.u32())
+	st.Params.NormThreshold = r.f64()
+	st.Reduction = sax.Reduction(r.u8())
+	total := r.u64()
+	if total > maxSaneCount {
+		return nil, corrupt("total %d out of range", total)
+	}
+	st.Total = int(total)
+	if n := r.count(8); r.ok && n > 0 {
+		st.Tail = make([]float64, n)
+		for i := range st.Tail {
+			st.Tail[i] = r.f64()
+		}
+	}
+	nWords := r.count(8) // a word is at least its 8-byte offset
+	codedFlag := r.u8()
+	if r.ok && codedFlag > 1 {
+		return nil, corrupt("coded flag %d", codedFlag)
+	}
+	codec := sax.NewWordCodec(st.Params.PAA, st.Params.Alphabet)
+	if r.ok && (codedFlag == 1) != codec.Fits() {
+		return nil, corrupt("coded flag %d disagrees with parameters", codedFlag)
+	}
+	if r.ok && nWords > 0 {
+		st.Words = make([]sax.Word, nWords)
+		for i := range st.Words {
+			w := &st.Words[i]
+			off := r.u64()
+			if off > maxSaneCount {
+				return nil, corrupt("word %d offset %d out of range", i, off)
+			}
+			w.Offset = int(off)
+			if codedFlag == 1 {
+				w.Code = r.u64()
+				if r.ok {
+					w.Str = codec.Decode(w.Code)
+				}
+			} else {
+				n := int(r.u16())
+				w.Str = string(r.bytes(n))
+			}
+		}
+	}
+	st.Enc.Sum = r.f64()
+	st.Enc.Comp = r.f64()
+	st.Enc.SumSq = r.f64()
+	st.Enc.CompSq = r.f64()
+	st.Enc.MagP = r.f64()
+	st.Enc.MagQ = r.f64()
+	st.Enc.NChanges = r.u64()
+	st.Enc.LastVal = r.f64()
+	if n := r.count(24); r.ok { // three 8-byte arrays per boundary
+		st.Enc.Ring = make([]float64, n)
+		st.Enc.RingSq = make([]float64, n)
+		st.Enc.RingCh = make([]uint64, n)
+		for i := range st.Enc.Ring {
+			st.Enc.Ring[i] = r.f64()
+		}
+		for i := range st.Enc.RingSq {
+			st.Enc.RingSq[i] = r.f64()
+		}
+		for i := range st.Enc.RingCh {
+			st.Enc.RingCh[i] = r.u64()
+		}
+	}
+	if !r.ok {
+		return nil, corrupt("payload truncated")
+	}
+	if len(r.b) != 0 {
+		return nil, corrupt("%d trailing payload bytes", len(r.b))
+	}
+	if err := st.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return st, nil
+}
+
+// Restore decodes a frame and rebuilds the live detector in one step.
+func Restore(b []byte) (*stream.Detector, error) {
+	st, err := Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	d, err := stream.Restore(st)
+	if err != nil {
+		// Validate passed but Restore refused: still corruption from the
+		// caller's point of view.
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return d, nil
+}

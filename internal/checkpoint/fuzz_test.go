@@ -1,0 +1,67 @@
+package checkpoint
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/stream"
+)
+
+// FuzzCheckpointDecode throws arbitrary bytes at Decode and pins the
+// codec's safety contract: it never panics, anything it accepts
+// re-encodes to the identical frame (canonical round-trip) and restores
+// into a live detector, and anything it rejects is a typed ErrCorrupt.
+// The seed corpus holds valid frames across parameters and reductions
+// plus systematic single-byte flips of one of them — both raw flips
+// (caught by the CRC) and resealed flips (caught by validation).
+func FuzzCheckpointDecode(f *testing.F) {
+	var frames [][]byte
+	for _, st := range testStates(f) {
+		b, err := Encode(st)
+		if err != nil {
+			f.Fatal(err)
+		}
+		frames = append(frames, b)
+		f.Add(b)
+	}
+	// Single-byte flips of a mid-size frame, resealed so the fuzzer
+	// starts beyond the checksum wall.
+	base := frames[len(frames)/2]
+	for i := 0; i < len(base); i += 7 {
+		flip := append([]byte(nil), base...)
+		flip[i] ^= 0x10
+		f.Add(flip)
+		reseal(flip)
+		f.Add(append([]byte(nil), flip...))
+	}
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		st, err := Decode(b)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		b2, err := Encode(st)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !reflect.DeepEqual(b, b2) {
+			t.Fatalf("accepted frame is not canonical: %d vs %d bytes", len(b), len(b2))
+		}
+		d, err := stream.Restore(st)
+		if err != nil {
+			t.Fatalf("accepted state failed to restore: %v", err)
+		}
+		// The restored detector must be immediately usable.
+		if _, _, err := d.Append(0.5); err != nil {
+			t.Fatalf("restored detector rejected a valid point: %v", err)
+		}
+		_ = sax.Reduction(0)
+	})
+}

@@ -1,0 +1,575 @@
+// Package memlog is a per-session write-ahead log with snapshot
+// compaction, built for the durable streaming sessions in gvad. Each
+// session owns a directory holding at most one snapshot (an opaque blob —
+// in gvad, a checkpoint frame) plus a sequence of append-only log
+// segments recording everything since that snapshot. Recovery loads the
+// snapshot and replays the segments in order.
+//
+// Durability is explicit and configurable: SyncAlways fsyncs after every
+// append (a crash loses nothing acknowledged), SyncInterval fsyncs lazily
+// when the configured interval has elapsed at the next append (bounded
+// loss, no background goroutine), SyncOff leaves flushing to the OS.
+//
+// The recovery contract distinguishes a *torn tail* from corruption. A
+// process killed mid-write leaves at most one partial record at the very
+// end of the newest segment; recovery drops it, truncates the segment to
+// the clean prefix, logs a warning and boots. Any other anomaly — a bad
+// checksum or impossible length before the tail, a missing segment in the
+// sequence, a damaged segment header — is ErrCorrupt: the caller
+// quarantines the session rather than silently resuming from a hole.
+//
+// A Log is not safe for concurrent use; gvad serializes access under the
+// per-session mutex.
+package memlog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// ErrCorrupt is returned when recovery finds damage that cannot be
+// explained by a torn final write: the log's history is untrustworthy.
+var ErrCorrupt = errors.New("memlog: corrupt")
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs the segment after every append.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at the first append after Interval has elapsed
+	// since the last sync (and on Close/snapshot), bounding loss without
+	// a background flusher.
+	SyncInterval
+	// SyncOff never fsyncs appends; the OS flushes when it pleases.
+	SyncOff
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy maps the gvad flag spelling to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("memlog: unknown fsync policy %q (want always, interval or off)", s)
+}
+
+// Options configures a Log. The zero value means SyncAlways, 4 MiB
+// segments, compaction at 4x snapshot size.
+type Options struct {
+	Policy   SyncPolicy
+	Interval time.Duration // SyncInterval flush period (default 100ms)
+
+	// SegmentBytes rotates to a new segment once the current one reaches
+	// this size (default 4 MiB).
+	SegmentBytes int64
+
+	// CompactFactor K triggers ShouldCompact once the log holds more than
+	// K x the snapshot's size in appended bytes (default 4).
+	CompactFactor int
+
+	// WriteDelay, when set, is called between writing a record's header
+	// and its payload — a test hook that widens the torn-write window so
+	// crash tests can deterministically kill mid-record.
+	WriteDelay func()
+
+	// Logf receives recovery warnings (torn tails). Nil discards.
+	Logf func(format string, args ...any)
+
+	// Now supplies the clock for SyncInterval (default time.Now).
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.CompactFactor <= 0 {
+		o.CompactFactor = 4
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+const (
+	segMagic     = "GVWL"
+	segVersion   = 1
+	segHeaderLen = 8         // magic + u16 version + u16 reserved
+	recHeaderLen = 8         // u32 payload length + u32 crc32c
+	maxRecord    = 256 << 20 // longest credible record; larger lengths are damage
+	snapshotName = "snapshot.gvsn"
+
+	// The snapshot file carries its own header so recovery knows which
+	// segments it supersedes: magic + u16 version + u16 reserved + u64
+	// watermark (the highest segment sequence whose records the snapshot
+	// already includes). A crash between the snapshot rename and stale
+	// segment removal therefore cannot replay superseded records.
+	snapMagic     = "GVSN"
+	snapHeaderLen = 16
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Recovered reports what Open reconstructed from disk.
+type Recovered struct {
+	Snapshot []byte   // last compacted snapshot, nil if none was written
+	Records  [][]byte // records appended after that snapshot, in order
+	Torn     bool     // a torn final record was dropped and truncated away
+}
+
+// Log is an open write-ahead log rooted at a session directory.
+type Log struct {
+	dir  string
+	opts Options
+
+	seg       *os.File // current (newest) segment, opened for append
+	segSeq    int
+	segSize   int64 // bytes in the current segment including header
+	logBytes  int64 // record bytes across all segments since the snapshot
+	snapSize  int64 // payload size of the current snapshot, 0 if none
+	watermark int   // highest segment sequence the snapshot supersedes
+
+	lastSync time.Time
+	dirty    bool // unsynced appends outstanding
+
+	buf []byte // append scratch so header+payload land in one write
+}
+
+func segName(seq int) string { return fmt.Sprintf("wal-%06d.log", seq) }
+
+// Open opens (creating if necessary) the log rooted at dir, recovers the
+// snapshot and clean record prefix, and leaves the log ready to append.
+// A torn final record is dropped and truncated with a warning; deeper
+// damage returns ErrCorrupt with the log closed.
+func Open(dir string, opts Options) (*Log, *Recovered, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("memlog: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, lastSync: opts.Now()}
+	rec := &Recovered{}
+
+	// A leftover tmp is an interrupted SaveSnapshot that never renamed;
+	// the previous snapshot (if any) is still authoritative.
+	os.Remove(l.snapshotPath() + ".tmp")
+
+	if raw, err := os.ReadFile(l.snapshotPath()); err == nil {
+		payload, watermark, err := parseSnapshot(raw)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.Snapshot = payload
+		l.snapSize = int64(len(payload))
+		l.watermark = watermark
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("memlog: read snapshot: %w", err)
+	}
+
+	seqs, err := l.listSegments()
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, seq := range seqs {
+		last := i == len(seqs)-1
+		records, torn, err := l.replaySegment(seq, last)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.Records = append(rec.Records, records...)
+		rec.Torn = rec.Torn || torn
+	}
+
+	next := l.watermark + 1
+	if len(seqs) > 0 {
+		next = seqs[len(seqs)-1]
+		// Reopen the newest segment for appending unless it is already
+		// over the rotation threshold.
+		info, err := os.Stat(filepath.Join(dir, segName(next)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("memlog: %w", err)
+		}
+		if info.Size() >= opts.SegmentBytes {
+			next++
+		}
+	}
+	if err := l.openSegment(next); err != nil {
+		return nil, nil, err
+	}
+	return l, rec, nil
+}
+
+// parseSnapshot splits a snapshot file into its payload and watermark.
+// Rename makes snapshot writes atomic, so a malformed file is corruption,
+// not a torn write.
+func parseSnapshot(raw []byte) ([]byte, int, error) {
+	if len(raw) < snapHeaderLen {
+		return nil, 0, fmt.Errorf("%w: snapshot truncated at %d bytes", ErrCorrupt, len(raw))
+	}
+	if string(raw[:4]) != snapMagic {
+		return nil, 0, fmt.Errorf("%w: snapshot bad magic %q", ErrCorrupt, raw[:4])
+	}
+	if v := binary.LittleEndian.Uint16(raw[4:6]); v != segVersion {
+		return nil, 0, fmt.Errorf("%w: snapshot unknown version %d", ErrCorrupt, v)
+	}
+	watermark := binary.LittleEndian.Uint64(raw[8:16])
+	if watermark > 1<<40 {
+		return nil, 0, fmt.Errorf("%w: snapshot watermark %d out of range", ErrCorrupt, watermark)
+	}
+	return raw[snapHeaderLen:], int(watermark), nil
+}
+
+func (l *Log) snapshotPath() string { return filepath.Join(l.dir, snapshotName) }
+
+// listSegments returns the live segment sequence numbers (those the
+// snapshot does not supersede), ascending, verifying the sequence starts
+// right after the watermark and has no gaps. Stale segments left behind
+// by a crash mid-compaction are removed here.
+func (l *Log) listSegments() ([]int, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("memlog: %w", err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		var seq int
+		if n, _ := fmt.Sscanf(e.Name(), "wal-%06d.log", &seq); n != 1 {
+			continue
+		}
+		if seq <= l.watermark {
+			// Superseded by the snapshot: a crash interrupted removal.
+			if err := os.Remove(filepath.Join(l.dir, e.Name())); err != nil {
+				return nil, fmt.Errorf("memlog: remove stale segment: %w", err)
+			}
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	if len(seqs) > 0 && seqs[0] != l.watermark+1 {
+		return nil, fmt.Errorf("%w: first segment %d, want %d", ErrCorrupt, seqs[0], l.watermark+1)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			return nil, fmt.Errorf("%w: segment %d follows %d", ErrCorrupt, seqs[i], seqs[i-1])
+		}
+	}
+	return seqs, nil
+}
+
+// replaySegment reads every record of segment seq. In the last segment a
+// torn tail (truncated or checksum-damaged final record) is dropped and
+// the file truncated to the clean prefix; anywhere else the same finding
+// is ErrCorrupt.
+func (l *Log) replaySegment(seq int, last bool) (records [][]byte, torn bool, err error) {
+	path := filepath.Join(l.dir, segName(seq))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("memlog: %w", err)
+	}
+	tornAt := func(off int64, what string) ([][]byte, bool, error) {
+		if !last {
+			return nil, false, fmt.Errorf("%w: segment %d: %s at offset %d", ErrCorrupt, seq, what, off)
+		}
+		l.opts.Logf("memlog: %s: dropping torn tail (%s at offset %d of %d)", path, what, off, len(data))
+		if err := os.Truncate(path, off); err != nil {
+			return nil, false, fmt.Errorf("memlog: truncate torn tail: %w", err)
+		}
+		return records, true, nil
+	}
+	if len(data) < segHeaderLen {
+		// The segment file was created but the header never fully landed:
+		// only possible for the newest segment of a crashed process.
+		return tornAt(0, "truncated segment header")
+	}
+	if string(data[:4]) != segMagic {
+		return nil, false, fmt.Errorf("%w: segment %d: bad magic %q", ErrCorrupt, seq, data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != segVersion {
+		return nil, false, fmt.Errorf("%w: segment %d: unknown version %d", ErrCorrupt, seq, v)
+	}
+	off := int64(segHeaderLen)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < recHeaderLen {
+			return tornAt(off, "truncated record header")
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if n > maxRecord {
+			// An impossible length is indistinguishable from a torn
+			// header write at the tail, and corruption elsewhere.
+			return tornAt(off, fmt.Sprintf("impossible record length %d", n))
+		}
+		if int64(len(rest)) < recHeaderLen+int64(n) {
+			return tornAt(off, "truncated record payload")
+		}
+		payload := rest[recHeaderLen : recHeaderLen+int64(n)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			// A checksum mismatch on the final record is the torn-write
+			// case where the header landed but the payload didn't; any
+			// record after it would prove the log was damaged in place.
+			if last && off+recHeaderLen+int64(n) == int64(len(data)) {
+				return tornAt(off, "checksum mismatch in final record")
+			}
+			return nil, false, fmt.Errorf("%w: segment %d: checksum mismatch at offset %d", ErrCorrupt, seq, off)
+		}
+		records = append(records, append([]byte(nil), payload...))
+		off += recHeaderLen + int64(n)
+		l.logBytes += recHeaderLen + int64(n)
+	}
+	return records, false, nil
+}
+
+// openSegment opens segment seq for appending, writing the header if the
+// file is new.
+func (l *Log) openSegment(seq int) error {
+	path := filepath.Join(l.dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("memlog: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("memlog: %w", err)
+	}
+	size := info.Size()
+	if size == 0 {
+		var hdr [segHeaderLen]byte
+		copy(hdr[:], segMagic)
+		binary.LittleEndian.PutUint16(hdr[4:], segVersion)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return fmt.Errorf("memlog: %w", err)
+		}
+		size = segHeaderLen
+	}
+	l.seg = f
+	l.segSeq = seq
+	l.segSize = size
+	return nil
+}
+
+// Append writes one record to the log and applies the sync policy. The
+// record is durable on return only under SyncAlways.
+func (l *Log) Append(payload []byte) error {
+	if l.seg == nil {
+		return errors.New("memlog: log is closed")
+	}
+	if int64(len(payload)) > maxRecord {
+		return fmt.Errorf("memlog: record of %d bytes exceeds the %d-byte limit", len(payload), int64(maxRecord))
+	}
+	var hdr [recHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	if l.opts.WriteDelay != nil {
+		// Two writes with the injected delay between them widen the torn
+		// window so crash tests can deterministically kill mid-record.
+		if _, err := l.seg.Write(hdr[:]); err != nil {
+			return fmt.Errorf("memlog: %w", err)
+		}
+		l.opts.WriteDelay()
+		if _, err := l.seg.Write(payload); err != nil {
+			return fmt.Errorf("memlog: %w", err)
+		}
+	} else {
+		// One write keeps the record's torn-write window as small as the
+		// kernel allows.
+		l.buf = append(append(l.buf[:0], hdr[:]...), payload...)
+		if _, err := l.seg.Write(l.buf); err != nil {
+			return fmt.Errorf("memlog: %w", err)
+		}
+	}
+	n := int64(recHeaderLen + len(payload))
+	l.segSize += n
+	l.logBytes += n
+	l.dirty = true
+
+	switch l.opts.Policy {
+	case SyncAlways:
+		if err := l.Sync(); err != nil {
+			return err
+		}
+	case SyncInterval:
+		if l.opts.Now().Sub(l.lastSync) >= l.opts.Interval {
+			if err := l.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	if l.segSize >= l.opts.SegmentBytes {
+		return l.rotate()
+	}
+	return nil
+}
+
+// rotate closes the current segment and opens the next one.
+func (l *Log) rotate() error {
+	if l.dirty {
+		if err := l.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := l.seg.Close(); err != nil {
+		return fmt.Errorf("memlog: %w", err)
+	}
+	return l.openSegment(l.segSeq + 1)
+}
+
+// Sync flushes outstanding appends to stable storage.
+func (l *Log) Sync() error {
+	if l.seg == nil || !l.dirty {
+		return nil
+	}
+	if err := l.seg.Sync(); err != nil {
+		return fmt.Errorf("memlog: %w", err)
+	}
+	l.dirty = false
+	l.lastSync = l.opts.Now()
+	return nil
+}
+
+// LogBytes is the record bytes appended since the last snapshot.
+func (l *Log) LogBytes() int64 { return l.logBytes }
+
+// SnapshotBytes is the size of the current snapshot (0 if none).
+func (l *Log) SnapshotBytes() int64 { return l.snapSize }
+
+// ShouldCompact reports whether the log has outgrown its snapshot by the
+// configured factor and a SaveSnapshot would pay for itself. Before any
+// snapshot exists it triggers once the log exceeds CompactFactor segments
+// worth of a nominal 64 KiB snapshot, so young sessions still compact.
+func (l *Log) ShouldCompact() bool {
+	base := l.snapSize
+	if base <= 0 {
+		base = 64 << 10
+	}
+	return l.logBytes > int64(l.opts.CompactFactor)*base
+}
+
+// SaveSnapshot atomically replaces the snapshot with payload and
+// truncates the log: tmp write, fsync, rename, directory fsync, then
+// stale segment removal. The snapshot header records the current segment
+// sequence as its watermark, so a crash anywhere in this sequence leaves
+// recovery unambiguous — either the old snapshot plus the full log, or
+// the new snapshot, with any superseded segments skipped and removed on
+// the next Open.
+func (l *Log) SaveSnapshot(payload []byte) error {
+	if l.seg == nil {
+		return errors.New("memlog: log is closed")
+	}
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	frame := make([]byte, 0, snapHeaderLen+len(payload))
+	frame = append(frame, snapMagic...)
+	frame = binary.LittleEndian.AppendUint16(frame, segVersion)
+	frame = binary.LittleEndian.AppendUint16(frame, 0)
+	frame = binary.LittleEndian.AppendUint64(frame, uint64(l.segSeq))
+	frame = append(frame, payload...)
+
+	tmp := l.snapshotPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("memlog: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("memlog: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("memlog: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("memlog: %w", err)
+	}
+	if err := os.Rename(tmp, l.snapshotPath()); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("memlog: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+
+	// The snapshot now covers every segment up to the watermark; drop
+	// them and continue in the next sequence slot.
+	oldWatermark, newWatermark := l.watermark, l.segSeq
+	if err := l.seg.Close(); err != nil {
+		return fmt.Errorf("memlog: %w", err)
+	}
+	l.seg = nil
+	l.watermark = newWatermark
+	for seq := oldWatermark + 1; seq <= newWatermark; seq++ {
+		path := filepath.Join(l.dir, segName(seq))
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("memlog: %w", err)
+		}
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	l.logBytes = 0
+	l.snapSize = int64(len(payload))
+	l.dirty = false
+	return l.openSegment(newWatermark + 1)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("memlog: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("memlog: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Close syncs outstanding appends and closes the segment. The log cannot
+// be used afterwards.
+func (l *Log) Close() error {
+	if l.seg == nil {
+		return nil
+	}
+	err := l.Sync()
+	if cerr := l.seg.Close(); err == nil {
+		err = cerr
+	}
+	l.seg = nil
+	return err
+}

@@ -1,0 +1,455 @@
+package memlog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Log, *Recovered) {
+	t.Helper()
+	l, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return l, rec
+}
+
+func appendAll(t *testing.T, l *Log, recs ...string) {
+	t.Helper()
+	for _, r := range recs {
+		if err := l.Append([]byte(r)); err != nil {
+			t.Fatalf("append %q: %v", r, err)
+		}
+	}
+}
+
+func recordStrings(rec *Recovered) []string {
+	out := make([]string, len(rec.Records))
+	for i, r := range rec.Records {
+		out[i] = string(r)
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := mustOpen(t, dir, Options{})
+	if rec.Snapshot != nil || len(rec.Records) != 0 || rec.Torn {
+		t.Fatalf("fresh log recovered %+v", rec)
+	}
+	want := []string{"alpha", "beta", "", "gamma with a longer payload"}
+	appendAll(t, l, want...)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec = mustOpen(t, dir, Options{})
+	if !equalStrings(recordStrings(rec), want) {
+		t.Fatalf("recovered %q, want %q", recordStrings(rec), want)
+	}
+	if rec.Torn {
+		t.Fatal("clean log reported torn")
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 64})
+	var want []string
+	for i := 0; i < 20; i++ {
+		r := fmt.Sprintf("record-%02d", i)
+		want = append(want, r)
+		appendAll(t, l, r)
+	}
+	if l.segSeq < 3 {
+		t.Fatalf("expected several segments, still on %d", l.segSeq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, dir, Options{SegmentBytes: 64})
+	if !equalStrings(recordStrings(rec), want) {
+		t.Fatalf("rotation lost records: got %d want %d", len(rec.Records), len(want))
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 128, CompactFactor: 2})
+	appendAll(t, l, "one", "two", "three")
+	if err := l.SaveSnapshot([]byte("snapshot-state")); err != nil {
+		t.Fatal(err)
+	}
+	if l.LogBytes() != 0 {
+		t.Fatalf("log bytes %d after compaction", l.LogBytes())
+	}
+	if l.SnapshotBytes() != int64(len("snapshot-state")) {
+		t.Fatalf("snapshot bytes %d", l.SnapshotBytes())
+	}
+	appendAll(t, l, "four", "five")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := mustOpen(t, dir, Options{})
+	if string(rec.Snapshot) != "snapshot-state" {
+		t.Fatalf("snapshot %q", rec.Snapshot)
+	}
+	if !equalStrings(recordStrings(rec), []string{"four", "five"}) {
+		t.Fatalf("post-snapshot records %q", recordStrings(rec))
+	}
+}
+
+func TestShouldCompact(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{CompactFactor: 2})
+	if err := l.SaveSnapshot(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if l.ShouldCompact() {
+		t.Fatal("empty log wants compaction")
+	}
+	big := make([]byte, 300)
+	if err := l.Append(big); err != nil {
+		t.Fatal(err)
+	}
+	if !l.ShouldCompact() {
+		t.Fatalf("log of %d bytes over a %d-byte snapshot should compact", l.LogBytes(), l.SnapshotBytes())
+	}
+	l.Close()
+}
+
+// TestInterruptedCompaction simulates a crash between the snapshot rename
+// and stale segment removal: the watermark in the snapshot header must
+// make recovery skip (and delete) the superseded segments.
+func TestInterruptedCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	appendAll(t, l, "old-1", "old-2")
+	seg := filepath.Join(dir, segName(l.segSeq))
+	stale, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SaveSnapshot([]byte("covers-old")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "new-1")
+	l.Close()
+	// Resurrect the superseded segment, as if removal never happened.
+	if err := os.WriteFile(seg, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := mustOpen(t, dir, Options{})
+	if string(rec.Snapshot) != "covers-old" {
+		t.Fatalf("snapshot %q", rec.Snapshot)
+	}
+	if !equalStrings(recordStrings(rec), []string{"new-1"}) {
+		t.Fatalf("stale segment replayed: %q", recordStrings(rec))
+	}
+	if _, err := os.Stat(seg); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("stale segment not removed during recovery")
+	}
+}
+
+// TestTornTail truncates the final record at every possible byte and
+// requires recovery to drop exactly that record, report Torn, and leave
+// the log appendable.
+func TestTornTail(t *testing.T) {
+	build := func(t *testing.T) (string, []byte) {
+		dir := t.TempDir()
+		l, _ := mustOpen(t, dir, Options{})
+		appendAll(t, l, "keep-1", "keep-2", "torn-record")
+		l.Close()
+		seg := filepath.Join(dir, segName(1))
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, data
+	}
+	_, full := build(t)
+	lastLen := recHeaderLen + len("torn-record")
+	cleanLen := len(full) - lastLen
+	for cut := cleanLen + 1; cut < len(full); cut++ {
+		dir, data := build(t)
+		seg := filepath.Join(dir, segName(1))
+		if err := os.WriteFile(seg, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var warned bool
+		l, rec, err := Open(dir, Options{Logf: func(string, ...any) { warned = true }})
+		if err != nil {
+			t.Fatalf("cut=%d: torn tail failed boot: %v", cut, err)
+		}
+		if !rec.Torn || !warned {
+			t.Fatalf("cut=%d: torn=%v warned=%v", cut, rec.Torn, warned)
+		}
+		if !equalStrings(recordStrings(rec), []string{"keep-1", "keep-2"}) {
+			t.Fatalf("cut=%d: recovered %q", cut, recordStrings(rec))
+		}
+		// The log must keep working after truncation.
+		appendAll(t, l, "after-tear")
+		l.Close()
+		_, rec2 := mustOpen(t, dir, Options{})
+		if !equalStrings(recordStrings(rec2), []string{"keep-1", "keep-2", "after-tear"}) {
+			t.Fatalf("cut=%d: post-tear append lost: %q", cut, recordStrings(rec2))
+		}
+	}
+}
+
+// TestTornChecksumTail flips a payload byte of the final record — the
+// header landed, the payload didn't finish — which is torn, not corrupt.
+func TestTornChecksumTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	appendAll(t, l, "keep", "damaged-tail")
+	l.Close()
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, dir, Options{})
+	if !rec.Torn || !equalStrings(recordStrings(rec), []string{"keep"}) {
+		t.Fatalf("torn=%v records=%q", rec.Torn, recordStrings(rec))
+	}
+}
+
+// TestMidLogCorruption damages a record that is not the final one: that
+// can never be a torn write, so boot must fail with ErrCorrupt.
+func TestMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	appendAll(t, l, "first-record", "second-record", "third-record")
+	l.Close()
+	seg := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[segHeaderLen+recHeaderLen+2] ^= 0xff // inside the first payload
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-log damage: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestMidLogCorruptionAcrossSegments damages the tail of a non-final
+// segment: also ErrCorrupt, because a later segment proves the log
+// continued past it.
+func TestMidLogCorruptionAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 48})
+	appendAll(t, l, "segment-one-record", "segment-two-record")
+	if l.segSeq < 2 {
+		t.Fatalf("expected rotation, still on segment %d", l.segSeq)
+	}
+	l.Close()
+	seg1 := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg1, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("non-final torn segment: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSegmentGapIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 48})
+	appendAll(t, l, "segment-one-record", "segment-two-record", "segment-three-rec", "segment-four-record")
+	if l.segSeq < 3 {
+		t.Fatalf("expected 3 segments, on %d", l.segSeq)
+	}
+	l.Close()
+	if err := os.Remove(filepath.Join(dir, segName(2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("segment gap: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBadSegmentMagicIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	appendAll(t, l, "record")
+	l.Close()
+	seg := filepath.Join(dir, segName(1))
+	data, _ := os.ReadFile(seg)
+	copy(data, "XXXX")
+	os.WriteFile(seg, data, 0o644)
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptSnapshotHeader(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	if err := l.SaveSnapshot([]byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	snap := filepath.Join(dir, snapshotName)
+	data, _ := os.ReadFile(snap)
+	copy(data, "ZZZZ")
+	os.WriteFile(snap, data, 0o644)
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad snapshot magic: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLeftoverTmpSnapshotIgnored(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	if err := l.SaveSnapshot([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "rec")
+	l.Close()
+	// An interrupted later SaveSnapshot leaves a tmp; it must be ignored
+	// and removed.
+	tmp := filepath.Join(dir, snapshotName+".tmp")
+	if err := os.WriteFile(tmp, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, dir, Options{})
+	if string(rec.Snapshot) != "good" || !equalStrings(recordStrings(rec), []string{"rec"}) {
+		t.Fatalf("recovered %q / %q", rec.Snapshot, recordStrings(rec))
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("tmp snapshot not removed")
+	}
+}
+
+// TestSyncPolicies exercises the three policies; correctness of interval
+// pacing is pinned with an injected clock.
+func TestSyncPolicies(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncAlways, SyncOff} {
+		dir := t.TempDir()
+		l, _ := mustOpen(t, dir, Options{Policy: policy})
+		appendAll(t, l, "a", "b")
+		if policy == SyncAlways && l.dirty {
+			t.Fatalf("%v: dirty after append", policy)
+		}
+		if policy == SyncOff && !l.dirty {
+			t.Fatalf("%v: clean after append without sync", policy)
+		}
+		l.Close()
+	}
+
+	now := time.Unix(1000, 0)
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{
+		Policy:   SyncInterval,
+		Interval: time.Second,
+		Now:      func() time.Time { return now },
+	})
+	appendAll(t, l, "a")
+	if !l.dirty {
+		t.Fatal("interval policy synced before the interval elapsed")
+	}
+	now = now.Add(2 * time.Second)
+	appendAll(t, l, "b")
+	if l.dirty {
+		t.Fatal("interval policy failed to sync after the interval elapsed")
+	}
+	l.Close()
+}
+
+func TestWriteDelayHookSplitsWrites(t *testing.T) {
+	dir := t.TempDir()
+	calls := 0
+	l, _ := mustOpen(t, dir, Options{WriteDelay: func() { calls++ }})
+	appendAll(t, l, "a", "b", "c")
+	l.Close()
+	if calls != 3 {
+		t.Fatalf("write delay hook called %d times", calls)
+	}
+	_, rec := mustOpen(t, dir, Options{})
+	if !equalStrings(recordStrings(rec), []string{"a", "b", "c"}) {
+		t.Fatalf("recovered %q", recordStrings(rec))
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "off": SyncOff} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("parse %q: %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Fatalf("round trip %q -> %q", s, got)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// TestImpossibleLengthAtTailIsTorn writes garbage bytes after the last
+// record — as a torn header write would — and requires truncation.
+func TestImpossibleLengthAtTailIsTorn(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	appendAll(t, l, "keep")
+	l.Close()
+	seg := filepath.Join(dir, segName(1))
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var junk [recHeaderLen]byte
+	binary.LittleEndian.PutUint32(junk[:], 1<<31) // over maxRecord
+	if _, err := f.Write(junk[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, rec := mustOpen(t, dir, Options{})
+	if !rec.Torn || !equalStrings(recordStrings(rec), []string{"keep"}) {
+		t.Fatalf("torn=%v records=%q", rec.Torn, recordStrings(rec))
+	}
+}
+
+func TestRecordsAreCopies(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	appendAll(t, l, "aaa", "bbb")
+	l.Close()
+	_, rec := mustOpen(t, dir, Options{})
+	rec.Records[0][0] = 'z'
+	if bytes.Equal(rec.Records[0], rec.Records[1]) {
+		t.Fatal("unexpected aliasing")
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"grammarviz/internal/cache"
 	"grammarviz/internal/coalesce"
 	"grammarviz/internal/discord"
+	"grammarviz/internal/memlog"
 	"grammarviz/internal/metrics"
 	"grammarviz/internal/timeseries"
 	"grammarviz/internal/worker"
@@ -107,6 +108,32 @@ type Config struct {
 	EnablePprof bool
 	// Logf, when set, receives one line per shed or failed request.
 	Logf func(format string, args ...any)
+
+	// StateDir is where streaming sessions persist (one subdirectory per
+	// session holding a checkpoint snapshot plus a write-ahead memlog).
+	// Empty disables durability: sessions live in memory only and idle
+	// eviction closes them outright.
+	StateDir string
+	// SessionTTL evicts sessions idle for longer (checkpoint-then-drop,
+	// restorable on next touch). Default 15m; -1 disables eviction.
+	SessionTTL time.Duration
+	// MaxSessions bounds concurrently open sessions (default 1024).
+	MaxSessions int
+	// FsyncPolicy selects when session WAL appends reach stable storage
+	// (default memlog.SyncAlways).
+	FsyncPolicy memlog.SyncPolicy
+	// FsyncInterval is the SyncInterval flush period (default 100ms).
+	FsyncInterval time.Duration
+	// SegmentBytes rotates session WAL segments at this size (default
+	// 4 MiB).
+	SegmentBytes int64
+	// CompactFactor triggers snapshot compaction once a session's WAL
+	// exceeds this multiple of its snapshot size (default 4).
+	CompactFactor int
+	// WriteDelay, when set, is injected between a WAL record's header and
+	// payload writes — the crash-test hook that widens the torn-write
+	// window.
+	WriteDelay func()
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +188,15 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	switch {
+	case c.SessionTTL == 0:
+		c.SessionTTL = 15 * time.Minute
+	case c.SessionTTL < 0:
+		c.SessionTTL = 0
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
 	return c
 }
 
@@ -181,6 +217,9 @@ type Server struct {
 	sem    chan struct{} // legacy admission slots (DisableBudget only)
 	queued atomic.Int64  // legacy wait-queue depth (DisableBudget only)
 
+	sup      *sessionSupervisor
+	draining atomic.Bool
+
 	reg            *metrics.Registry
 	requests       *metrics.CounterVec
 	latency        *metrics.Histogram
@@ -200,6 +239,13 @@ type Server struct {
 	mallocs        *metrics.Gauge
 	gcCycles       *metrics.Gauge
 
+	sessionsActive      *metrics.Gauge
+	sessionsRestored    *metrics.Counter
+	sessionsQuarantined *metrics.Counter
+	sessionsEvicted     *metrics.Counter
+	sessionsTorn        *metrics.Counter
+	checkpointBytes     *metrics.Gauge
+
 	// testHookAnalyze, when set, runs inside the containment group before
 	// the analysis — tests use it to inject panics.
 	testHookAnalyze func(*AnalyzeRequest)
@@ -207,6 +253,9 @@ type Server struct {
 	// tests use it to hold the flight open until every concurrent caller
 	// has joined.
 	testHookInduce func()
+	// testHookStreamAppend, when set, runs inside the session append's
+	// containment group — tests use it to inject panics into one session.
+	testHookStreamAppend func(sessionID string)
 }
 
 // New builds a Server from cfg (zero value: defaults).
@@ -253,7 +302,21 @@ func New(cfg Config) *Server {
 			"Cumulative heap objects allocated since process start (runtime.MemStats.Mallocs)."),
 		gcCycles: reg.NewGauge("gvad_mem_gc_cycles",
 			"Completed GC cycles since process start (runtime.MemStats.NumGC)."),
+
+		sessionsActive: reg.NewGauge("gvad_sessions_active",
+			"Streaming sessions currently open (resident or evicted-but-restorable)."),
+		sessionsRestored: reg.NewCounter("gvad_sessions_restored_total",
+			"Streaming sessions restored from snapshot + log replay (boot recovery and post-eviction touches)."),
+		sessionsQuarantined: reg.NewCounter("gvad_sessions_quarantined_total",
+			"Streaming sessions whose state failed recovery with corruption and was renamed aside."),
+		sessionsEvicted: reg.NewCounter("gvad_sessions_evicted_total",
+			"Streaming sessions checkpointed and dropped from memory by the idle janitor."),
+		sessionsTorn: reg.NewCounter("gvad_sessions_torn_total",
+			"Session recoveries that dropped a torn final log record (crash mid-write)."),
+		checkpointBytes: reg.NewGauge("gvad_checkpoint_bytes",
+			"Size of the most recently written session checkpoint frame."),
 	}
+	s.sup = &sessionSupervisor{sessions: make(map[string]*streamSession)}
 	if cfg.DisableBudget {
 		s.sem = make(chan struct{}, cfg.MaxConcurrent)
 	} else {
@@ -263,6 +326,10 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/stream", s.handleStreamOpen)
+	mux.HandleFunc("POST /v1/stream/{id}/append", s.handleStreamAppend)
+	mux.HandleFunc("GET /v1/stream/{id}", s.handleStreamGet)
+	mux.HandleFunc("DELETE /v1/stream/{id}", s.handleStreamDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	metricsHandler := reg.Handler()
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -318,6 +385,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func modeWeight(mode string) int64 {
 	switch mode {
 	case ModeDensity:
+		return 1
+	case "stream": // incremental per-point path, the cheapest work
 		return 1
 	case ModeHOTSAX:
 		return 8
@@ -428,6 +497,12 @@ func (s *Server) sampleMemStats() {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// Draining is reported first (and as 503) so load balancers pull the
+	// instance before the listener closes and in-flight work drains.
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -446,6 +521,9 @@ func resolveTenant(r *http.Request, bodyTenant string) string {
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
 	var req AnalyzeRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {

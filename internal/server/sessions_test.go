@@ -1,0 +1,585 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"grammarviz"
+)
+
+func streamSeries(n int, seed int64) []float64 {
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = math.Sin(2*math.Pi*float64(i)/40) + 0.01*float64((seed+int64(i*i))%17)
+	}
+	return ts
+}
+
+func doJSON(t *testing.T, method, url, token string, body any) (int, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set(resumeTokenHeader, token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp.StatusCode, buf.Bytes()
+}
+
+func openSession(t *testing.T, url string, req StreamOpenRequest) StreamOpenResponse {
+	t.Helper()
+	status, body := doJSON(t, http.MethodPost, url+"/v1/stream", "", req)
+	if status != http.StatusCreated {
+		t.Fatalf("open: status %d: %s", status, body)
+	}
+	var out StreamOpenResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func appendPoints(t *testing.T, url string, sess StreamOpenResponse, points []float64, offset *int) (int, StreamAppendResponse, []byte) {
+	t.Helper()
+	status, body := doJSON(t, http.MethodPost, url+"/v1/stream/"+sess.ID+"/append", sess.ResumeToken,
+		StreamAppendRequest{Points: points, Offset: offset})
+	var out StreamAppendResponse
+	if status == http.StatusOK {
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return status, out, body
+}
+
+func getSession(t *testing.T, url string, sess StreamOpenResponse) (int, StreamStateResponse) {
+	t.Helper()
+	status, body := doJSON(t, http.MethodGet, url+"/v1/stream/"+sess.ID, sess.ResumeToken, nil)
+	var out StreamStateResponse
+	if status == http.StatusOK {
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return status, out
+}
+
+var sessionOpts = StreamOpenRequest{Window: 40, PAA: 4, Alphabet: 5}
+
+// TestSessionLifecycle drives open → append → state → delete and checks
+// the emitted events match a directly-driven Stream.
+func TestSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{StateDir: t.TempDir()})
+	sess := openSession(t, ts.URL, sessionOpts)
+	if sess.ID == "" || sess.ResumeToken == "" || sess.Reduction != "exact" {
+		t.Fatalf("open response %+v", sess)
+	}
+
+	ref, err := grammarviz.NewStream(grammarviz.Options{Window: 40, PAA: 4, Alphabet: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := streamSeries(300, 1)
+	var refEvents []grammarviz.StreamEvent
+	for _, v := range pts {
+		if ev, ok, err := ref.Append(v); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			refEvents = append(refEvents, ev)
+		}
+	}
+
+	var gotEvents []StreamEventJSON
+	for i := 0; i < len(pts); i += 70 {
+		end := min(i+70, len(pts))
+		status, resp, body := appendPoints(t, ts.URL, sess, pts[i:end], nil)
+		if status != http.StatusOK {
+			t.Fatalf("append: status %d: %s", status, body)
+		}
+		if resp.Len != end {
+			t.Fatalf("append: len %d, want %d", resp.Len, end)
+		}
+		gotEvents = append(gotEvents, resp.Events...)
+	}
+	if len(gotEvents) != len(refEvents) {
+		t.Fatalf("%d events over HTTP, %d direct", len(gotEvents), len(refEvents))
+	}
+	for i := range gotEvents {
+		if gotEvents[i].Offset != refEvents[i].Offset || gotEvents[i].Word != refEvents[i].Word ||
+			gotEvents[i].Novelty != refEvents[i].Novelty {
+			t.Fatalf("event %d diverges: %+v vs %+v", i, gotEvents[i], refEvents[i])
+		}
+	}
+
+	status, state := getSession(t, ts.URL, sess)
+	if status != http.StatusOK || state.Len != len(pts) || state.Words == 0 || state.Rules == 0 {
+		t.Fatalf("state: %d %+v", status, state)
+	}
+
+	if status, body := doJSON(t, http.MethodDelete, ts.URL+"/v1/stream/"+sess.ID, sess.ResumeToken, nil); status != http.StatusOK {
+		t.Fatalf("delete: %d %s", status, body)
+	}
+	if status, _ := getSession(t, ts.URL, sess); status != http.StatusNotFound {
+		t.Fatalf("deleted session answered %d", status)
+	}
+}
+
+func TestSessionAuth(t *testing.T) {
+	_, ts := newTestServer(t, Config{StateDir: t.TempDir()})
+	sess := openSession(t, ts.URL, sessionOpts)
+	bad := sess
+	bad.ResumeToken = strings.Repeat("0", 64)
+	if status, _, _ := appendPoints(t, ts.URL, bad, []float64{1}, nil); status != http.StatusForbidden {
+		t.Fatalf("wrong token: %d", status)
+	}
+	bad.ResumeToken = ""
+	if status, _, _ := appendPoints(t, ts.URL, bad, []float64{1}, nil); status != http.StatusForbidden {
+		t.Fatalf("missing token: %d", status)
+	}
+	unknown := sess
+	unknown.ID = strings.Repeat("a", 32)
+	if status, _, _ := appendPoints(t, ts.URL, unknown, []float64{1}, nil); status != http.StatusNotFound {
+		t.Fatalf("unknown id: %d", status)
+	}
+}
+
+// TestSessionOffsetIdempotence pins the retry protocol: a chunk named by
+// absolute offset double-sends as a 409 carrying the current length, so
+// clients resync instead of corrupting the stream.
+func TestSessionOffsetIdempotence(t *testing.T) {
+	_, ts := newTestServer(t, Config{StateDir: t.TempDir()})
+	sess := openSession(t, ts.URL, sessionOpts)
+	pts := streamSeries(100, 2)
+	zero := 0
+	if status, _, body := appendPoints(t, ts.URL, sess, pts[:50], &zero); status != http.StatusOK {
+		t.Fatalf("first chunk: %d %s", status, body)
+	}
+	// Retry of the same chunk: conflict, no double-append.
+	if status, _, _ := appendPoints(t, ts.URL, sess, pts[:50], &zero); status != http.StatusConflict {
+		t.Fatal("replayed chunk accepted")
+	}
+	fifty := 50
+	if status, resp, _ := appendPoints(t, ts.URL, sess, pts[50:], &fifty); status != http.StatusOK || resp.Len != 100 {
+		t.Fatalf("resumed chunk: %d len %d", status, resp.Len)
+	}
+	gap := 80
+	if status, _, _ := appendPoints(t, ts.URL, sess, pts[:1], &gap); status != http.StatusConflict {
+		t.Fatal("gapped chunk accepted")
+	}
+}
+
+// TestSessionRejectsBadPoints: a chunk containing NaN/Inf is rejected
+// atomically — session length unchanged, and the corrected chunk produces
+// exactly the clean-run events.
+func TestSessionRejectsBadPoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{StateDir: t.TempDir()})
+	sess := openSession(t, ts.URL, sessionOpts)
+	pts := streamSeries(120, 3)
+	if status, _, _ := appendPoints(t, ts.URL, sess, pts[:60], nil); status != http.StatusOK {
+		t.Fatal("clean prefix rejected")
+	}
+	// JSON has no NaN literal, so a poisoned chunk arrives as a malformed
+	// body; either the decoder or the server's finiteness pre-scan must
+	// reject it with 400 before any state changes.
+	for _, raw := range []string{`{"points":[1,NaN,2]}`, `{"points":[1,1e999,2]}`} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/stream/"+sess.ID+"/append", strings.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(resumeTokenHeader, sess.ResumeToken)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad chunk %s accepted: %d", raw, resp.StatusCode)
+		}
+	}
+	if _, state := getSession(t, ts.URL, sess); state.Len != 60 {
+		t.Fatalf("rejected chunk mutated the session: len %d", state.Len)
+	}
+	status, resp, _ := appendPoints(t, ts.URL, sess, pts[60:], nil)
+	if status != http.StatusOK || resp.Len != 120 {
+		t.Fatalf("corrected chunk: %d len %d", status, resp.Len)
+	}
+}
+
+// TestSessionGracefulRestart checkpoints on drain, restarts, and requires
+// the restored session to continue byte-identically.
+func TestSessionGracefulRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{StateDir: dir})
+	sess := openSession(t, ts1.URL, sessionOpts)
+	pts := streamSeries(400, 4)
+	if status, _, _ := appendPoints(t, ts1.URL, sess, pts[:250], nil); status != http.StatusOK {
+		t.Fatal("append failed")
+	}
+	if err := s1.CheckpointSessions(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	s1.CloseSessions()
+	ts1.Close()
+
+	s2, ts2 := newTestServer(t, Config{StateDir: dir})
+	restored, quarantined, err := s2.RecoverSessions(t.Context())
+	if err != nil || restored != 1 || quarantined != 0 {
+		t.Fatalf("recover: %d/%d %v", restored, quarantined, err)
+	}
+	status, state := getSession(t, ts2.URL, sess)
+	if status != http.StatusOK || state.Len != 250 || !state.Restored {
+		t.Fatalf("restored state: %d %+v", status, state)
+	}
+
+	// The restored session and an uninterrupted reference must emit the
+	// same remaining events and reach identical checkpoints.
+	ref, _ := grammarviz.NewStream(grammarviz.Options{Window: 40, PAA: 4, Alphabet: 5})
+	var refTail []grammarviz.StreamEvent
+	for i, v := range pts {
+		ev, ok, err := ref.Append(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && i >= 250 {
+			refTail = append(refTail, ev)
+		}
+	}
+	_, resp, _ := appendPoints(t, ts2.URL, sess, pts[250:], nil)
+	if len(resp.Events) != len(refTail) {
+		t.Fatalf("%d events after restore, want %d", len(resp.Events), len(refTail))
+	}
+	for i := range refTail {
+		if resp.Events[i].Word != refTail[i].Word || resp.Events[i].Offset != refTail[i].Offset {
+			t.Fatalf("event %d diverges after restore", i)
+		}
+	}
+}
+
+// TestSessionCrashRestart abandons the first server without any graceful
+// checkpoint — recovery must rebuild purely from the WAL.
+func TestSessionCrashRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{StateDir: dir})
+	sess := openSession(t, ts1.URL, sessionOpts)
+	pts := streamSeries(200, 5)
+	if status, _, _ := appendPoints(t, ts1.URL, sess, pts, nil); status != http.StatusOK {
+		t.Fatal("append failed")
+	}
+	ts1.Close() // no CheckpointSessions, no CloseSessions: a crash
+
+	s2, ts2 := newTestServer(t, Config{StateDir: dir})
+	if restored, quarantined, err := s2.RecoverSessions(t.Context()); err != nil || restored != 1 || quarantined != 0 {
+		t.Fatalf("recover: %d/%d %v", restored, quarantined, err)
+	}
+	if _, state := getSession(t, ts2.URL, sess); state.Len != 200 {
+		t.Fatalf("crash recovery lost points: len %d", state.Len)
+	}
+}
+
+// TestSessionQuarantine damages one of two sessions on disk; boot must
+// quarantine it (rename aside, count) and restore the other.
+func TestSessionQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{StateDir: dir})
+	good := openSession(t, ts1.URL, sessionOpts)
+	bad := openSession(t, ts1.URL, sessionOpts)
+	pts := streamSeries(150, 6)
+	appendPoints(t, ts1.URL, good, pts, nil)
+	// Two chunks → two WAL records: damage to the FIRST record is
+	// unambiguous corruption, not a crash-torn tail.
+	appendPoints(t, ts1.URL, bad, pts[:75], nil)
+	appendPoints(t, ts1.URL, bad, pts[75:], nil)
+	s1.CloseSessions()
+	ts1.Close()
+
+	// Damage a byte inside the bad session's first WAL record.
+	seg := filepath.Join(dir, bad.ID, "wal-000001.log")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, Config{StateDir: dir})
+	restored, quarantined, err := s2.RecoverSessions(t.Context())
+	if err != nil || restored != 1 || quarantined != 1 {
+		t.Fatalf("recover: %d/%d %v", restored, quarantined, err)
+	}
+	if _, state := getSession(t, ts2.URL, good); state.Len != 150 {
+		t.Fatalf("good session: len %d", state.Len)
+	}
+	if status, _ := getSession(t, ts2.URL, bad); status != http.StatusNotFound {
+		t.Fatalf("quarantined session still served: %d", status)
+	}
+	if _, err := os.Stat(filepath.Join(dir, bad.ID+quarantineSuffix)); err != nil {
+		t.Fatalf("quarantine dir missing: %v", err)
+	}
+}
+
+// TestSessionEviction: an idle session is checkpointed and dropped from
+// memory, then transparently restored on the next touch.
+func TestSessionEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{StateDir: dir, SessionTTL: time.Minute})
+	sess := openSession(t, ts.URL, sessionOpts)
+	pts := streamSeries(130, 7)
+	appendPoints(t, ts.URL, sess, pts, nil)
+
+	s.evictIdleSessions(time.Now().Add(2 * time.Minute))
+	s.sup.mu.Lock()
+	resident := s.sup.sessions[sess.ID].stream != nil
+	s.sup.mu.Unlock()
+	if resident {
+		t.Fatal("idle session not evicted")
+	}
+	status, state := getSession(t, ts.URL, sess)
+	if status != http.StatusOK || state.Len != 130 || !state.Restored {
+		t.Fatalf("post-eviction touch: %d %+v", status, state)
+	}
+	if status, resp, _ := appendPoints(t, ts.URL, sess, []float64{1, 2, 3}, nil); status != http.StatusOK || resp.Len != 133 {
+		t.Fatalf("append after restore: %d", status)
+	}
+}
+
+// TestSessionEvictionWithoutStateDir: memory-only sessions are closed
+// outright when idle.
+func TestSessionEvictionWithoutStateDir(t *testing.T) {
+	s, ts := newTestServer(t, Config{SessionTTL: time.Minute})
+	sess := openSession(t, ts.URL, sessionOpts)
+	appendPoints(t, ts.URL, sess, streamSeries(50, 8), nil)
+	s.evictIdleSessions(time.Now().Add(2 * time.Minute))
+	if status, _ := getSession(t, ts.URL, sess); status != http.StatusNotFound {
+		t.Fatalf("memory-only idle session survived eviction: %d", status)
+	}
+}
+
+// TestSessionPanicContainment: a panic inside one session's append 500s
+// and poisons that session only; its neighbor keeps working.
+func TestSessionPanicContainment(t *testing.T) {
+	s, ts := newTestServer(t, Config{StateDir: t.TempDir()})
+	victim := openSession(t, ts.URL, sessionOpts)
+	bystander := openSession(t, ts.URL, sessionOpts)
+	s.testHookStreamAppend = func(id string) {
+		if id == victim.ID {
+			panic("injected session panic")
+		}
+	}
+	if status, _, body := appendPoints(t, ts.URL, victim, []float64{1, 2}, nil); status != http.StatusInternalServerError {
+		t.Fatalf("panic append: %d %s", status, body)
+	}
+	// Poisoned: every further append refuses.
+	if status, _, _ := appendPoints(t, ts.URL, victim, []float64{3}, nil); status != http.StatusInternalServerError {
+		t.Fatal("poisoned session accepted an append")
+	}
+	if status, _, _ := appendPoints(t, ts.URL, bystander, []float64{1, 2, 3}, nil); status != http.StatusOK {
+		t.Fatal("bystander session broken by neighbor's panic")
+	}
+	if status, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/stream/"+victim.ID, victim.ResumeToken, nil); status != http.StatusOK {
+		t.Fatal("poisoned session cannot be deleted")
+	}
+}
+
+// TestSessionCompaction drives enough appends that the WAL outgrows the
+// snapshot and compaction fires.
+func TestSessionCompaction(t *testing.T) {
+	// Compaction has a 64KiB log floor, so it takes ~8200 points of WAL
+	// (8 bytes each) before the K×snapshot trigger can fire.
+	_, ts := newTestServer(t, Config{StateDir: t.TempDir(), CompactFactor: 1, SegmentBytes: 16 << 10})
+	sess := openSession(t, ts.URL, sessionOpts)
+	pts := streamSeries(10_000, 9)
+	compacted := false
+	for i := 0; i < len(pts); i += 500 {
+		_, resp, _ := appendPoints(t, ts.URL, sess, pts[i:i+500], nil)
+		compacted = compacted || resp.Checkpoint
+	}
+	if !compacted {
+		t.Fatal("compaction never fired")
+	}
+	_, state := getSession(t, ts.URL, sess)
+	if state.SnapshotBytes == 0 {
+		t.Fatalf("no snapshot after compaction: %+v", state)
+	}
+}
+
+// TestDraining pins the drain semantics: work endpoints answer a clean
+// 503 with Retry-After: 1 and {"error":"draining"}, healthz reports
+// draining, and already-open sessions' state survives.
+func TestDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{StateDir: t.TempDir()})
+	sess := openSession(t, ts.URL, sessionOpts)
+	s.StartDraining()
+
+	checkDrain := func(name string, status int, body []byte, hdr http.Header) {
+		t.Helper()
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("%s while draining: %d", name, status)
+		}
+		if ra := hdr.Get("Retry-After"); ra != "1" {
+			t.Fatalf("%s Retry-After %q", name, ra)
+		}
+		var e ErrorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error != "draining" {
+			t.Fatalf("%s body %s", name, body)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json",
+		strings.NewReader(`{"mode":"density","window":40,"paa":4,"alphabet":5,"series":[1,2,3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	checkDrain("analyze", resp.StatusCode, buf.Bytes(), resp.Header)
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/stream/"+sess.ID+"/append", strings.NewReader(`{"points":[1]}`))
+	req.Header.Set(resumeTokenHeader, sess.ResumeToken)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	buf.ReadFrom(resp2.Body)
+	resp2.Body.Close()
+	checkDrain("stream append", resp2.StatusCode, buf.Bytes(), resp2.Header)
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	buf.ReadFrom(hz.Body)
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable || !strings.Contains(buf.String(), "draining") {
+		t.Fatalf("healthz while draining: %d %s", hz.StatusCode, buf.String())
+	}
+}
+
+// TestSessionMetricsScrape asserts the session metrics appear in
+// /metrics with live values.
+func TestSessionMetricsScrape(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{StateDir: dir, CompactFactor: 1})
+	sess := openSession(t, ts1.URL, sessionOpts)
+	pts := streamSeries(300, 10)
+	for i := 0; i < len(pts); i += 50 {
+		appendPoints(t, ts1.URL, sess, pts[i:i+50], nil)
+	}
+	s1.CheckpointSessions(t.Context())
+	s1.CloseSessions()
+	ts1.Close()
+
+	s2, ts2 := newTestServer(t, Config{StateDir: dir})
+	if _, _, err := s2.RecoverSessions(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	scrape := buf.String()
+	for _, want := range []string{
+		"gvad_sessions_active 1",
+		"gvad_sessions_restored_total 1",
+		"gvad_sessions_quarantined_total 0",
+		"gvad_sessions_evicted_total 0",
+		"gvad_sessions_torn_total 0",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if !strings.Contains(scrape, "gvad_checkpoint_bytes") {
+		t.Error("scrape missing gvad_checkpoint_bytes")
+	}
+}
+
+func TestSessionLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{StateDir: t.TempDir(), MaxSessions: 1})
+	openSession(t, ts.URL, sessionOpts)
+	status, body := doJSON(t, http.MethodPost, ts.URL+"/v1/stream", "", sessionOpts)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-limit open: %d %s", status, body)
+	}
+}
+
+func TestSessionOpenValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, req := range map[string]StreamOpenRequest{
+		"zero window":   {Window: 0, PAA: 4, Alphabet: 5},
+		"bad reduction": {Window: 40, PAA: 4, Alphabet: 5, Reduction: "sometimes"},
+		"paa > window":  {Window: 4, PAA: 8, Alphabet: 5},
+	} {
+		if status, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/stream", "", req); status != http.StatusBadRequest {
+			t.Errorf("%s: status %d", name, status)
+		}
+	}
+}
+
+// TestSessionTornTailRecovery truncates the WAL mid final record — as a
+// crash would — and requires recovery to boot with the torn chunk
+// dropped and counted.
+func TestSessionTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{StateDir: dir})
+	sess := openSession(t, ts1.URL, sessionOpts)
+	pts := streamSeries(120, 11)
+	appendPoints(t, ts1.URL, sess, pts[:60], nil)
+	appendPoints(t, ts1.URL, sess, pts[60:], nil)
+	ts1.Close() // crash: no close, no checkpoint
+
+	seg := filepath.Join(dir, sess.ID, "wal-000001.log")
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, info.Size()-17); err != nil { // tear the final chunk
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, Config{StateDir: dir})
+	restored, quarantined, err := s2.RecoverSessions(t.Context())
+	if err != nil || restored != 1 || quarantined != 0 {
+		t.Fatalf("torn-tail recover: %d/%d %v", restored, quarantined, err)
+	}
+	// The second chunk was torn: only the first survives.
+	if _, state := getSession(t, ts2.URL, sess); state.Len != 60 {
+		t.Fatalf("torn recovery len %d, want 60", state.Len)
+	}
+	if got := fmt.Sprint(s2.sessionsTorn.Value()); got != "1" {
+		t.Fatalf("torn counter %s", got)
+	}
+}

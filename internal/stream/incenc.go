@@ -1,0 +1,253 @@
+package stream
+
+import (
+	"math"
+
+	"grammarviz/internal/paa"
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+)
+
+// This file implements the streaming counterpart of sax's incremental
+// sliding-window encoder (internal/sax/incremental.go): instead of
+// z-normalizing and PAA-reducing every closing window from scratch
+// (O(window) per point), the encoder maintains Kahan-compensated running
+// prefix sums of the values and their squares, plus a ring of the last
+// Window+1 prefix boundaries, and derives each window's mean/std and raw
+// PAA segment sums from prefix differences in O(paa) per point.
+//
+// Floating point breaks the real-arithmetic identity the derivation relies
+// on, so the encoder carries the same conservative error bounds as the
+// batch encoder and falls back to the naive per-window encoder whenever a
+// SAX letter decision or the flat-window guard is within the bound. The
+// emitted word is therefore byte-identical to Encoder.EncodeInto for every
+// input — the incremental path only buys speed — which is what keeps the
+// stream detector's output equal to batch discretization.
+//
+// The whole mutable state of the encoder (sums, compensation terms,
+// magnitude high-water marks, change counter, rings) is exactly what a
+// checkpoint must persist to resume a stream without recomputing prefix
+// sums from points that no longer exist; see EncoderState in state.go.
+
+// incErrScale converts a tracked magnitude into a conservative absolute
+// error bound, matching the batch encoder's constant: Kahan-compensated
+// sums keep per-entry error within a few ulps, and 1e-11 leaves four
+// orders of magnitude of margin for the downstream arithmetic.
+const incErrScale = 1e-11
+
+// incEncoder encodes the closing window of a stream in O(paa) amortized
+// per point. Not safe for concurrent use.
+type incEncoder struct {
+	p       sax.Params
+	cuts    []float64
+	pat     *paa.SegmentPattern
+	naive   *sax.Encoder
+	thresh2 float64 // flat-window std threshold, squared
+
+	// Kahan running sums over every point consumed, with their
+	// compensation terms and magnitude high-water marks (the error-bound
+	// inputs).
+	sum, comp     float64
+	sumSq, compSq float64
+	magP, magQ    float64
+
+	// nChanges counts positions i > 0 with ts[i] != ts[i-1]; ring-stored
+	// prefixes of it make the bitwise-constant-window test O(1).
+	nChanges uint64
+	lastVal  float64
+	total    int // points consumed
+
+	// Rings hold the prefix boundaries for positions total-Window..total
+	// (fewer while the stream is shorter than a window), indexed by
+	// absolute boundary position mod (Window+1).
+	ring   []float64 // prefix sums
+	ringSq []float64 // prefix sums of squares
+	ringCh []uint64  // prefix change counts
+
+	// forceNaive disables the incremental path permanently: a prefix sum
+	// overflowed to infinity, so no error bound is trustworthy.
+	forceNaive bool
+
+	// flatCache maps a bitwise-constant window's value bits to its naive
+	// word: constant windows land exactly on the central breakpoint, so
+	// the guard would punt every one of them to the naive encoder.
+	flatCache map[uint64][]byte
+
+	buf       []byte // letter buffer, valid until the next encodeWindow
+	fallbacks int    // windows that took the naive path (diagnostic)
+}
+
+func newIncEncoder(p sax.Params) (*incEncoder, error) {
+	cuts, err := sax.Breakpoints(p.Alphabet)
+	if err != nil {
+		return nil, err
+	}
+	pat, err := paa.NewSegmentPattern(p.Window, p.PAA)
+	if err != nil {
+		return nil, err
+	}
+	naive, err := sax.NewEncoder(p)
+	if err != nil {
+		return nil, err
+	}
+	th := p.NormThreshold
+	if th <= 0 {
+		th = timeseries.DefaultNormThreshold
+	}
+	return &incEncoder{
+		p:       p,
+		cuts:    cuts,
+		pat:     pat,
+		naive:   naive,
+		thresh2: th * th,
+		ring:    make([]float64, p.Window+1),
+		ringSq:  make([]float64, p.Window+1),
+		ringCh:  make([]uint64, p.Window+1),
+		buf:     make([]byte, p.PAA),
+	}, nil
+}
+
+// push consumes the next point: it extends the compensated prefix sums,
+// the change counter, and the rings. The caller has already validated v
+// as finite. Steady-state cost is a handful of flops and three ring
+// stores; the directive below has gvadlint's noalloc pass certify the
+// whole call graph allocation-free.
+//
+//gvad:noalloc
+func (e *incEncoder) push(v float64) {
+	if e.total > 0 && v != e.lastVal {
+		e.nChanges++
+	}
+	e.lastVal = v
+
+	y := v - e.comp
+	t := e.sum + y
+	e.comp = (t - e.sum) - y
+	e.sum = t
+
+	y = v*v - e.compSq
+	t = e.sumSq + y
+	e.compSq = (t - e.sumSq) - y
+	e.sumSq = t
+
+	if a := math.Abs(e.sum); a > e.magP {
+		e.magP = a
+	}
+	if a := math.Abs(e.sumSq); a > e.magQ {
+		e.magQ = a
+	}
+	if math.IsInf(e.magP, 0) || math.IsInf(e.magQ, 0) {
+		e.forceNaive = true
+	}
+
+	e.total++
+	i := e.total % len(e.ring)
+	e.ring[i] = e.sum
+	e.ringSq[i] = e.sumSq
+	e.ringCh[i] = e.nChanges
+}
+
+// at returns the prefix sum at absolute boundary position pos, which must
+// lie within the last Window+1 boundaries.
+func (e *incEncoder) at(pos int) float64   { return e.ring[pos%len(e.ring)] }
+func (e *incEncoder) sqAt(pos int) float64 { return e.ringSq[pos%len(e.ring)] }
+func (e *incEncoder) chAt(pos int) uint64  { return e.ringCh[pos%len(e.ring)] }
+
+// encodeWindow encodes the closing window (the last Window points, passed
+// in as a slice) into the reusable letter buffer and returns it. It must
+// be called exactly once per push once total >= Window. The buffer is
+// valid until the next call.
+func (e *incEncoder) encodeWindow(window []float64) ([]byte, error) {
+	w := e.p.Window
+	start := e.total - w // absolute boundary position of the window start
+	// Bitwise-constant window: the change-count prefixes are equal across
+	// positions start+1..start+w, meaning no adjacent pair differs.
+	if e.chAt(start+w) == e.chAt(start+1) {
+		bits := math.Float64bits(window[0])
+		if word, ok := e.flatCache[bits]; ok {
+			copy(e.buf, word)
+			return e.buf, nil
+		}
+		if err := e.naive.EncodeInto(e.buf, window); err != nil {
+			return nil, err
+		}
+		if e.flatCache == nil {
+			e.flatCache = make(map[uint64][]byte)
+		}
+		e.flatCache[bits] = append(make([]byte, 0, len(e.buf)), e.buf...)
+		return e.buf, nil
+	}
+	if !e.tryIncremental(start, window) {
+		e.fallbacks++
+		if err := e.naive.EncodeInto(e.buf, window); err != nil {
+			return nil, err
+		}
+	}
+	return e.buf, nil
+}
+
+// tryIncremental attempts the prefix-sum encoding of the window starting
+// at absolute position start. It reports false — leaving the buffer
+// unspecified — when any letter or the flat-window decision falls within
+// the tracked error bound of a boundary, in which case the caller must
+// take the naive path. When it reports true the letters are provably
+// identical to the naive encoder's.
+//
+//gvad:noalloc
+func (e *incEncoder) tryIncremental(start int, window []float64) bool {
+	if e.forceNaive {
+		return false
+	}
+	w := e.p.Window
+	n := float64(w)
+	// Error bounds from the magnitude high-water marks. The batch encoder
+	// computes these once from the whole series; the stream recomputes
+	// them per window from the running maxima — never larger than the
+	// batch bounds at the same point, so the guarantee is unchanged.
+	meanErr := incErrScale * (e.magP/n + 1)
+	sumSqErr := incErrScale * (e.magQ/n + 1)
+	segMeanErr := incErrScale * (e.magP*e.pat.Inv + 1)
+
+	sum := e.at(start+w) - e.at(start)
+	sumSq := e.sqAt(start+w) - e.sqAt(start)
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	absMean := math.Abs(mean)
+	varErr := sumSqErr + 2*absMean*meanErr + meanErr*meanErr
+	if math.Abs(variance-e.thresh2) <= 4*varErr {
+		return false // ambiguous flat-window decision
+	}
+	s := 1.0 // flat windows are centered, not scaled (ZNormalizeInto)
+	var sErr float64
+	if variance > e.thresh2 {
+		std := math.Sqrt(variance)
+		s = 1 / std
+		sErr = s * s * (varErr / (2 * std))
+	}
+	valErr := (segMeanErr + meanErr) * s
+	for k := range e.pat.Segs {
+		seg := &e.pat.Segs[k]
+		raw := e.at(start+seg.Hi) - e.at(start+seg.Lo)
+		if seg.FracIdx[0] >= 0 {
+			raw += window[seg.FracIdx[0]] * seg.FracW[0]
+		}
+		if seg.FracIdx[1] >= 0 {
+			raw += window[seg.FracIdx[1]] * seg.FracW[1]
+		}
+		segMean := raw * e.pat.Inv
+		v := (segMean - mean) * s
+		vErr := 4*(valErr+math.Abs(segMean-mean)*sErr) + 1e-12
+		letter := sax.Letter(e.cuts, v)
+		if letter > 0 && v-e.cuts[letter-1] <= vErr {
+			return false // too close to the breakpoint below
+		}
+		if int(letter) < len(e.cuts) && e.cuts[letter]-v <= vErr {
+			return false // too close to the breakpoint above
+		}
+		e.buf[k] = sax.IndexToChar(letter)
+	}
+	return true
+}

@@ -1,0 +1,333 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+)
+
+// State is the complete serializable state of a Detector: everything a
+// process needs to resume a stream exactly where another process left it.
+// It deliberately stores only the series *tail* (the Window-1 points the
+// next window overlaps) plus derived sublinear structures — the recorded
+// words and the encoder's prefix-sum boundaries — so a checkpoint of an
+// N-point stream costs O(words + window), not O(N).
+//
+// Everything else a live Detector holds is a deterministic function of
+// these fields: the grammar is re-induced by replaying the word sequence
+// (Sequitur is incremental and deterministic), the novelty counts are
+// re-counted from the words, and the last recorded word is the final
+// entry of Words. A State captured from a restored detector is therefore
+// identical to one captured from a detector that was never persisted.
+//
+// State is a snapshot: the slices are copies, never aliased to the live
+// detector.
+type State struct {
+	Params    sax.Params
+	Reduction sax.Reduction
+
+	// Total is the number of points the stream has consumed; the live
+	// detector may retain only the last min(Total, Window-1) of them.
+	Total int
+
+	// Tail holds the last min(Total, Window-1) points — exactly the
+	// prefix of the next closing window.
+	Tail []float64
+
+	// Words is the full recorded word sequence after numerosity
+	// reduction, in time order with absolute offsets.
+	Words []sax.Word
+
+	// Enc is the incremental encoder's mutable state.
+	Enc EncoderState
+}
+
+// EncoderState is the incremental prefix-sum encoder's mutable state: the
+// Kahan accumulators, their magnitude high-water marks, the change
+// counter, and the ring of retained prefix boundaries in position order
+// (oldest first). Ring positions run from Total-len(Ring)+1 to Total; the
+// canonical position ordering makes the serialized form independent of
+// how the live ring happened to be rotated.
+type EncoderState struct {
+	Sum, Comp     float64
+	SumSq, CompSq float64
+	MagP, MagQ    float64
+	NChanges      uint64
+	LastVal       float64
+	Ring          []float64
+	RingSq        []float64
+	RingCh        []uint64
+}
+
+// tailLen is the number of raw points a checkpoint must retain.
+func tailLen(total, window int) int {
+	if total < window-1 {
+		return total
+	}
+	return window - 1
+}
+
+// ringLen is the number of prefix boundaries a checkpoint must retain.
+func ringLen(total, window int) int {
+	if total < window {
+		return total + 1
+	}
+	return window + 1
+}
+
+// State captures the detector's complete serializable state. The returned
+// snapshot shares no memory with the detector.
+func (d *Detector) State() *State {
+	total := d.Len()
+	w := d.params.Window
+	nt := tailLen(total, w)
+	st := &State{
+		Params:    d.params,
+		Reduction: d.red,
+		Total:     total,
+		Tail:      append([]float64(nil), d.series[len(d.series)-nt:]...),
+		Words:     append([]sax.Word(nil), d.words...),
+		Enc: EncoderState{
+			Sum:      d.enc.sum,
+			Comp:     d.enc.comp,
+			SumSq:    d.enc.sumSq,
+			CompSq:   d.enc.compSq,
+			MagP:     d.enc.magP,
+			MagQ:     d.enc.magQ,
+			NChanges: d.enc.nChanges,
+			LastVal:  d.enc.lastVal,
+		},
+	}
+	nr := ringLen(total, w)
+	st.Enc.Ring = make([]float64, nr)
+	st.Enc.RingSq = make([]float64, nr)
+	st.Enc.RingCh = make([]uint64, nr)
+	for i := 0; i < nr; i++ {
+		pos := total - nr + 1 + i
+		st.Enc.Ring[i] = d.enc.at(pos)
+		st.Enc.RingSq[i] = d.enc.sqAt(pos)
+		st.Enc.RingCh[i] = d.enc.chAt(pos)
+	}
+	return st
+}
+
+// Validate checks every invariant a well-formed State satisfies. It is
+// deliberately strict: a State that passes is guaranteed to restore into
+// a Detector whose subsequent behaviour is byte-identical to the one that
+// produced it, so decoders treat any violation as corruption.
+func (st *State) Validate() error {
+	p := st.Params
+	if p.Window <= 0 {
+		return fmt.Errorf("window %d out of range", p.Window)
+	}
+	if p.PAA <= 0 || p.PAA > p.Window {
+		return fmt.Errorf("paa %d out of range for window %d", p.PAA, p.Window)
+	}
+	if p.Alphabet < sax.MinAlphabet || p.Alphabet > sax.MaxAlphabet {
+		return fmt.Errorf("alphabet %d out of range", p.Alphabet)
+	}
+	if math.IsNaN(p.NormThreshold) || math.IsInf(p.NormThreshold, 0) || p.NormThreshold < 0 {
+		return fmt.Errorf("norm threshold %v out of range", p.NormThreshold)
+	}
+	switch st.Reduction {
+	case sax.ReductionExact, sax.ReductionNone, sax.ReductionMINDIST:
+	default:
+		return fmt.Errorf("unknown reduction %d", int(st.Reduction))
+	}
+	if st.Total < 0 {
+		return fmt.Errorf("negative total %d", st.Total)
+	}
+	if len(st.Tail) != tailLen(st.Total, p.Window) {
+		return fmt.Errorf("tail holds %d points, want %d", len(st.Tail), tailLen(st.Total, p.Window))
+	}
+	for i, v := range st.Tail {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("tail point %d is %v", i, v)
+		}
+	}
+	if err := st.validateWords(); err != nil {
+		return err
+	}
+	return st.validateEncoder()
+}
+
+func (st *State) validateWords() error {
+	p := st.Params
+	lastStart := st.Total - p.Window
+	if st.Total >= p.Window && len(st.Words) == 0 {
+		return fmt.Errorf("%d points but no recorded words", st.Total)
+	}
+	if st.Total < p.Window && len(st.Words) != 0 {
+		return fmt.Errorf("%d words before the first full window", len(st.Words))
+	}
+	if st.Reduction == sax.ReductionNone && st.Total >= p.Window && len(st.Words) != lastStart+1 {
+		return fmt.Errorf("reduction NONE recorded %d words for %d windows", len(st.Words), lastStart+1)
+	}
+	codec := sax.NewWordCodec(p.PAA, p.Alphabet)
+	prevOffset := -1
+	prevStr := ""
+	for i := range st.Words {
+		w := &st.Words[i]
+		if i == 0 && w.Offset != 0 {
+			return fmt.Errorf("first word offset %d, want 0", w.Offset)
+		}
+		if w.Offset <= prevOffset {
+			return fmt.Errorf("word %d offset %d not increasing past %d", i, w.Offset, prevOffset)
+		}
+		if w.Offset > lastStart {
+			return fmt.Errorf("word %d offset %d beyond last window start %d", i, w.Offset, lastStart)
+		}
+		if st.Reduction == sax.ReductionNone && w.Offset != i {
+			return fmt.Errorf("reduction NONE word %d at offset %d", i, w.Offset)
+		}
+		if len(w.Str) != p.PAA {
+			return fmt.Errorf("word %d has %d letters, want %d", i, len(w.Str), p.PAA)
+		}
+		for j := 0; j < len(w.Str); j++ {
+			if c := w.Str[j]; c < 'a' || int(c-'a') >= p.Alphabet {
+				return fmt.Errorf("word %d letter %d (%q) outside alphabet %d", i, j, c, p.Alphabet)
+			}
+		}
+		if codec.Fits() {
+			if w.Code != codec.PackString(w.Str) {
+				return fmt.Errorf("word %d code %d does not match its letters", i, w.Code)
+			}
+		} else if w.Code != 0 {
+			return fmt.Errorf("word %d carries code %d but the parameters do not fit a code", i, w.Code)
+		}
+		if i > 0 {
+			switch st.Reduction {
+			case sax.ReductionExact:
+				if w.Str == prevStr {
+					return fmt.Errorf("word %d equals its predecessor under reduction EXACT", i)
+				}
+			case sax.ReductionMINDIST:
+				if mindistZero(w.Str, prevStr) {
+					return fmt.Errorf("word %d within MINDIST 0 of its predecessor under reduction MINDIST", i)
+				}
+			}
+		}
+		prevStr = w.Str
+		prevOffset = w.Offset
+	}
+	return nil
+}
+
+func (st *State) validateEncoder() error {
+	e := &st.Enc
+	nr := ringLen(st.Total, st.Params.Window)
+	if len(e.Ring) != nr || len(e.RingSq) != nr || len(e.RingCh) != nr {
+		return fmt.Errorf("encoder rings hold %d/%d/%d boundaries, want %d",
+			len(e.Ring), len(e.RingSq), len(e.RingCh), nr)
+	}
+	if math.IsNaN(e.MagP) || math.IsNaN(e.MagQ) || e.MagP < 0 || e.MagQ < 0 {
+		return fmt.Errorf("encoder magnitudes %v/%v out of range", e.MagP, e.MagQ)
+	}
+	// Once a prefix sum overflows, the compensation terms legitimately
+	// carry NaN/Inf and the encoder runs in forced-naive mode; before
+	// that, every accumulator and ring entry is finite and bounded by the
+	// magnitude high-water marks.
+	overflowed := math.IsInf(e.MagP, 0) || math.IsInf(e.MagQ, 0)
+	if !overflowed {
+		for _, v := range []float64{e.Sum, e.Comp, e.SumSq, e.CompSq} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("non-finite encoder accumulator %v without overflow", v)
+			}
+		}
+		for i := range e.Ring {
+			if math.Abs(e.Ring[i]) > e.MagP || math.Abs(e.RingSq[i]) > e.MagQ {
+				return fmt.Errorf("ring boundary %d exceeds the magnitude high-water mark", i)
+			}
+		}
+		if math.Float64bits(e.Ring[nr-1]) != math.Float64bits(e.Sum) ||
+			math.Float64bits(e.RingSq[nr-1]) != math.Float64bits(e.SumSq) {
+			return fmt.Errorf("newest ring boundary disagrees with the running sums")
+		}
+	}
+	maxChanges := uint64(0)
+	if st.Total > 0 {
+		maxChanges = uint64(st.Total - 1)
+	}
+	if e.NChanges > maxChanges {
+		return fmt.Errorf("change count %d exceeds %d transitions", e.NChanges, maxChanges)
+	}
+	if e.RingCh[nr-1] != e.NChanges {
+		return fmt.Errorf("newest change boundary %d disagrees with the counter %d", e.RingCh[nr-1], e.NChanges)
+	}
+	for i := 1; i < nr; i++ {
+		if e.RingCh[i] < e.RingCh[i-1] || e.RingCh[i] > e.RingCh[i-1]+1 {
+			return fmt.Errorf("change boundaries %d..%d not a unit-step prefix count", i-1, i)
+		}
+	}
+	if len(st.Tail) > 0 {
+		if math.Float64bits(e.LastVal) != math.Float64bits(st.Tail[len(st.Tail)-1]) {
+			return fmt.Errorf("last value %v disagrees with the tail", e.LastVal)
+		}
+	}
+	if math.IsNaN(e.LastVal) || (math.IsInf(e.LastVal, 0) && st.Total > 0) {
+		return fmt.Errorf("non-finite last value %v", e.LastVal)
+	}
+	return nil
+}
+
+// Restore rebuilds a live Detector from a State. It validates st first and
+// refuses anything inconsistent; a Detector restored from a valid State
+// behaves byte-identically — same events, same words, same grammar, same
+// snapshots — to the detector that produced it.
+func Restore(st *State) (*Detector, error) {
+	if err := st.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: restore: %w", err)
+	}
+	d, err := NewDetector(st.Params, st.Reduction)
+	if err != nil {
+		return nil, fmt.Errorf("stream: restore: %w", err)
+	}
+	d.base = st.Total - len(st.Tail)
+	d.series = append(d.series, st.Tail...)
+
+	// Encoder: scalars verbatim, rings re-seated at their positions.
+	e := d.enc
+	e.sum, e.comp = st.Enc.Sum, st.Enc.Comp
+	e.sumSq, e.compSq = st.Enc.SumSq, st.Enc.CompSq
+	e.magP, e.magQ = st.Enc.MagP, st.Enc.MagQ
+	e.nChanges = st.Enc.NChanges
+	e.lastVal = st.Enc.LastVal
+	e.total = st.Total
+	e.forceNaive = math.IsInf(e.magP, 0) || math.IsInf(e.magQ, 0)
+	nr := len(st.Enc.Ring)
+	for i := 0; i < nr; i++ {
+		pos := st.Total - nr + 1 + i
+		idx := pos % len(e.ring)
+		e.ring[idx] = st.Enc.Ring[i]
+		e.ringSq[idx] = st.Enc.RingSq[i]
+		e.ringCh[idx] = st.Enc.RingCh[i]
+	}
+
+	// Grammar, word list, novelty counts: replayed from the word
+	// sequence. Sequitur is deterministic, so the rebuilt grammar is the
+	// one the original detector held.
+	d.words = append(d.words, st.Words...)
+	for i := range d.words {
+		w := &d.words[i]
+		if d.coded {
+			d.inducer.AppendCode(w.Code)
+		} else {
+			d.inducer.Append(w.Str)
+		}
+		d.seen[w.Str]++
+	}
+	if len(d.words) > 0 {
+		d.lastWord = d.words[len(d.words)-1].Str
+	}
+	return d, nil
+}
+
+// validateFinite mirrors Append's input validation for replayed points.
+func validateFinite(v float64, index int) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("stream: value %v at index %d: %w", v, index, timeseries.ErrInvalidValue)
+	}
+	return nil
+}

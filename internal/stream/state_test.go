@@ -1,0 +1,287 @@
+package stream
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+)
+
+// stateTestSeries mixes the regimes that exercise every encoder path:
+// smooth oscillation (incremental path), flat plateaus (flat cache),
+// near-breakpoint values (guard fallbacks), and exact repeats
+// (numerosity reduction).
+func stateTestSeries(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]float64, n)
+	for i := range ts {
+		switch {
+		case i%97 < 12: // plateau
+			ts[i] = 2.5
+		case i%53 < 4: // exact repeat of the previous point
+			if i > 0 {
+				ts[i] = ts[i-1]
+			}
+		default:
+			ts[i] = math.Sin(float64(i)/9) + 0.2*rng.NormFloat64()
+		}
+	}
+	return ts
+}
+
+var stateTestParams = sax.Params{Window: 40, PAA: 4, Alphabet: 5}
+
+func allReductions() []sax.Reduction {
+	return []sax.Reduction{sax.ReductionExact, sax.ReductionNone, sax.ReductionMINDIST}
+}
+
+func feedAll(t *testing.T, d *Detector, pts []float64) []Event {
+	t.Helper()
+	var evs []Event
+	for _, v := range pts {
+		ev, ok, err := d.Append(v)
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		if ok {
+			evs = append(evs, ev)
+		}
+	}
+	return evs
+}
+
+// requireSame asserts two detectors are observationally identical: words,
+// novelty counts, grammar, and serialized state.
+func requireSame(t *testing.T, got, want *Detector) {
+	t.Helper()
+	if !reflect.DeepEqual(got.words, want.words) {
+		t.Fatalf("words diverge: got %d words, want %d", len(got.words), len(want.words))
+	}
+	if !reflect.DeepEqual(got.seen, want.seen) {
+		t.Fatalf("novelty counts diverge")
+	}
+	if g, w := got.inducer.Grammar().String(), want.inducer.Grammar().String(); g != w {
+		t.Fatalf("grammars diverge:\n got:\n%s\nwant:\n%s", g, w)
+	}
+	if !reflect.DeepEqual(got.State(), want.State()) {
+		t.Fatalf("serialized states diverge")
+	}
+}
+
+// TestStateRoundTrip checkpoints a stream at assorted points — before the
+// first window, mid-stream, at the end — restores it, continues both the
+// restored and the uninterrupted detector over the same suffix, and
+// requires byte-identical words, events, grammar, and re-serialized state.
+func TestStateRoundTrip(t *testing.T) {
+	pts := stateTestSeries(700, 11)
+	w := stateTestParams.Window
+	cuts := []int{0, 1, w / 2, w - 1, w, w + 1, 137, 350, len(pts) - 1, len(pts)}
+	for _, red := range allReductions() {
+		ref, err := NewDetector(stateTestParams, red)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refEvents := feedAll(t, ref, pts)
+		for _, k := range cuts {
+			d, err := NewDetector(stateTestParams, red)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feedAll(t, d, pts[:k])
+			st := d.State()
+			if err := st.Validate(); err != nil {
+				t.Fatalf("red=%v k=%d: captured state invalid: %v", red, k, err)
+			}
+			restored, err := Restore(st)
+			if err != nil {
+				t.Fatalf("red=%v k=%d: restore: %v", red, k, err)
+			}
+			// A state captured from the restored detector must equal the
+			// original capture: restoration is canonical.
+			if !reflect.DeepEqual(restored.State(), st) {
+				t.Fatalf("red=%v k=%d: re-captured state differs", red, k)
+			}
+			if restored.Len() != k {
+				t.Fatalf("red=%v k=%d: restored Len=%d", red, k, restored.Len())
+			}
+			gotTail := feedAll(t, restored, pts[k:])
+			wantTail := refEvents[len(refEvents)-len(gotTail):]
+			if len(gotTail) == 0 {
+				wantTail = nil
+			}
+			if !reflect.DeepEqual(gotTail, wantTail) {
+				t.Fatalf("red=%v k=%d: post-restore events diverge", red, k)
+			}
+			requireSame(t, restored, ref)
+		}
+	}
+}
+
+// TestRestoredSnapshotMatches pins that a restored detector's full
+// analysis — rules, density curve, minima — matches the uninterrupted one.
+func TestRestoredSnapshotMatches(t *testing.T) {
+	pts := stateTestSeries(500, 3)
+	for _, red := range allReductions() {
+		ref, _ := NewDetector(stateTestParams, red)
+		feedAll(t, ref, pts)
+		d, _ := NewDetector(stateTestParams, red)
+		feedAll(t, d, pts[:260])
+		restored, err := Restore(d.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedAll(t, restored, pts[260:])
+		want, err := ref.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Density, want.Density) {
+			t.Fatalf("red=%v: density curves diverge", red)
+		}
+		if !reflect.DeepEqual(got.Minima, want.Minima) {
+			t.Fatalf("red=%v: minima diverge", red)
+		}
+		if err := got.Rules.Grammar.Verify(wordStrings(restored.words)); err != nil {
+			t.Fatalf("red=%v: restored grammar fails verification: %v", red, err)
+		}
+	}
+}
+
+func wordStrings(ws []sax.Word) []string {
+	out := make([]string, len(ws))
+	for i := range ws {
+		out[i] = ws[i].Str
+	}
+	return out
+}
+
+// TestRejectedAppendLeavesStateUnchanged is the NaN/Inf equivalence
+// property: a stream that had bad points rejected and then received the
+// corrected values is byte-identical — words, grammar, serialized state,
+// events — to one that never saw the bad points, for every reduction.
+func TestRejectedAppendLeavesStateUnchanged(t *testing.T) {
+	pts := stateTestSeries(300, 7)
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, red := range allReductions() {
+		clean, _ := NewDetector(stateTestParams, red)
+		cleanEvents := feedAll(t, clean, pts)
+		dirty, _ := NewDetector(stateTestParams, red)
+		var dirtyEvents []Event
+		for i, v := range pts {
+			if i%41 == 0 { // attempt a bad point before every 41st value
+				b := bad[i/41%len(bad)]
+				if _, ok, err := dirty.Append(b); err == nil || ok {
+					t.Fatalf("red=%v: bad point %v accepted", red, b)
+				} else if !errors.Is(err, timeseries.ErrInvalidValue) {
+					t.Fatalf("red=%v: unexpected rejection error %v", red, err)
+				}
+			}
+			ev, ok, err := dirty.Append(v)
+			if err != nil {
+				t.Fatalf("red=%v: corrected append failed: %v", red, err)
+			}
+			if ok {
+				dirtyEvents = append(dirtyEvents, ev)
+			}
+		}
+		if !reflect.DeepEqual(dirtyEvents, cleanEvents) {
+			t.Fatalf("red=%v: events diverge after rejected appends", red)
+		}
+		requireSame(t, dirty, clean)
+	}
+}
+
+// TestValidateRejectsCorruption mutates a valid state one field at a time
+// and requires Validate to refuse each mutation.
+func TestValidateRejectsCorruption(t *testing.T) {
+	pts := stateTestSeries(200, 5)
+	d, _ := NewDetector(stateTestParams, sax.ReductionExact)
+	feedAll(t, d, pts)
+	mutations := map[string]func(*State){
+		"zero window":        func(s *State) { s.Params.Window = 0 },
+		"paa over window":    func(s *State) { s.Params.PAA = s.Params.Window + 1 },
+		"alphabet too small": func(s *State) { s.Params.Alphabet = 1 },
+		"nan threshold":      func(s *State) { s.Params.NormThreshold = math.NaN() },
+		"bad reduction":      func(s *State) { s.Reduction = sax.Reduction(99) },
+		"negative total":     func(s *State) { s.Total = -1 },
+		"short tail":         func(s *State) { s.Tail = s.Tail[:len(s.Tail)-1] },
+		"nan tail point":     func(s *State) { s.Tail[0] = math.NaN() },
+		"no words":           func(s *State) { s.Words = nil },
+		"first offset":       func(s *State) { s.Words[0].Offset = 3 },
+		"offset regression":  func(s *State) { s.Words[2].Offset = s.Words[1].Offset },
+		"offset overrun":     func(s *State) { s.Words[len(s.Words)-1].Offset = s.Total },
+		"bad letter":         func(s *State) { s.Words[1].Str = "a!aa" },
+		"wrong code":         func(s *State) { s.Words[1].Code++ },
+		"repeat under exact": func(s *State) { s.Words[2] = s.Words[1]; s.Words[2].Offset = s.Words[1].Offset + 1 },
+		"short ring":         func(s *State) { s.Enc.Ring = s.Enc.Ring[:len(s.Enc.Ring)-1] },
+		"negative magnitude": func(s *State) { s.Enc.MagP = -1 },
+		"nan accumulator":    func(s *State) { s.Enc.Sum = math.NaN() },
+		"stale newest ring":  func(s *State) { s.Enc.Ring[len(s.Enc.Ring)-1] += 1 },
+		"change overflow":    func(s *State) { s.Enc.NChanges = uint64(s.Total) },
+		"jump in changes":    func(s *State) { s.Enc.RingCh[1] = s.Enc.RingCh[0] + 2 },
+		"last value":         func(s *State) { s.Enc.LastVal += 1 },
+	}
+	for name, mutate := range mutations {
+		st := d.State() // fresh deep copy per mutation
+		if st.Enc.MagP == 0 {
+			t.Fatal("test series produced a degenerate state")
+		}
+		mutate(st)
+		if err := st.Validate(); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		} else if _, rerr := Restore(st); rerr == nil {
+			t.Errorf("%s: Restore accepted corrupt state", name)
+		}
+	}
+	if err := d.State().Validate(); err != nil {
+		t.Fatalf("unmutated state invalid: %v", err)
+	}
+}
+
+// TestRestoreChain pins that checkpoint/restore composes: restoring a
+// restored detector's state mid-stream repeatedly still converges to the
+// reference.
+func TestRestoreChain(t *testing.T) {
+	pts := stateTestSeries(600, 23)
+	ref, _ := NewDetector(stateTestParams, sax.ReductionExact)
+	feedAll(t, ref, pts)
+	d, _ := NewDetector(stateTestParams, sax.ReductionExact)
+	step := 67
+	for i := 0; i < len(pts); i += step {
+		end := i + step
+		if end > len(pts) {
+			end = len(pts)
+		}
+		feedAll(t, d, pts[i:end])
+		nd, err := Restore(d.State())
+		if err != nil {
+			t.Fatalf("chain restore at %d: %v", end, err)
+		}
+		d = nd
+	}
+	requireSame(t, d, ref)
+}
+
+// TestStateIsACopy pins that State shares no memory with the live
+// detector: mutating the snapshot must not perturb the stream.
+func TestStateIsACopy(t *testing.T) {
+	pts := stateTestSeries(120, 2)
+	d, _ := NewDetector(stateTestParams, sax.ReductionExact)
+	feedAll(t, d, pts)
+	st := d.State()
+	want := d.State()
+	st.Tail[0] = 1e9
+	st.Words[0].Str = "zzzz"
+	st.Enc.Ring[0] = -1e9
+	if !reflect.DeepEqual(d.State(), want) {
+		t.Fatal("mutating a captured state perturbed the detector")
+	}
+}

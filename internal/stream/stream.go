@@ -5,11 +5,19 @@
 // novelty is scored per discretized word in O(1), and a full rule-density
 // analysis of everything seen so far can be snapshotted at any time in
 // linear time without re-inducing the grammar.
+//
+// The per-point cost is O(paa) amortized: the closing window's SAX word is
+// derived from Kahan-compensated running prefix sums (see incenc.go) with
+// a guarded fallback that keeps the output byte-identical to batch
+// discretization, and the word feeds Sequitur's allocation-free coded
+// path. The detector's whole state is serializable (State/Restore), which
+// is what makes long-lived streaming sessions durable across process
+// restarts: a restored detector continues byte-identically from where the
+// original stopped, holding only the series tail rather than every point.
 package stream
 
 import (
 	"fmt"
-	"math"
 
 	"grammarviz/internal/density"
 	"grammarviz/internal/grammar"
@@ -33,12 +41,16 @@ type Event struct {
 type Detector struct {
 	params  sax.Params
 	red     sax.Reduction
-	encoder *sax.Encoder
 	codec   sax.WordCodec
+	enc     *incEncoder
 	inducer *sequitur.Inducer
+	coded   bool // inducer runs on packed word codes
 
-	series   []float64 // everything seen so far
-	buf      []float64 // scratch: current window
+	// base counts points consumed before series[0]: zero for a detector
+	// built by NewDetector, positive for one restored from a checkpoint
+	// that retained only the series tail.
+	base     int
+	series   []float64 // points retained (everything seen, or the tail)
 	lastWord string
 	words    []sax.Word
 	seen     map[string]int // word -> occurrence count
@@ -50,26 +62,42 @@ func NewDetector(p sax.Params, red sax.Reduction) (*Detector, error) {
 	if p.Window <= 0 {
 		return nil, fmt.Errorf("%w: window=%d", timeseries.ErrBadWindow, p.Window)
 	}
-	enc, err := sax.NewEncoder(p)
-	if err != nil {
-		return nil, err
-	}
 	if p.PAA > p.Window {
 		return nil, fmt.Errorf("stream: paa %d exceeds window %d", p.PAA, p.Window)
 	}
-	return &Detector{
-		params:  p,
-		red:     red,
-		encoder: enc,
-		codec:   enc.Codec(),
-		inducer: sequitur.NewInducer(),
-		buf:     make([]float64, p.Window),
-		seen:    make(map[string]int),
-	}, nil
+	enc, err := newIncEncoder(p)
+	if err != nil {
+		return nil, err
+	}
+	d := &Detector{
+		params: p,
+		red:    red,
+		codec:  sax.NewWordCodec(p.PAA, p.Alphabet),
+		enc:    enc,
+		seen:   make(map[string]int),
+	}
+	d.newInducer()
+	return d, nil
 }
 
-// Len returns the number of points consumed so far.
-func (d *Detector) Len() int { return len(d.series) }
+// newInducer installs a fresh inducer on the coded path whenever the
+// parameters pack into a uint64, falling back to string tokens otherwise.
+// Both paths induce byte-identical grammars (token ids are assigned in
+// first-appearance order either way); the coded path is the
+// allocation-free one.
+func (d *Detector) newInducer() {
+	if d.codec.Fits() {
+		d.coded = true
+		d.inducer = sequitur.NewCodeInducer(d.codec.Decode)
+		return
+	}
+	d.coded = false
+	d.inducer = sequitur.NewInducer()
+}
+
+// Len returns the number of points consumed so far, including points a
+// restored detector no longer retains.
+func (d *Detector) Len() int { return d.base + len(d.series) }
 
 // WordCount returns the number of words recorded so far (after reduction).
 func (d *Detector) WordCount() int { return len(d.words) }
@@ -81,37 +109,44 @@ func (d *Detector) WordCount() int { return len(d.words) }
 // the stream position, and the detector's state is unchanged — the caller
 // may substitute a cleaned value and continue.
 func (d *Detector) Append(v float64) (Event, bool, error) {
-	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return Event{}, false, fmt.Errorf("stream: value %v at index %d: %w", v, len(d.series), timeseries.ErrInvalidValue)
+	if err := validateFinite(v, d.Len()); err != nil {
+		return Event{}, false, err
 	}
 	d.series = append(d.series, v)
-	if len(d.series) < d.params.Window {
+	d.enc.push(v)
+	total := d.base + len(d.series)
+	if total < d.params.Window {
 		return Event{}, false, nil
 	}
-	start := len(d.series) - d.params.Window
-	copy(d.buf, d.series[start:])
-	word, err := d.encoder.Encode(d.buf)
+	window := d.series[len(d.series)-d.params.Window:]
+	buf, err := d.enc.encodeWindow(window)
 	if err != nil {
 		// Unreachable: window/PAA were validated in NewDetector.
 		return Event{}, false, nil
 	}
 	switch d.red {
 	case sax.ReductionExact:
-		if word == d.lastWord {
+		if string(buf) == d.lastWord {
 			return Event{}, false, nil
 		}
 	case sax.ReductionMINDIST:
-		if d.lastWord != "" && mindistZero(word, d.lastWord) {
+		if d.lastWord != "" && mindistZeroBytes(buf, d.lastWord) {
 			return Event{}, false, nil
 		}
 	}
+	start := total - d.params.Window
+	word := string(buf)
 	d.lastWord = word
 	w := sax.Word{Str: word, Offset: start}
 	if d.codec.Fits() {
-		w.Code = d.codec.PackString(word)
+		w.Code = d.codec.Pack(buf)
 	}
 	d.words = append(d.words, w)
-	d.inducer.Append(word)
+	if d.coded {
+		d.inducer.AppendCode(w.Code)
+	} else {
+		d.inducer.Append(word)
+	}
 	d.seen[word]++
 	return Event{
 		Offset:  start,
@@ -124,11 +159,15 @@ func (d *Detector) Append(v float64) (Event, bool, error) {
 // retained series, word list and grammar so their memory can be reclaimed.
 // The discretization parameters are kept.
 func (d *Detector) Reset() {
+	d.base = 0
 	d.series = nil
 	d.lastWord = ""
 	d.words = nil
 	d.seen = make(map[string]int)
-	d.inducer = sequitur.NewInducer()
+	d.newInducer()
+	// The encoder's construction cannot fail once NewDetector has
+	// validated the parameters.
+	d.enc, _ = newIncEncoder(d.params)
 }
 
 // MemStats summarizes what the detector currently retains in memory.
@@ -139,9 +178,10 @@ type MemStats struct {
 }
 
 // MemStats reports the detector's current retention. Memory grows O(points)
-// with the stream: the full series is kept for window re-encoding and for
-// snapshots, and the word list and grammar grow sublinearly after
-// numerosity reduction. Call Reset to release everything.
+// with the stream: the series is kept for window re-encoding and for
+// snapshots (a restored detector starts from just the tail), and the word
+// list and grammar grow sublinearly after numerosity reduction. Call Reset
+// to release everything.
 func (d *Detector) MemStats() MemStats {
 	return MemStats{
 		Points: len(d.series),
@@ -153,6 +193,21 @@ func (d *Detector) MemStats() MemStats {
 // mindistZero mirrors sax's MINDIST-based reduction: true when every
 // letter pair is at most one region apart.
 func mindistZero(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		diff := int(a[i]) - int(b[i])
+		if diff < -1 || diff > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// mindistZeroBytes is mindistZero against the encoder's letter buffer,
+// avoiding the string conversion for dropped windows.
+func mindistZeroBytes(a []byte, b string) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -180,11 +235,13 @@ func (d *Detector) Snapshot() (*Snapshot, error) {
 	if len(d.words) == 0 {
 		return nil, fmt.Errorf("stream: no words recorded yet (need >= %d points)", d.params.Window)
 	}
+	total := d.Len()
 	disc := &sax.Discretization{
 		Words:     d.words,
-		SeriesLen: len(d.series),
+		SeriesLen: total,
 		Params:    d.params,
-		Raw:       len(d.series) - d.params.Window + 1,
+		Raw:       total - d.params.Window + 1,
+		Coded:     d.codec.Fits(),
 	}
 	g := d.inducer.Grammar()
 	rs, err := grammar.Build(disc, g)

@@ -3,9 +3,16 @@ package grammarviz
 import (
 	"fmt"
 
+	"grammarviz/internal/checkpoint"
 	"grammarviz/internal/sax"
 	"grammarviz/internal/stream"
 )
+
+// ErrCorruptCheckpoint is wrapped by RestoreStream when a checkpoint frame
+// is damaged or inconsistent: wrong magic or version, checksum mismatch,
+// truncation, or state that fails validation. Branch on it with errors.Is
+// to distinguish corruption from other failures.
+var ErrCorruptCheckpoint = checkpoint.ErrCorrupt
 
 // StreamEvent is emitted by Stream.Append when a new discretized word is
 // recorded. Novelty is 1 for a never-before-seen shape and approaches 0
@@ -113,4 +120,29 @@ func (s *Stream) RuleDensity() ([]int, error) {
 		return nil, fmt.Errorf("grammarviz: %w", err)
 	}
 	return snap.Density, nil
+}
+
+// Checkpoint serializes the stream's complete state into a versioned,
+// checksummed binary frame of O(words + window) bytes — not O(points):
+// only the series tail the next window overlaps is retained, with the
+// grammar re-derived on restore by replaying the recorded words. A stream
+// restored from the frame continues byte-identically — same events, same
+// words, same grammar, same analyses — to this one.
+func (s *Stream) Checkpoint() ([]byte, error) {
+	frame, err := checkpoint.Encode(s.inner.State())
+	if err != nil {
+		return nil, fmt.Errorf("grammarviz: %w", err)
+	}
+	return frame, nil
+}
+
+// RestoreStream rebuilds a Stream from a Checkpoint frame. Damaged or
+// inconsistent frames fail with an error wrapping ErrCorruptCheckpoint;
+// decoding never panics, whatever the input.
+func RestoreStream(frame []byte) (*Stream, error) {
+	inner, err := checkpoint.Restore(frame)
+	if err != nil {
+		return nil, fmt.Errorf("grammarviz: %w", err)
+	}
+	return &Stream{inner: inner}, nil
 }
