@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench fuzz-smoke crashtest lint staticcheck govulncheck serve loadtest
+.PHONY: check build vet test race bench-smoke bench ensemble-smoke fuzz-smoke crashtest lint staticcheck govulncheck serve loadtest
 
 ## check: everything CI runs — vet, build, race-enabled tests, bench smoke,
 ## fuzz smoke, crash-recovery test, static analysis (go vet + gvadlint +
 ## staticcheck)
-check: vet build race bench-smoke fuzz-smoke crashtest lint staticcheck
+check: vet build race bench-smoke ensemble-smoke fuzz-smoke crashtest lint staticcheck
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,14 @@ bench-smoke:
 BENCHTIME ?= 5x
 bench:
 	$(GO) test . -run '^$$' -bench 'Component|Extension' -benchtime $(BENCHTIME) -benchmem
+
+## ensemble-smoke: the parameter-free ensemble's core contracts as a quick
+## gate — sampler determinism/validity, the members=1 byte-equivalence to
+## the multiscale curve, the typed all-invalid error, and the datasets
+## validation (fused default beats the hand-tuned single-parameter run)
+ensemble-smoke:
+	$(GO) test ./internal/ensemble -count=1 \
+		-run 'TestSampleDeterministicAndValid|TestSingleMemberMatchesMultiscale|TestAllInvalidMembersTypedError|TestEnsembleMatchesHandTunedTop1'
 
 ## fuzz-smoke: a few seconds of each native fuzz target, enough to replay
 ## the checked-in corpora and catch shallow regressions (long fuzzing runs

@@ -38,9 +38,10 @@ func HOTSAXDiscords(ts []float64, window, paa, alphabet, k int, seed int64) ([]D
 // search polls ctx at bounded intervals and returns a ctx.Err()-wrapped
 // error when the deadline passes. With a never-cancelled context the
 // result is identical to HOTSAXDiscords'. It serves deadline-bound
-// callers such as the gvad daemon's hotsax mode.
+// callers such as the gvad daemon's hotsax mode, and runs with the coded
+// MINDIST pre-filter — same discords, fewer distance calls.
 func HOTSAXDiscordsCtx(ctx context.Context, ts []float64, window, paa, alphabet, k int, seed int64) ([]Discord, int64, error) {
-	res, err := discord.HOTSAXStatsCtx(ctx, discord.NewStats(ts), sax.Params{Window: window, PAA: paa, Alphabet: alphabet}, k, seed)
+	res, err := discord.HOTSAXStatsCodedCtx(ctx, discord.NewStats(ts), sax.Params{Window: window, PAA: paa, Alphabet: alphabet}, k, seed)
 	if err != nil {
 		return nil, res.DistCalls, fmt.Errorf("grammarviz: %w", err)
 	}

@@ -8,6 +8,7 @@ package grammarviz
 // `go test -bench .` prints the Table 1 quantities next to ns/op.
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"grammarviz/internal/datasets"
 	"grammarviz/internal/density"
 	"grammarviz/internal/discord"
+	"grammarviz/internal/ensemble"
 	"grammarviz/internal/experiments"
 	"grammarviz/internal/grammar"
 	"grammarviz/internal/hilbert"
@@ -351,6 +353,30 @@ func BenchmarkComponent_HOTSAX(b *testing.B) {
 		if _, err := discord.HOTSAX(ds.Series, ds.Params, 1, 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkComponent_EnsembleDensity measures the parameter-free ensemble
+// detector at two fleet sizes: the per-member cost is one pooled, coded
+// induction, so time should scale close to linearly in members (modulo
+// the worker fan-out) and the warm path should reuse pooled workspaces
+// rather than allocating induction scratch per member (see the
+// AllocsPerRun regression test in internal/ensemble).
+func BenchmarkComponent_EnsembleDensity(b *testing.B) {
+	ds := dataset(b, "ecg0606")
+	for _, members := range []int{8, 32} {
+		b.Run(fmt.Sprintf("members=%d", members), func(b *testing.B) {
+			b.ReportAllocs()
+			var used int
+			for i := 0; i < b.N; i++ {
+				res, err := ensemble.Induce(context.Background(), ds.Series, ensemble.Config{Members: members, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				used = res.Used
+			}
+			b.ReportMetric(float64(used), "members_used")
+		})
 	}
 }
 

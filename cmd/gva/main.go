@@ -12,6 +12,7 @@
 //	density    approximate anomalies from the rule density curve
 //	surprise   density scored statistically (Poisson left-tail p-values)
 //	multiscale density averaged over windows/2, window, window*2
+//	ensemble   parameter-free: sampled parameterizations, fused scores
 //	motifs     the inverse query: top recurring variable-length patterns
 //	hotsax     fixed-length HOTSAX baseline
 //	brute      fixed-length brute-force baseline
@@ -42,8 +43,9 @@ func main() {
 		window    = flag.Int("window", 120, "sliding window length (0 = auto-select from the data)")
 		paa       = flag.Int("paa", 4, "SAX word length (PAA segments)")
 		alphabet  = flag.Int("alphabet", 4, "SAX alphabet size")
-		mode      = flag.String("mode", "rra", "rra | density | surprise | multiscale | motifs | hotsax | brute")
+		mode      = flag.String("mode", "rra", "rra | density | surprise | multiscale | ensemble | motifs | hotsax | brute")
 		k         = flag.Int("k", 3, "number of discords to report (rra/hotsax/brute)")
+		members   = flag.Int("members", 0, "ensemble member count (ensemble mode; 0 = default)")
 		threshold = flag.Int("threshold", -1, "density threshold (density mode; -1 = global minima)")
 		minLen    = flag.Int("minlen", 0, "minimum anomaly length (density mode)")
 		seed      = flag.Int64("seed", 1, "random seed for search heuristics")
@@ -59,7 +61,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := validateFlags(*window, *paa, *alphabet, *mode, *k, *threshold, *minLen, *detrend, *timeout); err != nil {
+	if err := validateFlags(*window, *paa, *alphabet, *mode, *k, *members, *threshold, *minLen, *detrend, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "gva:", err)
 		os.Exit(2)
 	}
@@ -69,7 +71,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *dataPath, *window, *paa, *alphabet, *mode, *k, *threshold, *minLen, *seed, *plot, *svgPath, *stats, *detrend, *jsonOut, *timeout > 0); err != nil {
+	if err := run(ctx, *dataPath, *window, *paa, *alphabet, *mode, *k, *members, *threshold, *minLen, *seed, *plot, *svgPath, *stats, *detrend, *jsonOut, *timeout > 0); err != nil {
 		fmt.Fprintln(os.Stderr, "gva:", err)
 		os.Exit(1)
 	}
@@ -78,11 +80,14 @@ func main() {
 // validateFlags rejects nonsensical flag combinations up front with a
 // message naming the flag, instead of letting them surface as a cryptic
 // error (or silently wrong output) deep inside the pipeline.
-func validateFlags(window, paa, alphabet int, mode string, k, threshold, minLen, detrend int, timeout time.Duration) error {
+func validateFlags(window, paa, alphabet int, mode string, k, members, threshold, minLen, detrend int, timeout time.Duration) error {
 	switch mode {
-	case "rra", "density", "surprise", "multiscale", "motifs", "hotsax", "brute":
+	case "rra", "density", "surprise", "multiscale", "ensemble", "motifs", "hotsax", "brute":
 	default:
-		return fmt.Errorf("unknown -mode %q (want rra, density, surprise, multiscale, motifs, hotsax, or brute)", mode)
+		return fmt.Errorf("unknown -mode %q (want rra, density, surprise, multiscale, ensemble, motifs, hotsax, or brute)", mode)
+	}
+	if members < 0 {
+		return fmt.Errorf("-members must be >= 0 (0 selects the default), got %d", members)
 	}
 	if window < 0 {
 		return fmt.Errorf("-window must be >= 0 (0 auto-selects from the data), got %d", window)
@@ -117,7 +122,7 @@ func validateFlags(window, paa, alphabet int, mode string, k, threshold, minLen,
 	return nil
 }
 
-func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode string, k, threshold, minLen int, seed int64, plot bool, svgPath string, stats bool, detrend int, jsonOut, bounded bool) error {
+func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode string, k, members, threshold, minLen int, seed int64, plot bool, svgPath string, stats bool, detrend int, jsonOut, bounded bool) error {
 	ts, err := timeseries.ReadCSVFile(dataPath)
 	if err != nil {
 		return err
@@ -135,6 +140,12 @@ func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode s
 		fmt.Printf("detrended with a %d-point moving average\n", detrend)
 	}
 	fmt.Printf("loaded %d points from %s\n", len(ts), dataPath)
+
+	// Ensemble mode is parameter-free: it neither needs the SAX flags nor
+	// the single-parameter detector, so it runs before auto-selection.
+	if mode == "ensemble" {
+		return runEnsemble(ctx, ts, members, seed, jsonOut, plot, svgPath)
+	}
 
 	opts := grammarviz.Options{Window: window, PAA: paa, Alphabet: alphabet, Seed: seed}
 	if window <= 0 {
@@ -261,6 +272,74 @@ func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode s
 	}
 	if svgPath != "" {
 		if err := writeSVG(svgPath, ts, det.RuleDensity(), marks); err != nil {
+			return err
+		}
+		fmt.Println("wrote", svgPath)
+	}
+	return nil
+}
+
+// ensembleReport is the JSON shape of -mode ensemble -json.
+type ensembleReport struct {
+	Algorithm   string                      `json:"algorithm"`
+	MembersUsed int                         `json:"members_used"`
+	Members     []grammarviz.EnsembleMember `json:"members"`
+	Anomalies   []grammarviz.Interval       `json:"anomalies"`
+}
+
+// runEnsemble is the parameter-free path: sample, induce per member,
+// fuse, threshold — no window, PAA, or alphabet asked of the user.
+func runEnsemble(ctx context.Context, ts []float64, members int, seed int64, jsonOut, plot bool, svgPath string) error {
+	res, err := grammarviz.EnsembleDensityCtx(ctx, ts, grammarviz.EnsembleOptions{Members: members, Seed: seed})
+	if err != nil {
+		return err
+	}
+	anomalies := res.Anomalies(0.3)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ensembleReport{
+			Algorithm: "ensemble density", MembersUsed: res.Used,
+			Members: res.Members, Anomalies: anomalies,
+		}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("ensemble density anomalies (%d of %d sampled members used):\n", res.Used, len(res.Members))
+		for i, a := range anomalies {
+			agree := 0.0
+			for j := a.Start; j <= a.End && j < len(res.Agreement); j++ {
+				if res.Agreement[j] > agree {
+					agree = res.Agreement[j]
+				}
+			}
+			fmt.Printf("  %2d. [%d,%d] len=%d member-agreement=%.0f%%\n",
+				i+1, a.Start, a.End, a.End-a.Start+1, 100*agree)
+		}
+	}
+	if plot {
+		fmt.Println()
+		fmt.Print(visual.Panel("series", ts, 100, 10))
+		fmt.Println(markRow(len(ts), 100, anomalies))
+		fmt.Print(visual.Panel("fused ensemble score", res.Score, 100, 6))
+	}
+	if svgPath != "" {
+		ivs := make([]timeseries.Interval, len(anomalies))
+		for i, a := range anomalies {
+			ivs[i] = timeseries.Interval{Start: a.Start, End: a.End}
+		}
+		fig := visual.NewFigure(960, 160)
+		fig.AddSeries("series with ensemble anomalies", ts, "", ivs, "")
+		fig.AddSeries("fused ensemble score", res.Score, "", ivs, "")
+		f, err := os.Create(svgPath)
+		if err != nil {
+			return err
+		}
+		if err := fig.Render(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Println("wrote", svgPath)

@@ -33,9 +33,9 @@ func writeTestSeries(t *testing.T) string {
 
 func TestRunModes(t *testing.T) {
 	path := writeTestSeries(t)
-	for _, mode := range []string{"rra", "density", "hotsax", "brute"} {
+	for _, mode := range []string{"rra", "density", "hotsax", "brute", "ensemble"} {
 		t.Run(mode, func(t *testing.T) {
-			if err := run(context.Background(), path, 45, 4, 4, mode, 2, -1, 0, 1, false, "", false, 0, false, false); err != nil {
+			if err := run(context.Background(), path, 45, 4, 4, mode, 2, 0, -1, 0, 1, false, "", false, 0, false, false); err != nil {
 				t.Errorf("run(%s): %v", mode, err)
 			}
 		})
@@ -44,7 +44,7 @@ func TestRunModes(t *testing.T) {
 
 func TestRunDensityThreshold(t *testing.T) {
 	path := writeTestSeries(t)
-	if err := run(context.Background(), path, 45, 4, 4, "density", 1, 3, 5, 1, false, "", true, 0, false, false); err != nil {
+	if err := run(context.Background(), path, 45, 4, 4, "density", 1, 0, 3, 5, 1, false, "", true, 0, false, false); err != nil {
 		t.Errorf("run: %v", err)
 	}
 }
@@ -52,7 +52,7 @@ func TestRunDensityThreshold(t *testing.T) {
 func TestRunPlotAndSVG(t *testing.T) {
 	path := writeTestSeries(t)
 	svg := filepath.Join(t.TempDir(), "out.svg")
-	if err := run(context.Background(), path, 45, 4, 4, "rra", 1, -1, 0, 1, true, svg, true, 0, false, false); err != nil {
+	if err := run(context.Background(), path, 45, 4, 4, "rra", 1, 0, -1, 0, 1, true, svg, true, 0, false, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(svg)
@@ -66,20 +66,20 @@ func TestRunPlotAndSVG(t *testing.T) {
 
 func TestRunAutoParams(t *testing.T) {
 	path := writeTestSeries(t)
-	if err := run(context.Background(), path, 0, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false, false); err != nil {
+	if err := run(context.Background(), path, 0, 4, 4, "rra", 1, 0, -1, 0, 1, false, "", false, 0, false, false); err != nil {
 		t.Errorf("auto-params run: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), filepath.Join(t.TempDir(), "missing.csv"), 45, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false, false); err == nil {
+	if err := run(context.Background(), filepath.Join(t.TempDir(), "missing.csv"), 45, 4, 4, "rra", 1, 0, -1, 0, 1, false, "", false, 0, false, false); err == nil {
 		t.Error("missing file should error")
 	}
 	path := writeTestSeries(t)
-	if err := run(context.Background(), path, 45, 4, 4, "bogus", 1, -1, 0, 1, false, "", false, 0, false, false); err == nil {
+	if err := run(context.Background(), path, 45, 4, 4, "bogus", 1, 0, -1, 0, 1, false, "", false, 0, false, false); err == nil {
 		t.Error("unknown mode should error")
 	}
-	if err := run(context.Background(), path, 5000, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false, false); err == nil {
+	if err := run(context.Background(), path, 5000, 4, 4, "rra", 1, 0, -1, 0, 1, false, "", false, 0, false, false); err == nil {
 		t.Error("oversize window should error")
 	}
 }
@@ -94,14 +94,14 @@ func TestRunInterpolatesNaN(t *testing.T) {
 	if err := timeseries.WriteCSVFile(path, ts); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), path, 40, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 0, false, false); err != nil {
+	if err := run(context.Background(), path, 40, 4, 4, "rra", 1, 0, -1, 0, 1, false, "", false, 0, false, false); err != nil {
 		t.Errorf("NaN series should be interpolated, got %v", err)
 	}
 }
 
 func TestRunDetrend(t *testing.T) {
 	path := writeTestSeries(t)
-	if err := run(context.Background(), path, 45, 4, 4, "rra", 1, -1, 0, 1, false, "", false, 101, false, false); err != nil {
+	if err := run(context.Background(), path, 45, 4, 4, "rra", 1, 0, -1, 0, 1, false, "", false, 101, false, false); err != nil {
 		t.Errorf("detrend run: %v", err)
 	}
 }
@@ -110,7 +110,7 @@ func TestRunExtensionModes(t *testing.T) {
 	path := writeTestSeries(t)
 	for _, mode := range []string{"surprise", "multiscale", "motifs"} {
 		t.Run(mode, func(t *testing.T) {
-			if err := run(context.Background(), path, 45, 4, 4, mode, 3, -1, 0, 1, false, "", false, 0, false, false); err != nil {
+			if err := run(context.Background(), path, 45, 4, 4, mode, 3, 0, -1, 0, 1, false, "", false, 0, false, false); err != nil {
 				t.Errorf("run(%s): %v", mode, err)
 			}
 		})
@@ -126,7 +126,7 @@ func TestRunJSONOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run(context.Background(), path, 45, 4, 4, "rra", 2, -1, 0, 1, false, "", false, 0, true, false)
+	runErr := run(context.Background(), path, 45, 4, 4, "rra", 2, 0, -1, 0, 1, false, "", false, 0, true, false)
 	w.Close()
 	os.Stdout = old
 	if runErr != nil {
@@ -157,6 +157,57 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 }
 
+// TestRunEnsembleJSON drives the parameter-free mode end to end with
+// -json: the report carries the algorithm, the sampled member list, and
+// at least one anomaly interval near the planted flat region.
+func TestRunEnsembleJSON(t *testing.T) {
+	path := writeTestSeries(t)
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(context.Background(), path, 0, 4, 4, "ensemble", 3, 8, -1, 0, 1, false, "", false, 0, true, false)
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := strings.IndexByte(string(data), '{')
+	if idx < 0 {
+		t.Fatalf("no JSON in output: %q", data)
+	}
+	var rep struct {
+		Algorithm   string `json:"algorithm"`
+		MembersUsed int    `json:"members_used"`
+		Members     []struct {
+			Window int  `json:"window"`
+			Used   bool `json:"used"`
+		} `json:"members"`
+		Anomalies []struct{ Start, End int } `json:"anomalies"`
+	}
+	if err := json.Unmarshal(data[idx:], &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data[idx:])
+	}
+	if rep.Algorithm != "ensemble density" || rep.MembersUsed == 0 || len(rep.Members) == 0 {
+		t.Errorf("JSON report = %+v", rep)
+	}
+	hit := false
+	for _, a := range rep.Anomalies {
+		if a.End >= 400 && a.Start <= 545 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("no anomaly near the planted region: %+v", rep.Anomalies)
+	}
+}
+
 // TestValidateFlags checks the up-front flag validation: every
 // nonsensical combination fails fast with a message naming the flag,
 // and sensible combinations pass.
@@ -165,30 +216,32 @@ func TestValidateFlags(t *testing.T) {
 		name                          string
 		window, paa, alphabet         int
 		mode                          string
-		k, threshold, minLen, detrend int
+		k, members, threshold, minLen, detrend int
 		timeout                       time.Duration
 		frag                          string // "" = must pass
 	}{
-		{"defaults ok", 120, 4, 4, "rra", 3, -1, 0, 0, 0, ""},
-		{"auto window ok", 0, 4, 4, "density", 3, -1, 0, 0, 0, ""},
-		{"negative k", 120, 4, 4, "rra", -2, -1, 0, 0, 0, "-k must be"},
-		{"zero k", 120, 4, 4, "rra", 0, -1, 0, 0, 0, "-k must be"},
-		{"window below paa", 3, 4, 4, "rra", 3, -1, 0, 0, 0, "-paa (4) must not exceed -window (3)"},
-		{"negative window", -5, 4, 4, "rra", 3, -1, 0, 0, 0, "-window must be"},
-		{"zero paa", 120, 0, 4, "rra", 3, -1, 0, 0, 0, "-paa must be"},
-		{"alphabet too small", 120, 4, 1, "rra", 3, -1, 0, 0, 0, "-alphabet must be"},
-		{"alphabet too large", 120, 4, 27, "rra", 3, -1, 0, 0, 0, "-alphabet must be"},
-		{"unknown mode", 120, 4, 4, "psychic", 3, -1, 0, 0, 0, "unknown -mode"},
-		{"hotsax needs window", 0, 4, 4, "hotsax", 3, -1, 0, 0, 0, "explicit -window"},
-		{"brute needs window", 0, 4, 4, "brute", 3, -1, 0, 0, 0, "explicit -window"},
-		{"bad threshold", 120, 4, 4, "density", 3, -2, 0, 0, 0, "-threshold must be"},
-		{"negative minlen", 120, 4, 4, "density", 3, -1, -1, 0, 0, "-minlen must be"},
-		{"negative detrend", 120, 4, 4, "rra", 3, -1, 0, -3, 0, "-detrend must be"},
-		{"negative timeout", 120, 4, 4, "rra", 3, -1, 0, 0, -time.Second, "-timeout must be"},
+		{"defaults ok", 120, 4, 4, "rra", 3, 0, -1, 0, 0, 0, ""},
+		{"auto window ok", 0, 4, 4, "density", 3, 0, -1, 0, 0, 0, ""},
+		{"negative k", 120, 4, 4, "rra", -2, 0, -1, 0, 0, 0, "-k must be"},
+		{"zero k", 120, 4, 4, "rra", 0, 0, -1, 0, 0, 0, "-k must be"},
+		{"window below paa", 3, 4, 4, "rra", 3, 0, -1, 0, 0, 0, "-paa (4) must not exceed -window (3)"},
+		{"negative window", -5, 4, 4, "rra", 3, 0, -1, 0, 0, 0, "-window must be"},
+		{"zero paa", 120, 0, 4, "rra", 3, 0, -1, 0, 0, 0, "-paa must be"},
+		{"alphabet too small", 120, 4, 1, "rra", 3, 0, -1, 0, 0, 0, "-alphabet must be"},
+		{"alphabet too large", 120, 4, 27, "rra", 3, 0, -1, 0, 0, 0, "-alphabet must be"},
+		{"unknown mode", 120, 4, 4, "psychic", 3, 0, -1, 0, 0, 0, "unknown -mode"},
+		{"hotsax needs window", 0, 4, 4, "hotsax", 3, 0, -1, 0, 0, 0, "explicit -window"},
+		{"brute needs window", 0, 4, 4, "brute", 3, 0, -1, 0, 0, 0, "explicit -window"},
+		{"bad threshold", 120, 4, 4, "density", 3, 0, -2, 0, 0, 0, "-threshold must be"},
+		{"negative minlen", 120, 4, 4, "density", 3, 0, -1, -1, 0, 0, "-minlen must be"},
+		{"negative detrend", 120, 4, 4, "rra", 3, 0, -1, 0, -3, 0, "-detrend must be"},
+		{"negative timeout", 120, 4, 4, "rra", 3, 0, -1, 0, 0, -time.Second, "-timeout must be"},
+		{"ensemble ok without window", 0, 4, 4, "ensemble", 3, 0, -1, 0, 0, 0, ""},
+		{"negative members", 120, 4, 4, "ensemble", 3, -2, -1, 0, 0, 0, "-members must be"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.window, tc.paa, tc.alphabet, tc.mode, tc.k, tc.threshold, tc.minLen, tc.detrend, tc.timeout)
+			err := validateFlags(tc.window, tc.paa, tc.alphabet, tc.mode, tc.k, tc.members, tc.threshold, tc.minLen, tc.detrend, tc.timeout)
 			if tc.frag == "" {
 				if err != nil {
 					t.Fatalf("valid flags rejected: %v", err)

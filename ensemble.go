@@ -1,0 +1,162 @@
+package grammarviz
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"grammarviz/internal/ensemble"
+)
+
+// ErrNoEnsembleMembers is the typed failure of an ensemble run in which
+// not one member parameterization produced a usable density curve (e.g.
+// the series is too short for every sampled window). Match with
+// errors.Is; the caller never receives a silently zero score curve.
+var ErrNoEnsembleMembers = ensemble.ErrNoValidMembers
+
+// DefaultEnsembleMembers is the sampled member count EnsembleDensity uses
+// when EnsembleOptions.Members is zero or negative. Exposed so serving
+// layers can cost-model the default request without guessing.
+const DefaultEnsembleMembers = ensemble.DefaultMembers
+
+// EnsembleOptions configures the parameter-free ensemble detector. The
+// zero value is fully usable — that is the point: no window, PAA, or
+// alphabet to tune.
+type EnsembleOptions struct {
+	// Members is the number of sampled parameterizations; <= 0 selects
+	// the default (20).
+	Members int
+	// Seed drives the parameter sampler. Equal (series, Members, Seed)
+	// means byte-identical results, whatever Workers is.
+	Seed int64
+	// Workers bounds the parallel member inductions: 0 selects all
+	// cores, 1 forces serial. Results are byte-identical for every value.
+	Workers int
+}
+
+// EnsembleMember reports one sampled parameterization and whether it
+// contributed to the fused score.
+type EnsembleMember struct {
+	Window   int  `json:"window"`
+	PAA      int  `json:"paa"`
+	Alphabet int  `json:"alphabet"`
+	Used     bool `json:"used"`
+}
+
+// EnsembleResult is a fused ensemble analysis: the parameter-free anomaly
+// score curve plus per-point member agreement.
+type EnsembleResult struct {
+	// Score has one value per series point in [0, 1]; low means the
+	// point stays poorly covered by grammar rules across the sampled
+	// discretizations — anomalous without any parameter choice.
+	Score []float64 `json:"scores"`
+	// Agreement is the fraction of used members voting each point
+	// anomalous (member density below 0.2 of its own mean). High
+	// agreement separates "every discretization flags this" from "a few
+	// outlier members dragged the mean down".
+	Agreement []float64 `json:"agreement"`
+	// Members lists the sampled parameterizations in sampler order.
+	Members []EnsembleMember `json:"members"`
+	// Used counts members that contributed a usable curve.
+	Used int `json:"members_used"`
+
+	maxWindow int
+}
+
+// Anomalies thresholds the fused score curve: maximal intervals whose
+// score stays within fraction of the way from the curve's minimum up to
+// its mean (0.3 is a reasonable default), excluding one
+// largest-member-window margin at each series edge. The anchoring at the
+// observed minimum keeps the fraction meaningful on fused curves, whose
+// floor sits well above zero. Intervals are returned in series order; the
+// global minimum's interval is always among them.
+func (r *EnsembleResult) Anomalies(fraction float64) []Interval {
+	inner := &ensemble.Result{Score: r.Score, MaxWindow: r.maxWindow}
+	raw := inner.Minima(fraction)
+	out := make([]Interval, len(raw))
+	for i, iv := range raw {
+		out[i] = Interval{Start: iv.Start, End: iv.End}
+	}
+	return out
+}
+
+// EnsembleDensity runs the parameter-free ensemble detector (after Gao &
+// Lin, "Ensemble Grammar Induction For Detecting Anomalies in Time
+// Series"): opts.Members SAX parameterizations are sampled from the seed,
+// deduplicated, and validated against the series; each valid member runs
+// the full discretize→induce→density pipeline on pooled workspaces, in
+// parallel; each member curve is normalized to [0, 1] by its own maximum;
+// and the normalized curves are averaged into one anomaly score with
+// per-point member agreement. Members that cannot analyze the series are
+// skipped; if none can, the error wraps ErrNoEnsembleMembers.
+func EnsembleDensity(ts []float64, opts EnsembleOptions) (*EnsembleResult, error) {
+	return EnsembleDensityCtx(context.Background(), ts, opts)
+}
+
+// EnsembleDensityCtx is EnsembleDensity with cooperative cancellation and
+// panic containment: member pipelines poll ctx at bounded strides, a
+// cancelled or expired context aborts the remaining members with a
+// ctx.Err()-wrapped error, and a panic on any member goroutine surfaces
+// as an error instead of crashing. With a never-cancelled context the
+// result is byte-identical to EnsembleDensity for every worker count.
+func EnsembleDensityCtx(ctx context.Context, ts []float64, opts EnsembleOptions) (*EnsembleResult, error) {
+	res, err := ensemble.Induce(ctx, ts, ensemble.Config{
+		Members: opts.Members,
+		Seed:    opts.Seed,
+		Workers: opts.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("grammarviz: %w", err)
+	}
+	out := &EnsembleResult{
+		Score:     res.Score,
+		Agreement: res.Agreement,
+		Members:   make([]EnsembleMember, len(res.Members)),
+		Used:      res.Used,
+		maxWindow: res.MaxWindow,
+	}
+	for i, m := range res.Members {
+		out.Members[i] = EnsembleMember{
+			Window: m.Params.Window, PAA: m.Params.PAA, Alphabet: m.Params.Alphabet,
+			Used: m.Used,
+		}
+	}
+	return out, nil
+}
+
+// EnsembleFingerprint returns a stable, collision-resistant key
+// identifying the analysis an (series, options) pair produces under
+// EnsembleDensity: a SHA-256 over the raw IEEE-754 bits of every sample
+// plus the options that influence the member set — Members (with the
+// default applied) and Seed. Workers is deliberately excluded: it changes
+// only wall-clock time, never results. Equal fingerprints yield
+// byte-identical EnsembleResults, which makes the key safe for caching
+// (gvad's ensemble cache and request coalescing are the intended
+// consumers). The leading tag byte keeps ensemble keys disjoint from
+// detector Fingerprints even for identical series.
+func EnsembleFingerprint(ts []float64, opts EnsembleOptions) string {
+	members := opts.Members
+	if members <= 0 {
+		members = ensemble.DefaultMembers
+	}
+	h := sha256.New()
+	hdr := [1 + 8*2]byte{'E'}
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(members))
+	binary.LittleEndian.PutUint64(hdr[9:], uint64(opts.Seed))
+	h.Write(hdr[:])
+	var buf [8 * 512]byte
+	fill := 0
+	for _, v := range ts {
+		binary.LittleEndian.PutUint64(buf[8*fill:], math.Float64bits(v))
+		fill++
+		if fill == 512 {
+			h.Write(buf[:])
+			fill = 0
+		}
+	}
+	h.Write(buf[:8*fill])
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,91 @@
+package grammarviz
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestEnsembleDensityAPI(t *testing.T) {
+	ts := testSeries(3000, 100, 1500, 120, 21)
+	res, err := EnsembleDensity(ts, EnsembleOptions{})
+	if err != nil {
+		t.Fatalf("EnsembleDensity: %v", err)
+	}
+	if len(res.Score) != len(ts) || len(res.Agreement) != len(ts) {
+		t.Fatalf("curve lengths %d/%d, want %d", len(res.Score), len(res.Agreement), len(ts))
+	}
+	if res.Used == 0 || res.Used > len(res.Members) {
+		t.Fatalf("Used = %d of %d members", res.Used, len(res.Members))
+	}
+
+	// Ctx variant with a live context is byte-identical, for any workers.
+	ctxRes, err := EnsembleDensityCtx(context.Background(), ts, EnsembleOptions{Workers: 3})
+	if err != nil {
+		t.Fatalf("EnsembleDensityCtx: %v", err)
+	}
+	if !reflect.DeepEqual(ctxRes, res) {
+		t.Error("EnsembleDensityCtx result differs from EnsembleDensity")
+	}
+
+	// The planted anomaly is found by thresholding the fused curve.
+	anomalies := res.Anomalies(0.3)
+	if len(anomalies) == 0 {
+		t.Fatal("Anomalies(0.3) found nothing")
+	}
+	hit := false
+	for _, iv := range anomalies {
+		if iv.End >= 1400 && iv.Start <= 1620 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("no anomaly interval near the planted region [1500, 1620): %v", anomalies)
+	}
+
+	// Degenerate input surfaces the typed error.
+	if _, err := EnsembleDensity([]float64{1, 2}, EnsembleOptions{}); !errors.Is(err, ErrNoEnsembleMembers) {
+		t.Errorf("tiny series err = %v, want ErrNoEnsembleMembers", err)
+	}
+
+	// Cancelled context aborts.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EnsembleDensityCtx(ctx, ts, EnsembleOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ctx err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEnsembleFingerprint(t *testing.T) {
+	a := testSeries(1000, 50, 500, 50, 1)
+	b := testSeries(1000, 50, 500, 50, 2)
+
+	base := EnsembleFingerprint(a, EnsembleOptions{})
+	if base != EnsembleFingerprint(a, EnsembleOptions{}) {
+		t.Error("fingerprint not stable across calls")
+	}
+	// Workers must not influence the key; the member default must.
+	if EnsembleFingerprint(a, EnsembleOptions{Workers: 7}) != base {
+		t.Error("Workers changed the fingerprint")
+	}
+	if EnsembleFingerprint(a, EnsembleOptions{Members: 20}) != base {
+		t.Error("explicit default member count produced a different key than the implicit default")
+	}
+	distinct := map[string]bool{base: true}
+	for _, opts := range []EnsembleOptions{{Members: 8}, {Seed: 5}, {Members: 8, Seed: 5}} {
+		fp := EnsembleFingerprint(a, opts)
+		if distinct[fp] {
+			t.Errorf("options %+v collided with a previous fingerprint", opts)
+		}
+		distinct[fp] = true
+	}
+	if EnsembleFingerprint(b, EnsembleOptions{}) == base {
+		t.Error("different series produced the same fingerprint")
+	}
+	// Ensemble keys must stay disjoint from detector fingerprints on the
+	// same series: both feed the same serving cache.
+	if Fingerprint(a, Options{}) == base {
+		t.Error("ensemble fingerprint collides with the detector fingerprint")
+	}
+}

@@ -175,8 +175,13 @@ func (p *Pipeline) Discords(k int) (discord.Result, error) {
 // fully completed top-k rounds with Partial set, plus a ctx.Err()-wrapped
 // error; callers that prefer a usable degraded answer over an error should
 // use DiscordsBestEffort.
+//
+// The search runs with the coded MINDIST pre-filter: candidate word codes
+// lower-bound the distance and skip kernel calls that could not change
+// the result. Discords are byte-identical to the unfiltered search; only
+// DistCalls drops (Result.Pruned counts the skips).
 func (p *Pipeline) DiscordsCtx(ctx context.Context, k int) (discord.Result, error) {
-	return discord.RRAParallelStatsCtx(ctx, p.Stats(), p.Rules, k, p.Config.Seed, p.Config.Workers)
+	return discord.RRAParallelStatsCodedCtx(ctx, p.Stats(), p.Rules, k, p.Config.Seed, p.Config.Workers, p.Config.Params)
 }
 
 // DiscordsBestEffort is the degradation ladder for deadline-bound callers.

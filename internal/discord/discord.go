@@ -36,6 +36,12 @@ type Result struct {
 	Discords  []Discord // ranked best-first
 	DistCalls int64     // total distance-kernel invocations
 
+	// Pruned counts the comparisons the coded search entry points skipped
+	// via the MINDIST lower bound over packed SAX word codes before they
+	// reached the distance kernel (see codeprune.go). Always 0 for the
+	// uncoded entry points; pruned comparisons are not part of DistCalls.
+	Pruned int64
+
 	// Partial is true when a cancelled or expired context cut the search
 	// short: Discords holds the best-so-far answer from the fully
 	// completed top-k rounds (each one an exact discord of the remaining

@@ -73,6 +73,14 @@ type engine struct {
 	st    *Stats
 	calls int64
 
+	// prune, when non-nil, is the MINDIST code pre-filter (see
+	// codeprune.go): inner loops consult it before paying for a kernel
+	// call, and pruned counts the comparisons it skipped. Skipped
+	// comparisons do not increment calls — the point of the filter is to
+	// lower the Table 1 metric.
+	prune  *codePruner
+	pruned int64
+
 	ctx   context.Context // nil when the context can never be cancelled
 	err   error           // sticky ctx error once observed
 	polls int             // countdown to the next ctx poll
@@ -168,3 +176,7 @@ func (e *engine) dist(p, q, length int, cutoff float64) float64 {
 
 // Calls returns the number of distance-kernel invocations so far.
 func (e *engine) Calls() int64 { return e.calls }
+
+// Pruned returns the number of comparisons the MINDIST code pre-filter
+// skipped before they reached the kernel.
+func (e *engine) Pruned() int64 { return e.pruned }

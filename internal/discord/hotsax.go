@@ -39,6 +39,18 @@ func HOTSAXStatsCtx(ctx context.Context, st *Stats, p sax.Params, k int, seed in
 	return hotsaxSearch(ctx, st, p, k, seed, Tuning{})
 }
 
+// HOTSAXStatsCodedCtx is HOTSAXStatsCtx with the coded MINDIST pre-filter
+// enabled (see codeprune.go): the search reuses the packed word codes its
+// own discretization already produced, and inner-loop comparisons whose
+// MINDIST lower bound already exceeds the pruning cutoff skip the distance
+// kernel. Discords are byte-identical to HOTSAXStatsCtx; DistCalls only
+// drops (skipped comparisons are counted in Result.Pruned). When the word
+// shape does not pack into a uint64 or p uses a non-default norm
+// threshold, the search silently runs unfiltered.
+func HOTSAXStatsCodedCtx(ctx context.Context, st *Stats, p sax.Params, k int, seed int64) (Result, error) {
+	return hotsaxSearch(ctx, st, p, k, seed, Tuning{CodePrune: true})
+}
+
 func hotsaxSearch(ctx context.Context, st *Stats, p sax.Params, k int, seed int64, tuning Tuning) (Result, error) {
 	ts := st.ts
 	if err := p.Validate(len(ts)); err != nil {
@@ -72,6 +84,9 @@ func hotsaxSearch(ctx context.Context, st *Stats, p sax.Params, k int, seed int6
 	inner := rng.Perm(len(words))
 
 	e := st.viewCtx(ctx)
+	if tuning.CodePrune {
+		e.prune = newFixedPruner(d)
+	}
 	var res Result
 	for found := 0; found < k; found++ {
 		best := Discord{Dist: -1, RuleID: -1, NNStart: -1}
@@ -94,6 +109,7 @@ func hotsaxSearch(ctx context.Context, st *Stats, p sax.Params, k int, seed int6
 		}
 		if err := e.cancelCause(); err != nil {
 			res.DistCalls = e.Calls()
+			res.Pruned = e.Pruned()
 			res.Partial = true
 			return res, fmt.Errorf("discord: hotsax cancelled after %d of %d discords: %w", len(res.Discords), k, err)
 		}
@@ -103,6 +119,7 @@ func hotsaxSearch(ctx context.Context, st *Stats, p sax.Params, k int, seed int6
 		res.Discords = append(res.Discords, best)
 	}
 	res.DistCalls = e.Calls()
+	res.Pruned = e.Pruned()
 	if len(res.Discords) == 0 {
 		return res, ErrNoCandidates
 	}
@@ -126,6 +143,12 @@ func (e *engine) nearestNeighbor(cand, window int, sameWord, inner []int, bestSo
 		cutoff := nn
 		if bestSoFar > cutoff {
 			cutoff = bestSoFar
+		}
+		// MINDIST pre-filter: a lower bound above the cutoff proves the
+		// kernel call could neither update nn nor abandon the candidate.
+		if e.prune != nil && e.prune.skip(cand, q, window, cutoff) {
+			e.pruned++
+			return true
 		}
 		d := e.dist(cand, q, window, cutoff)
 		if d < bestSoFar {

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"grammarviz/internal/grammar"
+	"grammarviz/internal/sax"
 	"grammarviz/internal/timeseries"
 )
 
@@ -80,7 +81,20 @@ func RRAStatsCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, k int, see
 }
 
 func rraSearch(ctx context.Context, st *Stats, cands []Candidate, k int, seed int64) (Result, error) {
-	return rraSearchTuned(ctx, st, cands, k, seed, Tuning{})
+	return rraSearchPruned(ctx, st, cands, k, seed, Tuning{}, nil)
+}
+
+// RRAStatsCodedCtx is RRAStatsCtx with the coded MINDIST pre-filter
+// enabled (see codeprune.go): every candidate interval is packed into a
+// SAX word code of p's shape, and inner-loop comparisons whose MINDIST
+// lower bound already exceeds the pruning cutoff skip the distance kernel.
+// Discords are byte-identical to RRAStatsCtx; DistCalls only drops (the
+// skipped comparisons are counted in Result.Pruned). When p cannot drive
+// the filter (word does not pack, non-default norm threshold) the search
+// silently runs unfiltered.
+func RRAStatsCodedCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, k int, seed int64, p sax.Params) (Result, error) {
+	cands := Candidates(rs)
+	return rraSearchPruned(ctx, st, cands, k, seed, Tuning{}, newCandidatePruner(st.ts, cands, p))
 }
 
 // rraOrders bundles the seeded heuristic orderings shared by the serial
@@ -109,9 +123,14 @@ func newRRAOrders(cands []Candidate, seed int64, tuning Tuning) rraOrders {
 }
 
 func rraSearchTuned(ctx context.Context, st *Stats, cands []Candidate, k int, seed int64, tuning Tuning) (Result, error) {
+	return rraSearchPruned(ctx, st, cands, k, seed, tuning, nil)
+}
+
+func rraSearchPruned(ctx context.Context, st *Stats, cands []Candidate, k int, seed int64, tuning Tuning, cp *codePruner) (Result, error) {
 	ord := newRRAOrders(cands, seed, tuning)
 	m := len(st.ts)
 	e := st.viewCtx(ctx)
+	e.prune = cp
 	var res Result
 	for found := 0; found < k; found++ {
 		best := Discord{Dist: -1, RuleID: -1, NNStart: -1}
@@ -133,6 +152,7 @@ func rraSearchTuned(ctx context.Context, st *Stats, cands []Candidate, k int, se
 			// against the full outer order, so only the completed rounds'
 			// discords are reported.
 			res.DistCalls = e.Calls()
+			res.Pruned = e.Pruned()
 			res.Partial = true
 			return res, fmt.Errorf("discord: rra cancelled after %d of %d discords: %w", len(res.Discords), k, err)
 		}
@@ -142,6 +162,7 @@ func rraSearchTuned(ctx context.Context, st *Stats, cands []Candidate, k int, se
 		res.Discords = append(res.Discords, best)
 	}
 	res.DistCalls = e.Calls()
+	res.Pruned = e.Pruned()
 	if len(res.Discords) == 0 {
 		return res, ErrNoCandidates
 	}
@@ -194,6 +215,13 @@ func (e *engine) rraNearest(c Candidate, ci int, cands []Candidate, sameRule, in
 		cutoff := nn
 		if bestSoFar > cutoff {
 			cutoff = bestSoFar
+		}
+		// MINDIST pre-filter: when the lower bound between the two packed
+		// word codes already exceeds the raw-scale cutoff, the kernel call
+		// can only confirm "neither an nn update nor an abandon" — skip it.
+		if e.prune != nil && e.prune.skip(ci, qi, length, cutoff*scale) {
+			e.pruned++
+			return true
 		}
 		d := e.dist(c.IV.Start, q, length, cutoff*scale) / scale
 		if d < bestSoFar {

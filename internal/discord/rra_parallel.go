@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"grammarviz/internal/grammar"
+	"grammarviz/internal/sax"
 	"grammarviz/internal/worker"
 )
 
@@ -79,7 +80,24 @@ func RRAParallelStats(st *Stats, rs *grammar.RuleSet, k int, seed int64, workers
 // context. With a never-cancelled context the discords are byte-identical
 // to the serial search for every worker count.
 func RRAParallelStatsCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, k int, seed int64, workers int) (Result, error) {
+	return rraParallel(ctx, st, Candidates(rs), k, seed, workers, nil)
+}
+
+// RRAParallelStatsCodedCtx is RRAParallelStatsCtx with the coded MINDIST
+// pre-filter enabled (see codeprune.go): each candidate interval is packed
+// once into a SAX word code of p's shape, and every worker's inner loop
+// skips comparisons whose MINDIST lower bound already exceeds the pruning
+// cutoff. Discords stay byte-identical to the unfiltered search for every
+// worker count; DistCalls only drops, with the skipped comparisons counted
+// in Result.Pruned. When p cannot drive the filter (word does not pack
+// into a uint64, non-default norm threshold) the search silently runs
+// unfiltered.
+func RRAParallelStatsCodedCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, k int, seed int64, workers int, p sax.Params) (Result, error) {
 	cands := Candidates(rs)
+	return rraParallel(ctx, st, cands, k, seed, workers, newCandidatePruner(st.ts, cands, p))
+}
+
+func rraParallel(ctx context.Context, st *Stats, cands []Candidate, k int, seed int64, workers int, cp *codePruner) (Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -88,7 +106,7 @@ func RRAParallelStatsCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, k 
 	}
 	if workers <= 1 {
 		// The serial path: deterministic DistCalls as well as results.
-		return rraSearch(ctx, st, cands, k, seed)
+		return rraSearchPruned(ctx, st, cands, k, seed, Tuning{}, cp)
 	}
 
 	ord := newRRAOrders(cands, seed, Tuning{})
@@ -98,7 +116,7 @@ func RRAParallelStatsCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, k 
 		nnStart int
 	}
 	results := make([]candResult, len(ord.outer))
-	var totalCalls int64
+	var totalCalls, totalPruned int64
 	var res Result
 	for found := 0; found < k; found++ {
 		cutoff := newAtomicMax(-1)
@@ -110,7 +128,11 @@ func RRAParallelStatsCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, k 
 					testHookRRAStripe(w)
 				}
 				e := st.viewCtx(gctx)
-				defer func() { atomic.AddInt64(&totalCalls, e.Calls()) }()
+				e.prune = cp
+				defer func() {
+					atomic.AddInt64(&totalCalls, e.Calls())
+					atomic.AddInt64(&totalPruned, e.Pruned())
+				}()
 				for pos := w; pos < len(ord.outer); pos += workers {
 					if e.cancelled() {
 						return e.cancelCause()
@@ -135,6 +157,7 @@ func RRAParallelStatsCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, k 
 		}
 		if err := g.Wait(); err != nil {
 			res.DistCalls = totalCalls
+			res.Pruned = totalPruned
 			res.Partial = true
 			return res, fmt.Errorf("discord: rra parallel aborted after %d of %d discords: %w", len(res.Discords), k, err)
 		}
@@ -155,6 +178,7 @@ func RRAParallelStatsCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, k 
 		res.Discords = append(res.Discords, best)
 	}
 	res.DistCalls = totalCalls
+	res.Pruned = totalPruned
 	if len(res.Discords) == 0 {
 		return res, ErrNoCandidates
 	}

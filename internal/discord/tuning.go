@@ -19,6 +19,12 @@ type Tuning struct {
 	// NoSameGroupFirst skips the inner loop's same-rule (RRA) or
 	// same-word (HOTSAX) first phase.
 	NoSameGroupFirst bool
+	// CodePrune enables the coded MINDIST pre-filter (see codeprune.go) in
+	// the HOTSAX inner loop. Unlike the other switches it never changes
+	// which discords are found — only how many kernel calls it takes — so
+	// it is an optimization toggle rather than an ablation, surfaced here
+	// so benchmarks can measure both sides.
+	CodePrune bool
 }
 
 // RRATuned is RRA with ablation switches.

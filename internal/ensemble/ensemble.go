@@ -1,0 +1,292 @@
+// Package ensemble implements parameter-free anomaly detection by
+// ensemble grammar induction, after "Ensemble Grammar Induction For
+// Detecting Anomalies in Time Series" (Gao & Lin, arXiv:2001.11102): the
+// paper's pipeline is sensitive to the (window, PAA, alphabet) triple — a
+// bad pick silently hides anomalies — so instead of asking the caller to
+// pick one, the ensemble samples many parameterizations, induces a
+// grammar per member, normalizes each member's rule-density curve, and
+// fuses the curves into a single anomaly score with per-point
+// member-agreement statistics. A region that stays incompressible across
+// most sampled discretizations scores low everywhere, whatever single
+// triple a hand-tuner would have chosen.
+package ensemble
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"grammarviz/internal/core"
+	"grammarviz/internal/sax"
+	"grammarviz/internal/timeseries"
+	"grammarviz/internal/worker"
+	"grammarviz/internal/workspace"
+)
+
+// DefaultMembers is the sampled ensemble size when the caller does not
+// choose one. Twenty members covers the window/paa/alphabet space densely
+// enough that every planted anomaly in the repo's dataset suite is ranked
+// top-1 (see the validation test), while staying cheap: each member is
+// one pooled, coded induction.
+const DefaultMembers = 20
+
+// AgreementFraction is the per-member anomaly vote: a member votes a
+// point anomalous when its density there is below this fraction of the
+// member's own mean density — the same threshold shape MultiscaleMinima
+// applies to fused curves.
+const AgreementFraction = 0.2
+
+// ErrNoValidMembers is returned when not one ensemble member produced a
+// usable density curve — every sampled or given parameterization was
+// invalid for the series (or its grammar never covered a point). Callers
+// get this typed error, never a silently zero score curve.
+var ErrNoValidMembers = errors.New("ensemble: no member produced a usable density curve")
+
+// Config selects how the ensemble is built.
+type Config struct {
+	// Members is the number of sampled parameterizations (<= 0 selects
+	// DefaultMembers). Ignored by InduceParams, which takes explicit
+	// members.
+	Members int
+	// Seed drives the parameter sampler. Same (series length, Members,
+	// Seed) means the same member set, which is what makes ensemble
+	// results cacheable by fingerprint.
+	Seed int64
+	// Reduction is the numerosity reduction every member uses (default
+	// ReductionExact, the paper's strategy).
+	Reduction sax.Reduction
+	// Workers bounds the member fan-out: 0 selects GOMAXPROCS, 1 forces
+	// serial induction. The fused result is byte-identical for every
+	// value — members are combined in member order, not completion order.
+	Workers int
+}
+
+// Member is one ensemble parameterization and whether it contributed a
+// usable curve to the fusion.
+type Member struct {
+	Params sax.Params
+	Used   bool
+}
+
+// Result is a fused ensemble analysis.
+type Result struct {
+	// Score is the fused anomaly score curve: one value per series point
+	// in [0, 1], the mean of the used members' max-normalized rule-density
+	// curves. Low means anomalous (poorly covered by grammar rules across
+	// parameterizations).
+	Score []float64
+	// Agreement is the per-point fraction of used members voting the
+	// point anomalous (density below AgreementFraction of the member's
+	// mean). 1 means every member flags the point, whatever its
+	// discretization; values near 0 mean the low score comes from a few
+	// outlier members.
+	Agreement []float64
+	// Members lists every parameterization the ensemble attempted, in
+	// sampler order, with Used set on contributors.
+	Members []Member
+	// Used counts the members that contributed a curve.
+	Used int
+	// MaxWindow is the largest window among used members — the edge
+	// margin a minima scan over Score should exclude.
+	MaxWindow int
+}
+
+// Induce samples cfg.Members parameterizations for ts and fuses their
+// density curves. See InduceParams for the engine's contract.
+func Induce(ctx context.Context, ts []float64, cfg Config) (*Result, error) {
+	members := cfg.Members
+	if members <= 0 {
+		members = DefaultMembers
+	}
+	return InduceParams(ctx, ts, Sample(len(ts), members, cfg.Seed), cfg.Reduction, cfg.Workers)
+}
+
+// InduceParams runs one grammar induction per member parameterization and
+// fuses the normalized density curves. Members run fanned out over a
+// worker.Group (panic-contained, ctx polled at bounded strides inside
+// each member's discretization and induction); each member checks a
+// pooled workspace out of internal/workspace for the duration of its
+// induction, so a warm ensemble re-analysis allocates no induction
+// scratch. Invalid or unusable members are skipped, exactly as the
+// multiscale detector skips unusable windows; only a context error aborts
+// the run. When no member contributes, the typed ErrNoValidMembers is
+// returned.
+//
+// Fusion is deterministic: each used member's curve is normalized to
+// [0, 1] by its own maximum and the normalized curves are averaged in
+// member order, so the result is byte-identical for every worker count —
+// and, for a single member, byte-identical to the multiscale detector's
+// normalized single-window curve.
+func InduceParams(ctx context.Context, ts []float64, params []sax.Params, red sax.Reduction, workers int) (*Result, error) {
+	if len(params) == 0 {
+		return nil, ErrNoValidMembers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(params) {
+		workers = len(params)
+	}
+	// A lone member may parallelize inside its own pipeline; concurrent
+	// members run serial inside so the fan-out does not oversubscribe.
+	inner := 1
+	if workers == 1 {
+		inner = 0
+	}
+
+	curves := make([][]int, len(params)) // nil = member unusable
+	run := func(ctx context.Context, mi int) error {
+		p := params[mi]
+		if p.Validate(len(ts)) != nil {
+			return nil
+		}
+		ws := workspace.Get()
+		defer workspace.Put(ws)
+		pipe, err := core.AnalyzeCtxWS(ctx, ts, core.Config{Params: p, Reduction: red, Workers: inner}, ws)
+		if err != nil {
+			// A context error must stop the ensemble; any other failure
+			// just means this member contributes nothing.
+			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+				return err
+			}
+			return nil
+		}
+		curves[mi] = pipe.Density
+		return nil
+	}
+	if workers <= 1 {
+		for mi := range params {
+			if err := run(ctx, mi); err != nil {
+				return nil, fmt.Errorf("ensemble: cancelled: %w", err)
+			}
+		}
+	} else {
+		g, gctx := worker.WithContext(ctx)
+		for w := 0; w < workers; w++ {
+			w := w
+			g.Go(func() error {
+				for mi := w; mi < len(params); mi += workers {
+					if err := run(gctx, mi); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		if err := g.Wait(); err != nil {
+			return nil, fmt.Errorf("ensemble: aborted: %w", err)
+		}
+	}
+	res := fuse(ts, params, curves)
+	if res == nil {
+		return nil, ErrNoValidMembers
+	}
+	return res, nil
+}
+
+// fuse combines the member curves into the Result. It mirrors the
+// multiscale detector's float operations exactly (normalize by the
+// curve's own maximum via one reciprocal, accumulate in member order,
+// scale by the reciprocal member count) so a one-member ensemble
+// byte-equals the single-window multiscale curve.
+func fuse(ts []float64, params []sax.Params, curves [][]int) *Result {
+	res := &Result{
+		Score:     make([]float64, len(ts)),
+		Agreement: make([]float64, len(ts)),
+		Members:   make([]Member, len(params)),
+	}
+	for mi, density := range curves {
+		res.Members[mi] = Member{Params: params[mi]}
+		if density == nil {
+			continue
+		}
+		max := 0
+		sum := 0
+		for _, v := range density {
+			if v > max {
+				max = v
+			}
+			sum += v
+		}
+		if max == 0 {
+			continue
+		}
+		inv := 1 / float64(max)
+		for i, v := range density {
+			res.Score[i] += float64(v) * inv
+		}
+		// The member's anomaly vote: density below AgreementFraction of
+		// its own mean. Computed on the raw curve — the threshold is
+		// scale-free, so normalization cancels out.
+		voteAt := AgreementFraction * float64(sum) / float64(len(density))
+		for i, v := range density {
+			if float64(v) <= voteAt {
+				res.Agreement[i]++
+			}
+		}
+		res.Members[mi].Used = true
+		res.Used++
+		if params[mi].Window > res.MaxWindow {
+			res.MaxWindow = params[mi].Window
+		}
+	}
+	if res.Used == 0 {
+		return nil
+	}
+	inv := 1 / float64(res.Used)
+	for i := range res.Score {
+		res.Score[i] *= inv
+		res.Agreement[i] *= inv
+	}
+	return res
+}
+
+// Minima reports the maximal intervals where the fused score stays within
+// fraction of the way from the curve's minimum up to its mean (both taken
+// over the inner region), excluding MaxWindow-derived edge margins. A
+// single-window curve's anomalies drop near zero, but averaging many
+// scales raises the fused curve's floor — every member scores *some*
+// density almost everywhere — so the threshold is anchored at the observed
+// minimum rather than at a bare fraction of the mean: fraction 0.3 keeps
+// meaning "well below typical" whatever the floor is. The interval
+// containing the global minimum is always reported.
+func (r *Result) Minima(fraction float64) []timeseries.Interval {
+	margin := r.MaxWindow - 1
+	if margin < 0 {
+		margin = 0
+	}
+	if 2*margin >= len(r.Score) {
+		margin = 0
+	}
+	inner := r.Score[margin : len(r.Score)-margin]
+	if len(inner) == 0 {
+		return nil
+	}
+	min := inner[0]
+	var sum float64
+	for _, v := range inner {
+		if v < min {
+			min = v
+		}
+		sum += v
+	}
+	mean := sum / float64(len(inner))
+	threshold := min + fraction*(mean-min)
+
+	var out []timeseries.Interval
+	start := -1
+	for i, v := range inner {
+		switch {
+		case v <= threshold && start < 0:
+			start = i
+		case v > threshold && start >= 0:
+			out = append(out, timeseries.Interval{Start: start + margin, End: i - 1 + margin})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, timeseries.Interval{Start: start + margin, End: len(inner) - 1 + margin})
+	}
+	return out
+}

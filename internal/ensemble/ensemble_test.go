@@ -1,0 +1,237 @@
+package ensemble
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"grammarviz/internal/core"
+	"grammarviz/internal/sax"
+	"grammarviz/internal/sequitur"
+	"grammarviz/internal/workspace"
+)
+
+// sineWithAnomaly builds a noisy sine with one flattened region — the
+// planted-anomaly shape the repo's detectors are tested on.
+func sineWithAnomaly(n, period, at, width int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + rng.NormFloat64()*0.05
+	}
+	for i := at; i < at+width && i < n; i++ {
+		ts[i] = rng.NormFloat64() * 0.05
+	}
+	return ts
+}
+
+func TestSampleDeterministicAndValid(t *testing.T) {
+	const n, members = 5000, 24
+	a := Sample(n, members, 7)
+	b := Sample(n, members, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Sample is not deterministic for equal (n, members, seed)")
+	}
+	if len(a) != members {
+		t.Fatalf("Sample returned %d members, want %d (n=%d admits plenty)", len(a), members, n)
+	}
+	seen := make(map[sax.Params]bool)
+	for _, p := range a {
+		if seen[p] {
+			t.Errorf("duplicate parameterization %v", p)
+		}
+		seen[p] = true
+		if err := p.Validate(n); err != nil {
+			t.Errorf("invalid sampled parameterization %v: %v", p, err)
+		}
+		if !sax.NewWordCodec(p.PAA, p.Alphabet).Fits() {
+			t.Errorf("sampled parameterization %v does not pack into a uint64 code", p)
+		}
+	}
+	c := Sample(n, members, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical member sets")
+	}
+}
+
+func TestSampleTinyAndDegenerateSeries(t *testing.T) {
+	if got := Sample(2, 10, 1); got != nil {
+		t.Errorf("Sample(n=2) = %v, want nil", got)
+	}
+	if got := Sample(1000, 0, 1); got != nil {
+		t.Errorf("Sample(members=0) = %v, want nil", got)
+	}
+	// A short series still yields some (fewer, small-window) members.
+	small := Sample(24, 10, 1)
+	if len(small) == 0 {
+		t.Fatal("Sample(n=24) found no valid parameterizations")
+	}
+	for _, p := range small {
+		if err := p.Validate(24); err != nil {
+			t.Errorf("invalid parameterization %v for n=24: %v", p, err)
+		}
+	}
+}
+
+// TestInduceDeterministicAcrossWorkers pins the fusion contract: the fused
+// result is byte-identical for every worker count, because members are
+// combined in member order, not completion order.
+func TestInduceDeterministicAcrossWorkers(t *testing.T) {
+	ts := sineWithAnomaly(3000, 100, 1500, 100, 11)
+	cfg := Config{Members: 12, Seed: 3}
+
+	var want *Result
+	for _, workers := range []int{1, 2, 4, 0} {
+		cfg.Workers = workers
+		got, err := Induce(context.Background(), ts, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(got.Score, want.Score) {
+			t.Errorf("workers=%d: Score differs from workers=1", workers)
+		}
+		if !reflect.DeepEqual(got.Agreement, want.Agreement) {
+			t.Errorf("workers=%d: Agreement differs from workers=1", workers)
+		}
+		if !reflect.DeepEqual(got.Members, want.Members) {
+			t.Errorf("workers=%d: Members differ from workers=1", workers)
+		}
+	}
+	if want.Used == 0 || want.Used > 12 {
+		t.Errorf("Used = %d, want within (0, 12]", want.Used)
+	}
+	for i, v := range want.Score {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("Score[%d] = %v, want within [0, 1]", i, v)
+		}
+		if a := want.Agreement[i]; a < 0 || a > 1 || math.IsNaN(a) {
+			t.Fatalf("Agreement[%d] = %v, want within [0, 1]", i, a)
+		}
+	}
+}
+
+// TestSingleMemberMatchesMultiscale pins the degenerate-case contract from
+// the issue: a one-member ensemble's fused curve byte-equals the
+// single-window multiscale detector's normalized density for the same
+// parameterization — same normalization, same float operations.
+func TestSingleMemberMatchesMultiscale(t *testing.T) {
+	ts := sineWithAnomaly(2400, 80, 1200, 80, 5)
+	p := sax.Params{Window: 80, PAA: 4, Alphabet: 4}
+	ctx := context.Background()
+
+	res, err := InduceParams(ctx, ts, []sax.Params{p}, sax.ReductionExact, 1)
+	if err != nil {
+		t.Fatalf("InduceParams: %v", err)
+	}
+	want, err := core.MultiscaleDensityCtx(ctx, ts, []int{p.Window}, p.PAA, p.Alphabet, sax.ReductionExact, 1)
+	if err != nil {
+		t.Fatalf("MultiscaleDensityCtx: %v", err)
+	}
+	if !reflect.DeepEqual(res.Score, want) {
+		t.Error("members=1 fused curve is not byte-identical to the single-window multiscale density")
+	}
+	if res.Used != 1 || res.MaxWindow != p.Window {
+		t.Errorf("Used=%d MaxWindow=%d, want 1 and %d", res.Used, res.MaxWindow, p.Window)
+	}
+}
+
+// TestAllInvalidMembersTypedError pins the other degenerate case: when not
+// one member can analyze the series, the caller gets the typed
+// ErrNoValidMembers — never a silently zero curve.
+func TestAllInvalidMembersTypedError(t *testing.T) {
+	ts := sineWithAnomaly(500, 50, 250, 50, 9)
+	bad := []sax.Params{
+		{Window: 5000, PAA: 4, Alphabet: 4}, // window > n
+		{Window: 0, PAA: 4, Alphabet: 4},    // no window
+		{Window: 50, PAA: 60, Alphabet: 4},  // paa > window
+	}
+	res, err := InduceParams(context.Background(), ts, bad, sax.ReductionExact, 2)
+	if !errors.Is(err, ErrNoValidMembers) {
+		t.Fatalf("err = %v, want ErrNoValidMembers", err)
+	}
+	if res != nil {
+		t.Fatalf("res = %+v, want nil alongside the typed error", res)
+	}
+	// Same contract for an empty member set and for a series too short to
+	// sample anything.
+	if _, err := InduceParams(context.Background(), ts, nil, sax.ReductionExact, 1); !errors.Is(err, ErrNoValidMembers) {
+		t.Fatalf("empty params: err = %v, want ErrNoValidMembers", err)
+	}
+	if _, err := Induce(context.Background(), []float64{1, 2}, Config{}); !errors.Is(err, ErrNoValidMembers) {
+		t.Fatalf("tiny series: err = %v, want ErrNoValidMembers", err)
+	}
+}
+
+func TestInduceCancelled(t *testing.T) {
+	ts := sineWithAnomaly(4000, 100, 2000, 100, 13)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		_, err := Induce(ctx, ts, Config{Members: 8, Workers: workers})
+		if err == nil || !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestMinima(t *testing.T) {
+	ts := sineWithAnomaly(3000, 100, 1500, 120, 17)
+	res, err := Induce(context.Background(), ts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs := res.Minima(0.3)
+	if len(ivs) == 0 {
+		t.Fatal("Minima(0.3) found nothing on a series with a planted anomaly")
+	}
+	hit := false
+	for _, iv := range ivs {
+		if iv.End >= 1500-res.MaxWindow && iv.Start <= 1620 {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("no minima interval near the planted anomaly [1500, 1620); got %v", ivs)
+	}
+}
+
+// TestWarmMemberAllocs is the regression pin on the pooled member path: a
+// warm ensemble run (pool populated by earlier runs) must allocate less
+// than the same member set analyzed without workspaces. The pipeline
+// products (density curve, rules, words) are freshly allocated either way;
+// what the pool saves is each member's inducer arena, maps, and scratch.
+func TestWarmMemberAllocs(t *testing.T) {
+	ts := sineWithAnomaly(1500, 60, 900, 60, 1)
+	params := Sample(len(ts), 4, 2)
+	if len(params) < 2 {
+		t.Fatalf("sampler returned %d members, need >= 2", len(params))
+	}
+	ctx := context.Background()
+
+	pooled := func() {
+		if _, err := InduceParams(ctx, ts, params, sax.ReductionExact, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pooled() // warm the pool
+	warm := testing.AllocsPerRun(5, pooled)
+	cold := testing.AllocsPerRun(5, func() {
+		for _, p := range params {
+			ws := &workspace.Workspace{Inducer: sequitur.NewInducer()}
+			if _, err := core.AnalyzeCtxWS(ctx, ts, core.Config{Params: p, Workers: 1}, ws); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if warm >= cold {
+		t.Fatalf("warm pooled ensemble allocates %v/run, cold %v/run — pooling saves nothing", warm, cold)
+	}
+	t.Logf("allocs/run: warm=%v cold=%v", warm, cold)
+}

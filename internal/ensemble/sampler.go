@@ -1,0 +1,82 @@
+package ensemble
+
+import (
+	"math"
+	"math/rand"
+
+	"grammarviz/internal/sax"
+)
+
+// Sampler bounds. Windows are drawn log-uniformly so short and long
+// scales are equally represented (a uniform draw over [16, n/3] would
+// almost never pick a heartbeat-scale window on a long series); PAA and
+// alphabet are drawn uniformly over the ranges the paper's Figure 10
+// shows the detectors tolerate well.
+const (
+	minSampleWindow = 16
+	maxSampleWindow = 1024
+	minSamplePAA    = 3
+	maxSamplePAA    = 9
+	minSampleAlpha  = 3
+	maxSampleAlpha  = 7
+
+	// sampleAttemptsPerMember bounds the rejection-sampling loop: on a
+	// series so short that few parameterizations are valid, the sampler
+	// returns what it found instead of spinning.
+	sampleAttemptsPerMember = 64
+)
+
+// Sample draws up to members distinct SAX parameterizations for a series
+// of n points, seeded and deduplicated. Every returned triple satisfies
+// Params.Validate(n) and packs into a uint64 word code (WordCodec.Fits),
+// so each member can run the zero-allocation coded induction path. The
+// draw is deterministic in (n, members, seed) and independent of worker
+// count. It returns fewer than members (possibly none) when the series
+// admits fewer valid distinct triples within the attempt budget.
+func Sample(n, members int, seed int64) []sax.Params {
+	if members <= 0 || n < minSamplePAA {
+		return nil
+	}
+	wmax := n / 3
+	if wmax > maxSampleWindow {
+		wmax = maxSampleWindow
+	}
+	if wmax > n {
+		wmax = n
+	}
+	wmin := minSampleWindow
+	if wmin > wmax {
+		wmin = minSamplePAA // tiny series: fall back to the smallest usable windows
+	}
+	if wmin > wmax {
+		return nil
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	logMin, logMax := math.Log(float64(wmin)), math.Log(float64(wmax))
+	seen := make(map[sax.Params]bool, members)
+	out := make([]sax.Params, 0, members)
+	for attempts := 0; len(out) < members && attempts < members*sampleAttemptsPerMember; attempts++ {
+		w := int(math.Round(math.Exp(logMin + rng.Float64()*(logMax-logMin))))
+		if w < wmin {
+			w = wmin
+		}
+		if w > wmax {
+			w = wmax
+		}
+		p := sax.Params{
+			Window:   w,
+			PAA:      minSamplePAA + rng.Intn(maxSamplePAA-minSamplePAA+1),
+			Alphabet: minSampleAlpha + rng.Intn(maxSampleAlpha-minSampleAlpha+1),
+		}
+		if p.PAA > p.Window {
+			p.PAA = p.Window
+		}
+		if seen[p] || p.Validate(n) != nil || !sax.NewWordCodec(p.PAA, p.Alphabet).Fits() {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}

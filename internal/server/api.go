@@ -13,7 +13,13 @@ const (
 	ModeBestEffort = "besteffort" // RRA degrading at the deadline (Partial/Fallback)
 	ModeDensity    = "density"    // rule-density anomalies (distance-free)
 	ModeHOTSAX     = "hotsax"     // fixed-length HOTSAX baseline
+	ModeEnsemble   = "ensemble"   // parameter-free ensemble grammar induction
 )
+
+// maxEnsembleMembers caps the member count one request may ask for: every
+// member is a full induction, so the cap bounds the work a single request
+// can cost regardless of its admission weight.
+const maxEnsembleMembers = 128
 
 // AnalyzeRequest is the JSON body of POST /v1/analyze.
 type AnalyzeRequest struct {
@@ -37,6 +43,10 @@ type AnalyzeRequest struct {
 
 	// K is the number of discords to report (discord modes; default 3).
 	K int `json:"k"`
+	// Members is the ensemble-mode member count: how many parameterizations
+	// the sampler draws (0 selects the library default of 20, capped at
+	// 128). Ignored by the other modes.
+	Members int `json:"members"`
 	// Threshold is the density-mode cutoff; nil or negative selects the
 	// global-minima report.
 	Threshold *int `json:"threshold,omitempty"`
@@ -80,6 +90,16 @@ type AnalyzeResponse struct {
 
 	Discords  []grammarviz.Discord `json:"discords,omitempty"`
 	Anomalies []grammarviz.Anomaly `json:"anomalies,omitempty"`
+
+	// Ensemble carries the ensemble-mode result: the fused score and
+	// agreement curves plus the sampled member parameterizations. Byte-
+	// identical to what grammarviz.EnsembleDensity returns for the same
+	// (series, members, seed) — the serving layer only caches, it never
+	// changes scores.
+	Ensemble *grammarviz.EnsembleResult `json:"ensemble,omitempty"`
+	// EnsembleAnomalies are the fused curve's thresholded minima intervals
+	// (fraction 0.3), the ensemble counterpart of Anomalies.
+	EnsembleAnomalies []grammarviz.Interval `json:"ensemble_anomalies,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx reply.
@@ -100,11 +120,17 @@ func (r *AnalyzeRequest) validate(maxSeries int) error {
 		return fmt.Errorf("series has %d points, server cap is %d", len(r.Series), maxSeries)
 	}
 	switch r.Mode {
-	case ModeRRA, ModeBestEffort, ModeDensity, ModeHOTSAX:
+	case ModeRRA, ModeBestEffort, ModeDensity, ModeHOTSAX, ModeEnsemble:
 	case "":
 		r.Mode = ModeBestEffort
 	default:
-		return fmt.Errorf("unknown mode %q (want rra, besteffort, density, or hotsax)", r.Mode)
+		return fmt.Errorf("unknown mode %q (want rra, besteffort, density, hotsax, or ensemble)", r.Mode)
+	}
+	if r.Members < 0 {
+		return fmt.Errorf("members must be >= 0 (0 selects the default), got %d", r.Members)
+	}
+	if r.Members > maxEnsembleMembers {
+		return fmt.Errorf("members (%d) exceeds the server cap of %d", r.Members, maxEnsembleMembers)
 	}
 	if r.Window < 0 {
 		return fmt.Errorf("window must be >= 0 (0 auto-selects), got %d", r.Window)

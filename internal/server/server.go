@@ -210,9 +210,17 @@ type Server struct {
 	cfg     Config
 	cache   *cache.Sharded[*grammarviz.Detector]
 	flights coalesce.Group[*grammarviz.Detector]
-	adm     *budget.Controller // nil when cfg.DisableBudget
-	http    *http.Server
-	mux     *http.ServeMux
+
+	// Ensemble results get their own cache and flight group: the keys
+	// (EnsembleFingerprint: series + member count + sampler seed) live in a
+	// different namespace than detector fingerprints, and the cached values
+	// are final fused results rather than reusable detectors.
+	ecache   *cache.Sharded[*grammarviz.EnsembleResult]
+	eflights coalesce.Group[*grammarviz.EnsembleResult]
+
+	adm  *budget.Controller // nil when cfg.DisableBudget
+	http *http.Server
+	mux  *http.ServeMux
 
 	sem    chan struct{} // legacy admission slots (DisableBudget only)
 	queued atomic.Int64  // legacy wait-queue depth (DisableBudget only)
@@ -263,9 +271,10 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := metrics.NewRegistry()
 	s := &Server{
-		cfg:   cfg,
-		cache: cache.NewSharded[*grammarviz.Detector](cfg.CacheSize, cfg.CacheShards),
-		reg:   reg,
+		cfg:    cfg,
+		cache:  cache.NewSharded[*grammarviz.Detector](cfg.CacheSize, cfg.CacheShards),
+		ecache: cache.NewSharded[*grammarviz.EnsembleResult](cfg.CacheSize, cfg.CacheShards),
+		reg:    reg,
 
 		requests: reg.NewCounterVec("gvad_requests_total",
 			"Analyze requests by mode and outcome (ok|partial|fallback|invalid|rejected|timeout|panic|error).",
@@ -329,6 +338,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/stream", s.handleStreamOpen)
 	mux.HandleFunc("POST /v1/stream/{id}/append", s.handleStreamAppend)
 	mux.HandleFunc("GET /v1/stream/{id}", s.handleStreamGet)
+	mux.HandleFunc("GET /v1/stream/{id}/anomalies", s.handleStreamAnomalies)
 	mux.HandleFunc("DELETE /v1/stream/{id}", s.handleStreamDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	metricsHandler := reg.Handler()
@@ -395,13 +405,28 @@ func modeWeight(mode string) int64 {
 	}
 }
 
-// admit claims admission for a request of n points at mode on behalf of
-// tenant. It returns a release function, errQueueFull when capacity and
-// queue are saturated, or ctx's error if the deadline passes while
-// queued.
-func (s *Server) admit(ctx context.Context, tenant string, n int, mode string) (release func(), err error) {
+// requestWeight is the admission cost multiplier for one validated
+// request: the mode weight, except ensemble mode, whose cost scales with
+// the member count — an ensemble is ~members density-weight inductions
+// fanned out over the same series.
+func requestWeight(req *AnalyzeRequest) int64 {
+	if req.Mode == ModeEnsemble {
+		members := req.Members
+		if members <= 0 {
+			members = grammarviz.DefaultEnsembleMembers
+		}
+		return int64(members) * modeWeight(ModeDensity)
+	}
+	return modeWeight(req.Mode)
+}
+
+// admit claims admission for a request of n points at the given cost
+// weight on behalf of tenant. It returns a release function, errQueueFull
+// when capacity and queue are saturated, or ctx's error if the deadline
+// passes while queued.
+func (s *Server) admit(ctx context.Context, tenant string, n int, weight int64) (release func(), err error) {
 	if s.adm != nil {
-		rel, err := s.adm.Acquire(ctx, tenant, budget.Cost(n, modeWeight(mode)))
+		rel, err := s.adm.Acquire(ctx, tenant, budget.Cost(n, weight))
 		if err != nil {
 			if errors.Is(err, budget.ErrSaturated) {
 				return nil, errQueueFull
@@ -558,7 +583,7 @@ func (s *Server) serveOne(ctx context.Context, req *AnalyzeRequest, tenant strin
 		defer cancel()
 	}
 
-	release, err := s.admit(ctx, tenant, len(req.Series), req.Mode)
+	release, err := s.admit(ctx, tenant, len(req.Series), requestWeight(req))
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			s.requests.With(req.Mode, "rejected").Inc()
@@ -612,6 +637,22 @@ func (s *Server) analyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResp
 	resp := &AnalyzeResponse{
 		Mode: req.Mode,
 		N:    len(series),
+	}
+
+	if req.Mode == ModeEnsemble {
+		// Parameter-free: window/paa/alphabet are neither needed nor
+		// reported — the sampled member parameterizations are in the result.
+		res, hit, err := s.ensembleResult(ctx, series, grammarviz.EnsembleOptions{
+			Members: req.Members, Seed: req.Seed, Workers: req.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp.Algorithm = "ensemble density"
+		resp.CacheHit = hit
+		resp.Ensemble = res
+		resp.EnsembleAnomalies = res.Anomalies(0.3)
+		return resp, nil
 	}
 
 	if req.Mode == ModeHOTSAX {
@@ -728,6 +769,54 @@ func (s *Server) induce(ctx context.Context, key string, series []float64, opts 
 	return det, nil
 }
 
+// ensembleResult returns the cached EnsembleResult for (series, opts),
+// running and caching the fused analysis on miss. It mirrors detector():
+// ensemble keys (EnsembleFingerprint) cover the series bits, the member
+// count, and the sampler seed — everything that influences scores — so
+// equal keys mean byte-identical results and concurrent misses can share
+// one flight.
+func (s *Server) ensembleResult(ctx context.Context, series []float64, opts grammarviz.EnsembleOptions) (res *grammarviz.EnsembleResult, reused bool, err error) {
+	key := grammarviz.EnsembleFingerprint(series, opts)
+	if res, ok := s.ecache.Get(key); ok {
+		s.cacheHits.Inc()
+		return res, true, nil
+	}
+	if s.cfg.DisableCoalesce {
+		res, err := s.induceEnsemble(ctx, key, series, opts)
+		return res, false, err
+	}
+	res, joined, err := s.eflights.Do(ctx, key, func(fctx context.Context) (*grammarviz.EnsembleResult, error) {
+		if res, ok := s.ecache.Peek(key); ok {
+			return res, nil
+		}
+		return s.induceEnsemble(fctx, key, series, opts)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if joined {
+		s.coalesced.Inc()
+	}
+	return res, joined, nil
+}
+
+// induceEnsemble runs the full ensemble analysis for a cache miss and
+// stores the fused result.
+func (s *Server) induceEnsemble(ctx context.Context, key string, series []float64, opts grammarviz.EnsembleOptions) (*grammarviz.EnsembleResult, error) {
+	s.cacheMisses.Inc()
+	if s.testHookInduce != nil {
+		s.testHookInduce()
+	}
+	res, err := grammarviz.EnsembleDensityCtx(ctx, series, opts)
+	if err != nil {
+		return nil, err
+	}
+	if s.ecache.Add(key, res) {
+		s.cacheEvictions.Inc()
+	}
+	return res, nil
+}
+
 // classifyError maps an analysis error to an HTTP status and a metrics
 // outcome label.
 func classifyError(err error) (status int, outcome string) {
@@ -740,7 +829,8 @@ func classifyError(err error) (status int, outcome string) {
 	case errors.Is(err, grammarviz.ErrInvalidValue),
 		errors.Is(err, grammarviz.ErrShortSeries):
 		return http.StatusBadRequest, "invalid"
-	case errors.Is(err, discord.ErrNoCandidates):
+	case errors.Is(err, discord.ErrNoCandidates),
+		errors.Is(err, grammarviz.ErrNoEnsembleMembers):
 		return http.StatusUnprocessableEntity, "error"
 	default:
 		return http.StatusInternalServerError, "error"
@@ -762,7 +852,7 @@ func outcomeOf(resp *AnalyzeResponse) string {
 // known set is reported as "unknown".
 func modeLabel(mode string) string {
 	switch mode {
-	case ModeRRA, ModeBestEffort, ModeDensity, ModeHOTSAX:
+	case ModeRRA, ModeBestEffort, ModeDensity, ModeHOTSAX, ModeEnsemble:
 		return mode
 	default:
 		return "unknown"

@@ -203,7 +203,11 @@ func TestAnalyzeMatchesLibrary(t *testing.T) {
 			t.Fatalf("status %d: %s", status, body)
 		}
 		got := decodeAnalyze(t, body)
-		want, calls, err := grammarviz.HOTSAXDiscords(series, 45, 4, 4, 2, 1)
+		// The server serves hotsax through HOTSAXDiscordsCtx (the coded
+		// MINDIST-pruned path), so the byte-for-byte baseline is the same
+		// entry point: identical discords, and a DistanceCalls count that
+		// reflects the pruning.
+		want, calls, err := grammarviz.HOTSAXDiscordsCtx(context.Background(), series, 45, 4, 4, 2, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -109,6 +109,16 @@ type StreamStateResponse struct {
 	SnapshotBytes int64  `json:"snapshot_bytes,omitempty"` // size of the last checkpoint frame
 }
 
+// StreamAnomaliesResponse is the session's current anomaly picture: the
+// rule-density curve over everything consumed so far plus its
+// global-minima intervals, computed from an in-memory snapshot.
+type StreamAnomaliesResponse struct {
+	ID        string               `json:"id"`
+	Len       int                  `json:"len"`
+	Density   []int                `json:"density"`
+	Anomalies []grammarviz.Anomaly `json:"anomalies"`
+}
+
 // sessionMeta is the durable identity of a session, stored as meta.json
 // in its state directory so recovery can rebuild the supervisor entry.
 type sessionMeta struct {
@@ -354,7 +364,7 @@ func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 	// Admission: streaming appends are the cheap incremental path, so they
 	// are charged at the lowest weight, but they still pass through the
 	// tenant budget so a flood of appends cannot starve analyses.
-	release, err := s.admit(r.Context(), sess.meta.Tenant, len(req.Points), "stream")
+	release, err := s.admit(r.Context(), sess.meta.Tenant, len(req.Points), modeWeight("stream"))
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
@@ -497,6 +507,51 @@ func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
 		resp.SnapshotBytes = sess.log.SnapshotBytes()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStreamAnomalies serves GET /v1/stream/{id}/anomalies: the
+// session's current rule-density snapshot and its global-minima anomaly
+// intervals. Strictly read-only — it snapshots under the session mutex
+// and never touches the WAL, so polling anomalies costs no fsyncs and
+// cannot perturb durability.
+func (s *Server) handleStreamAnomalies(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		writeError(w, http.StatusGone, errors.New("session closed"))
+		return
+	}
+	if sess.poisoned {
+		writeError(w, http.StatusInternalServerError, errors.New("session poisoned by an earlier panic; delete it"))
+		return
+	}
+	if err := s.ensureResident(sess); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	sess.lastTouch = time.Now()
+	density, err := sess.stream.RuleDensity()
+	if err != nil {
+		// The only library failure here is "not enough points for one
+		// window yet" — the session is fine, the question is premature.
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	anomalies, err := sess.stream.Anomalies()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, StreamAnomaliesResponse{
+		ID:        sess.meta.ID,
+		Len:       sess.stream.Len(),
+		Density:   density,
+		Anomalies: anomalies,
+	})
 }
 
 func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
