@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench ensemble-smoke fuzz-smoke crashtest lint staticcheck govulncheck serve loadtest
+.PHONY: check build vet test race bench-smoke bench perfgate ensemble-smoke fuzz-smoke crashtest lint staticcheck govulncheck serve loadtest
 
 ## check: everything CI runs — vet, build, race-enabled tests, bench smoke,
-## fuzz smoke, crash-recovery test, static analysis (go vet + gvadlint +
-## staticcheck)
-check: vet build race bench-smoke ensemble-smoke fuzz-smoke crashtest lint staticcheck
+## perf gate, fuzz smoke, crash-recovery test, static analysis (go vet +
+## gvadlint + staticcheck)
+check: vet build race bench-smoke perfgate ensemble-smoke fuzz-smoke crashtest lint staticcheck
 
 build:
 	$(GO) build ./...
@@ -24,14 +24,26 @@ race:
 ## bench-smoke: one iteration of every pipeline-component benchmark, as a
 ## does-it-still-run check (not a measurement)
 bench-smoke:
-	$(GO) test . -run '^$$' -bench Component -benchtime 1x
+	$(GO) test . ./internal/discord -run '^$$' -bench Component -benchtime 1x
 
 ## bench: the measured component benchmarks with allocation stats, the
 ## configuration used for BENCH_*.json (BENCH_2.json's induce/build/density
 ## rows were captured with BENCHTIME=50x)
 BENCHTIME ?= 5x
 bench:
-	$(GO) test . -run '^$$' -bench 'Component|Extension' -benchtime $(BENCHTIME) -benchmem
+	$(GO) test . ./internal/discord -run '^$$' -bench 'Component|Extension' -benchtime $(BENCHTIME) -benchmem
+
+## perfgate: run the distance-kernel benchmarks and diff them against the
+## checked-in BENCH_5.json with cmd/gvperf. ns/op gets a deliberately loose
+## 4x ceiling (CI runners are not the measurement host; the gate catches
+## order-of-magnitude slides, not jitter) while allocs/op is exact —
+## machine-independent, so any new allocation on the pinned path fails.
+PERFGATE_OUT ?= $(if $(TMPDIR),$(TMPDIR),/tmp)/gvperf-bench.out
+perfgate:
+	$(GO) test ./internal/discord -run '^$$' -bench 'Component_DistKernel|Component_Search' \
+		-benchtime 5x -benchmem > $(PERFGATE_OUT)
+	$(GO) run ./cmd/gvperf -baseline BENCH_5.json -tol 3.0 -min-matches 14 \
+		-alloc-tol 8 -input $(PERFGATE_OUT)
 
 ## ensemble-smoke: the parameter-free ensemble's core contracts as a quick
 ## gate — sampler determinism/validity, the members=1 byte-equivalence to
@@ -48,6 +60,7 @@ fuzz-smoke:
 	$(GO) test ./internal/sax -run '^$$' -fuzz '^FuzzDiscretize$$' -fuzztime 3s
 	$(GO) test ./internal/sequitur -run '^$$' -fuzz '^FuzzInduce$$' -fuzztime 3s
 	$(GO) test ./internal/checkpoint -run '^$$' -fuzz '^FuzzCheckpointDecode$$' -fuzztime 3s
+	$(GO) test ./internal/discord -run '^$$' -fuzz '^FuzzDistKernel$$' -fuzztime 3s -fuzzminimizetime 1x
 
 ## crashtest: the kill-recovery property test — a real gvad subprocess is
 ## SIGKILLed at randomized points (including mid-WAL-write via the

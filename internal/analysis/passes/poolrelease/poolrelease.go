@@ -21,7 +21,11 @@
 //
 // Get/Put recognition is by package name ("workspace") and function name,
 // so the analyzer works on the repo and on its testdata packages alike;
-// the workspace package itself is exempt (it implements the pool).
+// the workspace package itself is exempt (it implements the pool). The
+// same contract covers every checkout/release pair the workspace package
+// exports: Get/Put for analysis workspaces and GetKernel/PutKernel for
+// the distance kernel's pinned-query scratch. Pairing is by variable, so
+// a function may hold both kinds at once.
 package poolrelease
 
 import (
@@ -56,14 +60,24 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// isPoolCall reports whether call is workspace.<name>(...).
-func isPoolCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+// checkoutNames and releaseNames are the pool's paired entry points: a
+// call to any checkout name creates a release obligation discharged only
+// by the matching variable reaching any release name (the types keep the
+// pairs honest — a *Kernel cannot be passed to Put).
+var (
+	checkoutNames = map[string]bool{"Get": true, "GetKernel": true}
+	releaseNames  = map[string]bool{"Put": true, "PutKernel": true}
+)
+
+// isPoolCall reports whether call is workspace.<f>(...) with f's name in
+// names.
+func isPoolCall(pass *analysis.Pass, call *ast.CallExpr, names map[string]bool) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
 	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok || f.Name() != name || f.Pkg() == nil {
+	if !ok || !names[f.Name()] || f.Pkg() == nil {
 		return false
 	}
 	return f.Pkg().Name() == "workspace"
@@ -144,7 +158,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		case *ast.AssignStmt:
 			for i, rhs := range n.Rhs {
 				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-				if !ok || !isPoolCall(pass, call, "Get") {
+				if !ok || !isPoolCall(pass, call, checkoutNames) {
 					continue
 				}
 				var v *types.Var
@@ -156,7 +170,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		case *ast.ValueSpec:
 			for i, rhs := range n.Values {
 				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-				if !ok || !isPoolCall(pass, call, "Get") {
+				if !ok || !isPoolCall(pass, call, checkoutNames) {
 					continue
 				}
 				var v *types.Var
@@ -166,23 +180,23 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 				gets = append(gets, checkout{pos: call.Pos(), obj: v})
 			}
 		case *ast.DeferStmt:
-			if isPoolCall(pass, n.Call, "Put") {
+			if isPoolCall(pass, n.Call, releaseNames) {
 				recordPut(n.Call, true)
 			} else if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
 				ast.Inspect(lit.Body, func(m ast.Node) bool {
-					if c, ok := m.(*ast.CallExpr); ok && isPoolCall(pass, c, "Put") {
+					if c, ok := m.(*ast.CallExpr); ok && isPoolCall(pass, c, releaseNames) {
 						recordPut(c, true)
 					}
 					return true
 				})
 			}
 		case *ast.CallExpr:
-			if isPoolCall(pass, n, "Put") {
+			if isPoolCall(pass, n, releaseNames) {
 				// Non-deferred Put (deferred ones are handled above and do
 				// not re-enter here as statements of interest: recording
 				// them twice is harmless since deferred wins).
 				recordPut(n, false)
-			} else if isPoolCall(pass, n, "Get") {
+			} else if isPoolCall(pass, n, checkoutNames) {
 				// A Get whose result is not bound by an assignment cannot
 				// be released.
 				if len(stack) < 2 {
@@ -281,8 +295,8 @@ func terminates(s ast.Stmt) bool {
 	return false
 }
 
-// isWorkspacePtr reports whether t is *workspace.Workspace (by name, so
-// testdata packages participate).
+// isWorkspacePtr reports whether t is a pointer to one of the workspace
+// package's pooled types (by name, so testdata packages participate).
 func isWorkspacePtr(t types.Type) bool {
 	ptr, ok := t.Underlying().(*types.Pointer)
 	if !ok {
@@ -292,5 +306,6 @@ func isWorkspacePtr(t types.Type) bool {
 	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
 		return false
 	}
-	return named.Obj().Name() == "Workspace" && named.Obj().Pkg().Name() == "workspace"
+	name := named.Obj().Name()
+	return (name == "Workspace" || name == "Kernel") && named.Obj().Pkg().Name() == "workspace"
 }

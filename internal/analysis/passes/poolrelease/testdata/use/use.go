@@ -83,3 +83,30 @@ func Allowlisted() {
 	_ = ws
 	//gvad:ignore poolrelease fixture for the allowlisted-negative path
 }
+
+// KernelDeferred: the GetKernel/PutKernel pair follows the same contract
+// as Get/Put.
+func KernelDeferred() int {
+	kw := workspace.GetKernel()
+	defer workspace.PutKernel(kw)
+	return len(kw.QNorm)
+}
+
+// KernelLeak never releases the kernel scratch.
+func KernelLeak() {
+	kw := workspace.GetKernel()
+	_ = kw
+} // want `return without releasing the workspace`
+
+// BothKinds holds a workspace and a kernel scratch at once; pairing is by
+// variable, so releasing only one flags the other.
+func BothKinds(b bool) int {
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	kw := workspace.GetKernel()
+	if b {
+		workspace.PutKernel(kw)
+		return 1
+	}
+	return 2 // want `return without releasing the workspace`
+}

@@ -11,3 +11,12 @@ func Get() *Workspace { return &Workspace{} }
 
 // Put returns a workspace to the pool.
 func Put(ws *Workspace) { _ = ws }
+
+// Kernel is the pooled distance-kernel scratch.
+type Kernel struct{ QNorm []float64 }
+
+// GetKernel checks a kernel scratch out of the pool.
+func GetKernel() *Kernel { return &Kernel{} }
+
+// PutKernel returns a kernel scratch to the pool.
+func PutKernel(k *Kernel) { _ = k }

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"grammarviz/internal/timeseries"
+	"grammarviz/internal/workspace"
 )
 
 // BruteForce finds the top-k fixed-length discords by exhaustive nested
@@ -29,11 +30,19 @@ func BruteForceStats(st *Stats, window, k int) (Result, error) {
 // set plus a ctx.Err()-wrapped error. Brute force is the search most in
 // need of a deadline — it is O(m^2) by design.
 func BruteForceStatsCtx(ctx context.Context, st *Stats, window, k int) (Result, error) {
+	return bruteForceSearch(ctx, st, window, k, Tuning{})
+}
+
+func bruteForceSearch(ctx context.Context, st *Stats, window, k int, tuning Tuning) (Result, error) {
 	ts := st.ts
 	if window <= 0 || window > len(ts) {
 		return Result{}, fmt.Errorf("%w: window=%d n=%d", timeseries.ErrBadWindow, window, len(ts))
 	}
 	e := st.viewCtx(ctx)
+	e.refKernel = tuning.ReferenceKernel
+	kw := workspace.GetKernel()
+	defer workspace.PutKernel(kw)
+	e.scratch = kw
 	var res Result
 	for found := 0; found < k; found++ {
 		best := Discord{Dist: -1, RuleID: -1, NNStart: -1}
@@ -45,6 +54,7 @@ func BruteForceStatsCtx(ctx context.Context, st *Stats, window, k int) (Result, 
 			if overlapsAny(iv, res.Discords) {
 				continue
 			}
+			e.pin(p, window)
 			nn := math.Inf(1)
 			nnStart := -1
 			for q := 0; q+window <= len(ts); q++ {
@@ -55,7 +65,7 @@ func BruteForceStatsCtx(ctx context.Context, st *Stats, window, k int) (Result, 
 					nnStart = -1
 					break
 				}
-				d := e.dist(p, q, window, nn)
+				d := e.pinnedDist(q, nn)
 				if d < nn {
 					nn = d
 					nnStart = q

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"grammarviz/internal/timeseries"
+	"grammarviz/internal/workspace"
 )
 
 // Stats is the immutable per-series precomputation behind the distance
@@ -81,6 +82,43 @@ type engine struct {
 	prune  *codePruner
 	pruned int64
 
+	// scratch backs the pinned query's z-normalized buffer. Searches
+	// attach a pooled workspace.Kernel for the duration of the search so
+	// the steady state allocates nothing; an engine used without one
+	// (tests, ad-hoc callers) lazily creates a private un-pooled scratch
+	// on the first pin.
+	scratch *workspace.Kernel
+
+	// Pinned-query state (see pin): the candidate subsequence normalized
+	// once, plus the memoized squared cutoff so the per-neighbor kernel
+	// pays neither the query normalization nor the cutoff squaring.
+	qnorm    []float64
+	qfill    int     // qnorm[:qfill] is filled; the rest is extended lazily
+	pinStart int
+	pinMean  float64 // pinned query moments, for lazy qnorm extension
+	pinInv   float64
+	pinCut   float64 // last cutoff seen by pinnedDist
+	pinLimit float64 // pinCut * pinCut
+
+	// Neighbor-moment memo (see pinnedDist): mean and inverse std of
+	// ts[q:q+momLen] per start offset, stamped valid lazily on first
+	// touch. meanInvStd pays a sqrt and two divides; one-vs-many searches
+	// revisit the same neighbors across candidates, so after the first
+	// scan the q-side normalization is three loads. The tables live in
+	// the pooled scratch and are invalidated in O(1) (epoch bump) when
+	// the pinned length changes.
+	momMean  []float64
+	momInv   []float64
+	momStamp []uint32
+	momEpoch uint32
+	momLen   int
+
+	// refKernel routes every kernel call through the retained per-element
+	// reference implementation (the exactness oracle the equivalence
+	// tests and the fuzz target compare against). Never set on the
+	// serving path.
+	refKernel bool
+
 	ctx   context.Context // nil when the context can never be cancelled
 	err   error           // sticky ctx error once observed
 	polls int             // countdown to the next ctx poll
@@ -148,13 +186,23 @@ func (e *engine) meanInvStd(start, length int) (mean, invStd float64) {
 	return e.st.meanInvStd(start, length)
 }
 
-// dist computes the Euclidean distance between the z-normalized
-// subsequences ts[p:p+length] and ts[q:q+length], abandoning early when
-// the running distance exceeds cutoff (pass +Inf to disable). Every call
-// increments the kernel counter regardless of abandonment — the Table 1
-// accounting convention. An abandoned computation returns +Inf.
-func (e *engine) dist(p, q, length int, cutoff float64) float64 {
-	e.calls++
+// kernelBlock is the early-abandon check stride of the blocked kernels
+// past the first block: the monotone running sum of squares is compared
+// against the cutoff once per kernelBlock elements instead of once per
+// element. Within the first block the check stays per-element — the
+// one-vs-many scans run with tight best-so-far cutoffs that abandon most
+// calls within a few elements, where a block-granular check would pay for
+// up to kernelBlock-1 elements the reference never touches.
+const kernelBlock = 16
+
+// distReference is the retained per-element kernel: normalization derived
+// inline for both subsequences, the cutoff squared on every call, and the
+// abandonment check after every element — exactly the shape the blocked
+// and pinned kernels must reproduce bit for bit. It is the oracle of the
+// equivalence property tests and FuzzDistKernel, and the searches run on
+// it when Tuning.ReferenceKernel is set. It does not touch the call
+// counter; the counting entry points do.
+func (e *engine) distReference(p, q, length int, cutoff float64) float64 {
 	mp, ip := e.st.meanInvStd(p, length)
 	mq, iq := e.st.meanInvStd(q, length)
 	limit := math.Inf(1)
@@ -172,6 +220,208 @@ func (e *engine) dist(p, q, length int, cutoff float64) float64 {
 		}
 	}
 	return math.Sqrt(sum)
+}
+
+// dist computes the Euclidean distance between the z-normalized
+// subsequences ts[p:p+length] and ts[q:q+length], abandoning early when
+// the running distance exceeds cutoff (pass +Inf to disable). Every call
+// increments the kernel counter regardless of abandonment — the Table 1
+// accounting convention. An abandoned computation returns +Inf.
+//
+// The loop is blocked: the running sum of squares is monotone
+// (non-decreasing — every added term is a square), so ANY schedule of
+// prefix-vs-limit checks abandons exactly the calls the per-element
+// reference abandons: a prefix exceeds the limit iff the total does. The
+// schedule here is hybrid — per-element through the first block (tight
+// cutoffs abandon there, and a coarser check would compute elements the
+// reference never touches), then branch-free kernelBlock runs with one
+// check per boundary, then the tail. The accumulator and its FP operation
+// order are identical to distReference, so accepted results are
+// bit-identical too. The cutoff is squared unconditionally — (+Inf)² is
+// +Inf, so the disabled case needs no IsInf branch (and a negative or NaN
+// cutoff squares to the same limit the reference derives).
+//
+//gvad:noalloc
+func (e *engine) dist(p, q, length int, cutoff float64) float64 {
+	e.calls++
+	if e.refKernel {
+		return e.distReference(p, q, length, cutoff)
+	}
+	mp, ip := e.st.meanInvStd(p, length)
+	mq, iq := e.st.meanInvStd(q, length)
+	limit := cutoff * cutoff
+	var sum float64
+	a := e.st.ts[p : p+length : p+length]
+	b := e.st.ts[q : q+length : q+length]
+	head := length
+	if head > kernelBlock {
+		head = kernelBlock
+	}
+	for i := 0; i < head; i++ {
+		d := (a[i]-mp)*ip - (b[i]-mq)*iq
+		sum += d * d
+		if sum > limit {
+			return math.Inf(1)
+		}
+	}
+	i := head
+	for ; i+kernelBlock <= length; i += kernelBlock {
+		aa := a[i : i+kernelBlock : i+kernelBlock]
+		bb := b[i : i+kernelBlock : i+kernelBlock]
+		for j := 0; j < kernelBlock; j++ {
+			d := (aa[j]-mp)*ip - (bb[j]-mq)*iq
+			sum += d * d
+		}
+		if sum > limit {
+			return math.Inf(1)
+		}
+	}
+	for ; i < length; i++ {
+		d := (a[i]-mp)*ip - (b[i]-mq)*iq
+		sum += d * d
+	}
+	if sum > limit {
+		return math.Inf(1)
+	}
+	return math.Sqrt(sum)
+}
+
+// pin fixes ts[start:start+length] as the query of the subsequent
+// pinnedDist calls: its mean and inverse std are derived once and its
+// z-normalized values written into the pooled scratch buffer, so each
+// neighbor comparison loads precomputed query values instead of
+// re-deriving them per call. (v-mp)*ip here is the same FP expression
+// the reference kernel evaluates inline, so the precomputation is
+// bit-invisible. One engine holds one pin at a time; re-pinning reuses
+// the buffer.
+//
+// Only the first block is normalized eagerly. Early-abandoning scans may
+// never look past it — RRA pins variable-length rule intervals whose
+// scans are short, where an O(length) eager fill costs more than the
+// whole scan — so the buffer is extended block-by-block from pinnedDist,
+// reaching exactly as deep as the deepest neighbor comparison.
+//
+//gvad:noalloc
+func (e *engine) pin(start, length int) {
+	if e.scratch == nil {
+		// Un-pooled fallback for engines used outside a search entry
+		// point; searches attach a pooled Kernel before the first pin.
+		e.scratch = new(workspace.Kernel)
+	}
+	buf := e.scratch.QNormScratch(length)
+	mp, ip := e.st.meanInvStd(start, length)
+	a := e.st.ts[start : start+length]
+	head := length
+	if head > kernelBlock {
+		head = kernelBlock
+	}
+	for i := 0; i < head; i++ {
+		buf[i] = (a[i] - mp) * ip
+	}
+	e.qnorm = buf
+	e.qfill = head
+	e.pinMean, e.pinInv = mp, ip
+	e.pinStart = start
+	if e.momLen != length || e.momStamp == nil {
+		e.momMean, e.momInv, e.momStamp = e.scratch.MomentScratch(len(e.st.ts))
+		e.momEpoch = e.scratch.Epoch
+		e.momLen = length
+	}
+	// NaN sentinel: no real cutoff compares equal to it, so the first
+	// pinnedDist after a pin always derives its squared limit fresh.
+	e.pinCut = math.NaN()
+	e.pinLimit = math.NaN()
+}
+
+// pinnedDist is dist with the query pinned by the last pin call: the
+// query's normalization is loaded from the scratch buffer, only the
+// neighbor's mean/invStd is derived, and the squared cutoff is memoized
+// across calls (the one-vs-many loops change their cutoff only when the
+// running nearest neighbor improves, so most calls reuse the square).
+// Same blocked early-abandon loop, same counting convention, bit-identical
+// results to dist and distReference.
+//
+//gvad:noalloc
+func (e *engine) pinnedDist(q int, cutoff float64) float64 {
+	length := len(e.qnorm)
+	e.calls++
+	if e.refKernel {
+		return e.distReference(e.pinStart, q, length, cutoff)
+	}
+	if cutoff != e.pinCut {
+		e.pinCut = cutoff
+		e.pinLimit = cutoff * cutoff
+	}
+	limit := e.pinLimit
+	var mq, iq float64
+	if e.momStamp[q] == e.momEpoch {
+		mq, iq = e.momMean[q], e.momInv[q]
+	} else {
+		// First touch of this neighbor at the pinned length: derive its
+		// moments through the same expression every kernel uses (so the
+		// stored values are bit-identical to an inline computation) and
+		// stamp the entry valid for the current epoch.
+		mq, iq = e.st.meanInvStd(q, length)
+		e.momMean[q], e.momInv[q] = mq, iq
+		e.momStamp[q] = e.momEpoch
+	}
+	qn := e.qnorm
+	b := e.st.ts[q : q+length : q+length]
+	var sum float64
+	head := length
+	if head > kernelBlock {
+		head = kernelBlock
+	}
+	for i := 0; i < head; i++ {
+		d := qn[i] - (b[i]-mq)*iq
+		sum += d * d
+		if sum > limit {
+			return math.Inf(1)
+		}
+	}
+	i := head
+	for ; i+kernelBlock <= length; i += kernelBlock {
+		if i+kernelBlock > e.qfill {
+			e.extendQNorm(i + kernelBlock)
+		}
+		qq := qn[i : i+kernelBlock : i+kernelBlock]
+		bb := b[i : i+kernelBlock : i+kernelBlock]
+		for j := 0; j < kernelBlock; j++ {
+			d := qq[j] - (bb[j]-mq)*iq
+			sum += d * d
+		}
+		if sum > limit {
+			return math.Inf(1)
+		}
+	}
+	if i < length {
+		if length > e.qfill {
+			e.extendQNorm(length)
+		}
+		for ; i < length; i++ {
+			d := qn[i] - (b[i]-mq)*iq
+			sum += d * d
+		}
+	}
+	if sum > limit {
+		return math.Inf(1)
+	}
+	return math.Sqrt(sum)
+}
+
+// extendQNorm grows the pinned query's normalized prefix to at least n
+// elements — the lazy half of pin, reached only when a scan outlives the
+// prefix filled so far. Same expression, same bits.
+//
+//gvad:noalloc
+func (e *engine) extendQNorm(n int) {
+	mp, ip := e.pinMean, e.pinInv
+	a := e.st.ts[e.pinStart : e.pinStart+len(e.qnorm)]
+	buf := e.qnorm
+	for i := e.qfill; i < n; i++ {
+		buf[i] = (a[i] - mp) * ip
+	}
+	e.qfill = n
 }
 
 // Calls returns the number of distance-kernel invocations so far.

@@ -8,6 +8,7 @@ import (
 
 	"grammarviz/internal/sax"
 	"grammarviz/internal/timeseries"
+	"grammarviz/internal/workspace"
 )
 
 // HOTSAX finds the top-k fixed-length discords with the HOTSAX heuristic
@@ -84,6 +85,10 @@ func hotsaxSearch(ctx context.Context, st *Stats, p sax.Params, k int, seed int6
 	inner := rng.Perm(len(words))
 
 	e := st.viewCtx(ctx)
+	e.refKernel = tuning.ReferenceKernel
+	kw := workspace.GetKernel()
+	defer workspace.PutKernel(kw)
+	e.scratch = kw
 	if tuning.CodePrune {
 		e.prune = newFixedPruner(d)
 	}
@@ -129,8 +134,11 @@ func hotsaxSearch(ctx context.Context, st *Stats, p sax.Params, k int, seed int6
 // nearestNeighbor runs the HOTSAX inner loop for candidate cand: same-word
 // positions first, then all positions in the shared random order inner. It
 // returns early with (-Inf, -2) when a distance below bestSoFar proves
-// cand cannot be the discord.
+// cand cannot be the discord. The candidate is pinned once — normalized
+// into the engine's scratch buffer — so every neighbor comparison runs the
+// query-pinned kernel.
 func (e *engine) nearestNeighbor(cand, window int, sameWord, inner []int, bestSoFar float64) (float64, int) {
+	e.pin(cand, window)
 	nn := math.Inf(1)
 	nnStart := -1
 	visit := func(q int) bool {
@@ -150,7 +158,7 @@ func (e *engine) nearestNeighbor(cand, window int, sameWord, inner []int, bestSo
 			e.pruned++
 			return true
 		}
-		d := e.dist(cand, q, window, cutoff)
+		d := e.pinnedDist(q, cutoff)
 		if d < bestSoFar {
 			return false // cand cannot beat the best-so-far discord
 		}

@@ -1,0 +1,71 @@
+package discord
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDistKernel fuzzes the kernel-equivalence contract directly: for an
+// arbitrary series, arbitrary subsequence offsets/length and an arbitrary
+// cutoff (including ±Inf, NaN, negative and exact-boundary values), the
+// blocked kernel and the query-pinned kernel must return bit-identical
+// results to the per-element reference — the abandonment → +Inf decisions
+// included — and charge the same number of kernel calls.
+//
+// Series values are decoded from the byte stream and bounded to ±327.68:
+// the library rejects non-finite inputs before any search runs, and the
+// bound keeps every intermediate product finite, which is the domain on
+// which the monotone-sum blocking argument is exact (DESIGN.md §15).
+func FuzzDistKernel(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 250, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, uint16(0), uint16(4), uint16(4), 1.5)
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint16(0), uint16(2), uint16(2), math.Inf(1))
+	f.Add([]byte{255, 0, 1, 254, 3, 252, 5, 250, 7, 248, 9, 246, 11, 244, 13, 242,
+		15, 240, 17, 238, 19, 236, 21, 234, 23, 232, 25, 230, 27, 228, 29, 226,
+		31, 224, 33, 222}, uint16(1), uint16(9), uint16(17), 0.0)
+	f.Fuzz(func(t *testing.T, data []byte, pRaw, qRaw, lenRaw uint16, cutoff float64) {
+		n := len(data) / 2
+		if n > 1024 {
+			n = 1024
+		}
+		if n < 2 {
+			return
+		}
+		ts := make([]float64, n)
+		for i := range ts {
+			// Signed 16-bit value scaled to ±327.68; flat runs, spikes and
+			// denormal-ish steps all reachable from the byte stream.
+			ts[i] = float64(int16(uint16(data[2*i])<<8|uint16(data[2*i+1]))) / 100
+		}
+		length := 1 + int(lenRaw)%n
+		p := int(pRaw) % (n - length + 1)
+		q := int(qRaw) % (n - length + 1)
+
+		st := NewStats(ts)
+		ref := st.view()
+		ref.refKernel = true
+		blocked := st.view()
+		pinned := st.view()
+
+		want := ref.dist(p, q, length, cutoff)
+		got := blocked.dist(p, q, length, cutoff)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("blocked dist(%d,%d,%d,cut=%v) = %v (bits %x), reference %v (bits %x)",
+				p, q, length, cutoff, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+		pinned.pin(p, length)
+		gotPinned := pinned.pinnedDist(q, cutoff)
+		if math.Float64bits(want) != math.Float64bits(gotPinned) {
+			t.Fatalf("pinned dist(%d,%d,%d,cut=%v) = %v (bits %x), reference %v (bits %x)",
+				p, q, length, cutoff, gotPinned, math.Float64bits(gotPinned), want, math.Float64bits(want))
+		}
+		// Abandonment must agree with the +Inf convention: an abandoned
+		// computation is +Inf on every path, never a finite value.
+		if math.IsInf(want, 1) != math.IsInf(gotPinned, 1) || math.IsInf(want, 1) != math.IsInf(got, 1) {
+			t.Fatalf("abandonment disagreement: ref=%v blocked=%v pinned=%v", want, got, gotPinned)
+		}
+		if ref.Calls() != 1 || blocked.Calls() != 1 || pinned.Calls() != 1 {
+			t.Fatalf("call accounting: ref=%d blocked=%d pinned=%d, want 1 each",
+				ref.Calls(), blocked.Calls(), pinned.Calls())
+		}
+	})
+}

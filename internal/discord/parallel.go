@@ -8,6 +8,7 @@ import (
 
 	"grammarviz/internal/grammar"
 	"grammarviz/internal/worker"
+	"grammarviz/internal/workspace"
 )
 
 // NearestNonSelfParallel computes exactly what NearestNonSelf computes,
@@ -40,6 +41,10 @@ func NearestNonSelfParallelStats(st *Stats, rs *grammar.RuleSet, workers int) []
 // promptly, and a worker panic is recovered into a *worker.PanicError
 // instead of crashing the process.
 func NearestNonSelfParallelStatsCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, workers int) ([]Discord, error) {
+	return nearestNonSelfSearch(ctx, st, rs, workers, Tuning{})
+}
+
+func nearestNonSelfSearch(ctx context.Context, st *Stats, rs *grammar.RuleSet, workers int, tuning Tuning) ([]Discord, error) {
 	cands := Candidates(rs)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -58,6 +63,10 @@ func NearestNonSelfParallelStatsCtx(ctx context.Context, st *Stats, rs *grammar.
 	found := make([]bool, len(cands))
 	scan := func(ctx context.Context, w, stride int) error {
 		e := st.viewCtx(ctx)
+		e.refKernel = tuning.ReferenceKernel
+		kw := workspace.GetKernel()
+		defer workspace.PutKernel(kw)
+		e.scratch = kw
 		sc := newNNScratch(len(cands))
 		for ci := w; ci < len(cands); ci += stride {
 			if e.cancelled() {
@@ -110,9 +119,12 @@ func newNNScratch(n int) *nnScratch { return &nnScratch{seen: make([]int, n)} }
 
 // nearestOf scans all candidates for the true nearest non-self match of
 // candidate ci, same-rule occurrences first for early-abandoning warmth.
+// The candidate is pinned once so the whole scan runs the query-pinned
+// kernel.
 func nearestOf(e *engine, cands []Candidate, byRule map[int][]int, ci, m int, sc *nnScratch) (Discord, bool) {
 	c := cands[ci]
 	length := c.IV.Len()
+	e.pin(c.IV.Start, length)
 	scale := float64(length)
 	nn := math.Inf(1)
 	nnStart := -1
@@ -124,7 +136,7 @@ func nearestOf(e *engine, cands []Candidate, byRule map[int][]int, ci, m int, sc
 		if abs(c.IV.Start-q) < length || q+length > m {
 			return
 		}
-		d := e.dist(c.IV.Start, q, length, nn*scale) / scale
+		d := e.pinnedDist(q, nn*scale) / scale
 		if d < nn {
 			nn = d
 			nnStart = q

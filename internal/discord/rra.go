@@ -9,6 +9,7 @@ import (
 	"grammarviz/internal/grammar"
 	"grammarviz/internal/sax"
 	"grammarviz/internal/timeseries"
+	"grammarviz/internal/workspace"
 )
 
 // Candidate is one RRA search interval: a grammar-rule occurrence, or a
@@ -130,6 +131,10 @@ func rraSearchPruned(ctx context.Context, st *Stats, cands []Candidate, k int, s
 	ord := newRRAOrders(cands, seed, tuning)
 	m := len(st.ts)
 	e := st.viewCtx(ctx)
+	e.refKernel = tuning.ReferenceKernel
+	kw := workspace.GetKernel()
+	defer workspace.PutKernel(kw)
+	e.scratch = kw
 	e.prune = cp
 	var res Result
 	for found := 0; found < k; found++ {
@@ -190,9 +195,12 @@ func (c cutoffRef) value() float64 {
 // occurrences first, then every candidate in the shared random order. It
 // returns (-Inf, -2) as soon as a distance below the best-so-far cutoff
 // proves c cannot be the discord. Distances are normalized by the
-// candidate's length.
+// candidate's length. The candidate subsequence is pinned once — its
+// normalization derived a single time into the engine's scratch buffer —
+// and every occurrence comparison runs the query-pinned kernel.
 func (e *engine) rraNearest(c Candidate, ci int, cands []Candidate, sameRule, inner []int, bs cutoffRef, m int) (float64, int) {
 	length := c.IV.Len()
+	e.pin(c.IV.Start, length)
 	nn := math.Inf(1)
 	nnStart := -1
 	scale := float64(length)
@@ -223,7 +231,7 @@ func (e *engine) rraNearest(c Candidate, ci int, cands []Candidate, sameRule, in
 			e.pruned++
 			return true
 		}
-		d := e.dist(c.IV.Start, q, length, cutoff*scale) / scale
+		d := e.pinnedDist(q, cutoff*scale) / scale
 		if d < bestSoFar {
 			return false
 		}

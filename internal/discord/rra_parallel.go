@@ -10,6 +10,7 @@ import (
 	"grammarviz/internal/grammar"
 	"grammarviz/internal/sax"
 	"grammarviz/internal/worker"
+	"grammarviz/internal/workspace"
 )
 
 // testHookRRAStripe, when non-nil, runs at the start of every parallel RRA
@@ -80,7 +81,7 @@ func RRAParallelStats(st *Stats, rs *grammar.RuleSet, k int, seed int64, workers
 // context. With a never-cancelled context the discords are byte-identical
 // to the serial search for every worker count.
 func RRAParallelStatsCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, k int, seed int64, workers int) (Result, error) {
-	return rraParallel(ctx, st, Candidates(rs), k, seed, workers, nil)
+	return rraParallel(ctx, st, Candidates(rs), k, seed, workers, Tuning{}, nil)
 }
 
 // RRAParallelStatsCodedCtx is RRAParallelStatsCtx with the coded MINDIST
@@ -94,10 +95,10 @@ func RRAParallelStatsCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, k 
 // unfiltered.
 func RRAParallelStatsCodedCtx(ctx context.Context, st *Stats, rs *grammar.RuleSet, k int, seed int64, workers int, p sax.Params) (Result, error) {
 	cands := Candidates(rs)
-	return rraParallel(ctx, st, cands, k, seed, workers, newCandidatePruner(st.ts, cands, p))
+	return rraParallel(ctx, st, cands, k, seed, workers, Tuning{}, newCandidatePruner(st.ts, cands, p))
 }
 
-func rraParallel(ctx context.Context, st *Stats, cands []Candidate, k int, seed int64, workers int, cp *codePruner) (Result, error) {
+func rraParallel(ctx context.Context, st *Stats, cands []Candidate, k int, seed int64, workers int, tuning Tuning, cp *codePruner) (Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -106,10 +107,10 @@ func rraParallel(ctx context.Context, st *Stats, cands []Candidate, k int, seed 
 	}
 	if workers <= 1 {
 		// The serial path: deterministic DistCalls as well as results.
-		return rraSearchPruned(ctx, st, cands, k, seed, Tuning{}, cp)
+		return rraSearchPruned(ctx, st, cands, k, seed, tuning, cp)
 	}
 
-	ord := newRRAOrders(cands, seed, Tuning{})
+	ord := newRRAOrders(cands, seed, tuning)
 	m := len(st.ts)
 	type candResult struct {
 		nn      float64
@@ -128,6 +129,10 @@ func rraParallel(ctx context.Context, st *Stats, cands []Candidate, k int, seed 
 					testHookRRAStripe(w)
 				}
 				e := st.viewCtx(gctx)
+				e.refKernel = tuning.ReferenceKernel
+				kw := workspace.GetKernel()
+				defer workspace.PutKernel(kw)
+				e.scratch = kw
 				e.prune = cp
 				defer func() {
 					atomic.AddInt64(&totalCalls, e.Calls())

@@ -25,6 +25,14 @@ type Tuning struct {
 	// it is an optimization toggle rather than an ablation, surfaced here
 	// so benchmarks can measure both sides.
 	CodePrune bool
+	// ReferenceKernel routes every distance computation through the
+	// retained per-element kernel (normalization re-derived inline per
+	// call, abandonment checked per element) instead of the blocked
+	// query-pinned fast path. The two are bit-identical by construction —
+	// discords, distances and call counts never move — so this switch
+	// exists purely for the equivalence property tests and for measuring
+	// what the fast path saves.
+	ReferenceKernel bool
 }
 
 // RRATuned is RRA with ablation switches.

@@ -64,3 +64,84 @@ func (ws *Workspace) DiffScratch(n int) []int {
 	ws.Diff = d
 	return d
 }
+
+// Kernel is the pooled scratch of the discord distance kernel's
+// query-pinned fast path: one buffer holding the current candidate
+// subsequence, z-normalized once, so the one-vs-many inner loops compare
+// neighbors against precomputed values instead of re-normalizing the query
+// on every kernel call. A Kernel belongs to exactly one search engine at a
+// time; parallel searches check one out per worker. It is deliberately
+// separate from Workspace — distance searches do not need the Sequitur
+// arena, and grammar inductions do not need a float buffer.
+type Kernel struct {
+	// QNorm is the pinned query's z-normalized values, grown on demand
+	// and reused across candidates and searches.
+	QNorm []float64
+
+	// Mean/Inv/Stamp back the engine's per-subsequence moment memo: the
+	// mean and inverse std of ts[q:q+length] for the currently pinned
+	// length, computed on first touch and reused for every later kernel
+	// call against the same neighbor. Stamp[q] == Epoch marks a valid
+	// entry; bumping Epoch invalidates the whole table in O(1) when the
+	// pinned length (or the series behind a reused pooled Kernel)
+	// changes.
+	Mean  []float64
+	Inv   []float64
+	Stamp []uint32
+	Epoch uint32
+}
+
+var kernelPool = sync.Pool{
+	New: func() any { return &Kernel{} },
+}
+
+// GetKernel checks a Kernel scratch out of the pool. Like Get/Put, every
+// GetKernel must be paired with a PutKernel on all paths (the poolrelease
+// analyzer enforces this).
+func GetKernel() *Kernel {
+	return kernelPool.Get().(*Kernel)
+}
+
+// PutKernel returns a Kernel to the pool. The caller must not use k (or
+// any slice obtained from it) afterwards.
+func PutKernel(k *Kernel) {
+	kernelPool.Put(k)
+}
+
+// QNormScratch returns k.QNorm resized to n. The contents are
+// unspecified — callers overwrite every element. The slice stays owned by
+// the Kernel; callers must not retain it past PutKernel.
+//
+//gvad:noalloc
+func (k *Kernel) QNormScratch(n int) []float64 {
+	if cap(k.QNorm) < n {
+		k.QNorm = make([]float64, n)
+	}
+	k.QNorm = k.QNorm[:n]
+	return k.QNorm
+}
+
+// MomentScratch returns the moment-memo tables resized to n entries and
+// invalidated: Epoch is advanced past every stamp the tables may hold, so
+// each entry reads as stale until the caller stores into it. Fresh
+// allocations are zeroed by the runtime and Epoch never returns to zero,
+// so recycled and newly grown tables are indistinguishable. The slices
+// stay owned by the Kernel; callers must not retain them past PutKernel.
+//
+//gvad:noalloc
+func (k *Kernel) MomentScratch(n int) (mean, inv []float64, stamp []uint32) {
+	if cap(k.Mean) < n {
+		k.Mean = make([]float64, n)
+		k.Inv = make([]float64, n)
+		k.Stamp = make([]uint32, n)
+	}
+	k.Mean, k.Inv, k.Stamp = k.Mean[:n], k.Inv[:n], k.Stamp[:n]
+	k.Epoch++
+	if k.Epoch == 0 {
+		// uint32 wraparound after ~4 billion invalidations: zero wears the
+		// "never stamped" meaning, so clear the stamps and restart at 1.
+		clear(k.Stamp)
+		k.Epoch = 1
+	}
+	return k.Mean, k.Inv, k.Stamp
+}
