@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"grammarviz"
+	"grammarviz/internal/modes"
 	"grammarviz/internal/timeseries"
 	"grammarviz/internal/visual"
 )
@@ -81,10 +82,12 @@ func main() {
 // message naming the flag, instead of letting them surface as a cryptic
 // error (or silently wrong output) deep inside the pipeline.
 func validateFlags(window, paa, alphabet int, mode string, k, members, threshold, minLen, detrend int, timeout time.Duration) error {
+	//gvad:modes CLI
 	switch mode {
-	case "rra", "density", "surprise", "multiscale", "ensemble", "motifs", "hotsax", "brute":
+	case modes.RRA, modes.Density, modes.Surprise, modes.Multiscale,
+		modes.Ensemble, modes.Motifs, modes.HOTSAX, modes.Brute:
 	default:
-		return fmt.Errorf("unknown -mode %q (want rra, density, surprise, multiscale, ensemble, motifs, hotsax, or brute)", mode)
+		return fmt.Errorf("unknown -mode %q (want %s)", mode, modes.OneOf(modes.CLI))
 	}
 	if members < 0 {
 		return fmt.Errorf("-members must be >= 0 (0 selects the default), got %d", members)
@@ -92,7 +95,7 @@ func validateFlags(window, paa, alphabet int, mode string, k, members, threshold
 	if window < 0 {
 		return fmt.Errorf("-window must be >= 0 (0 auto-selects from the data), got %d", window)
 	}
-	if window == 0 && (mode == "hotsax" || mode == "brute") {
+	if window == 0 && (mode == modes.HOTSAX || mode == modes.Brute) {
 		return fmt.Errorf("-mode %s needs an explicit -window (auto-selection covers the grammar modes only)", mode)
 	}
 	if paa < 1 {
@@ -143,7 +146,7 @@ func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode s
 
 	// Ensemble mode is parameter-free: it neither needs the SAX flags nor
 	// the single-parameter detector, so it runs before auto-selection.
-	if mode == "ensemble" {
+	if mode == modes.Ensemble {
 		return runEnsemble(ctx, ts, members, seed, jsonOut, plot, svgPath)
 	}
 
@@ -159,14 +162,16 @@ func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode s
 		fmt.Printf("auto-selected parameters: window=%d paa=%d alphabet=%d\n", window, paa, alphabet)
 	}
 
+	// The distance-baseline modes bypass grammar induction entirely.
+	//gvad:modes CLI except rra,density,surprise,multiscale,ensemble,motifs
 	switch mode {
-	case "hotsax":
+	case modes.HOTSAX:
 		discords, calls, err := grammarviz.HOTSAXDiscords(ts, window, paa, alphabet, k, seed)
 		if err != nil {
 			return err
 		}
 		return emitDiscords("HOTSAX", discords, calls, false, false, jsonOut)
-	case "brute":
+	case modes.Brute:
 		discords, calls, err := grammarviz.BruteForceDiscords(ts, window, k)
 		if err != nil {
 			return err
@@ -186,8 +191,11 @@ func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode s
 	}
 
 	var marks []grammarviz.Interval
+	// Grammar-detector modes; ensemble and the distance baselines were
+	// dispatched above.
+	//gvad:modes CLI except ensemble,hotsax,brute
 	switch mode {
-	case "rra":
+	case modes.RRA:
 		var discords []grammarviz.Discord
 		var calls int64
 		var partial, fallback bool
@@ -218,7 +226,7 @@ func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode s
 		for _, d := range discords {
 			marks = append(marks, d.Interval())
 		}
-	case "density":
+	case modes.Density:
 		var anomalies []grammarviz.Anomaly
 		if threshold < 0 {
 			anomalies = det.GlobalMinima()
@@ -232,7 +240,7 @@ func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode s
 				i+1, a.Start, a.End, a.Len(), a.MinDensity, a.MeanDensity)
 			marks = append(marks, a.Interval())
 		}
-	case "surprise":
+	case modes.Surprise:
 		anomalies := det.SurpriseAnomalies(2, minLen)
 		fmt.Println("statistically surprising low-coverage intervals (p < 10^-2):")
 		for i, a := range anomalies {
@@ -240,7 +248,7 @@ func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode s
 				i+1, a.Start, a.End, a.Surprise, a.Surprise)
 			marks = append(marks, a.Interval())
 		}
-	case "multiscale":
+	case modes.Multiscale:
 		curve, err := grammarviz.MultiscaleDensityCtx(ctx, ts,
 			[]int{window / 2, window, window * 2}, paa, alphabet, 0)
 		if err != nil {
@@ -251,7 +259,7 @@ func run(ctx context.Context, dataPath string, window, paa, alphabet int, mode s
 			fmt.Printf("  %2d. [%d,%d] len=%d\n", i+1, a.Start, a.End, a.Len())
 			marks = append(marks, a)
 		}
-	case "motifs":
+	case modes.Motifs:
 		fmt.Printf("top %d recurring patterns (motifs):\n", k)
 		for i, m := range det.Motifs(k) {
 			fmt.Printf("  %2d. rule R%d: %d occurrences, mean length %.0f, first at [%d,%d]\n",

@@ -1,23 +1,40 @@
 // Command gvadlint runs the repo's custom static-analysis suite
 // (internal/analysis/passes) over the given packages:
 //
-//	gvadlint [packages]    # defaults to ./...
+//	gvadlint [-v] [-json] [packages]    # defaults to ./...
 //
 // The passes mechanically enforce the invariants that keep the serving
-// stack correct and fast:
+// stack correct and fast. The flow-sensitive passes run on the CFG and
+// dataflow engine in internal/analysis/cfg:
 //
 //	nobarego       goroutines spawn through worker.Group, never bare `go`
 //	ctxdiscipline  ctx-first params; no ambient Background/TODO in library
 //	               code; Ctx variants for exported series scans
 //	noalloc        //gvad:noalloc functions (and their static callees) stay
-//	               free of allocating constructs on non-error paths
-//	poolrelease    workspace.Get is matched by workspace.Put on all paths
+//	               free of allocating constructs on non-cold paths
+//	poolrelease    workspace.Get/GetKernel is matched by Put/PutKernel on
+//	               every path (defer-aware, rebind-aware)
+//	lockdiscipline Lock/Unlock pairing on all paths, double-lock, RWMutex
+//	               up/downgrade misuse, declared //gvad:lockorder facts
+//	walfirst       //gvad:walfirst functions append to the write-ahead log
+//	               before mutating the stream on every path
+//	errdiscipline  no silently dropped errors in library code, no error
+//	               stores dead on every path, typed errors on
+//	               //gvad:typederr paths
+//	exhaustivemode //gvad:modes switches cover the canonical mode lists
+//	               from internal/modes
 //
 // Diagnostics print as file:line:col: analyzer: message, and any finding
 // makes the process exit 1 — `make lint` and CI treat the suite as a gate.
+// With -json, diagnostics print instead as a JSON array of
+// {file,line,col,pass,message} objects for machine consumption (the
+// GitHub problem matcher in .github/gvadlint-problem-matcher.json parses
+// the plain-text form).
+//
 // A finding is silenced with a `//gvad:ignore <analyzer> <reason>` comment
 // on the flagged line or the line above; DESIGN.md §11 describes when that
-// is acceptable.
+// is acceptable. The run reports the suppression count, and a test pins it
+// at zero — silencing a finding fails loudly instead of accumulating.
 //
 // Upstream toolchain analyzers (copylocks and friends) run via `go vet` in
 // `make lint`; gvadlint deliberately carries no dependency on
@@ -26,6 +43,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,9 +53,13 @@ import (
 	"grammarviz/internal/analysis"
 	"grammarviz/internal/analysis/load"
 	"grammarviz/internal/analysis/passes/ctxdiscipline"
+	"grammarviz/internal/analysis/passes/errdiscipline"
+	"grammarviz/internal/analysis/passes/exhaustivemode"
+	"grammarviz/internal/analysis/passes/lockdiscipline"
 	"grammarviz/internal/analysis/passes/noalloc"
 	"grammarviz/internal/analysis/passes/nobarego"
 	"grammarviz/internal/analysis/passes/poolrelease"
+	"grammarviz/internal/analysis/passes/walfirst"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -45,12 +67,26 @@ var analyzers = []*analysis.Analyzer{
 	ctxdiscipline.Analyzer,
 	noalloc.Analyzer,
 	poolrelease.Analyzer,
+	lockdiscipline.Analyzer,
+	walfirst.Analyzer,
+	errdiscipline.Analyzer,
+	exhaustivemode.Analyzer,
+}
+
+// jsonDiag is the -json wire shape of one finding.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
 }
 
 func main() {
 	verbose := flag.Bool("v", false, "print pass/package timing")
+	jsonOut := flag.Bool("json", false, "print diagnostics as JSON")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: gvadlint [-v] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: gvadlint [-v] [-json] [packages]\n\nanalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -74,6 +110,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gvadlint:", err)
 		os.Exit(2)
 	}
+	suppressions := analysis.Suppressions(prog, nil)
 	if *verbose {
 		local := 0
 		for _, p := range prog.Packages {
@@ -85,16 +122,42 @@ func main() {
 			len(prog.Packages), local, loaded.Sub(start).Round(time.Millisecond),
 			time.Since(loaded).Round(time.Millisecond))
 	}
-	for _, d := range diags {
-		fmt.Println(rel(d.String()))
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:    rel(d.Position.Filename),
+				Line:    d.Position.Line,
+				Col:     d.Position.Column,
+				Pass:    d.Analyzer,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "gvadlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(rel(d.String()))
+		}
+	}
+	if n := len(suppressions); n > 0 {
+		fmt.Fprintf(os.Stderr, "gvadlint: %d //gvad:ignore suppression(s) in analyzed packages:\n", n)
+		for _, s := range suppressions {
+			fmt.Fprintf(os.Stderr, "  %s:%d (%s)\n",
+				rel(s.Position.Filename), s.Position.Line, strings.Join(s.Analyzers, ","))
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
 }
 
-// rel trims the working directory prefix from a diagnostic line so output
-// stays readable.
+// rel trims the working directory prefix from a path or diagnostic line so
+// output stays readable.
 func rel(s string) string {
 	wd, err := os.Getwd()
 	if err != nil {

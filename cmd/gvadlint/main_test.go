@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+
+	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/load"
+)
+
+// TestZeroSuppressions pins the repo's //gvad:ignore count at zero:
+// findings are fixed, not silenced. Adding a suppression fails this test
+// so it becomes a reviewed decision with an updated budget, never quiet
+// accumulation. (Pass testdata fixtures live under testdata/ directories,
+// which the loader never treats as packages, so the legitimate negative
+// fixtures do not count.)
+func TestZeroSuppressions(t *testing.T) {
+	prog, err := load.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	got := analysis.Suppressions(prog, nil)
+	if len(got) != 0 {
+		for _, s := range got {
+			t.Errorf("unexpected //gvad:ignore at %s:%d", s.Position.Filename, s.Position.Line)
+		}
+		t.Fatalf("suppression budget is zero; fix the finding or change the budget deliberately")
+	}
+}

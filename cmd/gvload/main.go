@@ -36,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"grammarviz/internal/modes"
 	"grammarviz/internal/server"
 	"grammarviz/internal/worker"
 )
@@ -111,7 +112,8 @@ func main() {
 	flag.IntVar(&cfg.Window, "window", 60, "SAX window")
 	flag.IntVar(&cfg.PAA, "paa", 4, "SAX word length")
 	flag.IntVar(&cfg.Alphabet, "alphabet", 4, "SAX alphabet")
-	flag.StringVar(&cfg.Mode, "mode", "density", "analyze mode (density|rra|besteffort|hotsax)")
+	flag.StringVar(&cfg.Mode, "mode", modes.Density,
+		"analyze mode ("+strings.Join(modes.Serving, "|")+")")
 	flag.IntVar(&cfg.K, "k", 2, "discords per query (discord modes)")
 	flag.Int64Var(&cfg.TimeoutMS, "timeout-ms", 10_000, "per-request budget sent in the body")
 	flag.IntVar(&cfg.Batch, "batch", 0, "items per POST /v1/analyze/batch request (0 = single /v1/analyze)")

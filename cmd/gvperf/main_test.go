@@ -159,3 +159,92 @@ func TestCompareGates(t *testing.T) {
 		}
 	})
 }
+
+func TestFamily(t *testing.T) {
+	cases := map[string]string{
+		"Component_DistKernelPinned/ecg0606":       "kernel",
+		"Component_SearchHOTSAX/tek16/Pinned":      "kernel",
+		"Component_SequiturInduce/ecg15/Codes":     "induction",
+		"Component_SAXDiscretize/ecg0606/Parallel": "induction",
+		"Component_GrammarBuild/ecg15":             "induction",
+		"Component_DensityCurve":                   "induction",
+		"Component_StreamingAppend":                "serving",
+		"Component_EnsembleDensity":                "serving",
+		"Component_RRA/workers=2":                  "other",
+		"Ablation_Reduction":                       "other",
+	}
+	for name, want := range cases {
+		if got := Family(name); got != want {
+			t.Errorf("Family(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestParseFamilyTol(t *testing.T) {
+	name, tol, err := parseFamilyTol("induction=5.0:24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "induction" || tol != (Tol{Ns: 5.0, Alloc: 24}) {
+		t.Fatalf("got %s %+v", name, tol)
+	}
+
+	// Omitted alloc part inherits the global slack, signalled by -1.
+	name, tol, err = parseFamilyTol("kernel=2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "kernel" || tol != (Tol{Ns: 2.5, Alloc: -1}) {
+		t.Fatalf("got %s %+v", name, tol)
+	}
+
+	for _, bad := range []string{"", "induction", "nope=1.0", "kernel=abc", "kernel=1.0:xyz"} {
+		if _, _, err := parseFamilyTol(bad); err == nil {
+			t.Errorf("parseFamilyTol(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCompareFamiliesOverrides(t *testing.T) {
+	base := map[string]Measurement{
+		"Component_DistKernelPinned/ecg0606": {NsPerOp: 100, AllocsPerOp: 0},
+		"Component_SequiturInduce/ecg0606/c": {NsPerOp: 100, AllocsPerOp: 60},
+		"Component_GrammarBuild/ecg15":       {NsPerOp: 100, AllocsPerOp: 500},
+	}
+	// The induction rows run 3x slower with extra pool-warm-up allocs; the
+	// kernel row is flat. A global 1.0 tolerance would fail induction, a
+	// global 4.0 would let a kernel slide pass — the overrides thread it.
+	cur := map[string]Measurement{
+		"Component_DistKernelPinned/ecg0606": {NsPerOp: 150, AllocsPerOp: 0},
+		"Component_SequiturInduce/ecg0606/c": {NsPerOp: 300, AllocsPerOp: 75},
+		"Component_GrammarBuild/ecg15":       {NsPerOp: 290, AllocsPerOp: 500},
+	}
+
+	regs, matched := CompareFamilies(base, cur, Tol{Ns: 1.0, Alloc: 0},
+		map[string]Tol{"induction": {Ns: 4.0, Alloc: 24}})
+	if len(regs) != 0 {
+		t.Fatalf("overrides should absorb the induction drift: %v", regs)
+	}
+	if matched["kernel"] != 1 || matched["induction"] != 2 {
+		t.Fatalf("matched = %v, want kernel:1 induction:2", matched)
+	}
+
+	// Without the override, both induction ns rows and the alloc drift fail,
+	// each line tagged with its family.
+	regs, _ = CompareFamilies(base, cur, Tol{Ns: 1.0, Alloc: 0}, nil)
+	if len(regs) != 3 {
+		t.Fatalf("regs = %v, want 3", regs)
+	}
+	for _, r := range regs {
+		if !strings.Contains(r, "[induction]") {
+			t.Errorf("regression line missing family tag: %q", r)
+		}
+	}
+
+	// An override with Alloc -1 keeps the global slack for allocs.
+	regs, _ = CompareFamilies(base, cur, Tol{Ns: 1.0, Alloc: 0},
+		map[string]Tol{"induction": {Ns: 4.0, Alloc: -1}})
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("regs = %v, want the alloc regression alone", regs)
+	}
+}

@@ -204,6 +204,44 @@ func Run(prog *load.Program, analyzers []*Analyzer, keep func(*load.Package) boo
 	return diags, nil
 }
 
+// Suppression is one //gvad:ignore directive found in an analyzed
+// package.
+type Suppression struct {
+	Position  token.Position
+	Analyzers []string
+}
+
+// Suppressions returns every //gvad:ignore directive in prog's
+// non-standard-library packages, with keep selecting packages the same
+// way Run does (nil keeps all). The count is the lint suite's suppression
+// budget: a test pins it at zero so silencing a finding is a visible,
+// reviewed act instead of quiet accumulation.
+func Suppressions(prog *load.Program, keep func(*load.Package) bool) []Suppression {
+	var out []Suppression
+	for _, pkg := range prog.Packages {
+		if pkg.Standard || pkg.Types == nil {
+			continue
+		}
+		if keep != nil && !keep(pkg) {
+			continue
+		}
+		for _, d := range collectIgnores(prog.Fset, pkg.Syntax) {
+			out = append(out, Suppression{
+				Position:  token.Position{Filename: d.file, Line: d.line},
+				Analyzers: d.analyzers,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
 // IsTestFile reports whether the file a node belongs to is a _test.go file.
 func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
 	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
@@ -218,4 +256,20 @@ func IsContextType(t types.Type) bool {
 	obj := named.Obj()
 	return obj != nil && obj.Pkg() != nil &&
 		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// InspectSkippingFuncLits visits every node under n except the interiors
+// of function literals — the shape flow-sensitive passes use when a
+// literal's body is analyzed as its own function.
+func InspectSkippingFuncLits(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		visit(m)
+		return true
+	})
 }

@@ -1,0 +1,467 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and runs monotone dataflow analyses over them. It is the
+// flow-sensitive core behind the gvadlint passes that reason about paths —
+// poolrelease (all-paths release), noalloc (cold blocks), lockdiscipline
+// (pairing/ordering), and walfirst (append-before-mutate dominance) — and,
+// like the rest of internal/analysis, it is stdlib-only.
+//
+// The graph is deliberately statement-granular, not SSA: each Block holds
+// the simple statements (and branch-condition expressions) that execute in
+// order, and control constructs are decomposed into edges. Conditions keep
+// their branch polarity (Succs[0] is the true edge), so analyses can refine
+// facts along edges — the walfirst pass uses this for `log == nil` tests.
+// Panic calls and returns edge to a single virtual Exit block; defer
+// statements are recorded on the graph (they run on every exit path, so
+// path-sensitive passes discharge obligations against them separately
+// rather than threading them through the flow).
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal run of straight-line code.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (creation order;
+	// Entry is 0).
+	Index int
+	// Nodes are the simple statements and evaluated expressions of the
+	// block in execution order. Control statements never appear here —
+	// only their decomposed parts do (an if's Init and Cond, a switch's
+	// Tag, a case clause's match expressions, a range's operand).
+	Nodes []ast.Node
+	// Succs are the successor blocks. When Cond is non-nil there are
+	// exactly two and Succs[0] is the edge taken when Cond is true.
+	Succs []*Block
+	// Preds are the predecessor blocks.
+	Preds []*Block
+	// Cond is the boolean branch condition the block ends on, or nil.
+	// The condition expression is also the last entry of Nodes (it is
+	// evaluated in this block).
+	Cond ast.Expr
+	// Return is the return statement the block exits through, or nil.
+	Return *ast.ReturnStmt
+	// Panics records that the block exits through a panic(...) call.
+	Panics bool
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters at; Exit is the single virtual
+	// block every return, panic, and fall-off-the-end path reaches. Exit
+	// holds no nodes.
+	Entry, Exit *Block
+	// Blocks lists every block, including Entry and Exit and any
+	// unreachable blocks created after terminators (dataflow and
+	// dominance skip blocks not reachable from Entry).
+	Blocks []*Block
+	// Defers lists every defer statement of the body in source order.
+	// Deferred work runs on every path out of the function, so passes
+	// treat it as attached to Exit rather than to its flow position.
+	Defers []*ast.DeferStmt
+}
+
+// FallsOff reports the reachable blocks from which control can fall off
+// the end of the function (or reach Exit through a bare terminator that
+// is neither a return nor a panic — i.e. the implicit return).
+func (g *Graph) FallsOff() []*Block {
+	reach := g.reachable()
+	var out []*Block
+	for _, p := range g.Exit.Preds {
+		if reach[p] && p.Return == nil && !p.Panics {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// reachable returns the set of blocks reachable from Entry.
+func (g *Graph) reachable() map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// New builds the control-flow graph of body. The builder is purely
+// syntactic: it resolves labels, loops, switches, selects, defers, and
+// panic calls, but needs no type information.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*Block{}}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	// The implicit return: harmless when cur is an unreachable
+	// continuation block (those are skipped by reachability).
+	b.edge(b.cur, g.Exit)
+	return g
+}
+
+// target is one enclosing breakable/continuable construct.
+type target struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch and select frames
+}
+
+type builder struct {
+	g        *builderGraph
+	cur      *Block
+	targets  []target
+	labels   map[string]*Block // label name → block the label starts
+	curLabel string            // pending label for the next loop/switch
+}
+
+// builderGraph is an alias so builder methods read naturally.
+type builderGraph = Graph
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// labelBlock returns (creating on first use) the block a label names, so
+// forward gotos resolve.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// takeLabel consumes the pending label for the construct that owns it.
+func (b *builder) takeLabel() string {
+	l := b.curLabel
+	b.curLabel = ""
+	return l
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.curLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.curLabel = ""
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.cur.Return = s
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock() // unreachable continuation
+	case *ast.DeferStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.g.Defers = append(b.g.Defers, s)
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isPanicCall(s.X) {
+			b.cur.Panics = true
+			b.edge(b.cur, b.g.Exit)
+			b.cur = b.newBlock()
+		}
+	case *ast.EmptyStmt:
+		// nothing executes
+	default:
+		// Assign, Decl, Go, Send, IncDec — straight-line statements.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	cond := b.cur
+	cond.Nodes = append(cond.Nodes, s.Cond)
+	cond.Cond = s.Cond
+
+	then := b.newBlock()
+	b.edge(cond, then) // Succs[0]: true
+
+	var elseStart *Block
+	if s.Else != nil {
+		elseStart = b.newBlock()
+		b.edge(cond, elseStart) // Succs[1]: false
+	}
+
+	b.cur = then
+	b.stmt(s.Body)
+	thenEnd := b.cur
+
+	join := b.newBlock()
+	if s.Else != nil {
+		b.cur = elseStart
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(cond, join) // Succs[1]: false
+	}
+	b.edge(thenEnd, join)
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.cur, head)
+
+	body := b.newBlock()
+	exit := b.newBlock()
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		head.Cond = s.Cond
+		b.edge(head, body) // true
+		b.edge(head, exit) // false
+	} else {
+		b.edge(head, body)
+	}
+
+	continueTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock()
+		continueTo = post
+	}
+
+	b.targets = append(b.targets, target{label: label, breakTo: exit, continueTo: continueTo})
+	b.cur = body
+	b.stmt(s.Body)
+	b.targets = b.targets[:len(b.targets)-1]
+
+	if post != nil {
+		b.edge(b.cur, post)
+		b.cur = post
+		b.stmt(s.Post)
+	}
+	b.edge(b.cur, head) // back edge
+	b.cur = exit
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	b.cur.Nodes = append(b.cur.Nodes, s.X) // operand evaluated once
+	head := b.newBlock()
+	b.edge(b.cur, head)
+
+	body := b.newBlock()
+	exit := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, exit)
+
+	b.targets = append(b.targets, target{label: label, breakTo: exit, continueTo: head})
+	b.cur = body
+	// Key/value bindings happen per iteration at the top of the body.
+	if s.Key != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Key)
+	}
+	if s.Value != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Value)
+	}
+	b.stmt(s.Body)
+	b.targets = b.targets[:len(b.targets)-1]
+
+	b.edge(b.cur, head)
+	b.cur = exit
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+	}
+	dispatch := b.cur
+	exit := b.newBlock()
+
+	var clauses []*ast.CaseClause
+	for _, c := range s.Body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	caseBlocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		caseBlocks[i] = b.newBlock()
+		b.edge(dispatch, caseBlocks[i])
+		if c.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(dispatch, exit)
+	}
+
+	b.targets = append(b.targets, target{label: label, breakTo: exit})
+	for i, c := range clauses {
+		b.cur = caseBlocks[i]
+		for _, e := range c.List {
+			b.cur.Nodes = append(b.cur.Nodes, e) // match expressions evaluate
+		}
+		body := c.Body
+		fallsThrough := false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				body = body[:n-1]
+			}
+		}
+		b.stmtList(body)
+		if fallsThrough && i+1 < len(caseBlocks) {
+			b.edge(b.cur, caseBlocks[i+1])
+		} else {
+			b.edge(b.cur, exit)
+		}
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = exit
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+	dispatch := b.cur
+	exit := b.newBlock()
+
+	hasDefault := false
+	var caseBlocks []*Block
+	var clauses []*ast.CaseClause
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		cb := b.newBlock()
+		caseBlocks = append(caseBlocks, cb)
+		b.edge(dispatch, cb)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(dispatch, exit)
+	}
+
+	b.targets = append(b.targets, target{label: label, breakTo: exit})
+	for i, c := range clauses {
+		b.cur = caseBlocks[i]
+		b.stmtList(c.Body)
+		b.edge(b.cur, exit)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = exit
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	dispatch := b.cur
+	exit := b.newBlock()
+
+	b.targets = append(b.targets, target{label: label, breakTo: exit})
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		cb := b.newBlock()
+		b.edge(dispatch, cb)
+		b.cur = cb
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, exit)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	// A select with no clauses blocks forever; exit stays unreachable.
+	b.cur = exit
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if s.Label == nil || t.label == s.Label.Name {
+				b.edge(b.cur, t.breakTo)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.continueTo == nil {
+				continue // switch/select frame: continue passes through
+			}
+			if s.Label == nil || t.label == s.Label.Name {
+				b.edge(b.cur, t.continueTo)
+				break
+			}
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			b.edge(b.cur, b.labelBlock(s.Label.Name))
+		}
+	case token.FALLTHROUGH:
+		// Consumed by the switch walker; a stray one is a parse error
+		// anyway.
+		return
+	}
+	b.cur = b.newBlock() // unreachable continuation
+}
+
+// isPanicCall reports whether e is a call to the panic builtin. The check
+// is syntactic — shadowing `panic` would defeat it, which no reasonable
+// code does.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

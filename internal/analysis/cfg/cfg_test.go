@@ -1,0 +1,445 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src (a file fragment containing one function) and
+// returns the CFG of the first function declaration.
+func buildFunc(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package x\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return New(fd.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, `func f() { a(); b() }`)
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry nodes = %d, want 2", len(g.Entry.Nodes))
+	}
+	offs := g.FallsOff()
+	if len(offs) != 1 || offs[0] != g.Entry {
+		t.Fatalf("FallsOff = %v, want [entry]", offs)
+	}
+}
+
+func TestIfElseReturns(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) int {
+		if c {
+			return 1
+		} else {
+			return 2
+		}
+	}`)
+	if got := g.FallsOff(); len(got) != 0 {
+		t.Fatalf("FallsOff = %v, want none (both branches return)", got)
+	}
+	returns := 0
+	reach := g.reachable()
+	for _, b := range g.Blocks {
+		if reach[b] && b.Return != nil {
+			returns++
+		}
+	}
+	if returns != 2 {
+		t.Fatalf("reachable return blocks = %d, want 2", returns)
+	}
+}
+
+func TestCondEdgesAndDominance(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+		if c {
+			a()
+		}
+		b()
+	}`)
+	cond := g.Entry
+	if cond.Cond == nil || len(cond.Succs) != 2 {
+		t.Fatalf("entry should be conditional with 2 succs, got cond=%v succs=%d", cond.Cond, len(cond.Succs))
+	}
+	then, join := cond.Succs[0], cond.Succs[1]
+	if len(then.Nodes) != 1 {
+		t.Fatalf("then block nodes = %d, want 1 (a())", len(then.Nodes))
+	}
+	dom := Dominators(g)
+	if !dom.Dominates(cond, join) {
+		t.Error("cond should dominate join")
+	}
+	if dom.Dominates(then, join) {
+		t.Error("then must not dominate join (false edge bypasses it)")
+	}
+}
+
+func TestLoopShape(t *testing.T) {
+	g := buildFunc(t, `func f(n int) {
+		for i := 0; i < n; i++ {
+			work()
+		}
+		done()
+	}`)
+	// Find the loop head: the conditional block.
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no conditional loop head")
+	}
+	if len(head.Preds) != 2 {
+		t.Fatalf("loop head preds = %d, want 2 (entry + back edge)", len(head.Preds))
+	}
+	dom := Dominators(g)
+	for _, s := range head.Succs {
+		if !dom.Dominates(head, s) {
+			t.Error("loop head should dominate both successors")
+		}
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	g := buildFunc(t, `func f(n int) {
+		for i := 0; i < n; i++ {
+			if i == 3 {
+				break
+			}
+			if i == 1 {
+				continue
+			}
+			work()
+		}
+	}`)
+	reach := g.reachable()
+	var workSeen bool
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "work" {
+						workSeen = true
+					}
+				}
+			}
+		}
+	}
+	if !workSeen {
+		t.Error("work() call should be reachable")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := buildFunc(t, `func f(n int) {
+	outer:
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if j == i {
+					break outer
+				}
+			}
+		}
+		done()
+	}`)
+	reach := g.reachable()
+	var doneReach bool
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "done" {
+						doneReach = true
+					}
+				}
+			}
+		}
+	}
+	if !doneReach {
+		t.Error("done() after labeled break target should be reachable")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, `func f(x int) {
+		switch x {
+		case 1:
+			a()
+			fallthrough
+		case 2:
+			b()
+		default:
+			c()
+		}
+	}`)
+	// The case-1 block must have the case-2 block among its successors.
+	var case1, case2 *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						switch id.Name {
+						case "a":
+							case1 = b
+						case "b":
+							case2 = b
+						}
+					}
+				}
+			}
+		}
+	}
+	if case1 == nil || case2 == nil {
+		t.Fatal("case blocks not found")
+	}
+	found := false
+	for _, s := range case1.Succs {
+		if s == case2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fallthrough edge from case 1 to case 2 missing")
+	}
+}
+
+func TestPanicAndDefer(t *testing.T) {
+	g := buildFunc(t, `func f(c bool) {
+		defer cleanup()
+		if c {
+			panic("boom")
+		}
+		work()
+	}`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("defers = %d, want 1", len(g.Defers))
+	}
+	var panicBlock *Block
+	for _, b := range g.Blocks {
+		if b.Panics {
+			panicBlock = b
+		}
+	}
+	if panicBlock == nil {
+		t.Fatal("no panic block recorded")
+	}
+	exitEdge := false
+	for _, s := range panicBlock.Succs {
+		if s == g.Exit {
+			exitEdge = true
+		}
+	}
+	if !exitEdge {
+		t.Error("panic block must edge to Exit")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := buildFunc(t, `func f(a, b chan int) int {
+		select {
+		case v := <-a:
+			return v
+		case <-b:
+			return 0
+		}
+	}`)
+	if got := g.FallsOff(); len(got) != 0 {
+		t.Fatalf("FallsOff = %v, want none (every arm returns)", got)
+	}
+}
+
+// calledF is a forward must-analysis: the fact is "f() has been called on
+// every path to this point". Used to exercise the generic framework.
+type calledF struct{}
+
+func (calledF) Boundary() bool       { return false }
+func (calledF) Merge(a, b bool) bool { return a && b }
+func (calledF) Equal(a, b bool) bool { return a == b }
+func (calledF) Transfer(b *Block, f bool) bool {
+	for _, n := range b.Nodes {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "f" {
+					f = true
+				}
+			}
+		}
+	}
+	return f
+}
+
+func TestForwardMustAnalysis(t *testing.T) {
+	// f() called on only one branch: not established at the join.
+	g := buildFunc(t, `func g(c bool) {
+		if c {
+			f()
+		}
+		after()
+	}`)
+	res := Forward[bool](g, calledF{})
+	join := g.Entry.Succs[1]
+	if res.In[join] {
+		t.Error("f() on one branch must not be established at join")
+	}
+
+	// f() called on both branches: established at the join.
+	g = buildFunc(t, `func g(c bool) {
+		if c {
+			f()
+		} else {
+			f()
+		}
+		after()
+	}`)
+	res = Forward[bool](g, calledF{})
+	var joinIn bool
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "after" {
+						joinIn = res.In[b]
+					}
+				}
+			}
+		}
+	}
+	if !joinIn {
+		t.Error("f() on both branches must be established at join")
+	}
+
+	// Loop: fact survives the back edge.
+	g = buildFunc(t, `func g(n int) {
+		f()
+		for i := 0; i < n; i++ {
+			work()
+		}
+		after()
+	}`)
+	res = Forward[bool](g, calledF{})
+	if !res.In[g.Exit] {
+		t.Error("fact established before a loop must reach Exit")
+	}
+}
+
+// nilRefine is calledF plus edge refinement: on the true edge of a
+// `p == nil` condition the fact becomes true (mirrors walfirst's
+// "no WAL configured" exemption edge).
+type nilRefine struct{ calledF }
+
+func (nilRefine) RefineEdge(from *Block, branch int, f bool) bool {
+	be, ok := from.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return f
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if be.Op == token.EQL && (isNil(be.X) || isNil(be.Y)) && branch == 0 {
+		return true
+	}
+	return f
+}
+
+func TestEdgeRefinement(t *testing.T) {
+	g := buildFunc(t, `func g(p *int) {
+		if p == nil {
+			after()
+		}
+	}`)
+	res := Forward[bool](g, nilRefine{})
+	then := g.Entry.Succs[0]
+	if !res.In[then] {
+		t.Error("true edge of p == nil should refine the fact to true")
+	}
+	join := g.Entry.Succs[1]
+	if res.In[join] {
+		t.Error("false edge of p == nil must not refine the fact")
+	}
+}
+
+// anyReturn is a backward must-analysis: "every path from here ends in a
+// return statement" (as opposed to falling off the end).
+type allPathsReturn struct{}
+
+func (allPathsReturn) Boundary() bool       { return false }
+func (allPathsReturn) Merge(a, b bool) bool { return a && b }
+func (allPathsReturn) Equal(a, b bool) bool { return a == b }
+func (allPathsReturn) Transfer(b *Block, f bool) bool {
+	if b.Return != nil {
+		return true
+	}
+	return f
+}
+
+func TestBackwardAnalysis(t *testing.T) {
+	g := buildFunc(t, `func g(c bool) int {
+		if c {
+			return 1
+		}
+		work()
+		return 2
+	}`)
+	res := Backward[bool](g, allPathsReturn{})
+	if !res.Out[g.Entry] {
+		t.Error("all paths return: entry Out should be true")
+	}
+
+	g = buildFunc(t, `func g(c bool) {
+		if c {
+			return
+		}
+		work()
+	}`)
+	res = Backward[bool](g, allPathsReturn{})
+	if res.Out[g.Entry] {
+		t.Error("fall-off path exists: entry Out should be false")
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g := buildFunc(t, `func g(c bool) {
+		if c {
+			goto done
+		}
+		work()
+	done:
+		after()
+	}`)
+	reach := g.reachable()
+	n := 0
+	for _, b := range g.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for range b.Nodes {
+			n++
+		}
+	}
+	// cond + work() + after() + the goto path: all reachable.
+	if n < 3 {
+		t.Fatalf("reachable nodes = %d, want >= 3", n)
+	}
+	if len(g.FallsOff()) != 1 {
+		t.Fatalf("FallsOff = %d, want 1", len(g.FallsOff()))
+	}
+}

@@ -1,0 +1,174 @@
+package cfg
+
+// Lattice defines one monotone dataflow problem over a Graph. Facts flow
+// through blocks via Transfer and meet at merge points via Merge; the
+// framework iterates to a fixpoint, so Transfer and Merge must be
+// monotone and the lattice of facts must have finite height (true for
+// the finite sets and booleans the passes use). Transfer and Merge must
+// not mutate their inputs — return fresh values (or shared immutable
+// ones).
+type Lattice[F any] interface {
+	// Boundary is the fact at the analysis boundary: function entry for
+	// Forward, the virtual Exit block for Backward.
+	Boundary() F
+	// Transfer flows a fact through one block's Nodes in execution order
+	// (reverse order for Backward analyses).
+	Transfer(b *Block, f F) F
+	// Merge joins two facts at a control-flow merge.
+	Merge(a, b F) F
+	// Equal reports whether two facts are equal (fixpoint detection).
+	Equal(a, b F) bool
+}
+
+// EdgeRefiner is an optional Lattice extension that refines facts along
+// the outgoing edges of a conditional block: branch 0 is the edge taken
+// when b.Cond is true, branch 1 the false edge. Non-conditional edges do
+// not call RefineEdge.
+type EdgeRefiner[F any] interface {
+	RefineEdge(from *Block, branch int, f F) F
+}
+
+// Result holds the fixpoint facts per reachable block. In is the fact on
+// block entry, Out after its Transfer (for Backward analyses In is the
+// fact at the block's end and Out at its start, mirroring the flow
+// direction). Unreachable blocks are absent from both maps.
+type Result[F any] struct {
+	In, Out map[*Block]F
+}
+
+// Forward runs a forward dataflow analysis to fixpoint.
+func Forward[F any](g *Graph, lat Lattice[F]) Result[F] {
+	res := Result[F]{In: map[*Block]F{}, Out: map[*Block]F{}}
+	blocks := reachableRPO(g)
+	refiner, _ := lat.(EdgeRefiner[F])
+
+	res.In[g.Entry] = lat.Boundary()
+	res.Out[g.Entry] = lat.Transfer(g.Entry, res.In[g.Entry])
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range blocks {
+			if b == g.Entry {
+				continue
+			}
+			var in F
+			have := false
+			for _, p := range b.Preds {
+				out, ok := res.Out[p]
+				if !ok {
+					continue // unreachable or not yet computed
+				}
+				if refiner != nil && p.Cond != nil {
+					out = refiner.RefineEdge(p, branchIndex(p, b), out)
+				}
+				if !have {
+					in, have = out, true
+				} else {
+					in = lat.Merge(in, out)
+				}
+			}
+			if !have {
+				continue
+			}
+			prevIn, hadIn := res.In[b]
+			if hadIn && lat.Equal(prevIn, in) {
+				continue
+			}
+			res.In[b] = in
+			out := lat.Transfer(b, in)
+			prevOut, hadOut := res.Out[b]
+			if !hadOut || !lat.Equal(prevOut, out) {
+				res.Out[b] = out
+				changed = true
+			}
+		}
+	}
+	return res
+}
+
+// Backward runs a backward dataflow analysis to fixpoint: facts start at
+// Exit and flow against the edges. In is the fact at a block's end
+// (merged over successors), Out the fact at its start after Transfer.
+func Backward[F any](g *Graph, lat Lattice[F]) Result[F] {
+	res := Result[F]{In: map[*Block]F{}, Out: map[*Block]F{}}
+	blocks := reachableRPO(g)
+
+	res.In[g.Exit] = lat.Boundary()
+	res.Out[g.Exit] = lat.Transfer(g.Exit, res.In[g.Exit])
+
+	changed := true
+	for changed {
+		changed = false
+		// Iterate in reverse RPO — roughly postorder, the efficient
+		// direction for backward problems.
+		for i := len(blocks) - 1; i >= 0; i-- {
+			b := blocks[i]
+			if b == g.Exit {
+				continue
+			}
+			var in F
+			have := false
+			for _, s := range b.Succs {
+				out, ok := res.Out[s]
+				if !ok {
+					continue
+				}
+				if !have {
+					in, have = out, true
+				} else {
+					in = lat.Merge(in, out)
+				}
+			}
+			if !have {
+				continue
+			}
+			prevIn, hadIn := res.In[b]
+			if hadIn && lat.Equal(prevIn, in) {
+				continue
+			}
+			res.In[b] = in
+			out := lat.Transfer(b, in)
+			prevOut, hadOut := res.Out[b]
+			if !hadOut || !lat.Equal(prevOut, out) {
+				res.Out[b] = out
+				changed = true
+			}
+		}
+	}
+	return res
+}
+
+// branchIndex returns which outgoing edge of p leads to b (0 or 1 for
+// conditional blocks; the first match wins).
+func branchIndex(p, b *Block) int {
+	for i, s := range p.Succs {
+		if s == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// reachableRPO returns the blocks reachable from Entry in reverse
+// postorder.
+func reachableRPO(g *Graph) []*Block {
+	var post []*Block
+	seen := map[*Block]bool{}
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	rpo := make([]*Block, len(post))
+	for i, b := range post {
+		rpo[len(post)-1-i] = b
+	}
+	return rpo
+}

@@ -1,0 +1,119 @@
+package cfg
+
+// DomTree is the dominance tree of a Graph: block a dominates block b
+// when every path from Entry to b passes through a. Computed with the
+// Cooper–Harvey–Kennedy iterative algorithm over a reverse-postorder
+// numbering — simple, and fast enough for function-sized graphs.
+type DomTree struct {
+	idom map[*Block]*Block // immediate dominator; Entry maps to itself
+	rpo  map[*Block]int    // reverse-postorder number of reachable blocks
+}
+
+// Dominators computes the dominance tree over the blocks reachable from
+// g.Entry. Unreachable blocks have no dominator and are reported as not
+// dominated by (and not dominating) anything.
+func Dominators(g *Graph) *DomTree {
+	// Postorder DFS from Entry.
+	var order []*Block
+	seen := map[*Block]bool{}
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(g.Entry)
+
+	t := &DomTree{idom: map[*Block]*Block{}, rpo: map[*Block]int{}}
+	// order is postorder; reverse-postorder number = len-1-i.
+	for i, b := range order {
+		t.rpo[b] = len(order) - 1 - i
+	}
+	t.idom[g.Entry] = g.Entry
+
+	changed := true
+	for changed {
+		changed = false
+		// Visit in reverse postorder (skip Entry).
+		for i := len(order) - 1; i >= 0; i-- {
+			b := order[i]
+			if b == g.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if _, ok := t.rpo[p]; !ok {
+					continue // unreachable predecessor
+				}
+				if t.idom[p] == nil {
+					continue // not yet processed this round
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.idom[b] != newIdom {
+				t.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+// intersect walks two blocks up the dominator tree to their common
+// ancestor (the classic two-finger walk on RPO numbers).
+func (t *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for t.rpo[a] > t.rpo[b] {
+			a = t.idom[a]
+		}
+		for t.rpo[b] > t.rpo[a] {
+			b = t.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns b's immediate dominator (nil for Entry and for
+// unreachable blocks).
+func (t *DomTree) Idom(b *Block) *Block {
+	d := t.idom[b]
+	if d == b {
+		return nil
+	}
+	return d
+}
+
+// Dominates reports whether a dominates b (reflexively: every block
+// dominates itself). Unreachable blocks dominate nothing.
+func (t *DomTree) Dominates(a, b *Block) bool {
+	if _, ok := t.rpo[a]; !ok {
+		return false
+	}
+	if _, ok := t.rpo[b]; !ok {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := t.idom[b]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// Reachable reports whether b is reachable from Entry.
+func (t *DomTree) Reachable(b *Block) bool {
+	_, ok := t.rpo[b]
+	return ok
+}

@@ -1,0 +1,423 @@
+// Package errdiscipline enforces the repo's error-handling contract in
+// library code (every non-main package), three ways:
+//
+//   - no silently dropped errors: a call whose result set includes an
+//     error must not stand alone as an expression statement. Dropping
+//     deliberately requires an explicit `_ =` assignment, which is
+//     visible in review. Calls into fmt and the never-failing
+//     strings.Builder/bytes.Buffer writers are exempt.
+//
+//   - no dead error stores: an assignment `err = f()` whose value is
+//     never read on ANY path before the variable is reassigned or goes
+//     out of scope is a check that never happens. This is a backward
+//     liveness analysis over the CFG (internal/analysis/cfg); uses
+//     inside function literals count as uses (the closure may read the
+//     captured variable), but assignments inside literals never kill
+//     (the closure may run on no path we can see).
+//
+//   - typed errors on annotated paths: a function marked //gvad:typederr
+//     must not return ad-hoc errors — errors.New or fmt.Errorf without a
+//     %w wrap — because callers match the package's sentinel and typed
+//     errors with errors.Is/As.
+package errdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errdiscipline",
+	Doc: "checks for silently dropped errors, error stores that are dead on " +
+		"every path, and ad-hoc errors returned from //gvad:typederr functions",
+	Run: run,
+}
+
+// Directive marks a function whose returned errors must be the package's
+// typed/sentinel errors (or %w wraps), not ad-hoc constructions.
+const Directive = "//gvad:typederr"
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func run(pass *analysis.Pass) error {
+	library := pass.Pkg.Name() != "main"
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if library {
+				checkDropped(pass, fd.Body)
+			}
+			checkDeadStores(pass, fd.Body, namedResults(fd.Type))
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkDeadStores(pass, lit.Body, namedResults(lit.Type))
+				}
+				return true
+			})
+			if hasDirective(fd) {
+				checkTypedErr(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func hasDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == Directive {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsError reports whether call's result set includes an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+// droppedExempt reports callees whose errors are conventionally
+// unactionable: the fmt print family, the never-failing strings.Builder
+// / bytes.Buffer writers, and writes through a static hash.Hash — whose
+// contract says Write never returns an error.
+func droppedExempt(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if tv, ok := pass.TypesInfo.Types[sel.X]; ok {
+		switch recvName(tv.Type) {
+		case "hash.Hash", "hash.Hash32", "hash.Hash64":
+			return true
+		}
+	}
+	var f *types.Func
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		f, _ = s.Obj().(*types.Func)
+	} else {
+		f, _ = pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	}
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	if f.Pkg().Path() == "fmt" {
+		return true
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	switch recvName(sig.Recv().Type()) {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+func recvName(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+}
+
+// checkDropped flags bare expression statements that discard an error
+// result. Function literal interiors are included: a closure's dropped
+// error is just as silent.
+func checkDropped(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if returnsError(pass, call) && !droppedExempt(pass, call) {
+			pass.Reportf(call.Pos(), "result of %s includes an error that is silently dropped; "+
+				"handle it or assign it explicitly", calleeLabel(pass, call))
+		}
+		return true
+	})
+}
+
+func calleeLabel(pass *analysis.Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return types.ExprString(fun)
+	}
+	return "call"
+}
+
+// --- dead error stores -------------------------------------------------
+
+// liveSet is the backward liveness fact: the error variables whose
+// current value may still be read.
+type liveSet map[*types.Var]bool
+
+type liveLattice struct {
+	pass    *analysis.Pass
+	body    *ast.BlockStmt
+	exclude map[*types.Var]bool // named results: naked returns read them
+}
+
+func (l *liveLattice) Boundary() liveSet { return liveSet{} }
+
+func (l *liveLattice) Merge(a, b liveSet) liveSet {
+	out := make(liveSet, len(a)+len(b))
+	for v := range a {
+		out[v] = true
+	}
+	for v := range b {
+		out[v] = true
+	}
+	return out
+}
+
+func (l *liveLattice) Equal(a, b liveSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer runs backward through the block's nodes: In is the fact at
+// the block's end, the result is the fact at its start.
+func (l *liveLattice) Transfer(b *cfg.Block, f liveSet) liveSet {
+	out := make(liveSet, len(f))
+	for v := range f {
+		out[v] = true
+	}
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		out = liveStep(l.pass, out, b.Nodes[i], nil)
+	}
+	return out
+}
+
+// liveStep flows one node backward: kills (top-level assignments) then
+// gens (reads, including inside function literals). With report set, an
+// assignment that kills a variable not live after the node — and whose
+// value comes from a call — is diagnosed.
+func liveStep(pass *analysis.Pass, f liveSet, n ast.Node, report func(v *types.Var, at ast.Node)) liveSet {
+	killed := map[*types.Var]bool{}
+	if as, ok := n.(*ast.AssignStmt); ok {
+		hasCall := false
+		for _, rhs := range as.Rhs {
+			ast.Inspect(rhs, func(m ast.Node) bool {
+				if _, ok := m.(*ast.CallExpr); ok {
+					hasCall = true
+				}
+				return true
+			})
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			v := varOf(pass, id)
+			if v == nil || !types.Identical(v.Type(), errorType) {
+				continue
+			}
+			if report != nil && hasCall && !f[v] {
+				report(v, id)
+			}
+			killed[v] = true
+		}
+	}
+	out := make(liveSet, len(f))
+	for v := range f {
+		if !killed[v] {
+			out[v] = true
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if isAssignTarget(n, id) {
+			return true
+		}
+		if v := varOf(pass, id); v != nil && types.Identical(v.Type(), errorType) {
+			out[v] = true
+		}
+		return true
+	})
+	return out
+}
+
+func varOf(pass *analysis.Pass, id *ast.Ident) *types.Var {
+	if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pass.TypesInfo.Defs[id].(*types.Var)
+	return v
+}
+
+// isAssignTarget reports whether id is a top-level LHS of n.
+func isAssignTarget(n ast.Node, id *ast.Ident) bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if ast.Unparen(lhs) == id {
+			return true
+		}
+	}
+	return false
+}
+
+func namedResults(ft *ast.FuncType) []*ast.Ident {
+	if ft == nil || ft.Results == nil {
+		return nil
+	}
+	var out []*ast.Ident
+	for _, field := range ft.Results.List {
+		out = append(out, field.Names...)
+	}
+	return out
+}
+
+// checkDeadStores runs the liveness analysis over one body and reports
+// error assignments that are dead on every path. Function literal
+// interiors are opaque: their assignments are neither kills nor stores
+// here (each literal body gets its own analysis from run).
+func checkDeadStores(pass *analysis.Pass, body *ast.BlockStmt, named []*ast.Ident) {
+	lat := &liveLattice{pass: pass, body: body, exclude: map[*types.Var]bool{}}
+	for _, id := range named {
+		if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+			lat.exclude[v] = true
+		}
+	}
+	g := cfg.New(body)
+	res := cfg.Backward[liveSet](g, lat)
+
+	for _, b := range g.Blocks {
+		endFact, reachable := res.In[b]
+		if !reachable {
+			continue
+		}
+		f := make(liveSet, len(endFact))
+		for v := range endFact {
+			f[v] = true
+		}
+		for i := len(b.Nodes) - 1; i >= 0; i-- {
+			n := b.Nodes[i]
+			if isLitInterior(body, n) {
+				continue
+			}
+			f = liveStep(pass, f, n, func(v *types.Var, at ast.Node) {
+				// Named results are read by naked returns; variables
+				// declared outside this body (captured by a literal, or
+				// parameters) have liveness we cannot judge locally.
+				if lat.exclude[v] || v.Pos() < body.Pos() || v.Pos() > body.End() {
+					return
+				}
+				pass.Reportf(at.Pos(), "error assigned to %s is never checked on any path "+
+					"before it is reassigned or goes out of scope", v.Name())
+			})
+		}
+	}
+}
+
+// isLitInterior reports whether n sits inside a function literal nested
+// in body. The CFG flattens statements, so a literal's statements never
+// appear as top-level nodes — but its creation expression does, and the
+// gens it contributes are wanted. Only the report path filters.
+func isLitInterior(body *ast.BlockStmt, n ast.Node) bool {
+	inside := false
+	ast.Inspect(body, func(m ast.Node) bool {
+		if inside {
+			return false
+		}
+		if lit, ok := m.(*ast.FuncLit); ok {
+			if lit.Body.Pos() <= n.Pos() && n.End() <= lit.Body.End() {
+				inside = true
+			}
+			return false
+		}
+		return true
+	})
+	return inside
+}
+
+// --- typed errors ------------------------------------------------------
+
+// checkTypedErr flags ad-hoc error constructions returned from an
+// annotated function: errors.New, or fmt.Errorf with no %w wrap.
+func checkTypedErr(pass *analysis.Pass, fd *ast.FuncDecl) {
+	analysis.InspectSkippingFuncLits(fd.Body, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		for _, res := range ret.Results {
+			call, ok := ast.Unparen(res).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			f, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if f == nil || f.Pkg() == nil {
+				continue
+			}
+			switch f.Pkg().Path() + "." + f.Name() {
+			case "errors.New":
+				pass.Reportf(call.Pos(), "errors.New returned from a //gvad:typederr function; "+
+					"return the package's typed errors so callers can errors.Is/As")
+			case "fmt.Errorf":
+				if len(call.Args) > 0 {
+					if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok &&
+						!strings.Contains(lit.Value, "%w") {
+						pass.Reportf(call.Pos(), "fmt.Errorf without %%w returned from a "+
+							"//gvad:typederr function; wrap a typed error or return one directly")
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,13 @@
+package errdiscipline_test
+
+import (
+	"testing"
+
+	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/analysistest"
+	"grammarviz/internal/analysis/passes/errdiscipline"
+)
+
+func TestErrdiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{errdiscipline.Analyzer}, "./...")
+}

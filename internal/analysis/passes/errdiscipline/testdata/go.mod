@@ -1,0 +1,3 @@
+module ed
+
+go 1.22

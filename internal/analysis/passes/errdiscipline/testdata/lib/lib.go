@@ -1,0 +1,192 @@
+// Package lib exercises the errdiscipline shapes in library code.
+package lib
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrBadInput is the package's sentinel.
+var ErrBadInput = errors.New("lib: bad input")
+
+type closer struct{}
+
+func (c *closer) Close() error { return nil }
+
+func mayFail(n int) error {
+	if n < 0 {
+		return ErrBadInput
+	}
+	return nil
+}
+
+func value(n int) (int, error) { return n, mayFail(n) }
+
+// Dropped discards the Close error on the floor.
+func Dropped(c *closer) {
+	c.Close() // want `error that is silently dropped`
+}
+
+// DroppedInClosure is just as silent inside a literal.
+func DroppedInClosure(c *closer) func() {
+	return func() {
+		c.Close() // want `error that is silently dropped`
+	}
+}
+
+// ExplicitDiscard is visible in review and allowed.
+func ExplicitDiscard(c *closer) {
+	_ = c.Close()
+}
+
+// Handled checks the error.
+func Handled(c *closer) error {
+	return c.Close()
+}
+
+// FmtExempt: the print family's errors are conventionally unactionable.
+func FmtExempt(w *strings.Builder, b *bytes.Buffer) {
+	fmt.Println("x")
+	fmt.Fprintf(w, "%d", 1)
+	w.WriteString("y")
+	b.WriteByte('z')
+}
+
+// HashExempt: hash.Hash documents that Write never returns an error.
+func HashExempt(data []byte) []byte {
+	h := sha256.New()
+	h.Write(data)
+	return h.Sum(nil)
+}
+
+// DeadStore overwrites the first error before any path reads it.
+func DeadStore(n int) error {
+	err := mayFail(n) // want `never checked on any path`
+	err = mayFail(n + 1)
+	return err
+}
+
+// DeadOnAllPaths is dead even through the branch: both arms reassign.
+func DeadOnAllPaths(n int, c bool) error {
+	err := mayFail(n) // want `never checked on any path`
+	if c {
+		err = mayFail(n + 1)
+	} else {
+		err = mayFail(n + 2)
+	}
+	return err
+}
+
+// LiveOnOnePath reads the first store on the else arm: not dead.
+func LiveOnOnePath(n int, c bool) error {
+	err := mayFail(n)
+	if c {
+		err = mayFail(n + 1)
+	} else if err != nil {
+		return fmt.Errorf("first: %w", err)
+	}
+	return err
+}
+
+// LoopCarried is read by the next iteration's condition.
+func LoopCarried(n int) error {
+	var err error
+	for i := 0; i < n && err == nil; i++ {
+		err = value2(i)
+	}
+	return err
+}
+
+func value2(n int) error { return mayFail(n) }
+
+// ClosureReader keeps the store live: the literal reads it later.
+func ClosureReader(n int) func() error {
+	var err error
+	err = mayFail(n)
+	return func() error { return err }
+}
+
+// ClosureWriter must not kill the outer store: the literal may run on no
+// visible path.
+func ClosureWriter(n int) error {
+	err := mayFail(n)
+	retry := func() { err = mayFail(n + 1) }
+	if err != nil {
+		retry()
+	}
+	return err
+}
+
+// NakedReturn: named results are read by the bare return; excluded.
+func NakedReturn(n int) (err error) {
+	err = mayFail(n)
+	return
+}
+
+// MultiAssign: the error half of a pair, dead on every path.
+func MultiAssign(n int) int {
+	v, err := value(n) // want `never checked on any path`
+	v2, err := value(v)
+	if err != nil {
+		return 0
+	}
+	return v2
+}
+
+// NilReset is not a store from a call; resets are idiomatic.
+func NilReset(n int) error {
+	err := mayFail(n)
+	if err == ErrBadInput {
+		err = nil
+	}
+	return err
+}
+
+// Typed returns the sentinel: complies with the directive.
+//
+//gvad:typederr
+func Typed(n int) error {
+	if n < 0 {
+		return ErrBadInput
+	}
+	return nil
+}
+
+// TypedWrap wraps with %w: complies.
+//
+//gvad:typederr
+func TypedWrap(n int) error {
+	if err := mayFail(n); err != nil {
+		return fmt.Errorf("checking %d: %w", n, err)
+	}
+	return nil
+}
+
+// AdHocNew constructs an unmatchable error on an annotated path.
+//
+//gvad:typederr
+func AdHocNew(n int) error {
+	if n < 0 {
+		return errors.New("negative") // want `errors.New returned from a //gvad:typederr function`
+	}
+	return nil
+}
+
+// AdHocErrorf formats without wrapping.
+//
+//gvad:typederr
+func AdHocErrorf(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative: %d", n) // want `fmt.Errorf without %w`
+	}
+	return nil
+}
+
+// Allowlisted carries a reviewed suppression.
+func Allowlisted(c *closer) {
+	//gvad:ignore errdiscipline fixture for the allowlisted-negative path
+	c.Close()
+}

@@ -1,0 +1,25 @@
+// Command mainpkg shows the library-only scoping: dropped errors in main
+// packages are tolerated (CLIs print and exit), dead stores are not.
+package main
+
+import "errors"
+
+type closer struct{}
+
+func (c *closer) Close() error { return nil }
+
+func mayFail(n int) error {
+	if n < 0 {
+		return errors.New("bad")
+	}
+	return nil
+}
+
+func main() {
+	c := &closer{}
+	c.Close() // no finding: main package
+
+	err := mayFail(1) // want `never checked on any path`
+	err = mayFail(2)
+	_ = err
+}

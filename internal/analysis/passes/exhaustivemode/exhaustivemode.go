@@ -1,0 +1,203 @@
+// Package exhaustivemode checks mode-string switches against the
+// canonical mode lists in internal/modes. A switch annotated
+//
+//	//gvad:modes Serving
+//	//gvad:modes CLI except hotsax,brute
+//
+// must have a constant-string case for every mode in the named list
+// (minus the except clause); cases naming modes outside the list are
+// flagged too. Empty-string cases (the default-mode fallback) are
+// ignored. The lists themselves are harvested as session facts from any
+// package named "modes": every package-level `var X = []string{...}`
+// whose elements resolve to string constants becomes a checkable set, so
+// adding a mode to the list without updating an annotated switch — in
+// cmd/gva or internal/server — fails the lint run.
+package exhaustivemode
+
+import (
+	"go/ast"
+	"go/constant"
+	"sort"
+	"strings"
+
+	"grammarviz/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustivemode",
+	Doc: "checks //gvad:modes-annotated switches for exhaustive coverage " +
+		"of the canonical mode lists from the modes package",
+	Run: run,
+}
+
+// Directive annotates a switch with the mode set it must cover.
+const Directive = "//gvad:modes"
+
+const sessionKey = "exhaustivemode.sets"
+
+// directive is one parsed //gvad:modes comment.
+type directive struct {
+	set    string
+	except map[string]bool
+}
+
+func getSets(s *analysis.Session) map[string][]string {
+	if v, ok := s.Get(sessionKey).(map[string][]string); ok {
+		return v
+	}
+	v := map[string][]string{}
+	s.Set(sessionKey, v)
+	return v
+}
+
+func run(pass *analysis.Pass) error {
+	sets := getSets(pass.Session)
+	if pass.Pkg.Name() == "modes" {
+		harvest(pass, sets)
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		checkFile(pass, sets, f)
+	}
+	return nil
+}
+
+// harvest records every package-level []string variable whose elements
+// are string constants as a checkable mode set.
+func harvest(pass *analysis.Pass, sets map[string][]string) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						break
+					}
+					lit, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					var elems []string
+					complete := len(lit.Elts) > 0
+					for _, e := range lit.Elts {
+						tv, ok := pass.TypesInfo.Types[e]
+						if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+							complete = false
+							break
+						}
+						elems = append(elems, constant.StringVal(tv.Value))
+					}
+					if complete {
+						sets[name.Name] = elems
+					}
+				}
+			}
+		}
+	}
+}
+
+// directivesByLine parses the file's //gvad:modes comments, keyed by the
+// line the comment sits on.
+func directivesByLine(pass *analysis.Pass, f *ast.File) map[int]directive {
+	out := map[int]directive{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, Directive+" ") {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(text, Directive))
+			if len(fields) == 0 {
+				continue
+			}
+			d := directive{set: fields[0], except: map[string]bool{}}
+			if len(fields) >= 3 && fields[1] == "except" {
+				for _, m := range strings.Split(fields[2], ",") {
+					if m = strings.TrimSpace(m); m != "" {
+						d.except[m] = true
+					}
+				}
+			}
+			out[pass.Fset.Position(c.Pos()).Line] = d
+		}
+	}
+	return out
+}
+
+func checkFile(pass *analysis.Pass, sets map[string][]string, f *ast.File) {
+	dirs := directivesByLine(pass, f)
+	if len(dirs) == 0 {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		line := pass.Fset.Position(sw.Pos()).Line
+		d, ok := dirs[line-1]
+		if !ok {
+			d, ok = dirs[line]
+		}
+		if !ok {
+			return true
+		}
+		canonical, known := sets[d.set]
+		if !known {
+			pass.Reportf(sw.Pos(), "unknown mode set %q in //gvad:modes; "+
+				"expected a []string list from the modes package", d.set)
+			return true
+		}
+		checkSwitch(pass, sw, d, canonical)
+		return true
+	})
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt, d directive, canonical []string) {
+	covered := map[string]bool{}
+	inSet := map[string]bool{}
+	for _, m := range canonical {
+		inSet[m] = true
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				continue
+			}
+			name := constant.StringVal(tv.Value)
+			if name == "" {
+				continue // the empty-mode default fallback
+			}
+			covered[name] = true
+			if !inSet[name] && !d.except[name] {
+				pass.Reportf(e.Pos(), "case %q is not in modes.%s; stale mode or missing "+
+					"list entry", name, d.set)
+			}
+		}
+	}
+	var missing []string
+	for _, m := range canonical {
+		if !covered[m] && !d.except[m] {
+			missing = append(missing, m)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Pos(), "switch does not handle mode(s) %s from modes.%s; "+
+			"add cases or an except clause", strings.Join(missing, ", "), d.set)
+	}
+}

@@ -1,0 +1,13 @@
+package exhaustivemode_test
+
+import (
+	"testing"
+
+	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/analysistest"
+	"grammarviz/internal/analysis/passes/exhaustivemode"
+)
+
+func TestExhaustivemode(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{exhaustivemode.Analyzer}, "./...")
+}

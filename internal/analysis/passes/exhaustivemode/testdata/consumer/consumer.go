@@ -1,0 +1,97 @@
+// Package consumer exercises the //gvad:modes switch checks.
+package consumer
+
+import "em/modes"
+
+// Exhaustive covers the whole serving set.
+func Exhaustive(mode string) bool {
+	//gvad:modes Serving
+	switch mode {
+	case modes.RRA, modes.Density, modes.HOTSAX:
+		return true
+	case "":
+		return true // empty selects the default; not a mode name
+	default:
+		return false
+	}
+}
+
+// MissingCase forgot hotsax.
+func MissingCase(mode string) bool {
+	//gvad:modes Serving
+	switch mode { // want `switch does not handle mode\(s\) hotsax from modes.Serving`
+	case modes.RRA, modes.Density:
+		return true
+	default:
+		return false
+	}
+}
+
+// StaleCase names a mode the serving list does not contain.
+func StaleCase(mode string) bool {
+	//gvad:modes Serving
+	switch mode {
+	case modes.RRA, modes.Density, modes.HOTSAX:
+		return true
+	case modes.Brute: // want `case "brute" is not in modes.Serving`
+		return true
+	default:
+		return false
+	}
+}
+
+// ExceptClause deliberately narrows: brute is handled elsewhere.
+func ExceptClause(mode string) bool {
+	//gvad:modes CLI except brute
+	switch mode {
+	case modes.RRA, modes.Density, modes.HOTSAX:
+		return true
+	default:
+		return false
+	}
+}
+
+// ExceptExtra allows an out-of-set label through the except clause.
+func ExceptExtra(mode string) int {
+	//gvad:modes Serving except stream
+	switch mode {
+	case modes.Density, "stream":
+		return 1
+	case modes.RRA, modes.HOTSAX:
+		return 3
+	default:
+		return 3
+	}
+}
+
+// UnknownSet names a list that was never harvested.
+func UnknownSet(mode string) bool {
+	//gvad:modes notHarvested
+	switch mode { // want `unknown mode set "notHarvested"`
+	case modes.RRA:
+		return true
+	default:
+		return false
+	}
+}
+
+// Unannotated switches are not checked.
+func Unannotated(mode string) bool {
+	switch mode {
+	case modes.RRA:
+		return true
+	default:
+		return false
+	}
+}
+
+// Allowlisted carries a reviewed suppression.
+func Allowlisted(mode string) bool {
+	//gvad:modes Serving
+	switch mode { //gvad:ignore exhaustivemode fixture for the allowlisted-negative path
+	case modes.RRA:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,3 @@
+module em
+
+go 1.22

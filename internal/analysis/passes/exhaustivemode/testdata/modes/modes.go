@@ -1,0 +1,19 @@
+// Package modes mirrors the repo's canonical mode lists for the
+// exhaustivemode fixtures.
+package modes
+
+const (
+	RRA     = "rra"
+	Density = "density"
+	HOTSAX  = "hotsax"
+	Brute   = "brute"
+)
+
+var Serving = []string{RRA, Density, HOTSAX}
+
+var CLI = []string{RRA, Density, HOTSAX, Brute}
+
+// notHarvested has a non-constant element and is not a checkable set.
+var notHarvested = []string{RRA, pick()}
+
+func pick() string { return Density }

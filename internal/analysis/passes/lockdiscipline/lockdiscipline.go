@@ -1,0 +1,631 @@
+// Package lockdiscipline enforces the repo's mutex discipline with a
+// flow-sensitive analysis over the CFG (internal/analysis/cfg). Per
+// function body (function literals are analyzed as their own bodies), a
+// forward may-analysis tracks which lock instances are held on some path,
+// and checks:
+//
+//   - pairing: every sync.Mutex/RWMutex Lock has a matching Unlock on
+//     every path to every return (a deferred unlock — direct or inside a
+//     deferred closure — discharges all paths at once);
+//   - no double-lock: re-acquiring a held instance deadlocks;
+//   - RWMutex up/downgrade misuse: Lock while read-held (upgrade),
+//     RLock while write-held (downgrade), recursive RLock (deadlocks
+//     against a waiting writer), and Unlock/RUnlock mode mismatches;
+//   - declared lock order: `//gvad:lockorder A < B [< C]` comments
+//     declare that class A is acquired before class B when both are
+//     held. Acquiring A while holding B — directly, or transitively
+//     through a static call — is a violation. Classes are written
+//     pkg.Type.field (the struct type owning the mutex field, e.g.
+//     server.sessionSupervisor.mu) or pkg.Type for embedded mutexes.
+//
+// A lock instance is identified by its receiver chain rooted at a
+// variable (c.mu, s.sup.mu, sess.mu); receivers that are not
+// variable-rooted selector chains (map/index elements, call results) are
+// not tracked. TryLock is conditional by construction and is not
+// tracked either. Unlock-of-unheld fires only in functions that also
+// lock the same instance — a helper whose contract is "caller holds the
+// lock" stays silent.
+//
+// The per-function acquisition summaries are session facts: the driver
+// visits packages in dependency order, so a declared order in a package
+// can catch violations that reach a dependency's locks through calls.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "checks Lock/Unlock pairing on all paths, double-lock, RWMutex " +
+		"up/downgrade misuse, and declared //gvad:lockorder facts",
+	Run: run,
+}
+
+// OrderDirective declares a lock-acquisition order between lock classes.
+const OrderDirective = "//gvad:lockorder"
+
+// lockMode distinguishes write and read acquisition.
+type lockMode int
+
+const (
+	modeWrite lockMode = iota
+	modeRead
+)
+
+func (m lockMode) String() string {
+	if m == modeRead {
+		return "read"
+	}
+	return "write"
+}
+
+// instKey identifies one lock instance: the variable the receiver chain
+// roots at plus the field path ("mu", "sup.mu", "" for a promoted method
+// on the root itself).
+type instKey struct {
+	root *types.Var
+	path string
+}
+
+func (k instKey) String() string {
+	if k.path == "" {
+		return k.root.Name()
+	}
+	return k.root.Name() + "." + k.path
+}
+
+// held is one held lock instance.
+type held struct {
+	mode  lockMode
+	pos   token.Pos // acquisition site
+	class string    // ordering class, "" when unknown
+}
+
+// fact is the may-set of held lock instances at a program point.
+type fact map[instKey]held
+
+// lockOp is one recognized mutex operation at a call site.
+type lockOp struct {
+	call    *ast.CallExpr
+	key     instKey
+	keyOK   bool // receiver chain resolved to a variable root
+	class   string
+	acquire bool
+	mode    lockMode
+}
+
+// summary is the per-function fact for cross-call order checking: the
+// lock classes a function acquires directly, and its static callees.
+type summary struct {
+	acquires []string
+	callees  []*types.Func
+}
+
+// state is the session-shared store.
+type state struct {
+	orders    map[string][]string // class → classes declared after it
+	summaries map[*types.Func]*summary
+}
+
+const sessionKey = "lockdiscipline.state"
+
+func getState(s *analysis.Session) *state {
+	if v, ok := s.Get(sessionKey).(*state); ok {
+		return v
+	}
+	v := &state{
+		orders:    make(map[string][]string),
+		summaries: make(map[*types.Func]*summary),
+	}
+	s.Set(sessionKey, v)
+	return v
+}
+
+func run(pass *analysis.Pass) error {
+	st := getState(pass.Session)
+	collectOrders(pass, st)
+
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				st.summaries[obj] = summarize(pass, fd.Body)
+			}
+			checkBody(pass, st, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, st, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectOrders parses every //gvad:lockorder directive in the package's
+// files into order edges.
+func collectOrders(pass *analysis.Pass, st *state) {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "gvad:lockorder") {
+					continue
+				}
+				spec := strings.TrimSpace(strings.TrimPrefix(text, "gvad:lockorder"))
+				parts := strings.Split(spec, "<")
+				for i := 0; i+1 < len(parts); i++ {
+					outer := strings.TrimSpace(parts[i])
+					inner := strings.TrimSpace(parts[i+1])
+					if outer == "" || inner == "" {
+						continue
+					}
+					st.orders[outer] = append(st.orders[outer], inner)
+				}
+			}
+		}
+	}
+}
+
+// mustPrecede reports whether the declared order requires a to be
+// acquired before b (a < b, transitively).
+func (st *state) mustPrecede(a, b string) bool {
+	if a == "" || b == "" || a == b {
+		return false
+	}
+	seen := map[string]bool{}
+	stack := []string{a}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range st.orders[cur] {
+			if next == b {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}
+
+// reachableAcquires returns the lock classes fn acquires directly or
+// through its static callees (memo-free DFS with a visited set; function
+// graphs are small).
+func (st *state) reachableAcquires(fn *types.Func, visited map[*types.Func]bool) []string {
+	if visited[fn] {
+		return nil
+	}
+	visited[fn] = true
+	sum := st.summaries[fn]
+	if sum == nil {
+		return nil
+	}
+	out := append([]string(nil), sum.acquires...)
+	for _, callee := range sum.callees {
+		out = append(out, st.reachableAcquires(callee, visited)...)
+	}
+	return out
+}
+
+// lockOpOf classifies call as a mutex operation, or returns ok=false.
+func lockOpOf(pass *analysis.Pass, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	var f *types.Func
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		f, _ = s.Obj().(*types.Func)
+	} else {
+		f, _ = pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	}
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return lockOp{}, false
+	}
+	op := lockOp{call: call}
+	switch f.Name() {
+	case "Lock":
+		op.acquire, op.mode = true, modeWrite
+	case "RLock":
+		op.acquire, op.mode = true, modeRead
+	case "Unlock":
+		op.acquire, op.mode = false, modeWrite
+	case "RUnlock":
+		op.acquire, op.mode = false, modeRead
+	default:
+		return lockOp{}, false // TryLock and friends: conditional, untracked
+	}
+	op.key, op.keyOK = instanceOf(pass, sel.X)
+	op.class = classOf(pass, sel.X)
+	return op, true
+}
+
+// instanceOf resolves a lock receiver expression to its instance key: a
+// selector chain rooted at a variable.
+func instanceOf(pass *analysis.Pass, e ast.Expr) (instKey, bool) {
+	var fields []string
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.Uses[x].(*types.Var)
+			if v == nil {
+				v, _ = pass.TypesInfo.Defs[x].(*types.Var)
+			}
+			if v == nil {
+				return instKey{}, false
+			}
+			return instKey{root: v, path: strings.Join(fields, ".")}, true
+		case *ast.SelectorExpr:
+			fields = append([]string{x.Sel.Name}, fields...)
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return instKey{}, false
+		}
+	}
+}
+
+// classOf derives the ordering class of a lock receiver: the named type
+// owning the final mutex field, rendered pkg.Type.field — or pkg.Type
+// for a mutex embedded in (or promoted to) the receiver itself.
+func classOf(pass *analysis.Pass, e ast.Expr) string {
+	e = ast.Unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if name := namedOf(pass.TypesInfo.Types[sel.X].Type); name != "" {
+			return name + "." + sel.Sel.Name
+		}
+		return ""
+	}
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return namedOf(tv.Type)
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+			return namedOf(v.Type())
+		}
+	}
+	return ""
+}
+
+// namedOf renders the named type behind t (through pointers) as
+// pkg.Type, or "".
+func namedOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+}
+
+// summarize records the classes a function acquires and its static
+// callees (for cross-call order checking). Function literal interiors
+// count as part of the enclosing function here: a closure's acquisitions
+// still happen under the caller's held set in the common synchronous
+// cases, and over-approximating keeps the order check conservative.
+func summarize(pass *analysis.Pass, body *ast.BlockStmt) *summary {
+	sum := &summary{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := lockOpOf(pass, call); ok {
+			if op.acquire && op.class != "" {
+				sum.acquires = append(sum.acquires, op.class)
+			}
+			return true
+		}
+		if callee := staticCallee(pass, call); callee != nil {
+			sum.callees = append(sum.callees, callee)
+		}
+		return true
+	})
+	return sum
+}
+
+// staticCallee resolves a call to its static *types.Func target, or nil.
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[fun]; ok {
+			f, _ := s.Obj().(*types.Func)
+			if f != nil && f.Type().(*types.Signature).Recv() != nil &&
+				types.IsInterface(f.Type().(*types.Signature).Recv().Type()) {
+				return nil
+			}
+			return f
+		}
+		f, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// lattice is the forward may-analysis over held lock instances.
+type lattice struct {
+	pass *analysis.Pass
+}
+
+func (l *lattice) Boundary() fact { return fact{} }
+
+func (l *lattice) Merge(a, b fact) fact {
+	out := make(fact, len(a)+len(b))
+	for k, h := range a {
+		out[k] = h
+	}
+	for k, h := range b {
+		if prev, ok := out[k]; !ok || h.pos < prev.pos {
+			out[k] = h
+		}
+	}
+	return out
+}
+
+func (l *lattice) Equal(a, b fact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, h := range a {
+		if o, ok := b[k]; !ok || o != h {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *lattice) Transfer(b *cfg.Block, f fact) fact {
+	out := make(fact, len(f))
+	for k, h := range f {
+		out[k] = h
+	}
+	for _, n := range b.Nodes {
+		out = step(l.pass, out, n, nil)
+	}
+	return out
+}
+
+// step flows one node's lock operations through f. report is nil during
+// fixpoint iteration and set during the post-fixpoint sweep.
+func step(pass *analysis.Pass, f fact, n ast.Node, check func(op lockOp, f fact)) fact {
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		return f // deferred unlocks act at exit, not here
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false // literals are separate bodies
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, ok := lockOpOf(pass, call)
+		if !ok || !op.keyOK {
+			return true
+		}
+		if check != nil {
+			check(op, f)
+		}
+		if op.acquire {
+			f[op.key] = held{mode: op.mode, pos: call.Pos(), class: op.class}
+		} else {
+			delete(f, op.key)
+		}
+		return true
+	})
+	return f
+}
+
+func checkBody(pass *analysis.Pass, st *state, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	lat := &lattice{pass: pass}
+	res := cfg.Forward[fact](g, lat)
+
+	deferredUnlocks := deferredUnlockSet(pass, g)
+
+	// Instances this body locks anywhere: unlock-of-unheld only fires for
+	// these, so "caller holds the lock" helpers stay silent.
+	locksHere := map[instKey]bool{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := m.(*ast.CallExpr); ok {
+					if op, ok := lockOpOf(pass, call); ok && op.acquire && op.keyOK {
+						locksHere[op.key] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	check := func(op lockOp, f fact) {
+		pos := op.call.Pos()
+		if op.acquire {
+			if h, isHeld := f[op.key]; isHeld {
+				at := pass.Fset.Position(h.pos)
+				switch {
+				case h.mode == modeWrite && op.mode == modeWrite:
+					pass.Reportf(pos, "%s locked again while already held (locked at %s); deadlock",
+						op.key, at)
+				case h.mode == modeRead && op.mode == modeWrite:
+					pass.Reportf(pos, "write lock on %s while read-held (RLock at %s); "+
+						"lock upgrade deadlocks", op.key, at)
+				case h.mode == modeWrite && op.mode == modeRead:
+					pass.Reportf(pos, "read lock on %s while write-held (Lock at %s); deadlock",
+						op.key, at)
+				case h.mode == modeRead && op.mode == modeRead:
+					pass.Reportf(pos, "recursive read lock on %s (RLock at %s); deadlocks "+
+						"against a waiting writer", op.key, at)
+				}
+			}
+			// Declared order: acquiring op.class while holding a class it
+			// must precede.
+			for _, h := range f {
+				if st.mustPrecede(op.class, h.class) {
+					pass.Reportf(pos, "%s acquired while holding %s; declared lock order "+
+						"requires %s before %s", op.class, h.class, op.class, h.class)
+				}
+			}
+			return
+		}
+		h, isHeld := f[op.key]
+		if !isHeld {
+			if locksHere[op.key] {
+				pass.Reportf(pos, "unlock of %s, which is not held on this path", op.key)
+			}
+			return
+		}
+		if h.mode == modeRead && op.mode == modeWrite {
+			pass.Reportf(pos, "Unlock of %s, which is read-held (RLock at %s); use RUnlock",
+				op.key, pass.Fset.Position(h.pos))
+		} else if h.mode == modeWrite && op.mode == modeRead {
+			pass.Reportf(pos, "RUnlock of %s, which is write-held (Lock at %s); use Unlock",
+				op.key, pass.Fset.Position(h.pos))
+		}
+	}
+
+	reportHeldAt := func(pos token.Pos, f fact, what string) {
+		type leak struct {
+			key instKey
+			h   held
+		}
+		var leaks []leak
+		for k, h := range f {
+			if deferredUnlocks[k] {
+				continue
+			}
+			leaks = append(leaks, leak{k, h})
+		}
+		sort.Slice(leaks, func(i, j int) bool { return leaks[i].h.pos < leaks[j].h.pos })
+		for _, lk := range leaks {
+			pass.Reportf(pos, "%s while holding %s (locked at %s); unlock first or defer the unlock",
+				what, lk.key, pass.Fset.Position(lk.h.pos))
+		}
+	}
+
+	for _, b := range g.Blocks {
+		in, reachable := res.In[b]
+		if !reachable {
+			continue
+		}
+		f := make(fact, len(in))
+		for k, h := range in {
+			f[k] = h
+		}
+		for _, n := range b.Nodes {
+			f = step(pass, f, n, check)
+			// Cross-call order check: a static callee that (transitively)
+			// acquires a class that must precede one we hold.
+			if len(f) > 0 {
+				checkCallOrder(pass, st, f, n)
+			}
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				reportHeldAt(ret.Pos(), f, "return")
+			}
+		}
+	}
+	for _, b := range g.FallsOff() {
+		if out, ok := res.Out[b]; ok {
+			reportHeldAt(body.Rbrace, out, "return")
+		}
+	}
+}
+
+// checkCallOrder reports static calls under held locks whose transitive
+// acquisitions violate the declared order.
+func checkCallOrder(pass *analysis.Pass, st *state, f fact, n ast.Node) {
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		return // runs at exit, after the in-flow unlocks
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, isLock := lockOpOf(pass, call); isLock {
+			return true // direct operations are checked in step
+		}
+		callee := staticCallee(pass, call)
+		if callee == nil || st.summaries[callee] == nil {
+			return true
+		}
+		acquired := st.reachableAcquires(callee, map[*types.Func]bool{})
+		for _, a := range acquired {
+			for _, h := range f {
+				if st.mustPrecede(a, h.class) {
+					pass.Reportf(call.Pos(), "call to %s acquires %s while holding %s; "+
+						"declared lock order requires %s before %s",
+						callee.Name(), a, h.class, a, h.class)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// deferredUnlockSet collects the instances unlocked by a defer — directly
+// or inside a deferred closure.
+func deferredUnlockSet(pass *analysis.Pass, g *cfg.Graph) map[instKey]bool {
+	out := map[instKey]bool{}
+	record := func(call *ast.CallExpr) {
+		if op, ok := lockOpOf(pass, call); ok && !op.acquire && op.keyOK {
+			out[op.key] = true
+		}
+	}
+	for _, d := range g.Defers {
+		record(d.Call)
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					record(c)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

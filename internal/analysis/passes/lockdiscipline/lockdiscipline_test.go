@@ -1,0 +1,13 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/analysistest"
+	"grammarviz/internal/analysis/passes/lockdiscipline"
+)
+
+func TestLockdiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{lockdiscipline.Analyzer}, "./...")
+}

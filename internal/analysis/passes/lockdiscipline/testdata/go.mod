@@ -1,0 +1,3 @@
+module ld
+
+go 1.22

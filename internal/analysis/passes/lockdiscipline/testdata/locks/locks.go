@@ -1,0 +1,224 @@
+// Package locks exercises the lockdiscipline contract shapes.
+//
+// The declared order mirrors the repo's supervisor→session invariant:
+// the session lock is acquired before the supervisor lock when both are
+// held, i.e. acquiring Session.mu while holding Supervisor.mu deadlocks
+// against the eviction path.
+//
+//gvad:lockorder locks.Session.mu < locks.Supervisor.mu
+package locks
+
+import "sync"
+
+type Session struct {
+	mu    sync.Mutex
+	state int
+}
+
+type Supervisor struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+type Guarded struct {
+	mu  sync.RWMutex
+	val int
+}
+
+// Balanced locks and unlocks on the straight-line path.
+func Balanced(s *Session) {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+}
+
+// DeferUnlock is the standard shape: the defer covers every path.
+func DeferUnlock(s *Session) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// DeferClosureUnlock releases inside a deferred closure.
+func DeferClosureUnlock(s *Session) int {
+	s.mu.Lock()
+	defer func() { s.mu.Unlock() }()
+	return s.state
+}
+
+// DoubleLock re-acquires a held mutex: self-deadlock.
+func DoubleLock(s *Session) {
+	s.mu.Lock()
+	s.mu.Lock() // want `locked again while already held`
+	s.mu.Unlock()
+}
+
+// UnlockUnheld unlocks twice on the same path.
+func UnlockUnheld(s *Session) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Unlock() // want `not held on this path`
+}
+
+// CallerHeldHelper only unlocks — the "caller holds the lock" contract —
+// and stays silent.
+func CallerHeldHelper(s *Session) {
+	s.state++
+	s.mu.Unlock()
+}
+
+// ReturnHolding leaks the lock out of one branch.
+func ReturnHolding(s *Session, c bool) int {
+	s.mu.Lock()
+	if c {
+		return s.state // want `return while holding s.mu`
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// BranchBalanced unlocks on every path — the multi-return form.
+func BranchBalanced(s *Session, c bool) int {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// LoopPerIteration locks and unlocks inside the loop body; no state
+// leaks across the back edge.
+func LoopPerIteration(ss []*Session) int {
+	total := 0
+	for _, s := range ss {
+		s.mu.Lock()
+		total += s.state
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// InterleavedRelock drops the lock, waits, and re-acquires — the
+// budget.Acquire shape; no finding.
+func InterleavedRelock(s *Session, ch chan struct{}) int {
+	s.mu.Lock()
+	if s.state == 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	s.mu.Unlock()
+	<-ch
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Upgrade acquires the write lock while read-held.
+func Upgrade(g *Guarded) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.mu.Lock() // want `write lock on g.mu while read-held`
+	g.val++
+	g.mu.Unlock()
+	return g.val
+}
+
+// Downgrade acquires the read lock while write-held.
+func Downgrade(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.mu.RLock() // want `read lock on g.mu while write-held`
+	v := g.val
+	g.mu.RUnlock()
+	return v
+}
+
+// RecursiveRead re-acquires the read lock on the same path.
+func RecursiveRead(g *Guarded) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.mu.RLock() // want `recursive read lock on g.mu`
+	v := g.val
+	g.mu.RUnlock()
+	return v
+}
+
+// WrongUnlockMode releases a read lock with Unlock.
+func WrongUnlockMode(g *Guarded) int {
+	g.mu.RLock()
+	v := g.val
+	g.mu.Unlock() // want `use RUnlock`
+	return v
+}
+
+// ReadBalanced is the correct read-side shape.
+func ReadBalanced(g *Guarded) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val
+}
+
+// OrderViolation acquires the session lock while holding the supervisor
+// lock — the declared order forbids it.
+func OrderViolation(sup *Supervisor, s *Session) {
+	sup.mu.Lock()
+	defer sup.mu.Unlock()
+	s.mu.Lock() // want `locks.Session.mu acquired while holding locks.Supervisor.mu`
+	s.state++
+	s.mu.Unlock()
+}
+
+// OrderOK acquires in the declared order: session first, then
+// supervisor.
+func OrderOK(sup *Supervisor, s *Session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sup.mu.Lock()
+	defer sup.mu.Unlock()
+	s.state++
+}
+
+// touchSession is session work: it takes the session lock.
+func touchSession(s *Session) {
+	s.mu.Lock()
+	s.state++
+	s.mu.Unlock()
+}
+
+// OrderViaCall reaches the session lock through a call while holding the
+// supervisor lock.
+func OrderViaCall(sup *Supervisor, s *Session) {
+	sup.mu.Lock()
+	defer sup.mu.Unlock()
+	touchSession(s) // want `call to touchSession acquires locks.Session.mu while holding locks.Supervisor.mu`
+}
+
+// OrderCallClean drops the supervisor lock before the session work.
+func OrderCallClean(sup *Supervisor, s *Session) {
+	sup.mu.Lock()
+	sup.mu.Unlock()
+	touchSession(s)
+}
+
+// SelectArms locks and unlocks within each arm.
+func SelectArms(s *Session, a, b chan struct{}) {
+	select {
+	case <-a:
+		s.mu.Lock()
+		s.state++
+		s.mu.Unlock()
+	case <-b:
+		s.mu.Lock()
+		s.state--
+		s.mu.Unlock()
+	}
+}
+
+// Allowlisted leaks a lock but carries a reviewed suppression.
+func Allowlisted(s *Session) {
+	s.mu.Lock()
+	s.state++
+	//gvad:ignore lockdiscipline fixture for the allowlisted-negative path
+}

@@ -24,9 +24,14 @@
 //     contract-mandated output allocations (density.CurveWith returns a
 //     fresh curve) are all makes; the AllocsPerRun tests prove they
 //     amortize to zero.
-//   - cold blocks are exempt: constructs inside a block that terminates by
-//     returning a non-nil error or by panicking are error-path work, which
-//     the steady state never executes.
+//   - cold blocks are exempt: a construct is cold when every control-flow
+//     path from its basic block exits by returning a non-nil error or by
+//     panicking — error-path work the steady state never executes. The
+//     coldness is computed on the real CFG (internal/analysis/cfg) with a
+//     backward must-analysis, so a block that can also reach a success
+//     return stays checked; the function's entry block is always hot (the
+//     straight-line path is always checked, even in functions that only
+//     fail).
 //
 // Calls that cannot be followed — dynamic calls through function values or
 // interface methods, and calls into standard-library packages other than
@@ -41,6 +46,7 @@ import (
 	"strings"
 
 	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/cfg"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -202,11 +208,25 @@ func computeFact(pass *analysis.Pass, fd *ast.FuncDecl) *funcFact {
 	info := pass.TypesInfo
 	evidence := collectEvidence(pass, fd)
 
-	errResult := lastResultIsError(pass, fd)
+	spans := coldSpans(fd.Body, lastResultIsError(pass, fd))
+	// Function literals own their own control flow: their cold paths are
+	// computed per body (relative to the literal's own error result).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			spans = append(spans, coldSpans(lit.Body, sigLastResultIsError(pass, lit))...)
+		}
+		return true
+	})
+
 	var stack []ast.Node
-	cold := func() bool { return inColdBlock(stack, errResult, fd.Body) }
+	cold := func() bool {
+		if len(stack) == 0 {
+			return false
+		}
+		return posInSpans(spans, stack[len(stack)-1].Pos())
+	}
 	addViol := func(pos token.Pos, msg string) {
-		if !cold() {
+		if !posInSpans(spans, pos) {
 			fact.viols = append(fact.viols, violation{pos: pos, msg: msg})
 		}
 	}
@@ -570,34 +590,84 @@ func lastResultIsError(pass *analysis.Pass, fd *ast.FuncDecl) bool {
 		named.Obj().Name() == "error"
 }
 
-// inColdBlock reports whether the path of stack runs through a block that
-// terminates by returning a non-nil error (errResult true) or by panicking
-// — the error paths the steady state never takes. The function body itself
-// never counts: only branch blocks are cold, so the straight-line path of
-// the function is always checked.
-func inColdBlock(stack []ast.Node, errResult bool, body *ast.BlockStmt) bool {
-	for _, n := range stack {
-		block, ok := n.(*ast.BlockStmt)
-		if !ok || block == body || len(block.List) == 0 {
+// span is a cold source range: positions inside it are on error-only
+// paths.
+type span struct{ lo, hi token.Pos }
+
+// coldLattice is the backward must-analysis behind the cold-block
+// exemption: the fact at a point is "every path from here exits by
+// returning a non-nil error or panicking". Blocks that terminate the
+// function force the fact from their own terminator; everything else
+// inherits the AND over its successors.
+type coldLattice struct{ errResult bool }
+
+func (coldLattice) Boundary() bool       { return false }
+func (coldLattice) Merge(a, b bool) bool { return a && b }
+func (coldLattice) Equal(a, b bool) bool { return a == b }
+
+func (l coldLattice) Transfer(b *cfg.Block, f bool) bool {
+	if b.Panics {
+		return true
+	}
+	if ret := b.Return; ret != nil {
+		if !l.errResult || len(ret.Results) == 0 {
+			return false
+		}
+		final := ast.Unparen(ret.Results[len(ret.Results)-1])
+		if id, ok := final.(*ast.Ident); ok && id.Name == "nil" {
+			return false
+		}
+		return true
+	}
+	return f
+}
+
+// coldSpans computes the cold source ranges of one body: the nodes of
+// every non-entry block whose paths all exit cold. Unreachable blocks
+// (statements after a terminator) are cold too — they never execute. The
+// entry block is always hot, so the straight-line path of the function is
+// always checked.
+func coldSpans(body *ast.BlockStmt, errResult bool) []span {
+	g := cfg.New(body)
+	res := cfg.Backward[bool](g, coldLattice{errResult: errResult})
+	var spans []span
+	for _, b := range g.Blocks {
+		if b == g.Entry || b == g.Exit {
 			continue
 		}
-		switch last := block.List[len(block.List)-1].(type) {
-		case *ast.ReturnStmt:
-			if !errResult || len(last.Results) == 0 {
-				continue
-			}
-			final := ast.Unparen(last.Results[len(last.Results)-1])
-			if id, ok := final.(*ast.Ident); ok && id.Name == "nil" {
-				continue
-			}
+		if out, reachable := res.Out[b]; reachable && !out {
+			continue // can reach a success exit: hot
+		}
+		for _, n := range b.Nodes {
+			spans = append(spans, span{lo: n.Pos(), hi: n.End()})
+		}
+	}
+	return spans
+}
+
+// posInSpans reports whether pos falls inside any span. Spans can nest
+// (a cold statement containing a function literal with its own cold
+// blocks), so the scan is linear — there are only ever a handful per
+// function.
+func posInSpans(spans []span, pos token.Pos) bool {
+	for _, s := range spans {
+		if s.lo <= pos && pos <= s.hi {
 			return true
-		case *ast.ExprStmt:
-			if call, ok := last.X.(*ast.CallExpr); ok {
-				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-					return true
-				}
-			}
 		}
 	}
 	return false
+}
+
+// sigLastResultIsError reports whether a function literal's final result
+// type is error.
+func sigLastResultIsError(pass *analysis.Pass, lit *ast.FuncLit) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return types.Identical(sig.Results().At(sig.Results().Len()-1).Type(), types.Universe.Lookup("error").Type())
 }

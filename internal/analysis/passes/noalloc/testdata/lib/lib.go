@@ -147,3 +147,47 @@ func sink(v any) { _ = v }
 func Lookup(m map[string]int, b []byte) int {
 	return m[string(b)]
 }
+
+// ColdMixed: the first branch block can still reach the success return
+// (the inner condition may fall through), so its allocation is hot — the
+// old lexical rule exempted it because the block's last statement returns
+// an error. The second branch is genuinely all-paths-cold.
+//
+//gvad:noalloc
+func ColdMixed(n int, ok bool) (int, error) {
+	if n < 0 {
+		s := fmt.Sprint(n) // want `call to fmt.Sprint allocates` `boxes into interface parameter`
+		if ok {
+			return len(s), nil
+		}
+		return 0, fmt.Errorf("negative: %s", s)
+	}
+	if n > 1000 {
+		s := fmt.Sprint(n)
+		return 0, fmt.Errorf("too large: %s", s)
+	}
+	return n * 2, nil
+}
+
+// ColdPanic: a panic-terminated block is cold on the real CFG too.
+//
+//gvad:noalloc
+func ColdPanic(n int) int {
+	if n < 0 {
+		msg := fmt.Sprintf("negative: %d", n)
+		panic(msg)
+	}
+	return n * 2
+}
+
+// ColdJoin: an allocation after the error checks rejoin is on the success
+// path and stays checked, however close it sits to cold blocks.
+//
+//gvad:noalloc
+func ColdJoin(n int) (string, error) {
+	if n < 0 {
+		return "", fmt.Errorf("negative: %d", n)
+	}
+	b := []byte("x")      // want `string conversion allocates`
+	return string(b), nil // want `string conversion allocates`
+}

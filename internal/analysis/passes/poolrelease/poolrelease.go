@@ -5,19 +5,26 @@
 // leak the AllocsPerRun tests only catch on the paths they happen to
 // exercise).
 //
-// The accepted shapes are:
+// The check is flow-sensitive: each function body (and each function
+// literal, which owns its obligations separately) is lowered to a control
+// -flow graph (internal/analysis/cfg) and a forward may-analysis tracks
+// the set of held checkouts per path. A diagnostic fires at every return
+// — and at the implicit fall-off-the-end return — that a held checkout
+// can reach without a release. The accepted shapes are:
 //
 //   - defer workspace.Put(ws) (directly or inside a deferred closure) —
 //     covers every return and panic path at once, and is the idiom the
 //     repo standardizes on (core.AnalyzeCtx);
-//   - an explicit workspace.Put(ws) that lexically precedes the return and
-//     sits in a block enclosing it, for every return after the Get — the
-//     multi-return form.
+//   - an explicit workspace.Put(ws) on every path to every return — the
+//     multi-return form, now path-precise: a Put inside one branch
+//     discharges only the paths through that branch.
 //
-// Escapes are flagged separately: returning the workspace or storing it
-// into a field/global moves the release obligation somewhere the analyzer
-// cannot see, which the pool contract forbids (workspaces must not outlive
-// the analysis that checked them out).
+// Rebinding a variable that still holds a checkout (ws = workspace.Get()
+// twice without a Put between) is flagged at the second Get: the first
+// workspace becomes unreleasable. Escapes are flagged separately:
+// returning the workspace moves the release obligation somewhere the
+// analyzer cannot see, which the pool contract forbids (workspaces must
+// not outlive the analysis that checked them out).
 //
 // Get/Put recognition is by package name ("workspace") and function name,
 // so the analyzer works on the repo and on its testdata packages alike;
@@ -26,14 +33,21 @@
 // exports: Get/Put for analysis workspaces and GetKernel/PutKernel for
 // the distance kernel's pinned-query scratch. Pairing is by variable, so
 // a function may hold both kinds at once.
+//
+// Known approximation: a conditionally registered defer (defer inside a
+// branch) counts as covering every path, as it always has — flow-aware
+// defer facts are not worth the complexity for a repo that never
+// conditions a release.
 package poolrelease
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 
 	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/cfg"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -52,9 +66,19 @@ func run(pass *analysis.Pass) error {
 			continue
 		}
 		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				checkFunc(pass, fd)
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
 			}
+			checkBody(pass, fd.Body)
+			// Function literals own their obligations separately: the
+			// contract wants Put in the function that called Get.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, lit.Body)
+				}
+				return true
+			})
 		}
 	}
 	return nil
@@ -83,216 +107,289 @@ func isPoolCall(pass *analysis.Pass, call *ast.CallExpr, names map[string]bool) 
 	return f.Pkg().Name() == "workspace"
 }
 
-type putSite struct {
-	pos   token.Pos
-	block *ast.BlockStmt // innermost enclosing block
+// fact is the may-set of held checkouts at a program point: variable →
+// position of the Get that bound it.
+type fact map[*types.Var]token.Pos
+
+// lattice is the forward may-analysis over held checkouts. Variables with
+// a deferred release never enter the fact: their obligation is discharged
+// on every exit path by the defer.
+type lattice struct {
+	pass     *analysis.Pass
+	deferred map[*types.Var]bool
 }
 
-type returnSite struct {
-	pos    token.Pos
-	blocks map[*ast.BlockStmt]bool // all enclosing blocks
+func (l *lattice) Boundary() fact { return fact{} }
+
+func (l *lattice) Merge(a, b fact) fact {
+	out := make(fact, len(a)+len(b))
+	for v, p := range a {
+		out[v] = p
+	}
+	for v, p := range b {
+		if q, ok := out[v]; !ok || p < q {
+			out[v] = p
+		}
+	}
+	return out
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	type checkout struct {
-		pos token.Pos
-		obj *types.Var // nil when the result is not bound to a variable
+func (l *lattice) Equal(a, b fact) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	var (
-		gets     []checkout
-		puts     = map[*types.Var][]putSite{}
-		deferred = map[*types.Var]bool{}
-		returns  []returnSite
-		escapes  = map[*types.Var]token.Pos{}
-		stack    []ast.Node
-	)
+	for v, p := range a {
+		if q, ok := b[v]; !ok || q != p {
+			return false
+		}
+	}
+	return true
+}
 
-	innermostBlock := func() *ast.BlockStmt {
-		for i := len(stack) - 1; i >= 0; i-- {
-			if b, ok := stack[i].(*ast.BlockStmt); ok {
-				return b
-			}
-		}
-		return fd.Body
+func (l *lattice) Transfer(b *cfg.Block, f fact) fact {
+	out := make(fact, len(f))
+	for v, p := range f {
+		out[v] = p
 	}
-	enclosingBlocks := func() map[*ast.BlockStmt]bool {
-		m := map[*ast.BlockStmt]bool{}
-		for _, n := range stack {
-			if b, ok := n.(*ast.BlockStmt); ok {
-				m[b] = true
-			}
-		}
-		return m
+	for _, n := range b.Nodes {
+		out = l.step(out, n, nil)
 	}
-	varOf := func(e ast.Expr) *types.Var {
-		id, ok := ast.Unparen(e).(*ast.Ident)
-		if !ok {
-			return nil
-		}
-		v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	return out
+}
+
+// step flows one node, mutating and returning f. When report is non-nil
+// (the post-fixpoint sweep) it also emits the node-anchored diagnostics:
+// unbound/discarded checkouts and rebinding over a held checkout.
+func (l *lattice) step(f fact, n ast.Node, report func(pos token.Pos, format string, args ...any)) fact {
+	pass := l.pass
+	handled := map[*ast.CallExpr]bool{}
+
+	bind := func(call *ast.CallExpr, lhs ast.Expr) {
+		handled[call] = true
+		v := varOf(pass, lhs)
 		if v == nil {
-			v, _ = pass.TypesInfo.Defs[id].(*types.Var)
-		}
-		return v
-	}
-	recordPut := func(call *ast.CallExpr, isDefer bool) {
-		if len(call.Args) != 1 {
+			if report != nil {
+				report(call.Pos(), "workspace.Get result is discarded; the workspace "+
+					"can never be released")
+			}
 			return
 		}
-		if v := varOf(call.Args[0]); v != nil {
-			if isDefer {
-				deferred[v] = true
-			} else {
-				puts[v] = append(puts[v], putSite{pos: call.Pos(), block: innermostBlock()})
-			}
+		if l.deferred[v] {
+			return // discharged on every exit by the defer
 		}
+		if prev, held := f[v]; held && report != nil {
+			report(call.Pos(), "workspace checkout rebinds %s, which still holds the "+
+				"unreleased checkout from %s", v.Name(), pass.Fset.Position(prev))
+		}
+		f[v] = call.Pos()
 	}
 
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
-		}
-		stack = append(stack, n)
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for i, rhs := range n.Rhs {
-				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-				if !ok || !isPoolCall(pass, call, checkoutNames) {
-					continue
-				}
-				var v *types.Var
-				if i < len(n.Lhs) {
-					v = varOf(n.Lhs[i])
-				}
-				gets = append(gets, checkout{pos: call.Pos(), obj: v})
-			}
-		case *ast.ValueSpec:
-			for i, rhs := range n.Values {
-				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
-				if !ok || !isPoolCall(pass, call, checkoutNames) {
-					continue
-				}
-				var v *types.Var
-				if i < len(n.Names) {
-					v = varOf(n.Names[i])
-				}
-				gets = append(gets, checkout{pos: call.Pos(), obj: v})
-			}
-		case *ast.DeferStmt:
-			if isPoolCall(pass, n.Call, releaseNames) {
-				recordPut(n.Call, true)
-			} else if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
-				ast.Inspect(lit.Body, func(m ast.Node) bool {
-					if c, ok := m.(*ast.CallExpr); ok && isPoolCall(pass, c, releaseNames) {
-						recordPut(c, true)
-					}
-					return true
-				})
-			}
-		case *ast.CallExpr:
-			if isPoolCall(pass, n, releaseNames) {
-				// Non-deferred Put (deferred ones are handled above and do
-				// not re-enter here as statements of interest: recording
-				// them twice is harmless since deferred wins).
-				recordPut(n, false)
-			} else if isPoolCall(pass, n, checkoutNames) {
-				// A Get whose result is not bound by an assignment cannot
-				// be released.
-				if len(stack) < 2 {
-					break
-				}
-				switch stack[len(stack)-2].(type) {
-				case *ast.AssignStmt, *ast.ValueSpec:
-					// handled by the assignment cases above
-				default:
-					pass.Reportf(n.Pos(),
-						"workspace.Get result is not bound to a variable and can never be released")
-				}
-			}
-		case *ast.ReturnStmt:
-			returns = append(returns, returnSite{pos: n.Pos(), blocks: enclosingBlocks()})
-			for _, res := range n.Results {
-				if v := varOf(res); v != nil && isWorkspacePtr(v.Type()) {
-					if _, dup := escapes[v]; !dup {
-						escapes[v] = res.Pos()
-					}
-				}
-			}
-		}
-		return true
-	})
-
-	// A function whose body can fall off the end is a path out too.
-	if n := len(fd.Body.List); n == 0 || !terminates(fd.Body.List[n-1]) {
-		returns = append(returns, returnSite{
-			pos:    fd.Body.Rbrace,
-			blocks: map[*ast.BlockStmt]bool{fd.Body: true},
-		})
-	}
-
-	// Escapes only matter for pool-checked-out workspaces: a constructor
-	// returning a fresh (non-pooled) Workspace is fine.
-	for _, get := range gets {
-		if get.obj == nil {
-			continue
-		}
-		if pos, ok := escapes[get.obj]; ok {
-			pass.Reportf(pos, "pooled workspace escapes its checkout scope; the pool "+
-				"contract requires Put in the function that called Get")
-		}
-	}
-
-	for _, get := range gets {
-		if get.obj == nil {
-			pass.Reportf(get.pos, "workspace.Get result is discarded; the workspace "+
-				"can never be released")
-			continue
-		}
-		if deferred[get.obj] {
-			continue
-		}
-		for _, ret := range returns {
-			if ret.pos < get.pos {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range n.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isPoolCall(pass, call, checkoutNames) {
 				continue
 			}
-			if !coveredBy(puts[get.obj], get.pos, ret) {
-				pass.Reportf(ret.pos,
-					"return without releasing the workspace checked out at %s; "+
-						"defer workspace.Put(%s) after Get, or Put on every path",
-					pass.Fset.Position(get.pos), get.obj.Name())
+			var lhs ast.Expr
+			if i < len(n.Lhs) {
+				lhs = n.Lhs[i]
 			}
+			bind(call, lhs)
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			break
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, rhs := range vs.Values {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isPoolCall(pass, call, checkoutNames) {
+					continue
+				}
+				var lhs ast.Expr
+				if i < len(vs.Names) {
+					lhs = vs.Names[i]
+				}
+				bind(call, lhs)
+			}
+		}
+	}
+
+	// Releases and stray checkouts anywhere inside the node. Function
+	// literals are skipped: they are analyzed as their own bodies.
+	analysis.InspectSkippingFuncLits(n, func(m ast.Node) {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if isPoolCall(pass, call, releaseNames) {
+			if len(call.Args) == 1 {
+				if v := varOf(pass, call.Args[0]); v != nil {
+					delete(f, v)
+				}
+			}
+			return
+		}
+		if isPoolCall(pass, call, checkoutNames) && !handled[call] {
+			if report != nil {
+				report(call.Pos(), "workspace.Get result is not bound to a variable "+
+					"and can never be released")
+			}
+		}
+	})
+	return f
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	lat := &lattice{pass: pass, deferred: deferredReleases(pass, g)}
+	res := cfg.Forward[fact](g, lat)
+
+	// checkedOut: every variable bound from a checkout anywhere in this
+	// body (escape reporting keys off it, path-insensitively, as before).
+	checkedOut := map[*types.Var]bool{}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok || !isPoolCall(pass, call, checkoutNames) {
+					return true
+				}
+				// Find the binding through the enclosing statement forms.
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						if ast.Unparen(rhs) == call && i < len(n.Lhs) {
+							if v := varOf(pass, n.Lhs[i]); v != nil {
+								checkedOut[v] = true
+							}
+						}
+					}
+				case *ast.DeclStmt:
+					if gd, ok := n.Decl.(*ast.GenDecl); ok {
+						for _, spec := range gd.Specs {
+							if vs, ok := spec.(*ast.ValueSpec); ok {
+								for i, rhs := range vs.Values {
+									if ast.Unparen(rhs) == call && i < len(vs.Names) {
+										if v := varOf(pass, vs.Names[i]); v != nil {
+											checkedOut[v] = true
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Post-fixpoint sweep: walk each reachable block once with its entry
+	// fact, reporting node-anchored findings, escapes, and leaks at
+	// returns.
+	escaped := map[*types.Var]bool{}
+	reportLeaks := func(pos token.Pos, held fact) {
+		type leak struct {
+			v   *types.Var
+			get token.Pos
+		}
+		var leaks []leak
+		for v, get := range held {
+			leaks = append(leaks, leak{v, get})
+		}
+		sort.Slice(leaks, func(i, j int) bool { return leaks[i].get < leaks[j].get })
+		for _, lk := range leaks {
+			pass.Reportf(pos,
+				"return without releasing the workspace checked out at %s; "+
+					"defer workspace.Put(%s) after Get, or Put on every path",
+				pass.Fset.Position(lk.get), lk.v.Name())
+		}
+	}
+
+	for _, b := range g.Blocks {
+		in, reachable := res.In[b]
+		if !reachable {
+			continue
+		}
+		f := make(fact, len(in))
+		for v, p := range in {
+			f[v] = p
+		}
+		for _, n := range b.Nodes {
+			f = lat.step(f, n, pass.Reportf)
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				for _, resExpr := range ret.Results {
+					v := varOf(pass, resExpr)
+					if v != nil && checkedOut[v] && isWorkspacePtr(v.Type()) && !escaped[v] {
+						escaped[v] = true
+						pass.Reportf(resExpr.Pos(), "pooled workspace escapes its checkout "+
+							"scope; the pool contract requires Put in the function that called Get")
+					}
+				}
+				reportLeaks(ret.Pos(), f)
+			}
+		}
+	}
+
+	// The implicit return: any reachable path that falls off the end of
+	// the body while still holding a checkout leaks it.
+	for _, b := range g.FallsOff() {
+		if out, ok := res.Out[b]; ok {
+			reportLeaks(body.Rbrace, out)
 		}
 	}
 }
 
-// coveredBy reports whether some Put after the Get lexically precedes the
-// return from a block that encloses it (a lexical-dominance approximation:
-// a Put inside a branch the return is not part of does not count).
-func coveredBy(puts []putSite, getPos token.Pos, ret returnSite) bool {
-	for _, p := range puts {
-		if p.pos > getPos && p.pos < ret.pos && ret.blocks[p.block] {
-			return true
-		}
-	}
-	return false
-}
-
-// terminates reports whether a statement definitely transfers control out
-// of the function (the approximation only needs return and panic; anything
-// else keeps the virtual fall-off-the-end return).
-func terminates(s ast.Stmt) bool {
-	switch s := s.(type) {
-	case *ast.ReturnStmt:
-		return true
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-				return id.Name == "panic"
+// deferredReleases collects the variables released by a defer — directly
+// (defer workspace.Put(ws)) or inside a deferred closure.
+func deferredReleases(pass *analysis.Pass, g *cfg.Graph) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	record := func(call *ast.CallExpr) {
+		if len(call.Args) == 1 {
+			if v := varOf(pass, call.Args[0]); v != nil {
+				out[v] = true
 			}
 		}
 	}
-	return false
+	for _, d := range g.Defers {
+		if isPoolCall(pass, d.Call, releaseNames) {
+			record(d.Call)
+		} else if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok && isPoolCall(pass, c, releaseNames) {
+					record(c)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// varOf resolves an expression to the variable it names, or nil.
+func varOf(pass *analysis.Pass, e ast.Expr) *types.Var {
+	if e == nil {
+		return nil
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	if v == nil {
+		v, _ = pass.TypesInfo.Defs[id].(*types.Var)
+	}
+	return v
 }
 
 // isWorkspacePtr reports whether t is a pointer to one of the workspace

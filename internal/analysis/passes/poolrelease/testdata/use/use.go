@@ -110,3 +110,70 @@ func BothKinds(b bool) int {
 	}
 	return 2 // want `return without releasing the workspace`
 }
+
+// BranchBoth releases on both arms before a shared return — the lexical
+// analyzer flagged this (the Puts sit in sibling blocks); the
+// flow-sensitive one proves every path released.
+func BranchBoth(b bool) int {
+	ws := workspace.Get()
+	if b {
+		workspace.Put(ws)
+	} else {
+		workspace.Put(ws)
+	}
+	return 1
+}
+
+// LoopEach checks out and releases per iteration; the fall-off path
+// leaves the loop with nothing held.
+func LoopEach(n int) {
+	for i := 0; i < n; i++ {
+		ws := workspace.Get()
+		workspace.Put(ws)
+	}
+}
+
+// Rebind overwrites a variable that still holds a checkout: the first
+// workspace becomes unreleasable even though the second is Put.
+func Rebind() {
+	ws := workspace.Get()
+	ws = workspace.Get() // want `rebinds ws`
+	workspace.Put(ws)
+}
+
+// SwitchLeak releases on one arm and the fall-through path but not the
+// other arm.
+func SwitchLeak(x int) int {
+	ws := workspace.Get()
+	switch x {
+	case 1:
+		workspace.Put(ws)
+		return 1
+	case 2:
+		return 2 // want `return without releasing the workspace`
+	}
+	workspace.Put(ws)
+	return 0
+}
+
+// ClosureOwn: a function literal owns its obligations separately from
+// its enclosing function.
+func ClosureOwn() func() {
+	return func() {
+		ws := workspace.Get()
+		_ = ws
+	} // want `return without releasing the workspace`
+}
+
+// LoopCarriedLeak: the continue path skips the Put, so the next
+// iteration's Get rebinds a held checkout and the loop exit still holds
+// one.
+func LoopCarriedLeak(n int) {
+	for i := 0; i < n; i++ {
+		ws := workspace.Get() // want `rebinds ws`
+		if i == 0 {
+			continue
+		}
+		workspace.Put(ws)
+	}
+} // want `return without releasing the workspace`

@@ -1,0 +1,3 @@
+module wf
+
+go 1.22

@@ -1,0 +1,21 @@
+// Package grammarviz mirrors the repo's streaming detector surface for
+// the walfirst fixtures.
+package grammarviz
+
+type StreamEvent struct {
+	Offset  int
+	Novelty float64
+}
+
+type Stream struct {
+	n int
+}
+
+func (s *Stream) Append(v float64) (ev StreamEvent, ok bool, err error) {
+	s.n++
+	return StreamEvent{Offset: s.n}, false, nil
+}
+
+func (s *Stream) Reset() { s.n = 0 }
+
+func (s *Stream) Len() int { return s.n }

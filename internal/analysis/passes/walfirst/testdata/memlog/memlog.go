@@ -1,0 +1,14 @@
+// Package memlog mirrors the repo's write-ahead log surface for the
+// walfirst fixtures.
+package memlog
+
+type Log struct {
+	records [][]byte
+}
+
+func (l *Log) Append(payload []byte) error {
+	l.records = append(l.records, payload)
+	return nil
+}
+
+func (l *Log) Sync() error { return nil }

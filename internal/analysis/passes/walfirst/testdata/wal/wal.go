@@ -1,0 +1,134 @@
+// Package wal exercises the walfirst ordering shapes.
+package wal
+
+import (
+	"wf/grammarviz"
+	"wf/memlog"
+)
+
+type session struct {
+	log    *memlog.Log
+	stream *grammarviz.Stream
+}
+
+func encode(points []float64) []byte { return make([]byte, 8*len(points)) }
+
+// Canonical is the repo's sessionAppend shape: nil-guarded WAL append,
+// then mutation. Clean — the nil edge needs no append.
+//
+//gvad:walfirst
+func Canonical(sess *session, points []float64) error {
+	if sess.log != nil {
+		if err := sess.log.Append(encode(points)); err != nil {
+			return err
+		}
+	}
+	for _, v := range points {
+		if _, _, err := sess.stream.Append(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MissingAppend mutates with no WAL write at all.
+//
+//gvad:walfirst
+func MissingAppend(sess *session, v float64) {
+	sess.stream.Append(v) // want `before the write-ahead log append on some path`
+}
+
+// WrongOrder writes the WAL after the mutation.
+//
+//gvad:walfirst
+func WrongOrder(sess *session, v float64) {
+	sess.stream.Append(v) // want `before the write-ahead log append on some path`
+	sess.log.Append(encode([]float64{v}))
+}
+
+// OnePathMisses appends on only one branch; the merge is must, so the
+// mutation is flagged.
+//
+//gvad:walfirst
+func OnePathMisses(sess *session, v float64, durable bool) {
+	if durable {
+		sess.log.Append(encode([]float64{v}))
+	}
+	sess.stream.Append(v) // want `before the write-ahead log append on some path`
+}
+
+// NilFastPath mutates under a known-nil log: no durability contract.
+//
+//gvad:walfirst
+func NilFastPath(sess *session, v float64) {
+	if sess.log == nil {
+		sess.stream.Append(v)
+		return
+	}
+	sess.log.Append(encode([]float64{v}))
+	sess.stream.Append(v)
+}
+
+// EarlyReturnGuard returns on the nil path, then appends unconditionally.
+//
+//gvad:walfirst
+func EarlyReturnGuard(sess *session, v float64) error {
+	if sess.log == nil {
+		return nil
+	}
+	if err := sess.log.Append(encode([]float64{v})); err != nil {
+		return err
+	}
+	_, _, err := sess.stream.Append(v)
+	return err
+}
+
+// ClosureAfterAppend mirrors the worker-goroutine shape: the mutation
+// lives in a literal created after the WAL write. Clean.
+//
+//gvad:walfirst
+func ClosureAfterAppend(sess *session, points []float64, run func(func() error) error) error {
+	if sess.log != nil {
+		if err := sess.log.Append(encode(points)); err != nil {
+			return err
+		}
+	}
+	return run(func() error {
+		for _, v := range points {
+			if _, _, err := sess.stream.Append(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ClosureNoAppend spawns the mutating literal with no WAL write.
+//
+//gvad:walfirst
+func ClosureNoAppend(sess *session, v float64, run func(func() error) error) error {
+	return run(func() error {
+		_, _, err := sess.stream.Append(v) // want `before the write-ahead log append on some path`
+		return err
+	})
+}
+
+// ResetUnlogged truncates the stream without logging the truncation.
+//
+//gvad:walfirst
+func ResetUnlogged(sess *session) {
+	sess.stream.Reset() // want `before the write-ahead log append on some path`
+}
+
+// Unannotated has no directive and is not checked.
+func Unannotated(sess *session, v float64) {
+	sess.stream.Append(v)
+}
+
+// Allowlisted carries a reviewed suppression.
+//
+//gvad:walfirst
+func Allowlisted(sess *session, v float64) {
+	//gvad:ignore walfirst fixture for the allowlisted-negative path
+	sess.stream.Append(v)
+}

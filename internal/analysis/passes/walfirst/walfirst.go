@@ -1,0 +1,229 @@
+// Package walfirst enforces the write-ahead-log ordering invariant on
+// functions annotated //gvad:walfirst: on every path, a stream mutation
+// (a call to Append or Reset on a grammarviz Stream) must be preceded by
+// a write-ahead append (a call to Append on a memlog Log), unless the
+// log is known nil on that path — a session without a WAL has no
+// durability contract to violate.
+//
+// The check is a forward must-analysis over the CFG: the fact is "the
+// WAL has been appended on ALL paths reaching this point" (merge is
+// AND). Branch conditions of the form `log != nil` / `log == nil`,
+// where the operand is a *memlog.Log, refine the fact on the nil edge to
+// true, so the canonical
+//
+//	if sess.log != nil {
+//	    if err := sess.log.Append(b); err != nil { ... }
+//	}
+//	sess.stream.Append(v)
+//
+// shape is recognized as WAL-first. Function literals are treated as
+// executing at their creation point: the repo funnels mutations through
+// worker goroutines that are spawned after the WAL write and awaited in
+// the same function, and the fact only ever strengthens along a path, so
+// attributing the literal's body to the spawn site cannot mask a
+// violation.
+package walfirst
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "walfirst",
+	Doc: "checks that //gvad:walfirst functions append to the write-ahead " +
+		"log before mutating the stream on every path",
+	Run: run,
+}
+
+// Directive marks a function for WAL-ordering enforcement.
+const Directive = "//gvad:walfirst"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd) {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func hasDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == Directive {
+			return true
+		}
+	}
+	return false
+}
+
+// isWALAppend reports whether call appends (or syncs) a memlog Log.
+func isWALAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	name, recv := methodOf(pass, call)
+	return (name == "Append" || name == "Sync") && recv == "memlog.Log"
+}
+
+// isMutation reports whether call mutates a grammarviz Stream.
+func isMutation(pass *analysis.Pass, call *ast.CallExpr) bool {
+	name, recv := methodOf(pass, call)
+	return (name == "Append" || name == "Reset") && recv == "grammarviz.Stream"
+}
+
+// methodOf resolves a method call to its name and pkg.Type receiver
+// rendering ("" for non-methods).
+func methodOf(pass *analysis.Pass, call *ast.CallExpr) (name, recv string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	var f *types.Func
+	if s, ok := pass.TypesInfo.Selections[sel]; ok {
+		f, _ = s.Obj().(*types.Func)
+	} else {
+		f, _ = pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	}
+	if f == nil {
+		return "", ""
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	return f.Name(), namedOf(sig.Recv().Type())
+}
+
+// namedOf renders the named type behind t (through pointers) as
+// pkg.Type, or "".
+func namedOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+}
+
+// lattice is the forward must-analysis: true means the WAL append has
+// happened on every path to this point (or the log is known nil).
+type lattice struct {
+	pass *analysis.Pass
+}
+
+func (l *lattice) Boundary() bool       { return false }
+func (l *lattice) Merge(a, b bool) bool { return a && b }
+func (l *lattice) Equal(a, b bool) bool { return a == b }
+
+func (l *lattice) Transfer(b *cfg.Block, f bool) bool {
+	for _, n := range b.Nodes {
+		f = step(l.pass, f, n, nil)
+	}
+	return f
+}
+
+// RefineEdge strengthens the fact on edges where the log is known nil:
+// no WAL is configured, so mutation needs no preceding append.
+func (l *lattice) RefineEdge(from *cfg.Block, branch int, f bool) bool {
+	if f || from.Cond == nil {
+		return f
+	}
+	bin, ok := ast.Unparen(from.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return f
+	}
+	var logSide ast.Expr
+	switch {
+	case isNilIdent(bin.Y):
+		logSide = bin.X
+	case isNilIdent(bin.X):
+		logSide = bin.Y
+	default:
+		return f
+	}
+	if namedOf(l.pass.TypesInfo.Types[logSide].Type) != "memlog.Log" {
+		return f
+	}
+	// x != nil: the nil edge is branch 1. x == nil: the nil edge is 0.
+	switch bin.Op.String() {
+	case "!=":
+		if branch == 1 {
+			return true
+		}
+	case "==":
+		if branch == 0 {
+			return true
+		}
+	}
+	return f
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// step flows one node: a WAL append anywhere in it (including inside
+// function literals, which execute under the same invariant) turns the
+// fact true; with report set, mutations seen while the fact is false are
+// diagnosed. ast.Inspect visits in syntactic order, which matches
+// evaluation order for the statement shapes that matter here.
+func step(pass *analysis.Pass, f bool, n ast.Node, report func(call *ast.CallExpr)) bool {
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isWALAppend(pass, call) {
+			f = true
+			return true
+		}
+		if !f && report != nil && isMutation(pass, call) {
+			report(call)
+		}
+		return true
+	})
+	return f
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	lat := &lattice{pass: pass}
+	res := cfg.Forward[bool](g, lat)
+
+	for _, b := range g.Blocks {
+		in, reachable := res.In[b]
+		if !reachable {
+			continue
+		}
+		f := in
+		for _, n := range b.Nodes {
+			f = step(pass, f, n, func(call *ast.CallExpr) {
+				sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				what := "stream mutation"
+				if sel != nil {
+					what = types.ExprString(sel)
+				}
+				pass.Reportf(call.Pos(), "%s before the write-ahead log append on some path; "+
+					"//gvad:walfirst requires Log.Append first (or a nil log)", what)
+			})
+		}
+	}
+}

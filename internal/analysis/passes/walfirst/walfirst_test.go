@@ -1,0 +1,13 @@
+package walfirst_test
+
+import (
+	"testing"
+
+	"grammarviz/internal/analysis"
+	"grammarviz/internal/analysis/analysistest"
+	"grammarviz/internal/analysis/passes/walfirst"
+)
+
+func TestWalfirst(t *testing.T) {
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{walfirst.Analyzer}, "./...")
+}

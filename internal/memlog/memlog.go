@@ -181,7 +181,7 @@ func Open(dir string, opts Options) (*Log, *Recovered, error) {
 
 	// A leftover tmp is an interrupted SaveSnapshot that never renamed;
 	// the previous snapshot (if any) is still authoritative.
-	os.Remove(l.snapshotPath() + ".tmp")
+	_ = os.Remove(l.snapshotPath() + ".tmp")
 
 	if raw, err := os.ReadFile(l.snapshotPath()); err == nil {
 		payload, watermark, err := parseSnapshot(raw)
@@ -360,7 +360,7 @@ func (l *Log) openSegment(seq int) error {
 	}
 	info, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("memlog: %w", err)
 	}
 	size := info.Size()
@@ -369,7 +369,7 @@ func (l *Log) openSegment(seq int) error {
 		copy(hdr[:], segMagic)
 		binary.LittleEndian.PutUint16(hdr[4:], segVersion)
 		if _, err := f.Write(hdr[:]); err != nil {
-			f.Close()
+			_ = f.Close()
 			return fmt.Errorf("memlog: %w", err)
 		}
 		size = segHeaderLen
@@ -504,21 +504,21 @@ func (l *Log) SaveSnapshot(payload []byte) error {
 		return fmt.Errorf("memlog: %w", err)
 	}
 	if _, err := f.Write(frame); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return fmt.Errorf("memlog: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
+		_ = f.Close()
+		_ = os.Remove(tmp)
 		return fmt.Errorf("memlog: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return fmt.Errorf("memlog: %w", err)
 	}
 	if err := os.Rename(tmp, l.snapshotPath()); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp)
 		return fmt.Errorf("memlog: %w", err)
 	}
 	if err := syncDir(l.dir); err != nil {

@@ -1,0 +1,79 @@
+// Package modes is the single source of truth for detector mode names
+// and their admission weights. cmd/gva, internal/server, and the
+// exhaustivemode lint pass all consume these lists: adding a mode here
+// without updating every annotated switch site is a lint failure, and
+// adding a mode to one consumer without adding it here cannot happen —
+// there is nowhere else to declare it.
+package modes
+
+// Mode names. The serving and CLI surfaces accept different subsets; the
+// constants are shared so a grep for a mode name finds every consumer.
+const (
+	RRA        = "rra"        // exact variable-length discord search
+	BestEffort = "besteffort" // RRA degrading at the deadline (Partial/Fallback)
+	Density    = "density"    // rule-density anomalies (distance-free)
+	HOTSAX     = "hotsax"     // fixed-length HOTSAX baseline
+	Ensemble   = "ensemble"   // parameter-free ensemble grammar induction
+	Surprise   = "surprise"   // per-window surprise scores (CLI only)
+	Multiscale = "multiscale" // multi-window density fusion (CLI only)
+	Motifs     = "motifs"     // repeated-structure report (CLI only)
+	Brute      = "brute"      // exact brute-force discords (CLI only)
+
+	// Stream is the admission label for the incremental per-point
+	// streaming path. It is not a request mode — sessions charge their
+	// appends to it — but it shares the weight table.
+	Stream = "stream"
+)
+
+// Default is the mode an empty request selects: the one built for a
+// service, where a degraded answer beats a deadline error.
+const Default = BestEffort
+
+// Serving lists the modes accepted by POST /v1/analyze, in the order the
+// validation error message cites them.
+var Serving = []string{RRA, BestEffort, Density, HOTSAX, Ensemble}
+
+// CLI lists the modes accepted by cmd/gva -mode, in the order the flag
+// error message cites them.
+var CLI = []string{RRA, Density, Surprise, Multiscale, Ensemble, Motifs, HOTSAX, Brute}
+
+// Weight is the admission cost multiplier per series point: the
+// distance-search modes dominate the pipeline, the distance-free density
+// lookup (and the incremental streaming path) is nearly free once the
+// detector exists, and HOTSAX's quadratic inner loops earn the heaviest
+// weight. Ensemble is priced per member by the server, not here.
+func Weight(mode string) int64 {
+	switch mode {
+	case Density, Stream:
+		return 1
+	case HOTSAX:
+		return 8
+	default: // rra, besteffort, and anything new until it is priced
+		return 3
+	}
+}
+
+// OneOf renders a mode list for an error message: "a, b, or c".
+func OneOf(list []string) string {
+	switch len(list) {
+	case 0:
+		return ""
+	case 1:
+		return list[0]
+	}
+	out := ""
+	for _, m := range list[:len(list)-1] {
+		out += m + ", "
+	}
+	return out + "or " + list[len(list)-1]
+}
+
+// Valid reports whether mode is in list.
+func Valid(list []string, mode string) bool {
+	for _, m := range list {
+		if m == mode {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package modes
+
+import "testing"
+
+func TestListsAreDistinctConstants(t *testing.T) {
+	for _, list := range [][]string{Serving, CLI} {
+		seen := map[string]bool{}
+		for _, m := range list {
+			if m == "" {
+				t.Fatalf("empty mode name in list %v", list)
+			}
+			if seen[m] {
+				t.Fatalf("duplicate mode %q in list %v", m, list)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestServingIsNotCLI(t *testing.T) {
+	// The surfaces intentionally differ: besteffort is serving-only
+	// (deadline semantics need a server), brute is CLI-only (no
+	// admission pricing). Pin both so an accidental merge is loud.
+	if Valid(CLI, BestEffort) {
+		t.Fatalf("besteffort must stay serving-only")
+	}
+	if Valid(Serving, Brute) {
+		t.Fatalf("brute must stay CLI-only")
+	}
+}
+
+func TestWeights(t *testing.T) {
+	cases := map[string]int64{
+		Density:    1,
+		Stream:     1,
+		HOTSAX:     8,
+		RRA:        3,
+		BestEffort: 3,
+		"unpriced": 3,
+	}
+	for mode, want := range cases {
+		if got := Weight(mode); got != want {
+			t.Errorf("Weight(%q) = %d, want %d", mode, got, want)
+		}
+	}
+}
+
+func TestOneOf(t *testing.T) {
+	if got, want := OneOf(Serving), "rra, besteffort, density, hotsax, or ensemble"; got != want {
+		t.Errorf("OneOf(Serving) = %q, want %q", got, want)
+	}
+	if got, want := OneOf([]string{"x"}), "x"; got != want {
+		t.Errorf("OneOf single = %q, want %q", got, want)
+	}
+	if got := OneOf(nil); got != "" {
+		t.Errorf("OneOf(nil) = %q, want empty", got)
+	}
+}

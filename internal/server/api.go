@@ -5,15 +5,18 @@ import (
 	"time"
 
 	"grammarviz"
+	"grammarviz/internal/modes"
 )
 
-// Modes accepted by POST /v1/analyze.
+// Modes accepted by POST /v1/analyze, aliased from internal/modes — the
+// single source of truth shared with cmd/gva and the exhaustivemode lint
+// pass.
 const (
-	ModeRRA        = "rra"        // exact variable-length discord search
-	ModeBestEffort = "besteffort" // RRA degrading at the deadline (Partial/Fallback)
-	ModeDensity    = "density"    // rule-density anomalies (distance-free)
-	ModeHOTSAX     = "hotsax"     // fixed-length HOTSAX baseline
-	ModeEnsemble   = "ensemble"   // parameter-free ensemble grammar induction
+	ModeRRA        = modes.RRA        // exact variable-length discord search
+	ModeBestEffort = modes.BestEffort // RRA degrading at the deadline (Partial/Fallback)
+	ModeDensity    = modes.Density    // rule-density anomalies (distance-free)
+	ModeHOTSAX     = modes.HOTSAX     // fixed-length HOTSAX baseline
+	ModeEnsemble   = modes.Ensemble   // parameter-free ensemble grammar induction
 )
 
 // maxEnsembleMembers caps the member count one request may ask for: every
@@ -119,12 +122,13 @@ func (r *AnalyzeRequest) validate(maxSeries int) error {
 	if maxSeries > 0 && len(r.Series) > maxSeries {
 		return fmt.Errorf("series has %d points, server cap is %d", len(r.Series), maxSeries)
 	}
+	//gvad:modes Serving
 	switch r.Mode {
 	case ModeRRA, ModeBestEffort, ModeDensity, ModeHOTSAX, ModeEnsemble:
 	case "":
-		r.Mode = ModeBestEffort
+		r.Mode = modes.Default
 	default:
-		return fmt.Errorf("unknown mode %q (want rra, besteffort, density, hotsax, or ensemble)", r.Mode)
+		return fmt.Errorf("unknown mode %q (want %s)", r.Mode, modes.OneOf(modes.Serving))
 	}
 	if r.Members < 0 {
 		return fmt.Errorf("members must be >= 0 (0 selects the default), got %d", r.Members)

@@ -50,6 +50,7 @@ import (
 	"grammarviz/internal/discord"
 	"grammarviz/internal/memlog"
 	"grammarviz/internal/metrics"
+	"grammarviz/internal/modes"
 	"grammarviz/internal/timeseries"
 	"grammarviz/internal/worker"
 )
@@ -388,21 +389,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.http.Shutdown(ctx)
 }
 
-// modeWeight is the admission cost multiplier per series point: the
-// distance-search modes dominate the pipeline, the distance-free density
-// lookup is nearly free once the detector exists, and HOTSAX's quadratic
-// inner loops earn the heaviest weight.
+// modeWeight is the admission cost multiplier per series point. The
+// table lives in internal/modes — the single source of truth shared with
+// cmd/gva — so serving and CLI cannot drift on pricing.
 func modeWeight(mode string) int64 {
-	switch mode {
-	case ModeDensity:
-		return 1
-	case "stream": // incremental per-point path, the cheapest work
-		return 1
-	case ModeHOTSAX:
-		return 8
-	default: // rra, besteffort
-		return 3
-	}
+	return modes.Weight(mode)
 }
 
 // requestWeight is the admission cost multiplier for one validated
@@ -851,6 +842,7 @@ func outcomeOf(resp *AnalyzeResponse) string {
 // modeLabel bounds the cardinality of the mode label: anything not in the
 // known set is reported as "unknown".
 func modeLabel(mode string) string {
+	//gvad:modes Serving
 	switch mode {
 	case ModeRRA, ModeBestEffort, ModeDensity, ModeHOTSAX, ModeEnsemble:
 		return mode

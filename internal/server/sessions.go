@@ -18,6 +18,7 @@ import (
 
 	"grammarviz"
 	"grammarviz/internal/memlog"
+	"grammarviz/internal/modes"
 	"grammarviz/internal/worker"
 )
 
@@ -182,7 +183,12 @@ type streamSession struct {
 	lastTouch time.Time
 }
 
-// sessionSupervisor owns the session table.
+// sessionSupervisor owns the session table. The lock order below is the
+// map-lock invariant made checkable: eviction and delete take a session's
+// mutex first and touch the table under its own lock afterwards, so the
+// table lock may never be held while acquiring a session lock.
+//
+//gvad:lockorder server.streamSession.mu < server.sessionSupervisor.mu
 type sessionSupervisor struct {
 	mu       sync.Mutex
 	sessions map[string]*streamSession
@@ -303,7 +309,7 @@ func (s *Server) handleStreamOpen(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err := writeMeta(sess.dir, &sess.meta); err != nil {
-			log.Close()
+			_ = log.Close()
 			writeError(w, http.StatusInternalServerError, fmt.Errorf("persist session meta: %w", err))
 			return
 		}
@@ -364,7 +370,7 @@ func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 	// Admission: streaming appends are the cheap incremental path, so they
 	// are charged at the lowest weight, but they still pass through the
 	// tenant budget so a flood of appends cannot starve analyses.
-	release, err := s.admit(r.Context(), sess.meta.Tenant, len(req.Points), modeWeight("stream"))
+	release, err := s.admit(r.Context(), sess.meta.Tenant, len(req.Points), modeWeight(modes.Stream))
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
@@ -387,6 +393,8 @@ func (s *Server) handleStreamAppend(w http.ResponseWriter, r *http.Request) {
 // sessionAppend applies one chunk under the session mutex, WAL-first, with
 // panic containment: a panic while mutating the stream poisons only this
 // session.
+//
+//gvad:walfirst
 func (s *Server) sessionAppend(ctx context.Context, sess *streamSession, req *StreamAppendRequest) (*StreamAppendResponse, int, error) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
@@ -563,7 +571,9 @@ func (s *Server) handleStreamDelete(w http.ResponseWriter, r *http.Request) {
 	if !sess.closed {
 		sess.closed = true
 		if sess.log != nil {
-			sess.log.Close()
+			if err := sess.log.Close(); err != nil {
+				s.cfg.Logf("session %s: closing log on delete: %v", sess.meta.ID, err)
+			}
 			sess.log = nil
 		}
 		sess.stream = nil
@@ -618,24 +628,24 @@ func (s *Server) restoreFromDir(dir string, meta *sessionMeta) (*grammarviz.Stre
 	} else {
 		opts, oerr := meta.options()
 		if oerr != nil {
-			log.Close()
+			_ = log.Close()
 			return nil, nil, false, oerr
 		}
 		stream, err = grammarviz.NewStream(opts)
 	}
 	if err != nil {
-		log.Close()
+		_ = log.Close()
 		return nil, nil, false, err
 	}
 	for _, chunk := range rec.Records {
 		points, derr := decodePoints(chunk)
 		if derr != nil {
-			log.Close()
+			_ = log.Close()
 			return nil, nil, false, derr
 		}
 		for _, v := range points {
 			if _, _, aerr := stream.Append(v); aerr != nil {
-				log.Close()
+				_ = log.Close()
 				return nil, nil, false, fmt.Errorf("replaying log: %w", aerr)
 			}
 		}
@@ -815,7 +825,9 @@ func (s *Server) evictIdleSessions(now time.Time) {
 			// drop the session entirely.
 			sess.closed = true
 			if sess.log != nil {
-				sess.log.Close()
+				if err := sess.log.Close(); err != nil {
+					s.cfg.Logf("session %s: closing log on drop: %v", sess.meta.ID, err)
+				}
 				sess.log = nil
 			}
 			sess.stream = nil
@@ -833,7 +845,12 @@ func (s *Server) evictIdleSessions(now time.Time) {
 				sess.mu.Unlock()
 				continue
 			}
-			sess.log.Close()
+			// The checkpoint above holds the full state, so a failed
+			// close cannot lose acknowledged data — but it can hide a
+			// sick volume, so it is logged, never swallowed.
+			if err := sess.log.Close(); err != nil {
+				s.cfg.Logf("session %s: closing log after eviction checkpoint: %v", sess.meta.ID, err)
+			}
 			sess.log = nil
 			sess.stream = nil
 			sess.mu.Unlock()

@@ -77,7 +77,7 @@ func WriteCSVFile(path string, ts []float64) error {
 		return fmt.Errorf("timeseries: %w", err)
 	}
 	if err := WriteCSV(f, ts); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

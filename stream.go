@@ -59,6 +59,8 @@ func NewStream(opts Options) (*Stream, error) {
 // NaN or infinite point is rejected with an ErrInvalidValue-wrapped error
 // naming the stream position; the stream's state is unchanged, so the
 // caller may substitute a cleaned value and continue.
+//
+//gvad:typederr
 func (s *Stream) Append(v float64) (ev StreamEvent, ok bool, err error) {
 	e, ok, err := s.inner.Append(v)
 	if err != nil {
